@@ -1,0 +1,84 @@
+// choir_rx — decode LoRa IQ captures from a file.
+//
+// Runs the streaming receiver over the capture: detects every frame
+// (including pile-ups), disentangles collisions with the Choir decoder,
+// and prints one line per recovered user. Optionally also attempts
+// below-noise team decoding at a given slot offset.
+//
+// Examples:
+//   choir_rx --in=pileup.cf32 --sf=8
+//   choir_rx --in=team.cf32 --sf=8 --team-slot=0
+#include <cstdio>
+#include <string>
+
+#include "core/team_decoder.hpp"
+#include "rt/streaming.hpp"
+#include "util/args.hpp"
+#include "util/iq_io.hpp"
+
+using namespace choir;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const std::string in = args.get("in", "");
+  if (in.empty()) {
+    std::fprintf(stderr,
+                 "usage: choir_rx --in=FILE [--format=cf32|cf64] [--sf=N]\n"
+                 "  [--chunk=SAMPLES] [--team-slot=SAMPLE_INDEX]\n");
+    return 2;
+  }
+  lora::PhyParams phy;
+  phy.sf = static_cast<int>(args.get_int("sf", 8));
+  phy.bandwidth_hz = args.get_double("bw", 125e3);
+
+  const IqFormat fmt = parse_iq_format(args.get("format", "cf32"));
+  const cvec samples = read_iq_file(in, fmt);
+  std::printf("read %zu samples from %s\n", samples.size(), in.c_str());
+
+  int frames = 0;
+  rt::StreamingOptions opt;
+  rt::StreamingReceiver receiver(phy, opt, [&](const rt::FrameEvent& ev) {
+    ++frames;
+    std::string text(ev.user.payload.begin(), ev.user.payload.end());
+    for (char& c : text) {
+      if (c < 0x20 || c > 0x7E) c = '.';
+    }
+    std::printf("frame @%llu: offset=%.3f bins tau=%.2f snr=%.1f dB "
+                "crc=%s payload=\"%s\"\n",
+                static_cast<unsigned long long>(ev.stream_offset),
+                ev.user.est.offset_bins, ev.user.est.timing_samples,
+                ev.user.est.snr_db, ev.user.crc_ok ? "ok" : "BAD",
+                text.c_str());
+  });
+
+  const auto chunk =
+      static_cast<std::size_t>(args.get_int("chunk", 1 << 14));
+  for (std::size_t at = 0; at < samples.size(); at += chunk) {
+    const std::size_t end = std::min(samples.size(), at + chunk);
+    receiver.push(cvec(samples.begin() + static_cast<std::ptrdiff_t>(at),
+                       samples.begin() + static_cast<std::ptrdiff_t>(end)));
+  }
+  receiver.flush();
+  std::printf("%d frame(s) decoded\n", frames);
+
+  if (args.has("team-slot")) {
+    const auto slot =
+        static_cast<std::size_t>(args.get_int("team-slot", 0));
+    core::TeamDecoder team(phy);
+    const auto res = team.decode(samples, slot, phy.chips());
+    if (res.detected) {
+      std::string text(res.payload.begin(), res.payload.end());
+      for (char& c : text) {
+        if (c < 0x20 || c > 0x7E) c = '.';
+      }
+      std::printf("team @%zu: %zu components, score %.1f, crc=%s "
+                  "payload=\"%s\"\n",
+                  res.frame_start, res.offsets.size(), res.detection_score,
+                  res.crc_ok ? "ok" : "BAD", text.c_str());
+    } else {
+      std::printf("team: nothing detected near slot %zu (score %.1f)\n",
+                  slot, res.detection_score);
+    }
+  }
+  return frames > 0 ? 0 : 1;
+}

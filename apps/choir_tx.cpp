@@ -1,0 +1,76 @@
+// choir_tx — synthesize LoRa IQ captures to a file.
+//
+// Generates a single frame, a collision of several frames (with sampled
+// hardware offsets), or a beyond-range team transmission, and writes
+// interleaved IQ to disk in cf32/cf64 (GNU Radio compatible).
+//
+// Examples:
+//   choir_tx --out=frame.cf32 --payload="hello" --snr=15
+//   choir_tx --out=pileup.cf32 --users=5 --sf=8 --seed=3
+//   choir_tx --out=team.cf32 --team=20 --snr=-12 --payload="shared"
+#include <cstdio>
+#include <string>
+
+#include "channel/collision.hpp"
+#include "util/args.hpp"
+#include "util/iq_io.hpp"
+#include "util/rng.hpp"
+
+using namespace choir;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const std::string out = args.get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr,
+                 "usage: choir_tx --out=FILE [--format=cf32|cf64] [--sf=N]\n"
+                 "  [--users=K | --team=K] [--payload=TEXT] [--snr=DB]\n"
+                 "  [--seed=N] [--no-noise]\n");
+    return 2;
+  }
+  lora::PhyParams phy;
+  phy.sf = static_cast<int>(args.get_int("sf", 8));
+  phy.bandwidth_hz = args.get_double("bw", 125e3);
+
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  channel::OscillatorModel osc;
+
+  const std::string payload_text = args.get("payload", "choir sample frame");
+  const std::size_t team = static_cast<std::size_t>(args.get_int("team", 0));
+  const std::size_t users =
+      team > 0 ? team : static_cast<std::size_t>(args.get_int("users", 1));
+
+  std::vector<channel::TxInstance> txs(users);
+  for (std::size_t u = 0; u < users; ++u) {
+    txs[u].phy = phy;
+    if (team > 0 || users == 1) {
+      txs[u].payload.assign(payload_text.begin(), payload_text.end());
+    } else {
+      // Distinct payloads per colliding user: id + text.
+      std::string p = "user" + std::to_string(u) + ":" + payload_text;
+      txs[u].payload.assign(p.begin(), p.end());
+    }
+    txs[u].hw = channel::DeviceHardware::sample(osc, rng);
+    txs[u].snr_db = args.get_double("snr", 15.0);
+    txs[u].fading.kind = channel::FadingKind::kNone;
+  }
+  channel::RenderOptions ropt;
+  ropt.osc = osc;
+  ropt.add_noise = !args.get_bool("no-noise", false);
+  const auto cap = render_collision(txs, ropt, rng);
+
+  const IqFormat fmt = parse_iq_format(args.get("format", "cf32"));
+  write_iq_file(out, cap.samples, fmt);
+  std::printf("wrote %zu samples (%.1f ms at %.0f kHz) to %s\n",
+              cap.samples.size(),
+              1e3 * static_cast<double>(cap.samples.size()) /
+                  phy.sample_rate_hz(),
+              phy.sample_rate_hz() / 1e3, out.c_str());
+  for (std::size_t u = 0; u < cap.users.size(); ++u) {
+    std::printf("  user %zu: offset %.3f bins, delay %.2f samples, "
+                "cfo %.1f Hz\n",
+                u, cap.users[u].aggregate_offset_bins,
+                cap.users[u].delay_samples, cap.users[u].cfo_hz);
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Ablation for the Sec. 5.2 remark that Choir "is always limited by the
+// resolution of the analog-to-digital converter": sweep the front-end ADC
+// bit depth and measure how deep the near-far gap can be before the weak
+// user is lost to quantization.
+#include <iostream>
+
+#include "channel/collision.hpp"
+#include "core/collision_decoder.hpp"
+#include "util/args.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace choir;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  lora::PhyParams phy;
+  phy.sf = static_cast<int>(args.get_int("sf", 8));
+  const int trials = static_cast<int>(args.get_int("trials", 8));
+
+  Table t("ADC ablation: weak-user delivery vs ADC bits and near-far gap",
+          {"ADC bits", "gap 20 dB", "gap 30 dB", "gap 40 dB"});
+  for (int bits : {4, 5, 6, 8, 12}) {
+    std::vector<double> rates;
+    for (double gap : {20.0, 30.0, 40.0}) {
+      int ok = 0;
+      for (int trial = 0; trial < trials; ++trial) {
+        // Seed from (trial, gap) only: every ADC depth sees the *same*
+        // collision, so the sweep isolates quantization.
+        Rng rng(1000 + static_cast<std::uint64_t>(trial) * 13 +
+                static_cast<std::uint64_t>(gap));
+        channel::OscillatorModel osc;
+        osc.cfo_drift_hz_per_symbol = 0.0;
+        std::vector<channel::TxInstance> txs(2);
+        for (auto& tx : txs) {
+          tx.phy = phy;
+          tx.payload.resize(8);
+          for (auto& b : tx.payload)
+            b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+          tx.hw = channel::DeviceHardware::sample(osc, rng);
+          tx.fading.kind = channel::FadingKind::kNone;
+        }
+        txs[0].snr_db = 5.0 + gap;  // strong (AGC tracks this one)
+        txs[1].snr_db = 5.0;        // weak
+        channel::RenderOptions ropt;
+        ropt.osc = osc;
+        channel::AdcModel adc;
+        adc.bits = bits;
+        ropt.adc = adc;
+        const auto cap = render_collision(txs, ropt, rng);
+        core::CollisionDecoder dec(phy);
+        for (const auto& du : dec.decode(cap.samples, 0)) {
+          if (du.crc_ok && du.payload == txs[1].payload) {
+            ++ok;
+            break;
+          }
+        }
+      }
+      rates.push_back(static_cast<double>(ok) / trials);
+    }
+    t.add_row({static_cast<double>(bits), rates[0], rates[1], rates[2]});
+  }
+  t.print(std::cout);
+  std::cout << "(Sec. 5.2 notes SIC depth is ADC-limited. In this "
+               "implementation the offset-\n estimation accuracy caps "
+               "cancellation near 25-30 dB first, so quantization only\n "
+               "bites at very coarse depths (~4 bits); with a deeper SIC "
+               "chain the ADC rows\n would separate further.)\n";
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Reproduces paper Fig 10: resolution of recovered sensor data vs distance.
+// Farther sensors need larger teams (scheduled by the Sec. 7.1 planner);
+// larger teams share fewer MSBs, so the reconstruction error grows
+// smoothly with distance (paper: 13.2% at ~2.5 km for teams up to 30).
+#include <cmath>
+#include <iostream>
+
+#include "channel/pathloss.hpp"
+#include "core/team_scheduler.hpp"
+#include "sensing/field.hpp"
+#include "sensing/grouping.hpp"
+#include "util/args.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace choir;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 10)));
+
+  channel::UrbanPathLoss pl;
+  channel::LinkBudget budget;
+  const int sf = static_cast<int>(args.get_int("sf", 10));
+  const double floor_db = channel::lora_demod_floor_snr_db(sf);
+
+  sensing::BuildingModel model;
+  const sensing::SensorField field(model, 77);
+  const auto sensors = sensing::place_sensors(model, 36, rng);
+  std::vector<double> temps, hums;
+  for (const auto& s : sensors) {
+    const auto sample = field.sample(s);
+    temps.push_back(sample.temperature_c);
+    hums.push_back(sample.humidity_rh);
+  }
+  sensing::ResolutionParams rp_t{15.0, 35.0, 12};
+  sensing::ResolutionParams rp_h{20.0, 80.0, 12};
+
+  Table t("Fig 10: average normalized error per user vs distance",
+          {"distance (m)", "team size", "humidity err", "temperature err"});
+  for (double dist : {250.0, 500.0, 1000.0, 1500.0, 2000.0, 2500.0, 3000.0}) {
+    const double snr = budget.median_snr_db(dist, pl);
+    // Team size the scheduler would pick: enough members for the aggregate
+    // to clear the decoding target.
+    std::size_t team = 1;
+    if (snr < floor_db) {
+      std::vector<double> members;
+      while (core::aggregate_snr_db(members) < floor_db + 2.0 &&
+             members.size() < 30) {
+        members.push_back(snr);
+      }
+      team = std::max<std::size_t>(1, members.size());
+    }
+    // Teams are built from sensors at similar center distance (the best
+    // grouping of Fig 11a).
+    const auto groups = sensing::make_groups(
+        sensors, field, sensing::GroupingStrategy::kByCenterDistance, team,
+        rng);
+    t.add_row({dist, static_cast<double>(team),
+               sensing::grouping_error(hums, groups, rp_h),
+               sensing::grouping_error(temps, groups, rp_t)});
+  }
+  t.print(std::cout);
+  std::cout << "(error grows smoothly with distance as teams widen; the "
+               "paper reports 13.2%\n resolution loss for teams of up to 30 "
+               "sensors ~2.5 km out)\n";
+  return 0;
+}

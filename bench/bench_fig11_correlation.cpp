@@ -1,0 +1,134 @@
+// Reproduces paper Fig 11: exploiting sensor-data correlation.
+//  (a) reconstruction error of grouped sensor readings under the three
+//      grouping strategies (random / by floor / by center distance).
+//  (b) end-to-end network throughput for a mixed deployment — some sensors
+//      near the base station (individual Choir collisions), some far
+//      (team transmissions) — for ALOHA / Oracle / Choir.
+#include <iostream>
+
+#include "channel/collision.hpp"
+#include "core/collision_decoder.hpp"
+#include "core/team_decoder.hpp"
+#include "lora/frame.hpp"
+#include "sensing/field.hpp"
+#include "sensing/grouping.hpp"
+#include "sim/network.hpp"
+#include "util/args.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace choir;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 13)));
+
+  // ---- Fig 11(a): grouping strategy vs error -----------------------------
+  {
+    sensing::BuildingModel model;
+    const sensing::SensorField field(model, 31);
+    const auto sensors = sensing::place_sensors(model, 120, rng);
+    std::vector<double> temps, hums;
+    for (const auto& s : sensors) {
+      const auto smp = field.sample(s);
+      temps.push_back(smp.temperature_c);
+      hums.push_back(smp.humidity_rh);
+    }
+    sensing::ResolutionParams rp_t{15.0, 35.0, 12};
+    sensing::ResolutionParams rp_h{20.0, 80.0, 12};
+
+    Table t("Fig 11(a): reconstruction error by grouping strategy (teams of 6)",
+            {"strategy", "humidity err", "temperature err"});
+    for (auto strat :
+         {sensing::GroupingStrategy::kRandom, sensing::GroupingStrategy::kByFloor,
+          sensing::GroupingStrategy::kByCenterDistance}) {
+      double eh = 0.0, et = 0.0;
+      const int reps = 6;
+      for (int rep = 0; rep < reps; ++rep) {
+        const auto groups = sensing::make_groups(sensors, field, strat, 6, rng);
+        eh += sensing::grouping_error(hums, groups, rp_h);
+        et += sensing::grouping_error(temps, groups, rp_t);
+      }
+      t.add_row({std::string(sensing::grouping_name(strat)), eh / reps,
+                 et / reps});
+    }
+    t.print(std::cout);
+  }
+
+  // ---- Fig 11(b): end-to-end throughput, mixed near + far sensors --------
+  // Near sensors: the density scenario (individual packets, collisions
+  // resolved by Choir). Far sensors: one team slot per round delivering a
+  // shared reading. Baselines cannot use the far sensors at all (beyond
+  // range) and pay the full collision cost for the near ones.
+  {
+    lora::PhyParams phy;
+    phy.sf = static_cast<int>(args.get_int("sf", 7));
+    const std::size_t near_users = 5;
+    const std::size_t far_team = 15;
+    const std::size_t payload = 8;
+    const double duration = args.get_double("duration", 1.5);
+
+    Table t("Fig 11(b): end-to-end throughput, near + beyond-range sensors (bits/s)",
+            {"scheme", "near thpt", "team thpt", "total"});
+    for (sim::MacScheme mac :
+         {sim::MacScheme::kAloha, sim::MacScheme::kOracle,
+          sim::MacScheme::kChoir}) {
+      sim::NetworkConfig cfg;
+      cfg.phy = phy;
+      cfg.mac = mac;
+      cfg.n_users = near_users;
+      cfg.sim_duration_s = duration;
+      cfg.payload_bytes = payload;
+      cfg.seed = 77;
+      Rng srng(cfg.seed);
+      cfg.user_snr_db.clear();
+      for (std::size_t u = 0; u < near_users; ++u)
+        cfg.user_snr_db.push_back(srng.uniform(8.0, 22.0));
+      const auto near_m = run_network(cfg);
+
+      // Team slots: only Choir can schedule and decode them. The far
+      // sensors drop to the lowest data rate (rate adaptation), as the
+      // paper's range experiments do.
+      double team_thpt = 0.0;
+      if (mac == sim::MacScheme::kChoir) {
+        lora::PhyParams team_phy = phy;
+        team_phy.sf = 10;
+        const double air = lora::frame_airtime_s(payload, phy);
+        const double team_air = lora::frame_airtime_s(payload, team_phy);
+        const double slot = air + 0.004;
+        channel::OscillatorModel osc;
+        int rounds = 0, ok = 0;
+        for (double tm = 0.0; tm + team_air <= duration; tm += 6 * slot) {
+          ++rounds;  // a scheduled team slot every few rounds
+          std::vector<std::uint8_t> data(payload);
+          for (auto& b : data)
+            b = static_cast<std::uint8_t>(srng.uniform_int(0, 255));
+          std::vector<channel::TxInstance> txs(far_team);
+          for (auto& tx : txs) {
+            tx.phy = team_phy;
+            tx.payload = data;
+            tx.hw = channel::DeviceHardware::sample(osc, srng);
+            tx.snr_db = -20.0;  // well below even the SF10 decoding floor
+            tx.fading.kind = channel::FadingKind::kRician;
+          }
+          channel::RenderOptions ropt;
+          ropt.osc = osc;
+          const auto cap = render_collision(txs, ropt, srng);
+          core::TeamDecoder dec(team_phy);
+          const auto res = dec.decode(cap.samples, 0, team_phy.chips());
+          if (res.detected && res.crc_ok && res.payload == data) ++ok;
+        }
+        team_thpt = rounds > 0
+                        ? static_cast<double>(ok) * payload * 8.0 / duration
+                        : 0.0;
+      }
+      t.add_row({std::string(sim::mac_name(mac)), near_m.throughput_bps,
+                 team_thpt, near_m.throughput_bps + team_thpt});
+    }
+    t.print(std::cout);
+    std::cout << "(paper: Choir gains 29.3x over ALOHA and 5.6x over Oracle "
+                 "end to end;\n baselines receive nothing at all from the "
+                 "beyond-range team)\n";
+  }
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Reproduces paper Fig 12: Choir vs uplink MU-MIMO on a 3-antenna base
+// station, 5 concurrent users. Series: ALOHA and Oracle (1 antenna),
+// genie-aided zero-forcing MU-MIMO (3 antennas), Choir (1 antenna), and
+// Choir fused across all 3 antennas.
+#include <iostream>
+
+#include "core/collision_decoder.hpp"
+#include "lora/frame.hpp"
+#include "mimo/array_channel.hpp"
+#include "mimo/zf_receiver.hpp"
+#include "sim/network.hpp"
+#include "util/args.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace choir;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  lora::PhyParams phy;
+  phy.sf = static_cast<int>(args.get_int("sf", 7));
+  const std::size_t users = 5;
+  const std::size_t antennas = 3;
+  const std::size_t payload = 8;
+  const int rounds = static_cast<int>(args.get_int("rounds", 24));
+  const double duration_per_round =
+      lora::frame_airtime_s(payload, phy) + 0.004;
+
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 12)));
+  channel::OscillatorModel osc;
+
+  // Per-user SNRs drawn once (static deployment).
+  std::vector<double> snrs(users);
+  for (auto& s : snrs) s = rng.uniform(8.0, 22.0);
+  std::vector<channel::DeviceHardware> fleet(users);
+  for (auto& hw : fleet) hw = channel::DeviceHardware::sample(osc, rng);
+
+  // Slotted concurrent rounds for the multi-user schemes; per-round
+  // delivery counts convert to throughput.
+  int zf_ok = 0, choir1_ok = 0, choir3_ok = 0;
+  for (int round = 0; round < rounds; ++round) {
+    std::vector<channel::TxInstance> txs(users);
+    std::vector<std::vector<std::uint8_t>> payloads(users);
+    for (std::size_t u = 0; u < users; ++u) {
+      payloads[u].resize(payload);
+      for (auto& b : payloads[u])
+        b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      txs[u].phy = phy;
+      txs[u].payload = payloads[u];
+      txs[u].hw = fleet[u].packet_instance(osc, rng);
+      txs[u].snr_db = snrs[u];
+      txs[u].fading.kind = channel::FadingKind::kRayleigh;
+    }
+    channel::RenderOptions ropt;
+    ropt.osc = osc;
+    const auto cap = mimo::render_collision_array(txs, antennas, ropt, rng);
+
+    // MU-MIMO (3 antennas, genie channels).
+    mimo::ZfReceiver zf(phy);
+    for (const auto& s : zf.decode(cap, 0)) {
+      if (!s.demod.crc_ok) continue;
+      for (const auto& p : payloads) {
+        if (s.demod.payload == p) {
+          ++zf_ok;
+          break;
+        }
+      }
+    }
+    // Choir, single antenna.
+    core::CollisionDecoder dec(phy);
+    for (const auto& du : dec.decode(cap.antennas[0], 0)) {
+      if (!du.crc_ok) continue;
+      for (const auto& p : payloads) {
+        if (du.payload == p) {
+          ++choir1_ok;
+          break;
+        }
+      }
+    }
+    // Choir fused across all antennas.
+    for (const auto& fu : mimo::choir_multi_antenna_decode(cap, phy, 0)) {
+      if (!fu.crc_ok) continue;
+      for (const auto& p : payloads) {
+        if (fu.payload == p) {
+          ++choir3_ok;
+          break;
+        }
+      }
+    }
+  }
+  const double total_s = rounds * duration_per_round;
+  auto thpt = [&](int ok) {
+    return static_cast<double>(ok) * payload * 8.0 / total_s;
+  };
+
+  // Single-antenna baselines from the network simulator.
+  auto run_baseline = [&](sim::MacScheme mac) {
+    sim::NetworkConfig cfg;
+    cfg.phy = phy;
+    cfg.mac = mac;
+    cfg.n_users = users;
+    cfg.sim_duration_s = total_s;
+    cfg.payload_bytes = payload;
+    cfg.user_snr_db = snrs;
+    cfg.seed = 21;
+    return run_network(cfg).throughput_bps;
+  };
+
+  Table t("Fig 12: throughput with a 3-antenna base station, 5 users (bits/s)",
+          {"scheme", "antennas", "throughput"});
+  t.add_row({std::string("ALOHA"), 1.0, run_baseline(sim::MacScheme::kAloha)});
+  t.add_row({std::string("Oracle"), 1.0, run_baseline(sim::MacScheme::kOracle)});
+  t.add_row({std::string("MU-MIMO (ZF, genie)"), 3.0, thpt(zf_ok)});
+  t.add_row({std::string("Choir"), 1.0, thpt(choir1_ok)});
+  t.add_row({std::string("Choir + MU-MIMO"), 3.0, thpt(choir3_ok)});
+  t.print(std::cout);
+  std::cout << "(paper: MU-MIMO caps at 3 of 5 users; single-antenna Choir "
+               "already exceeds it\n and fusing 3 antennas extends the gain "
+               "further)\n";
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Reproduces paper Fig 3: the spectrogram/FFT view of two collided chirps —
+// two distinct dechirped peaks separated by the difference of the users'
+// aggregate hardware offsets — and the role of zero-padding in exposing the
+// fractional separation (Fig 3(d)). Also runs the near-far ablation for the
+// phased-SIC design choice of Sec. 5.2.
+#include <cstdio>
+#include <iostream>
+
+#include "channel/collision.hpp"
+#include "core/offset_estimator.hpp"
+#include "dsp/chirp.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/peaks.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+using namespace choir;
+
+namespace {
+
+// Dechirped padded spectrum of the first preamble window of a capture.
+cvec preamble_spectrum(const channel::RenderedCapture& cap,
+                       const lora::PhyParams& phy, std::size_t oversample) {
+  const std::size_t n = phy.chips();
+  cvec win(cap.samples.begin(), cap.samples.begin() + static_cast<std::ptrdiff_t>(n));
+  const cvec down = dsp::base_downchirp(n);
+  dsp::dechirp(win, down);
+  return dsp::fft_padded(win, n * oversample);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  lora::PhyParams phy;
+  phy.sf = static_cast<int>(args.get_int("sf", 8));
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 3)));
+
+  channel::OscillatorModel osc;
+  
+  osc.cfo_drift_hz_per_symbol = 0.0;
+
+  // Two equal-power colliding transmitters sending identical preambles.
+  std::vector<channel::TxInstance> txs(2);
+  for (auto& tx : txs) {
+    tx.phy = phy;
+    tx.payload = {0x55, 0xAA, 0x01};
+    tx.hw = channel::DeviceHardware::sample(osc, rng);
+    tx.snr_db = 15.0;
+    tx.fading.kind = channel::FadingKind::kNone;
+  }
+  channel::RenderOptions ropt;
+  ropt.osc = osc;
+  const auto cap = channel::render_collision(txs, ropt, rng);
+
+  // Fig 3(c): unpadded FFT — integer-bin peaks only.
+  {
+    const cvec spec1 = preamble_spectrum(cap, phy, 1);
+    dsp::PeakFindOptions popt;
+    popt.threshold = 4.0 * dsp::noise_floor(spec1);
+    popt.min_separation = 1.0;
+    popt.max_peaks = 2;
+    const auto peaks = dsp::find_peaks(spec1, popt);
+
+    Table t("Fig 3(c): collided preamble, unpadded FFT (integer bins)",
+            {"peak", "bin", "true offset (bins)"});
+    for (std::size_t i = 0; i < peaks.size(); ++i) {
+      t.add_row({std::string("#") + std::to_string(i + 1),
+                 std::round(peaks[i].bin),
+                 cap.users[i].aggregate_offset_bins});
+    }
+    t.print(std::cout);
+  }
+
+  // Fig 3(d): 16x zero-padding — fractional peak positions appear.
+  {
+    const std::size_t osf = 16;
+    const cvec spec = preamble_spectrum(cap, phy, osf);
+    dsp::PeakFindOptions popt;
+    popt.threshold = 4.0 * dsp::noise_floor(spec);
+    popt.min_separation = 0.7 * static_cast<double>(osf);
+    popt.max_peaks = 2;
+    const auto peaks = dsp::find_peaks(spec, popt);
+
+    Table t("Fig 3(d): zero-padded FFT exposes fractional offsets",
+            {"peak", "fine bin", "bins (fractional)"});
+    for (std::size_t i = 0; i < peaks.size(); ++i) {
+      t.add_row({std::string("#") + std::to_string(i + 1), peaks[i].bin,
+                 peaks[i].bin / static_cast<double>(osf)});
+    }
+    t.print(std::cout);
+  }
+
+  // Near-far ablation (Sec 5.2): a strong user 25 dB above a weak one.
+  // Plain peak detection misses the weak user; phased SIC recovers it.
+  {
+    Table t("Sec 5.2 ablation: near-far recovery via phased SIC",
+            {"weak SNR (dB)", "plain-peaks found", "phased-SIC found",
+             "weak offset err (bins)"});
+    for (double weak_snr : {5.0, 0.0, -3.0}) {
+      Rng trial_rng(77);
+      std::vector<channel::TxInstance> nf(2);
+      for (auto& tx : nf) {
+        tx.phy = phy;
+        tx.payload = {1, 2, 3};
+        tx.hw = channel::DeviceHardware::sample(osc, trial_rng);
+        tx.fading.kind = channel::FadingKind::kNone;
+      }
+      nf[0].snr_db = 25.0;
+      nf[1].snr_db = weak_snr;
+      const auto nf_cap = channel::render_collision(nf, ropt, trial_rng);
+
+      // Plain: one-shot peak detection on the accumulated spectrum.
+      const std::size_t n = phy.chips();
+      const cvec down = dsp::base_downchirp(n);
+      std::vector<cvec> windows;
+      for (int k = 0; k < phy.preamble_len; ++k) {
+        cvec w(nf_cap.samples.begin() + static_cast<std::ptrdiff_t>(k * n),
+               nf_cap.samples.begin() + static_cast<std::ptrdiff_t>((k + 1) * n));
+        dsp::dechirp(w, down);
+        windows.push_back(std::move(w));
+      }
+      // "Plain" ablation: a single tone allowed — no successive
+      // cancellation, so the weak user must be visible in the raw
+      // accumulated spectrum or it is lost.
+      core::EstimatorOptions plain;
+      plain.max_users = 1;
+      core::OffsetEstimator plain_est(phy, plain);
+      const auto plain_users = plain_est.estimate(windows);
+
+      core::EstimatorOptions sic;  // full greedy-SIC estimation
+      core::OffsetEstimator sic_est(phy, sic);
+      const auto sic_users = sic_est.estimate(windows);
+
+      double weak_err = -1.0;
+      for (const auto& u : sic_users) {
+        const double d = std::abs(u.offset_bins -
+                                  nf_cap.users[1].aggregate_offset_bins);
+        const double err = std::min(d, static_cast<double>(n) - d);
+        if (weak_err < 0.0 || err < weak_err) weak_err = err;
+      }
+      t.add_row({weak_snr, static_cast<double>(plain_users.size()),
+                 static_cast<double>(sic_users.size()), weak_err});
+    }
+    t.print(std::cout);
+  }
+  return 0;
+}

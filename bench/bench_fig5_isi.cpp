@@ -1,0 +1,109 @@
+// Reproduces paper Fig 5: inter-symbol interference under large timing
+// offsets. When two users' symbol boundaries straddle the receiver's
+// windows, adjacent windows share peak values; Choir reports each value
+// once (the de-duplication rule) and still recovers both streams.
+#include <cmath>
+#include <iostream>
+
+#include "channel/collision.hpp"
+#include "core/collision_decoder.hpp"
+#include "dsp/chirp.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/peaks.hpp"
+#include "lora/frame.hpp"
+#include "util/args.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace choir;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  lora::PhyParams phy;
+  phy.sf = static_cast<int>(args.get_int("sf", 8));
+  const std::size_t n = phy.chips();
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 5)));
+
+  // Large offsets: tens of samples, the regime of Fig 5 (the ISI ghost of
+  // the previous symbol carries a significant energy fraction tau/N).
+  channel::OscillatorModel osc;
+  osc.cfo_drift_hz_per_symbol = 0.0;
+  osc.max_timing_offset_s = 3e-4;  // up to ~37 samples at 125 kHz
+
+  std::vector<channel::TxInstance> txs(2);
+  for (auto& tx : txs) {
+    tx.phy = phy;
+    tx.payload.resize(8);
+    for (auto& b : tx.payload)
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    tx.hw = channel::DeviceHardware::sample(osc, rng);
+    tx.snr_db = 18.0;
+    tx.fading.kind = channel::FadingKind::kNone;
+  }
+  channel::RenderOptions ropt;
+  ropt.osc = osc;
+  const auto cap = channel::render_collision(txs, ropt, rng);
+
+  // Show the raw Fig-5 phenomenon: peaks per data window, with values
+  // shared between adjacent windows.
+  {
+    const cvec down = dsp::base_downchirp(n);
+    const std::size_t data_start =
+        static_cast<std::size_t>(phy.preamble_len + phy.sfd_len) * n;
+    Table t("Fig 5: per-window dechirped peaks under large timing offsets",
+            {"window", "peaks (bin@mag)"});
+    for (std::size_t j = 0; j < 6; ++j) {
+      cvec w(cap.samples.begin() +
+                 static_cast<std::ptrdiff_t>(data_start + j * n),
+             cap.samples.begin() +
+                 static_cast<std::ptrdiff_t>(data_start + (j + 1) * n));
+      dsp::dechirp(w, down);
+      const cvec spec = dsp::fft_padded(w, 16 * n);
+      dsp::PeakFindOptions popt;
+      popt.threshold = 4.0 * dsp::noise_floor(spec);
+      popt.min_separation = 8.0;
+      popt.max_peaks = 4;
+      std::string peaks;
+      for (const auto& p : dsp::find_peaks(spec, popt)) {
+        char buf[48];
+        std::snprintf(buf, sizeof(buf), "%.1f@%.0f ", p.bin / 16.0,
+                      p.magnitude);
+        peaks += buf;
+      }
+      t.add_row({static_cast<double>(j), peaks});
+    }
+    t.print(std::cout);
+  }
+
+  // End-to-end: decode with and without the ISI de-duplication rule.
+  Table t("ISI de-duplication ablation (symbol errors per user)",
+          {"mode", "user A errors", "user B errors", "crc ok"});
+  for (bool dedup : {false, true}) {
+    core::CollisionDecoderOptions opt;
+    opt.max_timing_samples = 45.0;
+    opt.isi_dedup = dedup;
+    opt.isi_dedup_min_tau = 8.0;
+    core::CollisionDecoder dec(phy, opt);
+    const auto users = dec.decode(cap.samples, 0);
+    std::vector<double> errs;
+    int crc = 0;
+    for (const auto& tx : txs) {
+      const auto truth = lora::build_frame_symbols(tx.payload, phy);
+      int best_err = 1 << 20;
+      for (const auto& du : users) {
+        int e = 0;
+        for (std::size_t s = 0; s < truth.size() && s < du.symbols.size();
+             ++s) {
+          if (truth[s] != du.symbols[s]) ++e;
+        }
+        best_err = std::min(best_err, e);
+        if (du.crc_ok && du.payload == tx.payload) ++crc;
+      }
+      errs.push_back(best_err);
+    }
+    t.add_row({std::string(dedup ? "with dedup" : "without"), errs[0],
+               errs[1], static_cast<double>(crc)});
+  }
+  t.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,126 @@
+// Reproduces paper Fig 7: characterization of hardware offsets across 30
+// LoRaWAN nodes.
+//  (a) CDF of the aggregate CFO+TO offset (fractional part, as observed by
+//      the receiver) — approximately uniform.
+//  (b) CDF of the CFO component alone — approximately uniform over its
+//      range.
+//  (c) stability: stddev of the relative timing offset within a packet
+//      across SNR regimes.
+//  (d) stability: stddev of the estimated CFO+TO within a packet across
+//      SNR regimes.
+#include <cmath>
+#include <iostream>
+
+#include "channel/collision.hpp"
+#include "dsp/chirp.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/fold_tone.hpp"
+#include "dsp/peaks.hpp"
+#include "lora/demodulator.hpp"
+#include "util/args.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace choir;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  lora::PhyParams phy;
+  phy.sf = static_cast<int>(args.get_int("sf", 8));
+  phy.preamble_len = 10;
+  const std::size_t n = phy.chips();
+  const int n_nodes = static_cast<int>(args.get_int("nodes", 30));
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 7)));
+
+  channel::OscillatorModel osc;  // default drift: the measured quantity
+
+  // --- (a)-(b): diversity of offsets across nodes -------------------------
+  std::vector<double> agg_frac, cfo_hz;
+  std::vector<channel::DeviceHardware> fleet;
+  for (int i = 0; i < n_nodes; ++i) {
+    const auto hw = channel::DeviceHardware::sample(osc, rng);
+    fleet.push_back(hw);
+    const double agg =
+        hw.aggregate_offset_bins(phy.bin_width_hz(), phy.sample_rate_hz());
+    agg_frac.push_back((agg - std::floor(agg)) * phy.bin_width_hz());
+    cfo_hz.push_back(hw.cfo_hz);
+  }
+  {
+    Table t("Fig 7(a): CDF of observed CFO+TO (fractional part, Hz)",
+            {"percentile", "observed (Hz)", "ideal uniform (Hz)"});
+    for (double p : {10.0, 25.0, 50.0, 75.0, 90.0}) {
+      t.add_row({p, percentile(agg_frac, p), p / 100.0 * phy.bin_width_hz()});
+    }
+    t.print(std::cout);
+  }
+  {
+    Table t("Fig 7(b): CDF of observed frequency offset (Hz)",
+            {"percentile", "observed (Hz)", "ideal uniform (Hz)"});
+    for (double p : {10.0, 25.0, 50.0, 75.0, 90.0}) {
+      t.add_row({p, percentile(cfo_hz, p),
+                 -osc.max_cfo_hz + p / 100.0 * 2.0 * osc.max_cfo_hz});
+    }
+    t.print(std::cout);
+  }
+
+  // --- (c)-(d): stability within a packet across SNR ---------------------
+  // Transmit packets and measure per-symbol offsets: the per-symbol scatter
+  // of the timing estimate (c) and of the aggregate offset (d).
+  Table tc("Fig 7(c): stddev of relative timing offset within a packet",
+           {"SNR regime", "stdev TO (s)", "relative to symbol (%)"});
+  Table td("Fig 7(d): stddev of CFO+TO within a packet",
+           {"SNR regime", "stdev CFO+TO (Hz)", "relative to bin (%)"});
+  struct Regime {
+    const char* name;
+    double snr;
+  };
+  for (const Regime r : {Regime{"Low", 2.0}, Regime{"Medium", 12.0},
+                         Regime{"High", 25.0}}) {
+    std::vector<double> to_scatter_s, agg_scatter_hz;
+    for (int trial = 0; trial < 10; ++trial) {
+      channel::TxInstance tx;
+      tx.phy = phy;
+      tx.payload = {1, 2, 3, 4, 5, 6, 7, 8};
+      tx.hw = fleet[static_cast<std::size_t>(trial) % fleet.size()]
+                  .packet_instance(osc, rng);
+      tx.snr_db = r.snr;
+      tx.fading.kind = channel::FadingKind::kNone;
+      channel::RenderOptions ropt;
+      ropt.osc = osc;
+      const auto cap = channel::render_collision({tx}, ropt, rng);
+
+      // Per-symbol aggregate offset from each preamble window.
+      const cvec down = dsp::base_downchirp(n);
+      std::vector<double> per_sym_bins;
+      for (int k = 1; k < phy.preamble_len; ++k) {
+        cvec w(cap.samples.begin() + static_cast<std::ptrdiff_t>(
+                                         static_cast<std::size_t>(k) * n),
+               cap.samples.begin() + static_cast<std::ptrdiff_t>(
+                                         static_cast<std::size_t>(k + 1) * n));
+        dsp::dechirp(w, down);
+        const cvec spec = dsp::fft_padded(w, 16 * n);
+        dsp::PeakFindOptions popt;
+        popt.max_peaks = 1;
+        const auto peaks = dsp::find_peaks(spec, popt);
+        if (!peaks.empty()) per_sym_bins.push_back(peaks[0].bin / 16.0);
+      }
+      if (per_sym_bins.size() < 4) continue;
+      agg_scatter_hz.push_back(stddev(per_sym_bins) * phy.bin_width_hz());
+
+      // Timing scatter: one bin of aggregate-offset motion equals one
+      // sample of timing (the chirp duality), so the per-symbol scatter in
+      // bins converts to seconds via the sample rate.
+      to_scatter_s.push_back(stddev(per_sym_bins) / phy.sample_rate_hz());
+    }
+    tc.add_row({std::string(r.name), mean(to_scatter_s),
+                mean(to_scatter_s) / phy.symbol_duration_s() * 100.0});
+    td.add_row({std::string(r.name), mean(agg_scatter_hz),
+                mean(agg_scatter_hz) / phy.bin_width_hz() * 100.0});
+  }
+  tc.print(std::cout);
+  td.print(std::cout);
+  std::cout << "(paper: mean errors ~1.84% of a symbol for TO and ~0.04% of "
+               "a subcarrier for CFO+TO)\n";
+  return 0;
+}

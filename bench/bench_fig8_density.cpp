@@ -1,0 +1,118 @@
+// Reproduces paper Fig 8: disentangling collisions in dense networks.
+//  (a)-(c): 2 users across Low/Medium/High SNR regimes — network
+//           throughput, latency per packet, transmissions per packet, for
+//           ALOHA / Oracle / Choir.
+//  (d)-(f): 2..10 concurrent users — the same metrics plus the Ideal
+//           parallel-decoding bound.
+//
+// The adjudication is full-IQ: every episode/round is rendered through the
+// collision channel and decoded by the real receivers (see sim/network).
+#include <iostream>
+
+#include "sim/network.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+using namespace choir;
+using sim::MacScheme;
+
+namespace {
+
+sim::NetworkConfig base_config(const Args& args) {
+  sim::NetworkConfig cfg;
+  cfg.phy.sf = static_cast<int>(args.get_int("sf", 8));
+  cfg.phy.bandwidth_hz = 125e3;
+  cfg.payload_bytes = static_cast<std::size_t>(args.get_int("payload", 8));
+  cfg.sim_duration_s = args.get_double("duration", 2.0);
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  return cfg;
+}
+
+std::vector<double> snr_draw(std::size_t n, double lo, double hi,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out(n);
+  for (auto& s : out) s = rng.uniform(lo, hi);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+
+  // ---- Fig 8(a)-(c): two users, SNR regimes ------------------------------
+  {
+    Table ta("Fig 8(a): network throughput vs SNR regime, 2 users (bits/s)",
+             {"SNR", "ALOHA", "Oracle", "Choir"});
+    Table tb("Fig 8(b): latency per packet vs SNR regime, 2 users (s)",
+             {"SNR", "ALOHA", "Oracle", "Choir"});
+    Table tcn("Fig 8(c): transmissions per packet vs SNR regime, 2 users",
+              {"SNR", "ALOHA", "Oracle", "Choir"});
+    struct Regime {
+      const char* name;
+      double lo, hi;
+    };
+    for (const Regime r : {Regime{"Low", 0.0, 5.0}, Regime{"Medium", 5.0, 20.0},
+                           Regime{"High", 20.0, 30.0}}) {
+      std::vector<double> thr, lat, txp;
+      for (MacScheme mac :
+           {MacScheme::kAloha, MacScheme::kOracle, MacScheme::kChoir}) {
+        sim::NetworkConfig cfg = base_config(args);
+        cfg.mac = mac;
+        cfg.n_users = 2;
+        cfg.user_snr_db = snr_draw(2, r.lo, r.hi, cfg.seed + 17);
+        const auto m = run_network(cfg);
+        thr.push_back(m.throughput_bps);
+        lat.push_back(m.mean_latency_s);
+        txp.push_back(m.tx_per_packet);
+      }
+      ta.add_row({std::string(r.name), thr[0], thr[1], thr[2]});
+      tb.add_row({std::string(r.name), lat[0], lat[1], lat[2]});
+      tcn.add_row({std::string(r.name), txp[0], txp[1], txp[2]});
+    }
+    ta.print(std::cout);
+    tb.print(std::cout);
+    tcn.print(std::cout);
+  }
+
+  // ---- Fig 8(d)-(f): scaling with concurrent users -----------------------
+  {
+    Table td("Fig 8(d): network throughput vs concurrent users (bits/s)",
+             {"users", "Ideal", "ALOHA", "Oracle", "Choir"});
+    Table te("Fig 8(e): latency per packet vs concurrent users (s)",
+             {"users", "ALOHA", "Oracle", "Choir"});
+    Table tf("Fig 8(f): transmissions per packet vs concurrent users",
+             {"users", "ALOHA", "Oracle", "Choir"});
+    const auto max_users =
+        static_cast<std::size_t>(args.get_int("max_users", 10));
+    for (std::size_t users = 2; users <= max_users; users += 2) {
+      std::vector<double> thr, lat, txp;
+      double ideal = 0.0;
+      for (MacScheme mac :
+           {MacScheme::kAloha, MacScheme::kOracle, MacScheme::kChoir}) {
+        sim::NetworkConfig cfg = base_config(args);
+        cfg.mac = mac;
+        cfg.n_users = users;
+        cfg.user_snr_db = snr_draw(users, 5.0, 25.0, cfg.seed + users);
+        const auto m = run_network(cfg);
+        ideal = sim::ideal_throughput_bps(cfg);
+        thr.push_back(m.throughput_bps);
+        lat.push_back(m.mean_latency_s);
+        txp.push_back(m.tx_per_packet);
+      }
+      td.add_row({static_cast<double>(users), ideal, thr[0], thr[1], thr[2]});
+      te.add_row({static_cast<double>(users), lat[0], lat[1], lat[2]});
+      tf.add_row({static_cast<double>(users), txp[0], txp[1], txp[2]});
+    }
+    td.print(std::cout);
+    te.print(std::cout);
+    tf.print(std::cout);
+    std::cout << "(paper, 10 users: Choir gains 6.84x throughput over "
+                 "Oracle and 29x over ALOHA;\n latency drops 4.88x and "
+                 "transmissions 4.54x — expect matching *shapes*: Choir "
+                 "scales\n near-linearly while Oracle stays flat and ALOHA "
+                 "collapses)\n";
+  }
+  return 0;
+}

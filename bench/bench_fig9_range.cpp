@@ -1,0 +1,122 @@
+// Reproduces paper Fig 9: extending LP-WAN range with sensor teams.
+//  (a) throughput of teams of identical-data transmitters whose members are
+//      individually beyond decoding range, vs team size.
+//  (b) maximum distance at which a team's data is decodable, vs team size
+//      (paper: 1 km alone -> 2.65 km with 30 nodes).
+#include <cmath>
+#include <iostream>
+
+#include "channel/collision.hpp"
+#include "channel/pathloss.hpp"
+#include "core/team_decoder.hpp"
+#include "lora/frame.hpp"
+#include "util/args.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace choir;
+
+namespace {
+
+// Fraction of team transmissions decoded correctly at a per-member SNR.
+double team_delivery(const lora::PhyParams& phy, std::size_t members,
+                     double snr_db, int trials, Rng& rng) {
+  channel::OscillatorModel osc;
+  int ok = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<std::uint8_t> payload(6);
+    for (auto& b : payload)
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    std::vector<channel::TxInstance> txs(members);
+    for (auto& tx : txs) {
+      tx.phy = phy;
+      tx.payload = payload;  // identical data: Sec. 7 premise
+      tx.hw = channel::DeviceHardware::sample(osc, rng);
+      tx.snr_db = snr_db;
+      tx.fading.kind = channel::FadingKind::kRician;
+      tx.fading.rician_k_db = 6.0;
+    }
+    channel::RenderOptions ropt;
+    ropt.osc = osc;
+    const auto cap = render_collision(txs, ropt, rng);
+    core::TeamDecoder dec(phy);
+    const auto res = dec.decode(cap.samples, 0, phy.chips());
+    if (res.detected && res.crc_ok && res.payload == payload) ++ok;
+  }
+  return static_cast<double>(ok) / trials;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  lora::PhyParams phy;
+  // The paper runs range experiments at the lowest data rate; SF10 keeps
+  // runtimes modest while spreading hardware offsets across enough bins
+  // for 30-member teams (see DESIGN.md).
+  phy.sf = static_cast<int>(args.get_int("sf", 10));
+  const int trials = static_cast<int>(args.get_int("trials", 6));
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 9)));
+
+  channel::UrbanPathLoss pl;
+  channel::LinkBudget budget;
+
+  // Calibrate "beyond range": single-client decode limit.
+  double solo_range_m = 100.0;
+  for (double d = 100.0; d < 4000.0; d += 50.0) {
+    if (budget.median_snr_db(d, pl) <
+        channel::lora_demod_floor_snr_db(phy.sf)) {
+      break;
+    }
+    solo_range_m = d;
+  }
+
+  // ---- Fig 9(a): team throughput vs team size at a fixed far distance ----
+  {
+    const double dist = args.get_double("distance", 1.5 * solo_range_m);
+    const double snr = budget.median_snr_db(dist, pl);
+    const double airtime = lora::frame_airtime_s(6, phy);
+    Table t("Fig 9(a): throughput vs team size (identical data, beyond solo range)",
+            {"# transmitters", "delivery rate", "throughput (bits/s)"});
+    for (std::size_t members : {1u, 4u, 8u, 14u, 20u, 26u, 30u}) {
+      const double rate = team_delivery(phy, members, snr, trials, rng);
+      t.add_row({static_cast<double>(members), rate,
+                 rate * 6.0 * 8.0 / airtime});
+    }
+    t.print(std::cout);
+    std::cout << "(members sit at " << format_number(dist) << " m, SNR "
+              << format_number(snr) << " dB — individually undecodable; "
+              << "solo range is " << format_number(solo_range_m) << " m)\n\n";
+  }
+
+  // ---- Fig 9(b): maximum reach vs team size ------------------------------
+  {
+    Table t("Fig 9(b): maximum decodable distance vs team size",
+            {"# transmitters", "max distance (m)", "gain over solo"});
+    for (std::size_t members : {1u, 5u, 10u, 20u, 30u}) {
+      // March outward until the team can no longer deliver a majority of
+      // packets.
+      double reach = 0.0;
+      for (double d = solo_range_m * 0.8; d <= 3.2 * solo_range_m;
+           d *= 1.1) {
+        const double snr = budget.median_snr_db(d, pl);
+        const double rate = team_delivery(phy, members, snr,
+                                          std::max(3, trials / 2), rng);
+        if (rate >= 0.5) {
+          reach = d;
+        } else if (reach > 0.0) {
+          break;
+        }
+      }
+      t.add_row({static_cast<double>(members), reach,
+                 reach > 0 ? reach / solo_range_m : 0.0});
+    }
+    t.print(std::cout);
+    std::cout << "(paper: 1 km solo -> 2.65 km with 30 collaborating nodes, "
+                 "a 2.65x gain;\n the power-sum model predicts M^(1/"
+              << format_number(pl.exponent)
+              << ") — about " << format_number(std::pow(30.0, 1.0 / pl.exponent))
+              << "x for 30 nodes)\n";
+  }
+  return 0;
+}

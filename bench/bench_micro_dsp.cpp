@@ -1,0 +1,105 @@
+// Microbenchmarks (google-benchmark) for the receiver's hot loops: FFTs,
+// dechirping, fold-aware correlation, the residual evaluator, and the full
+// collision decode.
+#include <benchmark/benchmark.h>
+
+#include "channel/collision.hpp"
+#include "core/collision_decoder.hpp"
+#include "core/residual.hpp"
+#include "dsp/chirp.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/fold_tone.hpp"
+#include "util/rng.hpp"
+
+using namespace choir;
+
+namespace {
+
+cvec random_signal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  cvec out(n);
+  for (auto& s : out) s = rng.cgaussian(1.0);
+  return out;
+}
+
+void BM_Fft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  cvec sig = random_signal(n, 1);
+  for (auto _ : state) {
+    cvec work = sig;
+    dsp::plan_for(n).forward(work);
+    benchmark::DoNotOptimize(work.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_Fft)->Arg(256)->Arg(2048)->Arg(4096)->Arg(65536);
+
+void BM_DechirpAndPaddedFft(benchmark::State& state) {
+  const std::size_t n = 256;
+  const cvec sig = random_signal(n, 2);
+  const cvec down = dsp::base_downchirp(n);
+  for (auto _ : state) {
+    cvec w = sig;
+    dsp::dechirp(w, down);
+    const cvec spec = dsp::fft_padded(w, 16 * n);
+    benchmark::DoNotOptimize(spec.data());
+  }
+}
+BENCHMARK(BM_DechirpAndPaddedFft);
+
+void BM_FoldArgmaxFull(benchmark::State& state) {
+  const std::size_t n = 256;
+  const cvec sig = random_signal(n, 3);
+  for (auto _ : state) {
+    const auto r = dsp::fold_argmax(sig, 3.7, 1.2);
+    benchmark::DoNotOptimize(r.symbol);
+  }
+}
+BENCHMARK(BM_FoldArgmaxFull);
+
+void BM_ResidualEvaluatorTry(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  std::vector<cvec> windows;
+  for (int w = 0; w < 6; ++w) windows.push_back(random_signal(256, 10 + w));
+  std::vector<double> offsets;
+  for (std::size_t i = 0; i < k; ++i)
+    offsets.push_back(3.0 + 2.3 * static_cast<double>(i));
+  core::ToneResidualEvaluator eval(windows, offsets);
+  double x = 3.0;
+  for (auto _ : state) {
+    x += 0.001;
+    benchmark::DoNotOptimize(eval.try_coordinate(0, x));
+    if (x > 3.4) x = 3.0;
+  }
+}
+BENCHMARK(BM_ResidualEvaluatorTry)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_CollisionDecode(benchmark::State& state) {
+  const auto users = static_cast<std::size_t>(state.range(0));
+  lora::PhyParams phy;
+  phy.sf = 8;
+  Rng rng(4);
+  channel::OscillatorModel osc;
+  std::vector<channel::TxInstance> txs(users);
+  for (std::size_t i = 0; i < users; ++i) {
+    txs[i].phy = phy;
+    txs[i].payload = {1, 2, 3, 4, 5, 6, 7, 8};
+    txs[i].hw = channel::DeviceHardware::sample(osc, rng);
+    txs[i].snr_db = 10.0 + static_cast<double>(i);
+    txs[i].fading.kind = channel::FadingKind::kNone;
+  }
+  channel::RenderOptions ropt;
+  ropt.osc = osc;
+  const auto cap = render_collision(txs, ropt, rng);
+  core::CollisionDecoder dec(phy);
+  for (auto _ : state) {
+    const auto decoded = dec.decode(cap.samples, 0);
+    benchmark::DoNotOptimize(decoded.size());
+  }
+}
+BENCHMARK(BM_CollisionDecode)->Arg(2)->Arg(5)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Dense-network example: the paper's motivating scenario (Sec. 1).
+//
+// A base station serves a saturated cluster of sensors that all want to
+// talk at once. Runs the same workload under standard LoRaWAN ALOHA, the
+// genie TDMA scheduler, and Choir's concurrent beacon rounds, and prints
+// the throughput / latency / retransmission comparison.
+//
+// Usage: dense_network [--users=N] [--sf=SF] [--duration=SECONDS]
+#include <cstdio>
+#include <iostream>
+
+#include "sim/network.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+using namespace choir;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const auto users = static_cast<std::size_t>(args.get_int("users", 6));
+  const double duration = args.get_double("duration", 1.5);
+
+  sim::NetworkConfig cfg;
+  cfg.phy.sf = static_cast<int>(args.get_int("sf", 8));
+  cfg.n_users = users;
+  cfg.sim_duration_s = duration;
+  cfg.payload_bytes = 8;
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 2024));
+
+  // Node SNRs as they would fall out of an urban deployment: a mix of
+  // close and distant clients.
+  Rng rng(cfg.seed);
+  cfg.user_snr_db.clear();
+  for (std::size_t u = 0; u < users; ++u) {
+    cfg.user_snr_db.push_back(rng.uniform(6.0, 24.0));
+  }
+
+  std::printf("Simulating %zu saturated LP-WAN clients at SF%d for %.1f s "
+              "of air time...\n\n",
+              users, cfg.phy.sf, duration);
+
+  Table t("Dense network: MAC comparison",
+          {"scheme", "throughput (bits/s)", "latency (s)", "tx/packet",
+           "delivered"});
+  for (sim::MacScheme mac :
+       {sim::MacScheme::kAloha, sim::MacScheme::kOracle,
+        sim::MacScheme::kChoir}) {
+    cfg.mac = mac;
+    const auto m = run_network(cfg);
+    t.add_row({std::string(sim::mac_name(mac)), m.throughput_bps,
+               m.mean_latency_s, m.tx_per_packet,
+               static_cast<double>(m.delivered)});
+  }
+  t.print(std::cout);
+  std::cout << "Choir decodes the concurrent rounds that defeat ALOHA, and\n"
+               "packs several users into each slot the Oracle must serialize.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Quickstart: modulate a LoRa frame, push it through the urban channel, and
+// decode it with the standard single-user receiver. Then collide two
+// transmitters and disentangle them with Choir.
+#include <cstdio>
+#include <string>
+
+#include "channel/collision.hpp"
+#include "core/collision_decoder.hpp"
+#include "lora/demodulator.hpp"
+#include "lora/modulator.hpp"
+#include "util/rng.hpp"
+
+using namespace choir;
+
+int main() {
+  lora::PhyParams phy;
+  phy.sf = 8;
+  phy.bandwidth_hz = 125e3;
+  phy.cr = 3;
+
+  Rng rng(42);
+  channel::OscillatorModel osc;
+  
+
+  // --- Single link -------------------------------------------------------
+  {
+    channel::TxInstance tx;
+    tx.phy = phy;
+    tx.payload = {'h', 'e', 'l', 'l', 'o', ' ', 'l', 'p', 'w', 'a', 'n'};
+    tx.hw = channel::DeviceHardware::sample(osc, rng);
+    tx.snr_db = 10.0;
+    tx.fading.kind = channel::FadingKind::kNone;
+
+    channel::RenderOptions ropt;
+    ropt.osc = osc;
+    const auto cap = channel::render_collision({tx}, ropt, rng);
+
+    lora::Demodulator demod(phy);
+    const auto res = demod.demodulate(cap.samples);
+    std::printf("single link: detected=%d crc_ok=%d payload=\"%s\" "
+                "offset=%.3f bins, snr=%.1f dB\n",
+                res.detected, res.crc_ok,
+                std::string(res.payload.begin(), res.payload.end()).c_str(),
+                res.offset_bins, res.snr_db);
+  }
+
+  // --- Two colliding transmitters -----------------------------------------
+  {
+    std::vector<channel::TxInstance> txs(2);
+    const char* msgs[2] = {"sensor-A: 21.5C", "sensor-B: 23.1C"};
+    for (int i = 0; i < 2; ++i) {
+      txs[i].phy = phy;
+      const std::string m = msgs[i];
+      txs[i].payload.assign(m.begin(), m.end());
+      txs[i].hw = channel::DeviceHardware::sample(osc, rng);
+      txs[i].snr_db = 12.0;
+      txs[i].fading.kind = channel::FadingKind::kNone;
+    }
+    channel::RenderOptions ropt;
+    ropt.osc = osc;
+    const auto cap = channel::render_collision(txs, ropt, rng);
+
+    core::CollisionDecoder decoder(phy);
+    const auto users = decoder.decode(cap.samples, 0);
+    std::printf("collision: %zu users separated\n", users.size());
+    for (const auto& u : users) {
+      std::printf("  offset=%.3f bins  crc_ok=%d  payload=\"%s\"\n",
+                  u.est.offset_bins, u.crc_ok,
+                  std::string(u.payload.begin(), u.payload.end()).c_str());
+    }
+  }
+  return 0;
+}

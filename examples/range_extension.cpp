@@ -1,0 +1,113 @@
+// Range-extension example (paper Sec. 7): a building full of temperature
+// sensors sits beyond the base station's decoding range. Individually the
+// sensors are invisible; transmitting *together*, with the readings they
+// agree on, the base station recovers a coarse picture of the building.
+//
+// Usage: range_extension [--team=N] [--distance=METERS]
+#include <cstdio>
+#include <iostream>
+
+#include "channel/collision.hpp"
+#include "channel/pathloss.hpp"
+#include "core/team_decoder.hpp"
+#include "core/team_scheduler.hpp"
+#include "lora/demodulator.hpp"
+#include "sensing/field.hpp"
+#include "util/args.hpp"
+#include "util/rng.hpp"
+
+using namespace choir;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  lora::PhyParams phy;
+  phy.sf = static_cast<int>(args.get_int("sf", 10));
+  const auto team_size = static_cast<std::size_t>(args.get_int("team", 20));
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 3)));
+
+  // A building ~35% past the solo decoding range.
+  channel::UrbanPathLoss pl;
+  channel::LinkBudget budget;
+  double solo_range = 100.0;
+  while (budget.median_snr_db(solo_range + 50.0, pl) >=
+         channel::lora_demod_floor_snr_db(phy.sf)) {
+    solo_range += 50.0;
+  }
+  const double distance = args.get_double("distance", 1.35 * solo_range);
+  const double snr = budget.median_snr_db(distance, pl);
+  std::printf("Solo decoding range: ~%.0f m. Building at %.0f m "
+              "(per-sensor SNR %.1f dB).\n\n",
+              solo_range, distance, snr);
+
+  // Sensors measure the field; the team transmits the reading they share.
+  sensing::BuildingModel model;
+  const sensing::SensorField field(model, 5);
+  // A co-located cluster (one room on one floor): these are the sensors
+  // whose readings genuinely overlap.
+  std::vector<sensing::PlacedSensor> sensors;
+  for (std::size_t i = 0; i < team_size; ++i) {
+    sensing::PlacedSensor s;
+    s.id = i;
+    s.x_m = 70.0 + rng.uniform(-2.0, 2.0);
+    s.y_m = 30.0 + rng.uniform(-2.0, 2.0);
+    s.floor = 2;
+    sensors.push_back(s);
+  }
+  std::vector<double> temps;
+  double truth_mean = 0.0;
+  for (const auto& s : sensors) {
+    const double temp = field.sample(s).temperature_c;
+    truth_mean += temp / static_cast<double>(sensors.size());
+    temps.push_back(temp);
+  }
+  const auto shared = sensing::team_shared_reading(temps, 15.0, 35.0, 12);
+  std::printf("Sensors agree on %d of 12 MSBs -> shared reading %.2f C "
+              "(true mean %.2f C)\n\n",
+              shared.prefix_bits, shared.value, truth_mean);
+
+  // The shared reading goes on the air as the team's (identical) payload.
+  const auto q = sensing::quantize_reading(shared.value, 15.0, 35.0, 12);
+  std::vector<std::uint8_t> payload = {
+      static_cast<std::uint8_t>(q & 0xFF),
+      static_cast<std::uint8_t>((q >> 8) & 0xFF),
+      static_cast<std::uint8_t>(shared.prefix_bits)};
+
+  channel::OscillatorModel osc;
+  std::vector<channel::TxInstance> txs(team_size);
+  for (auto& tx : txs) {
+    tx.phy = phy;
+    tx.payload = payload;
+    tx.hw = channel::DeviceHardware::sample(osc, rng);
+    tx.snr_db = snr;
+    tx.fading.kind = channel::FadingKind::kRician;
+  }
+  channel::RenderOptions ropt;
+  ropt.osc = osc;
+  const auto cap = render_collision(txs, ropt, rng);
+
+  // A standard receiver sees nothing...
+  lora::Demodulator standard(phy);
+  const auto std_res = standard.demodulate(cap.samples);
+  std::printf("Standard LoRa receiver: %s\n",
+              std_res.detected ? "detected something (lucky fade)"
+                               : "nothing detected");
+
+  // ...Choir's team decoder accumulates the preamble and decodes.
+  core::TeamDecoder team(phy);
+  const auto res = team.decode(cap.samples, 0, phy.chips());
+  if (res.detected && res.crc_ok) {
+    const auto got = static_cast<std::uint32_t>(res.payload[0] |
+                                                (res.payload[1] << 8));
+    std::printf("Choir team decoder:    decoded %zu components, CRC ok\n",
+                res.offsets.size());
+    std::printf("  shared reading: %.2f C (%d MSBs) — building is reachable "
+                "again\n",
+                sensing::dequantize_reading(got, 15.0, 35.0, 12),
+                res.payload[2]);
+  } else {
+    std::printf("Choir team decoder:    detected=%d crc=%d (team too small "
+                "for this distance — try --team=%zu)\n",
+                res.detected, res.crc_ok, team_size * 2);
+  }
+  return 0;
+}

@@ -1,0 +1,179 @@
+// Smart-city example: the end-to-end system of the paper's vision (Sec. 1)
+// over the full testbed geometry of Fig 6(b).
+//
+// One base station at the center of a 3.4 km x 3.2 km urban area serves a
+// mixed fleet of sensors. The base station:
+//   1. surveys the fleet's long-run SNRs,
+//   2. plans which sensors transmit individually and which form teams
+//      (core/team_scheduler),
+//   3. runs beacon rounds: individual sensors collide freely and are
+//      disentangled by the CollisionDecoder; scheduled teams are recovered
+//      by the TeamDecoder,
+//   4. reports the fraction of the fleet it can now hear.
+//
+// Usage: smart_city [--sensors=N] [--rounds=N]
+#include <cstdio>
+#include <iostream>
+
+#include "channel/collision.hpp"
+#include "core/collision_decoder.hpp"
+#include "core/team_decoder.hpp"
+#include "core/team_scheduler.hpp"
+#include "sim/testbed.hpp"
+#include "util/args.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace choir;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  lora::PhyParams phy;
+  phy.sf = static_cast<int>(args.get_int("sf", 10));
+  const auto n_sensors = static_cast<std::size_t>(args.get_int("sensors", 30));
+  (void)n_sensors;
+  const int rounds = static_cast<int>(args.get_int("rounds", 3));
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+
+  // --- 1. survey the deployment ------------------------------------------
+  sim::TestbedConfig tb;
+  // Sensors cluster into buildings (five or so per structure) — the spatial
+  // arrangement that makes correlated team transmissions possible.
+  const std::size_t per_building = 5;
+  auto nodes = sim::sample_clustered_testbed(
+      tb, (n_sensors + per_building - 1) / per_building, per_building, 40.0,
+      rng);
+  // One structure sits near the tower (a campus building): its sensors are
+  // individually decodable and exercise the collision-decoding path.
+  {
+    const auto near = sim::sample_ring(tb, per_building, 450.0, rng);
+    for (std::size_t i = 0; i < per_building && i < nodes.size(); ++i) {
+      const std::size_t keep_id = nodes[i].id;
+      nodes[i] = near[i];
+      nodes[i].id = keep_id;
+    }
+  }
+  std::vector<core::SensorInfo> infos;
+  for (const auto& nd : nodes) {
+    infos.push_back({nd.id, nd.snr_db, nd.x_m, nd.y_m});
+  }
+  const std::size_t total_sensors = nodes.size();
+
+  // --- 2. plan teams -------------------------------------------------------
+  core::TeamPlanOptions plan_opt;
+  plan_opt.individual_floor_db = channel::lora_demod_floor_snr_db(phy.sf) + 3.0;
+  plan_opt.team_target_db = plan_opt.individual_floor_db + 2.0;
+  plan_opt.proximity_m = 150.0;
+  const auto plan = core::plan_teams(infos, plan_opt);
+  std::printf("Deployment over %.1f x %.1f km: %zu sensors\n",
+              tb.area_width_m / 1000.0, tb.area_height_m / 1000.0,
+              total_sensors);
+  std::printf("  individual: %zu   teams: %zu   unreachable: %zu\n\n",
+              plan.individual.size(), plan.teams.size(),
+              plan.unreachable.size());
+
+  // --- 3. beacon rounds ----------------------------------------------------
+  channel::OscillatorModel osc;
+  std::vector<channel::DeviceHardware> fleet(total_sensors);
+  for (auto& hw : fleet) hw = channel::DeviceHardware::sample(osc, rng);
+
+  std::size_t indiv_delivered = 0, indiv_offered = 0;
+  std::size_t team_delivered = 0, team_offered = 0;
+  for (int round = 0; round < rounds; ++round) {
+    // Individual slot: a subset of individual sensors answers concurrently.
+    {
+      std::vector<std::size_t> talkers;
+      for (std::size_t id : plan.individual) {
+        if (rng.chance(0.4)) talkers.push_back(id);
+      }
+      if (talkers.size() > 8) talkers.resize(8);
+      if (!talkers.empty()) {
+        std::vector<channel::TxInstance> txs;
+        std::vector<std::vector<std::uint8_t>> payloads;
+        for (std::size_t id : talkers) {
+          channel::TxInstance tx;
+          tx.phy = phy;
+          tx.payload = {static_cast<std::uint8_t>(id),
+                        static_cast<std::uint8_t>(round),
+                        static_cast<std::uint8_t>(rng.uniform_int(0, 255)),
+                        static_cast<std::uint8_t>(rng.uniform_int(0, 255))};
+          payloads.push_back(tx.payload);
+          tx.hw = fleet[id].packet_instance(osc, rng);
+          tx.snr_db = infos[id].snr_db;
+          tx.fading.kind = channel::FadingKind::kRician;
+          txs.push_back(std::move(tx));
+        }
+        channel::RenderOptions ropt;
+        ropt.osc = osc;
+        const auto cap = render_collision(txs, ropt, rng);
+        core::CollisionDecoder dec(phy);
+        const auto decoded = dec.decode(cap.samples, 0);
+        indiv_offered += talkers.size();
+        for (const auto& p : payloads) {
+          for (const auto& du : decoded) {
+            if (du.crc_ok && du.payload == p) {
+              ++indiv_delivered;
+              break;
+            }
+          }
+        }
+      }
+    }
+    // Team slots: each planned team answers its own beacon slot.
+    for (const auto& team : plan.teams) {
+      std::vector<std::uint8_t> shared = {
+          static_cast<std::uint8_t>(team.front()),
+          static_cast<std::uint8_t>(round), 0x5A, 0xA5};
+      std::vector<channel::TxInstance> txs;
+      for (std::size_t id : team) {
+        channel::TxInstance tx;
+        tx.phy = phy;
+        tx.payload = shared;
+        tx.hw = fleet[id].packet_instance(osc, rng);
+        tx.snr_db = infos[id].snr_db;
+        tx.fading.kind = channel::FadingKind::kRician;
+        txs.push_back(std::move(tx));
+      }
+      channel::RenderOptions ropt;
+      ropt.osc = osc;
+      const auto cap = render_collision(txs, ropt, rng);
+      core::TeamDecoder dec(phy);
+      const auto res = dec.decode(cap.samples, 0, phy.chips());
+      ++team_offered;
+      if (res.detected && res.crc_ok && res.payload == shared) {
+        ++team_delivered;
+      }
+    }
+  }
+
+  // --- 4. report -----------------------------------------------------------
+  Table t("Smart-city rounds", {"slot type", "offered", "delivered", "rate"});
+  t.add_row({std::string("individual (collisions)"),
+             static_cast<double>(indiv_offered),
+             static_cast<double>(indiv_delivered),
+             indiv_offered ? static_cast<double>(indiv_delivered) /
+                                 static_cast<double>(indiv_offered)
+                           : 0.0});
+  t.add_row({std::string("teams (beyond range)"),
+             static_cast<double>(team_offered),
+             static_cast<double>(team_delivered),
+             team_offered ? static_cast<double>(team_delivered) /
+                                static_cast<double>(team_offered)
+                          : 0.0});
+  t.print(std::cout);
+
+  const std::size_t heard =
+      plan.individual.size() +
+      (team_offered
+           ? plan.teams.size() * team_delivered / std::max<std::size_t>(1, team_offered)
+           : 0) *
+          0;  // conservative: count sensors, not packets
+  std::size_t team_sensors = 0;
+  for (const auto& team : plan.teams) team_sensors += team.size();
+  std::printf("Coverage: %zu sensors individually decodable; %zu more reach "
+              "the base station\nonly through team transmissions (%zu remain "
+              "out of reach).\n",
+              plan.individual.size(), team_sensors, plan.unreachable.size());
+  (void)heard;
+  return 0;
+}

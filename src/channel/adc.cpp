@@ -1,0 +1,29 @@
+#include "channel/adc.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace choir::channel {
+
+double quantize(cvec& samples, const AdcModel& model) {
+  if (model.bits < 2 || model.bits > 24)
+    throw std::invalid_argument("quantize: bits");
+  double fs = model.full_scale;
+  if (fs <= 0.0) {
+    for (const cplx& s : samples) {
+      fs = std::max({fs, std::abs(s.real()), std::abs(s.imag())});
+    }
+    if (fs <= 0.0) return 0.0;
+  }
+  const double levels = static_cast<double>(std::size_t{1} << (model.bits - 1));
+  const double step = fs / levels;
+  auto q = [&](double v) {
+    const double clipped = std::clamp(v, -fs, fs - step);
+    return (std::floor(clipped / step) + 0.5) * step;
+  };
+  for (cplx& s : samples) s = {q(s.real()), q(s.imag())};
+  return step;
+}
+
+}  // namespace choir::channel

@@ -1,0 +1,25 @@
+// Analog-to-digital conversion model.
+//
+// The paper notes Choir is "always limited by the resolution of the
+// analog-to-digital converter": transmitters below the ADC's quantization
+// floor are lost no matter what the decoder does (Sec. 5.2). This module
+// models a uniform mid-rise quantizer with clipping, applied after AGC
+// normalization to the strongest in-band signal.
+#pragma once
+
+#include <cstddef>
+
+#include "util/types.hpp"
+
+namespace choir::channel {
+
+struct AdcModel {
+  int bits = 12;            ///< bits per I/Q rail (USRP N210: 14; we default
+                            ///< lower to model a cheap gateway front end)
+  double full_scale = 0.0;  ///< clip level; 0 = auto (AGC to peak amplitude)
+};
+
+/// Quantizes a capture in place. Returns the LSB step used.
+double quantize(cvec& samples, const AdcModel& model);
+
+}  // namespace choir::channel

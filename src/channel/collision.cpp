@@ -1,0 +1,72 @@
+#include "channel/collision.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "channel/pathloss.hpp"
+
+namespace choir::channel {
+
+RenderedCapture render_collision(const std::vector<TxInstance>& txs,
+                                 const RenderOptions& opt, Rng& rng) {
+  if (txs.empty()) throw std::invalid_argument("render_collision: no txs");
+  const double fs = txs.front().phy.sample_rate_hz();
+  for (const auto& tx : txs) {
+    if (tx.phy.sample_rate_hz() != fs)
+      throw std::invalid_argument("render_collision: mixed sample rates");
+  }
+
+  RenderedCapture cap;
+  cap.sample_rate_hz = fs;
+
+  // First pass: synthesize each user's waveform and find the capture length.
+  std::vector<cvec> waves;
+  waves.reserve(txs.size());
+  std::size_t total_len = 0;
+  for (const auto& tx : txs) {
+    const double delay_samples =
+        (tx.extra_delay_s + tx.hw.timing_offset_s) * fs;
+    if (delay_samples < 0.0)
+      throw std::invalid_argument("render_collision: negative delay");
+    lora::Modulator mod(tx.phy);
+    cvec wave = mod.synthesize(tx.payload, delay_samples);
+
+    RenderedUser ru;
+    ru.delay_samples = delay_samples;
+    ru.cfo_hz = tx.hw.cfo_hz;
+    ru.phase = tx.hw.phase;
+    ru.amplitude = snr_db_to_amplitude(tx.snr_db);
+    ru.fading = sample_fading(tx.fading, rng);
+    ru.first_sample = static_cast<std::size_t>(std::floor(delay_samples));
+    const double bin_hz = tx.phy.bin_width_hz();
+    const double n = static_cast<double>(tx.phy.chips());
+    double agg = tx.hw.cfo_hz / bin_hz - delay_samples;
+    agg = std::fmod(std::fmod(agg, n) + n, n);
+    ru.aggregate_offset_bins = agg;
+
+    apply_cfo(wave, tx.hw.cfo_hz, tx.hw.phase, fs,
+              opt.osc.cfo_drift_hz_per_symbol, tx.phy.chips(), rng);
+    const cplx gain = ru.amplitude * ru.fading;
+    for (auto& s : wave) s *= gain;
+
+    total_len = std::max(total_len, wave.size());
+    waves.push_back(std::move(wave));
+    cap.users.push_back(ru);
+  }
+  total_len += static_cast<std::size_t>(opt.tail_s * fs);
+
+  cap.samples.assign(total_len, cplx{0.0, 0.0});
+  for (const cvec& w : waves) {
+    for (std::size_t i = 0; i < w.size(); ++i) cap.samples[i] += w[i];
+  }
+  if (opt.add_noise) {
+    for (auto& s : cap.samples) s += rng.cgaussian(1.0);
+  }
+  if (opt.adc) {
+    quantize(cap.samples, *opt.adc);
+  }
+  return cap;
+}
+
+}  // namespace choir::channel

@@ -1,0 +1,63 @@
+// Collision channel: renders the superposition of several LoRa
+// transmissions — each with its own hardware offsets, link gain and fading —
+// into one complex-baseband capture at the base station, plus AWGN and an
+// optional ADC stage. This is the synthetic stand-in for the USRP N210
+// front end of the paper's testbed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "channel/adc.hpp"
+#include "channel/fading.hpp"
+#include "channel/oscillator.hpp"
+#include "lora/modulator.hpp"
+#include "lora/params.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace choir::channel {
+
+/// One scheduled transmission entering the channel.
+struct TxInstance {
+  lora::PhyParams phy;
+  std::vector<std::uint8_t> payload;
+  DeviceHardware hw;        ///< per-packet hardware realization
+  double snr_db = 20.0;     ///< mean per-sample SNR at the receiver
+  FadingModel fading{};     ///< small-scale fading model for this link
+  double extra_delay_s = 0.0;  ///< MAC-level start offset within the capture
+};
+
+/// Ground truth for one rendered transmission (consumed by tests/benches).
+struct RenderedUser {
+  double delay_samples = 0.0;   ///< total fractional start delay
+  double cfo_hz = 0.0;
+  double amplitude = 0.0;       ///< mean amplitude (pre-fading), noise = 1
+  cplx fading{1.0, 0.0};
+  double phase = 0.0;
+  /// Aggregate offset in bins the receiver should observe:
+  /// cfo/bin_width - delay_in_samples (mod N).
+  double aggregate_offset_bins = 0.0;
+  std::size_t first_sample = 0;  ///< integer sample index where energy starts
+};
+
+struct RenderedCapture {
+  cvec samples;
+  std::vector<RenderedUser> users;
+  double sample_rate_hz = 0.0;
+};
+
+struct RenderOptions {
+  OscillatorModel osc{};
+  bool add_noise = true;       ///< unit-variance complex AWGN
+  double tail_s = 0.0;         ///< extra silence after the last frame
+  std::optional<AdcModel> adc; ///< quantize the capture if set
+};
+
+/// Renders all transmissions into one capture. All TxInstances must share
+/// the same sample rate (bandwidth).
+RenderedCapture render_collision(const std::vector<TxInstance>& txs,
+                                 const RenderOptions& opt, Rng& rng);
+
+}  // namespace choir::channel

@@ -1,0 +1,25 @@
+#include "channel/fading.hpp"
+
+#include <cmath>
+
+#include "util/db.hpp"
+
+namespace choir::channel {
+
+cplx sample_fading(const FadingModel& model, Rng& rng) {
+  switch (model.kind) {
+    case FadingKind::kNone:
+      return {1.0, 0.0};
+    case FadingKind::kRayleigh:
+      return rng.cgaussian(1.0);
+    case FadingKind::kRician: {
+      const double k = db_to_linear(model.rician_k_db);
+      const cplx scattered = rng.cgaussian(1.0 / (k + 1.0));
+      const double los_amp = std::sqrt(k / (k + 1.0));
+      return cplx{los_amp, 0.0} * cis(rng.phase()) + scattered;
+    }
+  }
+  return {1.0, 0.0};
+}
+
+}  // namespace choir::channel

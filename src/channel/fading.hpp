@@ -1,0 +1,24 @@
+// Small-scale fading: per-packet flat fading coefficients.
+//
+// LoRa symbols are long (ms) and narrowband, so within one packet the
+// channel is well modelled as a single complex coefficient per link
+// (flat, block fading). Urban NLOS links draw Rayleigh; links with a
+// dominant path draw Rician with configurable K-factor.
+#pragma once
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace choir::channel {
+
+enum class FadingKind { kNone, kRayleigh, kRician };
+
+struct FadingModel {
+  FadingKind kind = FadingKind::kRayleigh;
+  double rician_k_db = 6.0;  ///< dominant-to-scattered power ratio
+};
+
+/// Draws a unit-mean-power complex fading coefficient.
+cplx sample_fading(const FadingModel& model, Rng& rng);
+
+}  // namespace choir::channel

@@ -1,0 +1,46 @@
+#include "channel/oscillator.hpp"
+
+#include <cmath>
+
+namespace choir::channel {
+
+DeviceHardware DeviceHardware::sample(const OscillatorModel& model, Rng& rng) {
+  DeviceHardware hw;
+  hw.cfo_hz = rng.uniform(-model.max_cfo_hz, model.max_cfo_hz);
+  hw.timing_offset_s = rng.uniform(0.0, model.max_timing_offset_s);
+  hw.phase = rng.phase();
+  return hw;
+}
+
+DeviceHardware DeviceHardware::packet_instance(const OscillatorModel& model,
+                                               Rng& rng) const {
+  DeviceHardware hw = *this;
+  hw.timing_offset_s += rng.gaussian(model.timing_jitter_s);
+  if (hw.timing_offset_s < 0.0) hw.timing_offset_s = 0.0;
+  hw.phase = rng.phase();  // carrier phase is arbitrary per packet
+  return hw;
+}
+
+void apply_cfo(cvec& samples, double cfo_hz, double phase,
+               double sample_rate_hz, double drift_hz_per_symbol,
+               std::size_t samples_per_symbol, Rng& rng) {
+  double freq = cfo_hz;
+  double acc = phase;  // accumulated phase, radians
+  const double dt = 1.0 / sample_rate_hz;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (drift_hz_per_symbol > 0.0 && samples_per_symbol > 0 &&
+        i % samples_per_symbol == 0 && i != 0) {
+      freq += rng.gaussian(drift_hz_per_symbol);
+    }
+    samples[i] *= cis(acc);
+    acc += kTwoPi * freq * dt;
+  }
+}
+
+void apply_cfo(cvec& samples, double cfo_hz, double phase,
+               double sample_rate_hz) {
+  Rng dummy(0);
+  apply_cfo(samples, cfo_hz, phase, sample_rate_hz, 0.0, 0, dummy);
+}
+
+}  // namespace choir::channel

@@ -1,0 +1,70 @@
+// Hardware-imperfection model for low-cost LP-WAN client radios.
+//
+// Choir's entire receiver rests on two empirical properties of cheap LoRa
+// hardware (paper Sec. 9.1, Fig 7):
+//  (1) carrier-frequency offsets and sub-symbol timing offsets are *diverse*
+//      across devices — approximately uniform over their range, and
+//  (2) they are *stable* within one packet (~10 ms): measured relative error
+//      about 0.04% for CFO+TO and 1.84% for TO.
+// This module samples per-device offsets with exactly those two properties
+// and models the small intra-packet drift.
+#pragma once
+
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace choir::channel {
+
+struct OscillatorModel {
+  /// CFO drawn uniformly in [-max_cfo_hz, +max_cfo_hz]. Relative offsets
+  /// between same-batch crystals are small compared to the LoRa bandwidth
+  /// but span several FFT bins — the regime Fig 7(b) reports.
+  double max_cfo_hz = 4000.0;
+  /// Sub-symbol timing offset (seconds) drawn uniformly in [0, max].
+  /// Beacon-coordinated responders stay well under one symbol (Sec. 7.1);
+  /// the paper's Fig 7(c) measures relative offsets of a few tens of
+  /// microseconds against ~10 ms symbols. At 125 kHz sampling the default
+  /// spans 0..5 samples — a fraction of a percent of an SF10+ symbol.
+  double max_timing_offset_s = 4e-5;
+  /// Std-dev of the slow CFO random walk, in Hz per symbol. Default keeps
+  /// intra-packet drift at the sub-0.1% level Fig 7(d) measures.
+  double cfo_drift_hz_per_symbol = 0.25;
+  /// Std-dev of per-packet timing jitter relative to the nominal offset,
+  /// in seconds (clock granularity of the MCU scheduling the response).
+  double timing_jitter_s = 2e-6;
+};
+
+/// The sampled imperfections of one physical device. The per-device values
+/// persist across packets (they are properties of the crystal); per-packet
+/// jitter is added at transmission time.
+struct DeviceHardware {
+  double cfo_hz = 0.0;
+  double timing_offset_s = 0.0;
+  double phase = 0.0;  ///< carrier phase offset, uniform [0, 2*pi)
+
+  static DeviceHardware sample(const OscillatorModel& model, Rng& rng);
+
+  /// Per-packet realization: nominal values plus jitter/drift start point.
+  DeviceHardware packet_instance(const OscillatorModel& model, Rng& rng) const;
+
+  /// Aggregate offset in FFT bins: a timing offset of one sample shifts the
+  /// dechirped tone by exactly one bin (chirp time-frequency duality,
+  /// Eqn 5), so the aggregate is cfo/bin_width - timing_in_samples. This is
+  /// the quantity Fig 7(a) characterizes and the receiver estimates.
+  double aggregate_offset_bins(double bin_hz, double sample_rate_hz) const {
+    return cfo_hz / bin_hz - timing_offset_s * sample_rate_hz;
+  }
+};
+
+/// Applies a (possibly drifting) carrier frequency offset and phase to a
+/// waveform in place. Drift is a Gaussian random walk on the instantaneous
+/// frequency, stepped once per `samples_per_symbol` samples.
+void apply_cfo(cvec& samples, double cfo_hz, double phase,
+               double sample_rate_hz, double drift_hz_per_symbol,
+               std::size_t samples_per_symbol, Rng& rng);
+
+/// Convenience overload without drift.
+void apply_cfo(cvec& samples, double cfo_hz, double phase,
+               double sample_rate_hz);
+
+}  // namespace choir::channel

@@ -1,0 +1,43 @@
+#include "channel/pathloss.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/db.hpp"
+
+namespace choir::channel {
+
+double UrbanPathLoss::median_loss_db(double distance_m) const {
+  if (distance_m < 1.0) distance_m = 1.0;
+  return reference_loss_db + 10.0 * exponent * std::log10(distance_m);
+}
+
+double UrbanPathLoss::sample_loss_db(double distance_m, Rng& rng) const {
+  return median_loss_db(distance_m) + rng.gaussian(shadowing_std_db);
+}
+
+double LinkBudget::noise_dbm() const {
+  return -174.0 + 10.0 * std::log10(bandwidth_hz) + noise_figure_db;
+}
+
+double LinkBudget::median_snr_db(double distance_m,
+                                 const UrbanPathLoss& pl) const {
+  return tx_power_dbm - pl.median_loss_db(distance_m) - noise_dbm();
+}
+
+double LinkBudget::sample_snr_db(double distance_m, const UrbanPathLoss& pl,
+                                 Rng& rng) const {
+  return tx_power_dbm - pl.sample_loss_db(distance_m, rng) - noise_dbm();
+}
+
+double snr_db_to_amplitude(double snr_db) {
+  return db_to_amplitude(snr_db);
+}
+
+double lora_demod_floor_snr_db(int sf) {
+  if (sf < 6 || sf > 12) throw std::invalid_argument("demod floor: sf");
+  // SF7 -> -7.5 dB ... SF12 -> -20 dB, 2.5 dB per step.
+  return -7.5 - 2.5 * static_cast<double>(sf - 7);
+}
+
+}  // namespace choir::channel

@@ -1,0 +1,51 @@
+// Urban propagation: log-distance path loss with shadowing, and the link
+// budget that converts distance to receiver SNR.
+//
+// The constants are calibrated so that a 14 dBm LoRa client at SF12/125 kHz
+// reaches about 1 km in the urban model — matching the paper's observation
+// that individual clients were decodable no further than ~1 km around CMU
+// campus (Sec. 9.3).
+#pragma once
+
+#include "util/rng.hpp"
+
+namespace choir::channel {
+
+struct UrbanPathLoss {
+  double reference_loss_db = 40.0;  ///< loss at d0 = 1 m, ~900 MHz
+  double exponent = 3.8;            ///< dense-urban slope
+  double shadowing_std_db = 6.0;    ///< log-normal shadowing
+
+  /// Deterministic (median) path loss at `distance_m` >= 1.
+  double median_loss_db(double distance_m) const;
+
+  /// Path loss with a shadowing draw.
+  double sample_loss_db(double distance_m, Rng& rng) const;
+};
+
+struct LinkBudget {
+  double tx_power_dbm = 14.0;   ///< LoRa client EIRP (few tens of mW)
+  double noise_figure_db = 6.0; ///< receiver front end
+  double bandwidth_hz = 125e3;
+
+  /// Thermal noise power in the channel bandwidth.
+  double noise_dbm() const;
+
+  /// Median receiver SNR at a distance.
+  double median_snr_db(double distance_m, const UrbanPathLoss& pl) const;
+
+  /// SNR with a shadowing draw.
+  double sample_snr_db(double distance_m, const UrbanPathLoss& pl,
+                       Rng& rng) const;
+};
+
+/// Amplitude of a unit-power waveform scaled so that, against complex AWGN
+/// of unit variance, the per-sample SNR equals `snr_db`.
+double snr_db_to_amplitude(double snr_db);
+
+/// Minimum demodulation SNR of standard LoRa at a given spreading factor
+/// (SX1276 datasheet-style sensitivity: -7.5 dB at SF7 down to -20 dB at
+/// SF12, in 2.5 dB steps).
+double lora_demod_floor_snr_db(int sf);
+
+}  // namespace choir::channel

@@ -1,0 +1,173 @@
+#include "cluster/constrained_kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/types.hpp"
+
+namespace choir::cluster {
+
+namespace {
+
+double dim_delta(double a, double b, bool circular) {
+  double d = a - b;
+  if (circular) {
+    d = std::fmod(d + 1.5, 1.0) - 0.5;  // wrap to [-0.5, 0.5)
+  }
+  return d;
+}
+
+// Weighted mean of assigned points per dimension; circular dimensions use
+// the circular mean.
+std::vector<double> centroid_of(const std::vector<std::vector<double>>& pts,
+                                const std::vector<int>& assign, int cluster,
+                                const FeatureSpec& spec, std::size_t dims) {
+  std::vector<double> c(dims, 0.0);
+  for (std::size_t d = 0; d < dims; ++d) {
+    if (spec.circular[d]) {
+      double sx = 0.0, sy = 0.0;
+      for (std::size_t i = 0; i < pts.size(); ++i) {
+        if (assign[i] != cluster) continue;
+        sx += std::cos(kTwoPi * pts[i][d]);
+        sy += std::sin(kTwoPi * pts[i][d]);
+      }
+      double th = std::atan2(sy, sx);
+      if (th < 0) th += kTwoPi;
+      c[d] = th / kTwoPi;
+    } else {
+      double sum = 0.0;
+      std::size_t n = 0;
+      for (std::size_t i = 0; i < pts.size(); ++i) {
+        if (assign[i] != cluster) continue;
+        sum += pts[i][d];
+        ++n;
+      }
+      c[d] = n > 0 ? sum / static_cast<double>(n) : 0.0;
+    }
+  }
+  return c;
+}
+
+}  // namespace
+
+double feature_distance(const std::vector<double>& a,
+                        const std::vector<double>& b,
+                        const FeatureSpec& spec) {
+  if (a.size() != b.size() || a.size() != spec.circular.size() ||
+      a.size() != spec.weight.size())
+    throw std::invalid_argument("feature_distance: dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t d = 0; d < a.size(); ++d) {
+    const double delta = dim_delta(a[d], b[d], spec.circular[d]);
+    acc += spec.weight[d] * delta * delta;
+  }
+  return acc;
+}
+
+KMeansResult constrained_kmeans(const std::vector<std::vector<double>>& points,
+                                const std::vector<CannotLink>& constraints,
+                                const FeatureSpec& spec,
+                                const KMeansOptions& opt, Rng& rng) {
+  if (points.empty()) throw std::invalid_argument("kmeans: no points");
+  if (opt.k == 0) throw std::invalid_argument("kmeans: k == 0");
+  const std::size_t n = points.size();
+  const std::size_t dims = points.front().size();
+  for (const auto& p : points) {
+    if (p.size() != dims) throw std::invalid_argument("kmeans: ragged points");
+  }
+  for (const auto& c : constraints) {
+    if (c.a >= n || c.b >= n)
+      throw std::invalid_argument("kmeans: constraint index out of range");
+  }
+
+  // Adjacency list of cannot-link partners for the penalty term.
+  std::vector<std::vector<std::size_t>> partners(n);
+  for (const auto& c : constraints) {
+    partners[c.a].push_back(c.b);
+    partners[c.b].push_back(c.a);
+  }
+
+  KMeansResult best;
+  best.objective = std::numeric_limits<double>::infinity();
+
+  for (int restart = 0; restart < std::max(1, opt.restarts); ++restart) {
+    // k-means++ seeding.
+    std::vector<std::vector<double>> centroids;
+    centroids.push_back(points[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(n) - 1))]);
+    while (centroids.size() < opt.k) {
+      std::vector<double> d2(n);
+      double total = 0.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        double m = std::numeric_limits<double>::infinity();
+        for (const auto& c : centroids)
+          m = std::min(m, feature_distance(points[i], c, spec));
+        d2[i] = m;
+        total += m;
+      }
+      std::size_t pick = 0;
+      if (total > 0.0) {
+        double r = rng.uniform(0.0, total);
+        for (; pick + 1 < n && r > d2[pick]; ++pick) r -= d2[pick];
+      } else {
+        pick = static_cast<std::size_t>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+      }
+      centroids.push_back(points[pick]);
+    }
+
+    std::vector<int> assign(n, -1);
+    double objective = 0.0;
+    for (int iter = 0; iter < opt.max_iterations; ++iter) {
+      // ICM assignment: each point picks the cluster minimizing distance
+      // plus the penalty from currently-violated cannot-links.
+      bool changed = false;
+      for (std::size_t i = 0; i < n; ++i) {
+        int best_c = 0;
+        double best_cost = std::numeric_limits<double>::infinity();
+        for (std::size_t c = 0; c < opt.k; ++c) {
+          double cost = feature_distance(points[i], centroids[c], spec);
+          for (std::size_t p : partners[i]) {
+            if (assign[p] == static_cast<int>(c)) cost += opt.cannot_link_penalty;
+          }
+          if (cost < best_cost) {
+            best_cost = cost;
+            best_c = static_cast<int>(c);
+          }
+        }
+        if (assign[i] != best_c) {
+          assign[i] = best_c;
+          changed = true;
+        }
+      }
+      for (std::size_t c = 0; c < opt.k; ++c)
+        centroids[c] = centroid_of(points, assign, static_cast<int>(c), spec, dims);
+      if (!changed) break;
+    }
+
+    // Final objective.
+    objective = 0.0;
+    int violated = 0;
+    for (std::size_t i = 0; i < n; ++i)
+      objective += feature_distance(points[i],
+                                    centroids[static_cast<std::size_t>(assign[i])],
+                                    spec);
+    for (const auto& c : constraints) {
+      if (assign[c.a] == assign[c.b]) {
+        objective += opt.cannot_link_penalty;
+        ++violated;
+      }
+    }
+    if (objective < best.objective) {
+      best.assignment = assign;
+      best.centroids = centroids;
+      best.objective = objective;
+      best.violated_constraints = violated;
+    }
+  }
+  return best;
+}
+
+}  // namespace choir::cluster

@@ -1,0 +1,57 @@
+// Semi-supervised clustering with cannot-link constraints.
+//
+// Choir maps FFT peaks to users within a packet (Sec. 6.2) by clustering
+// (fractional peak offset, channel magnitude, channel phase) observations,
+// with the prior that peaks occurring in the same symbol belong to distinct
+// users. The paper uses an HMRF-based formulation [Basu et al., KDD'04];
+// we implement the same ingredients — k-means objective plus a soft
+// cannot-link penalty, minimized by ICM-style alternating assignment — which
+// is the HMRF-KMeans E-step/M-step specialization for cannot-link-only
+// constraint sets (see DESIGN.md).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace choir::cluster {
+
+struct FeatureSpec {
+  /// Per-dimension: true if the dimension is circular on [0, 1).
+  std::vector<bool> circular;
+  /// Per-dimension weights applied to squared distances.
+  std::vector<double> weight;
+};
+
+struct CannotLink {
+  std::size_t a = 0, b = 0;
+};
+
+struct KMeansOptions {
+  std::size_t k = 2;
+  int max_iterations = 60;
+  int restarts = 6;
+  /// Penalty added to the objective for each violated cannot-link pair.
+  double cannot_link_penalty = 4.0;
+};
+
+struct KMeansResult {
+  std::vector<int> assignment;                 ///< cluster per point
+  std::vector<std::vector<double>> centroids;  ///< k centroids
+  double objective = 0.0;
+  int violated_constraints = 0;
+};
+
+/// Distance between a point and a centroid under the feature spec.
+double feature_distance(const std::vector<double>& a,
+                        const std::vector<double>& b, const FeatureSpec& spec);
+
+/// Runs constrained k-means with k-means++ initialization and multiple
+/// restarts, returning the best (lowest-objective) clustering.
+KMeansResult constrained_kmeans(const std::vector<std::vector<double>>& points,
+                                const std::vector<CannotLink>& constraints,
+                                const FeatureSpec& spec,
+                                const KMeansOptions& opt, Rng& rng);
+
+}  // namespace choir::cluster

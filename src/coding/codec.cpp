@@ -1,0 +1,103 @@
+#include "coding/codec.hpp"
+
+#include <stdexcept>
+
+#include "coding/gray.hpp"
+#include "coding/hamming.hpp"
+#include "coding/interleaver.hpp"
+#include "coding/whitening.hpp"
+
+namespace choir::coding {
+
+namespace {
+
+void check_params(const CodecParams& p) {
+  if (p.sf < 6 || p.sf > 12) throw std::invalid_argument("codec: sf");
+  if (p.cr < 1 || p.cr > 4) throw std::invalid_argument("codec: cr");
+}
+
+std::size_t blocks_for_payload(std::size_t n_bytes, const CodecParams& p) {
+  const std::size_t nibbles = 2 * n_bytes;
+  const std::size_t per_block = static_cast<std::size_t>(p.sf);
+  return (nibbles + per_block - 1) / per_block;
+}
+
+}  // namespace
+
+std::size_t symbols_for_payload(std::size_t n_bytes, const CodecParams& p) {
+  check_params(p);
+  return blocks_for_payload(n_bytes, p) * static_cast<std::size_t>(4 + p.cr);
+}
+
+std::vector<std::uint32_t> encode_payload(const std::vector<std::uint8_t>& bytes,
+                                          const CodecParams& p) {
+  check_params(p);
+  std::vector<std::uint8_t> white = bytes;
+  whiten(white);
+
+  // Split into nibbles, low nibble first.
+  std::vector<std::uint8_t> nibbles;
+  nibbles.reserve(2 * white.size());
+  for (std::uint8_t b : white) {
+    nibbles.push_back(static_cast<std::uint8_t>(b & 0xF));
+    nibbles.push_back(static_cast<std::uint8_t>(b >> 4));
+  }
+  const std::size_t blocks = blocks_for_payload(bytes.size(), p);
+  nibbles.resize(blocks * static_cast<std::size_t>(p.sf), 0);
+
+  std::vector<std::uint32_t> out;
+  out.reserve(symbols_for_payload(bytes.size(), p));
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    std::vector<std::uint8_t> codewords(static_cast<std::size_t>(p.sf));
+    for (int i = 0; i < p.sf; ++i) {
+      codewords[static_cast<std::size_t>(i)] = hamming_encode(
+          nibbles[blk * static_cast<std::size_t>(p.sf) +
+                  static_cast<std::size_t>(i)],
+          p.cr);
+    }
+    for (std::uint32_t g : interleave(codewords, p.sf, p.cr)) {
+      out.push_back(gray_decode(g) & ((1u << p.sf) - 1u));
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> decode_payload(const std::vector<std::uint32_t>& symbols,
+                                         std::size_t n_bytes,
+                                         const CodecParams& p,
+                                         DecodeStats* stats) {
+  check_params(p);
+  const std::size_t expect = symbols_for_payload(n_bytes, p);
+  if (symbols.size() != expect)
+    throw std::invalid_argument("decode_payload: symbol count mismatch");
+  DecodeStats local;
+  const std::size_t blocks = blocks_for_payload(n_bytes, p);
+  const std::size_t syms_per_block = static_cast<std::size_t>(4 + p.cr);
+
+  std::vector<std::uint8_t> nibbles;
+  nibbles.reserve(blocks * static_cast<std::size_t>(p.sf));
+  for (std::size_t blk = 0; blk < blocks; ++blk) {
+    std::vector<std::uint32_t> grays(syms_per_block);
+    for (std::size_t j = 0; j < syms_per_block; ++j) {
+      grays[j] = gray_encode(symbols[blk * syms_per_block + j]) &
+                 ((1u << p.sf) - 1u);
+    }
+    for (std::uint8_t cw : deinterleave(grays, p.sf, p.cr)) {
+      const HammingDecodeResult r = hamming_decode(cw, p.cr);
+      if (r.corrected) ++local.corrected_codewords;
+      if (r.detected_error) ++local.failed_codewords;
+      nibbles.push_back(r.nibble);
+    }
+  }
+
+  std::vector<std::uint8_t> bytes(n_bytes);
+  for (std::size_t i = 0; i < n_bytes; ++i) {
+    bytes[i] = static_cast<std::uint8_t>(nibbles[2 * i] |
+                                         (nibbles[2 * i + 1] << 4));
+  }
+  whiten(bytes);  // un-whiten (involution)
+  if (stats != nullptr) *stats = local;
+  return bytes;
+}
+
+}  // namespace choir::coding

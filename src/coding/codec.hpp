@@ -1,0 +1,43 @@
+// Full LoRa coding chain: bytes <-> chirp symbol values.
+//
+// Transmit direction:
+//   payload bytes -> whitening -> nibbles -> Hamming(4,4+CR) codewords
+//   -> diagonal interleave (blocks of SF codewords -> 4+CR symbols)
+//   -> Gray mapping -> symbol values in [0, 2^SF).
+//
+// The receive direction inverts each stage and reports how many codewords
+// were corrected or flagged as uncorrectable.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace choir::coding {
+
+struct CodecParams {
+  int sf = 7;  ///< spreading factor: bits per symbol, in [6, 12]
+  int cr = 3;  ///< coding rate index: codewords are 4+cr bits, in [1, 4]
+};
+
+struct DecodeStats {
+  int corrected_codewords = 0;
+  int failed_codewords = 0;
+  bool ok() const { return failed_codewords == 0; }
+};
+
+/// Number of chirp symbols needed to carry `n_bytes` of payload.
+std::size_t symbols_for_payload(std::size_t n_bytes, const CodecParams& p);
+
+/// Encodes payload bytes into chirp symbol values (with zero padding to a
+/// whole number of interleaver blocks).
+std::vector<std::uint32_t> encode_payload(const std::vector<std::uint8_t>& bytes,
+                                          const CodecParams& p);
+
+/// Decodes chirp symbol values back into `n_bytes` payload bytes.
+/// `symbols.size()` must equal `symbols_for_payload(n_bytes, p)`.
+std::vector<std::uint8_t> decode_payload(const std::vector<std::uint32_t>& symbols,
+                                         std::size_t n_bytes,
+                                         const CodecParams& p,
+                                         DecodeStats* stats = nullptr);
+
+}  // namespace choir::coding

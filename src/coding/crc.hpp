@@ -1,0 +1,12 @@
+// CRC-16/CCITT payload integrity check, as carried in the LoRa frame.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace choir::coding {
+
+/// CRC-16/CCITT-FALSE: poly 0x1021, init 0xFFFF, no reflection, no xorout.
+std::uint16_t crc16(std::span<const std::uint8_t> data);
+
+}  // namespace choir::coding

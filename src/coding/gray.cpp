@@ -1,0 +1,13 @@
+#include "coding/gray.hpp"
+
+namespace choir::coding {
+
+std::uint32_t gray_encode(std::uint32_t v) { return v ^ (v >> 1); }
+
+std::uint32_t gray_decode(std::uint32_t g) {
+  std::uint32_t v = g;
+  for (std::uint32_t shift = 1; shift < 32; shift <<= 1) v ^= v >> shift;
+  return v;
+}
+
+}  // namespace choir::coding

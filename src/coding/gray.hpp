@@ -1,0 +1,18 @@
+// Gray code mapping.
+//
+// LoRa maps interleaved codeword bits to chirp symbol values through a Gray
+// code so that the most likely demodulation error — an off-by-one FFT bin —
+// corrupts only a single bit, which the Hamming FEC can then repair.
+#pragma once
+
+#include <cstdint>
+
+namespace choir::coding {
+
+/// Binary-reflected Gray encoding of v.
+std::uint32_t gray_encode(std::uint32_t v);
+
+/// Inverse of gray_encode.
+std::uint32_t gray_decode(std::uint32_t g);
+
+}  // namespace choir::coding

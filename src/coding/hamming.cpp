@@ -1,0 +1,117 @@
+#include "coding/hamming.hpp"
+
+#include <stdexcept>
+
+namespace choir::coding {
+
+namespace {
+
+inline int bit(std::uint8_t v, int i) { return (v >> i) & 1; }
+
+// Codeword bit layout (LSB first):
+//   bit 0..2 : parity p0, p1, p2 (as many as cr provides)
+//   bit cr.. : data nibble d0..d3
+// For cr=4 the extended parity occupies bit 7.
+
+std::uint8_t encode47(std::uint8_t nibble) {
+  const int d0 = bit(nibble, 0), d1 = bit(nibble, 1);
+  const int d2 = bit(nibble, 2), d3 = bit(nibble, 3);
+  const int p0 = d0 ^ d1 ^ d3;
+  const int p1 = d0 ^ d2 ^ d3;
+  const int p2 = d1 ^ d2 ^ d3;
+  return static_cast<std::uint8_t>(p0 | (p1 << 1) | (p2 << 2) | (d0 << 3) |
+                                   (d1 << 4) | (d2 << 5) | (d3 << 6));
+}
+
+HammingDecodeResult decode47(std::uint8_t cw) {
+  const int p0 = bit(cw, 0), p1 = bit(cw, 1), p2 = bit(cw, 2);
+  const int d0 = bit(cw, 3), d1 = bit(cw, 4), d2 = bit(cw, 5),
+            d3 = bit(cw, 6);
+  const int s0 = p0 ^ d0 ^ d1 ^ d3;
+  const int s1 = p1 ^ d0 ^ d2 ^ d3;
+  const int s2 = p2 ^ d1 ^ d2 ^ d3;
+  const int syndrome = s0 | (s1 << 1) | (s2 << 2);
+  // Syndrome -> bit index in the layout above.
+  static constexpr int kSyndromeToBit[8] = {-1, 0, 1, 3, 2, 4, 5, 6};
+  HammingDecodeResult r;
+  std::uint8_t fixed = cw;
+  if (syndrome != 0) {
+    fixed = static_cast<std::uint8_t>(cw ^ (1u << kSyndromeToBit[syndrome]));
+    r.corrected = true;
+  }
+  r.nibble = static_cast<std::uint8_t>((fixed >> 3) & 0xF);
+  return r;
+}
+
+}  // namespace
+
+std::uint8_t hamming_encode(std::uint8_t nibble, int cr) {
+  if (cr < 1 || cr > 4) throw std::invalid_argument("hamming_encode: cr");
+  nibble &= 0xF;
+  switch (cr) {
+    case 1: {
+      const int p = bit(nibble, 0) ^ bit(nibble, 1) ^ bit(nibble, 2) ^
+                    bit(nibble, 3);
+      return static_cast<std::uint8_t>(p | (nibble << 1));
+    }
+    case 2: {
+      const int p0 = bit(nibble, 0) ^ bit(nibble, 1) ^ bit(nibble, 2);
+      const int p1 = bit(nibble, 1) ^ bit(nibble, 2) ^ bit(nibble, 3);
+      return static_cast<std::uint8_t>(p0 | (p1 << 1) | (nibble << 2));
+    }
+    case 3:
+      return encode47(nibble);
+    case 4: {
+      const std::uint8_t cw7 = encode47(nibble);
+      int parity = 0;
+      for (int i = 0; i < 7; ++i) parity ^= bit(cw7, i);
+      return static_cast<std::uint8_t>(cw7 | (parity << 7));
+    }
+  }
+  return 0;  // unreachable
+}
+
+HammingDecodeResult hamming_decode(std::uint8_t codeword, int cr) {
+  if (cr < 1 || cr > 4) throw std::invalid_argument("hamming_decode: cr");
+  switch (cr) {
+    case 1: {
+      HammingDecodeResult r;
+      r.nibble = static_cast<std::uint8_t>((codeword >> 1) & 0xF);
+      int parity = 0;
+      for (int i = 0; i < 5; ++i) parity ^= bit(codeword, i);
+      r.detected_error = parity != 0;
+      return r;
+    }
+    case 2: {
+      HammingDecodeResult r;
+      r.nibble = static_cast<std::uint8_t>((codeword >> 2) & 0xF);
+      const int p0 = bit(r.nibble, 0) ^ bit(r.nibble, 1) ^ bit(r.nibble, 2);
+      const int p1 = bit(r.nibble, 1) ^ bit(r.nibble, 2) ^ bit(r.nibble, 3);
+      r.detected_error = p0 != bit(codeword, 0) || p1 != bit(codeword, 1);
+      return r;
+    }
+    case 3:
+      return decode47(static_cast<std::uint8_t>(codeword & 0x7F));
+    case 4: {
+      int overall = 0;
+      for (int i = 0; i < 8; ++i) overall ^= bit(codeword, i);
+      HammingDecodeResult r7 = decode47(static_cast<std::uint8_t>(codeword & 0x7F));
+      HammingDecodeResult r;
+      r.nibble = r7.nibble;
+      if (overall == 0 && r7.corrected) {
+        // Even overall parity but nonzero syndrome: two errors, cannot fix.
+        r.detected_error = true;
+        r.corrected = false;
+        // Best-effort nibble from the (wrong) correction is still returned.
+      } else if (overall != 0) {
+        // Odd parity: a single error somewhere (possibly the parity bit);
+        // the (7,4) correction already repaired it if it hit bits 0..6.
+        r.corrected = true;
+      }
+      return r;
+    }
+  }
+  return {};  // unreachable
+}
+
+}  // namespace choir::coding

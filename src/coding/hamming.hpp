@@ -1,0 +1,30 @@
+// LoRa-style Hamming forward error correction over 4-bit nibbles.
+//
+// LoRa's coding rate CR in {1,2,3,4} maps each data nibble to a codeword of
+// 4+CR bits:
+//   CR=1: (4,5) single parity        — detect 1 error
+//   CR=2: (4,6) two parity bits      — detect 1 error (stronger)
+//   CR=3: (4,7) classic Hamming(7,4) — correct 1 error
+//   CR=4: (4,8) extended Hamming     — correct 1, detect 2
+#pragma once
+
+#include <cstdint>
+
+namespace choir::coding {
+
+struct HammingDecodeResult {
+  std::uint8_t nibble = 0;   ///< decoded 4-bit value
+  bool corrected = false;    ///< a single-bit error was repaired
+  bool detected_error = false;  ///< uncorrectable/unrepaired error seen
+};
+
+/// Encodes a 4-bit nibble into a (4, 4+cr) codeword; cr in [1,4].
+std::uint8_t hamming_encode(std::uint8_t nibble, int cr);
+
+/// Decodes a (4, 4+cr) codeword.
+HammingDecodeResult hamming_decode(std::uint8_t codeword, int cr);
+
+/// Number of coded bits per nibble for a coding rate.
+inline int codeword_bits(int cr) { return 4 + cr; }
+
+}  // namespace choir::coding

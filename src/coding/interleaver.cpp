@@ -1,0 +1,58 @@
+#include "coding/interleaver.hpp"
+
+#include <stdexcept>
+
+namespace choir::coding {
+
+namespace {
+
+void check(int sf, int cr) {
+  if (sf < 1 || sf > 16) throw std::invalid_argument("interleaver: sf");
+  if (cr < 1 || cr > 4) throw std::invalid_argument("interleaver: cr");
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> interleave(const std::vector<std::uint8_t>& codewords,
+                                      int sf, int cr) {
+  check(sf, cr);
+  if (codewords.size() != static_cast<std::size_t>(sf))
+    throw std::invalid_argument("interleave: need sf codewords");
+  const int nbits = 4 + cr;
+  std::vector<std::uint32_t> symbols(static_cast<std::size_t>(nbits), 0);
+  // Symbol j, bit i takes bit j of codeword (i + j) mod sf — a diagonal
+  // walk so consecutive bits of one codeword land in different symbols.
+  for (int j = 0; j < nbits; ++j) {
+    std::uint32_t sym = 0;
+    for (int i = 0; i < sf; ++i) {
+      const int cw = (i + j) % sf;
+      const std::uint32_t b =
+          (static_cast<std::uint32_t>(codewords[static_cast<std::size_t>(cw)]) >> j) & 1u;
+      sym |= b << i;
+    }
+    symbols[static_cast<std::size_t>(j)] = sym;
+  }
+  return symbols;
+}
+
+std::vector<std::uint8_t> deinterleave(const std::vector<std::uint32_t>& symbols,
+                                       int sf, int cr) {
+  check(sf, cr);
+  const int nbits = 4 + cr;
+  if (symbols.size() != static_cast<std::size_t>(nbits))
+    throw std::invalid_argument("deinterleave: need 4+cr symbols");
+  std::vector<std::uint8_t> codewords(static_cast<std::size_t>(sf), 0);
+  for (int j = 0; j < nbits; ++j) {
+    const std::uint32_t sym = symbols[static_cast<std::size_t>(j)];
+    for (int i = 0; i < sf; ++i) {
+      const int cw = (i + j) % sf;
+      const std::uint32_t b = (sym >> i) & 1u;
+      codewords[static_cast<std::size_t>(cw)] =
+          static_cast<std::uint8_t>(codewords[static_cast<std::size_t>(cw)] |
+                                    (b << j));
+    }
+  }
+  return codewords;
+}
+
+}  // namespace choir::coding

@@ -1,0 +1,24 @@
+// Diagonal interleaver.
+//
+// LoRa interleaves blocks of SF codewords (each 4+CR bits) into 4+CR chirp
+// symbols of SF bits each, along diagonals. A burst error that wipes out one
+// whole symbol (e.g. a collision on one chirp) then spreads into exactly one
+// bit error per codeword — which Hamming(4,7)/(4,8) can correct.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace choir::coding {
+
+/// Interleaves `sf` codewords of `4+cr` bits into `4+cr` symbols of `sf`
+/// bits. codewords.size() must equal sf.
+std::vector<std::uint32_t> interleave(const std::vector<std::uint8_t>& codewords,
+                                      int sf, int cr);
+
+/// Inverse of `interleave`: symbols.size() must equal 4+cr; returns sf
+/// codewords.
+std::vector<std::uint8_t> deinterleave(const std::vector<std::uint32_t>& symbols,
+                                       int sf, int cr);
+
+}  // namespace choir::coding

@@ -1,0 +1,39 @@
+#include "coding/whitening.hpp"
+
+namespace choir::coding {
+
+namespace {
+
+// Galois LFSR with polynomial x^8 + x^6 + x^5 + x^4 + 1 (0xB8 reflected
+// taps), seeded with all ones — the sequence used by SX127x-family radios.
+class Lfsr {
+ public:
+  std::uint8_t next() {
+    const std::uint8_t out = state_;
+    for (int i = 0; i < 8; ++i) {
+      const bool lsb = state_ & 1;
+      state_ >>= 1;
+      if (lsb) state_ ^= 0xB8;
+    }
+    return out;
+  }
+
+ private:
+  std::uint8_t state_ = 0xFF;
+};
+
+}  // namespace
+
+void whiten(std::vector<std::uint8_t>& data) {
+  Lfsr lfsr;
+  for (auto& b : data) b ^= lfsr.next();
+}
+
+std::vector<std::uint8_t> whitening_sequence(std::size_t n) {
+  Lfsr lfsr;
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = lfsr.next();
+  return out;
+}
+
+}  // namespace choir::coding

@@ -1,0 +1,21 @@
+// Data whitening.
+//
+// LoRa XORs the payload with a fixed LFSR sequence so the on-air bit stream
+// is balanced regardless of payload content. Whitening is an involution:
+// applying it twice restores the original bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace choir::coding {
+
+/// XORs `data` in place with the whitening sequence starting from the
+/// standard seed. Call again to un-whiten.
+void whiten(std::vector<std::uint8_t>& data);
+
+/// Returns the first `n` bytes of the whitening sequence (for tests).
+std::vector<std::uint8_t> whitening_sequence(std::size_t n);
+
+}  // namespace choir::coding

@@ -1,0 +1,68 @@
+#include "core/multi_sf.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/chirp.hpp"
+#include "dsp/fft.hpp"
+#include "lora/modulator.hpp"
+
+namespace choir::core {
+
+MultiSfDecoder::MultiSfDecoder(const lora::PhyParams& base,
+                               const std::vector<int>& sfs,
+                               const CollisionDecoderOptions& opt) {
+  if (sfs.empty()) throw std::invalid_argument("MultiSfDecoder: no sfs");
+  for (int sf : sfs) {
+    lora::PhyParams phy = base;
+    phy.sf = sf;
+    phy.validate();
+    decoders_.emplace(sf, CollisionDecoder(phy, opt));
+  }
+}
+
+std::vector<MultiSfResult> MultiSfDecoder::decode(const cvec& rx,
+                                                  std::size_t start) const {
+  std::vector<MultiSfResult> out;
+  for (const auto& [sf, dec] : decoders_) {
+    MultiSfResult r;
+    r.sf = sf;
+    r.users = dec.decode(rx, start);
+    // Cross-SF energy occasionally produces a spurious low-quality user;
+    // only keep users whose frames parsed (real same-SF signals).
+    std::erase_if(r.users,
+                  [](const DecodedUser& du) { return !du.frame_ok; });
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+double cross_sf_leakage(int sf_tx, int sf_rx, double bandwidth_hz) {
+  lora::PhyParams tx_phy;
+  tx_phy.sf = sf_tx;
+  tx_phy.bandwidth_hz = bandwidth_hz;
+  lora::PhyParams rx_phy;
+  rx_phy.sf = sf_rx;
+  rx_phy.bandwidth_hz = bandwidth_hz;
+
+  // One full tx chirp observed through one rx window.
+  const std::size_t n_rx = rx_phy.chips();
+  lora::Modulator mod(tx_phy);
+  const cvec wave = mod.synthesize_segments(
+      {{lora::SegmentKind::kUpchirp, 0}, {lora::SegmentKind::kUpchirp, 0},
+       {lora::SegmentKind::kUpchirp, 0}, {lora::SegmentKind::kUpchirp, 0}},
+      0.0);
+  cvec win(wave.begin(), wave.begin() + static_cast<std::ptrdiff_t>(
+                                            std::min(n_rx, wave.size())));
+  win.resize(n_rx, cplx{0.0, 0.0});
+  dsp::dechirp(win, dsp::base_downchirp(n_rx));
+  const cvec spec = dsp::fft(win);
+  double peak = 0.0, total = 0.0;
+  for (const auto& s : spec) {
+    peak = std::max(peak, std::norm(s));
+    total += std::norm(s);
+  }
+  return total > 0.0 ? peak / total : 0.0;
+}
+
+}  // namespace choir::core

@@ -1,0 +1,48 @@
+// Multi-spreading-factor parallel decoding (paper Sec. 5.2, point 4).
+//
+// Chirps of different spreading factors are (nearly) orthogonal: a packet
+// sent at SF9 dechirps to wideband noise under an SF7 down-chirp and vice
+// versa. Production LoRa gateways exploit this to demodulate all SFs of a
+// channel in parallel; Choir composes with it directly — the receiver runs
+// one CollisionDecoder per spreading factor and each instance disentangles
+// the *same-SF* collisions in its own stream.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "core/collision_decoder.hpp"
+
+namespace choir::core {
+
+struct MultiSfResult {
+  int sf = 0;
+  std::vector<DecodedUser> users;
+};
+
+class MultiSfDecoder {
+ public:
+  /// `base` supplies everything except the spreading factor; one decoder is
+  /// instantiated per sf in `sfs` (each must be in [6, 12], all sharing the
+  /// base bandwidth).
+  MultiSfDecoder(const lora::PhyParams& base, const std::vector<int>& sfs,
+                 const CollisionDecoderOptions& opt = {});
+
+  /// Decodes every spreading factor's collisions in the capture. `start`
+  /// anchors the shared (beacon-synchronized) window grid; window lengths
+  /// differ per SF but all start at the same sample.
+  std::vector<MultiSfResult> decode(const cvec& rx, std::size_t start) const;
+
+  /// The per-SF decoders, keyed by spreading factor (for tests/tools).
+  const std::map<int, CollisionDecoder>& decoders() const { return decoders_; }
+
+ private:
+  std::map<int, CollisionDecoder> decoders_;
+};
+
+/// Cross-SF rejection: energy fraction of a unit-power chirp at `sf_tx`
+/// that lands in the strongest dechirped bin of an `sf_rx` window —
+/// a diagnostic for the orthogonality the scheme relies on.
+double cross_sf_leakage(int sf_tx, int sf_rx, double bandwidth_hz);
+
+}  // namespace choir::core

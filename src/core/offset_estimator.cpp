@@ -1,0 +1,277 @@
+#include "core/offset_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/residual.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/peaks.hpp"
+#include "util/db.hpp"
+
+namespace choir::core {
+
+namespace {
+
+double circ_dist(double a, double b, double n) {
+  double d = std::abs(std::fmod(a - b + n, n));
+  return std::min(d, n - d);
+}
+
+double wrap_bins(double x, double n) {
+  double w = std::fmod(x, n);
+  if (w < 0) w += n;
+  return w;
+}
+
+}  // namespace
+
+OffsetEstimator::OffsetEstimator(const lora::PhyParams& phy,
+                                 const EstimatorOptions& opt)
+    : phy_(phy), opt_(opt) {
+  phy_.validate();
+  if (!dsp::is_pow2(opt_.oversample))
+    throw std::invalid_argument("OffsetEstimator: oversample not pow2");
+}
+
+std::vector<double> OffsetEstimator::coarse_peaks(
+    const std::vector<cvec>& windows, double* noise_out, double* max_mag_out,
+    std::size_t limit, double cohort_db) const {
+  const std::size_t n = phy_.chips();
+  const std::size_t fftlen = n * opt_.oversample;
+  rvec acc(fftlen, 0.0);
+  for (const cvec& w : windows) {
+    const cvec spec = dsp::fft_padded(w, fftlen);
+    for (std::size_t i = 0; i < fftlen; ++i) acc[i] += std::norm(spec[i]);
+  }
+  rvec mag(fftlen);
+  for (std::size_t i = 0; i < fftlen; ++i) mag[i] = std::sqrt(acc[i]);
+
+  rvec sorted = mag;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  const double floor = sorted[sorted.size() / 2];
+  if (noise_out != nullptr) *noise_out = floor;
+
+  // Local maxima above the detection threshold, circular axis.
+  struct Cand {
+    double bin;
+    double mag;
+  };
+  std::vector<Cand> cands;
+  for (std::size_t i = 0; i < fftlen; ++i) {
+    const std::size_t prev = (i + fftlen - 1) % fftlen;
+    const std::size_t next = (i + 1) % fftlen;
+    if (mag[i] <= mag[prev] || mag[i] < mag[next]) continue;
+    if (mag[i] < opt_.detect_factor * floor) continue;
+    const dsp::ParabolicFit fit = dsp::parabolic_refine(mag, i, true);
+    cands.push_back({wrap_bins(static_cast<double>(i) + fit.offset,
+                               static_cast<double>(fftlen)),
+                     fit.magnitude});
+  }
+  std::sort(cands.begin(), cands.end(),
+            [](const Cand& a, const Cand& b) { return a.mag > b.mag; });
+  if (max_mag_out != nullptr)
+    *max_mag_out = cands.empty() ? 0.0 : cands.front().mag;
+
+  // Non-maximum suppression: the sinc main lobe of an N-sample tone spans
+  // +-oversample fine bins and its side lobes peak at integer coarse-bin
+  // spacings, so suppression must cover slightly more than one coarse bin.
+  // Genuinely closer users are recovered in a later SIC phase after the
+  // stronger one is subtracted (model subtraction removes side lobes too).
+  const double min_sep = 1.12 * static_cast<double>(opt_.oversample);
+  std::vector<double> out;
+  const double strong_floor =
+      cands.empty() ? 0.0 : cands.front().mag * db_to_amplitude(-cohort_db);
+  for (const Cand& c : cands) {
+    if (c.mag < strong_floor) break;  // only the strong cohort this phase
+    bool keep = true;
+    for (double b : out) {
+      if (circ_dist(c.bin, b, static_cast<double>(fftlen)) < min_sep) {
+        keep = false;
+        break;
+      }
+    }
+    if (!keep) continue;
+    out.push_back(c.bin);
+    if (out.size() >= limit) break;
+  }
+  // Convert fine-grid positions to chirp bins.
+  for (double& b : out) b /= static_cast<double>(opt_.oversample);
+  return out;
+}
+
+std::vector<cvec> OffsetEstimator::window_channels(
+    const std::vector<cvec>& windows,
+    const std::vector<double>& offsets) const {
+  std::vector<cvec> out;
+  out.reserve(windows.size());
+  for (const cvec& w : windows) out.push_back(fit_channels(w, offsets));
+  return out;
+}
+
+std::vector<UserEstimate> OffsetEstimator::estimate(
+    const std::vector<cvec>& raw_preamble) const {
+  if (raw_preamble.empty())
+    throw std::invalid_argument("OffsetEstimator: no preamble windows");
+  const std::size_t n = phy_.chips();
+  for (const cvec& w : raw_preamble) {
+    if (w.size() != n)
+      throw std::invalid_argument("OffsetEstimator: bad window size");
+  }
+  // Window 0 mixes pre-transmission silence with the first chirp (timing
+  // offsets), so drop it when we can afford to.
+  const bool skip = opt_.skip_first_window && raw_preamble.size() > 2;
+  const std::vector<cvec> preamble(raw_preamble.begin() + (skip ? 1 : 0),
+                                   raw_preamble.end());
+
+  const int refine_count =
+      std::min<int>(opt_.refine_windows, static_cast<int>(preamble.size()));
+  const std::vector<cvec> refine_set(preamble.begin(),
+                                     preamble.begin() + refine_count);
+
+  std::vector<double> offsets;
+
+  auto merge_close = [&]() {
+    std::sort(offsets.begin(), offsets.end());
+    std::vector<double> merged;
+    for (double o : offsets) {
+      if (!merged.empty() &&
+          circ_dist(o, merged.back(), static_cast<double>(n)) <
+              opt_.min_user_separation_bins) {
+        continue;
+      }
+      merged.push_back(o);
+    }
+    const bool changed = merged.size() != offsets.size();
+    offsets = std::move(merged);
+    return changed;
+  };
+
+  // RELAX-style greedy estimation: repeatedly take the strongest peak of
+  // the residual spectrum (all currently-known users subtracted by joint
+  // least squares), add it as a new user, and re-refine *all* offsets
+  // jointly by coordinate descent on the residual objective (Eqn 4).
+  // Adding one tone at a time keeps every refinement warm-started and
+  // resolves users much closer than a coarse FFT bin — this subsumes the
+  // phased SIC of Sec. 5.2 (strong users are found and modelled first;
+  // weak ones emerge once the strong cohort is subtracted).
+  while (offsets.size() < opt_.max_users) {
+    std::vector<cvec> residual = preamble;
+    if (!offsets.empty()) {
+      for (cvec& w : residual) {
+        try {
+          const cvec h = fit_channels(w, offsets);
+          subtract_tones(w, offsets, h);
+        } catch (const std::runtime_error&) {
+          // singular fit: leave the window as is
+        }
+      }
+    }
+    // The strongest residual peak may just be our own imperfect
+    // subtraction of an existing user; skip such re-detections and take
+    // the strongest genuinely new peak.
+    const std::vector<double> found = coarse_peaks(
+        residual, nullptr, nullptr, offsets.size() + 2, /*cohort_db=*/200.0);
+    double fresh = -1.0;
+    for (double f : found) {
+      bool duplicate = false;
+      for (double o : offsets) {
+        if (circ_dist(f, o, static_cast<double>(n)) <
+            opt_.min_user_separation_bins) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) {
+        fresh = f;
+        break;
+      }
+    }
+    if (fresh < 0.0) break;
+    offsets.push_back(fresh);
+
+    ToneResidualEvaluator eval(refine_set, offsets);
+    descend_offsets(eval,
+                    offsets.size() == 1 ? opt_.refine_radius_bins : 0.35,
+                    /*cycles=*/3, /*tol=*/1e-4);
+    offsets = eval.offsets();
+    for (double& o : offsets) o = wrap_bins(o, static_cast<double>(n));
+    if (merge_close()) break;  // the new tone collapsed onto an old one
+  }
+
+  if (offsets.empty()) return {};
+
+  // Final polish: a wider joint pass then a tight one (sub-hundredth-bin
+  // accuracy drives both user tracking and SIC subtraction depth).
+  {
+    ToneResidualEvaluator eval(refine_set, offsets);
+    descend_offsets(eval, 0.35, opt_.descent_cycles, 1e-4);
+    descend_offsets(eval, 0.1, 4, 1e-5);
+    offsets = eval.offsets();
+    for (double& o : offsets) o = wrap_bins(o, static_cast<double>(n));
+    merge_close();
+  }
+
+  // Final channel fit across all preamble windows.
+  const std::vector<cvec> chans = window_channels(preamble, offsets);
+
+  // Robust per-sample noise estimate from the *residual spectrum floor*
+  // after all users are removed. (The raw least-squares residual also
+  // carries strong users' modelling error — ridge shrinkage, sub-0.01-bin
+  // frequency mismatch — which can overstate the noise by ~10 dB and
+  // wrongly gate out genuine weak users.) The accumulated residual power
+  // per bin is Gamma(W)-distributed with mean W*N*sigma^2, whose median is
+  // about (W - 1/3)*N*sigma^2.
+  double noise_var = 0.0;
+  {
+    std::vector<cvec> residual = preamble;
+    for (cvec& w : residual) {
+      try {
+        const cvec h = fit_channels(w, offsets);
+        subtract_tones(w, offsets, h);
+      } catch (const std::runtime_error&) {
+      }
+    }
+    double floor_amp = 0.0;
+    (void)coarse_peaks(residual, &floor_amp, nullptr, 1, 200.0);
+    const double w_count = static_cast<double>(preamble.size());
+    noise_var = floor_amp * floor_amp /
+                ((w_count - 1.0 / 3.0) * static_cast<double>(n));
+  }
+
+  std::vector<UserEstimate> users;
+  users.reserve(offsets.size());
+  for (std::size_t i = 0; i < offsets.size(); ++i) {
+    UserEstimate u;
+    u.offset_bins = offsets[i];
+    // De-rotate the deterministic window-to-window phase advance, then
+    // average the channel coherently.
+    cplx rot_acc{0.0, 0.0};
+    for (std::size_t k = 0; k + 1 < chans.size(); ++k) {
+      rot_acc += chans[k + 1][i] * std::conj(chans[k][i]);
+    }
+    const double step = std::arg(rot_acc);
+    u.window_phase_step = step;
+    cplx avg{0.0, 0.0};
+    double mag = 0.0;
+    for (std::size_t k = 0; k < chans.size(); ++k) {
+      avg += chans[k][i] * cis(-step * static_cast<double>(k));
+      mag += std::abs(chans[k][i]);
+    }
+    avg /= static_cast<double>(chans.size());
+    mag /= static_cast<double>(chans.size());
+    u.channel = avg;
+    u.magnitude = mag;
+    u.snr_db = noise_var > 0.0 ? linear_to_db(mag * mag / noise_var) : 60.0;
+    if (u.snr_db < opt_.min_user_snr_db) continue;  // refinement ghost
+    users.push_back(u);
+  }
+  std::sort(users.begin(), users.end(),
+            [](const UserEstimate& a, const UserEstimate& b) {
+              return a.magnitude > b.magnitude;
+            });
+  return users;
+}
+
+}  // namespace choir::core

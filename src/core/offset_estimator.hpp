@@ -1,0 +1,88 @@
+// Multi-user aggregate-offset estimation from colliding preambles
+// (paper Sec. 5.1-5.2, Algorithm 1).
+//
+// Pipeline per collision:
+//   1. Accumulate zero-padded dechirped power spectra over the preamble
+//      windows — every colliding user contributes one sinc main lobe at its
+//      aggregate offset.
+//   2. Phased successive interference cancellation: detect the cohort of
+//      *strong* peaks, jointly refine their offsets by minimizing the
+//      least-squares residual (coordinate descent with golden-section line
+//      searches, exploiting local convexity), subtract their reconstruction,
+//      then re-detect weaker users buried under the strong users' leakage.
+//   3. Average the per-window channels (after de-rotating the deterministic
+//      window-to-window phase advance) into one channel estimate per user.
+#pragma once
+
+#include <vector>
+
+#include "lora/params.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace choir::core {
+
+/// Estimated identity of one colliding transmitter.
+struct UserEstimate {
+  double offset_bins = 0.0;  ///< aggregate offset lambda = cfo - tau, [0, N)
+  cplx channel;              ///< averaged complex channel
+  double magnitude = 0.0;    ///< |channel|
+  double snr_db = 0.0;       ///< per-sample SNR estimate of this user
+  double window_phase_step = 0.0;  ///< channel rotation per symbol window
+  /// Timing offset in samples, split out of the aggregate using the SFD
+  /// down-chirps (whose peak sits at cfo + tau instead of cfo - tau).
+  double timing_samples = 0.0;
+  double cfo_bins = 0.0;  ///< carrier offset component, = offset + timing
+};
+
+struct EstimatorOptions {
+  std::size_t oversample = 16;   ///< FFT zero-padding factor (pow2)
+  double detect_factor = 5.0;    ///< peak > factor * accumulated noise floor
+  std::size_t max_users = 16;
+  double refine_radius_bins = 0.6;  ///< descent trust region (coarse err < 1)
+  int descent_cycles = 6;        ///< cycles of the final polish pass
+  int refine_windows = 6;        ///< preamble windows used in the residual
+  /// Peaks closer than this (in bins) are treated as one user: below this
+  /// separation the tones are not identifiable within a preamble.
+  double min_user_separation_bins = 0.2;
+  /// Users whose fitted per-sample SINR falls below this are discarded as
+  /// refinement ghosts. The reference noise floor includes residual leakage
+  /// from strong users (their sub-sample fold scatter), so genuine weak
+  /// users in a deep near-far collision measure several dB below their
+  /// thermal SNR — the gate sits well under the weakest decodable user.
+  /// (Below-noise *teams* are the TeamDecoder's job.)
+  double min_user_snr_db = -7.0;
+  /// Skip the first preamble window: transmitters start mid-window by their
+  /// timing offsets, so window 0 mixes silence with the first chirp.
+  bool skip_first_window = true;
+};
+
+class OffsetEstimator {
+ public:
+  OffsetEstimator(const lora::PhyParams& phy, const EstimatorOptions& opt);
+
+  /// Estimates all discernible users from dechirped preamble windows
+  /// (each of length 2^sf). Returns estimates sorted by descending
+  /// magnitude.
+  std::vector<UserEstimate> estimate(const std::vector<cvec>& preamble) const;
+
+  /// Per-window least-squares channels at fixed offsets (column i = user i),
+  /// one cvec per window. Exposed for the decoder and for SIC.
+  std::vector<cvec> window_channels(const std::vector<cvec>& windows,
+                                    const std::vector<double>& offsets) const;
+
+  const EstimatorOptions& options() const { return opt_; }
+
+ private:
+  /// Coarse peak positions (bins) of the accumulated power spectrum.
+  /// Peaks more than `cohort_db` below the strongest are dropped.
+  std::vector<double> coarse_peaks(const std::vector<cvec>& windows,
+                                   double* noise_out, double* max_mag_out,
+                                   std::size_t limit,
+                                   double cohort_db = 200.0) const;
+
+  lora::PhyParams phy_;
+  EstimatorOptions opt_;
+};
+
+}  // namespace choir::core

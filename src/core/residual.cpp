@@ -1,0 +1,284 @@
+#include "core/residual.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace choir::core {
+
+namespace {
+
+// Gram matrix of the tone dictionary in closed form:
+//   G(i,k) = sum_n exp(j*2*pi*(off_k - off_i)*n/N)
+// is a geometric series — O(K^2) trig instead of O(N*K^2).
+CMatrix tone_gram(const std::vector<double>& offsets, std::size_t n) {
+  const std::size_t k = offsets.size();
+  const double dn = static_cast<double>(n);
+  // Small ridge term: when two candidate offsets nearly coincide the plain
+  // normal equations blow up into huge opposing amplitudes; the ridge caps
+  // them at physically meaningful values without biasing well-separated
+  // fits (regularization is 0.3% of the tone energy).
+  const double ridge = 3e-3 * dn;
+  CMatrix g(k, k);
+  for (std::size_t i = 0; i < k; ++i) {
+    g(i, i) = cplx{dn + ridge, 0.0};
+    for (std::size_t j = i + 1; j < k; ++j) {
+      const double delta = offsets[j] - offsets[i];
+      const double step = kTwoPi * delta / dn;
+      cplx sum;
+      if (std::abs(std::sin(step / 2.0)) < 1e-12) {
+        sum = cplx{dn, 0.0};
+      } else {
+        sum = (cis(kTwoPi * delta) - 1.0) / (cis(step) - 1.0);
+      }
+      g(i, j) = sum;
+      g(j, i) = std::conj(sum);
+    }
+  }
+  return g;
+}
+
+// b_i = sum_n y[n] * exp(-j*2*pi*off_i*n/N): a direct DFT at an arbitrary
+// frequency, evaluated with a phasor recurrence (one cis per user).
+cvec tone_projections(const cvec& y, const std::vector<double>& offsets) {
+  const std::size_t n = y.size();
+  cvec b(offsets.size());
+  for (std::size_t i = 0; i < offsets.size(); ++i) {
+    const cplx step = cis(-kTwoPi * offsets[i] / static_cast<double>(n));
+    cplx ph{1.0, 0.0};
+    cplx acc{0.0, 0.0};
+    for (std::size_t t = 0; t < n; ++t) {
+      acc += y[t] * ph;
+      ph *= step;
+    }
+    b[i] = acc;
+  }
+  return b;
+}
+
+}  // namespace
+
+CMatrix tone_matrix(const std::vector<double>& offsets_bins,
+                    std::size_t n_samples) {
+  if (offsets_bins.empty())
+    throw std::invalid_argument("tone_matrix: no offsets");
+  CMatrix e(n_samples, offsets_bins.size());
+  for (std::size_t c = 0; c < offsets_bins.size(); ++c) {
+    const cplx step =
+        cis(kTwoPi * offsets_bins[c] / static_cast<double>(n_samples));
+    cplx ph{1.0, 0.0};
+    for (std::size_t n = 0; n < n_samples; ++n) {
+      e(n, c) = ph;
+      ph *= step;
+    }
+  }
+  return e;
+}
+
+cvec fit_channels(const cvec& dechirped,
+                  const std::vector<double>& offsets_bins) {
+  if (offsets_bins.empty())
+    throw std::invalid_argument("fit_channels: no offsets");
+  const CMatrix g = tone_gram(offsets_bins, dechirped.size());
+  const cvec b = tone_projections(dechirped, offsets_bins);
+  return solve_linear(g, b);
+}
+
+double residual_power(const cvec& dechirped,
+                      const std::vector<double>& offsets_bins) {
+  const CMatrix g = tone_gram(offsets_bins, dechirped.size());
+  const cvec b = tone_projections(dechirped, offsets_bins);
+  cvec h;
+  try {
+    h = solve_linear(g, b);
+  } catch (const std::runtime_error&) {
+    // Degenerate offsets (two users at the same bin) -> infinite-cost
+    // candidate so the optimizer steps away from it.
+    return std::numeric_limits<double>::infinity();
+  }
+  double y2 = 0.0;
+  for (const cplx& s : dechirped) y2 += std::norm(s);
+  // ||y - E h||^2 = ||y||^2 - Re(b^H h) when h solves the normal equations.
+  double fit = 0.0;
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    fit += (std::conj(b[i]) * h[i]).real();
+  }
+  const double r = y2 - fit;
+  return r > 0.0 ? r : 0.0;
+}
+
+double residual_power_multi(const std::vector<cvec>& windows,
+                            const std::vector<double>& offsets_bins) {
+  double acc = 0.0;
+  for (const cvec& w : windows) acc += residual_power(w, offsets_bins);
+  return acc;
+}
+
+void subtract_tones(cvec& dechirped, const std::vector<double>& offsets_bins,
+                    const cvec& channels) {
+  if (offsets_bins.size() != channels.size())
+    throw std::invalid_argument("subtract_tones: size mismatch");
+  const cvec model =
+      reconstruct_tones(offsets_bins, channels, dechirped.size());
+  for (std::size_t n = 0; n < dechirped.size(); ++n) dechirped[n] -= model[n];
+}
+
+cvec reconstruct_tones(const std::vector<double>& offsets_bins,
+                       const cvec& channels, std::size_t n_samples) {
+  cvec out(n_samples, cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < offsets_bins.size(); ++i) {
+    const cplx step =
+        cis(kTwoPi * offsets_bins[i] / static_cast<double>(n_samples));
+    cplx ph = channels[i];
+    for (std::size_t n = 0; n < n_samples; ++n) {
+      out[n] += ph;
+      ph *= step;
+    }
+  }
+  return out;
+}
+
+ToneResidualEvaluator::ToneResidualEvaluator(const std::vector<cvec>& windows,
+                                             std::vector<double> offsets)
+    : windows_(windows), offsets_(std::move(offsets)) {
+  if (windows_.empty())
+    throw std::invalid_argument("ToneResidualEvaluator: no windows");
+  window_energy_.reserve(windows_.size());
+  for (const cvec& w : windows_) {
+    double e = 0.0;
+    for (const cplx& s : w) e += std::norm(s);
+    window_energy_.push_back(e);
+  }
+  for (double o : offsets_) b_.push_back(project(o));
+}
+
+std::vector<cplx> ToneResidualEvaluator::project(double offset) const {
+  std::vector<cplx> out;
+  out.reserve(windows_.size());
+  const std::size_t n = windows_.front().size();
+  const cplx step = cis(-kTwoPi * offset / static_cast<double>(n));
+  for (const cvec& w : windows_) {
+    cplx ph{1.0, 0.0};
+    cplx acc{0.0, 0.0};
+    for (std::size_t t = 0; t < n; ++t) {
+      acc += w[t] * ph;
+      ph *= step;
+    }
+    out.push_back(acc);
+  }
+  return out;
+}
+
+double ToneResidualEvaluator::evaluate(const std::vector<double>& offs,
+                                       std::size_t changed, double value) {
+  const std::size_t k = offs.size();
+  const std::size_t n = windows_.front().size();
+  std::vector<double> actual = offs;
+  if (changed != static_cast<std::size_t>(-1)) actual[changed] = value;
+
+  const CMatrix g = [&] {
+    // Reuse the closed-form Gram (with ridge) from the free functions.
+    // Building it is O(K^2) trig — negligible next to the projections.
+    CMatrix m(k, k);
+    const double ridge = 3e-3 * static_cast<double>(n);
+    for (std::size_t i = 0; i < k; ++i) {
+      m(i, i) = cplx{static_cast<double>(n) + ridge, 0.0};
+      for (std::size_t j = i + 1; j < k; ++j) {
+        const double delta = actual[j] - actual[i];
+        const double step = kTwoPi * delta / static_cast<double>(n);
+        cplx sum;
+        if (std::abs(std::sin(step / 2.0)) < 1e-12) {
+          sum = cplx{static_cast<double>(n), 0.0};
+        } else {
+          sum = (cis(kTwoPi * delta) - 1.0) / (cis(step) - 1.0);
+        }
+        m(i, j) = sum;
+        m(j, i) = std::conj(sum);
+      }
+    }
+    return m;
+  }();
+
+  std::vector<cplx> changed_b;
+  if (changed != static_cast<std::size_t>(-1)) changed_b = project(value);
+
+  Cholesky chol = [&]() -> Cholesky {
+    return Cholesky(g);
+  }();
+
+  double total = 0.0;
+  cvec b(k);
+  for (std::size_t w = 0; w < windows_.size(); ++w) {
+    for (std::size_t u = 0; u < k; ++u) {
+      b[u] = (u == changed) ? changed_b[w] : b_[u][w];
+    }
+    const cvec h = chol.solve(b);
+    double fit = 0.0;
+    for (std::size_t u = 0; u < k; ++u) {
+      fit += (std::conj(b[u]) * h[u]).real();
+    }
+    const double r = window_energy_[w] - fit;
+    total += r > 0.0 ? r : 0.0;
+  }
+  return total;
+}
+
+double ToneResidualEvaluator::current() {
+  return evaluate(offsets_, static_cast<std::size_t>(-1), 0.0);
+}
+
+double ToneResidualEvaluator::try_coordinate(std::size_t i, double value) {
+  return evaluate(offsets_, i, value);
+}
+
+void ToneResidualEvaluator::set_coordinate(std::size_t i, double value) {
+  offsets_.at(i) = value;
+  b_[i] = project(value);
+}
+
+void ToneResidualEvaluator::add_tone(double value) {
+  offsets_.push_back(value);
+  b_.push_back(project(value));
+}
+
+double descend_offsets(ToneResidualEvaluator& eval, double radius, int cycles,
+                       double tol) {
+  double best = eval.current();
+  static const double kInvPhi = (std::sqrt(5.0) - 1.0) / 2.0;
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    const double before = best;
+    for (std::size_t i = 0; i < eval.dimensions(); ++i) {
+      const double center = eval.offsets()[i];
+      double a = center - radius, bnd = center + radius;
+      double c = bnd - kInvPhi * (bnd - a);
+      double d = a + kInvPhi * (bnd - a);
+      double fc = eval.try_coordinate(i, c);
+      double fd = eval.try_coordinate(i, d);
+      while (bnd - a > tol) {
+        if (fc < fd) {
+          bnd = d;
+          d = c;
+          fd = fc;
+          c = bnd - kInvPhi * (bnd - a);
+          fc = eval.try_coordinate(i, c);
+        } else {
+          a = c;
+          c = d;
+          fc = fd;
+          d = a + kInvPhi * (bnd - a);
+          fd = eval.try_coordinate(i, d);
+        }
+      }
+      const double x = fc < fd ? c : d;
+      const double fx = std::min(fc, fd);
+      if (fx < best) {
+        eval.set_coordinate(i, x);
+        best = fx;
+      }
+    }
+    if (before - best < 1e-9) break;
+  }
+  return best;
+}
+
+}  // namespace choir::core

@@ -1,0 +1,95 @@
+// Residual model for collided, dechirped LoRa symbols (paper Sec. 5.1).
+//
+// After dechirping, a collision of K transmitters in one symbol window is
+//
+//   y[n] = sum_i  h_i * exp(j*2*pi*offset_i*n/N),     n = 0..N-1   (Eqn 1)
+//
+// where offset_i is user i's aggregate (data + CFO + timing) position in
+// fractional FFT bins. Given candidate offsets, the channels h_i follow in
+// closed form by least squares (Eqn 2); the power of the reconstruction
+// residual (Eqn 3) scores the candidates, and is locally convex around the
+// truth (Fig 4), enabling the descent-based refinement (Eqn 4).
+#pragma once
+
+#include <vector>
+
+#include "util/linalg.hpp"
+#include "util/types.hpp"
+
+namespace choir::core {
+
+/// E matrix of Eqn 2: column i is the unit tone at offset_i (fractional
+/// bins) over n = 0..n_samples-1.
+CMatrix tone_matrix(const std::vector<double>& offsets_bins,
+                    std::size_t n_samples);
+
+/// Least-squares channel fit (Eqn 2) of a dechirped window at the given
+/// candidate offsets.
+cvec fit_channels(const cvec& dechirped,
+                  const std::vector<double>& offsets_bins);
+
+/// Residual power ||y - E*h||^2 (Eqn 3) with h the LS fit.
+double residual_power(const cvec& dechirped,
+                      const std::vector<double>& offsets_bins);
+
+/// Sum of per-window residual powers with channels fit independently per
+/// window (the offsets are shared — they are hardware properties; the
+/// per-window phases are not, because the tone phase advances between
+/// symbol windows).
+double residual_power_multi(const std::vector<cvec>& windows,
+                            const std::vector<double>& offsets_bins);
+
+/// Subtracts the reconstructed tones (offsets + channels) from a dechirped
+/// window in place.
+void subtract_tones(cvec& dechirped, const std::vector<double>& offsets_bins,
+                    const cvec& channels);
+
+/// Reconstructs sum_i h_i * tone(offset_i) over n_samples samples.
+cvec reconstruct_tones(const std::vector<double>& offsets_bins,
+                       const cvec& channels, std::size_t n_samples);
+
+/// Incremental residual evaluator for the coordinate-descent refinement.
+///
+/// A full residual evaluation refits every user on every window; during a
+/// line search only ONE offset moves, so only that user's projections
+/// (O(N) per window) and one Gram row change. With the Gram factorized
+/// once per candidate this cuts the refinement cost by more than an order
+/// of magnitude over naive re-evaluation.
+class ToneResidualEvaluator {
+ public:
+  ToneResidualEvaluator(const std::vector<cvec>& windows,
+                        std::vector<double> offsets);
+
+  std::size_t dimensions() const { return offsets_.size(); }
+  const std::vector<double>& offsets() const { return offsets_; }
+
+  /// Residual at the current offsets.
+  double current();
+
+  /// Residual with coordinate i replaced by `value` (no state change).
+  double try_coordinate(std::size_t i, double value);
+
+  /// Commits a coordinate change.
+  void set_coordinate(std::size_t i, double value);
+
+  /// Appends a new tone at `value`.
+  void add_tone(double value);
+
+ private:
+  double evaluate(const std::vector<double>& offs,
+                  std::size_t changed /* or SIZE_MAX */, double value);
+  std::vector<cplx> project(double offset) const;  ///< per-window b entries
+
+  const std::vector<cvec>& windows_;
+  std::vector<double> offsets_;
+  std::vector<double> window_energy_;
+  /// b_[u][w] = projection of window w on tone u.
+  std::vector<std::vector<cplx>> b_;
+};
+
+/// Cyclic coordinate descent with golden-section line searches over the
+/// evaluator's offsets; returns the final residual.
+double descend_offsets(ToneResidualEvaluator& eval, double radius, int cycles,
+                       double tol);
+
+}  // namespace choir::core

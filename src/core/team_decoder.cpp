@@ -1,0 +1,322 @@
+#include "core/team_decoder.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/residual.hpp"
+#include "dsp/chirp.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/peaks.hpp"
+
+namespace choir::core {
+
+namespace {
+
+cvec slice(const cvec& rx, std::size_t start, std::size_t n) {
+  cvec out(n, cplx{0.0, 0.0});
+  if (start >= rx.size()) return out;
+  const std::size_t avail = std::min(n, rx.size() - start);
+  std::copy(rx.begin() + static_cast<std::ptrdiff_t>(start),
+            rx.begin() + static_cast<std::ptrdiff_t>(start + avail),
+            out.begin());
+  return out;
+}
+
+double circ_dist(double a, double b, double n) {
+  double d = std::abs(std::fmod(std::fmod(a - b, n) + n, n));
+  return std::min(d, n - d);
+}
+
+double median_of(rvec v) {
+  std::nth_element(v.begin(), v.begin() + v.size() / 2, v.end());
+  return v[v.size() / 2];
+}
+
+}  // namespace
+
+TeamDecoder::TeamDecoder(const lora::PhyParams& phy,
+                         const TeamDecoderOptions& opt)
+    : phy_(phy), opt_(opt), downchirp_(dsp::base_downchirp(phy.chips())) {
+  phy_.validate();
+  if (!dsp::is_pow2(opt_.oversample))
+    throw std::invalid_argument("TeamDecoder: oversample not pow2");
+}
+
+rvec TeamDecoder::accumulated_spectrum(const cvec& rx, std::size_t start,
+                                       int windows) const {
+  const std::size_t n = phy_.chips();
+  const std::size_t fftlen = n * opt_.oversample;
+  rvec acc(fftlen, 0.0);
+  for (int k = 0; k < windows; ++k) {
+    cvec w = slice(rx, start + static_cast<std::size_t>(k) * n, n);
+    dsp::dechirp(w, downchirp_);
+    const cvec spec = dsp::fft_padded(w, fftlen);
+    for (std::size_t i = 0; i < fftlen; ++i) acc[i] += std::norm(spec[i]);
+  }
+  return acc;
+}
+
+double TeamDecoder::detection_score_at(const cvec& rx,
+                                       std::size_t start) const {
+  const rvec acc = accumulated_spectrum(rx, start, phy_.preamble_len);
+  const double floor = median_of(acc);
+  const double peak = *std::max_element(acc.begin(), acc.end());
+  return floor > 0.0 ? peak / floor : 0.0;
+}
+
+TeamDecodeResult TeamDecoder::decode(const cvec& rx, std::size_t start_hint,
+                                     std::size_t search_radius) const {
+  const std::size_t n = phy_.chips();
+  const std::size_t step =
+      std::max<std::size_t>(1, n / opt_.search_step_divisor);
+  TeamDecodeResult res;
+
+  const std::size_t lo =
+      start_hint > search_radius ? start_hint - search_radius : 0;
+  const std::size_t hi = start_hint + search_radius;
+  double best_score = 0.0;
+  std::size_t best_start = start_hint;
+  for (std::size_t cand = lo; cand <= hi; cand += step) {
+    const double score = detection_score_at(rx, cand);
+    if (score > best_score) {
+      best_score = score;
+      best_start = cand;
+    }
+  }
+  res.detection_score = best_score;
+  if (best_score < opt_.detect_factor) {
+    res.frame_start = best_start;
+    return res;
+  }
+  // The preamble is self-similar under whole-symbol shifts AND the
+  // accumulated-power score is insensitive to sub-symbol shifts, so the
+  // scan can lock up to a symbol off in either direction. The SFD
+  // down-chirps are shift-*sensitive* (their energy concentrates in one
+  // dechirped tone only at the true alignment), so refine the anchor by
+  // maximizing SFD peak energy over a fine grid around the coarse lock.
+  {
+    const cvec up = dsp::base_upchirp(n);
+    double best_sfd = -1.0;
+    std::size_t best_aligned = best_start;
+    // Stage 1: whole-symbol shifts; stage 2: a fine pass around the
+    // winner. One flat fine scan across +-N is too noisy at the
+    // below-noise-floor operating point.
+    std::vector<std::int64_t> shifts;
+    for (std::int64_t s = -static_cast<std::int64_t>(n);
+         s <= static_cast<std::int64_t>(n);
+         s += static_cast<std::int64_t>(n)) {
+      shifts.push_back(s);
+    }
+    for (std::int64_t shift : shifts) {
+      const std::int64_t cand64 =
+          static_cast<std::int64_t>(best_start) + shift;
+      if (cand64 < 0) continue;
+      const auto cand = static_cast<std::size_t>(cand64);
+      double acc = 0.0;
+      for (int k = 0; k < phy_.sfd_len; ++k) {
+        cvec w = slice(rx,
+                       cand + static_cast<std::size_t>(phy_.preamble_len + k) * n,
+                       n);
+        dsp::dechirp(w, up);
+        const cvec spec = dsp::fft_padded(w, n * opt_.oversample);
+        double m = 0.0;
+        for (const auto& s : spec) m = std::max(m, std::norm(s));
+        acc += m;
+      }
+      if (acc > best_sfd) {
+        best_sfd = acc;
+        best_aligned = cand;
+      }
+    }
+    best_start = best_aligned;
+  }
+  res.detected = true;
+
+  // Sub-symbol anchor refinement: the preamble/SFD scores are too shallow
+  // at below-noise SNR to pin the anchor finely, so try a small grid of
+  // anchors and keep the first that decodes CRC-clean (falling back to the
+  // best-detected one).
+  TeamDecodeResult best_attempt;
+  bool have_attempt = false;
+  const auto fine_step = static_cast<std::int64_t>(n / 16);
+  std::vector<std::int64_t> shifts{0};
+  for (int k = 1; k <= 8; ++k) {  // out to half a symbol, nearest first
+    shifts.push_back(-k * fine_step);
+    shifts.push_back(k * fine_step);
+  }
+  for (std::int64_t shift : shifts) {
+    const std::int64_t cand64 = static_cast<std::int64_t>(best_start) + shift;
+    if (cand64 < 0) continue;
+    TeamDecodeResult attempt =
+        decode_components_at(rx, static_cast<std::size_t>(cand64));
+    attempt.detection_score = res.detection_score;
+    attempt.detected = true;
+    if (attempt.crc_ok) return attempt;
+    if (!have_attempt && attempt.frame_ok) {
+      best_attempt = attempt;
+      have_attempt = true;
+    }
+  }
+  if (have_attempt) return best_attempt;
+  res.frame_start = best_start;
+  return res;
+}
+
+TeamDecodeResult TeamDecoder::decode_components_at(const cvec& rx,
+                                                   std::size_t best_start) const {
+  const std::size_t n = phy_.chips();
+  TeamDecodeResult res;
+  res.detected = true;
+  res.frame_start = best_start;
+
+  // Component offsets from the accumulated preamble spectrum.
+  const rvec acc = accumulated_spectrum(rx, best_start, phy_.preamble_len);
+  const std::size_t fftlen = acc.size();
+  rvec mag(fftlen);
+  for (std::size_t i = 0; i < fftlen; ++i) mag[i] = std::sqrt(acc[i]);
+  const double floor = std::sqrt(median_of(acc));
+  const double maxmag = *std::max_element(mag.begin(), mag.end());
+
+  struct Cand {
+    double bin;
+    double mag;
+  };
+  std::vector<Cand> cands;
+  for (std::size_t i = 0; i < fftlen; ++i) {
+    const std::size_t prev = (i + fftlen - 1) % fftlen;
+    const std::size_t next = (i + 1) % fftlen;
+    if (mag[i] <= mag[prev] || mag[i] < mag[next]) continue;
+    if (mag[i] < opt_.component_rel_floor * maxmag) continue;
+    if (mag[i] < std::sqrt(opt_.detect_factor) * floor) continue;
+    const dsp::ParabolicFit fit = dsp::parabolic_refine(mag, i, true);
+    cands.push_back({static_cast<double>(i) + fit.offset, fit.magnitude});
+  }
+  std::sort(cands.begin(), cands.end(),
+            [](const Cand& a, const Cand& b) { return a.mag > b.mag; });
+  const double min_sep = 0.7 * static_cast<double>(opt_.oversample);
+  for (const Cand& c : cands) {
+    bool keep = true;
+    for (double o : res.offsets) {
+      if (circ_dist(c.bin, o * static_cast<double>(opt_.oversample),
+                    static_cast<double>(fftlen)) < min_sep) {
+        keep = false;
+        break;
+      }
+    }
+    if (!keep) continue;
+    res.offsets.push_back(c.bin / static_cast<double>(opt_.oversample));
+    if (res.offsets.size() >= opt_.max_components) break;
+  }
+  if (res.offsets.empty()) {
+    res.detected = false;
+    return res;
+  }
+
+  // Refine the component offsets jointly on the preamble windows: the
+  // accumulated-spectrum peaks are only coarse when many components crowd
+  // together, and decoding errors are dominated by +-1 symbol rounding
+  // from biased comb positions.
+  {
+    std::vector<cvec> pre;
+    for (int k = 1; k < phy_.preamble_len; ++k) {
+      cvec w = slice(rx, best_start + static_cast<std::size_t>(k) * n, n);
+      dsp::dechirp(w, downchirp_);
+      pre.push_back(std::move(w));
+    }
+    if (!pre.empty()) {
+      ToneResidualEvaluator eval(pre, res.offsets);
+      descend_offsets(eval, 0.3, 4, 1e-4);
+      res.offsets = eval.offsets();
+      const double dn_wrap = static_cast<double>(n);
+      for (double& o : res.offsets) {
+        o = std::fmod(std::fmod(o, dn_wrap) + dn_wrap, dn_wrap);
+      }
+    }
+  }
+
+  // Component weights: average |h| across preamble windows by least
+  // squares. Individually-sub-noise channels average into usable weights.
+  res.weights.assign(res.offsets.size(), 0.0);
+  int fitted = 0;
+  for (int k = 1; k < phy_.preamble_len; ++k) {  // window 0 has the sync gap
+    cvec w = slice(rx, best_start + static_cast<std::size_t>(k) * n, n);
+    dsp::dechirp(w, downchirp_);
+    try {
+      const cvec h = fit_channels(w, res.offsets);
+      for (std::size_t i = 0; i < h.size(); ++i)
+        res.weights[i] += std::abs(h[i]);
+      ++fitted;
+    } catch (const std::runtime_error&) {
+      // singular fit for this window; skip it
+    }
+  }
+  if (fitted > 0) {
+    for (double& w : res.weights) w /= fitted;
+  } else {
+    std::fill(res.weights.begin(), res.weights.end(), 1.0);
+  }
+
+  // Power-spectrum template for the ML search: the accumulated preamble
+  // spectrum *is* the team's spectral signature (every member's tone at
+  // its own sub-bin position, including members too crowded to resolve as
+  // discrete components). A data symbol d shifts the whole signature by d
+  // bins, so the ML search correlates each data window's power spectrum
+  // against the shifted template — using all of the team's energy instead
+  // of a discrete component comb.
+  const std::size_t fftlen_t = acc.size();
+  rvec tmpl(fftlen_t, 0.0);
+  std::vector<std::size_t> support;
+  {
+    const double floor_med = median_of(acc);
+    for (std::size_t b = 0; b < fftlen_t; ++b) {
+      const double v = acc[b] - 2.0 * floor_med;
+      if (v > 0.0) {
+        tmpl[b] = v;
+        support.push_back(b);
+      }
+    }
+  }
+
+  // ML data decoding (Eqn 6, matched-filter form): all team members send
+  // the same symbol d; score each candidate by the weighted sum of
+  // spectrum magnitudes at the components' offset comb.
+  const std::size_t data_start =
+      best_start +
+      static_cast<std::size_t>(phy_.preamble_len + phy_.sfd_len) * n;
+  for (std::size_t j = 0; j < opt_.max_data_symbols; ++j) {
+    const std::size_t ws = data_start + j * n;
+    if (ws + n > rx.size() + n / 2) break;
+    cvec w = slice(rx, ws, n);
+    dsp::dechirp(w, downchirp_);
+    const cvec spec = dsp::fft_padded(w, n * opt_.oversample);
+    rvec pw(spec.size());
+    for (std::size_t b = 0; b < spec.size(); ++b) pw[b] = std::norm(spec[b]);
+    double best_val = -1.0;
+    std::uint32_t best_d = 0;
+    for (std::size_t d = 0; d < n; ++d) {
+      const std::size_t shift = d * opt_.oversample;
+      double score = 0.0;
+      for (std::size_t b : support) {
+        score += tmpl[b] * pw[(b + shift) % fftlen_t];
+      }
+      if (score > best_val) {
+        best_val = score;
+        best_d = static_cast<std::uint32_t>(d);
+      }
+    }
+    res.symbols.push_back(best_d);
+  }
+
+  const auto parsed = lora::parse_frame_symbols(res.symbols, phy_);
+  if (parsed) {
+    res.frame_ok = true;
+    res.payload = parsed->payload;
+    res.crc_ok = parsed->crc_ok;
+    res.fec = parsed->fec;
+  }
+  return res;
+}
+
+}  // namespace choir::core

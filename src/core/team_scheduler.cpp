@@ -1,0 +1,72 @@
+#include "core/team_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/db.hpp"
+
+namespace choir::core {
+
+double aggregate_snr_db(const std::vector<double>& member_snrs_db) {
+  double lin = 0.0;
+  for (double s : member_snrs_db) lin += db_to_linear(s);
+  return lin > 0.0 ? linear_to_db(lin) : -300.0;
+}
+
+TeamPlan plan_teams(const std::vector<SensorInfo>& sensors,
+                    const TeamPlanOptions& opt) {
+  TeamPlan plan;
+  std::vector<const SensorInfo*> weak;
+  for (const auto& s : sensors) {
+    if (s.snr_db >= opt.individual_floor_db) {
+      plan.individual.push_back(s.id);
+    } else {
+      weak.push_back(&s);
+    }
+  }
+  // Strongest weak sensors seed teams: they need the fewest partners.
+  std::sort(weak.begin(), weak.end(),
+            [](const SensorInfo* a, const SensorInfo* b) {
+              return a->snr_db > b->snr_db;
+            });
+
+  std::vector<bool> used(weak.size(), false);
+  for (std::size_t i = 0; i < weak.size(); ++i) {
+    if (used[i]) continue;
+    std::vector<std::size_t> team_idx{i};
+    std::vector<double> snrs{weak[i]->snr_db};
+    used[i] = true;
+    // Grow with the nearest unused below-floor sensors.
+    while (aggregate_snr_db(snrs) < opt.team_target_db &&
+           team_idx.size() < opt.max_team_size) {
+      double best_d = opt.proximity_m;
+      std::size_t best_j = weak.size();
+      for (std::size_t j = 0; j < weak.size(); ++j) {
+        if (used[j]) continue;
+        // Distance to the seed keeps teams compact (correlated readings).
+        const double dx = weak[j]->x_m - weak[i]->x_m;
+        const double dy = weak[j]->y_m - weak[i]->y_m;
+        const double d = std::sqrt(dx * dx + dy * dy);
+        if (d <= best_d) {
+          best_d = d;
+          best_j = j;
+        }
+      }
+      if (best_j == weak.size()) break;  // nobody close enough
+      used[best_j] = true;
+      team_idx.push_back(best_j);
+      snrs.push_back(weak[best_j]->snr_db);
+    }
+    if (aggregate_snr_db(snrs) >= opt.team_target_db) {
+      std::vector<std::size_t> ids;
+      ids.reserve(team_idx.size());
+      for (std::size_t t : team_idx) ids.push_back(weak[t]->id);
+      plan.teams.push_back(std::move(ids));
+    } else {
+      for (std::size_t t : team_idx) plan.unreachable.push_back(weak[t]->id);
+    }
+  }
+  return plan;
+}
+
+}  // namespace choir::core

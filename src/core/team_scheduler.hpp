@@ -1,0 +1,53 @@
+// Beacon-driven team scheduling (paper Sec. 7.1).
+//
+// The base station knows each sensor's long-run SNR (from past receptions
+// or deployment surveys). Sensors above the demodulation floor transmit
+// individually; sensors below it are grouped into geographically-compact
+// teams sized so the team's aggregate received power clears the decoding
+// threshold. Farther sensors therefore get larger teams — coarser data,
+// but reachable (the resolution/distance trade-off of Fig 10).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace choir::core {
+
+struct SensorInfo {
+  std::size_t id = 0;
+  double snr_db = 0.0;  ///< long-run per-sample SNR at the base station
+  double x_m = 0.0;     ///< position (for proximity grouping)
+  double y_m = 0.0;
+};
+
+struct TeamPlan {
+  /// Sensors that can transmit individually.
+  std::vector<std::size_t> individual;
+  /// Teams of below-floor sensors scheduled to transmit together.
+  std::vector<std::vector<std::size_t>> teams;
+  /// Sensors that cannot be combined into any viable team.
+  std::vector<std::size_t> unreachable;
+};
+
+struct TeamPlanOptions {
+  /// SNR above which a sensor is decodable on its own.
+  double individual_floor_db = -7.5;
+  /// Effective aggregate SNR a team must reach (the team decoder's
+  /// accumulated-preamble detection threshold, with margin).
+  double team_target_db = -4.0;
+  /// Maximum distance between team members (correlated-data radius).
+  double proximity_m = 150.0;
+  std::size_t max_team_size = 30;
+};
+
+/// Greedy planner: clusters below-floor sensors by proximity (strongest
+/// first as seeds) and grows each team until its power sum clears the
+/// target.
+TeamPlan plan_teams(const std::vector<SensorInfo>& sensors,
+                    const TeamPlanOptions& opt);
+
+/// Aggregate SNR (dB) of a set of incoherently-added equal-data
+/// transmitters with the given per-sensor SNRs (power sum).
+double aggregate_snr_db(const std::vector<double>& member_snrs_db);
+
+}  // namespace choir::core

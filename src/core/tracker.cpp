@@ -1,0 +1,133 @@
+#include "core/tracker.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "cluster/constrained_kmeans.hpp"
+#include "dsp/chirp.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/peaks.hpp"
+
+namespace choir::core {
+
+namespace {
+
+cvec slice(const cvec& rx, std::size_t start, std::size_t n) {
+  cvec out(n, cplx{0.0, 0.0});
+  if (start >= rx.size()) return out;
+  const std::size_t avail = std::min(n, rx.size() - start);
+  std::copy(rx.begin() + static_cast<std::ptrdiff_t>(start),
+            rx.begin() + static_cast<std::ptrdiff_t>(start + avail),
+            out.begin());
+  return out;
+}
+
+double frac_part(double x) { return x - std::floor(x); }
+
+}  // namespace
+
+UserTracker::UserTracker(const lora::PhyParams& phy, const TrackerOptions& opt)
+    : phy_(phy), opt_(opt), downchirp_(dsp::base_downchirp(phy.chips())) {
+  phy_.validate();
+}
+
+std::vector<PeakObservation> UserTracker::collect(const cvec& rx,
+                                                  std::size_t data_start,
+                                                  std::size_t n_windows,
+                                                  std::size_t max_peaks) const {
+  const std::size_t n = phy_.chips();
+  std::vector<PeakObservation> out;
+  for (std::size_t j = 0; j < n_windows; ++j) {
+    cvec w = slice(rx, data_start + j * n, n);
+    dsp::dechirp(w, downchirp_);
+    const cvec spec = dsp::fft_padded(w, n * opt_.oversample);
+    dsp::PeakFindOptions popt;
+    popt.threshold = opt_.peak_detect_factor * dsp::noise_floor(spec);
+    popt.min_separation = 0.5 * static_cast<double>(opt_.oversample);
+    popt.max_peaks = max_peaks;
+    for (const dsp::Peak& p : dsp::find_peaks(spec, popt)) {
+      PeakObservation ob;
+      ob.window = j;
+      ob.bin = p.bin / static_cast<double>(opt_.oversample);
+      ob.magnitude = p.magnitude;
+      ob.phase = std::arg(p.value);
+      out.push_back(ob);
+    }
+  }
+  return out;
+}
+
+std::vector<int> UserTracker::cluster_users(
+    const std::vector<PeakObservation>& obs, std::size_t k, Rng& rng) const {
+  if (obs.empty()) return {};
+  double max_mag = 0.0;
+  for (const auto& o : obs) max_mag = std::max(max_mag, o.magnitude);
+  if (max_mag <= 0.0) max_mag = 1.0;
+
+  std::vector<std::vector<double>> points;
+  points.reserve(obs.size());
+  for (const auto& o : obs) {
+    points.push_back({frac_part(o.bin), o.magnitude / max_mag});
+  }
+  cluster::FeatureSpec spec;
+  spec.circular = {true, false};
+  spec.weight = {1.0, opt_.magnitude_feature_weight};
+
+  std::vector<cluster::CannotLink> links;
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    for (std::size_t j = i + 1; j < obs.size(); ++j) {
+      if (obs[i].window == obs[j].window) links.push_back({i, j});
+    }
+  }
+
+  cluster::KMeansOptions kopt;
+  kopt.k = k;
+  kopt.restarts = opt_.kmeans_restarts;
+  const cluster::KMeansResult r =
+      cluster::constrained_kmeans(points, links, spec, kopt, rng);
+  return r.assignment;
+}
+
+std::vector<std::vector<std::uint32_t>> UserTracker::symbol_streams(
+    const std::vector<PeakObservation>& obs, const std::vector<int>& assignment,
+    std::size_t k, std::size_t n_windows) const {
+  if (obs.size() != assignment.size())
+    throw std::invalid_argument("symbol_streams: size mismatch");
+  const double dn = static_cast<double>(phy_.chips());
+  constexpr std::uint32_t kMissing = 0xFFFFFFFFu;
+
+  // Per-cluster circular-mean fractional offset.
+  std::vector<double> sx(k, 0.0), sy(k, 0.0);
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    const auto c = static_cast<std::size_t>(assignment[i]);
+    if (c >= k) continue;
+    const double th = kTwoPi * frac_part(obs[i].bin);
+    sx[c] += std::cos(th);
+    sy[c] += std::sin(th);
+  }
+  std::vector<double> lambda(k, 0.0);
+  for (std::size_t c = 0; c < k; ++c) {
+    double th = std::atan2(sy[c], sx[c]);
+    if (th < 0) th += kTwoPi;
+    lambda[c] = th / kTwoPi;
+  }
+
+  std::vector<std::vector<std::uint32_t>> streams(
+      k, std::vector<std::uint32_t>(n_windows, kMissing));
+  // Strongest observation wins when a cluster has several in one window.
+  std::vector<std::vector<double>> best_mag(k,
+                                            std::vector<double>(n_windows, -1.0));
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    const auto c = static_cast<std::size_t>(assignment[i]);
+    if (c >= k || obs[i].window >= n_windows) continue;
+    if (obs[i].magnitude <= best_mag[c][obs[i].window]) continue;
+    best_mag[c][obs[i].window] = obs[i].magnitude;
+    double sym = std::round(obs[i].bin - lambda[c]);
+    sym = std::fmod(std::fmod(sym, dn) + dn, dn);
+    streams[c][obs[i].window] = static_cast<std::uint32_t>(sym);
+  }
+  return streams;
+}
+
+}  // namespace choir::core

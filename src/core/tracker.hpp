@@ -1,0 +1,72 @@
+// Clustering-based symbol-to-user mapping (paper Sec. 6.2).
+//
+// An alternative to the greedy per-window assignment inside
+// CollisionDecoder: gather every FFT peak observed across the data windows,
+// describe each by (fractional bin position, normalized magnitude), add
+// cannot-link constraints between peaks of the same window (they must
+// belong to distinct users), and cluster with the constrained k-means of
+// src/cluster. Used to validate the assignment pipeline and exercised by
+// the Sec. 6.2 bench.
+//
+// Caveat (see dsp/fold_tone.hpp): with a *fractional* timing offset the
+// chirp fold inside each data window biases the apparent FFT peak position
+// by a data-dependent fraction of a bin, so raw-peak fractional tracking is
+// only reliable when transmitters are sampled near-coherently
+// (frac(tau) ~ 0). The CollisionDecoder's fold-aware matched templates do
+// not share this limitation — which is exactly why they exist.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/offset_estimator.hpp"
+#include "lora/params.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace choir::core {
+
+struct PeakObservation {
+  std::size_t window = 0;  ///< data-window index
+  double bin = 0.0;        ///< chirp-bin position (fractional)
+  double magnitude = 0.0;  ///< peak magnitude
+  double phase = 0.0;      ///< peak phase (radians)
+};
+
+struct TrackerOptions {
+  std::size_t oversample = 16;
+  double peak_detect_factor = 3.0;
+  double magnitude_feature_weight = 0.15;
+  int kmeans_restarts = 6;
+};
+
+class UserTracker {
+ public:
+  UserTracker(const lora::PhyParams& phy, const TrackerOptions& opt = {});
+
+  /// Collects peak observations from `n_windows` data windows starting at
+  /// sample `data_start`, keeping at most `max_peaks` peaks per window.
+  std::vector<PeakObservation> collect(const cvec& rx, std::size_t data_start,
+                                       std::size_t n_windows,
+                                       std::size_t max_peaks) const;
+
+  /// Clusters observations into k users. Returns cluster index per
+  /// observation (aligned with `obs`).
+  std::vector<int> cluster_users(const std::vector<PeakObservation>& obs,
+                                 std::size_t k, Rng& rng) const;
+
+  /// Reconstructs per-user symbol streams: cluster c's stream, indexed by
+  /// window, using the cluster's own centroid fractional offset as lambda.
+  /// Windows where a cluster has no observation get the sentinel 0xFFFFFFFF.
+  std::vector<std::vector<std::uint32_t>> symbol_streams(
+      const std::vector<PeakObservation>& obs,
+      const std::vector<int>& assignment, std::size_t k,
+      std::size_t n_windows) const;
+
+ private:
+  lora::PhyParams phy_;
+  TrackerOptions opt_;
+  cvec downchirp_;
+};
+
+}  // namespace choir::core

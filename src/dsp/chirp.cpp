@@ -1,0 +1,81 @@
+#include "dsp/chirp.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+
+namespace choir::dsp {
+
+namespace {
+
+// Quadratic chirp phase (cycles) of the *base* chirp evaluated at continuous
+// argument w in [0, n]: integral of the instantaneous frequency
+// f(w) = w/n - 1/2 (cycles/sample).
+double base_phase_cycles(std::size_t n, double w) {
+  const double dn = static_cast<double>(n);
+  return w * w / (2.0 * dn) - w / 2.0;
+}
+
+}  // namespace
+
+cvec base_upchirp(std::size_t n) {
+  if (!is_pow2(n)) throw std::invalid_argument("base_upchirp: n not pow2");
+  cvec out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = cis(kTwoPi * base_phase_cycles(n, static_cast<double>(i)));
+  }
+  return out;
+}
+
+cvec base_downchirp(std::size_t n) {
+  cvec up = base_upchirp(n);
+  for (auto& x : up) x = std::conj(x);
+  return up;
+}
+
+cvec symbol_chirp(std::size_t n, std::size_t symbol) {
+  if (symbol >= n) throw std::invalid_argument("symbol_chirp: symbol >= n");
+  cvec out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = cis(chirp_phase(n, symbol, static_cast<double>(i)));
+  }
+  return out;
+}
+
+double chirp_phase(std::size_t n, std::size_t symbol, double u) {
+  if (symbol >= n) throw std::invalid_argument("chirp_phase: symbol >= n");
+  const double dn = static_cast<double>(n);
+  const double ds = static_cast<double>(symbol);
+  const double fold = dn - ds;  // local time at which frequency wraps
+  double cycles;
+  if (u < fold) {
+    // Instantaneous frequency (s+u)/n - 1/2; phase relative to symbol start.
+    cycles = base_phase_cycles(n, ds + u) - base_phase_cycles(n, ds);
+  } else {
+    // After the fold the chirp restarts from the bottom of the band;
+    // the phase stays continuous at u = fold.
+    const double at_fold =
+        base_phase_cycles(n, dn) - base_phase_cycles(n, ds);
+    const double v = u - fold;  // equals s + u - n
+    cycles = at_fold + base_phase_cycles(n, v);
+  }
+  return kTwoPi * cycles;
+}
+
+double chirp_phase_at_end(std::size_t n, std::size_t symbol) {
+  // Evaluate the segment-2 expression at u = n (v = symbol).
+  const double dn = static_cast<double>(n);
+  const double ds = static_cast<double>(symbol);
+  if (symbol == 0) return kTwoPi * (base_phase_cycles(n, dn));
+  const double at_fold = base_phase_cycles(n, dn) - base_phase_cycles(n, ds);
+  return kTwoPi * (at_fold + base_phase_cycles(n, ds));
+}
+
+void dechirp(cvec& window, const cvec& downchirp) {
+  if (window.size() != downchirp.size())
+    throw std::invalid_argument("dechirp: size mismatch");
+  for (std::size_t i = 0; i < window.size(); ++i) window[i] *= downchirp[i];
+}
+
+}  // namespace choir::dsp

@@ -1,0 +1,51 @@
+// Chirp-spread-spectrum primitives.
+//
+// A LoRa symbol with spreading factor SF is one of N = 2^SF cyclic shifts of
+// a base up-chirp spanning the full bandwidth B over the symbol duration
+// T = N/B. At complex baseband critically sampled at fs = B, the base
+// up-chirp is
+//
+//   c0[n] = exp(j*2*pi*(n^2/(2N) - n/2)),   n = 0..N-1
+//
+// and symbol `s` is c0 cyclically shifted by s samples, which (at integer
+// sample times) equals c0[n] * exp(j*2*pi*n*s/N) up to a constant phase.
+// Dechirping (multiplying by conj(c0)) therefore turns symbol s into a pure
+// tone at FFT bin s — the property Choir's whole receiver rests on.
+//
+// This header provides both the integer-grid buffers used by receivers and
+// the continuous-time phase function used by the transmitter synthesizer to
+// model sub-sample timing offsets (the time/frequency duality of Sec. 6).
+#pragma once
+
+#include <cstddef>
+
+#include "util/types.hpp"
+
+namespace choir::dsp {
+
+/// Base up-chirp (symbol 0) of length n samples, n a power of two.
+cvec base_upchirp(std::size_t n);
+
+/// Base down-chirp: complex conjugate of the base up-chirp. Multiplying a
+/// received symbol by this "dechirps" it into a tone.
+cvec base_downchirp(std::size_t n);
+
+/// Integer-grid chirp for a given symbol value (cyclic shift of the base
+/// up-chirp). `symbol` must be in [0, n).
+cvec symbol_chirp(std::size_t n, std::size_t symbol);
+
+/// Continuous-time phase (radians) of the chirp for `symbol`, evaluated at
+/// local time `u` samples into the symbol (u in [0, n), may be fractional).
+/// The phase is continuous across the frequency fold at u = n - symbol,
+/// matching a phase-continuous analog transmitter.
+double chirp_phase(std::size_t n, std::size_t symbol, double u);
+
+/// Phase advance accumulated over one full symbol (used to keep the
+/// transmitted packet phase-continuous across symbol boundaries).
+double chirp_phase_at_end(std::size_t n, std::size_t symbol);
+
+/// Dechirp a window of samples in place: element-wise multiply by the base
+/// down-chirp. `window.size()` must equal `downchirp.size()`.
+void dechirp(cvec& window, const cvec& downchirp);
+
+}  // namespace choir::dsp

@@ -1,0 +1,114 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace choir::dsp {
+
+bool is_pow2(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+FftPlan::FftPlan(std::size_t size) : size_(size) {
+  if (!is_pow2(size)) throw std::invalid_argument("FftPlan: size not pow2");
+  bit_reverse_.resize(size);
+  std::size_t log2n = 0;
+  while ((std::size_t{1} << log2n) < size) ++log2n;
+  for (std::size_t i = 0; i < size; ++i) {
+    std::size_t rev = 0;
+    for (std::size_t b = 0; b < log2n; ++b)
+      if (i & (std::size_t{1} << b)) rev |= std::size_t{1} << (log2n - 1 - b);
+    bit_reverse_[i] = rev;
+  }
+  // Twiddles for each stage, flattened: stage with half-length `len/2`
+  // needs len/2 factors. Total = size - 1 factors.
+  twiddles_.reserve(size);
+  inv_twiddles_.reserve(size);
+  for (std::size_t len = 2; len <= size; len <<= 1) {
+    const double ang = -kTwoPi / static_cast<double>(len);
+    for (std::size_t k = 0; k < len / 2; ++k) {
+      twiddles_.push_back(cis(ang * static_cast<double>(k)));
+      inv_twiddles_.push_back(cis(-ang * static_cast<double>(k)));
+    }
+  }
+}
+
+void FftPlan::transform(cvec& data, bool invert) const {
+  if (data.size() != size_)
+    throw std::invalid_argument("FftPlan: buffer size mismatch");
+  for (std::size_t i = 0; i < size_; ++i) {
+    const std::size_t j = bit_reverse_[i];
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  const cvec& tw = invert ? inv_twiddles_ : twiddles_;
+  std::size_t tw_off = 0;
+  for (std::size_t len = 2; len <= size_; len <<= 1) {
+    const std::size_t half = len / 2;
+    for (std::size_t start = 0; start < size_; start += len) {
+      for (std::size_t k = 0; k < half; ++k) {
+        const cplx u = data[start + k];
+        const cplx v = data[start + k + half] * tw[tw_off + k];
+        data[start + k] = u + v;
+        data[start + k + half] = u - v;
+      }
+    }
+    tw_off += half;
+  }
+  if (invert) {
+    const double inv_n = 1.0 / static_cast<double>(size_);
+    for (auto& x : data) x *= inv_n;
+  }
+}
+
+void FftPlan::forward(cvec& data) const { transform(data, false); }
+void FftPlan::inverse(cvec& data) const { transform(data, true); }
+
+const FftPlan& plan_for(std::size_t size) {
+  static std::map<std::size_t, std::unique_ptr<FftPlan>> cache;
+  auto it = cache.find(size);
+  if (it == cache.end()) {
+    it = cache.emplace(size, std::make_unique<FftPlan>(size)).first;
+  }
+  return *it->second;
+}
+
+cvec fft_padded(const cvec& in, std::size_t out_size) {
+  if (out_size < in.size())
+    throw std::invalid_argument("fft_padded: out_size < input length");
+  cvec buf(out_size, cplx{0.0, 0.0});
+  std::copy(in.begin(), in.end(), buf.begin());
+  plan_for(out_size).forward(buf);
+  return buf;
+}
+
+cvec fft(const cvec& in) {
+  cvec buf = in;
+  plan_for(buf.size()).forward(buf);
+  return buf;
+}
+
+cvec ifft(const cvec& in) {
+  cvec buf = in;
+  plan_for(buf.size()).inverse(buf);
+  return buf;
+}
+
+rvec magnitude(const cvec& spectrum) {
+  rvec out(spectrum.size());
+  for (std::size_t i = 0; i < spectrum.size(); ++i)
+    out[i] = std::abs(spectrum[i]);
+  return out;
+}
+
+rvec power(const cvec& spectrum) {
+  rvec out(spectrum.size());
+  for (std::size_t i = 0; i < spectrum.size(); ++i)
+    out[i] = std::norm(spectrum[i]);
+  return out;
+}
+
+}  // namespace choir::dsp

@@ -1,0 +1,64 @@
+// Iterative radix-2 FFT with precomputed twiddle plans.
+//
+// The Choir receiver performs one dechirp + FFT per symbol window, typically
+// at an oversampling (zero-padding) factor of 16 over the 2^SF symbol
+// length, so plans are cached per size.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+
+#include "util/types.hpp"
+
+namespace choir::dsp {
+
+/// Returns true if n is a power of two (n >= 1).
+bool is_pow2(std::size_t n);
+
+/// Smallest power of two >= n.
+std::size_t next_pow2(std::size_t n);
+
+/// Precomputed FFT plan for a fixed power-of-two size.
+class FftPlan {
+ public:
+  explicit FftPlan(std::size_t size);
+
+  std::size_t size() const { return size_; }
+
+  /// In-place forward transform; `data.size()` must equal `size()`.
+  void forward(cvec& data) const;
+
+  /// In-place inverse transform (scaled by 1/N).
+  void inverse(cvec& data) const;
+
+ private:
+  void transform(cvec& data, bool invert) const;
+
+  std::size_t size_;
+  std::vector<std::size_t> bit_reverse_;
+  cvec twiddles_;          // forward twiddles per stage, flattened
+  cvec inv_twiddles_;
+};
+
+/// Process-wide plan cache. Plans are immutable after construction; the
+/// cache is not thread-safe (the simulator is single-threaded by design).
+const FftPlan& plan_for(std::size_t size);
+
+/// Out-of-place forward FFT zero-padded to `out_size` (power of two,
+/// >= in.size()). Returns the complex spectrum.
+cvec fft_padded(const cvec& in, std::size_t out_size);
+
+/// Convenience: forward FFT of exactly in.size() (must be a power of two).
+cvec fft(const cvec& in);
+
+/// Convenience: inverse FFT (power-of-two size), scaled by 1/N.
+cvec ifft(const cvec& in);
+
+/// Magnitude of each spectrum bin.
+rvec magnitude(const cvec& spectrum);
+
+/// Squared magnitude (power) of each spectrum bin.
+rvec power(const cvec& spectrum);
+
+}  // namespace choir::dsp

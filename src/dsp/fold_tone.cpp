@@ -1,0 +1,149 @@
+#include "dsp/fold_tone.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace choir::dsp {
+
+cplx tone_dft(const cvec& window, double freq_bins) {
+  const std::size_t n = window.size();
+  const cplx step = cis(-kTwoPi * freq_bins / static_cast<double>(n));
+  cplx ph{1.0, 0.0};
+  cplx acc{0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += window[i] * ph;
+    ph *= step;
+  }
+  return acc;
+}
+
+namespace {
+
+struct FoldGeometry {
+  std::size_t n0;    ///< first sample covered by the template
+  std::size_t fold;  ///< first sample after the fold (clamped to [n0, N])
+  cplx jump;         ///< segment-B phase factor e^{j*2*pi*tau}
+};
+
+FoldGeometry geometry(std::size_t n, double lambda, double tau,
+                      std::uint32_t d) {
+  (void)lambda;
+  FoldGeometry g;
+  g.n0 = tau > 0.0 ? static_cast<std::size_t>(std::ceil(tau)) : 0;
+  g.n0 = std::min(g.n0, n);
+  const double p = static_cast<double>(n) - static_cast<double>(d) + tau;
+  double pc = std::clamp(p, static_cast<double>(g.n0), static_cast<double>(n));
+  g.fold = static_cast<std::size_t>(std::ceil(pc));
+  g.jump = cis(kTwoPi * tau);
+  return g;
+}
+
+}  // namespace
+
+cplx fold_corr(const cvec& dechirped, double lambda, double tau,
+               std::uint32_t d) {
+  const std::size_t n = dechirped.size();
+  const FoldGeometry g = geometry(n, lambda, tau, d);
+  const double f = static_cast<double>(d) + lambda;
+  const cplx step = cis(-kTwoPi * f / static_cast<double>(n));
+  cplx ph = cis(-kTwoPi * f * static_cast<double>(g.n0) /
+                static_cast<double>(n));
+  cplx acc{0.0, 0.0};
+  for (std::size_t i = g.n0; i < g.fold; ++i) {
+    acc += dechirped[i] * ph;
+    ph *= step;
+  }
+  cplx acc_b{0.0, 0.0};
+  for (std::size_t i = g.fold; i < n; ++i) {
+    acc_b += dechirped[i] * ph;
+    ph *= step;
+  }
+  return acc + std::conj(g.jump) * acc_b;
+}
+
+cplx fold_fit(const cvec& dechirped, double lambda, double tau,
+              std::uint32_t d) {
+  const std::size_t n = dechirped.size();
+  const FoldGeometry g = geometry(n, lambda, tau, d);
+  const double norm = static_cast<double>(n - g.n0);
+  if (norm <= 0.0) return {0.0, 0.0};
+  return fold_corr(dechirped, lambda, tau, d) / norm;
+}
+
+void fold_subtract(cvec& dechirped, double lambda, double tau,
+                   std::uint32_t d, cplx amp) {
+  const std::size_t n = dechirped.size();
+  const FoldGeometry g = geometry(n, lambda, tau, d);
+  const double f = static_cast<double>(d) + lambda;
+  const cplx step = cis(kTwoPi * f / static_cast<double>(n));
+  cplx ph =
+      cis(kTwoPi * f * static_cast<double>(g.n0) / static_cast<double>(n));
+  for (std::size_t i = g.n0; i < g.fold; ++i) {
+    dechirped[i] -= amp * ph;
+    ph *= step;
+  }
+  const cplx amp_b = amp * g.jump;
+  for (std::size_t i = g.fold; i < n; ++i) {
+    dechirped[i] -= amp_b * ph;
+    ph *= step;
+  }
+}
+
+namespace {
+
+FoldArgmax argmax_over(const cvec& dechirped, double lambda, double tau,
+                       const std::vector<std::uint32_t>& ds, std::size_t n) {
+  FoldArgmax best;
+  double best_score = -1.0;
+  std::uint32_t best_d = 0;
+  double second_score = -1.0;
+  std::uint32_t second_d = 0;
+  for (std::uint32_t d : ds) {
+    const double s = std::abs(fold_corr(dechirped, lambda, tau, d));
+    if (s > best_score) {
+      // The old winner becomes runner-up only if it isn't this symbol's
+      // immediate neighbor (its own leakage).
+      if (best_score >= 0.0) {
+        const std::uint32_t diff =
+            (best_d > d ? best_d - d : d - best_d) % static_cast<std::uint32_t>(n);
+        if (diff > 1 && diff < n - 1 && best_score > second_score) {
+          second_score = best_score;
+          second_d = best_d;
+        }
+      }
+      best_score = s;
+      best_d = d;
+    } else if (s > second_score) {
+      const std::uint32_t diff =
+          (best_d > d ? best_d - d : d - best_d) % static_cast<std::uint32_t>(n);
+      if (diff > 1 && diff < n - 1) {
+        second_score = s;
+        second_d = d;
+      }
+    }
+  }
+  best.symbol = best_d;
+  best.score = best_score;
+  best.amplitude = fold_fit(dechirped, lambda, tau, best_d);
+  best.second = second_d;
+  best.second_score = std::max(0.0, second_score);
+  return best;
+}
+
+}  // namespace
+
+FoldArgmax fold_argmax(const cvec& dechirped, double lambda, double tau) {
+  const std::size_t n = dechirped.size();
+  std::vector<std::uint32_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = static_cast<std::uint32_t>(i);
+  return argmax_over(dechirped, lambda, tau, all, n);
+}
+
+FoldArgmax fold_argmax_candidates(
+    const cvec& dechirped, double lambda, double tau,
+    const std::vector<std::uint32_t>& candidates) {
+  if (candidates.empty()) return fold_argmax(dechirped, lambda, tau);
+  return argmax_over(dechirped, lambda, tau, candidates, dechirped.size());
+}
+
+}  // namespace choir::dsp

@@ -1,0 +1,70 @@
+// Fold-aware dechirped-symbol templates.
+//
+// A LoRa data chirp for symbol d, received with a (fractional) timing
+// offset of tau samples and dechirped at the receiver's window grid, is NOT
+// a pure tone: the chirp's internal frequency fold (where the sweep wraps
+// from +B/2 back to -B/2, at window position p = N - d + tau) aliases to
+// the same FFT bin but carries a constant extra phase of 2*pi*tau. The
+// window is therefore a two-segment tone
+//
+//   t[n] = e^{j*2*pi*(d+lambda)*n/N} * (n < p ? 1 : e^{j*2*pi*tau}) ,
+//
+// where lambda = cfo_bins - tau is the user's aggregate offset. For tau of
+// a fraction of a sample this is negligible; for the realistic 1-5-sample
+// beacon-sync offsets it scatters enough energy to break fractional-bin
+// peak matching — so Choir's data demodulation correlates against the full
+// fold-aware template (this is the concrete form of "tracking timing
+// offsets" in paper Sec. 6).
+//
+// The same machinery estimates tau itself: preamble up-chirps put a peak at
+// lambda = cfo - tau while SFD down-chirps (dechirped with the up-chirp)
+// put one at mu = cfo + tau, so tau = (mu - lambda)/2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace choir::dsp {
+
+/// Direct DFT of a window at an arbitrary fractional bin frequency.
+cplx tone_dft(const cvec& window, double freq_bins);
+
+/// Correlation <template, window> of the fold-aware template for symbol d.
+/// `lambda` is the aggregate offset (bins), `tau` the timing offset in
+/// samples (may be fractional; the template is zero before ceil(tau)).
+cplx fold_corr(const cvec& dechirped, double lambda, double tau,
+               std::uint32_t d);
+
+/// Least-squares complex amplitude of the fold-aware template in the
+/// window: corr / ||template||^2.
+cplx fold_fit(const cvec& dechirped, double lambda, double tau,
+              std::uint32_t d);
+
+/// Subtracts amp * template(d) from the window in place.
+void fold_subtract(cvec& dechirped, double lambda, double tau,
+                   std::uint32_t d, cplx amp);
+
+struct FoldArgmax {
+  std::uint32_t symbol = 0;
+  double score = 0.0;        ///< |corr| of the best symbol
+  cplx amplitude;            ///< LS amplitude of the best symbol
+  std::uint32_t second = 0;  ///< runner-up symbol value
+  double second_score = 0.0;
+};
+
+/// Exhaustive fold-aware matched-filter search over all N candidate
+/// symbols. The runner-up is reported for the ISI de-duplication rule
+/// (runner-up candidates within one bin of the winner are skipped — they
+/// are the winner's own leakage, not a distinct symbol).
+FoldArgmax fold_argmax(const cvec& dechirped, double lambda, double tau);
+
+/// Like fold_argmax but restricted to a candidate symbol list (e.g. the
+/// values implied by the window's FFT peaks) — used where the exhaustive
+/// O(N^2) scan would be too slow.
+FoldArgmax fold_argmax_candidates(const cvec& dechirped, double lambda,
+                                  double tau,
+                                  const std::vector<std::uint32_t>& candidates);
+
+}  // namespace choir::dsp

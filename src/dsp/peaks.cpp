@@ -1,0 +1,92 @@
+#include "dsp/peaks.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace choir::dsp {
+
+namespace {
+
+double circular_distance(double a, double b, double n) {
+  double d = std::abs(a - b);
+  return std::min(d, n - d);
+}
+
+}  // namespace
+
+ParabolicFit parabolic_refine(const rvec& mag, std::size_t i, bool circular) {
+  const std::size_t n = mag.size();
+  ParabolicFit fit;
+  fit.magnitude = mag[i];
+  if (n < 3) return fit;
+  const double ym = circular ? mag[(i + n - 1) % n]
+                             : (i > 0 ? mag[i - 1] : mag[i]);
+  const double y0 = mag[i];
+  const double yp = circular ? mag[(i + 1) % n]
+                             : (i + 1 < n ? mag[i + 1] : mag[i]);
+  const double denom = ym - 2.0 * y0 + yp;
+  if (std::abs(denom) < 1e-30) return fit;
+  double off = 0.5 * (ym - yp) / denom;
+  off = std::clamp(off, -0.5, 0.5);
+  fit.offset = off;
+  fit.magnitude = y0 - 0.25 * (ym - yp) * off;
+  return fit;
+}
+
+std::vector<Peak> find_peaks(const cvec& spectrum,
+                             const PeakFindOptions& opt) {
+  const std::size_t n = spectrum.size();
+  std::vector<Peak> candidates;
+  if (n < 3) return candidates;
+  rvec mag(n);
+  for (std::size_t i = 0; i < n; ++i) mag[i] = std::abs(spectrum[i]);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t prev = (i + n - 1) % n;
+    const std::size_t next = (i + 1) % n;
+    if (!opt.circular && (i == 0 || i == n - 1)) continue;
+    if (mag[i] <= mag[prev] || mag[i] < mag[next]) continue;
+    if (mag[i] < opt.threshold) continue;
+    const ParabolicFit fit = parabolic_refine(mag, i, opt.circular);
+    Peak p;
+    p.bin = static_cast<double>(i) + fit.offset;
+    if (p.bin < 0.0) p.bin += static_cast<double>(n);
+    if (p.bin >= static_cast<double>(n)) p.bin -= static_cast<double>(n);
+    p.magnitude = fit.magnitude;
+    p.value = spectrum[i];
+    candidates.push_back(p);
+  }
+
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Peak& a, const Peak& b) {
+              return a.magnitude > b.magnitude;
+            });
+
+  std::vector<Peak> out;
+  const double dn = static_cast<double>(n);
+  for (const Peak& c : candidates) {
+    bool suppressed = false;
+    for (const Peak& kept : out) {
+      const double d = opt.circular ? circular_distance(c.bin, kept.bin, dn)
+                                    : std::abs(c.bin - kept.bin);
+      if (d < opt.min_separation) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (suppressed) continue;
+    out.push_back(c);
+    if (opt.max_peaks != 0 && out.size() >= opt.max_peaks) break;
+  }
+  return out;
+}
+
+double noise_floor(const cvec& spectrum) {
+  rvec mag(spectrum.size());
+  for (std::size_t i = 0; i < spectrum.size(); ++i)
+    mag[i] = std::abs(spectrum[i]);
+  std::nth_element(mag.begin(), mag.begin() + mag.size() / 2, mag.end());
+  return mag[mag.size() / 2];
+}
+
+}  // namespace choir::dsp

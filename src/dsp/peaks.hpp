@@ -1,0 +1,57 @@
+// Spectral peak detection with sub-bin refinement.
+//
+// The Choir receiver computes a zero-padded ("oversampled") FFT of each
+// dechirped symbol window. Each colliding transmitter appears as one sinc
+// main lobe whose center encodes data + aggregate hardware offset. This
+// module finds those main lobes while skipping sinc side lobes, and refines
+// peak positions to a fraction of a (fine) bin by parabolic interpolation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace choir::dsp {
+
+/// One detected spectral peak.
+struct Peak {
+  double bin = 0.0;        ///< fine-grid position, fractional (0..fft_len)
+  double magnitude = 0.0;  ///< interpolated magnitude at the peak
+  cplx value;              ///< complex spectrum value at the nearest bin
+};
+
+struct PeakFindOptions {
+  /// Absolute magnitude threshold; peaks below are ignored.
+  double threshold = 0.0;
+  /// Minimum separation between reported peaks, in fine bins. Within this
+  /// distance only the largest local maximum survives (suppresses sinc
+  /// side lobes, which sit at ~1 coarse bin spacing from the main lobe).
+  double min_separation = 1.0;
+  /// Maximum number of peaks to report (largest first). 0 = unlimited.
+  std::size_t max_peaks = 0;
+  /// Treat the spectrum as circular (bin 0 adjacent to bin N-1). Dechirped
+  /// LoRa tones live on a circular bin axis, so this defaults to true.
+  bool circular = true;
+};
+
+/// Finds local maxima of `spectrum` (complex FFT output) above the
+/// threshold, sorted by descending magnitude, with greedy non-maximum
+/// suppression at `min_separation`. Positions are parabolic-refined.
+std::vector<Peak> find_peaks(const cvec& spectrum, const PeakFindOptions& opt);
+
+/// Median-based robust estimate of the noise floor magnitude of a spectrum.
+/// For a spectrum dominated by noise plus a few peaks, the median of bin
+/// magnitudes tracks the Rayleigh-distributed noise level.
+double noise_floor(const cvec& spectrum);
+
+/// Parabolic (quadratic) interpolation of the true maximum around index i of
+/// the magnitude array; returns the fractional offset in [-0.5, 0.5] and the
+/// interpolated peak magnitude.
+struct ParabolicFit {
+  double offset = 0.0;
+  double magnitude = 0.0;
+};
+ParabolicFit parabolic_refine(const rvec& mag, std::size_t i, bool circular);
+
+}  // namespace choir::dsp

@@ -1,0 +1,62 @@
+#include "dsp/spectrogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+
+namespace choir::dsp {
+
+Spectrogram::Spectrogram(const cvec& samples, const SpectrogramOptions& opt) {
+  if (!is_pow2(opt.fft_size))
+    throw std::invalid_argument("Spectrogram: fft_size not pow2");
+  if (opt.hop == 0) throw std::invalid_argument("Spectrogram: hop == 0");
+  const rvec win = make_window(opt.window, opt.fft_size);
+  const std::size_t n = samples.size();
+  for (std::size_t start = 0; start + opt.fft_size <= n; start += opt.hop) {
+    cvec frame(samples.begin() + static_cast<std::ptrdiff_t>(start),
+               samples.begin() + static_cast<std::ptrdiff_t>(start + opt.fft_size));
+    apply_window(frame, win);
+    plan_for(opt.fft_size).forward(frame);
+    // fft-shift: negative frequencies first.
+    rvec row(opt.fft_size);
+    const std::size_t half = opt.fft_size / 2;
+    for (std::size_t k = 0; k < opt.fft_size; ++k) {
+      row[k] = std::norm(frame[(k + half) % opt.fft_size]);
+    }
+    data_.push_back(std::move(row));
+  }
+}
+
+std::size_t Spectrogram::argmax_bin(std::size_t frame_idx) const {
+  const rvec& row = data_.at(frame_idx);
+  return static_cast<std::size_t>(
+      std::distance(row.begin(), std::max_element(row.begin(), row.end())));
+}
+
+void Spectrogram::render_ascii(std::ostream& os, std::size_t max_rows,
+                               std::size_t max_cols) const {
+  if (data_.empty()) return;
+  static const char kRamp[] = " .:-=+*#%@";
+  const std::size_t levels = sizeof(kRamp) - 2;
+  double maxv = 0.0;
+  for (const auto& row : data_)
+    for (double v : row) maxv = std::max(maxv, v);
+  if (maxv <= 0.0) maxv = 1.0;
+  const std::size_t row_step = std::max<std::size_t>(1, frames() / max_rows);
+  const std::size_t col_step = std::max<std::size_t>(1, bins() / max_cols);
+  for (std::size_t r = 0; r < frames(); r += row_step) {
+    for (std::size_t c = 0; c < bins(); c += col_step) {
+      // log scale over 40 dB of dynamic range
+      const double v = data_[r][c] / maxv;
+      double db = v > 0.0 ? 10.0 * std::log10(v) : -100.0;
+      const double t = std::clamp((db + 40.0) / 40.0, 0.0, 1.0);
+      os << kRamp[static_cast<std::size_t>(t * static_cast<double>(levels))];
+    }
+    os << '\n';
+  }
+}
+
+}  // namespace choir::dsp

@@ -1,0 +1,43 @@
+// Short-time Fourier transform / spectrogram, used by the examples and the
+// figure benches to visualize chirps and collisions (paper Figs. 2, 3, 5).
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <vector>
+
+#include "dsp/window.hpp"
+#include "util/types.hpp"
+
+namespace choir::dsp {
+
+struct SpectrogramOptions {
+  std::size_t fft_size = 64;
+  std::size_t hop = 16;
+  WindowType window = WindowType::kHann;
+};
+
+/// Power spectrogram: rows are time frames, columns are FFT bins
+/// (fft-shifted so DC sits at the center column — natural for complex
+/// baseband where frequencies span [-fs/2, fs/2)).
+class Spectrogram {
+ public:
+  Spectrogram(const cvec& samples, const SpectrogramOptions& opt);
+
+  std::size_t frames() const { return data_.size(); }
+  std::size_t bins() const { return frames() == 0 ? 0 : data_[0].size(); }
+  const rvec& frame(std::size_t i) const { return data_.at(i); }
+
+  /// Bin index (column) of the strongest component in a frame.
+  std::size_t argmax_bin(std::size_t frame_idx) const;
+
+  /// Renders an ASCII-art heat map (time flows down, frequency across) —
+  /// enough to eyeball the chirp ramps in a terminal.
+  void render_ascii(std::ostream& os, std::size_t max_rows = 32,
+                    std::size_t max_cols = 64) const;
+
+ private:
+  std::vector<rvec> data_;
+};
+
+}  // namespace choir::dsp

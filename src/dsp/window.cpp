@@ -1,0 +1,44 @@
+#include "dsp/window.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace choir::dsp {
+
+rvec make_window(WindowType type, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("make_window: empty window");
+  rvec w(n, 1.0);
+  const double dn = static_cast<double>(n - 1 == 0 ? 1 : n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / dn;
+    switch (type) {
+      case WindowType::kRect:
+        w[i] = 1.0;
+        break;
+      case WindowType::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(kTwoPi * x);
+        break;
+      case WindowType::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(kTwoPi * x);
+        break;
+      case WindowType::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(kTwoPi * x) +
+               0.08 * std::cos(2.0 * kTwoPi * x);
+        break;
+    }
+  }
+  return w;
+}
+
+void apply_window(cvec& samples, const rvec& window) {
+  if (samples.size() != window.size())
+    throw std::invalid_argument("apply_window: size mismatch");
+  for (std::size_t i = 0; i < samples.size(); ++i) samples[i] *= window[i];
+}
+
+double window_gain(const rvec& window) {
+  return std::accumulate(window.begin(), window.end(), 0.0);
+}
+
+}  // namespace choir::dsp

@@ -1,0 +1,21 @@
+// Window functions for spectral analysis (spectrograms, diagnostics).
+#pragma once
+
+#include <cstddef>
+
+#include "util/types.hpp"
+
+namespace choir::dsp {
+
+enum class WindowType { kRect, kHann, kHamming, kBlackman };
+
+/// Returns the window coefficients of the requested type and length.
+rvec make_window(WindowType type, std::size_t n);
+
+/// Applies a window to a sample buffer in place (sizes must match).
+void apply_window(cvec& samples, const rvec& window);
+
+/// Sum of window coefficients (for amplitude normalization).
+double window_gain(const rvec& window);
+
+}  // namespace choir::dsp

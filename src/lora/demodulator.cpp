@@ -1,0 +1,282 @@
+#include "lora/demodulator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/chirp.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/fold_tone.hpp"
+#include "dsp/peaks.hpp"
+#include "util/db.hpp"
+
+namespace choir::lora {
+
+namespace {
+
+// Copies one symbol window out of the capture, zero-filling past the end.
+cvec slice_window(const cvec& rx, std::size_t start, std::size_t n) {
+  cvec out(n, cplx{0.0, 0.0});
+  if (start >= rx.size()) return out;
+  const std::size_t avail = std::min(n, rx.size() - start);
+  std::copy(rx.begin() + static_cast<std::ptrdiff_t>(start),
+            rx.begin() + static_cast<std::ptrdiff_t>(start + avail),
+            out.begin());
+  return out;
+}
+
+// Circular mean of bin positions on a ring of circumference n.
+double circular_mean_bins(const std::vector<double>& bins, double n) {
+  double sx = 0.0, sy = 0.0;
+  for (double b : bins) {
+    const double th = kTwoPi * b / n;
+    sx += std::cos(th);
+    sy += std::sin(th);
+  }
+  double th = std::atan2(sy, sx);
+  if (th < 0) th += kTwoPi;
+  return th * n / kTwoPi;
+}
+
+double circular_diff(double a, double b, double n) {
+  double d = std::fmod(a - b + n, n);
+  if (d > n / 2) d -= n;
+  return d;
+}
+
+}  // namespace
+
+Demodulator::Demodulator(const PhyParams& phy, const DemodOptions& opt)
+    : phy_(phy), opt_(opt) {
+  phy_.validate();
+  if (!dsp::is_pow2(opt_.oversample) || opt_.oversample == 0)
+    throw std::invalid_argument("Demodulator: oversample not pow2");
+  downchirp_ = dsp::base_downchirp(phy_.chips());
+  upchirp_ = dsp::base_upchirp(phy_.chips());
+}
+
+Demodulator::WindowPeak Demodulator::window_peak(const cvec& rx,
+                                                 std::size_t start,
+                                                 bool up) const {
+  const std::size_t n = phy_.chips();
+  cvec win = slice_window(rx, start, n);
+  dsp::dechirp(win, up ? downchirp_ : upchirp_);
+  const cvec spec = dsp::fft_padded(win, n * opt_.oversample);
+  dsp::PeakFindOptions popt;
+  popt.max_peaks = 1;
+  popt.min_separation = static_cast<double>(opt_.oversample);
+  const auto peaks = dsp::find_peaks(spec, popt);
+  WindowPeak wp;
+  wp.noise = dsp::noise_floor(spec);
+  if (!peaks.empty()) {
+    wp.fine_bin = peaks.front().bin / static_cast<double>(opt_.oversample);
+    wp.magnitude = peaks.front().magnitude;
+  }
+  return wp;
+}
+
+double Demodulator::window_energy(const cvec& rx, std::size_t start,
+                                  bool up) const {
+  // Energy of the strongest dechirped tone: a cheap up-vs-down classifier.
+  return window_peak(rx, start, up).magnitude;
+}
+
+double Demodulator::estimate_preamble_offset(const cvec& rx,
+                                             std::size_t start,
+                                             int count) const {
+  const std::size_t n = phy_.chips();
+  std::vector<double> bins;
+  for (int k = 0; k < count; ++k) {
+    bins.push_back(window_peak(rx, start + static_cast<std::size_t>(k) * n,
+                               /*up=*/true)
+                       .fine_bin);
+  }
+  return circular_mean_bins(bins, static_cast<double>(n));
+}
+
+DemodResult Demodulator::demodulate_at(const cvec& rx,
+                                       std::size_t start) const {
+  const std::size_t n = phy_.chips();
+  DemodResult res;
+  res.frame_start = start;
+
+  // Aggregate offset and SNR from the preamble.
+  std::vector<double> bins;
+  double peak_mag = 0.0, noise_mag = 0.0;
+  for (int k = 0; k < phy_.preamble_len; ++k) {
+    const WindowPeak wp =
+        window_peak(rx, start + static_cast<std::size_t>(k) * n, true);
+    bins.push_back(wp.fine_bin);
+    peak_mag += wp.magnitude;
+    noise_mag += wp.noise;
+  }
+  peak_mag /= phy_.preamble_len;
+  noise_mag /= phy_.preamble_len;
+  const double lambda = circular_mean_bins(bins, static_cast<double>(n));
+  res.offset_bins = lambda;
+  // Tone SNR: peak ~ N*A, noise bin variance ~ N*sigma^2 with the Rayleigh
+  // median at sigma*sqrt(2 ln 2).
+  const double sigma_bin = noise_mag / 1.17741;
+  if (sigma_bin > 0.0) {
+    res.snr_db = linear_to_db(peak_mag * peak_mag /
+                              (static_cast<double>(n) * sigma_bin * sigma_bin));
+  }
+  res.detected = true;
+
+  // Split the aggregate offset into CFO and timing using the SFD: the
+  // down-chirps (dechirped with the up-chirp) peak at cfo + tau while the
+  // preamble peaked at cfo - tau. Knowing tau lets the data demodulator
+  // use the fold-aware template (see dsp/fold_tone.hpp) instead of a plain
+  // tone, which would lose up to the whole peak at adverse (symbol,
+  // fractional-timing) combinations.
+  double tau = 0.0;
+  if (phy_.sfd_len > 0) {
+    double mu_acc_sin = 0.0, mu_acc_cos = 0.0;
+    for (int k = 0; k < phy_.sfd_len; ++k) {
+      const WindowPeak wp = window_peak(
+          rx, start + static_cast<std::size_t>(phy_.preamble_len + k) * n,
+          /*up=*/false);
+      const double th = kTwoPi * wp.fine_bin / static_cast<double>(n);
+      mu_acc_cos += std::cos(th);
+      mu_acc_sin += std::sin(th);
+    }
+    double mu = std::atan2(mu_acc_sin, mu_acc_cos) / kTwoPi *
+                static_cast<double>(n);
+    if (mu < 0) mu += static_cast<double>(n);
+    double delta = circular_diff(mu, lambda, static_cast<double>(n));
+    tau = delta / 2.0;
+    // Feasible range: beacon-synchronized clients lead/lag the window
+    // anchor by at most a fraction of a symbol in either direction.
+    if (std::abs(tau) > static_cast<double>(n) / 8.0) tau = 0.0;
+  }
+  res.timing_samples = tau;
+
+  // Demodulate data symbols until the capture runs out.
+  const std::size_t data_start =
+      start + static_cast<std::size_t>(phy_.preamble_len + phy_.sfd_len) * n;
+  const std::size_t max_syms = frame_symbol_count(kMaxPayloadBytes, phy_);
+  for (std::size_t j = 0; j < max_syms; ++j) {
+    const std::size_t ws = data_start + j * n;
+    if (ws + n > rx.size() + n / 2) break;  // allow a final partial window
+    cvec w = slice_window(rx, ws, n);
+    dsp::dechirp(w, downchirp_);
+    const dsp::FoldArgmax r = dsp::fold_argmax(w, lambda, tau);
+    res.raw_symbols.push_back(r.symbol);
+  }
+
+  const auto parsed = parse_frame_symbols(res.raw_symbols, phy_);
+  if (parsed) {
+    res.payload = parsed->payload;
+    res.crc_ok = parsed->crc_ok;
+    res.fec = parsed->fec;
+  }
+  return res;
+}
+
+std::optional<std::size_t> Demodulator::detect_preamble(
+    const cvec& rx, std::size_t from) const {
+  const std::size_t n = phy_.chips();
+  if (rx.size() < from + n) return std::nullopt;
+
+  // Track several candidate tones at once: in a collision the per-window
+  // strongest peak flips between users, so a single-run tracker never
+  // accumulates. Each window contributes its top peaks; a candidate fires
+  // once it persists for min_preamble_run consecutive windows.
+  struct Cand {
+    double bin = 0.0;
+    int count = 0;
+    std::size_t first_w = 0;
+    std::size_t last_w = 0;
+  };
+  std::vector<Cand> cands;
+  for (std::size_t w = from; w + n <= rx.size(); w += n) {
+    cvec win = slice_window(rx, w, n);
+    dsp::dechirp(win, downchirp_);
+    const cvec spec = dsp::fft_padded(win, n * opt_.oversample);
+    dsp::PeakFindOptions popt;
+    popt.threshold = opt_.detect_snr_factor * dsp::noise_floor(spec);
+    popt.min_separation = 1.1 * static_cast<double>(opt_.oversample);
+    popt.max_peaks = 3;
+    for (const dsp::Peak& p : dsp::find_peaks(spec, popt)) {
+      const double bin = p.bin / static_cast<double>(opt_.oversample);
+      bool matched = false;
+      for (Cand& c : cands) {
+        if (c.last_w + n == w &&
+            std::abs(circular_diff(bin, c.bin, static_cast<double>(n))) <
+                1.5) {
+          c.bin = bin;
+          c.last_w = w;
+          ++c.count;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) cands.push_back({bin, 1, w, w});
+    }
+    for (const Cand& c : cands) {
+      if (c.count >= opt_.min_preamble_run) {
+        // The first chirp started at most one window before the run (grid
+        // misalignment).
+        return c.first_w > n ? c.first_w - n : 0;
+      }
+    }
+    std::erase_if(cands, [&](const Cand& c) { return c.last_w < w; });
+  }
+  return std::nullopt;
+}
+
+DemodResult Demodulator::demodulate(const cvec& rx, std::size_t from) const {
+  const auto coarse = detect_preamble(rx, from);
+  if (!coarse) {
+    DemodResult res;
+    return res;
+  }
+  const std::size_t n = phy_.chips();
+  // Refine alignment: search candidate starts on an N/8 grid around the
+  // coarse estimate; aligned preamble windows maximize the dechirped peak
+  // and the SFD down-chirps show up exactly where expected.
+  const std::size_t step = std::max<std::size_t>(1, n / 8);
+  double best_score = -1.0;
+  std::size_t best_start = *coarse;
+  // In a collision the preamble run can be recognized a few windows late
+  // (the strongest user's bin flips between windows and restarts the run),
+  // so search generously to the left of the coarse estimate.
+  const std::int64_t lo =
+      std::max<std::int64_t>(0, static_cast<std::int64_t>(*coarse) -
+                                    3 * static_cast<std::int64_t>(n));
+  const std::int64_t hi = static_cast<std::int64_t>(*coarse + 2 * n);
+  for (std::int64_t cand = lo; cand <= hi;
+       cand += static_cast<std::int64_t>(step)) {
+    const auto start = static_cast<std::size_t>(cand);
+    double score = 0.0;
+    for (int k = 0; k < phy_.preamble_len; ++k) {
+      score +=
+          window_peak(rx, start + static_cast<std::size_t>(k) * n, true)
+              .magnitude;
+    }
+    // The preamble is self-similar under symbol shifts, so the SFD has to
+    // arbitrate: at the true start the SFD window is down-chirp-dominant
+    // while the last preamble window is still up-chirp-dominant. Scoring
+    // (rather than hard-rejecting) keeps collisions decodable — with
+    // several users the energy ordering gets noisy.
+    const std::size_t sfd_at =
+        start + static_cast<std::size_t>(phy_.preamble_len) * n;
+    if (phy_.sfd_len > 0) {
+      score += window_energy(rx, sfd_at, false) -
+               window_energy(rx, sfd_at, true);
+      score += window_energy(rx, sfd_at - n, true) -
+               window_energy(rx, sfd_at - n, false);
+    }
+    if (score > best_score) {
+      best_score = score;
+      best_start = start;
+    }
+  }
+  if (best_score < 0.0) {
+    DemodResult res;
+    return res;
+  }
+  return demodulate_at(rx, best_start);
+}
+
+}  // namespace choir::lora

@@ -1,0 +1,95 @@
+#include "lora/modulator.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/chirp.hpp"
+
+namespace choir::lora {
+
+Modulator::Modulator(const PhyParams& phy) : phy_(phy) { phy_.validate(); }
+
+std::vector<Segment> Modulator::frame_segments(
+    const std::vector<std::uint8_t>& payload) const {
+  std::vector<Segment> segs;
+  for (int i = 0; i < phy_.preamble_len; ++i)
+    segs.push_back({SegmentKind::kUpchirp, 0});
+  for (int i = 0; i < phy_.sfd_len; ++i)
+    segs.push_back({SegmentKind::kDownchirp, 0});
+  for (std::uint32_t s : build_frame_symbols(payload, phy_))
+    segs.push_back({SegmentKind::kData, s});
+  return segs;
+}
+
+cvec Modulator::modulate(const std::vector<std::uint8_t>& payload) const {
+  return synthesize(payload, 0.0);
+}
+
+cvec Modulator::synthesize(const std::vector<std::uint8_t>& payload,
+                           double delay_samples) const {
+  return synthesize_segments(frame_segments(payload), delay_samples);
+}
+
+cvec Modulator::synthesize_segments(const std::vector<Segment>& segments,
+                                    double delay_samples) const {
+  if (delay_samples < 0.0)
+    throw std::invalid_argument("synthesize: negative delay");
+  const std::size_t n = phy_.chips();
+  const double dn = static_cast<double>(n);
+
+  // Cumulative phase at the start of each segment keeps the waveform
+  // phase-continuous, like a real transmitter.
+  std::vector<double> seg_phase(segments.size() + 1, 0.0);
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const Segment& s = segments[i];
+    double adv = 0.0;
+    switch (s.kind) {
+      case SegmentKind::kUpchirp:
+        adv = dsp::chirp_phase_at_end(n, 0);
+        break;
+      case SegmentKind::kDownchirp:
+        adv = -dsp::chirp_phase_at_end(n, 0);
+        break;
+      case SegmentKind::kData:
+        adv = dsp::chirp_phase_at_end(n, s.symbol);
+        break;
+    }
+    seg_phase[i + 1] = seg_phase[i] + adv;
+  }
+
+  const std::size_t total =
+      static_cast<std::size_t>(std::ceil(delay_samples)) +
+      segments.size() * n;
+  cvec out(total, cplx{0.0, 0.0});
+  for (std::size_t i = 0; i < total; ++i) {
+    const double u_global = static_cast<double>(i) - delay_samples;
+    if (u_global < 0.0) continue;
+    const auto seg_idx = static_cast<std::size_t>(u_global / dn);
+    if (seg_idx >= segments.size()) break;
+    const double u = u_global - static_cast<double>(seg_idx) * dn;
+    const Segment& s = segments[seg_idx];
+    double ph = seg_phase[seg_idx];
+    switch (s.kind) {
+      case SegmentKind::kUpchirp:
+        ph += dsp::chirp_phase(n, 0, u);
+        break;
+      case SegmentKind::kDownchirp:
+        ph += -dsp::chirp_phase(n, 0, u);
+        break;
+      case SegmentKind::kData:
+        ph += dsp::chirp_phase(n, s.symbol, u);
+        break;
+    }
+    out[i] = cis(ph);
+  }
+  return out;
+}
+
+std::size_t Modulator::frame_sample_count(std::size_t payload_bytes) const {
+  const std::size_t n_sym =
+      static_cast<std::size_t>(phy_.preamble_len + phy_.sfd_len) +
+      frame_symbol_count(payload_bytes, phy_);
+  return n_sym * phy_.chips();
+}
+
+}  // namespace choir::lora

@@ -1,0 +1,61 @@
+// LoRa transmitter: payload bytes -> complex baseband chirp samples.
+//
+// The synthesizer evaluates the continuous-time chirp phase at the
+// *receiver's* sample grid, so a transmission can start at any fractional
+// sample offset. This is how the library models the sub-symbol timing
+// offsets that Choir converts into frequency shifts (paper Sec. 6, Eqn 5).
+// The emitted waveform is phase-continuous across symbol boundaries, like a
+// real radio's PLL output.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lora/frame.hpp"
+#include "lora/params.hpp"
+#include "util/types.hpp"
+
+namespace choir::lora {
+
+/// Kinds of on-air segments in a frame.
+enum class SegmentKind : std::uint8_t { kUpchirp, kDownchirp, kData };
+
+/// One symbol-length segment of the on-air frame.
+struct Segment {
+  SegmentKind kind = SegmentKind::kUpchirp;
+  std::uint32_t symbol = 0;  ///< chirp shift for kUpchirp/kData (0 for SFD)
+};
+
+class Modulator {
+ public:
+  explicit Modulator(const PhyParams& phy);
+
+  const PhyParams& phy() const { return phy_; }
+
+  /// Full on-air segment sequence for a payload:
+  /// preamble up-chirps, SFD down-chirps, then coded data symbols.
+  std::vector<Segment> frame_segments(const std::vector<std::uint8_t>& payload) const;
+
+  /// Samples of a frame starting exactly at sample 0 (integer grid).
+  cvec modulate(const std::vector<std::uint8_t>& payload) const;
+
+  /// Samples of a frame whose first chirp begins at `delay_samples`
+  /// (fractional allowed) on the receiver grid. The returned buffer covers
+  /// sample indices [0, ceil(delay) + n_symbols * 2^sf); indices before the
+  /// start are zero.
+  cvec synthesize(const std::vector<std::uint8_t>& payload,
+                  double delay_samples) const;
+
+  /// Synthesizes an arbitrary segment sequence at a fractional delay
+  /// (used by tests and by the team-transmission coordinator).
+  cvec synthesize_segments(const std::vector<Segment>& segments,
+                           double delay_samples) const;
+
+  /// Number of samples in a frame for the given payload size.
+  std::size_t frame_sample_count(std::size_t payload_bytes) const;
+
+ private:
+  PhyParams phy_;
+};
+
+}  // namespace choir::lora

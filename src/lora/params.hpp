@@ -1,0 +1,43 @@
+// LoRa PHY parameter set.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "coding/codec.hpp"
+
+namespace choir::lora {
+
+/// Physical-layer configuration of a LoRa link. The library critically
+/// samples complex baseband at fs = bandwidth, so one chirp symbol is
+/// exactly 2^sf samples.
+struct PhyParams {
+  int sf = 7;                   ///< spreading factor (bits/symbol), 6..12
+  double bandwidth_hz = 125e3;  ///< 125/250/500 kHz in LoRaWAN
+  int cr = 3;                   ///< coding rate index: 4/(4+cr)
+  int preamble_len = 8;         ///< number of preamble up-chirps
+  int sfd_len = 2;              ///< number of SFD down-chirps
+
+  std::size_t chips() const { return std::size_t{1} << sf; }
+  double sample_rate_hz() const { return bandwidth_hz; }
+  double symbol_duration_s() const {
+    return static_cast<double>(chips()) / bandwidth_hz;
+  }
+  /// FFT bin width after dechirping = 1/T = B/2^SF.
+  double bin_width_hz() const { return bandwidth_hz / static_cast<double>(chips()); }
+  /// Useful payload bit rate (chips/sec * SF * code rate).
+  double bit_rate_bps() const {
+    return static_cast<double>(sf) * (4.0 / (4.0 + cr)) / symbol_duration_s();
+  }
+  coding::CodecParams codec() const { return {sf, cr}; }
+
+  void validate() const {
+    if (sf < 6 || sf > 12) throw std::invalid_argument("PhyParams: sf");
+    if (cr < 1 || cr > 4) throw std::invalid_argument("PhyParams: cr");
+    if (bandwidth_hz <= 0) throw std::invalid_argument("PhyParams: bandwidth");
+    if (preamble_len < 2) throw std::invalid_argument("PhyParams: preamble");
+    if (sfd_len < 0) throw std::invalid_argument("PhyParams: sfd");
+  }
+};
+
+}  // namespace choir::lora

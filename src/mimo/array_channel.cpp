@@ -1,0 +1,76 @@
+#include "mimo/array_channel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "channel/pathloss.hpp"
+#include "lora/modulator.hpp"
+
+namespace choir::mimo {
+
+ArrayCapture render_collision_array(const std::vector<channel::TxInstance>& txs,
+                                    std::size_t n_antennas,
+                                    const channel::RenderOptions& opt,
+                                    Rng& rng) {
+  if (txs.empty())
+    throw std::invalid_argument("render_collision_array: no txs");
+  if (n_antennas == 0)
+    throw std::invalid_argument("render_collision_array: no antennas");
+  const double fs = txs.front().phy.sample_rate_hz();
+
+  ArrayCapture cap;
+  cap.sample_rate_hz = fs;
+  cap.gains = CMatrix(n_antennas, txs.size());
+
+  // Synthesize each user's unit waveform (with offsets applied) once.
+  std::vector<cvec> waves;
+  std::size_t total_len = 0;
+  for (std::size_t u = 0; u < txs.size(); ++u) {
+    const auto& tx = txs[u];
+    if (tx.phy.sample_rate_hz() != fs)
+      throw std::invalid_argument("render_collision_array: mixed rates");
+    const double delay_samples =
+        (tx.extra_delay_s + tx.hw.timing_offset_s) * fs;
+    lora::Modulator mod(tx.phy);
+    cvec wave = mod.synthesize(tx.payload, delay_samples);
+    channel::apply_cfo(wave, tx.hw.cfo_hz, tx.hw.phase, fs,
+                       opt.osc.cfo_drift_hz_per_symbol, tx.phy.chips(), rng);
+
+    channel::RenderedUser ru;
+    ru.delay_samples = delay_samples;
+    ru.cfo_hz = tx.hw.cfo_hz;
+    ru.phase = tx.hw.phase;
+    ru.amplitude = channel::snr_db_to_amplitude(tx.snr_db);
+    ru.first_sample = static_cast<std::size_t>(std::floor(delay_samples));
+    const double bin_hz = tx.phy.bin_width_hz();
+    const double n = static_cast<double>(tx.phy.chips());
+    double agg = tx.hw.cfo_hz / bin_hz - delay_samples;
+    agg = std::fmod(std::fmod(agg, n) + n, n);
+    ru.aggregate_offset_bins = agg;
+    cap.users.push_back(ru);
+
+    for (std::size_t a = 0; a < n_antennas; ++a) {
+      cap.gains(a, u) = ru.amplitude * channel::sample_fading(tx.fading, rng);
+    }
+    total_len = std::max(total_len, wave.size());
+    waves.push_back(std::move(wave));
+  }
+  total_len += static_cast<std::size_t>(opt.tail_s * fs);
+
+  cap.antennas.assign(n_antennas, cvec(total_len, cplx{0.0, 0.0}));
+  for (std::size_t a = 0; a < n_antennas; ++a) {
+    cvec& ant = cap.antennas[a];
+    for (std::size_t u = 0; u < waves.size(); ++u) {
+      const cplx g = cap.gains(a, u);
+      const cvec& w = waves[u];
+      for (std::size_t i = 0; i < w.size(); ++i) ant[i] += g * w[i];
+    }
+    if (opt.add_noise) {
+      for (auto& s : ant) s += rng.cgaussian(1.0);
+    }
+    if (opt.adc) channel::quantize(ant, *opt.adc);
+  }
+  return cap;
+}
+
+}  // namespace choir::mimo

@@ -1,0 +1,31 @@
+// Multi-antenna collision rendering.
+//
+// Renders the same set of transmissions onto an antenna array: every
+// antenna sees the same per-user waveform (same payload, offsets, delay)
+// through an independent fading coefficient, with independent AWGN. Used by
+// the uplink MU-MIMO baseline (paper Sec. 9.5, Fig 12) and by multi-antenna
+// Choir.
+#pragma once
+
+#include <vector>
+
+#include "channel/collision.hpp"
+#include "util/linalg.hpp"
+
+namespace choir::mimo {
+
+struct ArrayCapture {
+  std::vector<cvec> antennas;                    ///< one capture per antenna
+  std::vector<channel::RenderedUser> users;      ///< shared ground truth
+  /// Complex gains: h(a, u) = amplitude_u * fading(a, u). This is the
+  /// "genie" channel matrix handed to the ZF baseline (its best case).
+  CMatrix gains;
+  double sample_rate_hz = 0.0;
+};
+
+ArrayCapture render_collision_array(const std::vector<channel::TxInstance>& txs,
+                                    std::size_t n_antennas,
+                                    const channel::RenderOptions& opt,
+                                    Rng& rng);
+
+}  // namespace choir::mimo

@@ -1,0 +1,144 @@
+#include "mimo/zf_receiver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/collision_decoder.hpp"
+#include "lora/frame.hpp"
+
+namespace choir::mimo {
+
+ZfReceiver::ZfReceiver(const lora::PhyParams& phy, const ZfOptions& opt)
+    : phy_(phy), opt_(opt) {
+  phy_.validate();
+}
+
+std::vector<ZfStream> ZfReceiver::decode(const ArrayCapture& cap,
+                                         std::size_t start) const {
+  const std::size_t n_ant = cap.antennas.size();
+  const std::size_t n_users = cap.users.size();
+  if (n_ant == 0 || n_users == 0) return {};
+
+  // Pick the min(A, K) strongest users (by channel column norm) to
+  // zero-force; the rest stay as interference.
+  std::vector<std::pair<double, std::size_t>> strength;
+  for (std::size_t u = 0; u < n_users; ++u) {
+    double p = 0.0;
+    for (std::size_t a = 0; a < n_ant; ++a) p += std::norm(cap.gains(a, u));
+    strength.emplace_back(p, u);
+  }
+  std::sort(strength.rbegin(), strength.rend());
+  const std::size_t n_streams = std::min(n_ant, n_users);
+
+  CMatrix h(n_ant, n_streams);
+  std::vector<std::size_t> selected(n_streams);
+  for (std::size_t s = 0; s < n_streams; ++s) {
+    selected[s] = strength[s].second;
+    for (std::size_t a = 0; a < n_ant; ++a) {
+      h(a, s) = cap.gains(a, selected[s]);
+    }
+  }
+  CMatrix w;
+  try {
+    w = pseudo_inverse(h);  // n_streams x n_ant
+  } catch (const std::runtime_error&) {
+    return {};  // rank-deficient channel (e.g. deep fades)
+  }
+
+  const std::size_t len = cap.antennas.front().size();
+  std::vector<ZfStream> out;
+  lora::Demodulator demod(phy_, opt_.demod);
+  for (std::size_t s = 0; s < n_streams; ++s) {
+    cvec stream(len, cplx{0.0, 0.0});
+    for (std::size_t a = 0; a < n_ant; ++a) {
+      const cplx ws = w(s, a);
+      if (ws == cplx{0.0, 0.0}) continue;
+      const cvec& ant = cap.antennas[a];
+      for (std::size_t i = 0; i < len; ++i) stream[i] += ws * ant[i];
+    }
+    ZfStream zs;
+    zs.user = selected[s];
+    zs.demod = demod.demodulate_at(stream, start);
+    out.push_back(std::move(zs));
+  }
+  return out;
+}
+
+std::vector<FusedUser> choir_multi_antenna_decode(const ArrayCapture& cap,
+                                                  const lora::PhyParams& phy,
+                                                  std::size_t start) {
+  const double n = static_cast<double>(phy.chips());
+  core::CollisionDecoder decoder(phy);
+
+  // Decode per antenna, then group users across antennas by offset.
+  struct Obs {
+    double offset;
+    std::vector<std::uint32_t> symbols;
+    double magnitude;
+  };
+  std::vector<Obs> all;
+  for (const cvec& ant : cap.antennas) {
+    for (const core::DecodedUser& du : decoder.decode(ant, start)) {
+      all.push_back({du.est.offset_bins, du.symbols, du.est.magnitude});
+    }
+  }
+  if (all.empty()) return {};
+
+  auto circ_dist = [n](double a, double b) {
+    double d = std::abs(std::fmod(std::fmod(a - b, n) + n, n));
+    return std::min(d, n - d);
+  };
+
+  // Greedy grouping by offset proximity.
+  std::vector<std::vector<std::size_t>> groups;
+  std::vector<bool> used(all.size(), false);
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    if (used[i]) continue;
+    std::vector<std::size_t> g{i};
+    used[i] = true;
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      if (used[j]) continue;
+      if (circ_dist(all[i].offset, all[j].offset) < 0.08) {
+        used[j] = true;
+        g.push_back(j);
+      }
+    }
+    groups.push_back(std::move(g));
+  }
+
+  std::vector<FusedUser> fused;
+  for (const auto& g : groups) {
+    FusedUser fu;
+    fu.offset_bins = all[g.front()].offset;
+    std::size_t n_syms = 0;
+    for (std::size_t idx : g) n_syms = std::max(n_syms, all[idx].symbols.size());
+    fu.symbols.resize(n_syms);
+    for (std::size_t s = 0; s < n_syms; ++s) {
+      // Majority vote across antennas for this symbol position.
+      std::map<std::uint32_t, int> votes;
+      for (std::size_t idx : g) {
+        if (s < all[idx].symbols.size()) ++votes[all[idx].symbols[s]];
+      }
+      int best = -1;
+      std::uint32_t val = 0;
+      for (const auto& [v, c] : votes) {
+        if (c > best) {
+          best = c;
+          val = v;
+        }
+      }
+      fu.symbols[s] = val;
+    }
+    const auto parsed = lora::parse_frame_symbols(fu.symbols, phy);
+    if (parsed) {
+      fu.frame_ok = true;
+      fu.payload = parsed->payload;
+      fu.crc_ok = parsed->crc_ok;
+    }
+    fused.push_back(std::move(fu));
+  }
+  return fused;
+}
+
+}  // namespace choir::mimo

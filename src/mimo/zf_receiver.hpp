@@ -1,0 +1,60 @@
+// Uplink MU-MIMO baseline (paper Sec. 9.5, baseline [40]).
+//
+// Zero-forcing separation in the antenna domain: with A antennas and K
+// users, the receiver projects the per-sample antenna vector through the
+// pseudo-inverse of the channel matrix to recover up to min(A, K) streams,
+// then runs the standard single-user LoRa demodulator on each. When K > A
+// the system is underdetermined: the A strongest users are zero-forced and
+// the rest remain as residual interference — this is precisely the
+// antenna-count cap the paper contrasts Choir against.
+//
+// The baseline is *genie-aided*: it receives the true channel matrix from
+// the renderer, which upper-bounds its real-world performance.
+#pragma once
+
+#include <vector>
+
+#include "lora/demodulator.hpp"
+#include "mimo/array_channel.hpp"
+
+namespace choir::mimo {
+
+struct ZfStream {
+  std::size_t user = 0;  ///< index into ArrayCapture::users
+  lora::DemodResult demod;
+};
+
+struct ZfOptions {
+  lora::DemodOptions demod{};
+};
+
+class ZfReceiver {
+ public:
+  explicit ZfReceiver(const lora::PhyParams& phy, const ZfOptions& opt = {});
+
+  /// Separates and demodulates up to n_antennas streams. `start` anchors
+  /// each stream's frame (beacon-synchronized uplink).
+  std::vector<ZfStream> decode(const ArrayCapture& cap,
+                               std::size_t start) const;
+
+ private:
+  lora::PhyParams phy_;
+  ZfOptions opt_;
+};
+
+/// Multi-antenna Choir (paper Fig 12, "Choir + MU-MIMO"): runs the
+/// collision decoder independently per antenna and fuses the per-user
+/// symbol streams by majority vote, matching users across antennas by
+/// their aggregate offsets.
+struct FusedUser {
+  double offset_bins = 0.0;
+  std::vector<std::uint32_t> symbols;
+  std::vector<std::uint8_t> payload;
+  bool frame_ok = false;
+  bool crc_ok = false;
+};
+
+std::vector<FusedUser> choir_multi_antenna_decode(
+    const ArrayCapture& cap, const lora::PhyParams& phy, std::size_t start);
+
+}  // namespace choir::mimo

@@ -1,0 +1,62 @@
+#include "opt/coordinate_descent.hpp"
+
+#include <stdexcept>
+
+#include "opt/golden.hpp"
+
+namespace choir::opt {
+
+CoordinateDescentResult coordinate_descent(const ObjectiveFn& f,
+                                           std::vector<double> x0,
+                                           const CoordinateDescentOptions& opt) {
+  if (x0.empty()) throw std::invalid_argument("coordinate_descent: empty x0");
+  CoordinateDescentResult res;
+  res.x = std::move(x0);
+  res.fx = f(res.x);
+  ++res.evaluations;
+  for (int cycle = 0; cycle < opt.max_cycles; ++cycle) {
+    const double before = res.fx;
+    for (std::size_t i = 0; i < res.x.size(); ++i) {
+      const double center = res.x[i];
+      auto line = [&](double v) {
+        std::vector<double> probe = res.x;
+        probe[i] = v;
+        return f(probe);
+      };
+      const GoldenResult g = golden_section_minimize(
+          line, center - opt.radius, center + opt.radius, opt.tol);
+      res.evaluations += g.evaluations;
+      if (g.fx < res.fx) {
+        res.x[i] = g.x;
+        res.fx = g.fx;
+      }
+    }
+    ++res.cycles;
+    if (before - res.fx < opt.min_improvement) break;
+  }
+  return res;
+}
+
+CoordinateDescentResult multi_start_descent(const ObjectiveFn& f,
+                                            const std::vector<double>& x0,
+                                            const CoordinateDescentOptions& opt,
+                                            int starts, double jitter,
+                                            Rng& rng) {
+  if (starts < 1) throw std::invalid_argument("multi_start_descent: starts");
+  CoordinateDescentResult best;
+  bool have_best = false;
+  for (int s = 0; s < starts; ++s) {
+    std::vector<double> start = x0;
+    if (s > 0) {
+      for (auto& v : start) v += rng.uniform(-jitter, jitter);
+    }
+    CoordinateDescentResult r = coordinate_descent(f, std::move(start), opt);
+    if (!have_best || r.fx < best.fx) {
+      best = std::move(r);
+      have_best = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace choir::opt

@@ -1,0 +1,48 @@
+// Cyclic coordinate descent with golden-section line searches.
+//
+// Used to minimize the multi-user residual R(f1..fk): each user's offset is
+// refined in turn within a trust region around its current estimate, cycling
+// until the objective stops improving. Supports multi-start from randomly
+// jittered initial points (the "stochastic descent" of paper Sec. 5.1).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace choir::opt {
+
+struct CoordinateDescentOptions {
+  double radius = 0.5;      ///< per-coordinate search half-width
+  double tol = 1e-4;        ///< line-search x tolerance
+  int max_cycles = 12;      ///< full passes over all coordinates
+  double min_improvement = 1e-9;  ///< stop when a cycle improves less
+};
+
+struct CoordinateDescentResult {
+  std::vector<double> x;
+  double fx = 0.0;
+  int cycles = 0;
+  int evaluations = 0;
+};
+
+using ObjectiveFn = std::function<double(const std::vector<double>&)>;
+
+/// Minimizes f starting from x0, searching coordinate i within
+/// [x0_i - radius, x0_i + radius] each cycle (trust region follows the
+/// current iterate).
+CoordinateDescentResult coordinate_descent(const ObjectiveFn& f,
+                                           std::vector<double> x0,
+                                           const CoordinateDescentOptions& opt);
+
+/// Multi-start wrapper: runs coordinate_descent from `starts` randomly
+/// jittered copies of x0 (jitter uniform in +-jitter per coordinate) and
+/// returns the best result. With starts == 1 this is plain descent from x0.
+CoordinateDescentResult multi_start_descent(const ObjectiveFn& f,
+                                            const std::vector<double>& x0,
+                                            const CoordinateDescentOptions& opt,
+                                            int starts, double jitter,
+                                            Rng& rng);
+
+}  // namespace choir::opt

@@ -1,0 +1,45 @@
+#include "opt/golden.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace choir::opt {
+
+GoldenResult golden_section_minimize(const std::function<double(double)>& f,
+                                     double lo, double hi, double tol,
+                                     int max_iter) {
+  if (!(lo <= hi)) throw std::invalid_argument("golden: lo > hi");
+  static const double kInvPhi = (std::sqrt(5.0) - 1.0) / 2.0;
+  GoldenResult res;
+  double a = lo, b = hi;
+  double c = b - kInvPhi * (b - a);
+  double d = a + kInvPhi * (b - a);
+  double fc = f(c), fd = f(d);
+  res.evaluations = 2;
+  for (int i = 0; i < max_iter && (b - a) > tol; ++i) {
+    if (fc < fd) {
+      b = d;
+      d = c;
+      fd = fc;
+      c = b - kInvPhi * (b - a);
+      fc = f(c);
+    } else {
+      a = c;
+      c = d;
+      fc = fd;
+      d = a + kInvPhi * (b - a);
+      fd = f(d);
+    }
+    ++res.evaluations;
+  }
+  if (fc < fd) {
+    res.x = c;
+    res.fx = fc;
+  } else {
+    res.x = d;
+    res.fx = fd;
+  }
+  return res;
+}
+
+}  // namespace choir::opt

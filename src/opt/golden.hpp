@@ -1,0 +1,23 @@
+// Golden-section search for one-dimensional minimization.
+//
+// Choir's residual function R(f1..fk) is locally convex around the coarse
+// FFT-peak estimates (paper Fig. 4), so a derivative-free bracketing search
+// per coordinate converges quickly and robustly in the presence of noise.
+#pragma once
+
+#include <functional>
+
+namespace choir::opt {
+
+struct GoldenResult {
+  double x = 0.0;
+  double fx = 0.0;
+  int evaluations = 0;
+};
+
+/// Minimizes f over [lo, hi] to within `tol` on x.
+GoldenResult golden_section_minimize(const std::function<double(double)>& f,
+                                     double lo, double hi, double tol = 1e-6,
+                                     int max_iter = 200);
+
+}  // namespace choir::opt

@@ -1,0 +1,103 @@
+#include "opt/nelder_mead.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace choir::opt {
+
+NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x0, const NelderMeadOptions& opt) {
+  const std::size_t n = x0.size();
+  if (n == 0) throw std::invalid_argument("nelder_mead: empty x0");
+
+  NelderMeadResult res;
+  // Simplex of n+1 vertices.
+  std::vector<std::vector<double>> verts(n + 1, x0);
+  for (std::size_t i = 0; i < n; ++i) verts[i + 1][i] += opt.initial_step;
+  std::vector<double> fv(n + 1);
+  for (std::size_t i = 0; i <= n; ++i) {
+    fv[i] = f(verts[i]);
+    ++res.evaluations;
+  }
+
+  constexpr double kAlpha = 1.0;  // reflection
+  constexpr double kGamma = 2.0;  // expansion
+  constexpr double kRho = 0.5;    // contraction
+  constexpr double kSigma = 0.5;  // shrink
+
+  for (int it = 0; it < opt.max_iterations; ++it) {
+    // Order vertices by objective.
+    std::vector<std::size_t> order(n + 1);
+    for (std::size_t i = 0; i <= n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return fv[a] < fv[b]; });
+    const std::size_t best = order.front(), worst = order.back();
+    res.iterations = it + 1;
+    if (fv[worst] - fv[best] < opt.tol) break;
+
+    // Centroid of all but the worst vertex.
+    std::vector<double> centroid(n, 0.0);
+    for (std::size_t i = 0; i <= n; ++i) {
+      if (i == worst) continue;
+      for (std::size_t d = 0; d < n; ++d) centroid[d] += verts[i][d];
+    }
+    for (double& c : centroid) c /= static_cast<double>(n);
+
+    auto blend = [&](double coef) {
+      std::vector<double> p(n);
+      for (std::size_t d = 0; d < n; ++d)
+        p[d] = centroid[d] + coef * (centroid[d] - verts[worst][d]);
+      return p;
+    };
+
+    std::vector<double> reflected = blend(kAlpha);
+    const double fr = f(reflected);
+    ++res.evaluations;
+    const std::size_t second_worst = order[n - 1];
+    if (fr < fv[best]) {
+      std::vector<double> expanded = blend(kGamma);
+      const double fe = f(expanded);
+      ++res.evaluations;
+      if (fe < fr) {
+        verts[worst] = std::move(expanded);
+        fv[worst] = fe;
+      } else {
+        verts[worst] = std::move(reflected);
+        fv[worst] = fr;
+      }
+    } else if (fr < fv[second_worst]) {
+      verts[worst] = std::move(reflected);
+      fv[worst] = fr;
+    } else {
+      std::vector<double> contracted = blend(-kRho);
+      const double fc = f(contracted);
+      ++res.evaluations;
+      if (fc < fv[worst]) {
+        verts[worst] = std::move(contracted);
+        fv[worst] = fc;
+      } else {
+        // Shrink toward the best vertex.
+        for (std::size_t i = 0; i <= n; ++i) {
+          if (i == best) continue;
+          for (std::size_t d = 0; d < n; ++d) {
+            verts[i][d] = verts[best][d] +
+                          kSigma * (verts[i][d] - verts[best][d]);
+          }
+          fv[i] = f(verts[i]);
+          ++res.evaluations;
+        }
+      }
+    }
+  }
+
+  const auto best_it = std::min_element(fv.begin(), fv.end());
+  const std::size_t best_idx =
+      static_cast<std::size_t>(std::distance(fv.begin(), best_it));
+  res.x = verts[best_idx];
+  res.fx = fv[best_idx];
+  return res;
+}
+
+}  // namespace choir::opt

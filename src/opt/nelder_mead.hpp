@@ -1,0 +1,30 @@
+// Nelder-Mead downhill simplex minimizer.
+//
+// Used as an alternative joint refiner for the offset residual when the
+// number of colliding users is small; also exercised by the ablation bench
+// comparing refinement strategies.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace choir::opt {
+
+struct NelderMeadOptions {
+  double initial_step = 0.25;
+  double tol = 1e-8;       ///< stop when simplex f-spread falls below this
+  int max_iterations = 500;
+};
+
+struct NelderMeadResult {
+  std::vector<double> x;
+  double fx = 0.0;
+  int iterations = 0;
+  int evaluations = 0;
+};
+
+NelderMeadResult nelder_mead(
+    const std::function<double(const std::vector<double>&)>& f,
+    std::vector<double> x0, const NelderMeadOptions& opt);
+
+}  // namespace choir::opt

@@ -1,0 +1,91 @@
+#include "rt/streaming.hpp"
+
+#include <algorithm>
+
+#include "lora/frame.hpp"
+
+namespace choir::rt {
+
+StreamingReceiver::StreamingReceiver(const lora::PhyParams& phy,
+                                     const StreamingOptions& opt,
+                                     Callback on_frame)
+    : phy_(phy),
+      opt_(opt),
+      on_frame_(std::move(on_frame)),
+      decoder_(phy, [&] {
+        // Detection aligns the anchor only to within an eighth of a symbol,
+        // which the decoder must absorb as (possibly negative) timing.
+        auto dopt = opt.decoder;
+        dopt.max_timing_samples =
+            std::max(dopt.max_timing_samples,
+                     static_cast<double>(phy.chips()) / 8.0 + 8.0);
+        return dopt;
+      }()),
+      detector_(phy, opt.detector) {
+  phy_.validate();
+}
+
+void StreamingReceiver::push(const cvec& chunk) {
+  buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
+  scan(/*at_end=*/false);
+}
+
+void StreamingReceiver::flush() { scan(/*at_end=*/true); }
+
+void StreamingReceiver::scan(bool at_end) {
+  const std::size_t n = phy_.chips();
+  // Longest frame we are prepared to decode, in samples.
+  const std::size_t frame_span =
+      (static_cast<std::size_t>(phy_.preamble_len + phy_.sfd_len) +
+       lora::frame_symbol_count(opt_.max_payload_bytes, phy_)) *
+      n;
+
+  while (true) {
+    const auto found = detector_.detect_preamble(buffer_, 0);
+    if (!found) {
+      // Nothing detected: drop all but one frame-span of history (a
+      // preamble could be straddling the chunk boundary).
+      if (buffer_.size() > frame_span) {
+        const std::size_t drop = buffer_.size() - frame_span;
+        buffer_.erase(buffer_.begin(),
+                      buffer_.begin() + static_cast<std::ptrdiff_t>(drop));
+        consumed_ += drop;
+      }
+      return;
+    }
+
+    // Give the detected frame a little leading context.
+    const std::size_t back = opt_.backtrack_symbols * n;
+    const std::size_t start = *found > back ? *found - back : 0;
+    if (!at_end && buffer_.size() < start + frame_span) {
+      return;  // frame not fully buffered yet; wait for more samples
+    }
+
+    ++decode_attempts_;
+    // Refine alignment with the single-user pipeline (it knows how to line
+    // up the SFD), then hand the anchor to the collision decoder so *all*
+    // users in the pile-up are recovered.
+    const auto aligned = detector_.demodulate(buffer_, start);
+    const std::size_t anchor =
+        aligned.detected ? aligned.frame_start : *found;
+    const auto users = decoder_.decode(buffer_, anchor);
+    for (const auto& du : users) {
+      if (!du.frame_ok) continue;
+      FrameEvent ev;
+      ev.stream_offset = consumed_ + anchor;
+      ev.user = du;
+      on_frame_(ev);
+    }
+
+    // Consume through the end of this frame (collisions share the span).
+    const std::size_t consumed_through =
+        std::min(buffer_.size(), anchor + frame_span);
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_through));
+    consumed_ += consumed_through;
+    if (at_end && buffer_.empty()) return;
+    if (buffer_.size() < n) return;
+  }
+}
+
+}  // namespace choir::rt

@@ -1,0 +1,72 @@
+// Streaming receiver: a push-based wrapper that turns the batch decoders
+// into something an SDR pipeline (or a file reader) can feed chunk by
+// chunk.
+//
+// The receiver buffers incoming samples, scans for preambles, and once a
+// frame (or collision of frames) has fully arrived, runs the Choir
+// collision decoder and emits one event per decoded user. Consumed samples
+// are discarded, so memory stays bounded for arbitrarily long streams.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "core/collision_decoder.hpp"
+#include "lora/demodulator.hpp"
+
+namespace choir::rt {
+
+/// One decoded uplink frame (or a per-user slice of a decoded collision).
+struct FrameEvent {
+  std::uint64_t stream_offset = 0;  ///< absolute sample index of frame start
+  core::DecodedUser user;
+};
+
+struct StreamingOptions {
+  core::CollisionDecoderOptions decoder{};
+  lora::DemodOptions detector{};
+  /// Samples retained behind the scan cursor (context for a frame whose
+  /// preamble was detected late).
+  std::size_t backtrack_symbols = 2;
+  /// Upper bound on the payload the stream is expected to carry; bounds
+  /// how long the receiver waits before decoding a detected frame.
+  std::size_t max_payload_bytes = 64;
+};
+
+class StreamingReceiver {
+ public:
+  using Callback = std::function<void(const FrameEvent&)>;
+
+  StreamingReceiver(const lora::PhyParams& phy, const StreamingOptions& opt,
+                    Callback on_frame);
+
+  /// Feeds a chunk of samples; the callback fires for every frame that
+  /// completed inside the buffered stream.
+  void push(const cvec& chunk);
+
+  /// Flushes the tail of the stream (call at end of input): attempts to
+  /// decode any detected-but-incomplete frame with what is buffered.
+  void flush();
+
+  /// Absolute index of the next unconsumed sample.
+  std::uint64_t consumed() const { return consumed_; }
+
+  /// Number of decode attempts made (diagnostics).
+  std::size_t decode_attempts() const { return decode_attempts_; }
+
+ private:
+  void scan(bool at_end);
+
+  lora::PhyParams phy_;
+  StreamingOptions opt_;
+  Callback on_frame_;
+  core::CollisionDecoder decoder_;
+  lora::Demodulator detector_;
+  cvec buffer_;
+  std::uint64_t consumed_ = 0;  ///< absolute index of buffer_[0]
+  std::size_t decode_attempts_ = 0;
+};
+
+}  // namespace choir::rt

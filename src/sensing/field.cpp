@@ -1,0 +1,167 @@
+#include "sensing/field.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/types.hpp"
+
+namespace choir::sensing {
+
+namespace {
+
+SmoothNoise make_noise(std::uint64_t seed, std::uint64_t salt) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ull + salt);
+  return SmoothNoise(24, 25.0, rng);
+}
+
+}  // namespace
+
+SmoothNoise::SmoothNoise(std::size_t n_waves, double corr_length_m, Rng& rng) {
+  if (corr_length_m <= 0.0)
+    throw std::invalid_argument("SmoothNoise: corr_length");
+  waves_.reserve(n_waves);
+  for (std::size_t i = 0; i < n_waves; ++i) {
+    const double k = kTwoPi / corr_length_m;
+    const double theta = rng.phase();
+    Wave w;
+    w.kx = k * std::cos(theta) * rng.uniform(0.3, 1.0);
+    w.ky = k * std::sin(theta) * rng.uniform(0.3, 1.0);
+    w.kf = rng.uniform(0.0, kTwoPi / 3.0);  // mild floor decorrelation
+    w.phase = rng.phase();
+    waves_.push_back(w);
+  }
+  norm_ = std::sqrt(2.0 / static_cast<double>(std::max<std::size_t>(1, n_waves)));
+}
+
+double SmoothNoise::at(double x_m, double y_m, double floor) const {
+  double acc = 0.0;
+  for (const Wave& w : waves_) {
+    acc += std::cos(w.kx * x_m + w.ky * y_m + w.kf * floor + w.phase);
+  }
+  return acc * norm_;
+}
+
+SensorField::SensorField(const BuildingModel& model, std::uint64_t seed)
+    : model_(model),
+      temp_noise_(make_noise(seed, 1)),
+      hum_noise_(make_noise(seed, 2)) {}
+
+double SensorField::center_distance(const PlacedSensor& s) const {
+  const double cx = model_.width_m / 2.0;
+  const double cy = model_.depth_m / 2.0;
+  const double dx = (s.x_m - cx) / cx;
+  const double dy = (s.y_m - cy) / cy;
+  return std::min(1.0, std::sqrt((dx * dx + dy * dy) / 2.0));
+}
+
+SensorSample SensorField::sample(const PlacedSensor& s) const {
+  // The envelope mixes the outdoor value in; the core holds the setpoint.
+  const double mix = model_.envelope_leak * center_distance(s);
+  SensorSample out;
+  out.temperature_c =
+      model_.indoor_core_c * (1.0 - mix) + model_.outdoor_c * mix +
+      model_.floor_gradient_c * static_cast<double>(s.floor) +
+      model_.noise_c * temp_noise_.at(s.x_m, s.y_m, s.floor);
+  out.humidity_rh =
+      model_.indoor_core_rh * (1.0 - mix) + model_.outdoor_rh * mix +
+      model_.noise_rh * hum_noise_.at(s.x_m, s.y_m, s.floor);
+  return out;
+}
+
+std::vector<PlacedSensor> place_sensors(const BuildingModel& model,
+                                        std::size_t count, Rng& rng) {
+  std::vector<PlacedSensor> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    PlacedSensor s;
+    s.id = i;
+    s.x_m = rng.uniform(0.0, model.width_m);
+    s.y_m = rng.uniform(0.0, model.depth_m);
+    s.floor = static_cast<int>(rng.uniform_int(0, model.floors - 1));
+    out.push_back(s);
+  }
+  return out;
+}
+
+std::uint32_t quantize_reading(double value, double lo, double hi, int bits) {
+  if (bits < 1 || bits > 31) throw std::invalid_argument("quantize: bits");
+  if (hi <= lo) throw std::invalid_argument("quantize: range");
+  const double levels = static_cast<double>(std::uint32_t{1} << bits);
+  double t = (value - lo) / (hi - lo) * levels;
+  t = std::clamp(t, 0.0, levels - 1.0);
+  return static_cast<std::uint32_t>(t);
+}
+
+double dequantize_reading(std::uint32_t q, double lo, double hi, int bits) {
+  const double levels = static_cast<double>(std::uint32_t{1} << bits);
+  return lo + (static_cast<double>(q) + 0.5) / levels * (hi - lo);
+}
+
+int common_msb_prefix(const std::vector<std::uint32_t>& values, int bits) {
+  if (values.empty()) return 0;
+  for (int p = bits; p > 0; --p) {
+    const int shift = bits - p;
+    const std::uint32_t head = values.front() >> shift;
+    bool all = true;
+    for (std::uint32_t v : values) {
+      if ((v >> shift) != head) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return p;
+  }
+  return 0;
+}
+
+double reconstruct_from_prefix(std::uint32_t value, int prefix_bits, double lo,
+                               double hi, int bits) {
+  if (prefix_bits < 0 || prefix_bits > bits)
+    throw std::invalid_argument("reconstruct_from_prefix: prefix_bits");
+  const int shift = bits - prefix_bits;
+  const std::uint32_t head = (value >> shift) << shift;
+  // Midpoint of the interval the prefix pins down.
+  const std::uint32_t mid =
+      head + (shift > 0 ? (std::uint32_t{1} << (shift - 1)) : 0);
+  return dequantize_reading(mid, lo, hi, bits) -
+         (0.5 / static_cast<double>(std::uint32_t{1} << bits)) * (hi - lo);
+}
+
+SharedReading team_shared_reading(const std::vector<double>& values,
+                                  double lo, double hi, int bits) {
+  if (values.empty()) throw std::invalid_argument("team_shared_reading: empty");
+  // Search from the longest prefix down. At prefix length p the shared
+  // "cell" spans (hi-lo)/2^p; tightly clustered readings fit one cell
+  // unless a boundary happens to cut through them — which a small agreed
+  // grid offset (quarter-cell granularity, indexable in two bits of the
+  // beacon) repairs.
+  SharedReading best;
+  for (int p = bits; p >= 0; --p) {
+    const double cell =
+        (hi - lo) / static_cast<double>(std::uint32_t{1} << p);
+    for (double frac : {0.0, 0.25, 0.5, 0.75}) {
+      const double dither = frac * cell;
+      bool agree = true;
+      double first_idx = 0.0;
+      for (std::size_t i = 0; i < values.size(); ++i) {
+        const double idx = std::floor((values[i] - lo + dither) / cell);
+        if (i == 0) {
+          first_idx = idx;
+        } else if (idx != first_idx) {
+          agree = false;
+          break;
+        }
+      }
+      if (agree) {
+        best.prefix_bits = p;
+        best.dither = dither;
+        best.value = lo - dither + (first_idx + 0.5) * cell;
+        return best;
+      }
+    }
+  }
+  return best;  // unreachable: p == 0 always agrees
+}
+
+}  // namespace choir::sensing

@@ -1,0 +1,113 @@
+// Synthetic environmental field standing in for the paper's BME280
+// temperature/humidity sensors deployed across a large university building
+// (Sec. 9.4, Figs 6, 10, 11).
+//
+// The field captures the spatial correlation structure those experiments
+// rely on: readings are driven by an outdoor value that leaks through the
+// building envelope, so sensors at the same distance from the floor's
+// center read almost the same value (the paper found grouping by
+// center-distance best, then by floor, then random), plus a per-floor
+// gradient and smooth spatial noise.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace choir::sensing {
+
+struct BuildingModel {
+  double width_m = 95.0;   ///< Fig 6(a) floor plate
+  double depth_m = 40.0;
+  int floors = 4;
+  double indoor_core_c = 22.0;    ///< HVAC setpoint at the core
+  double outdoor_c = 29.0;        ///< summer afternoon
+  double floor_gradient_c = 0.5;  ///< heat rises
+  double envelope_leak = 0.6;     ///< outdoor fraction felt at the envelope
+  double noise_c = 0.25;          ///< smooth spatial noise amplitude
+  double indoor_core_rh = 42.0;
+  double outdoor_rh = 68.0;
+  double noise_rh = 1.5;
+};
+
+struct PlacedSensor {
+  std::size_t id = 0;
+  double x_m = 0.0;  ///< [0, width)
+  double y_m = 0.0;  ///< [0, depth)
+  int floor = 0;
+};
+
+struct SensorSample {
+  double temperature_c = 0.0;
+  double humidity_rh = 0.0;
+};
+
+/// Smooth spatially-correlated field: a sum of random low-frequency cosine
+/// plane waves (random Fourier features), giving continuous, differentiable
+/// spatial noise with ~unit variance, scaled per field.
+class SmoothNoise {
+ public:
+  SmoothNoise(std::size_t n_waves, double corr_length_m, Rng& rng);
+  double at(double x_m, double y_m, double floor) const;
+
+ private:
+  struct Wave {
+    double kx, ky, kf, phase;
+  };
+  std::vector<Wave> waves_;
+  double norm_ = 1.0;
+};
+
+class SensorField {
+ public:
+  SensorField(const BuildingModel& model, std::uint64_t seed);
+
+  const BuildingModel& model() const { return model_; }
+
+  /// Normalized distance from the floor-plate center, 0 at center, 1 at the
+  /// envelope (corner-normalized).
+  double center_distance(const PlacedSensor& s) const;
+
+  SensorSample sample(const PlacedSensor& s) const;
+
+ private:
+  BuildingModel model_;
+  SmoothNoise temp_noise_;
+  SmoothNoise hum_noise_;
+};
+
+/// Uniformly places `count` sensors across the building's floors.
+std::vector<PlacedSensor> place_sensors(const BuildingModel& model,
+                                        std::size_t count, Rng& rng);
+
+/// Quantizes a reading to `bits` bits over [lo, hi] (sensor ADC model).
+std::uint32_t quantize_reading(double value, double lo, double hi, int bits);
+
+/// Midpoint reconstruction of a quantized reading.
+double dequantize_reading(std::uint32_t q, double lo, double hi, int bits);
+
+/// Longest common MSB prefix of a set of quantized readings; returns the
+/// number of shared leading bits.
+int common_msb_prefix(const std::vector<std::uint32_t>& values, int bits);
+
+/// Reconstructs a value from the first `prefix_bits` MSBs (midpoint of the
+/// remaining range) — what the base station learns from a team transmission
+/// that carries only the overlapping bits.
+double reconstruct_from_prefix(std::uint32_t value, int prefix_bits, double lo,
+                               double hi, int bits);
+
+/// Robust shared reading for a team: tightly-clustered values can still
+/// straddle a quantization cell boundary, which destroys the common MSB
+/// prefix entirely. The team can agree (via the beacon) on one of a few
+/// dither offsets of the quantization grid; this helper picks the offset
+/// that maximizes the shared prefix and returns the reconstructed value.
+struct SharedReading {
+  int prefix_bits = 0;
+  double value = 0.0;       ///< reconstruction (midpoint of the shared cell)
+  double dither = 0.0;      ///< grid offset that was used
+};
+SharedReading team_shared_reading(const std::vector<double>& values, double lo,
+                                  double hi, int bits);
+
+}  // namespace choir::sensing

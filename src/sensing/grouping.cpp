@@ -1,0 +1,82 @@
+#include "sensing/grouping.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace choir::sensing {
+
+const char* grouping_name(GroupingStrategy s) {
+  switch (s) {
+    case GroupingStrategy::kRandom:
+      return "Random";
+    case GroupingStrategy::kByFloor:
+      return "Floor";
+    case GroupingStrategy::kByCenterDistance:
+      return "Center Dist.";
+  }
+  return "?";
+}
+
+std::vector<std::vector<std::size_t>> make_groups(
+    const std::vector<PlacedSensor>& sensors, const SensorField& field,
+    GroupingStrategy strategy, std::size_t group_size, Rng& rng) {
+  if (group_size == 0) throw std::invalid_argument("make_groups: size 0");
+  std::vector<std::size_t> order(sensors.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  switch (strategy) {
+    case GroupingStrategy::kRandom:
+      std::shuffle(order.begin(), order.end(), rng.engine());
+      break;
+    case GroupingStrategy::kByFloor:
+      // Within a floor, order is arbitrary (shuffled) — the strategy only
+      // uses floor membership.
+      std::shuffle(order.begin(), order.end(), rng.engine());
+      std::stable_sort(order.begin(), order.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return sensors[a].floor < sensors[b].floor;
+                       });
+      break;
+    case GroupingStrategy::kByCenterDistance:
+      std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return field.center_distance(sensors[a]) <
+               field.center_distance(sensors[b]);
+      });
+      break;
+  }
+
+  std::vector<std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < order.size(); i += group_size) {
+    const std::size_t end = std::min(order.size(), i + group_size);
+    groups.emplace_back(order.begin() + static_cast<std::ptrdiff_t>(i),
+                        order.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  return groups;
+}
+
+double grouping_error(const std::vector<double>& readings,
+                      const std::vector<std::vector<std::size_t>>& groups,
+                      const ResolutionParams& p) {
+  if (p.hi <= p.lo) throw std::invalid_argument("grouping_error: range");
+  double err_acc = 0.0;
+  std::size_t count = 0;
+  for (const auto& g : groups) {
+    std::vector<std::uint32_t> quantized;
+    quantized.reserve(g.size());
+    for (std::size_t idx : g) {
+      quantized.push_back(quantize_reading(readings.at(idx), p.lo, p.hi, p.bits));
+    }
+    const int prefix = common_msb_prefix(quantized, p.bits);
+    for (std::size_t k = 0; k < g.size(); ++k) {
+      const double recon =
+          reconstruct_from_prefix(quantized[k], prefix, p.lo, p.hi, p.bits);
+      err_acc += std::abs(recon - readings[g[k]]) / (p.hi - p.lo);
+      ++count;
+    }
+  }
+  return count > 0 ? err_acc / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace choir::sensing

@@ -1,0 +1,41 @@
+// Sensor grouping strategies and resolution metrics (paper Sec. 9.4, Fig 11a).
+//
+// When a team of sensors transmits together, the base station recovers the
+// bits the team members *agree on* — the common MSB prefix of their
+// quantized readings. The reconstruction error per sensor therefore depends
+// on how the team was chosen: random teams agree on little; same-floor
+// teams agree more; teams at the same distance from the floor center agree
+// most (they see the same envelope mix).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sensing/field.hpp"
+#include "util/rng.hpp"
+
+namespace choir::sensing {
+
+enum class GroupingStrategy { kRandom, kByFloor, kByCenterDistance };
+
+const char* grouping_name(GroupingStrategy s);
+
+/// Partitions sensors into groups of (about) `group_size`.
+std::vector<std::vector<std::size_t>> make_groups(
+    const std::vector<PlacedSensor>& sensors, const SensorField& field,
+    GroupingStrategy strategy, std::size_t group_size, Rng& rng);
+
+struct ResolutionParams {
+  double lo = 0.0;
+  double hi = 1.0;
+  int bits = 12;
+};
+
+/// Mean absolute reconstruction error, normalized by the sensor range, when
+/// each group reports only its common MSB prefix: for each sensor, the
+/// reconstructed value is the prefix midpoint; error = |recon - truth|/range.
+double grouping_error(const std::vector<double>& readings,
+                      const std::vector<std::vector<std::size_t>>& groups,
+                      const ResolutionParams& p);
+
+}  // namespace choir::sensing

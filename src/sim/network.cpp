@@ -1,0 +1,347 @@
+#include "sim/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+
+#include "core/collision_decoder.hpp"
+#include "lora/demodulator.hpp"
+#include "lora/frame.hpp"
+
+namespace choir::sim {
+
+namespace {
+
+struct UserState {
+  channel::DeviceHardware hw{};
+  double snr_db = 0.0;
+  double next_tx_s = 0.0;
+  double hol_since_s = 0.0;  ///< when the current packet became head-of-line
+  int retries = 0;
+  std::uint16_t seq = 0;
+};
+
+std::vector<std::uint8_t> make_payload(std::size_t user, std::uint16_t seq,
+                                       std::size_t len, Rng& rng) {
+  std::vector<std::uint8_t> p(len);
+  p[0] = static_cast<std::uint8_t>(user);
+  p[1] = static_cast<std::uint8_t>(seq & 0xFF);
+  p[2] = static_cast<std::uint8_t>(seq >> 8);
+  for (std::size_t i = 3; i < len; ++i)
+    p[i] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  return p;
+}
+
+struct Attribution {
+  std::size_t user;
+  std::uint16_t seq;
+};
+
+std::optional<Attribution> attribute(const std::vector<std::uint8_t>& payload,
+                                     std::size_t n_users) {
+  if (payload.size() < 3) return std::nullopt;
+  const std::size_t user = payload[0];
+  if (user >= n_users) return std::nullopt;
+  const auto seq = static_cast<std::uint16_t>(payload[1] | (payload[2] << 8));
+  return Attribution{user, seq};
+}
+
+struct Tally {
+  std::size_t delivered = 0;
+  std::size_t attempts = 0;
+  std::size_t dropped = 0;
+  double latency_acc = 0.0;
+
+  void success(double now, double hol_since) {
+    ++delivered;
+    latency_acc += now - hol_since;
+  }
+};
+
+void check_config(const NetworkConfig& cfg) {
+  cfg.phy.validate();
+  if (cfg.n_users == 0) throw std::invalid_argument("network: no users");
+  if (cfg.n_users > 255) throw std::invalid_argument("network: >255 users");
+  if (cfg.payload_bytes < 4)
+    throw std::invalid_argument("network: payload_bytes < 4");
+  if (cfg.sim_duration_s <= 0.0)
+    throw std::invalid_argument("network: duration");
+}
+
+double user_snr(const NetworkConfig& cfg, std::size_t u) {
+  if (cfg.user_snr_db.empty()) return 15.0;
+  return cfg.user_snr_db[u % cfg.user_snr_db.size()];
+}
+
+NetMetrics finish(const NetworkConfig& cfg, const Tally& tally) {
+  NetMetrics m;
+  m.delivered = tally.delivered;
+  m.attempts = tally.attempts;
+  m.dropped = tally.dropped;
+  m.sim_time_s = cfg.sim_duration_s;
+  m.throughput_bps = static_cast<double>(tally.delivered) *
+                     static_cast<double>(cfg.payload_bytes) * 8.0 /
+                     cfg.sim_duration_s;
+  m.mean_latency_s =
+      tally.delivered > 0
+          ? tally.latency_acc / static_cast<double>(tally.delivered)
+          : 0.0;
+  m.tx_per_packet =
+      tally.delivered > 0
+          ? static_cast<double>(tally.attempts) /
+                static_cast<double>(tally.delivered)
+          : static_cast<double>(tally.attempts);
+  return m;
+}
+
+NetMetrics run_aloha(const NetworkConfig& cfg) {
+  Rng rng(cfg.seed);
+  const double air = lora::frame_airtime_s(cfg.payload_bytes, cfg.phy);
+  lora::Demodulator demod(cfg.phy);
+
+  std::vector<UserState> users(cfg.n_users);
+  for (std::size_t u = 0; u < cfg.n_users; ++u) {
+    users[u].hw = channel::DeviceHardware::sample(cfg.osc, rng);
+    users[u].snr_db = user_snr(cfg, u);
+    users[u].next_tx_s = rng.uniform(0.0, 2.0 * air);
+    users[u].hol_since_s = 0.0;
+  }
+
+  Tally tally;
+  while (true) {
+    // Next transmission starts the episode.
+    std::size_t first = 0;
+    for (std::size_t u = 1; u < cfg.n_users; ++u) {
+      if (users[u].next_tx_s < users[first].next_tx_s) first = u;
+    }
+    const double t0 = users[first].next_tx_s;
+    if (t0 >= cfg.sim_duration_s) break;
+
+    // Greedily absorb every transmission overlapping the episode.
+    std::vector<std::size_t> members;
+    double ep_end = t0;
+    bool grew = true;
+    while (grew) {
+      grew = false;
+      for (std::size_t u = 0; u < cfg.n_users; ++u) {
+        if (std::find(members.begin(), members.end(), u) != members.end())
+          continue;
+        if (users[u].next_tx_s <= std::max(ep_end, t0 + air)) {
+          members.push_back(u);
+          ep_end = std::max(ep_end, users[u].next_tx_s + air);
+          grew = true;
+        }
+      }
+    }
+
+    // Render the episode's IQ superposition.
+    std::vector<channel::TxInstance> txs;
+    std::vector<std::uint16_t> seqs;
+    for (std::size_t u : members) {
+      channel::TxInstance tx;
+      tx.phy = cfg.phy;
+      tx.payload = make_payload(u, users[u].seq, cfg.payload_bytes, rng);
+      tx.hw = users[u].hw.packet_instance(cfg.osc, rng);
+      tx.snr_db = users[u].snr_db;
+      tx.fading = cfg.fading;
+      tx.extra_delay_s = users[u].next_tx_s - t0;
+      seqs.push_back(users[u].seq);
+      txs.push_back(std::move(tx));
+    }
+    channel::RenderOptions ropt;
+    ropt.osc = cfg.osc;
+    const channel::RenderedCapture cap = render_collision(txs, ropt, rng);
+
+    // Receiver-lock model: a commodity LoRa gateway has a single
+    // demodulation chain per (channel, SF). It locks onto the first
+    // detected preamble and stays busy until that frame ends; a later
+    // frame is only demodulated if it arrives after the lock releases, or
+    // if it is strong enough (>= 6 dB) to capture the chain away.
+    tally.attempts += members.size();
+    std::vector<std::size_t> order(members.size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return users[members[a]].next_tx_s < users[members[b]].next_tx_s;
+    });
+    double busy_until = -1.0;
+    double locked_snr = -300.0;
+    std::vector<bool> demodulated(members.size(), false);
+    for (std::size_t oi : order) {
+      const std::size_t u = members[oi];
+      const double tx_start = users[u].next_tx_s;
+      if (tx_start < busy_until && users[u].snr_db < locked_snr + 6.0) {
+        continue;  // chain busy, no capture
+      }
+      demodulated[oi] = true;
+      busy_until = tx_start + air;
+      locked_snr = users[u].snr_db;
+    }
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      const std::size_t u = members[i];
+      const double frame_end = users[u].next_tx_s + air;
+      bool ok = false;
+      if (demodulated[i]) {
+        const auto start = static_cast<std::size_t>(
+            std::llround(cap.users[i].delay_samples));
+        const lora::DemodResult res = demod.demodulate_at(cap.samples, start);
+        if (res.crc_ok) {
+          const auto att = attribute(res.payload, cfg.n_users);
+          ok = att && att->user == u && att->seq == seqs[i];
+        }
+      }
+      if (ok) {
+        tally.success(frame_end, users[u].hol_since_s);
+        users[u].seq++;
+        users[u].retries = 0;
+        users[u].hol_since_s = frame_end + cfg.turnaround_s;
+        users[u].next_tx_s = frame_end + cfg.turnaround_s;
+      } else {
+        users[u].retries++;
+        if (users[u].retries > cfg.max_retries) {
+          ++tally.dropped;
+          users[u].seq++;
+          users[u].retries = 0;
+          users[u].hol_since_s = frame_end;
+        }
+        const double expo =
+            std::pow(2.0, std::min(users[u].retries, 8));
+        users[u].next_tx_s =
+            frame_end + cfg.backoff_base_s * expo * rng.uniform(0.5, 1.5);
+      }
+    }
+  }
+  return finish(cfg, tally);
+}
+
+NetMetrics run_oracle(const NetworkConfig& cfg) {
+  Rng rng(cfg.seed);
+  const double air = lora::frame_airtime_s(cfg.payload_bytes, cfg.phy);
+  const double slot = air + cfg.turnaround_s;
+  lora::Demodulator demod(cfg.phy);
+
+  std::vector<UserState> users(cfg.n_users);
+  for (std::size_t u = 0; u < cfg.n_users; ++u) {
+    users[u].hw = channel::DeviceHardware::sample(cfg.osc, rng);
+    users[u].snr_db = user_snr(cfg, u);
+  }
+
+  Tally tally;
+  std::size_t slot_idx = 0;
+  for (double t = 0.0; t + air <= cfg.sim_duration_s; t += slot, ++slot_idx) {
+    const std::size_t u = slot_idx % cfg.n_users;
+    channel::TxInstance tx;
+    tx.phy = cfg.phy;
+    tx.payload = make_payload(u, users[u].seq, cfg.payload_bytes, rng);
+    tx.hw = users[u].hw.packet_instance(cfg.osc, rng);
+    tx.snr_db = users[u].snr_db;
+    tx.fading = cfg.fading;
+    channel::RenderOptions ropt;
+    ropt.osc = cfg.osc;
+    const channel::RenderedCapture cap = render_collision({tx}, ropt, rng);
+
+    ++tally.attempts;
+    const auto start =
+        static_cast<std::size_t>(std::llround(cap.users[0].delay_samples));
+    const lora::DemodResult res = demod.demodulate_at(cap.samples, start);
+    bool ok = false;
+    if (res.crc_ok) {
+      const auto att = attribute(res.payload, cfg.n_users);
+      ok = att && att->user == u && att->seq == users[u].seq;
+    }
+    if (ok) {
+      tally.success(t + air, users[u].hol_since_s);
+      users[u].seq++;
+      users[u].hol_since_s = t + air;
+    }
+    // Failed slots simply retry at the user's next turn.
+  }
+  return finish(cfg, tally);
+}
+
+NetMetrics run_choir(const NetworkConfig& cfg) {
+  Rng rng(cfg.seed);
+  const double air = lora::frame_airtime_s(cfg.payload_bytes, cfg.phy);
+  const double round_len = air + cfg.choir_guard_s;
+  core::CollisionDecoder decoder(cfg.phy);
+
+  std::vector<UserState> users(cfg.n_users);
+  for (std::size_t u = 0; u < cfg.n_users; ++u) {
+    users[u].hw = channel::DeviceHardware::sample(cfg.osc, rng);
+    users[u].snr_db = user_snr(cfg, u);
+  }
+
+  Tally tally;
+  for (double t = 0.0; t + air <= cfg.sim_duration_s; t += round_len) {
+    // Saturated: every user answers the beacon each round.
+    std::vector<channel::TxInstance> txs;
+    std::vector<std::uint16_t> seqs;
+    for (std::size_t u = 0; u < cfg.n_users; ++u) {
+      channel::TxInstance tx;
+      tx.phy = cfg.phy;
+      tx.payload = make_payload(u, users[u].seq, cfg.payload_bytes, rng);
+      tx.hw = users[u].hw.packet_instance(cfg.osc, rng);
+      tx.snr_db = users[u].snr_db;
+      tx.fading = cfg.fading;
+      seqs.push_back(users[u].seq);
+      txs.push_back(std::move(tx));
+    }
+    channel::RenderOptions ropt;
+    ropt.osc = cfg.osc;
+    const channel::RenderedCapture cap = render_collision(txs, ropt, rng);
+
+    tally.attempts += cfg.n_users;
+    const std::vector<core::DecodedUser> decoded =
+        decoder.decode(cap.samples, 0);
+    std::vector<bool> got(cfg.n_users, false);
+    for (const core::DecodedUser& du : decoded) {
+      if (!du.crc_ok) continue;
+      const auto att = attribute(du.payload, cfg.n_users);
+      if (!att || got[att->user]) continue;
+      if (att->seq != seqs[att->user]) continue;
+      got[att->user] = true;
+    }
+    for (std::size_t u = 0; u < cfg.n_users; ++u) {
+      if (!got[u]) continue;  // retransmits next round
+      tally.success(t + air, users[u].hol_since_s);
+      users[u].seq++;
+      users[u].hol_since_s = t + round_len;
+    }
+  }
+  return finish(cfg, tally);
+}
+
+}  // namespace
+
+const char* mac_name(MacScheme m) {
+  switch (m) {
+    case MacScheme::kAloha:
+      return "ALOHA";
+    case MacScheme::kOracle:
+      return "Oracle";
+    case MacScheme::kChoir:
+      return "Choir";
+  }
+  return "?";
+}
+
+NetMetrics run_network(const NetworkConfig& cfg) {
+  check_config(cfg);
+  switch (cfg.mac) {
+    case MacScheme::kAloha:
+      return run_aloha(cfg);
+    case MacScheme::kOracle:
+      return run_oracle(cfg);
+    case MacScheme::kChoir:
+      return run_choir(cfg);
+  }
+  throw std::logic_error("run_network: bad mac");
+}
+
+double ideal_throughput_bps(const NetworkConfig& cfg) {
+  const double air = lora::frame_airtime_s(cfg.payload_bytes, cfg.phy);
+  return static_cast<double>(cfg.n_users) *
+         static_cast<double>(cfg.payload_bytes) * 8.0 / air;
+}
+
+}  // namespace choir::sim

@@ -1,0 +1,67 @@
+// MAC-level network simulator for the density experiments (paper Sec. 9.2,
+// Fig 8; also driven by the Fig 11(b) and Fig 12 benches).
+//
+// Saturated uplink: every node always has a packet pending (the paper's
+// "as many as 10 nodes transmitting data at any given time"). Three MACs:
+//
+//  * ALOHA  — standard LoRaWAN: transmit immediately, exponential backoff
+//             after a failed (unacknowledged) attempt.
+//  * Oracle — LoRaWAN with a genie TDMA scheduler: perfectly sequenced
+//             slots, no collisions ever.
+//  * Choir  — beacon rounds: all backlogged nodes answer concurrently in
+//             the same slot; the base station disentangles the collision
+//             with the CollisionDecoder.
+//
+// Adjudication renders the actual IQ superposition of every transmission
+// cluster ("episode") through the collision channel and runs the real
+// receivers — the standard single-user demodulator for the LoRaWAN MACs
+// (capture effect included), the Choir decoder for Choir rounds. Decoded
+// payloads carry the sender id, so attribution is by decoded content, never
+// by ground truth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/collision.hpp"
+#include "lora/params.hpp"
+
+namespace choir::sim {
+
+enum class MacScheme { kAloha, kOracle, kChoir };
+
+const char* mac_name(MacScheme m);
+
+struct NetworkConfig {
+  lora::PhyParams phy{};
+  MacScheme mac = MacScheme::kAloha;
+  std::size_t n_users = 2;
+  double sim_duration_s = 5.0;
+  std::size_t payload_bytes = 8;  ///< >= 4 (id + seq header)
+  int max_retries = 12;
+  double backoff_base_s = 0.01;   ///< ALOHA exponential backoff unit
+  double turnaround_s = 0.002;    ///< RX->TX turnaround after success
+  double choir_guard_s = 0.004;   ///< per-round guard time
+  std::vector<double> user_snr_db;  ///< per-user mean SNR; resized/cycled
+  channel::OscillatorModel osc{};
+  channel::FadingModel fading{};
+  std::uint64_t seed = 1;
+};
+
+struct NetMetrics {
+  double throughput_bps = 0.0;   ///< delivered payload bits / sim time
+  double mean_latency_s = 0.0;   ///< head-of-line to successful decode
+  double tx_per_packet = 0.0;    ///< transmissions per delivered packet
+  std::size_t delivered = 0;
+  std::size_t attempts = 0;
+  std::size_t dropped = 0;       ///< packets abandoned after max_retries
+  double sim_time_s = 0.0;
+};
+
+NetMetrics run_network(const NetworkConfig& cfg);
+
+/// Offered-load upper bound: every user streams back-to-back frames decoded
+/// perfectly in parallel (the "Ideal" series of Fig 8d).
+double ideal_throughput_bps(const NetworkConfig& cfg);
+
+}  // namespace choir::sim

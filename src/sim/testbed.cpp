@@ -1,0 +1,72 @@
+#include "sim/testbed.hpp"
+
+#include <cmath>
+
+#include "util/types.hpp"
+
+namespace choir::sim {
+
+namespace {
+
+TestbedNode make_node(const TestbedConfig& cfg, std::size_t id, double x,
+                      double y, Rng& rng) {
+  TestbedNode n;
+  n.id = id;
+  n.x_m = x;
+  n.y_m = y;
+  const double cx = cfg.area_width_m / 2.0;
+  const double cy = cfg.area_height_m / 2.0;
+  n.distance_m = std::hypot(x - cx, y - cy);
+  n.snr_db = cfg.budget.sample_snr_db(n.distance_m, cfg.pathloss, rng);
+  n.hw = channel::DeviceHardware::sample(cfg.osc, rng);
+  return n;
+}
+
+}  // namespace
+
+std::vector<TestbedNode> sample_testbed(const TestbedConfig& cfg,
+                                        std::size_t count, Rng& rng) {
+  std::vector<TestbedNode> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    out.push_back(make_node(cfg, i, rng.uniform(0.0, cfg.area_width_m),
+                            rng.uniform(0.0, cfg.area_height_m), rng));
+  }
+  return out;
+}
+
+std::vector<TestbedNode> sample_ring(const TestbedConfig& cfg,
+                                     std::size_t count, double distance_m,
+                                     Rng& rng) {
+  std::vector<TestbedNode> out;
+  out.reserve(count);
+  const double cx = cfg.area_width_m / 2.0;
+  const double cy = cfg.area_height_m / 2.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const double th = rng.phase();
+    out.push_back(make_node(cfg, i, cx + distance_m * std::cos(th),
+                            cy + distance_m * std::sin(th), rng));
+  }
+  return out;
+}
+
+std::vector<TestbedNode> sample_clustered_testbed(const TestbedConfig& cfg,
+                                                  std::size_t buildings,
+                                                  std::size_t per_building,
+                                                  double spread_m, Rng& rng) {
+  std::vector<TestbedNode> out;
+  out.reserve(buildings * per_building);
+  std::size_t id = 0;
+  for (std::size_t b = 0; b < buildings; ++b) {
+    const double cx = rng.uniform(spread_m, cfg.area_width_m - spread_m);
+    const double cy = rng.uniform(spread_m, cfg.area_height_m - spread_m);
+    for (std::size_t s = 0; s < per_building; ++s) {
+      const double x = cx + rng.uniform(-spread_m, spread_m);
+      const double y = cy + rng.uniform(-spread_m, spread_m);
+      out.push_back(make_node(cfg, id++, x, y, rng));
+    }
+  }
+  return out;
+}
+
+}  // namespace choir::sim

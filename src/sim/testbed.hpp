@@ -1,0 +1,51 @@
+// Testbed geometry: the 3.4 km x 3.2 km urban area of paper Fig 6(b), with
+// the base station at the center and client nodes sampled across it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/oscillator.hpp"
+#include "channel/pathloss.hpp"
+#include "util/rng.hpp"
+
+namespace choir::sim {
+
+struct TestbedConfig {
+  double area_width_m = 3400.0;
+  double area_height_m = 3200.0;
+  channel::UrbanPathLoss pathloss{};
+  channel::LinkBudget budget{};
+  channel::OscillatorModel osc{};
+};
+
+struct TestbedNode {
+  std::size_t id = 0;
+  double x_m = 0.0;
+  double y_m = 0.0;
+  double distance_m = 0.0;  ///< to the base station (area center)
+  double snr_db = 0.0;      ///< sampled long-run SNR (includes shadowing)
+  channel::DeviceHardware hw{};
+};
+
+/// Samples `count` nodes uniformly over the area; each gets a hardware
+/// profile and a shadowed link SNR.
+std::vector<TestbedNode> sample_testbed(const TestbedConfig& cfg,
+                                        std::size_t count, Rng& rng);
+
+/// Samples `count` nodes at a fixed distance ring from the base station
+/// (for controlled range experiments).
+std::vector<TestbedNode> sample_ring(const TestbedConfig& cfg,
+                                     std::size_t count, double distance_m,
+                                     Rng& rng);
+
+/// Samples nodes clustered into `buildings` groups of `per_building` nodes
+/// each; building centers are uniform over the area and nodes scatter
+/// within `spread_m` of their center. Real deployments put many sensors in
+/// the same structure — this is what makes team formation possible.
+std::vector<TestbedNode> sample_clustered_testbed(const TestbedConfig& cfg,
+                                                  std::size_t buildings,
+                                                  std::size_t per_building,
+                                                  double spread_m, Rng& rng);
+
+}  // namespace choir::sim

@@ -1,0 +1,285 @@
+#include "unb/unb.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+#include "util/db.hpp"
+
+namespace choir::unb {
+
+void UnbParams::validate() const {
+  if (sample_rate_hz <= 0 || symbol_rate_hz <= 0)
+    throw std::invalid_argument("UnbParams: rates");
+  if (sample_rate_hz / symbol_rate_hz < 4.0)
+    throw std::invalid_argument("UnbParams: need >= 4 samples/symbol");
+  if (band_half_hz <= symbol_rate_hz)
+    throw std::invalid_argument("UnbParams: band narrower than signal");
+  if (preamble_bits < 8 || preamble_bits % 2 != 0)
+    throw std::invalid_argument("UnbParams: preamble_bits");
+}
+
+std::vector<int> preamble_pattern(const UnbParams& p) {
+  std::vector<int> bits(static_cast<std::size_t>(p.preamble_bits));
+  for (std::size_t i = 0; i < bits.size(); ++i) bits[i] = i % 2 == 0 ? 1 : 0;
+  return bits;
+}
+
+std::vector<int> sync_pattern() {
+  std::vector<int> bits;
+  const std::uint8_t sync = 0x2D;
+  for (int i = 7; i >= 0; --i) bits.push_back((sync >> i) & 1);
+  return bits;
+}
+
+std::uint8_t crc8(const std::vector<std::uint8_t>& data) {
+  std::uint8_t crc = 0;
+  for (std::uint8_t b : data) {
+    crc ^= b;
+    for (int i = 0; i < 8; ++i) {
+      crc = (crc & 0x80) ? static_cast<std::uint8_t>((crc << 1) ^ 0x07)
+                         : static_cast<std::uint8_t>(crc << 1);
+    }
+  }
+  return crc;
+}
+
+namespace {
+
+std::vector<int> frame_bits_of(const UnbParams& p,
+                               const std::vector<std::uint8_t>& payload) {
+  std::vector<int> bits = preamble_pattern(p);
+  const std::vector<int> sync = sync_pattern();
+  bits.insert(bits.end(), sync.begin(), sync.end());
+  auto push_byte = [&](std::uint8_t b) {
+    for (int i = 7; i >= 0; --i) bits.push_back((b >> i) & 1);
+  };
+  push_byte(static_cast<std::uint8_t>(payload.size()));
+  for (std::uint8_t b : payload) push_byte(b);
+  push_byte(crc8(payload));
+  return bits;
+}
+
+}  // namespace
+
+UnbModulator::UnbModulator(const UnbParams& p) : p_(p) { p_.validate(); }
+
+std::size_t UnbModulator::frame_bits(std::size_t payload_bytes) const {
+  return static_cast<std::size_t>(p_.preamble_bits) + 8 /* sync */ +
+         8 * (payload_bytes + 2);
+}
+
+cvec UnbModulator::modulate(const std::vector<std::uint8_t>& payload,
+                            double carrier_hz) const {
+  if (payload.size() > 255)
+    throw std::invalid_argument("UnbModulator: payload too long");
+  const std::vector<int> bits = frame_bits_of(p_, payload);
+  const std::size_t sps = p_.samples_per_symbol();
+  cvec out(bits.size() * sps);
+  // Differential BPSK: a '1' flips the phase, a '0' keeps it.
+  double data_phase = 0.0;
+  const double w = kTwoPi * carrier_hz / p_.sample_rate_hz;
+  std::size_t idx = 0;
+  for (std::size_t s = 0; s < bits.size(); ++s) {
+    if (bits[s] == 1) data_phase += kPi;
+    for (std::size_t k = 0; k < sps; ++k, ++idx) {
+      out[idx] = cis(w * static_cast<double>(idx) + data_phase);
+    }
+  }
+  return out;
+}
+
+UnbReceiver::UnbReceiver(const UnbParams& p, const UnbReceiverOptions& opt)
+    : p_(p), opt_(opt) {
+  p_.validate();
+}
+
+std::vector<double> UnbReceiver::detect_carriers(const cvec& rx) const {
+  // Long FFT over the first chunk of the capture: each device shows up as
+  // a narrow spectral line at its oscillator offset.
+  const std::size_t want = static_cast<std::size_t>(p_.sample_rate_hz / 4.0);
+  const std::size_t len = dsp::next_pow2(std::min(want, rx.size()));
+  cvec chunk(rx.begin(),
+             rx.begin() + static_cast<std::ptrdiff_t>(std::min(len, rx.size())));
+  chunk.resize(len, cplx{0.0, 0.0});
+  const cvec spec = dsp::fft(chunk);
+  const double res_hz = p_.sample_rate_hz / static_cast<double>(len);
+
+  rvec mag(len);
+  for (std::size_t i = 0; i < len; ++i) mag[i] = std::abs(spec[i]);
+  rvec sorted = mag;
+  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
+                   sorted.end());
+  const double floor = sorted[sorted.size() / 2];
+
+  struct Cand {
+    double hz;
+    double mag;
+  };
+  std::vector<Cand> cands;
+  for (std::size_t i = 0; i < len; ++i) {
+    const std::size_t prev = (i + len - 1) % len;
+    const std::size_t next = (i + 1) % len;
+    if (mag[i] <= mag[prev] || mag[i] < mag[next]) continue;
+    if (mag[i] < opt_.detect_factor * floor) continue;
+    double hz = static_cast<double>(i) * res_hz;
+    if (hz > p_.sample_rate_hz / 2.0) hz -= p_.sample_rate_hz;
+    if (std::abs(hz) > p_.band_half_hz + p_.symbol_rate_hz) continue;
+    cands.push_back({hz, mag[i]});
+  }
+  std::sort(cands.begin(), cands.end(),
+            [](const Cand& a, const Cand& b) { return a.mag > b.mag; });
+
+  const double min_spacing = opt_.min_carrier_spacing_hz > 0.0
+                                 ? opt_.min_carrier_spacing_hz
+                                 : 2.0 * p_.symbol_rate_hz;
+  std::vector<double> coarse;
+  for (const Cand& c : cands) {
+    bool keep = true;
+    for (double o : coarse) {
+      if (std::abs(c.hz - o) < min_spacing) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) coarse.push_back(c.hz);
+    if (coarse.size() >= opt_.max_carriers) break;
+  }
+
+  // BPSK spreads each line over ~the symbol rate, so the raw peak can sit
+  // a hundred hertz off the carrier — fatal for differential demodulation.
+  // Squaring the signal strips the +-pi modulation and leaves a clean tone
+  // at exactly twice the carrier; a local DFT scan around 2*coarse refines
+  // each estimate to a few hertz.
+  cvec squared(chunk.size());
+  for (std::size_t i = 0; i < chunk.size(); ++i) {
+    squared[i] = chunk[i] * chunk[i];
+  }
+  const std::size_t sq_len = squared.size();
+  std::vector<double> out;
+  for (double c : coarse) {
+    double best_hz = c;
+    double best_mag = -1.0;
+    for (double delta = -1.2 * p_.symbol_rate_hz;
+         delta <= 1.2 * p_.symbol_rate_hz; delta += 4.0) {
+      const double f2 = 2.0 * (c + delta);  // evaluated modulo fs by the DFT
+      const double bin = f2 / p_.sample_rate_hz * static_cast<double>(sq_len);
+      const cplx step = cis(-kTwoPi * bin / static_cast<double>(sq_len));
+      cplx ph{1.0, 0.0};
+      cplx acc{0.0, 0.0};
+      for (const auto& s : squared) {
+        acc += s * ph;
+        ph *= step;
+      }
+      if (std::abs(acc) > best_mag) {
+        best_mag = std::abs(acc);
+        best_hz = c + delta;
+      }
+    }
+    bool keep = true;
+    for (double o : out) {
+      if (std::abs(best_hz - o) < min_spacing) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) out.push_back(best_hz);
+  }
+  return out;
+}
+
+std::optional<UnbFrame> UnbReceiver::demodulate_carrier(
+    const cvec& rx, double carrier_hz) const {
+  const std::size_t sps = p_.samples_per_symbol();
+  const std::size_t n_syms = rx.size() / sps;
+  if (n_syms < static_cast<std::size_t>(p_.preamble_bits) + 24)
+    return std::nullopt;
+
+  // Mix down and integrate-and-dump per symbol — a matched filter for the
+  // rectangular DBPSK pulse that also rejects the other carriers (their
+  // residual tones integrate towards zero over a symbol).
+  const cplx step = cis(-kTwoPi * carrier_hz / p_.sample_rate_hz);
+  cplx ph{1.0, 0.0};
+  std::vector<cplx> sym(n_syms, cplx{0.0, 0.0});
+  std::size_t idx = 0;
+  for (std::size_t s = 0; s < n_syms; ++s) {
+    cplx acc{0.0, 0.0};
+    for (std::size_t k = 0; k < sps; ++k, ++idx) {
+      acc += rx[idx] * ph;
+      ph *= step;
+    }
+    sym[s] = acc;
+  }
+
+  // Differential demodulation: bit_s = sign flip between symbols.
+  std::vector<int> bits(n_syms, 0);
+  for (std::size_t s = 1; s < n_syms; ++s) {
+    bits[s] = (sym[s] * std::conj(sym[s - 1])).real() < 0.0 ? 1 : 0;
+  }
+
+  // Find preamble + sync (the alternating preamble alone is
+  // shift-ambiguous; the sync word pins the alignment).
+  std::vector<int> marker = preamble_pattern(p_);
+  {
+    const std::vector<int> sync = sync_pattern();
+    marker.insert(marker.end(), sync.begin(), sync.end());
+  }
+  std::size_t best_at = 0;
+  int best_match = -1;
+  const std::size_t search = std::min<std::size_t>(8, n_syms - marker.size());
+  for (std::size_t at = 0; at <= search; ++at) {
+    int match = 0;
+    for (std::size_t i = 0; i < marker.size(); ++i) {
+      if (bits[at + i] == marker[i]) ++match;
+    }
+    if (match > best_match) {
+      best_match = match;
+      best_at = at;
+    }
+  }
+  // Allow one bit error in the marker (the first differential bit is
+  // undefined anyway).
+  if (best_match < static_cast<int>(marker.size()) - 1) return std::nullopt;
+
+  // Parse length + payload + crc.
+  std::size_t at = best_at + marker.size();
+  auto read_byte = [&](std::uint8_t& out_byte) {
+    if (at + 8 > n_syms) return false;
+    std::uint8_t b = 0;
+    for (int i = 0; i < 8; ++i) {
+      b = static_cast<std::uint8_t>((b << 1) | bits[at++]);
+    }
+    out_byte = b;
+    return true;
+  };
+  std::uint8_t len = 0;
+  if (!read_byte(len)) return std::nullopt;
+  UnbFrame frame;
+  frame.carrier_hz = carrier_hz;
+  frame.payload.resize(len);
+  for (std::uint8_t& b : frame.payload) {
+    if (!read_byte(b)) return std::nullopt;
+  }
+  std::uint8_t crc = 0;
+  if (!read_byte(crc)) return std::nullopt;
+  frame.crc_ok = crc == crc8(frame.payload);
+
+  // SNR estimate: symbol energy vs scatter orthogonal to the decision axis.
+  double sig = 0.0;
+  for (const auto& s : sym) sig += std::norm(s);
+  frame.snr_db = linear_to_db(sig / static_cast<double>(n_syms) /
+                              (static_cast<double>(sps)));
+  return frame;
+}
+
+std::vector<UnbFrame> UnbReceiver::decode(const cvec& rx) const {
+  std::vector<UnbFrame> out;
+  for (double hz : detect_carriers(rx)) {
+    const auto frame = demodulate_carrier(rx, hz);
+    if (frame) out.push_back(*frame);
+  }
+  return out;
+}
+
+}  // namespace choir::unb

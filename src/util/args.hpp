@@ -1,0 +1,26 @@
+// Minimal command-line flag parsing for examples and benches.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace choir {
+
+/// Parses flags of the form `--name=value` or `--name value`. Unknown
+/// positional arguments are ignored. Typed getters fall back to defaults.
+class Args {
+ public:
+  Args(int argc, char** argv);
+
+  bool has(const std::string& name) const;
+  std::string get(const std::string& name, const std::string& def) const;
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+  double get_double(const std::string& name, double def) const;
+  bool get_bool(const std::string& name, bool def) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace choir

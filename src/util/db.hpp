@@ -1,0 +1,13 @@
+// Decibel conversions used throughout the channel and receiver code.
+#pragma once
+
+#include <cmath>
+
+namespace choir {
+
+inline double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+inline double linear_to_db(double lin) { return 10.0 * std::log10(lin); }
+inline double db_to_amplitude(double db) { return std::pow(10.0, db / 20.0); }
+inline double amplitude_to_db(double amp) { return 20.0 * std::log10(amp); }
+
+}  // namespace choir

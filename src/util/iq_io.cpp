@@ -1,0 +1,73 @@
+#include "util/iq_io.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace choir {
+
+IqFormat parse_iq_format(const std::string& name) {
+  if (name == "cf32") return IqFormat::kCf32;
+  if (name == "cf64") return IqFormat::kCf64;
+  throw std::invalid_argument("unknown IQ format: " + name);
+}
+
+void write_iq_file(const std::string& path, const cvec& samples,
+                   IqFormat format) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for write: " + path);
+  if (format == IqFormat::kCf32) {
+    std::vector<float> buf;
+    buf.reserve(2 * samples.size());
+    for (const cplx& s : samples) {
+      buf.push_back(static_cast<float>(s.real()));
+      buf.push_back(static_cast<float>(s.imag()));
+    }
+    out.write(reinterpret_cast<const char*>(buf.data()),
+              static_cast<std::streamsize>(buf.size() * sizeof(float)));
+  } else {
+    std::vector<double> buf;
+    buf.reserve(2 * samples.size());
+    for (const cplx& s : samples) {
+      buf.push_back(s.real());
+      buf.push_back(s.imag());
+    }
+    out.write(reinterpret_cast<const char*>(buf.data()),
+              static_cast<std::streamsize>(buf.size() * sizeof(double)));
+  }
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+cvec read_iq_file(const std::string& path, IqFormat format) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("cannot open for read: " + path);
+  const auto bytes = static_cast<std::size_t>(in.tellg());
+  in.seekg(0);
+  const std::size_t unit =
+      format == IqFormat::kCf32 ? sizeof(float) : sizeof(double);
+  if (bytes % (2 * unit) != 0) {
+    throw std::runtime_error("truncated IQ file: " + path);
+  }
+  const std::size_t count = bytes / (2 * unit);
+  cvec out(count);
+  if (format == IqFormat::kCf32) {
+    std::vector<float> buf(2 * count);
+    in.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(bytes));
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = cplx{buf[2 * i], buf[2 * i + 1]};
+    }
+  } else {
+    std::vector<double> buf(2 * count);
+    in.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(bytes));
+    for (std::size_t i = 0; i < count; ++i) {
+      out[i] = cplx{buf[2 * i], buf[2 * i + 1]};
+    }
+  }
+  if (!in) throw std::runtime_error("read failed: " + path);
+  return out;
+}
+
+}  // namespace choir

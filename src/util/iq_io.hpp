@@ -1,0 +1,28 @@
+// IQ sample file I/O.
+//
+// The interchange formats SDR tools use: interleaved little-endian float32
+// ("cf32", GNU Radio's gr_complex / SigMF cf32_le) and float64 ("cf64").
+// The CLI tools (apps/) read and write these, so captures can round-trip
+// with GNU Radio, inspectrum, SigMF tooling, or a real USRP recording.
+#pragma once
+
+#include <string>
+
+#include "util/types.hpp"
+
+namespace choir {
+
+enum class IqFormat { kCf32, kCf64 };
+
+/// Parses "cf32"/"cf64"; throws std::invalid_argument otherwise.
+IqFormat parse_iq_format(const std::string& name);
+
+/// Writes samples to `path`; throws std::runtime_error on I/O failure.
+void write_iq_file(const std::string& path, const cvec& samples,
+                   IqFormat format);
+
+/// Reads an entire IQ file; throws std::runtime_error on I/O failure or a
+/// truncated (odd-length) sample stream.
+cvec read_iq_file(const std::string& path, IqFormat format);
+
+}  // namespace choir

@@ -1,0 +1,147 @@
+#include "util/linalg.hpp"
+
+#include <cmath>
+
+namespace choir {
+
+CMatrix CMatrix::identity(std::size_t n) {
+  CMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = cplx{1.0, 0.0};
+  return m;
+}
+
+CMatrix CMatrix::hermitian() const {
+  CMatrix out(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c)
+      out(c, r) = std::conj((*this)(r, c));
+  return out;
+}
+
+CMatrix CMatrix::multiply(const CMatrix& rhs) const {
+  if (cols_ != rhs.rows_)
+    throw std::invalid_argument("CMatrix::multiply: shape mismatch");
+  CMatrix out(rows_, rhs.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const cplx a = (*this)(r, k);
+      if (a == cplx{0.0, 0.0}) continue;
+      for (std::size_t c = 0; c < rhs.cols_; ++c) {
+        out(r, c) += a * rhs(k, c);
+      }
+    }
+  }
+  return out;
+}
+
+cvec CMatrix::multiply(const cvec& v) const {
+  if (cols_ != v.size())
+    throw std::invalid_argument("CMatrix::multiply: vector size mismatch");
+  cvec out(rows_, cplx{0.0, 0.0});
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) out[r] += (*this)(r, c) * v[c];
+  return out;
+}
+
+cvec solve_linear(CMatrix a, cvec b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n)
+    throw std::invalid_argument("solve_linear: shape mismatch");
+  for (std::size_t col = 0; col < n; ++col) {
+    // Partial pivot.
+    std::size_t pivot = col;
+    double best = std::abs(a(col, col));
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double v = std::abs(a(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-14) throw std::runtime_error("solve_linear: singular");
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(col, c), a(pivot, c));
+      std::swap(b[col], b[pivot]);
+    }
+    const cplx inv = cplx{1.0, 0.0} / a(col, col);
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const cplx f = a(r, col) * inv;
+      if (f == cplx{0.0, 0.0}) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= f * a(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  cvec x(n);
+  for (std::size_t ri = n; ri-- > 0;) {
+    cplx acc = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= a(ri, c) * x[c];
+    x[ri] = acc / a(ri, ri);
+  }
+  return x;
+}
+
+cvec least_squares(const CMatrix& e, const cvec& y) {
+  if (e.rows() < e.cols())
+    throw std::invalid_argument("least_squares: underdetermined");
+  if (e.rows() != y.size())
+    throw std::invalid_argument("least_squares: rhs size mismatch");
+  const CMatrix eh = e.hermitian();
+  return solve_linear(eh.multiply(e), eh.multiply(y));
+}
+
+Cholesky::Cholesky(const CMatrix& a) : l_(a.rows(), a.cols()) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n) throw std::invalid_argument("Cholesky: not square");
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      cplx sum = a(i, j);
+      for (std::size_t k = 0; k < j; ++k) {
+        sum -= l_(i, k) * std::conj(l_(j, k));
+      }
+      if (i == j) {
+        const double d = sum.real();
+        if (d <= 0.0 || !std::isfinite(d))
+          throw std::runtime_error("Cholesky: not positive definite");
+        l_(i, i) = cplx{std::sqrt(d), 0.0};
+      } else {
+        l_(i, j) = sum / l_(j, j);
+      }
+    }
+  }
+}
+
+cvec Cholesky::solve(const cvec& b) const {
+  const std::size_t n = size();
+  if (b.size() != n) throw std::invalid_argument("Cholesky::solve: size");
+  cvec y(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    cplx acc = b[i];
+    for (std::size_t k = 0; k < i; ++k) acc -= l_(i, k) * y[k];
+    y[i] = acc / l_(i, i);
+  }
+  cvec x(n);
+  for (std::size_t ii = n; ii-- > 0;) {
+    cplx acc = y[ii];
+    for (std::size_t k = ii + 1; k < n; ++k)
+      acc -= std::conj(l_(k, ii)) * x[k];
+    x[ii] = acc / l_(ii, ii);
+  }
+  return x;
+}
+
+CMatrix pseudo_inverse(const CMatrix& a) {
+  const CMatrix ah = a.hermitian();
+  const CMatrix gram = ah.multiply(a);  // K x K
+  const std::size_t k = gram.rows();
+  // Invert by solving gram * X = I column by column.
+  CMatrix inv(k, k);
+  for (std::size_t c = 0; c < k; ++c) {
+    cvec e(k, cplx{0.0, 0.0});
+    e[c] = cplx{1.0, 0.0};
+    const cvec col = solve_linear(gram, e);
+    for (std::size_t r = 0; r < k; ++r) inv(r, c) = col[r];
+  }
+  return inv.multiply(ah);
+}
+
+}  // namespace choir

@@ -1,0 +1,69 @@
+// Dense complex linear algebra for small systems.
+//
+// Choir's least-squares channel fit (Eqn 2) solves K x K normal equations
+// where K is the number of colliding users (<= ~10), and the MU-MIMO
+// baseline inverts antenna-count-sized matrices, so a simple partial-pivot
+// Gaussian elimination is all that is needed.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace choir {
+
+/// Row-major dense complex matrix.
+class CMatrix {
+ public:
+  CMatrix() = default;
+  CMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, cplx{0.0, 0.0}) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  cplx& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const cplx& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  static CMatrix identity(std::size_t n);
+
+  CMatrix hermitian() const;                 ///< conjugate transpose
+  CMatrix multiply(const CMatrix& rhs) const;
+  cvec multiply(const cvec& v) const;        ///< matrix-vector product
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  cvec data_;
+};
+
+/// Solves A x = b by Gaussian elimination with partial pivoting.
+/// Throws std::runtime_error if A is (numerically) singular.
+cvec solve_linear(CMatrix a, cvec b);
+
+/// Least squares: minimizes ||E h - y||^2 via the normal equations
+/// (E^H E) h = E^H y. E is tall (rows >= cols).
+cvec least_squares(const CMatrix& e, const cvec& y);
+
+/// Moore-Penrose pseudo-inverse for full-column-rank A: (A^H A)^{-1} A^H.
+CMatrix pseudo_inverse(const CMatrix& a);
+
+/// Cholesky factorization of a Hermitian positive-definite matrix
+/// (A = L L^H). Throws std::runtime_error if A is not PD.
+class Cholesky {
+ public:
+  explicit Cholesky(const CMatrix& a);
+
+  std::size_t size() const { return l_.rows(); }
+
+  /// Solves A x = b via forward/back substitution (O(n^2)).
+  cvec solve(const cvec& b) const;
+
+ private:
+  CMatrix l_;
+};
+
+}  // namespace choir

@@ -1,0 +1,58 @@
+// Deterministic random number generation for reproducible experiments.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "util/types.hpp"
+
+namespace choir {
+
+/// Wrapper around a seeded Mersenne twister with the distributions the
+/// simulator needs. Every experiment constructs its own Rng from an explicit
+/// seed so runs are reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1) : gen_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(gen_);
+  }
+
+  /// Zero-mean Gaussian with the given standard deviation.
+  double gaussian(double stddev = 1.0, double mean = 0.0) {
+    return std::normal_distribution<double>(mean, stddev)(gen_);
+  }
+
+  /// Circularly-symmetric complex Gaussian with total variance `variance`
+  /// (i.e. variance/2 per real dimension) — the standard AWGN sample model.
+  cplx cgaussian(double variance = 1.0) {
+    const double s = std::sqrt(variance / 2.0);
+    return {gaussian(s), gaussian(s)};
+  }
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean) {
+    return std::exponential_distribution<double>(1.0 / mean)(gen_);
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Random phase in [0, 2*pi).
+  double phase() { return uniform(0.0, kTwoPi); }
+
+  /// Underlying engine, for std::shuffle and friends.
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace choir

@@ -1,0 +1,55 @@
+// Small statistics helpers used by the evaluation harnesses.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace choir {
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);   // population variance
+double stddev(std::span<const double> xs);
+double median(std::span<const double> xs);
+double percentile(std::span<const double> xs, double p);  // p in [0,100]
+double rms(std::span<const double> xs);
+
+/// Pearson correlation coefficient; throws if sizes differ or < 2 samples.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Empirical CDF evaluated at sorted sample points: returns (value, F(value))
+/// pairs covering the whole sample.
+std::vector<std::pair<double, double>> empirical_cdf(std::vector<double> xs);
+
+/// Accumulates a stream of values and reports summary statistics.
+class RunningStats {
+ public:
+  void add(double x) {
+    ++n_;
+    const double d = x - mean_;
+    mean_ += d / static_cast<double>(n_);
+    m2_ += d * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double variance() const {
+    return n_ > 1 ? m2_ / static_cast<double>(n_) : 0.0;
+  }
+  double stddev() const { return std::sqrt(variance()); }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace choir

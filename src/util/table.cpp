@@ -1,0 +1,83 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <stdexcept>
+
+namespace choir {
+
+std::string format_number(double v) {
+  if (!std::isfinite(v)) return v > 0 ? "inf" : (v < 0 ? "-inf" : "nan");
+  char buf[64];
+  const double av = std::abs(v);
+  if (av != 0.0 && (av >= 1e7 || av < 1e-3)) {
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+  } else if (std::abs(v - std::round(v)) < 1e-9 && av < 1e7) {
+    std::snprintf(buf, sizeof(buf), "%.0f", v);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4f", v);
+  }
+  return buf;
+}
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  if (columns_.empty()) throw std::invalid_argument("Table: no columns");
+}
+
+Table& Table::add_row(std::vector<std::variant<std::string, double>> cells) {
+  if (cells.size() != columns_.size())
+    throw std::invalid_argument("Table: row width mismatch");
+  std::vector<std::string> row;
+  row.reserve(cells.size());
+  for (auto& c : cells) {
+    if (std::holds_alternative<double>(c)) {
+      row.push_back(format_number(std::get<double>(c)));
+    } else {
+      row.push_back(std::move(std::get<std::string>(c)));
+    }
+  }
+  rows_.push_back(std::move(row));
+  return *this;
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i)
+    widths[i] = columns_[i].size();
+  for (const auto& row : rows_)
+    for (std::size_t i = 0; i < row.size(); ++i)
+      widths[i] = std::max(widths[i], row[i].size());
+
+  os << "== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << cells[i];
+      if (i + 1 < cells.size())
+        os << std::string(widths[i] - cells[i].size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  emit_row(columns_);
+  std::size_t total = 0;
+  for (std::size_t w : widths) total += w + 2;
+  os << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  os << '\n';
+}
+
+void Table::write_csv(std::ostream& os) const {
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << cells[i];
+      if (i + 1 < cells.size()) os << ',';
+    }
+    os << '\n';
+  };
+  emit(columns_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace choir

@@ -1,0 +1,40 @@
+// Plain-text table / CSV emission for benches that regenerate the paper's
+// figures. Benches print the same rows/series the paper reports.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace choir {
+
+/// A simple column-aligned table with a title, printable to stdout and
+/// writable as CSV. Cells are strings or doubles (formatted with fixed
+/// precision chosen per column magnitude).
+class Table {
+ public:
+  explicit Table(std::string title, std::vector<std::string> columns);
+
+  Table& add_row(std::vector<std::variant<std::string, double>> cells);
+
+  /// Pretty-print with aligned columns.
+  void print(std::ostream& os) const;
+
+  /// Write as CSV (header + rows).
+  void write_csv(std::ostream& os) const;
+
+  const std::string& title() const { return title_; }
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double compactly (up to 4 significant decimals, no trailing
+/// zeros beyond the first).
+std::string format_number(double v);
+
+}  // namespace choir

@@ -1,0 +1,26 @@
+// Fundamental numeric types shared across the Choir library.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace choir {
+
+/// Complex baseband sample. Double precision keeps sub-bin frequency-offset
+/// estimation noise-limited rather than precision-limited (see DESIGN.md §6).
+using cplx = std::complex<double>;
+
+/// A buffer of IQ samples.
+using cvec = std::vector<cplx>;
+
+/// A buffer of real values (spectra, residuals, metrics...).
+using rvec = std::vector<double>;
+
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+/// e^{j*phase}
+inline cplx cis(double phase) { return {std::cos(phase), std::sin(phase)}; }
+
+}  // namespace choir

@@ -1,0 +1,245 @@
+// Channel substrate: oscillator model, path loss, fading, ADC, collision
+// rendering.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/adc.hpp"
+#include "channel/collision.hpp"
+#include "channel/fading.hpp"
+#include "channel/oscillator.hpp"
+#include "channel/pathloss.hpp"
+#include "util/db.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace choir::channel {
+namespace {
+
+TEST(Oscillator, SamplesWithinModelRanges) {
+  OscillatorModel model;
+  Rng rng(1);
+  for (int i = 0; i < 200; ++i) {
+    const auto hw = DeviceHardware::sample(model, rng);
+    EXPECT_LE(std::abs(hw.cfo_hz), model.max_cfo_hz);
+    EXPECT_GE(hw.timing_offset_s, 0.0);
+    EXPECT_LE(hw.timing_offset_s, model.max_timing_offset_s);
+    EXPECT_GE(hw.phase, 0.0);
+    EXPECT_LT(hw.phase, kTwoPi);
+  }
+}
+
+TEST(Oscillator, OffsetsAreDiverseAcrossDevices) {
+  // Paper Fig 7(a)-(b): offsets roughly uniform over their range. Check the
+  // fractional part of the aggregate offset is spread out.
+  OscillatorModel model;
+  Rng rng(2);
+  std::vector<double> fracs;
+  for (int i = 0; i < 400; ++i) {
+    const auto hw = DeviceHardware::sample(model, rng);
+    const double agg = hw.aggregate_offset_bins(488.28, 125e3);
+    fracs.push_back(agg - std::floor(agg));
+  }
+  // Rough uniformity: mean near 0.5, stddev near sqrt(1/12) ~ 0.289.
+  EXPECT_NEAR(mean(fracs), 0.5, 0.06);
+  EXPECT_NEAR(stddev(fracs), 0.289, 0.05);
+}
+
+TEST(Oscillator, PacketInstanceKeepsDeviceCfoButJittersTiming) {
+  OscillatorModel model;
+  Rng rng(3);
+  const auto hw = DeviceHardware::sample(model, rng);
+  const auto p1 = hw.packet_instance(model, rng);
+  const auto p2 = hw.packet_instance(model, rng);
+  EXPECT_DOUBLE_EQ(p1.cfo_hz, hw.cfo_hz);  // crystal property
+  EXPECT_NE(p1.timing_offset_s, p2.timing_offset_s);
+  EXPECT_NEAR(p1.timing_offset_s, hw.timing_offset_s,
+              6.0 * model.timing_jitter_s + 1e-12);
+}
+
+TEST(Oscillator, ApplyCfoRotatesAtTheRightRate) {
+  cvec sig(1000, cplx{1.0, 0.0});
+  apply_cfo(sig, 100.0, 0.0, 125e3);
+  // After fs/100 samples the phase advanced by 2*pi*100*(n/fs).
+  const double expected = kTwoPi * 100.0 * 999.0 / 125e3;
+  EXPECT_NEAR(std::arg(sig[999]), std::remainder(expected, kTwoPi), 1e-9);
+}
+
+TEST(Pathloss, MonotoneInDistance) {
+  UrbanPathLoss pl;
+  EXPECT_LT(pl.median_loss_db(100.0), pl.median_loss_db(1000.0));
+  EXPECT_LT(pl.median_loss_db(1000.0), pl.median_loss_db(3000.0));
+  // Slope: 10*exponent dB per decade.
+  EXPECT_NEAR(pl.median_loss_db(1000.0) - pl.median_loss_db(100.0),
+              10.0 * pl.exponent, 1e-9);
+}
+
+TEST(Pathloss, LinkBudgetCalibration) {
+  // A 14 dBm client at ~1 km urban should hover near the SF12 demod floor —
+  // the paper's observed single-client range limit.
+  UrbanPathLoss pl;
+  LinkBudget budget;
+  const double snr_1km = budget.median_snr_db(1000.0, pl);
+  EXPECT_GT(snr_1km, lora_demod_floor_snr_db(12) - 6.0);
+  EXPECT_LT(snr_1km, lora_demod_floor_snr_db(12) + 12.0);
+  // And clearly out of range by 3 km.
+  EXPECT_LT(budget.median_snr_db(3000.0, pl), lora_demod_floor_snr_db(12));
+}
+
+TEST(Pathloss, DemodFloorLadder) {
+  EXPECT_NEAR(lora_demod_floor_snr_db(7), -7.5, 1e-9);
+  EXPECT_NEAR(lora_demod_floor_snr_db(12), -20.0, 1e-9);
+  EXPECT_THROW(lora_demod_floor_snr_db(13), std::invalid_argument);
+}
+
+TEST(Fading, UnitMeanPower) {
+  Rng rng(7);
+  for (FadingKind kind : {FadingKind::kRayleigh, FadingKind::kRician}) {
+    FadingModel m;
+    m.kind = kind;
+    double acc = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) acc += std::norm(sample_fading(m, rng));
+    EXPECT_NEAR(acc / n, 1.0, 0.05) << static_cast<int>(kind);
+  }
+  FadingModel none;
+  none.kind = FadingKind::kNone;
+  EXPECT_EQ(sample_fading(none, rng), (cplx{1.0, 0.0}));
+}
+
+TEST(Fading, RicianHasLessVariationThanRayleigh) {
+  Rng rng(8);
+  FadingModel ray;
+  FadingModel ric;
+  ric.kind = FadingKind::kRician;
+  ric.rician_k_db = 10.0;
+  std::vector<double> pr, pc;
+  for (int i = 0; i < 5000; ++i) {
+    pr.push_back(std::norm(sample_fading(ray, rng)));
+    pc.push_back(std::norm(sample_fading(ric, rng)));
+  }
+  EXPECT_LT(stddev(pc), stddev(pr));
+}
+
+TEST(Adc, QuantizationErrorBoundedByLsb) {
+  Rng rng(9);
+  cvec sig(512);
+  for (auto& s : sig) s = rng.cgaussian(1.0);
+  const cvec orig = sig;
+  AdcModel adc;
+  adc.bits = 12;
+  const double step = quantize(sig, adc);
+  EXPECT_GT(step, 0.0);
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    EXPECT_LE(std::abs(sig[i].real() - orig[i].real()), step);
+    EXPECT_LE(std::abs(sig[i].imag() - orig[i].imag()), step);
+  }
+}
+
+TEST(Adc, FewBitsLoseWeakSignals) {
+  // A signal 60 dB below full scale vanishes in a 6-bit ADC but survives a
+  // 14-bit one — the Sec. 5.2 note that SIC depth is ADC-limited.
+  cvec strong(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    strong[i] = cis(kTwoPi * 7.0 * static_cast<double>(i) / 64.0);
+  }
+  cvec weak = strong;
+  for (auto& s : weak) s *= 0.001;
+  cvec mix(64);
+  for (std::size_t i = 0; i < 64; ++i) mix[i] = strong[i] + weak[i];
+
+  auto residual_energy = [&](int bits) {
+    cvec q = mix;
+    AdcModel adc;
+    adc.bits = bits;
+    quantize(q, adc);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < 64; ++i) acc += std::norm(q[i] - strong[i]);
+    return acc;
+  };
+  double weak_energy = 0.0;
+  for (const auto& s : weak) weak_energy += std::norm(s);
+  // 14-bit: residual carries most of the weak signal. 4-bit: mostly
+  // quantization noise, much larger than the weak signal itself.
+  EXPECT_NEAR(residual_energy(14) / weak_energy, 1.0, 0.5);
+  EXPECT_GT(residual_energy(4) / weak_energy, 10.0);
+}
+
+TEST(Collision, GroundTruthMatchesRenderedSignal) {
+  lora::PhyParams phy;
+  phy.sf = 8;
+  Rng rng(10);
+  OscillatorModel osc;
+  osc.cfo_drift_hz_per_symbol = 0.0;
+  TxInstance tx;
+  tx.phy = phy;
+  tx.payload = {9, 8, 7};
+  tx.hw = DeviceHardware::sample(osc, rng);
+  tx.snr_db = 30.0;
+  tx.fading.kind = FadingKind::kNone;
+  RenderOptions ropt;
+  ropt.osc = osc;
+  ropt.add_noise = false;
+  const auto cap = render_collision({tx}, ropt, rng);
+  ASSERT_EQ(cap.users.size(), 1u);
+  // Mean power of the rendered signal matches amplitude^2 over the frame.
+  double acc = 0.0;
+  std::size_t count = 0;
+  for (std::size_t i = cap.users[0].first_sample + 1; i < cap.samples.size();
+       ++i) {
+    acc += std::norm(cap.samples[i]);
+    ++count;
+  }
+  EXPECT_NEAR(acc / static_cast<double>(count),
+              cap.users[0].amplitude * cap.users[0].amplitude, 0.5);
+}
+
+TEST(Collision, SuperpositionIsLinear) {
+  lora::PhyParams phy;
+  phy.sf = 7;
+  OscillatorModel osc;
+  osc.cfo_drift_hz_per_symbol = 0.0;
+  auto make = [&](int n_users, std::uint64_t seed) {
+    Rng rng(seed);
+    std::vector<TxInstance> txs;
+    for (int i = 0; i < n_users; ++i) {
+      TxInstance tx;
+      tx.phy = phy;
+      tx.payload = {static_cast<std::uint8_t>(i)};
+      tx.hw = DeviceHardware::sample(osc, rng);
+      tx.snr_db = 10.0;
+      tx.fading.kind = FadingKind::kNone;
+      txs.push_back(tx);
+    }
+    RenderOptions ropt;
+    ropt.osc = osc;
+    ropt.add_noise = false;
+    return render_collision(txs, ropt, rng);
+  };
+  const auto two = make(2, 42);
+  const auto one = make(1, 42);  // same rng draw for first user
+  // First user's contribution is identical in both captures; the energy of
+  // the two-user capture exceeds the single-user one.
+  double e1 = 0.0, e2 = 0.0;
+  for (const auto& s : one.samples) e1 += std::norm(s);
+  for (const auto& s : two.samples) e2 += std::norm(s);
+  EXPECT_GT(e2, 1.5 * e1);
+}
+
+TEST(Collision, RejectsInvalidInputs) {
+  RenderOptions ropt;
+  Rng rng(1);
+  EXPECT_THROW(render_collision({}, ropt, rng), std::invalid_argument);
+  lora::PhyParams a, b;
+  a.sf = 7;
+  b.sf = 7;
+  b.bandwidth_hz = 250e3;
+  TxInstance t1, t2;
+  t1.phy = a;
+  t2.phy = b;
+  t1.payload = t2.payload = {1};
+  EXPECT_THROW(render_collision({t1, t2}, ropt, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace choir::channel

@@ -1,0 +1,119 @@
+// Constrained k-means: feature distances, circular dimensions, cannot-link
+// behavior.
+#include <gtest/gtest.h>
+
+#include "cluster/constrained_kmeans.hpp"
+
+namespace choir::cluster {
+namespace {
+
+FeatureSpec spec_2d(bool circular_first = false) {
+  FeatureSpec s;
+  s.circular = {circular_first, false};
+  s.weight = {1.0, 1.0};
+  return s;
+}
+
+TEST(FeatureDistance, EuclideanOnPlainDims) {
+  const auto s = spec_2d();
+  EXPECT_DOUBLE_EQ(feature_distance({0.0, 0.0}, {3.0, 4.0}, s), 25.0);
+}
+
+TEST(FeatureDistance, CircularWrapsAtOne) {
+  FeatureSpec s;
+  s.circular = {true};
+  s.weight = {1.0};
+  // 0.95 and 0.05 are 0.1 apart on the circle, not 0.9.
+  EXPECT_NEAR(feature_distance({0.95}, {0.05}, s), 0.01, 1e-12);
+  EXPECT_NEAR(feature_distance({0.0}, {0.5}, s), 0.25, 1e-12);
+}
+
+TEST(FeatureDistance, WeightsScaleContributions) {
+  FeatureSpec s;
+  s.circular = {false, false};
+  s.weight = {2.0, 0.5};
+  EXPECT_DOUBLE_EQ(feature_distance({0, 0}, {1, 2}, s), 2.0 + 2.0);
+}
+
+TEST(FeatureDistance, RejectsDimensionMismatch) {
+  EXPECT_THROW(feature_distance({0.0}, {0.0, 1.0}, spec_2d()),
+               std::invalid_argument);
+}
+
+TEST(Kmeans, SeparatesTwoObviousClusters) {
+  std::vector<std::vector<double>> pts;
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i)
+    pts.push_back({rng.gaussian(0.05), rng.gaussian(0.05)});
+  for (int i = 0; i < 20; ++i)
+    pts.push_back({3.0 + rng.gaussian(0.05), 3.0 + rng.gaussian(0.05)});
+  KMeansOptions opt;
+  opt.k = 2;
+  const auto r = constrained_kmeans(pts, {}, spec_2d(), opt, rng);
+  // All first-20 in one cluster, all last-20 in the other.
+  for (int i = 1; i < 20; ++i) EXPECT_EQ(r.assignment[i], r.assignment[0]);
+  for (int i = 21; i < 40; ++i) EXPECT_EQ(r.assignment[i], r.assignment[20]);
+  EXPECT_NE(r.assignment[0], r.assignment[20]);
+  EXPECT_EQ(r.violated_constraints, 0);
+}
+
+TEST(Kmeans, CircularDimensionClusters) {
+  // Fractional offsets 0.98 and 0.02 belong together on the circle.
+  std::vector<std::vector<double>> pts;
+  Rng rng(5);
+  for (int i = 0; i < 15; ++i) {
+    double f = 0.98 + rng.gaussian(0.01);
+    if (f >= 1.0) f -= 1.0;
+    pts.push_back({f, 0.5});
+  }
+  for (int i = 0; i < 15; ++i) pts.push_back({0.5 + rng.gaussian(0.01), 0.5});
+  FeatureSpec s;
+  s.circular = {true, false};
+  s.weight = {1.0, 1.0};
+  KMeansOptions opt;
+  opt.k = 2;
+  const auto r = constrained_kmeans(pts, {}, s, opt, rng);
+  for (int i = 1; i < 15; ++i) EXPECT_EQ(r.assignment[i], r.assignment[0]);
+  EXPECT_NE(r.assignment[0], r.assignment[15]);
+}
+
+TEST(Kmeans, CannotLinkSplitsCoincidentPoints) {
+  // Two points at the same location but cannot-linked must be separated
+  // when k = 2.
+  std::vector<std::vector<double>> pts = {
+      {0.0, 0.0}, {0.0, 0.0}, {0.01, 0.0}, {0.0, 0.01}};
+  std::vector<CannotLink> links{{0, 1}};
+  KMeansOptions opt;
+  opt.k = 2;
+  opt.cannot_link_penalty = 10.0;
+  Rng rng(7);
+  const auto r = constrained_kmeans(pts, links, spec_2d(), opt, rng);
+  EXPECT_NE(r.assignment[0], r.assignment[1]);
+  EXPECT_EQ(r.violated_constraints, 0);
+}
+
+TEST(Kmeans, ReportsViolationsWhenUnavoidable) {
+  // Three mutually cannot-linked points with k = 2: at least one violation.
+  std::vector<std::vector<double>> pts = {{0, 0}, {0, 0}, {0, 0}};
+  std::vector<CannotLink> links{{0, 1}, {1, 2}, {0, 2}};
+  KMeansOptions opt;
+  opt.k = 2;
+  Rng rng(9);
+  const auto r = constrained_kmeans(pts, links, spec_2d(), opt, rng);
+  EXPECT_GE(r.violated_constraints, 1);
+}
+
+TEST(Kmeans, RejectsBadInputs) {
+  KMeansOptions opt;
+  opt.k = 2;
+  Rng rng(1);
+  EXPECT_THROW(constrained_kmeans({}, {}, spec_2d(), opt, rng),
+               std::invalid_argument);
+  std::vector<std::vector<double>> pts = {{0.0, 0.0}};
+  std::vector<CannotLink> bad{{0, 5}};
+  EXPECT_THROW(constrained_kmeans(pts, bad, spec_2d(), opt, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace choir::cluster

@@ -1,0 +1,105 @@
+// Full codec chain: bytes <-> symbols round trips, error resilience and
+// size accounting across the (sf, cr) grid.
+#include <gtest/gtest.h>
+
+#include "coding/codec.hpp"
+#include "util/rng.hpp"
+
+namespace choir::coding {
+namespace {
+
+struct CodecCase {
+  int sf;
+  int cr;
+  std::size_t bytes;
+};
+
+class CodecRoundTrip : public ::testing::TestWithParam<CodecCase> {};
+
+TEST_P(CodecRoundTrip, RandomPayloadsRoundTrip) {
+  const auto [sf, cr, nbytes] = GetParam();
+  const CodecParams p{sf, cr};
+  Rng rng(static_cast<std::uint64_t>(sf * 1000 + cr * 100 + nbytes));
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<std::uint8_t> payload(nbytes);
+    for (auto& b : payload)
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const auto symbols = encode_payload(payload, p);
+    EXPECT_EQ(symbols.size(), symbols_for_payload(nbytes, p));
+    for (std::uint32_t s : symbols) EXPECT_LT(s, 1u << sf);
+    DecodeStats stats;
+    const auto decoded = decode_payload(symbols, nbytes, p, &stats);
+    EXPECT_EQ(decoded, payload);
+    EXPECT_EQ(stats.corrected_codewords, 0);
+    EXPECT_EQ(stats.failed_codewords, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CodecRoundTrip,
+    ::testing::Values(CodecCase{7, 3, 1}, CodecCase{7, 3, 16},
+                      CodecCase{7, 1, 8}, CodecCase{8, 4, 32},
+                      CodecCase{9, 2, 5}, CodecCase{10, 3, 64},
+                      CodecCase{12, 4, 100}, CodecCase{6, 3, 3},
+                      CodecCase{8, 3, 255}),
+    [](const auto& info) {
+      return "sf" + std::to_string(info.param.sf) + "cr" +
+             std::to_string(info.param.cr) + "b" +
+             std::to_string(info.param.bytes);
+    });
+
+TEST(Codec, SingleSymbolErrorIsCorrectedAtCr3) {
+  const CodecParams p{8, 3};
+  Rng rng(3);
+  std::vector<std::uint8_t> payload(10);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  auto symbols = encode_payload(payload, p);
+  // An off-by-one demodulation error (the common case, thanks to Gray
+  // mapping) in one symbol of each block must be fully correctable.
+  symbols[1] = (symbols[1] + 1) % 256;
+  DecodeStats stats;
+  const auto decoded = decode_payload(symbols, payload.size(), p, &stats);
+  EXPECT_EQ(decoded, payload);
+  EXPECT_GT(stats.corrected_codewords, 0);
+  EXPECT_EQ(stats.failed_codewords, 0);
+}
+
+TEST(Codec, CompletelyCorruptSymbolIsCorrectedAtCr3) {
+  const CodecParams p{8, 3};
+  Rng rng(4);
+  std::vector<std::uint8_t> payload(10);
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  auto symbols = encode_payload(payload, p);
+  symbols[0] ^= 0xA5;  // arbitrary corruption of one whole symbol
+  const auto decoded = decode_payload(symbols, payload.size(), p);
+  EXPECT_EQ(decoded, payload);
+}
+
+TEST(Codec, TwoCorruptSymbolsInOneBlockAreDetectedAtCr4) {
+  const CodecParams p{8, 4};
+  Rng rng(5);
+  std::vector<std::uint8_t> payload(4);  // single block
+  for (auto& b : payload) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  auto symbols = encode_payload(payload, p);
+  symbols[0] ^= 0x5A;
+  symbols[3] ^= 0x33;
+  DecodeStats stats;
+  (void)decode_payload(symbols, payload.size(), p, &stats);
+  EXPECT_GT(stats.failed_codewords, 0);
+}
+
+TEST(Codec, SymbolCountGrowsWithPayloadAndRate) {
+  const CodecParams base{8, 1};
+  const CodecParams strong{8, 4};
+  EXPECT_LT(symbols_for_payload(16, base), symbols_for_payload(16, strong));
+  EXPECT_LT(symbols_for_payload(8, base), symbols_for_payload(64, base));
+}
+
+TEST(Codec, RejectsBadParams) {
+  EXPECT_THROW(symbols_for_payload(8, CodecParams{5, 3}), std::invalid_argument);
+  EXPECT_THROW(symbols_for_payload(8, CodecParams{8, 0}), std::invalid_argument);
+  EXPECT_THROW(decode_payload({}, 4, CodecParams{8, 3}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace choir::coding

@@ -1,0 +1,233 @@
+// Gray code, Hamming FEC, whitening, interleaver, CRC: unit and property
+// tests for every stage of the LoRa coding chain.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+
+#include "coding/crc.hpp"
+#include "coding/gray.hpp"
+#include "coding/hamming.hpp"
+#include "coding/interleaver.hpp"
+#include "coding/whitening.hpp"
+#include "util/rng.hpp"
+
+namespace choir::coding {
+namespace {
+
+// ---------------------------------------------------------------- Gray code
+
+TEST(Gray, RoundTripAll16BitValues) {
+  for (std::uint32_t v = 0; v < (1u << 16); ++v) {
+    EXPECT_EQ(gray_decode(gray_encode(v)), v);
+  }
+}
+
+TEST(Gray, AdjacentValuesDifferInOneBit) {
+  for (std::uint32_t v = 0; v < 4096; ++v) {
+    const std::uint32_t a = gray_encode(v);
+    const std::uint32_t b = gray_encode(v + 1);
+    EXPECT_EQ(__builtin_popcount(a ^ b), 1) << "v=" << v;
+  }
+}
+
+TEST(Gray, EncodingIsABijectionOn12Bits) {
+  std::vector<bool> seen(1u << 12, false);
+  for (std::uint32_t v = 0; v < (1u << 12); ++v) {
+    const std::uint32_t g = gray_encode(v) & 0xFFF;
+    EXPECT_FALSE(seen[g]);
+    seen[g] = true;
+  }
+}
+
+// ------------------------------------------------------------------ Hamming
+
+class HammingRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(HammingRoundTrip, CleanCodewordsDecode) {
+  const int cr = GetParam();
+  for (std::uint8_t nibble = 0; nibble < 16; ++nibble) {
+    const std::uint8_t cw = hamming_encode(nibble, cr);
+    const HammingDecodeResult r = hamming_decode(cw, cr);
+    EXPECT_EQ(r.nibble, nibble);
+    EXPECT_FALSE(r.corrected);
+    EXPECT_FALSE(r.detected_error);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRates, HammingRoundTrip,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(Hamming, Cr3CorrectsEverySingleBitError) {
+  for (std::uint8_t nibble = 0; nibble < 16; ++nibble) {
+    const std::uint8_t cw = hamming_encode(nibble, 3);
+    for (int bit = 0; bit < 7; ++bit) {
+      const auto corrupted = static_cast<std::uint8_t>(cw ^ (1 << bit));
+      const HammingDecodeResult r = hamming_decode(corrupted, 3);
+      EXPECT_EQ(r.nibble, nibble) << "nibble " << int(nibble) << " bit " << bit;
+      EXPECT_TRUE(r.corrected);
+    }
+  }
+}
+
+TEST(Hamming, Cr4CorrectsSingleAndDetectsDoubleErrors) {
+  for (std::uint8_t nibble = 0; nibble < 16; ++nibble) {
+    const std::uint8_t cw = hamming_encode(nibble, 4);
+    for (int b1 = 0; b1 < 8; ++b1) {
+      const auto one = static_cast<std::uint8_t>(cw ^ (1 << b1));
+      const HammingDecodeResult r1 = hamming_decode(one, 4);
+      EXPECT_EQ(r1.nibble, nibble);
+      EXPECT_FALSE(r1.detected_error);
+      for (int b2 = b1 + 1; b2 < 8; ++b2) {
+        const auto two = static_cast<std::uint8_t>(one ^ (1 << b2));
+        const HammingDecodeResult r2 = hamming_decode(two, 4);
+        EXPECT_TRUE(r2.detected_error)
+            << "nibble " << int(nibble) << " bits " << b1 << "," << b2;
+      }
+    }
+  }
+}
+
+TEST(Hamming, Cr1DetectsSingleBitErrors) {
+  for (std::uint8_t nibble = 0; nibble < 16; ++nibble) {
+    const std::uint8_t cw = hamming_encode(nibble, 1);
+    for (int bit = 0; bit < 5; ++bit) {
+      const auto corrupted = static_cast<std::uint8_t>(cw ^ (1 << bit));
+      EXPECT_TRUE(hamming_decode(corrupted, 1).detected_error);
+    }
+  }
+}
+
+TEST(Hamming, RejectsBadRates) {
+  EXPECT_THROW(hamming_encode(5, 0), std::invalid_argument);
+  EXPECT_THROW(hamming_encode(5, 5), std::invalid_argument);
+  EXPECT_THROW(hamming_decode(5, 0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- Whitening
+
+TEST(Whitening, IsAnInvolution) {
+  Rng rng(5);
+  std::vector<std::uint8_t> data(257);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  const auto original = data;
+  whiten(data);
+  EXPECT_NE(data, original);  // actually scrambles
+  whiten(data);
+  EXPECT_EQ(data, original);
+}
+
+TEST(Whitening, SequenceIsBalanced) {
+  // The LFSR output should have roughly equal ones and zeros.
+  const auto seq = whitening_sequence(4096);
+  std::size_t ones = 0;
+  for (std::uint8_t b : seq) ones += static_cast<std::size_t>(__builtin_popcount(b));
+  const double ratio = static_cast<double>(ones) / (4096.0 * 8.0);
+  EXPECT_NEAR(ratio, 0.5, 0.02);
+}
+
+TEST(Whitening, SequenceHasLongPeriod) {
+  const auto seq = whitening_sequence(512);
+  // No repetition within the first hundreds of bytes.
+  for (std::size_t lag = 1; lag < 64; ++lag) {
+    bool identical = true;
+    for (std::size_t i = 0; i + lag < 256; ++i) {
+      if (seq[i] != seq[i + lag]) {
+        identical = false;
+        break;
+      }
+    }
+    EXPECT_FALSE(identical) << "period " << lag;
+  }
+}
+
+// --------------------------------------------------------------- Interleave
+
+struct InterleaveCase {
+  int sf;
+  int cr;
+};
+
+class InterleaverRoundTrip
+    : public ::testing::TestWithParam<InterleaveCase> {};
+
+TEST_P(InterleaverRoundTrip, RoundTripsRandomCodewords) {
+  const auto [sf, cr] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(sf * 100 + cr));
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::uint8_t> cws(static_cast<std::size_t>(sf));
+    for (auto& c : cws) {
+      c = static_cast<std::uint8_t>(rng.uniform_int(0, (1 << (4 + cr)) - 1));
+    }
+    const auto symbols = interleave(cws, sf, cr);
+    ASSERT_EQ(symbols.size(), static_cast<std::size_t>(4 + cr));
+    for (std::uint32_t s : symbols) {
+      EXPECT_LT(s, 1u << sf);
+    }
+    EXPECT_EQ(deinterleave(symbols, sf, cr), cws);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, InterleaverRoundTrip,
+    ::testing::Values(InterleaveCase{7, 1}, InterleaveCase{7, 3},
+                      InterleaveCase{7, 4}, InterleaveCase{8, 3},
+                      InterleaveCase{9, 2}, InterleaveCase{10, 4},
+                      InterleaveCase{12, 3}, InterleaveCase{6, 4}),
+    [](const auto& info) {
+      return "sf" + std::to_string(info.param.sf) + "cr" +
+             std::to_string(info.param.cr);
+    });
+
+TEST(Interleaver, OneCorruptSymbolHitsEachCodewordOnce) {
+  // The whole point of the diagonal interleaver: a destroyed symbol must
+  // spread into exactly one bit error per codeword.
+  const int sf = 8, cr = 3;
+  Rng rng(17);
+  std::vector<std::uint8_t> cws(sf);
+  for (auto& c : cws)
+    c = static_cast<std::uint8_t>(rng.uniform_int(0, (1 << (4 + cr)) - 1));
+  auto symbols = interleave(cws, sf, cr);
+  symbols[2] ^= 0xFFu & ((1u << sf) - 1);  // destroy one symbol entirely
+  const auto decoded = deinterleave(symbols, sf, cr);
+  for (int i = 0; i < sf; ++i) {
+    EXPECT_EQ(__builtin_popcount(decoded[static_cast<std::size_t>(i)] ^
+                                 cws[static_cast<std::size_t>(i)]),
+              1)
+        << "codeword " << i;
+  }
+}
+
+TEST(Interleaver, RejectsBadShapes) {
+  std::vector<std::uint8_t> cws(7);
+  EXPECT_THROW(interleave(cws, 8, 3), std::invalid_argument);
+  std::vector<std::uint32_t> syms(6);
+  EXPECT_THROW(deinterleave(syms, 8, 3), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------- CRC
+
+TEST(Crc, MatchesKnownVector) {
+  // CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+  const std::uint8_t data[] = {'1', '2', '3', '4', '5', '6', '7', '8', '9'};
+  EXPECT_EQ(crc16(data), 0x29B1);
+}
+
+TEST(Crc, EmptyInput) { EXPECT_EQ(crc16({}), 0xFFFF); }
+
+TEST(Crc, DetectsSingleBitFlips) {
+  Rng rng(23);
+  std::vector<std::uint8_t> data(32);
+  for (auto& b : data) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  const std::uint16_t ref = crc16(data);
+  for (std::size_t byte = 0; byte < data.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto copy = data;
+      copy[byte] = static_cast<std::uint8_t>(copy[byte] ^ (1 << bit));
+      EXPECT_NE(crc16(copy), ref);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace choir::coding

@@ -1,0 +1,151 @@
+// Residual model (Eqns 1-4): least-squares channel fits, residual power,
+// local convexity, and the incremental evaluator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/residual.hpp"
+#include "util/rng.hpp"
+
+namespace choir::core {
+namespace {
+
+cvec make_collision(const std::vector<double>& offsets,
+                    const std::vector<cplx>& channels, std::size_t n,
+                    double noise_sigma, Rng& rng) {
+  cvec y = reconstruct_tones(offsets, channels, n);
+  if (noise_sigma > 0.0) {
+    for (auto& s : y) s += rng.cgaussian(noise_sigma * noise_sigma);
+  }
+  return y;
+}
+
+TEST(Residual, FitRecoversChannelsExactly) {
+  Rng rng(1);
+  const std::vector<double> offsets{10.3, 50.7, 200.1};
+  std::vector<cplx> channels{{1.0, 2.0}, {-0.5, 0.3}, {2.0, -1.0}};
+  const cvec y = make_collision(offsets, channels, 256, 0.0, rng);
+  const cvec h = fit_channels(y, offsets);
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    EXPECT_NEAR(std::abs(h[i] - channels[i]), 0.0, 0.05) << i;
+  }
+}
+
+TEST(Residual, ZeroAtTrueOffsetsNoiseless) {
+  Rng rng(2);
+  const std::vector<double> offsets{33.4, 121.9};
+  std::vector<cplx> channels{{1.0, 0.0}, {0.0, 1.0}};
+  const cvec y = make_collision(offsets, channels, 256, 0.0, rng);
+  // Ridge regularization keeps the residual slightly above zero; it must
+  // still be tiny relative to the signal energy (2*N).
+  EXPECT_LT(residual_power(y, offsets), 0.02 * 2.0 * 256.0);
+}
+
+TEST(Residual, GrowsAwayFromTruth) {
+  Rng rng(3);
+  const std::vector<double> offsets{33.4, 121.9};
+  std::vector<cplx> channels{{1.0, 0.0}, {0.0, 1.0}};
+  const cvec y = make_collision(offsets, channels, 256, 0.05, rng);
+  const double at_truth = residual_power(y, offsets);
+  const double off_a = residual_power(y, {33.8, 121.9});
+  const double off_b = residual_power(y, {33.4, 121.5});
+  EXPECT_GT(off_a, at_truth);
+  EXPECT_GT(off_b, at_truth);
+}
+
+TEST(Residual, LocallyConvexAroundTruth) {
+  // Paper Fig 4: sample the residual on a 1-D slice through the truth and
+  // check the profile decreases monotonically into the minimum from both
+  // sides within a +-0.5 bin neighborhood.
+  Rng rng(4);
+  const std::vector<double> offsets{77.25, 140.6};
+  std::vector<cplx> channels{{1.0, 0.5}, {-0.7, 0.9}};
+  const cvec y = make_collision(offsets, channels, 256, 0.02, rng);
+  std::vector<double> profile;
+  for (double d = -0.5; d <= 0.5001; d += 0.05) {
+    profile.push_back(residual_power(y, {77.25 + d, 140.6}));
+  }
+  const std::size_t mid = profile.size() / 2;
+  for (std::size_t i = 0; i + 1 < mid; ++i) {
+    EXPECT_GE(profile[i], profile[i + 1] - 1e-9) << i;
+  }
+  for (std::size_t i = mid; i + 1 < profile.size(); ++i) {
+    EXPECT_LE(profile[i], profile[i + 1] + 1e-9) << i;
+  }
+}
+
+TEST(Residual, DegenerateOffsetsDoNotExplode) {
+  Rng rng(5);
+  const std::vector<double> offsets{50.0, 50.0001};
+  std::vector<cplx> channels{{1.0, 0.0}, {1.0, 0.0}};
+  const cvec y = make_collision({50.0}, {{2.0, 0.0}}, 256, 0.01, rng);
+  // With the ridge the fit must stay finite and the channel magnitudes
+  // physically bounded.
+  const cvec h = fit_channels(y, offsets);
+  for (const auto& c : h) {
+    EXPECT_TRUE(std::isfinite(std::abs(c)));
+    EXPECT_LT(std::abs(c), 50.0);
+  }
+}
+
+TEST(Residual, SubtractTonesRemovesSignal) {
+  Rng rng(6);
+  const std::vector<double> offsets{12.7, 99.2};
+  std::vector<cplx> channels{{1.5, 0.0}, {0.0, -2.0}};
+  cvec y = make_collision(offsets, channels, 128, 0.0, rng);
+  double before = 0.0;
+  for (const auto& s : y) before += std::norm(s);
+  const cvec h = fit_channels(y, offsets);
+  subtract_tones(y, offsets, h);
+  double after = 0.0;
+  for (const auto& s : y) after += std::norm(s);
+  EXPECT_LT(after, 0.01 * before);
+}
+
+TEST(Residual, ToneMatrixMatchesAnalyticColumns) {
+  const std::vector<double> offsets{5.5};
+  const CMatrix e = tone_matrix(offsets, 64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    const cplx expect = cis(kTwoPi * 5.5 * static_cast<double>(i) / 64.0);
+    EXPECT_NEAR(std::abs(e(i, 0) - expect), 0.0, 1e-9);
+  }
+}
+
+TEST(Evaluator, MatchesBatchResidual) {
+  Rng rng(7);
+  const std::vector<double> offsets{20.2, 120.9, 200.4};
+  std::vector<cplx> channels{{1, 0}, {0, 1}, {0.5, 0.5}};
+  std::vector<cvec> windows;
+  for (int w = 0; w < 4; ++w) {
+    windows.push_back(make_collision(offsets, channels, 256, 0.1, rng));
+  }
+  ToneResidualEvaluator eval(windows, offsets);
+  EXPECT_NEAR(eval.current(), residual_power_multi(windows, offsets),
+              1e-6 * eval.current() + 1e-9);
+  // try_coordinate == batch evaluation with that coordinate replaced.
+  const double probe = eval.try_coordinate(1, 121.3);
+  EXPECT_NEAR(probe, residual_power_multi(windows, {20.2, 121.3, 200.4}),
+              1e-6 * probe + 1e-9);
+  // try does not commit.
+  EXPECT_DOUBLE_EQ(eval.offsets()[1], 120.9);
+  eval.set_coordinate(1, 121.3);
+  EXPECT_DOUBLE_EQ(eval.offsets()[1], 121.3);
+  EXPECT_NEAR(eval.current(), probe, 1e-6 * probe + 1e-9);
+}
+
+TEST(Evaluator, DescentRefinesCoarseOffsets) {
+  Rng rng(8);
+  const std::vector<double> truth{60.37, 61.82};  // close pair
+  std::vector<cplx> channels{{1.0, 0.3}, {-0.8, 0.6}};
+  std::vector<cvec> windows;
+  for (int w = 0; w < 6; ++w) {
+    windows.push_back(make_collision(truth, channels, 256, 0.05, rng));
+  }
+  ToneResidualEvaluator eval(windows, {60.6, 61.6});  // coarse init
+  descend_offsets(eval, 0.5, 6, 1e-5);
+  EXPECT_NEAR(eval.offsets()[0], truth[0], 0.02);
+  EXPECT_NEAR(eval.offsets()[1], truth[1], 0.02);
+}
+
+}  // namespace
+}  // namespace choir::core

@@ -1,0 +1,109 @@
+// Chirp generation and dechirping: the algebra the whole receiver rests on.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/chirp.hpp"
+#include "dsp/fft.hpp"
+
+namespace choir::dsp {
+namespace {
+
+TEST(Chirp, UnitModulus) {
+  for (const auto& s : base_upchirp(128)) {
+    EXPECT_NEAR(std::abs(s), 1.0, 1e-12);
+  }
+}
+
+TEST(Chirp, DownchirpIsConjugate) {
+  const cvec up = base_upchirp(64);
+  const cvec down = base_downchirp(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    EXPECT_NEAR(std::abs(down[i] - std::conj(up[i])), 0.0, 1e-12);
+  }
+}
+
+class ChirpSymbolTest : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(ChirpSymbolTest, DechirpedSymbolIsPureToneAtItsBin) {
+  const std::size_t n = 256;
+  const std::uint32_t s = GetParam();
+  cvec sig = symbol_chirp(n, s);
+  dechirp(sig, base_downchirp(n));
+  const cvec spec = fft(sig);
+  // All energy in bin s.
+  for (std::size_t b = 0; b < n; ++b) {
+    const double expect = (b == s) ? static_cast<double>(n) : 0.0;
+    EXPECT_NEAR(std::abs(spec[b]), expect, 1e-6) << "bin " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Symbols, ChirpSymbolTest,
+                         ::testing::Values(0u, 1u, 17u, 128u, 200u, 255u));
+
+TEST(Chirp, SymbolsAreOrthogonal) {
+  const std::size_t n = 128;
+  const cvec a = symbol_chirp(n, 10);
+  const cvec b = symbol_chirp(n, 100);
+  cplx inner{0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) inner += a[i] * std::conj(b[i]);
+  EXPECT_NEAR(std::abs(inner), 0.0, 1e-6);
+}
+
+TEST(Chirp, ContinuousPhaseMatchesSampledChirpAtIntegers) {
+  const std::size_t n = 128;
+  for (std::uint32_t s : {0u, 5u, 64u, 127u}) {
+    const cvec ref = symbol_chirp(n, s);
+    for (std::size_t i = 0; i < n; ++i) {
+      const cplx v = cis(chirp_phase(n, s, static_cast<double>(i)));
+      EXPECT_NEAR(std::abs(v - ref[i]), 0.0, 1e-9)
+          << "s=" << s << " i=" << i;
+    }
+  }
+}
+
+TEST(Chirp, PhaseIsContinuousAtTheFold) {
+  const std::size_t n = 256;
+  const std::uint32_t s = 100;
+  const double fold = static_cast<double>(n - s);
+  const double eps = 1e-6;
+  const double before = chirp_phase(n, s, fold - eps);
+  const double after = chirp_phase(n, s, fold + eps);
+  // Phases must agree to within the frequency change * eps.
+  EXPECT_NEAR(std::remainder(after - before, kTwoPi), 0.0, 1e-4);
+}
+
+TEST(Chirp, PhaseAtEndMatchesLimit) {
+  const std::size_t n = 128;
+  for (std::uint32_t s : {0u, 3u, 77u, 127u}) {
+    const double limit = chirp_phase(n, s, static_cast<double>(n) - 1e-9);
+    EXPECT_NEAR(std::remainder(chirp_phase_at_end(n, s) - limit, kTwoPi), 0.0,
+                1e-4)
+        << "s=" << s;
+  }
+}
+
+TEST(Chirp, InstantaneousFrequencyRampsLinearly) {
+  // Numerical derivative of the base chirp phase spans -1/2..1/2
+  // cycles/sample over the symbol.
+  const std::size_t n = 256;
+  const double h = 1e-4;
+  for (double u : {1.0, 64.0, 128.0, 254.0}) {
+    const double f =
+        (chirp_phase(n, 0, u + h) - chirp_phase(n, 0, u - h)) / (2 * h) /
+        kTwoPi;
+    const double expect = u / static_cast<double>(n) - 0.5;
+    EXPECT_NEAR(f, expect, 1e-3) << "u=" << u;
+  }
+}
+
+TEST(Chirp, RejectsBadArgs) {
+  EXPECT_THROW(base_upchirp(100), std::invalid_argument);
+  EXPECT_THROW(symbol_chirp(128, 128), std::invalid_argument);
+  EXPECT_THROW(chirp_phase(128, 128, 0.0), std::invalid_argument);
+  cvec a(4), b(5);
+  EXPECT_THROW(dechirp(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace choir::dsp

@@ -1,0 +1,113 @@
+// FFT correctness: roundtrip, known transforms, Parseval, plan cache.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/fft.hpp"
+#include "util/rng.hpp"
+
+namespace choir::dsp {
+namespace {
+
+TEST(FftBasics, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(1000));
+}
+
+TEST(FftBasics, NextPow2) {
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+}
+
+TEST(FftBasics, RejectsNonPow2) {
+  EXPECT_THROW(FftPlan(3), std::invalid_argument);
+  EXPECT_THROW(FftPlan(0), std::invalid_argument);
+}
+
+TEST(Fft, DeltaTransformsToAllOnes) {
+  cvec x(8, cplx{0.0, 0.0});
+  x[0] = {1.0, 0.0};
+  const cvec spec = fft(x);
+  for (const auto& v : spec) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, SingleToneLandsOnItsBin) {
+  const std::size_t n = 64;
+  for (std::size_t k : {1u, 7u, 31u, 63u}) {
+    cvec x(n);
+    for (std::size_t i = 0; i < n; ++i)
+      x[i] = cis(kTwoPi * static_cast<double>(k * i) / static_cast<double>(n));
+    const cvec spec = fft(x);
+    for (std::size_t b = 0; b < n; ++b) {
+      const double expect = b == k ? static_cast<double>(n) : 0.0;
+      EXPECT_NEAR(std::abs(spec[b]), expect, 1e-9) << "bin " << b;
+    }
+  }
+}
+
+TEST(Fft, RoundTripRestoresSignal) {
+  Rng rng(7);
+  for (std::size_t n : {2u, 16u, 256u, 2048u}) {
+    cvec x(n);
+    for (auto& v : x) v = rng.cgaussian(1.0);
+    const cvec back = ifft(fft(x));
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(std::abs(back[i] - x[i]), 0.0, 1e-9);
+    }
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  Rng rng(11);
+  const std::size_t n = 512;
+  cvec x(n);
+  for (auto& v : x) v = rng.cgaussian(1.0);
+  double time_energy = 0.0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  const cvec spec = fft(x);
+  double freq_energy = 0.0;
+  for (const auto& v : spec) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / static_cast<double>(n), time_energy, 1e-6);
+}
+
+TEST(Fft, ZeroPaddingInterpolatesSpectrum) {
+  const std::size_t n = 32;
+  cvec x(n);
+  for (std::size_t i = 0; i < n; ++i)
+    x[i] = cis(kTwoPi * 5.0 * static_cast<double>(i) / static_cast<double>(n));
+  const cvec spec = fft_padded(x, 8 * n);
+  // Peak should sit at fine bin 5*8 = 40 with magnitude n.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < spec.size(); ++i) {
+    if (std::abs(spec[i]) > std::abs(spec[best])) best = i;
+  }
+  EXPECT_EQ(best, 40u);
+  EXPECT_NEAR(std::abs(spec[best]), static_cast<double>(n), 1e-9);
+}
+
+TEST(Fft, PaddedRejectsShrinking) {
+  cvec x(16);
+  EXPECT_THROW(fft_padded(x, 8), std::invalid_argument);
+}
+
+TEST(Fft, MagnitudeAndPower) {
+  cvec spec = {{3.0, 4.0}, {0.0, -2.0}};
+  const rvec mag = magnitude(spec);
+  const rvec pow = power(spec);
+  EXPECT_NEAR(mag[0], 5.0, 1e-12);
+  EXPECT_NEAR(mag[1], 2.0, 1e-12);
+  EXPECT_NEAR(pow[0], 25.0, 1e-12);
+  EXPECT_NEAR(pow[1], 4.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace choir::dsp

@@ -1,0 +1,151 @@
+// Peak finding with sub-bin refinement, NMS and noise-floor estimation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/fft.hpp"
+#include "dsp/peaks.hpp"
+#include "dsp/spectrogram.hpp"
+#include "dsp/window.hpp"
+#include "util/rng.hpp"
+
+namespace choir::dsp {
+namespace {
+
+cvec tone(std::size_t n, double freq_bins, double amp = 1.0, double phase = 0.0) {
+  cvec out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = amp * cis(kTwoPi * freq_bins * static_cast<double>(i) /
+                           static_cast<double>(n) +
+                       phase);
+  }
+  return out;
+}
+
+TEST(Peaks, FindsSingleTone) {
+  const std::size_t n = 128;
+  const cvec spec = fft_padded(tone(n, 31.0), 16 * n);
+  PeakFindOptions opt;
+  opt.max_peaks = 1;
+  const auto peaks = find_peaks(spec, opt);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_NEAR(peaks[0].bin / 16.0, 31.0, 0.01);
+  EXPECT_NEAR(peaks[0].magnitude, static_cast<double>(n), 1.0);
+}
+
+class FractionalPeakTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(FractionalPeakTest, SubBinPositionRecovered) {
+  const std::size_t n = 256;
+  const double f = 40.0 + GetParam();
+  const cvec spec = fft_padded(tone(n, f), 16 * n);
+  PeakFindOptions opt;
+  opt.max_peaks = 1;
+  const auto peaks = find_peaks(spec, opt);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_NEAR(peaks[0].bin / 16.0, f, 0.02) << "frac " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, FractionalPeakTest,
+                         ::testing::Values(0.0, 0.1, 0.25, 0.33, 0.5, 0.77,
+                                           0.9));
+
+TEST(Peaks, TwoTonesResolvedAndOrdered) {
+  const std::size_t n = 256;
+  cvec sig = tone(n, 50.3, 2.0);
+  const cvec weak = tone(n, 90.8, 1.0);
+  for (std::size_t i = 0; i < n; ++i) sig[i] += weak[i];
+  const cvec spec = fft_padded(sig, 16 * n);
+  PeakFindOptions opt;
+  opt.max_peaks = 2;
+  opt.min_separation = 16.0;
+  const auto peaks = find_peaks(spec, opt);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_GT(peaks[0].magnitude, peaks[1].magnitude);  // sorted by magnitude
+  EXPECT_NEAR(peaks[0].bin / 16.0, 50.3, 0.05);
+  EXPECT_NEAR(peaks[1].bin / 16.0, 90.8, 0.05);
+}
+
+TEST(Peaks, MinSeparationSuppressesSidelobes) {
+  const std::size_t n = 256;
+  // A fractional tone has strong sinc side lobes at +-1 bin (16 fine bins).
+  const cvec spec = fft_padded(tone(n, 60.5), 16 * n);
+  PeakFindOptions opt;
+  opt.max_peaks = 10;
+  opt.min_separation = 1.2 * 16.0;
+  opt.threshold = 0.3 * static_cast<double>(n);
+  const auto peaks = find_peaks(spec, opt);
+  ASSERT_GE(peaks.size(), 1u);
+  // With proper NMS, only the main lobe survives above 30% of full scale.
+  EXPECT_EQ(peaks.size(), 1u);
+}
+
+TEST(Peaks, ThresholdExcludesNoise) {
+  Rng rng(3);
+  const std::size_t n = 256;
+  cvec sig = tone(n, 100.0, 5.0);
+  for (auto& s : sig) s += rng.cgaussian(1.0);
+  const cvec spec = fft_padded(sig, 16 * n);
+  PeakFindOptions opt;
+  opt.threshold = 8.0 * noise_floor(spec);
+  const auto peaks = find_peaks(spec, opt);
+  ASSERT_GE(peaks.size(), 1u);
+  EXPECT_NEAR(peaks[0].bin / 16.0, 100.0, 0.1);
+}
+
+TEST(Peaks, NoiseFloorTracksSigma) {
+  Rng rng(7);
+  const std::size_t n = 4096;
+  cvec noise(n);
+  for (auto& s : noise) s += rng.cgaussian(4.0);  // sigma^2 = 4
+  const cvec spec = fft(noise);
+  // Rayleigh median of |bin| with variance n*sigma^2:
+  // median = sqrt(n*sigma^2) * sqrt(ln 4)/... ~ 1.1774*sqrt(n*sigma^2/2)*...
+  const double sigma_bin = std::sqrt(static_cast<double>(n) * 4.0);
+  const double expect = sigma_bin * 1.17741 / std::sqrt(2.0);
+  EXPECT_NEAR(noise_floor(spec) / expect, 1.0, 0.1);
+}
+
+TEST(Peaks, CircularWrapAroundPeak) {
+  const std::size_t n = 128;
+  const cvec spec = fft_padded(tone(n, 127.7), 16 * n);
+  PeakFindOptions opt;
+  opt.max_peaks = 1;
+  const auto peaks = find_peaks(spec, opt);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_NEAR(peaks[0].bin / 16.0, 127.7, 0.05);
+}
+
+TEST(Window, GainsAndShapes) {
+  const rvec hann = make_window(WindowType::kHann, 64);
+  EXPECT_NEAR(hann.front(), 0.0, 1e-12);
+  EXPECT_NEAR(hann[32], 1.0, 1e-2);
+  const rvec rect = make_window(WindowType::kRect, 64);
+  EXPECT_DOUBLE_EQ(window_gain(rect), 64.0);
+  EXPECT_LT(window_gain(hann), 64.0);
+  EXPECT_THROW(make_window(WindowType::kHann, 0), std::invalid_argument);
+}
+
+TEST(Spectrogram, ChirpRampIsVisible) {
+  // A full-band up-chirp sweeps monotonically through the spectrogram bins.
+  const std::size_t n = 1024;
+  cvec sig(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double u = static_cast<double>(i);
+    sig[i] = cis(kTwoPi * (u * u / (2.0 * n) - u / 2.0));
+  }
+  SpectrogramOptions opt;
+  opt.fft_size = 64;
+  opt.hop = 64;
+  const Spectrogram sg(sig, opt);
+  ASSERT_GE(sg.frames(), 8u);
+  // Frequencies increase frame over frame (modulo the final wrap).
+  std::size_t increases = 0;
+  for (std::size_t f = 1; f < sg.frames(); ++f) {
+    if (sg.argmax_bin(f) >= sg.argmax_bin(f - 1)) ++increases;
+  }
+  EXPECT_GE(increases, sg.frames() - 2);
+}
+
+}  // namespace
+}  // namespace choir::dsp

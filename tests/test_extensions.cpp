@@ -1,0 +1,265 @@
+// Extension modules: multi-SF parallel decoding, the streaming receiver,
+// IQ file round trips, and the team shared-reading helper.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "channel/collision.hpp"
+#include "core/multi_sf.hpp"
+#include "rt/streaming.hpp"
+#include "sensing/field.hpp"
+#include "util/iq_io.hpp"
+#include "util/rng.hpp"
+
+namespace choir {
+namespace {
+
+channel::TxInstance make_tx(int sf, const std::vector<std::uint8_t>& payload,
+                            double snr, const channel::OscillatorModel& osc,
+                            Rng& rng) {
+  channel::TxInstance tx;
+  tx.phy.sf = sf;
+  tx.payload = payload;
+  tx.hw = channel::DeviceHardware::sample(osc, rng);
+  tx.snr_db = snr;
+  tx.fading.kind = channel::FadingKind::kNone;
+  return tx;
+}
+
+// ------------------------------------------------------------- Multi-SF
+
+TEST(MultiSf, CrossSfLeakageIsLow) {
+  // A chirp of one SF dechirped at another SF spreads widely: no bin holds
+  // more than a few percent of its energy. Same SF concentrates fully.
+  EXPECT_GT(core::cross_sf_leakage(8, 8, 125e3), 0.9);
+  EXPECT_LT(core::cross_sf_leakage(7, 8, 125e3), 0.1);
+  EXPECT_LT(core::cross_sf_leakage(9, 8, 125e3), 0.1);
+  EXPECT_LT(core::cross_sf_leakage(10, 7, 125e3), 0.1);
+}
+
+TEST(MultiSf, ParallelDecodingAcrossSpreadingFactors) {
+  // Paper Sec 5.2 point 4: simultaneous packets at SF 7, 7, 8, 8, 9 —
+  // orthogonality splits them into per-SF streams, and Choir disentangles
+  // the same-SF collisions inside each stream.
+  Rng rng(5);
+  channel::OscillatorModel osc;
+  osc.cfo_drift_hz_per_symbol = 0.0;
+  std::vector<channel::TxInstance> txs;
+  std::vector<std::pair<int, std::vector<std::uint8_t>>> sent;
+  int id = 0;
+  for (int sf : {7, 7, 8, 8, 9}) {
+    std::vector<std::uint8_t> payload(8);
+    for (auto& b : payload)
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    payload[0] = static_cast<std::uint8_t>(id++);
+    txs.push_back(make_tx(sf, payload, 17.0, osc, rng));
+    sent.emplace_back(sf, payload);
+  }
+  channel::RenderOptions ropt;
+  ropt.osc = osc;
+  const auto cap = render_collision(txs, ropt, rng);
+
+  lora::PhyParams base;
+  core::MultiSfDecoder dec(base, {7, 8, 9});
+  const auto results = dec.decode(cap.samples, 0);
+  ASSERT_EQ(results.size(), 3u);
+
+  int delivered = 0;
+  for (const auto& [sf, payload] : sent) {
+    for (const auto& r : results) {
+      if (r.sf != sf) continue;
+      for (const auto& du : r.users) {
+        if (du.crc_ok && du.payload == payload) {
+          ++delivered;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_GE(delivered, 4) << "of 5 mixed-SF packets";
+}
+
+TEST(MultiSf, RejectsEmptySfList) {
+  lora::PhyParams base;
+  EXPECT_THROW(core::MultiSfDecoder(base, {}), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ Streaming
+
+TEST(Streaming, DecodesFramesAcrossChunkBoundaries) {
+  Rng rng(9);
+  channel::OscillatorModel osc;
+  osc.cfo_drift_hz_per_symbol = 0.0;
+  lora::PhyParams phy;
+  phy.sf = 8;
+
+  // Two frames separated by silence, fed in awkward chunk sizes.
+  const std::vector<std::uint8_t> p1 = {'f', 'i', 'r', 's', 't'};
+  const std::vector<std::uint8_t> p2 = {'s', 'e', 'c', 'o', 'n', 'd'};
+  channel::TxInstance t1 = make_tx(8, p1, 15.0, osc, rng);
+  channel::RenderOptions ropt;
+  ropt.osc = osc;
+  const auto cap1 = render_collision({t1}, ropt, rng);
+  channel::TxInstance t2 = make_tx(8, p2, 15.0, osc, rng);
+  const auto cap2 = render_collision({t2}, ropt, rng);
+
+  cvec stream;
+  auto append_noise = [&](std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) stream.push_back(rng.cgaussian(1.0));
+  };
+  append_noise(3000);
+  stream.insert(stream.end(), cap1.samples.begin(), cap1.samples.end());
+  append_noise(5000);
+  stream.insert(stream.end(), cap2.samples.begin(), cap2.samples.end());
+  append_noise(1500);
+
+  std::vector<rt::FrameEvent> events;
+  rt::StreamingOptions opt;
+  opt.max_payload_bytes = 16;
+  rt::StreamingReceiver rx(phy, opt,
+                           [&](const rt::FrameEvent& ev) { events.push_back(ev); });
+  for (std::size_t at = 0; at < stream.size(); at += 777) {
+    const std::size_t end = std::min(stream.size(), at + 777);
+    rx.push(cvec(stream.begin() + static_cast<std::ptrdiff_t>(at),
+                 stream.begin() + static_cast<std::ptrdiff_t>(end)));
+  }
+  rx.flush();
+
+  int good = 0;
+  bool saw_first = false, saw_second = false;
+  for (const auto& ev : events) {
+    if (!ev.user.crc_ok) continue;
+    ++good;
+    if (ev.user.payload == p1) saw_first = true;
+    if (ev.user.payload == p2) saw_second = true;
+  }
+  EXPECT_TRUE(saw_first);
+  EXPECT_TRUE(saw_second);
+  EXPECT_GE(good, 2);
+  // Stream offsets must be ordered and within the stream.
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].stream_offset, events[i - 1].stream_offset);
+  }
+}
+
+TEST(Streaming, DecodesACollisionInOnePass) {
+  Rng rng(11);
+  channel::OscillatorModel osc;
+  osc.cfo_drift_hz_per_symbol = 0.0;
+  lora::PhyParams phy;
+  phy.sf = 8;
+  std::vector<channel::TxInstance> txs;
+  std::vector<std::vector<std::uint8_t>> payloads;
+  for (int i = 0; i < 3; ++i) {
+    std::vector<std::uint8_t> p(8);
+    for (auto& b : p) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    payloads.push_back(p);
+    txs.push_back(make_tx(8, p, rng.uniform(12.0, 20.0), osc, rng));
+  }
+  channel::RenderOptions ropt;
+  ropt.osc = osc;
+  const auto cap = render_collision(txs, ropt, rng);
+
+  int good = 0;
+  rt::StreamingOptions opt;
+  opt.max_payload_bytes = 16;
+  rt::StreamingReceiver rx(phy, opt, [&](const rt::FrameEvent& ev) {
+    if (!ev.user.crc_ok) return;
+    for (const auto& p : payloads) {
+      if (ev.user.payload == p) {
+        ++good;
+        return;
+      }
+    }
+  });
+  rx.push(cap.samples);
+  rx.flush();
+  EXPECT_GE(good, 2) << "of 3 colliding users through the stream interface";
+}
+
+TEST(Streaming, NoiseProducesNoEvents) {
+  Rng rng(13);
+  lora::PhyParams phy;
+  phy.sf = 8;
+  int events = 0;
+  rt::StreamingReceiver rx(phy, {}, [&](const rt::FrameEvent&) { ++events; });
+  for (int chunk = 0; chunk < 20; ++chunk) {
+    cvec noise(4096);
+    for (auto& s : noise) s = rng.cgaussian(1.0);
+    rx.push(noise);
+  }
+  rx.flush();
+  EXPECT_EQ(events, 0);
+}
+
+// ----------------------------------------------------------------- IQ IO
+
+class IqRoundTrip : public ::testing::TestWithParam<IqFormat> {};
+
+TEST_P(IqRoundTrip, PreservesSamples) {
+  Rng rng(17);
+  cvec samples(1234);
+  for (auto& s : samples) s = rng.cgaussian(2.0);
+  const auto path = std::filesystem::temp_directory_path() /
+                    ("choir_iq_test_" + std::to_string(static_cast<int>(GetParam())));
+  write_iq_file(path.string(), samples, GetParam());
+  const cvec back = read_iq_file(path.string(), GetParam());
+  ASSERT_EQ(back.size(), samples.size());
+  const double tol = GetParam() == IqFormat::kCf32 ? 1e-5 : 1e-15;
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_NEAR(std::abs(back[i] - samples[i]), 0.0, tol);
+  }
+  std::filesystem::remove(path);
+}
+
+INSTANTIATE_TEST_SUITE_P(Formats, IqRoundTrip,
+                         ::testing::Values(IqFormat::kCf32, IqFormat::kCf64),
+                         [](const auto& info) {
+                           return info.param == IqFormat::kCf32 ? "cf32"
+                                                                : "cf64";
+                         });
+
+TEST(IqIo, ParseFormat) {
+  EXPECT_EQ(parse_iq_format("cf32"), IqFormat::kCf32);
+  EXPECT_EQ(parse_iq_format("cf64"), IqFormat::kCf64);
+  EXPECT_THROW(parse_iq_format("wav"), std::invalid_argument);
+}
+
+TEST(IqIo, MissingFileThrows) {
+  EXPECT_THROW(read_iq_file("/nonexistent/path.cf32", IqFormat::kCf32),
+               std::runtime_error);
+}
+
+// -------------------------------------------------------- SharedReading
+
+TEST(SharedReading, BoundaryStraddleIsRepairedByDithering) {
+  // Values tightly clustered around mid-range: the naive common prefix is
+  // zero (the MSB boundary cuts the cluster), but a dithered grid shares
+  // many bits.
+  std::vector<double> values = {24.9, 25.1, 25.0, 24.95, 25.05};
+  std::vector<std::uint32_t> naive;
+  for (double v : values)
+    naive.push_back(sensing::quantize_reading(v, 15.0, 35.0, 12));
+  EXPECT_EQ(sensing::common_msb_prefix(naive, 12), 0);
+
+  const auto shared = sensing::team_shared_reading(values, 15.0, 35.0, 12);
+  EXPECT_GE(shared.prefix_bits, 5);
+  EXPECT_NEAR(shared.value, 25.0, 20.0 / (1 << shared.prefix_bits));
+}
+
+TEST(SharedReading, TightClusterGetsLongPrefix) {
+  std::vector<double> values = {30.001, 30.002, 30.0015};
+  const auto shared = sensing::team_shared_reading(values, 15.0, 35.0, 12);
+  EXPECT_GE(shared.prefix_bits, 10);
+  EXPECT_NEAR(shared.value, 30.0015, 0.02);
+}
+
+TEST(SharedReading, WideSpreadGetsShortPrefix) {
+  std::vector<double> values = {16.0, 34.0};
+  const auto shared = sensing::team_shared_reading(values, 15.0, 35.0, 12);
+  EXPECT_LE(shared.prefix_bits, 1);
+}
+
+}  // namespace
+}  // namespace choir

@@ -1,0 +1,197 @@
+// Cross-module integration and property sweeps: collision decoding across
+// spreading factors, modulator segment synthesis, evaluator growth, and
+// end-to-end IQ-file round trips through the CLI-facing interfaces.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "channel/collision.hpp"
+#include "core/collision_decoder.hpp"
+#include "core/residual.hpp"
+#include "dsp/chirp.hpp"
+#include "dsp/fft.hpp"
+#include "lora/frame.hpp"
+#include "lora/modulator.hpp"
+#include "rt/streaming.hpp"
+#include "util/iq_io.hpp"
+#include "util/rng.hpp"
+
+namespace choir {
+namespace {
+
+// ------------------------------------------------ SF sweep for collisions
+
+class SfSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SfSweep, TwoUserCollisionsDecodeAcrossSpreadingFactors) {
+  const int sf = GetParam();
+  lora::PhyParams phy;
+  phy.sf = sf;
+  channel::OscillatorModel osc;
+  osc.cfo_drift_hz_per_symbol = 0.0;
+  int delivered = 0, total = 0;
+  for (int trial = 0; trial < 4; ++trial) {
+    Rng rng(500 + static_cast<std::uint64_t>(sf) * 17 + trial);
+    std::vector<channel::TxInstance> txs(2);
+    for (auto& tx : txs) {
+      tx.phy = phy;
+      tx.payload.resize(6);
+      for (auto& b : tx.payload)
+        b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      tx.hw = channel::DeviceHardware::sample(osc, rng);
+      tx.snr_db = rng.uniform(10.0, 20.0);
+      tx.fading.kind = channel::FadingKind::kNone;
+    }
+    channel::RenderOptions ropt;
+    ropt.osc = osc;
+    const auto cap = render_collision(txs, ropt, rng);
+    core::CollisionDecoder dec(phy);
+    const auto users = dec.decode(cap.samples, 0);
+    for (const auto& tx : txs) {
+      ++total;
+      for (const auto& du : users) {
+        if (du.crc_ok && du.payload == tx.payload) {
+          ++delivered;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_GE(delivered, total - 2) << "sf=" << sf;
+}
+
+INSTANTIATE_TEST_SUITE_P(SpreadingFactors, SfSweep,
+                         ::testing::Values(7, 8, 9, 10),
+                         [](const auto& info) {
+                           return "sf" + std::to_string(info.param);
+                         });
+
+// ----------------------------------------------------- Modulator segments
+
+TEST(ModulatorSegments, CustomSequencePhaseContinuity) {
+  lora::PhyParams phy;
+  phy.sf = 7;
+  lora::Modulator mod(phy);
+  const std::vector<lora::Segment> segs{
+      {lora::SegmentKind::kUpchirp, 0},
+      {lora::SegmentKind::kData, 42},
+      {lora::SegmentKind::kDownchirp, 0},
+      {lora::SegmentKind::kData, 100},
+  };
+  const cvec wave = mod.synthesize_segments(segs, 0.0);
+  ASSERT_EQ(wave.size(), 4 * phy.chips());
+  // Constant envelope and bounded sample-to-sample phase steps (half the
+  // bandwidth = pi/2... up to pi at band edges; a discontinuous jump would
+  // exceed that).
+  for (std::size_t i = 1; i < wave.size(); ++i) {
+    EXPECT_NEAR(std::abs(wave[i]), 1.0, 1e-9);
+    const double step = std::abs(std::arg(wave[i] * std::conj(wave[i - 1])));
+    EXPECT_LE(step, kPi + 1e-9) << i;
+  }
+  // Each data segment dechirps to its symbol.
+  const cvec down = dsp::base_downchirp(phy.chips());
+  cvec w(wave.begin() + static_cast<std::ptrdiff_t>(phy.chips()),
+         wave.begin() + static_cast<std::ptrdiff_t>(2 * phy.chips()));
+  dsp::dechirp(w, down);
+  const cvec spec = dsp::fft(w);
+  std::size_t best = 0;
+  for (std::size_t b = 1; b < spec.size(); ++b) {
+    if (std::abs(spec[b]) > std::abs(spec[best])) best = b;
+  }
+  EXPECT_EQ(best, 42u);
+}
+
+TEST(ModulatorSegments, RejectsNegativeDelay) {
+  lora::PhyParams phy;
+  phy.sf = 7;
+  lora::Modulator mod(phy);
+  EXPECT_THROW(mod.synthesize({1}, -1.0), std::invalid_argument);
+}
+
+// -------------------------------------------- Residual evaluator plumbing
+
+TEST(Evaluator, AddToneExtendsTheModel) {
+  Rng rng(21);
+  std::vector<cvec> windows;
+  for (int w = 0; w < 3; ++w) {
+    cvec win = core::reconstruct_tones({30.3, 90.8}, {{1, 0}, {0, 1}}, 128);
+    for (auto& s : win) s += rng.cgaussian(0.01);
+    windows.push_back(std::move(win));
+  }
+  core::ToneResidualEvaluator eval(windows, {30.3});
+  const double one_tone = eval.current();
+  eval.add_tone(90.8);
+  EXPECT_EQ(eval.dimensions(), 2u);
+  const double two_tones = eval.current();
+  EXPECT_LT(two_tones, 0.1 * one_tone);
+}
+
+// -------------------------------------- End-to-end via IQ files (CLI path)
+
+TEST(EndToEnd, FileRoundTripThroughStreamingReceiver) {
+  lora::PhyParams phy;
+  phy.sf = 8;
+  Rng rng(31);
+  channel::OscillatorModel osc;
+  std::vector<channel::TxInstance> txs(2);
+  for (std::size_t i = 0; i < 2; ++i) {
+    txs[i].phy = phy;
+    txs[i].payload = {static_cast<std::uint8_t>('A' + i), 1, 2, 3};
+    txs[i].hw = channel::DeviceHardware::sample(osc, rng);
+    txs[i].snr_db = 16.0;
+    txs[i].fading.kind = channel::FadingKind::kNone;
+  }
+  channel::RenderOptions ropt;
+  ropt.osc = osc;
+  const auto cap = render_collision(txs, ropt, rng);
+
+  const auto path =
+      std::filesystem::temp_directory_path() / "choir_e2e_test.cf32";
+  write_iq_file(path.string(), cap.samples, IqFormat::kCf32);
+  const cvec back = read_iq_file(path.string(), IqFormat::kCf32);
+  std::filesystem::remove(path);
+
+  int good = 0;
+  rt::StreamingReceiver receiver(phy, {}, [&](const rt::FrameEvent& ev) {
+    if (!ev.user.crc_ok) return;
+    for (const auto& tx : txs) {
+      if (ev.user.payload == tx.payload) ++good;
+    }
+  });
+  receiver.push(back);
+  receiver.flush();
+  // cf32 quantization (float) must not cost any decodes.
+  EXPECT_EQ(good, 2);
+}
+
+// ------------------------------------------------- Frame length edge cases
+
+TEST(FrameEdges, EmptyAndMaxPayloads) {
+  lora::PhyParams phy;
+  phy.sf = 8;
+  {
+    const auto syms = lora::build_frame_symbols({}, phy);
+    const auto parsed = lora::parse_frame_symbols(syms, phy);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_TRUE(parsed->payload.empty());
+    EXPECT_TRUE(parsed->crc_ok);
+  }
+  {
+    Rng rng(3);
+    std::vector<std::uint8_t> big(lora::kMaxPayloadBytes);
+    for (auto& b : big) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    const auto syms = lora::build_frame_symbols(big, phy);
+    const auto parsed = lora::parse_frame_symbols(syms, phy);
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(parsed->payload, big);
+    EXPECT_TRUE(parsed->crc_ok);
+  }
+  {
+    std::vector<std::uint8_t> too_big(lora::kMaxPayloadBytes + 1);
+    EXPECT_THROW(lora::build_frame_symbols(too_big, phy),
+                 std::invalid_argument);
+  }
+}
+
+}  // namespace
+}  // namespace choir

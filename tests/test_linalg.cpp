@@ -1,0 +1,132 @@
+// Complex dense linear algebra: solves, least squares, pseudo-inverse,
+// Cholesky.
+#include <gtest/gtest.h>
+
+#include "util/linalg.hpp"
+#include "util/rng.hpp"
+
+namespace choir {
+namespace {
+
+CMatrix random_matrix(std::size_t r, std::size_t c, Rng& rng) {
+  CMatrix m(r, c);
+  for (std::size_t i = 0; i < r; ++i)
+    for (std::size_t j = 0; j < c; ++j) m(i, j) = rng.cgaussian(1.0);
+  return m;
+}
+
+TEST(Linalg, IdentitySolve) {
+  const CMatrix eye = CMatrix::identity(4);
+  cvec b{{1, 0}, {2, 0}, {3, 0}, {4, 0}};
+  const cvec x = solve_linear(eye, b);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(std::abs(x[i] - b[i]), 0, 1e-12);
+}
+
+TEST(Linalg, SolveRecoversKnownSolution) {
+  Rng rng(2);
+  for (std::size_t n : {2u, 5u, 9u}) {
+    const CMatrix a = random_matrix(n, n, rng);
+    cvec x_true(n);
+    for (auto& v : x_true) v = rng.cgaussian(1.0);
+    const cvec b = a.multiply(x_true);
+    const cvec x = solve_linear(a, b);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(std::abs(x[i] - x_true[i]), 0.0, 1e-8);
+    }
+  }
+}
+
+TEST(Linalg, SolveThrowsOnSingular) {
+  CMatrix a(2, 2);
+  a(0, 0) = {1, 0};
+  a(0, 1) = {2, 0};
+  a(1, 0) = {2, 0};
+  a(1, 1) = {4, 0};
+  cvec b{{1, 0}, {2, 0}};
+  EXPECT_THROW(solve_linear(a, b), std::runtime_error);
+}
+
+TEST(Linalg, LeastSquaresFitsExactSystems) {
+  Rng rng(3);
+  const CMatrix e = random_matrix(16, 3, rng);
+  cvec h_true(3);
+  for (auto& v : h_true) v = rng.cgaussian(1.0);
+  const cvec y = e.multiply(h_true);
+  const cvec h = least_squares(e, y);
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(std::abs(h[i] - h_true[i]), 0.0, 1e-8);
+  }
+}
+
+TEST(Linalg, LeastSquaresResidualIsOrthogonal) {
+  Rng rng(4);
+  const CMatrix e = random_matrix(20, 2, rng);
+  cvec y(20);
+  for (auto& v : y) v = rng.cgaussian(1.0);
+  const cvec h = least_squares(e, y);
+  const cvec model = e.multiply(h);
+  // E^H (y - model) = 0 by the normal equations.
+  const CMatrix eh = e.hermitian();
+  cvec resid(20);
+  for (std::size_t i = 0; i < 20; ++i) resid[i] = y[i] - model[i];
+  const cvec proj = eh.multiply(resid);
+  for (const auto& p : proj) EXPECT_NEAR(std::abs(p), 0.0, 1e-8);
+}
+
+TEST(Linalg, PseudoInverseInvertsTallMatrices) {
+  Rng rng(5);
+  const CMatrix a = random_matrix(6, 3, rng);
+  const CMatrix pinv = pseudo_inverse(a);
+  const CMatrix prod = pinv.multiply(a);  // should be 3x3 identity
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(std::abs(prod(i, j) - (i == j ? cplx{1, 0} : cplx{0, 0})),
+                  0.0, 1e-8);
+    }
+  }
+}
+
+TEST(Linalg, HermitianTransposesAndConjugates) {
+  CMatrix a(2, 3);
+  a(0, 1) = {1.0, 2.0};
+  const CMatrix ah = a.hermitian();
+  EXPECT_EQ(ah.rows(), 3u);
+  EXPECT_EQ(ah.cols(), 2u);
+  EXPECT_EQ(ah(1, 0), (cplx{1.0, -2.0}));
+}
+
+TEST(Linalg, CholeskySolvesHermitianPd) {
+  Rng rng(6);
+  for (std::size_t n : {1u, 3u, 8u}) {
+    const CMatrix a = random_matrix(n + 2, n, rng);
+    CMatrix g = a.hermitian().multiply(a);  // PD (full column rank w.h.p.)
+    for (std::size_t i = 0; i < n; ++i) g(i, i) += cplx{0.1, 0.0};
+    cvec x_true(n);
+    for (auto& v : x_true) v = rng.cgaussian(1.0);
+    const cvec b = g.multiply(x_true);
+    const Cholesky chol(g);
+    const cvec x = chol.solve(b);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(std::abs(x[i] - x_true[i]), 0.0, 1e-7);
+    }
+  }
+}
+
+TEST(Linalg, CholeskyRejectsIndefinite) {
+  CMatrix m(2, 2);
+  m(0, 0) = {1, 0};
+  m(1, 1) = {-1, 0};
+  EXPECT_THROW(Cholesky{m}, std::runtime_error);
+}
+
+TEST(Linalg, ShapeChecks) {
+  CMatrix a(2, 3);
+  CMatrix b(2, 3);
+  EXPECT_THROW(a.multiply(b), std::invalid_argument);
+  cvec v(2);
+  EXPECT_THROW(a.multiply(v), std::invalid_argument);
+  EXPECT_THROW(least_squares(a, cvec(2)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace choir

@@ -1,0 +1,155 @@
+// MU-MIMO baseline: array rendering, zero-forcing separation, the
+// antenna-count cap, and multi-antenna Choir fusion.
+#include <gtest/gtest.h>
+
+#include "core/collision_decoder.hpp"
+#include "mimo/array_channel.hpp"
+#include "mimo/zf_receiver.hpp"
+#include "util/rng.hpp"
+
+namespace choir::mimo {
+namespace {
+
+lora::PhyParams mimo_phy() {
+  lora::PhyParams phy;
+  phy.sf = 8;
+  return phy;
+}
+
+std::vector<channel::TxInstance> make_txs(std::size_t k, Rng& rng,
+                                          double snr_db = 15.0) {
+  channel::OscillatorModel osc;
+  osc.cfo_drift_hz_per_symbol = 0.0;
+  std::vector<channel::TxInstance> txs(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    txs[i].phy = mimo_phy();
+    txs[i].payload.resize(8);
+    for (auto& b : txs[i].payload)
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    txs[i].hw = channel::DeviceHardware::sample(osc, rng);
+    txs[i].snr_db = snr_db;
+    txs[i].fading.kind = channel::FadingKind::kRayleigh;
+  }
+  return txs;
+}
+
+channel::RenderOptions quiet_ropt() {
+  channel::RenderOptions ropt;
+  ropt.osc.cfo_drift_hz_per_symbol = 0.0;
+  return ropt;
+}
+
+TEST(ArrayChannel, ShapesAndIndependentNoise) {
+  Rng rng(1);
+  const auto txs = make_txs(2, rng);
+  const auto cap = render_collision_array(txs, 3, quiet_ropt(), rng);
+  ASSERT_EQ(cap.antennas.size(), 3u);
+  EXPECT_EQ(cap.gains.rows(), 3u);
+  EXPECT_EQ(cap.gains.cols(), 2u);
+  EXPECT_EQ(cap.users.size(), 2u);
+  // Antenna captures differ (independent fading and noise).
+  double diff = 0.0;
+  for (std::size_t i = 0; i < cap.antennas[0].size(); ++i) {
+    diff += std::norm(cap.antennas[0][i] - cap.antennas[1][i]);
+  }
+  EXPECT_GT(diff, 1.0);
+}
+
+TEST(ZfReceiver, SeparatesTwoUsersWithThreeAntennas) {
+  int delivered = 0, total = 0;
+  for (int trial = 0; trial < 5; ++trial) {
+    Rng rng(100 + trial);
+    const auto txs = make_txs(2, rng, 18.0);
+    const auto cap = render_collision_array(txs, 3, quiet_ropt(), rng);
+    ZfReceiver zf(mimo_phy());
+    const auto streams = zf.decode(cap, 0);
+    for (const auto& tx : txs) {
+      ++total;
+      for (const auto& s : streams) {
+        if (s.demod.crc_ok && s.demod.payload == tx.payload) {
+          ++delivered;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_GE(delivered, total - 2);
+}
+
+TEST(ZfReceiver, CapsAtAntennaCount) {
+  // 5 users, 3 antennas: at most 3 streams, and the unselected users'
+  // interference degrades the rest — the fundamental MU-MIMO limit the
+  // paper contrasts Choir against.
+  Rng rng(7);
+  const auto txs = make_txs(5, rng, 18.0);
+  const auto cap = render_collision_array(txs, 3, quiet_ropt(), rng);
+  ZfReceiver zf(mimo_phy());
+  const auto streams = zf.decode(cap, 0);
+  EXPECT_LE(streams.size(), 3u);
+}
+
+TEST(ZfReceiver, SingleAntennaSingleUser) {
+  Rng rng(9);
+  const auto txs = make_txs(1, rng, 15.0);
+  const auto cap = render_collision_array(txs, 1, quiet_ropt(), rng);
+  ZfReceiver zf(mimo_phy());
+  const auto streams = zf.decode(cap, 0);
+  ASSERT_EQ(streams.size(), 1u);
+  EXPECT_TRUE(streams[0].demod.crc_ok);
+  EXPECT_EQ(streams[0].demod.payload, txs[0].payload);
+}
+
+TEST(ChoirMultiAntenna, FusionDecodesUsersAcrossAntennas) {
+  int delivered = 0, total = 0;
+  for (int trial = 0; trial < 4; ++trial) {
+    Rng rng(200 + trial);
+    const auto txs = make_txs(3, rng, 15.0);
+    const auto cap = render_collision_array(txs, 3, quiet_ropt(), rng);
+    const auto fused = choir_multi_antenna_decode(cap, mimo_phy(), 0);
+    for (const auto& tx : txs) {
+      ++total;
+      for (const auto& fu : fused) {
+        if (fu.crc_ok && fu.payload == tx.payload) {
+          ++delivered;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_GE(delivered, static_cast<int>(0.6 * total));
+}
+
+TEST(ChoirMultiAntenna, MultiAntennaNoWorseThanWorstSingle) {
+  Rng rng(11);
+  const auto txs = make_txs(4, rng, 12.0);
+  const auto cap = render_collision_array(txs, 3, quiet_ropt(), rng);
+  const auto fused = choir_multi_antenna_decode(cap, mimo_phy(), 0);
+  int fused_ok = 0;
+  for (const auto& tx : txs) {
+    for (const auto& fu : fused) {
+      if (fu.crc_ok && fu.payload == tx.payload) {
+        ++fused_ok;
+        break;
+      }
+    }
+  }
+  choir::core::CollisionDecoder single(mimo_phy());
+  int worst = 1 << 20;
+  for (const auto& ant : cap.antennas) {
+    int ok = 0;
+    for (const auto& du : single.decode(ant, 0)) {
+      if (!du.crc_ok) continue;
+      for (const auto& tx : txs) {
+        if (du.payload == tx.payload) {
+          ++ok;
+          break;
+        }
+      }
+    }
+    worst = std::min(worst, ok);
+  }
+  EXPECT_GE(fused_ok, worst);
+}
+
+}  // namespace
+}  // namespace choir::mimo

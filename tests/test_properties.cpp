@@ -1,0 +1,187 @@
+// Focused property tests for behaviors not covered elsewhere: simulator
+// metric invariants, streaming bookkeeping, UNB frame accounting, and
+// estimator/demodulator auxiliary interfaces.
+#include <gtest/gtest.h>
+
+#include "channel/collision.hpp"
+#include "core/multi_sf.hpp"
+#include "lora/demodulator.hpp"
+#include "rt/streaming.hpp"
+#include "sim/network.hpp"
+#include "unb/unb.hpp"
+#include "util/rng.hpp"
+
+namespace choir {
+namespace {
+
+// ----------------------------------------------------- simulator invariants
+
+class MacInvariants : public ::testing::TestWithParam<sim::MacScheme> {};
+
+TEST_P(MacInvariants, MetricConservationLaws) {
+  sim::NetworkConfig cfg;
+  cfg.phy.sf = 7;
+  cfg.mac = GetParam();
+  cfg.n_users = 4;
+  cfg.sim_duration_s = 0.8;
+  cfg.payload_bytes = 6;
+  cfg.user_snr_db = {14.0, 9.0, 18.0, 11.0};
+  cfg.osc.cfo_drift_hz_per_symbol = 0.0;
+  cfg.fading.kind = channel::FadingKind::kNone;
+  cfg.seed = 5;
+  const auto m = run_network(cfg);
+
+  EXPECT_LE(m.delivered, m.attempts);
+  EXPECT_LE(m.throughput_bps, sim::ideal_throughput_bps(cfg) + 1e-9);
+  EXPECT_GE(m.mean_latency_s, 0.0);
+  if (m.delivered > 0) {
+    EXPECT_GE(m.tx_per_packet, 1.0);
+    // Latency can never be shorter than one frame's airtime.
+    EXPECT_GE(m.mean_latency_s,
+              lora::frame_airtime_s(cfg.payload_bytes, cfg.phy) - 1e-9);
+  }
+  EXPECT_DOUBLE_EQ(m.sim_time_s, cfg.sim_duration_s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Macs, MacInvariants,
+                         ::testing::Values(sim::MacScheme::kAloha,
+                                           sim::MacScheme::kOracle,
+                                           sim::MacScheme::kChoir),
+                         [](const auto& info) {
+                           return std::string(sim::mac_name(info.param));
+                         });
+
+TEST(MacInvariants, DeterministicForFixedSeed) {
+  sim::NetworkConfig cfg;
+  cfg.phy.sf = 7;
+  cfg.mac = sim::MacScheme::kAloha;
+  cfg.n_users = 3;
+  cfg.sim_duration_s = 0.6;
+  cfg.payload_bytes = 6;
+  cfg.user_snr_db = {15.0};
+  cfg.seed = 77;
+  const auto a = run_network(cfg);
+  const auto b = run_network(cfg);
+  EXPECT_EQ(a.delivered, b.delivered);
+  EXPECT_EQ(a.attempts, b.attempts);
+  EXPECT_DOUBLE_EQ(a.throughput_bps, b.throughput_bps);
+}
+
+// ----------------------------------------------------- streaming bookkeeping
+
+TEST(StreamingBookkeeping, ConsumedIsMonotoneAndBounded) {
+  lora::PhyParams phy;
+  phy.sf = 8;
+  Rng rng(41);
+  rt::StreamingReceiver rx(phy, {}, [](const rt::FrameEvent&) {});
+  std::uint64_t fed = 0, prev = 0;
+  for (int i = 0; i < 12; ++i) {
+    cvec noise(2048);
+    for (auto& s : noise) s = rng.cgaussian(1.0);
+    rx.push(noise);
+    fed += noise.size();
+    EXPECT_GE(rx.consumed(), prev);     // never rewinds
+    EXPECT_LE(rx.consumed(), fed);      // never consumes the future
+    prev = rx.consumed();
+  }
+  rx.flush();
+  EXPECT_LE(rx.consumed(), fed);
+}
+
+// ----------------------------------------------------------- UNB accounting
+
+TEST(UnbAccounting, FrameBitsMatchWaveformLength) {
+  unb::UnbParams p;
+  unb::UnbModulator mod(p);
+  for (std::size_t bytes : {0u, 1u, 7u, 32u}) {
+    const std::vector<std::uint8_t> payload(bytes, 0xA5);
+    const cvec wave = mod.modulate(payload, 500.0);
+    EXPECT_EQ(wave.size(),
+              mod.frame_bits(bytes) * p.samples_per_symbol());
+  }
+  EXPECT_THROW(mod.modulate(std::vector<std::uint8_t>(256), 0.0),
+               std::invalid_argument);
+}
+
+TEST(UnbAccounting, ConstantEnvelope) {
+  unb::UnbParams p;
+  unb::UnbModulator mod(p);
+  for (const auto& s : mod.modulate({1, 2, 3}, -7321.0)) {
+    EXPECT_NEAR(std::abs(s), 1.0, 1e-12);
+  }
+}
+
+// -------------------------------------------------- demodulator aux surface
+
+TEST(DemodAux, PreambleOffsetEstimateConsistentWithFullDemod) {
+  lora::PhyParams phy;
+  phy.sf = 8;
+  Rng rng(43);
+  channel::OscillatorModel osc;
+  osc.cfo_drift_hz_per_symbol = 0.0;
+  channel::TxInstance tx;
+  tx.phy = phy;
+  tx.payload = {1, 2, 3};
+  tx.hw = channel::DeviceHardware::sample(osc, rng);
+  tx.snr_db = 18.0;
+  tx.fading.kind = channel::FadingKind::kNone;
+  channel::RenderOptions ropt;
+  ropt.osc = osc;
+  const auto cap = render_collision({tx}, ropt, rng);
+  lora::Demodulator demod(phy);
+  const double quick = demod.estimate_preamble_offset(cap.samples, 0, 6);
+  const auto full = demod.demodulate_at(cap.samples, 0);
+  double d = std::abs(quick - full.offset_bins);
+  d = std::min(d, 256.0 - d);
+  EXPECT_LT(d, 0.1);
+}
+
+// ----------------------------------------------------------- multi-SF shape
+
+TEST(MultiSfShape, DecodersKeyedBySpreadingFactor) {
+  lora::PhyParams base;
+  core::MultiSfDecoder dec(base, {9, 7, 8});
+  ASSERT_EQ(dec.decoders().size(), 3u);
+  EXPECT_TRUE(dec.decoders().count(7));
+  EXPECT_TRUE(dec.decoders().count(8));
+  EXPECT_TRUE(dec.decoders().count(9));
+  EXPECT_EQ(dec.decoders().at(9).phy().sf, 9);
+}
+
+TEST(MultiSfShape, EmptyCaptureYieldsEmptyResults) {
+  lora::PhyParams base;
+  core::MultiSfDecoder dec(base, {7, 8});
+  Rng rng(3);
+  cvec noise(40 * 256);
+  for (auto& s : noise) s = rng.cgaussian(1.0);
+  for (const auto& r : dec.decode(noise, 0)) {
+    EXPECT_TRUE(r.users.empty()) << "sf=" << r.sf;
+  }
+}
+
+// ------------------------------------------------------ channel edge cases
+
+TEST(ChannelEdges, NoNoiseRenderIsCleanSilenceBeforeStart) {
+  lora::PhyParams phy;
+  phy.sf = 7;
+  Rng rng(5);
+  channel::OscillatorModel osc;
+  channel::TxInstance tx;
+  tx.phy = phy;
+  tx.payload = {1};
+  tx.hw = channel::DeviceHardware::sample(osc, rng);
+  tx.hw.timing_offset_s = 10.0 / phy.sample_rate_hz();  // 10 samples
+  tx.snr_db = 10.0;
+  tx.fading.kind = channel::FadingKind::kNone;
+  channel::RenderOptions ropt;
+  ropt.osc = osc;
+  ropt.add_noise = false;
+  const auto cap = render_collision({tx}, ropt, rng);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(std::abs(cap.samples[i]), 0.0, 1e-12) << i;
+  }
+  EXPECT_GT(std::abs(cap.samples[11]), 0.1);
+}
+
+}  // namespace
+}  // namespace choir

@@ -1,0 +1,179 @@
+// Sensing substrate: environment field structure, quantization, grouping
+// strategies (the Sec. 9.4 correlation premise).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sensing/field.hpp"
+#include "sensing/grouping.hpp"
+#include "util/rng.hpp"
+
+namespace choir::sensing {
+namespace {
+
+TEST(Field, CenterIsNearSetpointEnvelopeNearOutdoor) {
+  const BuildingModel model;
+  const SensorField field(model, 7);
+  PlacedSensor center{0, model.width_m / 2, model.depth_m / 2, 0};
+  PlacedSensor corner{1, 0.5, 0.5, 0};
+  const double tc = field.sample(center).temperature_c;
+  const double te = field.sample(corner).temperature_c;
+  EXPECT_LT(std::abs(tc - model.indoor_core_c), 1.5);
+  EXPECT_GT(te, tc);  // outdoor is warmer in the default summer model
+}
+
+TEST(Field, CenterDistanceNormalization) {
+  const BuildingModel model;
+  const SensorField field(model, 7);
+  PlacedSensor center{0, model.width_m / 2, model.depth_m / 2, 0};
+  EXPECT_NEAR(field.center_distance(center), 0.0, 1e-9);
+  PlacedSensor corner{1, 0.0, 0.0, 0};
+  EXPECT_NEAR(field.center_distance(corner), 1.0, 1e-9);
+}
+
+TEST(Field, SameLocationSensorsReadAlike) {
+  const BuildingModel model;
+  const SensorField field(model, 3);
+  PlacedSensor a{0, 20.0, 15.0, 1};
+  PlacedSensor b{1, 21.0, 15.5, 1};  // a meter away
+  PlacedSensor far{2, 90.0, 38.0, 3};
+  const double da = std::abs(field.sample(a).temperature_c -
+                             field.sample(b).temperature_c);
+  const double dfar = std::abs(field.sample(a).temperature_c -
+                               field.sample(far).temperature_c);
+  EXPECT_LT(da, 0.5);
+  EXPECT_GT(dfar, da);
+}
+
+TEST(Field, DeterministicPerSeed) {
+  const BuildingModel model;
+  const SensorField f1(model, 11), f2(model, 11), f3(model, 12);
+  PlacedSensor s{0, 30.0, 20.0, 2};
+  EXPECT_DOUBLE_EQ(f1.sample(s).temperature_c, f2.sample(s).temperature_c);
+  EXPECT_NE(f1.sample(s).temperature_c, f3.sample(s).temperature_c);
+}
+
+TEST(Field, PlacementCoversFloors) {
+  const BuildingModel model;
+  Rng rng(5);
+  const auto sensors = place_sensors(model, 200, rng);
+  ASSERT_EQ(sensors.size(), 200u);
+  std::vector<int> per_floor(static_cast<std::size_t>(model.floors), 0);
+  for (const auto& s : sensors) {
+    ASSERT_GE(s.floor, 0);
+    ASSERT_LT(s.floor, model.floors);
+    ASSERT_GE(s.x_m, 0.0);
+    ASSERT_LT(s.x_m, model.width_m);
+    ++per_floor[static_cast<std::size_t>(s.floor)];
+  }
+  for (int c : per_floor) EXPECT_GT(c, 20);
+}
+
+TEST(Quantize, RoundTripWithinHalfLsb) {
+  const double lo = 0.0, hi = 50.0;
+  const int bits = 12;
+  for (double v : {0.0, 12.34, 25.0, 49.99}) {
+    const auto q = quantize_reading(v, lo, hi, bits);
+    const double back = dequantize_reading(q, lo, hi, bits);
+    EXPECT_NEAR(back, v, (hi - lo) / (1 << bits));
+  }
+}
+
+TEST(Quantize, ClampsOutOfRange) {
+  EXPECT_EQ(quantize_reading(-5.0, 0.0, 50.0, 8), 0u);
+  EXPECT_EQ(quantize_reading(100.0, 0.0, 50.0, 8), 255u);
+  EXPECT_THROW(quantize_reading(1.0, 0.0, 50.0, 0), std::invalid_argument);
+  EXPECT_THROW(quantize_reading(1.0, 5.0, 5.0, 8), std::invalid_argument);
+}
+
+TEST(Prefix, CommonMsbCountsSharedBits) {
+  EXPECT_EQ(common_msb_prefix({0b10110000, 0b10111111}, 8), 4);
+  EXPECT_EQ(common_msb_prefix({0b10110000, 0b10110000}, 8), 8);
+  EXPECT_EQ(common_msb_prefix({0b00000000, 0b10000000}, 8), 0);
+  EXPECT_EQ(common_msb_prefix({0b1010}, 4), 4);
+}
+
+TEST(Prefix, ReconstructionErrorShrinksWithMoreBits) {
+  const double lo = 0.0, hi = 64.0;
+  const int bits = 12;
+  const double value = 37.7;
+  const auto q = quantize_reading(value, lo, hi, bits);
+  double prev_err = 1e9;
+  for (int p : {2, 5, 8, 12}) {
+    const double recon = reconstruct_from_prefix(q, p, lo, hi, bits);
+    const double err = std::abs(recon - value);
+    EXPECT_LE(err, (hi - lo) / (1 << p));  // bounded by the prefix cell
+    EXPECT_LE(err, prev_err + 1e-9);
+    prev_err = err;
+  }
+}
+
+TEST(Grouping, StrategiesPartitionAllSensors) {
+  const BuildingModel model;
+  const SensorField field(model, 1);
+  Rng rng(2);
+  const auto sensors = place_sensors(model, 36, rng);
+  for (auto strat :
+       {GroupingStrategy::kRandom, GroupingStrategy::kByFloor,
+        GroupingStrategy::kByCenterDistance}) {
+    const auto groups = make_groups(sensors, field, strat, 6, rng);
+    std::size_t total = 0;
+    std::vector<bool> seen(sensors.size(), false);
+    for (const auto& g : groups) {
+      for (std::size_t idx : g) {
+        EXPECT_FALSE(seen[idx]);
+        seen[idx] = true;
+        ++total;
+      }
+    }
+    EXPECT_EQ(total, sensors.size());
+  }
+}
+
+TEST(Grouping, CenterDistanceBeatsRandom) {
+  // The Fig 11(a) ordering: grouping by center distance must give lower
+  // reconstruction error than random grouping on the synthetic field.
+  const BuildingModel model;
+  const SensorField field(model, 21);
+  Rng rng(3);
+  const auto sensors = place_sensors(model, 120, rng);
+  std::vector<double> temps;
+  temps.reserve(sensors.size());
+  for (const auto& s : sensors) temps.push_back(field.sample(s).temperature_c);
+
+  ResolutionParams rp;
+  rp.lo = 15.0;
+  rp.hi = 35.0;
+  rp.bits = 12;
+  double err_random = 0.0, err_center = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    err_random += grouping_error(
+        temps, make_groups(sensors, field, GroupingStrategy::kRandom, 6, rng),
+        rp);
+    err_center += grouping_error(
+        temps,
+        make_groups(sensors, field, GroupingStrategy::kByCenterDistance, 6,
+                    rng),
+        rp);
+  }
+  EXPECT_LT(err_center, err_random);
+}
+
+TEST(Grouping, SingletonGroupsAreLossless) {
+  const BuildingModel model;
+  const SensorField field(model, 4);
+  Rng rng(5);
+  const auto sensors = place_sensors(model, 10, rng);
+  std::vector<double> temps;
+  for (const auto& s : sensors) temps.push_back(field.sample(s).temperature_c);
+  ResolutionParams rp;
+  rp.lo = 15.0;
+  rp.hi = 35.0;
+  const auto groups =
+      make_groups(sensors, field, GroupingStrategy::kRandom, 1, rng);
+  // Error reduces to quantization error only.
+  EXPECT_LT(grouping_error(temps, groups, rp), 1.0 / (1 << rp.bits));
+}
+
+}  // namespace
+}  // namespace choir::sensing

@@ -1,0 +1,120 @@
+// Network simulator: testbed geometry and MAC-level behavior of the three
+// schemes the evaluation compares.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/network.hpp"
+#include "sim/testbed.hpp"
+
+namespace choir::sim {
+namespace {
+
+NetworkConfig fast_config(MacScheme mac, std::size_t users) {
+  NetworkConfig cfg;
+  cfg.phy.sf = 7;
+  cfg.mac = mac;
+  cfg.n_users = users;
+  cfg.sim_duration_s = 1.2;
+  cfg.payload_bytes = 6;
+  cfg.user_snr_db = {15.0, 12.0, 18.0, 10.0, 20.0, 14.0};
+  cfg.osc.cfo_drift_hz_per_symbol = 0.0;
+  cfg.fading.kind = channel::FadingKind::kNone;
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(Testbed, NodesWithinAreaAndMonotoneSnr) {
+  TestbedConfig cfg;
+  Rng rng(1);
+  const auto nodes = sample_testbed(cfg, 100, rng);
+  ASSERT_EQ(nodes.size(), 100u);
+  for (const auto& n : nodes) {
+    EXPECT_GE(n.x_m, 0.0);
+    EXPECT_LE(n.x_m, cfg.area_width_m);
+    EXPECT_GE(n.y_m, 0.0);
+    EXPECT_LE(n.y_m, cfg.area_height_m);
+  }
+  // Average SNR of near nodes exceeds far nodes.
+  double near_acc = 0, far_acc = 0;
+  int near_n = 0, far_n = 0;
+  for (const auto& n : nodes) {
+    if (n.distance_m < 500) {
+      near_acc += n.snr_db;
+      ++near_n;
+    } else if (n.distance_m > 1500) {
+      far_acc += n.snr_db;
+      ++far_n;
+    }
+  }
+  if (near_n > 3 && far_n > 3) {
+    EXPECT_GT(near_acc / near_n, far_acc / far_n);
+  }
+}
+
+TEST(Testbed, RingPlacesAtRequestedDistance) {
+  TestbedConfig cfg;
+  Rng rng(2);
+  const auto nodes = sample_ring(cfg, 20, 800.0, rng);
+  for (const auto& n : nodes) EXPECT_NEAR(n.distance_m, 800.0, 1e-6);
+}
+
+TEST(Network, OracleDeliversEverySlotAtHighSnr) {
+  const auto m = run_network(fast_config(MacScheme::kOracle, 3));
+  EXPECT_GT(m.delivered, 10u);
+  EXPECT_NEAR(m.tx_per_packet, 1.0, 0.05);  // genie scheduling: no retries
+  EXPECT_GT(m.throughput_bps, 0.0);
+}
+
+TEST(Network, OracleLatencyGrowsWithUsers) {
+  const auto m2 = run_network(fast_config(MacScheme::kOracle, 2));
+  const auto m6 = run_network(fast_config(MacScheme::kOracle, 6));
+  EXPECT_GT(m6.mean_latency_s, m2.mean_latency_s);
+}
+
+TEST(Network, AlohaCollapsesUnderLoad) {
+  const auto m2 = run_network(fast_config(MacScheme::kAloha, 2));
+  const auto m6 = run_network(fast_config(MacScheme::kAloha, 6));
+  // Saturated ALOHA: more users -> more collisions -> more tx per packet.
+  EXPECT_GT(m6.tx_per_packet, m2.tx_per_packet);
+  EXPECT_GT(m2.delivered, 0u);
+}
+
+TEST(Network, ChoirThroughputScalesWithUsers) {
+  const auto m2 = run_network(fast_config(MacScheme::kChoir, 2));
+  const auto m5 = run_network(fast_config(MacScheme::kChoir, 5));
+  EXPECT_GT(m5.throughput_bps, 1.15 * m2.throughput_bps);
+}
+
+TEST(Network, ChoirBeatsOracleWithConcurrency) {
+  const auto choir = run_network(fast_config(MacScheme::kChoir, 5));
+  const auto oracle = run_network(fast_config(MacScheme::kOracle, 5));
+  EXPECT_GT(choir.throughput_bps, 1.5 * oracle.throughput_bps);
+}
+
+TEST(Network, IdealBoundsEverything) {
+  for (MacScheme mac :
+       {MacScheme::kAloha, MacScheme::kOracle, MacScheme::kChoir}) {
+    const auto cfg = fast_config(mac, 4);
+    const auto m = run_network(cfg);
+    EXPECT_LE(m.throughput_bps, ideal_throughput_bps(cfg) * 1.0001)
+        << mac_name(mac);
+  }
+}
+
+TEST(Network, ConfigValidation) {
+  NetworkConfig cfg = fast_config(MacScheme::kAloha, 0);
+  EXPECT_THROW(run_network(cfg), std::invalid_argument);
+  cfg = fast_config(MacScheme::kAloha, 2);
+  cfg.payload_bytes = 2;
+  EXPECT_THROW(run_network(cfg), std::invalid_argument);
+}
+
+TEST(Network, MacNames) {
+  EXPECT_STREQ(mac_name(MacScheme::kAloha), "ALOHA");
+  EXPECT_STREQ(mac_name(MacScheme::kOracle), "Oracle");
+  EXPECT_STREQ(mac_name(MacScheme::kChoir), "Choir");
+}
+
+}  // namespace
+}  // namespace choir::sim

@@ -1,0 +1,139 @@
+// util: statistics, tables, argument parsing, RNG determinism.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/args.hpp"
+#include "util/db.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace choir {
+namespace {
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+  EXPECT_DOUBLE_EQ(variance(xs), 1.25);
+  EXPECT_DOUBLE_EQ(stddev(xs), std::sqrt(1.25));
+}
+
+TEST(Stats, EmptyAndSingleton) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(variance({}), 0.0);
+  const std::vector<double> one{7.0};
+  EXPECT_DOUBLE_EQ(mean(one), 7.0);
+  EXPECT_DOUBLE_EQ(variance(one), 0.0);
+}
+
+TEST(Stats, Percentiles) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 100; ++i) xs.push_back(i);
+  EXPECT_NEAR(percentile(xs, 0), 1.0, 1e-9);
+  EXPECT_NEAR(percentile(xs, 100), 100.0, 1e-9);
+  EXPECT_NEAR(median(xs), 50.5, 1e-9);
+}
+
+TEST(Stats, PearsonCorrelation) {
+  const std::vector<double> xs{1, 2, 3, 4, 5};
+  const std::vector<double> ys{2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  const std::vector<double> zs{10, 8, 6, 4, 2};
+  EXPECT_NEAR(pearson(xs, zs), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonRejectsDegenerate) {
+  EXPECT_THROW(pearson({{1.0}}, {{1.0, 2.0}}), std::invalid_argument);
+  EXPECT_THROW(pearson({{1.0, 1.0}}, {{1.0, 2.0}}), std::invalid_argument);
+}
+
+TEST(Stats, EmpiricalCdfIsMonotone) {
+  Rng rng(9);
+  std::vector<double> xs(100);
+  for (auto& x : xs) x = rng.gaussian();
+  const auto cdf = empirical_cdf(xs);
+  ASSERT_EQ(cdf.size(), xs.size());
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GT(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_NEAR(cdf.back().second, 1.0, 1e-12);
+}
+
+TEST(Stats, RunningStatsMatchesBatch) {
+  Rng rng(11);
+  std::vector<double> xs(500);
+  RunningStats rs;
+  for (auto& x : xs) {
+    x = rng.gaussian(3.0, 1.0);
+    rs.add(x);
+  }
+  EXPECT_NEAR(rs.mean(), mean(xs), 1e-9);
+  EXPECT_NEAR(rs.variance(), variance(xs), 1e-9);
+  EXPECT_EQ(rs.count(), xs.size());
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, ComplexGaussianVariance) {
+  Rng rng(1);
+  double acc = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) acc += std::norm(rng.cgaussian(2.0));
+  EXPECT_NEAR(acc / n, 2.0, 0.1);
+}
+
+TEST(Db, Conversions) {
+  EXPECT_NEAR(db_to_linear(10.0), 10.0, 1e-12);
+  EXPECT_NEAR(db_to_linear(3.0), 1.9953, 1e-3);
+  EXPECT_NEAR(linear_to_db(100.0), 20.0, 1e-12);
+  EXPECT_NEAR(db_to_amplitude(20.0), 10.0, 1e-12);
+  EXPECT_NEAR(amplitude_to_db(10.0), 20.0, 1e-12);
+}
+
+TEST(Table, PrintsAlignedRowsAndCsv) {
+  Table t("demo", {"name", "value"});
+  t.add_row({std::string("alpha"), 1.5});
+  t.add_row({std::string("beta"), 22.0});
+  std::ostringstream os;
+  t.print(os);
+  const std::string s = os.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("1.5"), std::string::npos);
+  std::ostringstream csv;
+  t.write_csv(csv);
+  EXPECT_NE(csv.str().find("name,value"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsBadShapes) {
+  EXPECT_THROW(Table("x", {}), std::invalid_argument);
+  Table t("x", {"a", "b"});
+  EXPECT_THROW(t.add_row({1.0}), std::invalid_argument);
+}
+
+TEST(FormatNumber, CompactForms) {
+  EXPECT_EQ(format_number(3.0), "3");
+  EXPECT_EQ(format_number(3.25), "3.2500");
+  EXPECT_EQ(format_number(1e9), "1e+09");
+}
+
+TEST(Args, ParsesFlagsInBothForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--beta", "7.5", "--flag"};
+  Args args(5, const_cast<char**>(argv));
+  EXPECT_EQ(args.get_int("alpha", 0), 3);
+  EXPECT_DOUBLE_EQ(args.get_double("beta", 0.0), 7.5);
+  EXPECT_TRUE(args.get_bool("flag", false));
+  EXPECT_FALSE(args.has("gamma"));
+  EXPECT_EQ(args.get("gamma", "dflt"), "dflt");
+}
+
+}  // namespace
+}  // namespace choir

@@ -1,0 +1,127 @@
+// Scratch debugging harness (not part of the library build).
+#include <cstdio>
+
+#include "channel/collision.hpp"
+#include "core/collision_decoder.hpp"
+#include "core/offset_estimator.hpp"
+#include "dsp/chirp.hpp"
+#include "lora/frame.hpp"
+#include "util/rng.hpp"
+#include "dsp/chirp.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/peaks.hpp"
+
+using namespace choir;
+
+int main(int argc, char** argv) {
+  lora::PhyParams phy;
+  phy.sf = argc > 3 ? std::atoi(argv[3]) : 8;
+  Rng rng(argc > 1 ? std::atoi(argv[1]) : 1);
+
+  channel::OscillatorModel osc;
+  
+  osc.cfo_drift_hz_per_symbol = 0.0;
+
+  const int nu = argc > 2 ? std::atoi(argv[2]) : 2;
+  std::vector<channel::TxInstance> txs(nu);
+  for (int i = 0; i < nu; ++i) {
+    txs[i].phy = phy;
+    txs[i].payload.resize(8);
+    for (auto& b : txs[i].payload)
+      b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+    txs[i].hw = channel::DeviceHardware::sample(osc, rng);
+    txs[i].snr_db = rng.uniform(5.0, 25.0);
+    txs[i].fading.kind = channel::FadingKind::kNone;
+  }
+  channel::RenderOptions ropt;
+  ropt.osc = osc;
+  const auto cap = channel::render_collision(txs, ropt, rng);
+  for (int i = 0; i < nu; ++i) {
+    std::printf("user %d: true offset=%.4f  amp=%.3f  delay=%.2f cfo=%.1fHz\n",
+                i, cap.users[i].aggregate_offset_bins, cap.users[i].amplitude,
+                cap.users[i].delay_samples, cap.users[i].cfo_hz);
+  }
+
+  // delivered = # of transmitters whose exact payload was decoded CRC-ok
+  core::CollisionDecoderOptions dopt;
+  dopt.refine_pass = true;  // pass any 2nd arg to disable refinement
+  core::CollisionDecoder dec(phy, dopt);
+  const auto users = dec.decode(cap.samples, 0);
+  int delivered = 0;
+  for (int i = 0; i < nu; ++i) {
+    for (const auto& du : users) {
+      if (du.crc_ok && du.payload == txs[i].payload) {
+        ++delivered;
+        break;
+      }
+    }
+  }
+  std::printf("decoded %zu users, delivered %d/%d\n", users.size(), delivered, nu);
+
+  // Ground-truth symbols.
+  for (int i = 0; i < std::min(nu, 2); ++i) {
+    const auto truth = lora::build_frame_symbols(txs[i].payload, phy);
+    // find decoded user with nearest offset
+    int best = -1;
+    double bd = 1e9;
+    for (std::size_t u = 0; u < users.size(); ++u) {
+      double d = std::abs(users[u].est.offset_bins -
+                          cap.users[i].aggregate_offset_bins);
+      d = std::min(d, 256.0 - d);
+      if (d < bd) {
+        bd = d;
+        best = static_cast<int>(u);
+      }
+    }
+    if (best < 0) continue;
+    const auto& du = users[static_cast<std::size_t>(best)];
+    std::printf("user %d -> est offset=%.4f (err %.4f) mag=%.3f snr=%.1f "
+                "crc=%d\n",
+                i, du.est.offset_bins, bd, du.est.magnitude, du.est.snr_db,
+                du.crc_ok);
+    int errs = 0;
+    for (std::size_t s = 0; s < truth.size() && s < du.symbols.size(); ++s) {
+      if (truth[s] != du.symbols[s]) {
+        ++errs;
+        if (errs <= 8)
+          std::printf("  sym %zu: true=%u got=%u\n", s, truth[s],
+                      du.symbols[s]);
+      }
+    }
+    std::printf("  symbol errors: %d/%zu\n", errs, truth.size());
+  }
+  for (const auto& du : users) {
+    std::printf("est user: offset=%.4f mag=%.4f snr=%.1f tau=%.3f cfo=%.3f\n",
+                du.est.offset_bins, du.est.magnitude, du.est.snr_db,
+                du.est.timing_samples, du.est.cfo_bins);
+  }
+
+  // Dump raw peaks of the first data windows.
+  {
+    const std::size_t n = phy.chips();
+    const std::size_t osf = 16;
+    const cvec down = dsp::base_downchirp(n);
+    const std::size_t data_start =
+        static_cast<std::size_t>(phy.preamble_len + phy.sfd_len) * n;
+    const auto t0 = lora::build_frame_symbols(txs[0].payload, phy);
+    const auto t1 = lora::build_frame_symbols(txs[1].payload, phy);
+    for (std::size_t j = 0; j < 6; ++j) {
+      cvec w(cap.samples.begin() + static_cast<std::ptrdiff_t>(data_start + j * n),
+             cap.samples.begin() + static_cast<std::ptrdiff_t>(data_start + (j + 1) * n));
+      dsp::dechirp(w, down);
+      const cvec spec = dsp::fft_padded(w, n * osf);
+      dsp::PeakFindOptions popt;
+      popt.threshold = 3.0 * dsp::noise_floor(spec);
+      popt.min_separation = 8.0;
+      popt.max_peaks = 6;
+      std::printf("win %zu: expect u0 at %.3f, u1 at %.3f | peaks:", j,
+                  std::fmod(t0[j] + cap.users[0].aggregate_offset_bins, 256.0),
+                  std::fmod(t1[j] + cap.users[1].aggregate_offset_bins, 256.0));
+      for (const auto& p : dsp::find_peaks(spec, popt)) {
+        std::printf(" (%.3f, %.1f)", p.bin / 16.0, p.magnitude);
+      }
+      std::printf("\n");
+    }
+  }
+  return 0;
+}
