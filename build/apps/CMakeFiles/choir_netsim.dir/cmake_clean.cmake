@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choir_netsim.dir/choir_netsim.cpp.o"
+  "CMakeFiles/choir_netsim.dir/choir_netsim.cpp.o.d"
+  "choir_netsim"
+  "choir_netsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choir_netsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

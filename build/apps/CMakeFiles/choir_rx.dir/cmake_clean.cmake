@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choir_rx.dir/choir_rx.cpp.o"
+  "CMakeFiles/choir_rx.dir/choir_rx.cpp.o.d"
+  "choir_rx"
+  "choir_rx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choir_rx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

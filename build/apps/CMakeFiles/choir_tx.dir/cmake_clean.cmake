@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choir_tx.dir/choir_tx.cpp.o"
+  "CMakeFiles/choir_tx.dir/choir_tx.cpp.o.d"
+  "choir_tx"
+  "choir_tx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choir_tx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_resolution"
+  "../bench/bench_fig10_resolution.pdb"
+  "CMakeFiles/bench_fig10_resolution.dir/bench_fig10_resolution.cpp.o"
+  "CMakeFiles/bench_fig10_resolution.dir/bench_fig10_resolution.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_resolution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_mumimo"
+  "../bench/bench_fig12_mumimo.pdb"
+  "CMakeFiles/bench_fig12_mumimo.dir/bench_fig12_mumimo.cpp.o"
+  "CMakeFiles/bench_fig12_mumimo.dir/bench_fig12_mumimo.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_mumimo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig2_phy"
+  "../bench/bench_fig2_phy.pdb"
+  "CMakeFiles/bench_fig2_phy.dir/bench_fig2_phy.cpp.o"
+  "CMakeFiles/bench_fig2_phy.dir/bench_fig2_phy.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

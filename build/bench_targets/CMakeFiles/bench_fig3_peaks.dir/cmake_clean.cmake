@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_peaks"
+  "../bench/bench_fig3_peaks.pdb"
+  "CMakeFiles/bench_fig3_peaks.dir/bench_fig3_peaks.cpp.o"
+  "CMakeFiles/bench_fig3_peaks.dir/bench_fig3_peaks.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_peaks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_residual"
+  "../bench/bench_fig4_residual.pdb"
+  "CMakeFiles/bench_fig4_residual.dir/bench_fig4_residual.cpp.o"
+  "CMakeFiles/bench_fig4_residual.dir/bench_fig4_residual.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_residual.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

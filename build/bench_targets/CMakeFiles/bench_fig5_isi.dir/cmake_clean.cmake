@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_isi"
+  "../bench/bench_fig5_isi.pdb"
+  "CMakeFiles/bench_fig5_isi.dir/bench_fig5_isi.cpp.o"
+  "CMakeFiles/bench_fig5_isi.dir/bench_fig5_isi.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_isi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

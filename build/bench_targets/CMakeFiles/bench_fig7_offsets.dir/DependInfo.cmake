@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig7_offsets.cpp" "bench_targets/CMakeFiles/bench_fig7_offsets.dir/bench_fig7_offsets.cpp.o" "gcc" "bench_targets/CMakeFiles/bench_fig7_offsets.dir/bench_fig7_offsets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/choir_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/choir_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/lora/CMakeFiles/choir_lora.dir/DependInfo.cmake"
+  "/root/repo/build/src/mimo/CMakeFiles/choir_mimo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensing/CMakeFiles/choir_sensing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/choir_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/choir_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/choir_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/choir_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/choir_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/choir_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

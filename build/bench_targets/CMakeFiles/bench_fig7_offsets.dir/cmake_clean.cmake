@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_offsets"
+  "../bench/bench_fig7_offsets.pdb"
+  "CMakeFiles/bench_fig7_offsets.dir/bench_fig7_offsets.cpp.o"
+  "CMakeFiles/bench_fig7_offsets.dir/bench_fig7_offsets.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_offsets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/debug_collision.dir/__/tools/debug_collision.cpp.o"
+  "CMakeFiles/debug_collision.dir/__/tools/debug_collision.cpp.o.d"
+  "debug_collision"
+  "debug_collision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/debug_collision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dense_network.dir/dense_network.cpp.o"
+  "CMakeFiles/dense_network.dir/dense_network.cpp.o.d"
+  "dense_network"
+  "dense_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dense_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

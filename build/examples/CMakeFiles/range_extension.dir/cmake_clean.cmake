@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_extension.dir/range_extension.cpp.o"
+  "CMakeFiles/range_extension.dir/range_extension.cpp.o.d"
+  "range_extension"
+  "range_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

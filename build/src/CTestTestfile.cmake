@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("dsp")
+subdirs("coding")
+subdirs("opt")
+subdirs("lora")
+subdirs("channel")
+subdirs("cluster")
+subdirs("mimo")
+subdirs("core")
+subdirs("sensing")
+subdirs("sim")
+subdirs("rt")
+subdirs("unb")

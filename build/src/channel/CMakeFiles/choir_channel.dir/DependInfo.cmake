@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/adc.cpp" "src/channel/CMakeFiles/choir_channel.dir/adc.cpp.o" "gcc" "src/channel/CMakeFiles/choir_channel.dir/adc.cpp.o.d"
+  "/root/repo/src/channel/collision.cpp" "src/channel/CMakeFiles/choir_channel.dir/collision.cpp.o" "gcc" "src/channel/CMakeFiles/choir_channel.dir/collision.cpp.o.d"
+  "/root/repo/src/channel/fading.cpp" "src/channel/CMakeFiles/choir_channel.dir/fading.cpp.o" "gcc" "src/channel/CMakeFiles/choir_channel.dir/fading.cpp.o.d"
+  "/root/repo/src/channel/oscillator.cpp" "src/channel/CMakeFiles/choir_channel.dir/oscillator.cpp.o" "gcc" "src/channel/CMakeFiles/choir_channel.dir/oscillator.cpp.o.d"
+  "/root/repo/src/channel/pathloss.cpp" "src/channel/CMakeFiles/choir_channel.dir/pathloss.cpp.o" "gcc" "src/channel/CMakeFiles/choir_channel.dir/pathloss.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lora/CMakeFiles/choir_lora.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/choir_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/choir_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/choir_coding.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

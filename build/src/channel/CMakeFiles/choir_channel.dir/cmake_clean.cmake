@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choir_channel.dir/adc.cpp.o"
+  "CMakeFiles/choir_channel.dir/adc.cpp.o.d"
+  "CMakeFiles/choir_channel.dir/collision.cpp.o"
+  "CMakeFiles/choir_channel.dir/collision.cpp.o.d"
+  "CMakeFiles/choir_channel.dir/fading.cpp.o"
+  "CMakeFiles/choir_channel.dir/fading.cpp.o.d"
+  "CMakeFiles/choir_channel.dir/oscillator.cpp.o"
+  "CMakeFiles/choir_channel.dir/oscillator.cpp.o.d"
+  "CMakeFiles/choir_channel.dir/pathloss.cpp.o"
+  "CMakeFiles/choir_channel.dir/pathloss.cpp.o.d"
+  "libchoir_channel.a"
+  "libchoir_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choir_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

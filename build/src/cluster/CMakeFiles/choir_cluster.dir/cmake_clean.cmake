@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choir_cluster.dir/constrained_kmeans.cpp.o"
+  "CMakeFiles/choir_cluster.dir/constrained_kmeans.cpp.o.d"
+  "libchoir_cluster.a"
+  "libchoir_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choir_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/coding/codec.cpp" "src/coding/CMakeFiles/choir_coding.dir/codec.cpp.o" "gcc" "src/coding/CMakeFiles/choir_coding.dir/codec.cpp.o.d"
+  "/root/repo/src/coding/crc.cpp" "src/coding/CMakeFiles/choir_coding.dir/crc.cpp.o" "gcc" "src/coding/CMakeFiles/choir_coding.dir/crc.cpp.o.d"
+  "/root/repo/src/coding/gray.cpp" "src/coding/CMakeFiles/choir_coding.dir/gray.cpp.o" "gcc" "src/coding/CMakeFiles/choir_coding.dir/gray.cpp.o.d"
+  "/root/repo/src/coding/hamming.cpp" "src/coding/CMakeFiles/choir_coding.dir/hamming.cpp.o" "gcc" "src/coding/CMakeFiles/choir_coding.dir/hamming.cpp.o.d"
+  "/root/repo/src/coding/interleaver.cpp" "src/coding/CMakeFiles/choir_coding.dir/interleaver.cpp.o" "gcc" "src/coding/CMakeFiles/choir_coding.dir/interleaver.cpp.o.d"
+  "/root/repo/src/coding/whitening.cpp" "src/coding/CMakeFiles/choir_coding.dir/whitening.cpp.o" "gcc" "src/coding/CMakeFiles/choir_coding.dir/whitening.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/choir_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choir_coding.dir/codec.cpp.o"
+  "CMakeFiles/choir_coding.dir/codec.cpp.o.d"
+  "CMakeFiles/choir_coding.dir/crc.cpp.o"
+  "CMakeFiles/choir_coding.dir/crc.cpp.o.d"
+  "CMakeFiles/choir_coding.dir/gray.cpp.o"
+  "CMakeFiles/choir_coding.dir/gray.cpp.o.d"
+  "CMakeFiles/choir_coding.dir/hamming.cpp.o"
+  "CMakeFiles/choir_coding.dir/hamming.cpp.o.d"
+  "CMakeFiles/choir_coding.dir/interleaver.cpp.o"
+  "CMakeFiles/choir_coding.dir/interleaver.cpp.o.d"
+  "CMakeFiles/choir_coding.dir/whitening.cpp.o"
+  "CMakeFiles/choir_coding.dir/whitening.cpp.o.d"
+  "libchoir_coding.a"
+  "libchoir_coding.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choir_coding.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

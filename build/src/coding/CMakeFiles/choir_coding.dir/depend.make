@@ -1,0 +1,2 @@
+# Empty dependencies file for choir_coding.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/collision_decoder.cpp" "src/core/CMakeFiles/choir_core.dir/collision_decoder.cpp.o" "gcc" "src/core/CMakeFiles/choir_core.dir/collision_decoder.cpp.o.d"
+  "/root/repo/src/core/multi_sf.cpp" "src/core/CMakeFiles/choir_core.dir/multi_sf.cpp.o" "gcc" "src/core/CMakeFiles/choir_core.dir/multi_sf.cpp.o.d"
+  "/root/repo/src/core/offset_estimator.cpp" "src/core/CMakeFiles/choir_core.dir/offset_estimator.cpp.o" "gcc" "src/core/CMakeFiles/choir_core.dir/offset_estimator.cpp.o.d"
+  "/root/repo/src/core/residual.cpp" "src/core/CMakeFiles/choir_core.dir/residual.cpp.o" "gcc" "src/core/CMakeFiles/choir_core.dir/residual.cpp.o.d"
+  "/root/repo/src/core/team_decoder.cpp" "src/core/CMakeFiles/choir_core.dir/team_decoder.cpp.o" "gcc" "src/core/CMakeFiles/choir_core.dir/team_decoder.cpp.o.d"
+  "/root/repo/src/core/team_scheduler.cpp" "src/core/CMakeFiles/choir_core.dir/team_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/choir_core.dir/team_scheduler.cpp.o.d"
+  "/root/repo/src/core/tracker.cpp" "src/core/CMakeFiles/choir_core.dir/tracker.cpp.o" "gcc" "src/core/CMakeFiles/choir_core.dir/tracker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/lora/CMakeFiles/choir_lora.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/choir_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/choir_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/choir_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/choir_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/choir_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choir_core.dir/collision_decoder.cpp.o"
+  "CMakeFiles/choir_core.dir/collision_decoder.cpp.o.d"
+  "CMakeFiles/choir_core.dir/multi_sf.cpp.o"
+  "CMakeFiles/choir_core.dir/multi_sf.cpp.o.d"
+  "CMakeFiles/choir_core.dir/offset_estimator.cpp.o"
+  "CMakeFiles/choir_core.dir/offset_estimator.cpp.o.d"
+  "CMakeFiles/choir_core.dir/residual.cpp.o"
+  "CMakeFiles/choir_core.dir/residual.cpp.o.d"
+  "CMakeFiles/choir_core.dir/team_decoder.cpp.o"
+  "CMakeFiles/choir_core.dir/team_decoder.cpp.o.d"
+  "CMakeFiles/choir_core.dir/team_scheduler.cpp.o"
+  "CMakeFiles/choir_core.dir/team_scheduler.cpp.o.d"
+  "CMakeFiles/choir_core.dir/tracker.cpp.o"
+  "CMakeFiles/choir_core.dir/tracker.cpp.o.d"
+  "libchoir_core.a"
+  "libchoir_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choir_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

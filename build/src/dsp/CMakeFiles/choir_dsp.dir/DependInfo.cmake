@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/chirp.cpp" "src/dsp/CMakeFiles/choir_dsp.dir/chirp.cpp.o" "gcc" "src/dsp/CMakeFiles/choir_dsp.dir/chirp.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/choir_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/choir_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/fold_tone.cpp" "src/dsp/CMakeFiles/choir_dsp.dir/fold_tone.cpp.o" "gcc" "src/dsp/CMakeFiles/choir_dsp.dir/fold_tone.cpp.o.d"
+  "/root/repo/src/dsp/peaks.cpp" "src/dsp/CMakeFiles/choir_dsp.dir/peaks.cpp.o" "gcc" "src/dsp/CMakeFiles/choir_dsp.dir/peaks.cpp.o.d"
+  "/root/repo/src/dsp/spectrogram.cpp" "src/dsp/CMakeFiles/choir_dsp.dir/spectrogram.cpp.o" "gcc" "src/dsp/CMakeFiles/choir_dsp.dir/spectrogram.cpp.o.d"
+  "/root/repo/src/dsp/window.cpp" "src/dsp/CMakeFiles/choir_dsp.dir/window.cpp.o" "gcc" "src/dsp/CMakeFiles/choir_dsp.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/choir_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choir_dsp.dir/chirp.cpp.o"
+  "CMakeFiles/choir_dsp.dir/chirp.cpp.o.d"
+  "CMakeFiles/choir_dsp.dir/fft.cpp.o"
+  "CMakeFiles/choir_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/choir_dsp.dir/fold_tone.cpp.o"
+  "CMakeFiles/choir_dsp.dir/fold_tone.cpp.o.d"
+  "CMakeFiles/choir_dsp.dir/peaks.cpp.o"
+  "CMakeFiles/choir_dsp.dir/peaks.cpp.o.d"
+  "CMakeFiles/choir_dsp.dir/spectrogram.cpp.o"
+  "CMakeFiles/choir_dsp.dir/spectrogram.cpp.o.d"
+  "CMakeFiles/choir_dsp.dir/window.cpp.o"
+  "CMakeFiles/choir_dsp.dir/window.cpp.o.d"
+  "libchoir_dsp.a"
+  "libchoir_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choir_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

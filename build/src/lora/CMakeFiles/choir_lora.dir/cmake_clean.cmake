@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choir_lora.dir/demodulator.cpp.o"
+  "CMakeFiles/choir_lora.dir/demodulator.cpp.o.d"
+  "CMakeFiles/choir_lora.dir/frame.cpp.o"
+  "CMakeFiles/choir_lora.dir/frame.cpp.o.d"
+  "CMakeFiles/choir_lora.dir/modulator.cpp.o"
+  "CMakeFiles/choir_lora.dir/modulator.cpp.o.d"
+  "libchoir_lora.a"
+  "libchoir_lora.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choir_lora.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choir_mimo.dir/array_channel.cpp.o"
+  "CMakeFiles/choir_mimo.dir/array_channel.cpp.o.d"
+  "CMakeFiles/choir_mimo.dir/zf_receiver.cpp.o"
+  "CMakeFiles/choir_mimo.dir/zf_receiver.cpp.o.d"
+  "libchoir_mimo.a"
+  "libchoir_mimo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choir_mimo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/opt/coordinate_descent.cpp" "src/opt/CMakeFiles/choir_opt.dir/coordinate_descent.cpp.o" "gcc" "src/opt/CMakeFiles/choir_opt.dir/coordinate_descent.cpp.o.d"
+  "/root/repo/src/opt/golden.cpp" "src/opt/CMakeFiles/choir_opt.dir/golden.cpp.o" "gcc" "src/opt/CMakeFiles/choir_opt.dir/golden.cpp.o.d"
+  "/root/repo/src/opt/nelder_mead.cpp" "src/opt/CMakeFiles/choir_opt.dir/nelder_mead.cpp.o" "gcc" "src/opt/CMakeFiles/choir_opt.dir/nelder_mead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/choir_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

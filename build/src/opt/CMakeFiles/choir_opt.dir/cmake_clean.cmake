@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choir_opt.dir/coordinate_descent.cpp.o"
+  "CMakeFiles/choir_opt.dir/coordinate_descent.cpp.o.d"
+  "CMakeFiles/choir_opt.dir/golden.cpp.o"
+  "CMakeFiles/choir_opt.dir/golden.cpp.o.d"
+  "CMakeFiles/choir_opt.dir/nelder_mead.cpp.o"
+  "CMakeFiles/choir_opt.dir/nelder_mead.cpp.o.d"
+  "libchoir_opt.a"
+  "libchoir_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choir_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choir_rt.dir/streaming.cpp.o"
+  "CMakeFiles/choir_rt.dir/streaming.cpp.o.d"
+  "libchoir_rt.a"
+  "libchoir_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choir_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

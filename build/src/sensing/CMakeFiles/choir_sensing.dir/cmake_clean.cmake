@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choir_sensing.dir/field.cpp.o"
+  "CMakeFiles/choir_sensing.dir/field.cpp.o.d"
+  "CMakeFiles/choir_sensing.dir/grouping.cpp.o"
+  "CMakeFiles/choir_sensing.dir/grouping.cpp.o.d"
+  "libchoir_sensing.a"
+  "libchoir_sensing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choir_sensing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

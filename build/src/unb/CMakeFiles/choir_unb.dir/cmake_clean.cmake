@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choir_unb.dir/unb.cpp.o"
+  "CMakeFiles/choir_unb.dir/unb.cpp.o.d"
+  "libchoir_unb.a"
+  "libchoir_unb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choir_unb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

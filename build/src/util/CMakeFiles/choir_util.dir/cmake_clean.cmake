@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/choir_util.dir/args.cpp.o"
+  "CMakeFiles/choir_util.dir/args.cpp.o.d"
+  "CMakeFiles/choir_util.dir/iq_io.cpp.o"
+  "CMakeFiles/choir_util.dir/iq_io.cpp.o.d"
+  "CMakeFiles/choir_util.dir/linalg.cpp.o"
+  "CMakeFiles/choir_util.dir/linalg.cpp.o.d"
+  "CMakeFiles/choir_util.dir/stats.cpp.o"
+  "CMakeFiles/choir_util.dir/stats.cpp.o.d"
+  "CMakeFiles/choir_util.dir/table.cpp.o"
+  "CMakeFiles/choir_util.dir/table.cpp.o.d"
+  "libchoir_util.a"
+  "libchoir_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/choir_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_channel.cpp" "tests/CMakeFiles/choir_tests.dir/test_channel.cpp.o" "gcc" "tests/CMakeFiles/choir_tests.dir/test_channel.cpp.o.d"
+  "/root/repo/tests/test_cluster.cpp" "tests/CMakeFiles/choir_tests.dir/test_cluster.cpp.o" "gcc" "tests/CMakeFiles/choir_tests.dir/test_cluster.cpp.o.d"
+  "/root/repo/tests/test_codec.cpp" "tests/CMakeFiles/choir_tests.dir/test_codec.cpp.o" "gcc" "tests/CMakeFiles/choir_tests.dir/test_codec.cpp.o.d"
+  "/root/repo/tests/test_coding.cpp" "tests/CMakeFiles/choir_tests.dir/test_coding.cpp.o" "gcc" "tests/CMakeFiles/choir_tests.dir/test_coding.cpp.o.d"
+  "/root/repo/tests/test_core_decoder.cpp" "tests/CMakeFiles/choir_tests.dir/test_core_decoder.cpp.o" "gcc" "tests/CMakeFiles/choir_tests.dir/test_core_decoder.cpp.o.d"
+  "/root/repo/tests/test_core_residual.cpp" "tests/CMakeFiles/choir_tests.dir/test_core_residual.cpp.o" "gcc" "tests/CMakeFiles/choir_tests.dir/test_core_residual.cpp.o.d"
+  "/root/repo/tests/test_dsp_chirp.cpp" "tests/CMakeFiles/choir_tests.dir/test_dsp_chirp.cpp.o" "gcc" "tests/CMakeFiles/choir_tests.dir/test_dsp_chirp.cpp.o.d"
+  "/root/repo/tests/test_dsp_fft.cpp" "tests/CMakeFiles/choir_tests.dir/test_dsp_fft.cpp.o" "gcc" "tests/CMakeFiles/choir_tests.dir/test_dsp_fft.cpp.o.d"
+  "/root/repo/tests/test_dsp_fold_tone.cpp" "tests/CMakeFiles/choir_tests.dir/test_dsp_fold_tone.cpp.o" "gcc" "tests/CMakeFiles/choir_tests.dir/test_dsp_fold_tone.cpp.o.d"
+  "/root/repo/tests/test_dsp_peaks.cpp" "tests/CMakeFiles/choir_tests.dir/test_dsp_peaks.cpp.o" "gcc" "tests/CMakeFiles/choir_tests.dir/test_dsp_peaks.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/choir_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/choir_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/choir_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/choir_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_linalg.cpp" "tests/CMakeFiles/choir_tests.dir/test_linalg.cpp.o" "gcc" "tests/CMakeFiles/choir_tests.dir/test_linalg.cpp.o.d"
+  "/root/repo/tests/test_lora.cpp" "tests/CMakeFiles/choir_tests.dir/test_lora.cpp.o" "gcc" "tests/CMakeFiles/choir_tests.dir/test_lora.cpp.o.d"
+  "/root/repo/tests/test_mimo.cpp" "tests/CMakeFiles/choir_tests.dir/test_mimo.cpp.o" "gcc" "tests/CMakeFiles/choir_tests.dir/test_mimo.cpp.o.d"
+  "/root/repo/tests/test_opt.cpp" "tests/CMakeFiles/choir_tests.dir/test_opt.cpp.o" "gcc" "tests/CMakeFiles/choir_tests.dir/test_opt.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/choir_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/choir_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_sensing.cpp" "tests/CMakeFiles/choir_tests.dir/test_sensing.cpp.o" "gcc" "tests/CMakeFiles/choir_tests.dir/test_sensing.cpp.o.d"
+  "/root/repo/tests/test_sim.cpp" "tests/CMakeFiles/choir_tests.dir/test_sim.cpp.o" "gcc" "tests/CMakeFiles/choir_tests.dir/test_sim.cpp.o.d"
+  "/root/repo/tests/test_team_decoder.cpp" "tests/CMakeFiles/choir_tests.dir/test_team_decoder.cpp.o" "gcc" "tests/CMakeFiles/choir_tests.dir/test_team_decoder.cpp.o.d"
+  "/root/repo/tests/test_unb.cpp" "tests/CMakeFiles/choir_tests.dir/test_unb.cpp.o" "gcc" "tests/CMakeFiles/choir_tests.dir/test_unb.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/choir_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/choir_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/choir_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/choir_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/lora/CMakeFiles/choir_lora.dir/DependInfo.cmake"
+  "/root/repo/build/src/mimo/CMakeFiles/choir_mimo.dir/DependInfo.cmake"
+  "/root/repo/build/src/sensing/CMakeFiles/choir_sensing.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/choir_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/choir_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/choir_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/coding/CMakeFiles/choir_coding.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/choir_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/choir_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rt/CMakeFiles/choir_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/unb/CMakeFiles/choir_unb.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
