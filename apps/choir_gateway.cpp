@@ -1,0 +1,123 @@
+// choir_gateway — parallel multi-channel LoRa gateway.
+//
+// Channelizes one wideband IQ stream into K narrowband channels and decodes
+// every (channel, SF) pair concurrently on a worker pool, printing the
+// globally ordered frame feed and the gateway counters.
+//
+// Input is either a wideband capture file (rate = channels * bw) or
+// synthetic multi-channel uplink traffic:
+//
+//   choir_gateway --in=wideband.cf32 --channels=8 --sf=8 --threads=4
+//   choir_gateway --synth --channels=8 --frames=4 --sf=7 --threads=4
+//   choir_gateway --synth --policy=drop --queue=32
+#include <cstdio>
+#include <string>
+
+#include "gateway/gateway.hpp"
+#include "gateway/traffic.hpp"
+#include "util/args.hpp"
+#include "util/iq_io.hpp"
+
+using namespace choir;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const std::string in = args.get("in", "");
+  const bool synth = args.get_bool("synth", false);
+  if (in.empty() && !synth) {
+    std::fprintf(
+        stderr,
+        "usage: choir_gateway --in=FILE [--format=cf32|cf64] | --synth\n"
+        "  --channels=K   narrowband channels in the wideband input (8)\n"
+        "  --sf=N         spreading factor decoded on every channel (8)\n"
+        "  --bw=HZ        channel bandwidth (125e3)\n"
+        "  --threads=N    decode workers (4)\n"
+        "  --queue=N      per-worker queue depth, chunks (64)\n"
+        "  --policy=block|drop  backpressure policy (block)\n"
+        "  --chunk=N      wideband samples per push (65536)\n"
+        "  synthetic traffic only:\n"
+        "  --frames=N     frames per channel (4)  --payload=BYTES (8)\n"
+        "  --snr=DB       mean SNR (17)           --seed=S (1)\n");
+    return 2;
+  }
+
+  gateway::GatewayConfig cfg;
+  cfg.n_channels = static_cast<std::size_t>(args.get_int("channels", 8));
+  cfg.phy.sf = static_cast<int>(args.get_int("sf", 8));
+  cfg.phy.bandwidth_hz = args.get_double("bw", 125e3);
+  cfg.sfs = {cfg.phy.sf};
+  cfg.n_workers = static_cast<std::size_t>(args.get_int("threads", 4));
+  cfg.queue_capacity = static_cast<std::size_t>(args.get_int("queue", 64));
+  cfg.channelizer.taps_per_channel =
+      static_cast<std::size_t>(args.get_int("taps", 16));
+  cfg.channelizer.cutoff_scale = args.get_double("cutoff", 1.05);
+  const std::string policy = args.get("policy", "block");
+  if (policy == "drop") {
+    cfg.overflow = gateway::OverflowPolicy::kDropNewest;
+  } else if (policy != "block") {
+    std::fprintf(stderr, "unknown --policy=%s (block|drop)\n", policy.c_str());
+    return 2;
+  }
+
+  cvec wideband;
+  std::size_t truth_frames = 0;
+  if (synth) {
+    gateway::TrafficConfig traffic;
+    traffic.phy = cfg.phy;
+    traffic.n_channels = cfg.n_channels;
+    traffic.frames_per_channel =
+        static_cast<std::size_t>(args.get_int("frames", 4));
+    traffic.payload_bytes =
+        static_cast<std::size_t>(args.get_int("payload", 8));
+    const double snr = args.get_double("snr", 17.0);
+    traffic.snr_db_min = snr - 2.0;
+    traffic.snr_db_max = snr + 2.0;
+    traffic.osc.cfo_drift_hz_per_symbol = 0.0;
+    traffic.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    const auto cap = gateway::generate_traffic(traffic);
+    wideband = cap.samples;
+    truth_frames = cap.frames.size();
+    std::printf("synthetic capture: %zu channels, %zu frames, %zu wideband "
+                "samples @ %.0f Hz\n",
+                traffic.n_channels, cap.frames.size(), wideband.size(),
+                cap.sample_rate_hz);
+  } else {
+    const IqFormat fmt = parse_iq_format(args.get("format", "cf32"));
+    wideband = read_iq_file(in, fmt);
+    std::printf("read %zu wideband samples from %s (%zu channels)\n",
+                wideband.size(), in.c_str(), cfg.n_channels);
+  }
+
+  gateway::GatewayRuntime gw(cfg);
+  const auto chunk = static_cast<std::size_t>(args.get_int("chunk", 1 << 16));
+  for (std::size_t at = 0; at < wideband.size(); at += chunk) {
+    const std::size_t end = std::min(wideband.size(), at + chunk);
+    gw.push(cvec(wideband.begin() + static_cast<std::ptrdiff_t>(at),
+                 wideband.begin() + static_cast<std::ptrdiff_t>(end)));
+  }
+  const auto events = gw.stop();
+
+  for (const auto& ev : events) {
+    std::string text(ev.user.payload.begin(), ev.user.payload.end());
+    for (char& c : text) {
+      if (c < 0x20 || c > 0x7E) c = '.';
+    }
+    std::printf("ch%zu sf%d @%llu: offset=%.3f bins tau=%.2f snr=%.1f dB "
+                "crc=%s payload=\"%s\"\n",
+                ev.channel, ev.sf,
+                static_cast<unsigned long long>(ev.stream_offset),
+                ev.user.est.offset_bins, ev.user.est.timing_samples,
+                ev.user.est.snr_db, ev.user.crc_ok ? "ok" : "BAD",
+                text.c_str());
+  }
+
+  const auto c = gw.counters();
+  std::printf("gateway: %zu event(s), policy=%s, %zu worker(s)\n",
+              events.size(), gateway::overflow_policy_name(cfg.overflow),
+              cfg.n_workers);
+  std::fputs(gateway::format_counters(c).c_str(), stdout);
+  if (truth_frames > 0) {
+    std::printf("  ground truth frames : %zu\n", truth_frames);
+  }
+  return events.empty() ? 1 : 0;
+}

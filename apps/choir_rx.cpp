@@ -59,7 +59,10 @@ int main(int argc, char** argv) {
                        samples.begin() + static_cast<std::ptrdiff_t>(end)));
   }
   receiver.flush();
-  std::printf("%d frame(s) decoded\n", frames);
+  std::printf("%d frame(s) decoded, %zu decode attempt(s), "
+              "%llu samples consumed\n",
+              frames, receiver.decode_attempts(),
+              static_cast<unsigned long long>(receiver.consumed()));
 
   if (args.has("team-slot")) {
     const auto slot =

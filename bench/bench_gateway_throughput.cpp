@@ -1,0 +1,113 @@
+// bench_gateway_throughput — gateway decode rate vs. worker count.
+//
+// Renders one synthetic multi-channel capture (default: 8 channels of SF7
+// uplinks), then replays it through the GatewayRuntime at several worker
+// pool sizes, reporting wideband samples/sec, decoded frames/sec and the
+// speedup over the single-worker run. The event count is also checked
+// across runs: the lossless (kBlock) gateway must decode the identical
+// frame set at every thread count.
+//
+//   bench_gateway_throughput [--channels=8] [--sf=7] [--frames=6]
+//                            [--threads=1,2,4,8] [--chunk=65536] [--seed=1]
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gateway/gateway.hpp"
+#include "gateway/traffic.hpp"
+#include "util/args.hpp"
+
+using namespace choir;
+
+namespace {
+
+std::vector<std::size_t> parse_thread_list(const std::string& spec) {
+  std::vector<std::size_t> out;
+  std::size_t at = 0;
+  while (at < spec.size()) {
+    std::size_t end = spec.find(',', at);
+    if (end == std::string::npos) end = spec.size();
+    const long v = std::strtol(spec.substr(at, end - at).c_str(), nullptr, 10);
+    if (v > 0) out.push_back(static_cast<std::size_t>(v));
+    at = end + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+
+  gateway::TrafficConfig traffic;
+  traffic.phy.sf = static_cast<int>(args.get_int("sf", 7));
+  traffic.n_channels = static_cast<std::size_t>(args.get_int("channels", 8));
+  traffic.frames_per_channel =
+      static_cast<std::size_t>(args.get_int("frames", 6));
+  traffic.payload_bytes = 8;
+  traffic.osc.cfo_drift_hz_per_symbol = 0.0;
+  traffic.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  std::printf("# gateway throughput: %zu channels, SF%d, %zu frames/channel\n",
+              traffic.n_channels, traffic.phy.sf,
+              traffic.frames_per_channel);
+  const auto cap = gateway::generate_traffic(traffic);
+  std::printf("# capture: %zu wideband samples (%.2f s of air time at %.0f Hz)\n",
+              cap.samples.size(),
+              static_cast<double>(cap.samples.size()) / cap.sample_rate_hz,
+              cap.sample_rate_hz);
+
+  const auto threads =
+      parse_thread_list(args.get("threads", "1,2,4,8"));
+  const unsigned hw = std::thread::hardware_concurrency();
+  for (std::size_t n : threads) {
+    if (hw != 0 && n > hw) {
+      std::printf("# NOTE: only %u hardware thread(s) — speedups above that "
+                  "worker count measure scheduling overhead, not scaling\n",
+                  hw);
+      break;
+    }
+  }
+  const auto chunk = static_cast<std::size_t>(args.get_int("chunk", 1 << 16));
+
+  std::printf("%8s %14s %12s %10s %10s %8s\n", "threads", "Msamples/s",
+              "frames/s", "events", "queue_hw", "speedup");
+  double base_rate = 0.0;
+  std::uint64_t base_events = 0;
+  for (std::size_t n : threads) {
+    gateway::GatewayConfig cfg;
+    cfg.phy = traffic.phy;
+    cfg.sfs = {traffic.phy.sf};
+    cfg.n_channels = traffic.n_channels;
+    cfg.n_workers = n;
+    cfg.streaming.max_payload_bytes = 16;
+
+    gateway::GatewayRuntime gw(cfg);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t at = 0; at < cap.samples.size(); at += chunk) {
+      const std::size_t end = std::min(cap.samples.size(), at + chunk);
+      gw.push(cvec(cap.samples.begin() + static_cast<std::ptrdiff_t>(at),
+                   cap.samples.begin() + static_cast<std::ptrdiff_t>(end)));
+    }
+    const auto events = gw.stop();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs =
+        std::chrono::duration<double>(t1 - t0).count();
+    const double rate = static_cast<double>(cap.samples.size()) / secs;
+    if (base_rate == 0.0) {
+      base_rate = rate;
+      base_events = events.size();
+    } else if (events.size() != base_events) {
+      std::printf("!! event count diverged: %zu vs %llu at %zu threads\n",
+                  events.size(),
+                  static_cast<unsigned long long>(base_events), n);
+    }
+    const auto c = gw.counters();
+    std::printf("%8zu %14.2f %12.1f %10zu %10zu %7.2fx\n", n, rate / 1e6,
+                static_cast<double>(events.size()) / secs, events.size(),
+                c.max_queue_high_water(), rate / base_rate);
+  }
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "dsp/fft.hpp"
 
 #include <cmath>
+#include <mutex>
 #include <stdexcept>
 
 namespace choir::dsp {
@@ -68,11 +69,22 @@ void FftPlan::forward(cvec& data) const { transform(data, false); }
 void FftPlan::inverse(cvec& data) const { transform(data, true); }
 
 const FftPlan& plan_for(std::size_t size) {
+  // Steady state takes no lock: each thread memoizes the plans it has
+  // already resolved. The shared cache behind it is mutex-guarded; plans
+  // themselves are immutable after construction, so handing out references
+  // across threads is safe.
+  thread_local std::map<std::size_t, const FftPlan*> resolved;
+  const auto hit = resolved.find(size);
+  if (hit != resolved.end()) return *hit->second;
+
+  static std::mutex mu;
   static std::map<std::size_t, std::unique_ptr<FftPlan>> cache;
+  std::lock_guard<std::mutex> lock(mu);
   auto it = cache.find(size);
   if (it == cache.end()) {
     it = cache.emplace(size, std::make_unique<FftPlan>(size)).first;
   }
+  resolved.emplace(size, it->second.get());
   return *it->second;
 }
 

@@ -41,8 +41,9 @@ class FftPlan {
   cvec inv_twiddles_;
 };
 
-/// Process-wide plan cache. Plans are immutable after construction; the
-/// cache is not thread-safe (the simulator is single-threaded by design).
+/// Process-wide plan cache. Plans are immutable after construction and the
+/// cache itself is mutex-protected, so concurrent decoders (the gateway
+/// worker pool) can share it freely.
 const FftPlan& plan_for(std::size_t size);
 
 /// Out-of-place forward FFT zero-padded to `out_size` (power of two,

@@ -1,0 +1,35 @@
+#include "gateway/aggregator.hpp"
+
+#include <algorithm>
+#include <tuple>
+
+namespace choir::gateway {
+
+bool event_before(const GatewayEvent& a, const GatewayEvent& b) {
+  const auto key = [](const GatewayEvent& e) {
+    return std::tie(e.stream_offset, e.channel, e.sf, e.user.payload);
+  };
+  return key(a) < key(b);
+}
+
+void EventAggregator::add(GatewayEvent ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(ev));
+}
+
+std::size_t EventAggregator::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<GatewayEvent> EventAggregator::drain_ordered() {
+  std::vector<GatewayEvent> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.swap(events_);
+  }
+  std::stable_sort(out.begin(), out.end(), event_before);
+  return out;
+}
+
+}  // namespace choir::gateway

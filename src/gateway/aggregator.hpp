@@ -1,0 +1,49 @@
+// Event aggregator: merges per-(channel, SF) frame events into one
+// globally ordered gateway feed.
+//
+// Workers decode independently and finish in nondeterministic wall-clock
+// order, so events arrive interleaved. The aggregator timestamps nothing
+// itself — every event already carries the absolute sample offset of its
+// frame start within its channel stream, and all channel streams tick at
+// the same baseband rate, so that offset is a global time axis. Ordering is
+// total (offset, then channel, then SF, then payload) which makes the
+// drained feed deterministic across runs and worker counts.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "rt/streaming.hpp"
+
+namespace choir::gateway {
+
+/// One decoded frame, tagged with where in the gateway it came from.
+struct GatewayEvent {
+  std::size_t channel = 0;          ///< channelizer output index
+  int sf = 0;                       ///< spreading factor of the pipeline
+  std::uint64_t stream_offset = 0;  ///< frame start, baseband samples
+  core::DecodedUser user;
+};
+
+/// True if `a` sorts strictly before `b` in the global feed order.
+bool event_before(const GatewayEvent& a, const GatewayEvent& b);
+
+class EventAggregator {
+ public:
+  /// Thread-safe; called by workers as frames decode.
+  void add(GatewayEvent ev);
+
+  std::size_t count() const;
+
+  /// Moves out everything collected so far, sorted into the global order.
+  /// Call after the workers have been joined for a complete, deterministic
+  /// feed (calling mid-run is safe but yields a partial prefix).
+  std::vector<GatewayEvent> drain_ordered();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<GatewayEvent> events_;
+};
+
+}  // namespace choir::gateway

@@ -1,0 +1,101 @@
+#include "gateway/channelizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+
+namespace choir::gateway {
+
+namespace {
+
+// Hamming-windowed sinc lowpass of length `taps * k` with cutoff
+// `cutoff_scale * fs/(2k)`, normalized to unit DC gain so a tone at a
+// channel center passes through the bank with unchanged amplitude.
+rvec design_prototype(std::size_t k, std::size_t taps, double cutoff_scale) {
+  const std::size_t len = taps * k;
+  const double fc = cutoff_scale / (2.0 * static_cast<double>(k));
+  const double center = static_cast<double>(len - 1) / 2.0;
+  rvec h(len);
+  double sum = 0.0;
+  for (std::size_t j = 0; j < len; ++j) {
+    const double t = static_cast<double>(j) - center;
+    const double sinc =
+        t == 0.0 ? 2.0 * fc : std::sin(kTwoPi * fc * t) / (kPi * t);
+    const double win =
+        0.54 - 0.46 * std::cos(kTwoPi * static_cast<double>(j) /
+                               static_cast<double>(len - 1));
+    h[j] = sinc * win;
+    sum += h[j];
+  }
+  for (auto& v : h) v /= sum;
+  return h;
+}
+
+}  // namespace
+
+Channelizer::Channelizer(std::size_t n_channels, const ChannelizerOptions& opt)
+    : k_(n_channels), taps_(opt.taps_per_channel) {
+  if (k_ < 2 || !dsp::is_pow2(k_))
+    throw std::invalid_argument("Channelizer: n_channels must be pow2 >= 2");
+  if (taps_ < 1) throw std::invalid_argument("Channelizer: taps_per_channel");
+  if (opt.cutoff_scale <= 0.0)
+    throw std::invalid_argument("Channelizer: cutoff_scale");
+  proto_ = design_prototype(k_, taps_, opt.cutoff_scale);
+  window_.assign(taps_ * k_, cplx{0.0, 0.0});
+  fold_.resize(k_);
+  // Warm the FFT plan now so worker threads never contend on first use.
+  dsp::plan_for(k_);
+}
+
+double Channelizer::center_frequency_hz(std::size_t ch,
+                                        double wideband_rate_hz) const {
+  if (ch >= k_) throw std::out_of_range("Channelizer: channel index");
+  double f = static_cast<double>(ch) * wideband_rate_hz /
+             static_cast<double>(k_);
+  if (f > wideband_rate_hz / 2.0) f -= wideband_rate_hz;
+  return f;
+}
+
+void Channelizer::push(const cvec& wideband, std::vector<cvec>& out) {
+  out.resize(k_);
+  const std::size_t hist = (taps_ - 1) * k_;  // offset of the newest block
+  std::size_t at = 0;
+  while (at < wideband.size()) {
+    const std::size_t take = std::min(k_ - fill_, wideband.size() - at);
+    std::copy(wideband.begin() + static_cast<std::ptrdiff_t>(at),
+              wideband.begin() + static_cast<std::ptrdiff_t>(at + take),
+              window_.begin() + static_cast<std::ptrdiff_t>(hist + fill_));
+    fill_ += take;
+    at += take;
+    if (fill_ < k_) break;
+
+    // Fold the P-block window through the polyphase branches, then one
+    // K-point DFT evaluates every channel's mixer+decimator at once.
+    for (std::size_t i = 0; i < k_; ++i) {
+      cplx acc{0.0, 0.0};
+      for (std::size_t p = 0; p < taps_; ++p) {
+        const std::size_t j = p * k_ + i;
+        acc += proto_[j] * window_[j];
+      }
+      fold_[i] = acc;
+    }
+    dsp::plan_for(k_).forward(fold_);
+    for (std::size_t ch = 0; ch < k_; ++ch) out[ch].push_back(fold_[ch]);
+    ++emitted_;
+
+    // Slide the window one block: the newest block becomes history.
+    std::copy(window_.begin() + static_cast<std::ptrdiff_t>(k_),
+              window_.end(), window_.begin());
+    fill_ = 0;
+  }
+}
+
+void Channelizer::reset() {
+  std::fill(window_.begin(), window_.end(), cplx{0.0, 0.0});
+  fill_ = 0;
+  emitted_ = 0;
+}
+
+}  // namespace choir::gateway

@@ -1,0 +1,111 @@
+#include "gateway/gateway.hpp"
+
+#include <stdexcept>
+
+namespace choir::gateway {
+
+GatewayRuntime::GatewayRuntime(const GatewayConfig& cfg)
+    : cfg_(cfg), channelizer_(cfg.n_channels, cfg.channelizer) {
+  if (cfg_.n_workers < 1)
+    throw std::invalid_argument("GatewayRuntime: n_workers must be >= 1");
+  if (cfg_.sfs.empty())
+    throw std::invalid_argument("GatewayRuntime: sfs must be non-empty");
+
+  for (std::size_t w = 0; w < cfg_.n_workers; ++w) {
+    queues_.push_back(std::make_unique<BoundedSpscQueue<WorkItem>>(
+        cfg_.queue_capacity, cfg_.overflow));
+  }
+
+  pipelines_.reserve(cfg_.n_channels * cfg_.sfs.size());
+  for (std::size_t ch = 0; ch < cfg_.n_channels; ++ch) {
+    for (int sf : cfg_.sfs) {
+      Pipeline pl;
+      pl.channel = ch;
+      pl.sf = sf;
+      pl.worker = pipelines_.size() % cfg_.n_workers;
+      lora::PhyParams phy = cfg_.phy;
+      phy.sf = sf;
+      pl.rx = std::make_unique<rt::StreamingReceiver>(
+          phy, cfg_.streaming, [this, ch, sf](const rt::FrameEvent& ev) {
+            stats_.add_frame(ev.user.crc_ok);
+            GatewayEvent g;
+            g.channel = ch;
+            g.sf = sf;
+            g.stream_offset = ev.stream_offset;
+            g.user = ev.user;
+            aggregator_.add(std::move(g));
+          });
+      pipelines_.push_back(std::move(pl));
+    }
+  }
+
+  scratch_.resize(cfg_.n_channels);
+  threads_.reserve(cfg_.n_workers);
+  for (std::size_t w = 0; w < cfg_.n_workers; ++w) {
+    threads_.emplace_back([this, w] { worker_main(w); });
+  }
+}
+
+GatewayRuntime::~GatewayRuntime() {
+  if (!stopped_) stop();
+}
+
+void GatewayRuntime::push(const cvec& wideband_chunk) {
+  if (stopped_)
+    throw std::logic_error("GatewayRuntime: push after stop");
+  stats_.add_samples(wideband_chunk.size());
+  for (auto& s : scratch_) s.clear();
+  channelizer_.push(wideband_chunk, scratch_);
+
+  const std::size_t n_sfs = cfg_.sfs.size();
+  for (std::size_t ch = 0; ch < cfg_.n_channels; ++ch) {
+    if (scratch_[ch].empty()) continue;
+    // One immutable buffer per channel, shared by all its SF pipelines.
+    auto chunk = std::make_shared<const cvec>(std::move(scratch_[ch]));
+    scratch_[ch] = cvec{};
+    for (std::size_t s = 0; s < n_sfs; ++s) {
+      const std::size_t idx = ch * n_sfs + s;
+      WorkItem item;
+      item.pipeline = idx;
+      item.chunk = chunk;
+      if (queues_[pipelines_[idx].worker]->push(std::move(item))) {
+        stats_.add_chunk();
+      }
+      // A failed push under kDropNewest is counted by the queue itself.
+    }
+  }
+}
+
+std::vector<GatewayEvent> GatewayRuntime::stop() {
+  if (stopped_) return {};
+  stopped_ = true;
+  for (auto& q : queues_) q->close();
+  for (auto& t : threads_) t.join();
+  return aggregator_.drain_ordered();
+}
+
+void GatewayRuntime::worker_main(std::size_t w) {
+  auto& queue = *queues_[w];
+  while (auto item = queue.pop()) {
+    pipelines_[item->pipeline].rx->push(*item->chunk);
+  }
+  // Queue closed and drained: end-of-stream for every pipeline we own.
+  for (auto& pl : pipelines_) {
+    if (pl.worker != w) continue;
+    pl.rx->flush();
+    stats_.add_decode_attempts(pl.rx->decode_attempts());
+  }
+}
+
+GatewayCounters GatewayRuntime::counters() const {
+  GatewayCounters c = stats_.snapshot();
+  c.chunks_dropped = 0;
+  c.queue_high_water.reserve(queues_.size());
+  for (const auto& q : queues_) {
+    c.queue_high_water.push_back(q->high_water());
+    c.chunks_dropped += q->dropped();
+  }
+  return c;
+}
+
+}  // namespace choir::gateway

@@ -1,0 +1,116 @@
+// Multi-channel gateway runtime: the concurrent pipeline that turns one
+// wideband IQ stream into a globally ordered feed of decoded frames.
+//
+//                      +--> queue[w0] --> worker 0: rx(ch0,sf7) rx(ch2,sf7)..
+//   wideband --> FFT --+--> queue[w1] --> worker 1: rx(ch1,sf7) rx(ch3,sf7)..
+//    chunks   channelizer        ...
+//                      +--> queue[wN] --> worker N: ...
+//                                   \---> EventAggregator --> ordered feed
+//
+// Threading model
+//   * The caller's thread runs the channelizer and fans baseband chunks
+//     out to the workers (single producer).
+//   * Every (channel, SF) pair owns a dedicated rt::StreamingReceiver;
+//     pipelines are sharded round-robin over the workers, and a pipeline
+//     never migrates, so each receiver only ever runs on one thread and
+//     needs no locking. Chunks for the pipelines of one worker travel
+//     through one bounded SPSC queue in production order, preserving each
+//     stream's sample order.
+//   * Chunk buffers are shared (shared_ptr<const cvec>) between the SF
+//     pipelines of a channel — read-only fan-out, no copies.
+//
+// Backpressure is the queue policy: kBlock makes the whole gateway
+// lossless and deterministic (the producer throttles to the slowest
+// worker); kDropNewest keeps the producer wait-free and counts every chunk
+// it had to discard (see docs/GATEWAY.md).
+//
+// Determinism: with kBlock, the set of decoded frames — and, after
+// stop()'s ordered drain, their order — is identical for any worker count,
+// because every pipeline sees the exact same chunk sequence a serial run
+// would feed it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "gateway/aggregator.hpp"
+#include "gateway/channelizer.hpp"
+#include "gateway/spsc_queue.hpp"
+#include "gateway/stats.hpp"
+#include "lora/params.hpp"
+#include "rt/streaming.hpp"
+
+namespace choir::gateway {
+
+struct GatewayConfig {
+  /// Per-channel PHY. `phy.sf` is ignored; the decoded SFs come from `sfs`.
+  /// `phy.bandwidth_hz` is the channel bandwidth B; the wideband input rate
+  /// is n_channels * B.
+  lora::PhyParams phy{};
+  /// Spreading factors decoded on every channel (one pipeline per pair).
+  std::vector<int> sfs = {8};
+  std::size_t n_channels = 8;
+  std::size_t n_workers = 4;
+  /// Bounded depth (in chunks) of each worker's input queue.
+  std::size_t queue_capacity = 64;
+  OverflowPolicy overflow = OverflowPolicy::kBlock;
+  ChannelizerOptions channelizer{};
+  rt::StreamingOptions streaming{};
+};
+
+class GatewayRuntime {
+ public:
+  explicit GatewayRuntime(const GatewayConfig& cfg);
+  ~GatewayRuntime();
+
+  GatewayRuntime(const GatewayRuntime&) = delete;
+  GatewayRuntime& operator=(const GatewayRuntime&) = delete;
+
+  /// Feeds a chunk of wideband samples (rate = n_channels * B). Runs the
+  /// channelizer inline and enqueues the resulting baseband chunks to the
+  /// workers. Call from one thread only.
+  void push(const cvec& wideband_chunk);
+
+  /// Ends the stream: closes the queues, lets every worker drain and flush
+  /// its receivers, joins, and returns the complete event feed in global
+  /// order. Idempotent; push() after stop() is an error.
+  std::vector<GatewayEvent> stop();
+
+  /// Live scalar counters plus per-worker queue high-water marks.
+  GatewayCounters counters() const;
+
+  const GatewayConfig& config() const { return cfg_; }
+  std::size_t n_pipelines() const { return pipelines_.size(); }
+  /// Wideband input sample rate implied by the config.
+  double wideband_rate_hz() const {
+    return cfg_.phy.bandwidth_hz * static_cast<double>(cfg_.n_channels);
+  }
+
+ private:
+  struct WorkItem {
+    std::size_t pipeline = 0;
+    std::shared_ptr<const cvec> chunk;
+  };
+  struct Pipeline {
+    std::size_t channel = 0;
+    int sf = 0;
+    std::size_t worker = 0;
+    std::unique_ptr<rt::StreamingReceiver> rx;
+  };
+
+  void worker_main(std::size_t w);
+
+  GatewayConfig cfg_;
+  Channelizer channelizer_;
+  std::vector<Pipeline> pipelines_;
+  std::vector<std::unique_ptr<BoundedSpscQueue<WorkItem>>> queues_;
+  std::vector<std::thread> threads_;
+  GatewayStats stats_;
+  EventAggregator aggregator_;
+  std::vector<cvec> scratch_;  ///< channelizer output, reused per push
+  bool stopped_ = false;
+};
+
+}  // namespace choir::gateway

@@ -1,0 +1,135 @@
+// Bounded single-producer/single-consumer queue with explicit backpressure.
+//
+// The gateway's producer (the channelizer thread) feeds each worker through
+// one of these. Capacity is fixed at construction; what happens when the
+// consumer falls behind is the gateway's backpressure policy:
+//
+//  * kBlock      — push() waits for space. Lossless; the producer slows to
+//                  the pipeline's decode rate (the deterministic mode, and
+//                  the default).
+//  * kDropNewest — push() discards the incoming item when full and counts
+//                  it. Lossy but wait-free for the producer (a live SDR
+//                  front end that must never stall).
+//
+// The implementation is a mutex+condvar ring: with exactly one producer and
+// one consumer the lock is uncontended in the common case, and the queue
+// stays trivially race-free under thread sanitizer. High-water mark and
+// drop counters are maintained inside the lock and readable from any
+// thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace choir::gateway {
+
+enum class OverflowPolicy {
+  kBlock,       ///< producer waits for queue space (lossless)
+  kDropNewest,  ///< producer drops the incoming item and counts it
+};
+
+const char* overflow_policy_name(OverflowPolicy p);
+
+template <typename T>
+class BoundedSpscQueue {
+ public:
+  explicit BoundedSpscQueue(std::size_t capacity,
+                            OverflowPolicy policy = OverflowPolicy::kBlock)
+      : capacity_(capacity ? capacity : 1), policy_(policy) {}
+
+  BoundedSpscQueue(const BoundedSpscQueue&) = delete;
+  BoundedSpscQueue& operator=(const BoundedSpscQueue&) = delete;
+
+  /// Enqueues `item` subject to the overflow policy. Returns false if the
+  /// item was dropped (kDropNewest with a full queue) or the queue is
+  /// closed; true once the item is enqueued.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (policy_ == OverflowPolicy::kBlock) {
+      not_full_.wait(lock,
+                     [&] { return closed_ || items_.size() < capacity_; });
+    }
+    if (closed_) return false;
+    if (items_.size() >= capacity_) {
+      ++dropped_;
+      return false;
+    }
+    items_.push_back(std::move(item));
+    high_water_ = std::max(high_water_, items_.size());
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and drained;
+  /// returns nullopt only in the latter case.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T item = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return item;
+  }
+
+  /// Non-blocking pop; returns false if the queue is currently empty.
+  bool try_pop(T& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Marks the stream finished: pending items remain poppable, further
+  /// pushes fail, and blocked callers wake up.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  /// Largest queue depth ever observed (backpressure diagnostics).
+  std::size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+
+  /// Items discarded under kDropNewest.
+  std::size_t dropped() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return dropped_;
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  OverflowPolicy policy() const { return policy_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  const std::size_t capacity_;
+  const OverflowPolicy policy_;
+  bool closed_ = false;
+  std::size_t high_water_ = 0;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace choir::gateway

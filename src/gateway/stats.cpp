@@ -1,0 +1,51 @@
+#include "gateway/stats.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "gateway/spsc_queue.hpp"
+
+namespace choir::gateway {
+
+std::size_t GatewayCounters::max_queue_high_water() const {
+  std::size_t m = 0;
+  for (std::size_t h : queue_high_water) m = std::max(m, h);
+  return m;
+}
+
+std::string format_counters(const GatewayCounters& c) {
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof(buf),
+                "  wideband samples in : %llu\n"
+                "  chunks enqueued     : %llu (%llu dropped)\n"
+                "  decode attempts     : %llu\n"
+                "  frames decoded      : %llu (%llu CRC failures)\n",
+                static_cast<unsigned long long>(c.wideband_samples_in),
+                static_cast<unsigned long long>(c.chunks_enqueued),
+                static_cast<unsigned long long>(c.chunks_dropped),
+                static_cast<unsigned long long>(c.decode_attempts),
+                static_cast<unsigned long long>(c.frames_decoded),
+                static_cast<unsigned long long>(c.crc_failures));
+  out = buf;
+  std::snprintf(buf, sizeof(buf), "  queue high water    : %zu of [",
+                c.max_queue_high_water());
+  out += buf;
+  for (std::size_t i = 0; i < c.queue_high_water.size(); ++i) {
+    std::snprintf(buf, sizeof(buf), "%s%zu", i ? " " : "",
+                  c.queue_high_water[i]);
+    out += buf;
+  }
+  out += "]\n";
+  return out;
+}
+
+const char* overflow_policy_name(OverflowPolicy p) {
+  switch (p) {
+    case OverflowPolicy::kBlock: return "block";
+    case OverflowPolicy::kDropNewest: return "drop";
+  }
+  return "?";
+}
+
+}  // namespace choir::gateway

@@ -1,0 +1,67 @@
+// Gateway-level counters, shared between the producer, the workers and
+// whoever is watching (app status line, bench reporter, tests).
+//
+// All counters are monotonic and relaxed-atomic: they are diagnostics, not
+// synchronization — ordering between them is established by the queues and
+// thread joins, never by the counters themselves.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace choir::gateway {
+
+/// Point-in-time copy of every gateway counter (plain values, safe to pass
+/// around after the runtime is gone).
+struct GatewayCounters {
+  std::uint64_t wideband_samples_in = 0;  ///< samples pushed into the gateway
+  std::uint64_t chunks_enqueued = 0;      ///< per-pipeline chunks queued
+  std::uint64_t chunks_dropped = 0;       ///< chunks lost to kDropNewest
+  std::uint64_t frames_decoded = 0;       ///< frame events emitted (frame_ok)
+  std::uint64_t crc_failures = 0;         ///< of those, failed payload CRC
+  std::uint64_t decode_attempts = 0;      ///< summed over all receivers
+  std::vector<std::size_t> queue_high_water;  ///< per worker queue
+  std::size_t max_queue_high_water() const;
+};
+
+/// One line per counter, for the app/bench status output.
+std::string format_counters(const GatewayCounters& c);
+
+class GatewayStats {
+ public:
+  void add_samples(std::uint64_t n) { samples_.fetch_add(n, relaxed); }
+  void add_chunk() { chunks_.fetch_add(1, relaxed); }
+  void add_frame(bool crc_ok) {
+    frames_.fetch_add(1, relaxed);
+    if (!crc_ok) crc_fail_.fetch_add(1, relaxed);
+  }
+  void add_decode_attempts(std::uint64_t n) {
+    attempts_.fetch_add(n, relaxed);
+  }
+
+  std::uint64_t frames_decoded() const { return frames_.load(relaxed); }
+
+  /// Snapshot of the scalar counters (queue high-water marks and drop
+  /// counts live in the queues; GatewayRuntime::counters() fills them in).
+  GatewayCounters snapshot() const {
+    GatewayCounters c;
+    c.wideband_samples_in = samples_.load(relaxed);
+    c.chunks_enqueued = chunks_.load(relaxed);
+    c.frames_decoded = frames_.load(relaxed);
+    c.crc_failures = crc_fail_.load(relaxed);
+    c.decode_attempts = attempts_.load(relaxed);
+    return c;
+  }
+
+ private:
+  static constexpr auto relaxed = std::memory_order_relaxed;
+  std::atomic<std::uint64_t> samples_{0};
+  std::atomic<std::uint64_t> chunks_{0};
+  std::atomic<std::uint64_t> frames_{0};
+  std::atomic<std::uint64_t> crc_fail_{0};
+  std::atomic<std::uint64_t> attempts_{0};
+};
+
+}  // namespace choir::gateway

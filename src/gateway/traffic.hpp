@@ -1,0 +1,65 @@
+// Synthetic multi-channel uplink traffic for driving the gateway.
+//
+// Builds on the same machinery as the network simulator's adjudication
+// path (channel::render_collision): each narrowband channel gets its own
+// sequence of LoRa uplinks — randomized devices, SNRs, payloads and
+// exponential inter-frame gaps — rendered noiselessly at baseband. The K
+// baseband captures are then upconverted to their channel centers by exact
+// frequency-domain interpolation (zero-pad in time, place each channel's
+// spectrum at bin offset k*L in the K*L-point wideband spectrum, inverse
+// FFT) and complex AWGN is added at the wideband rate with variance K, so
+// that after the channelizer's unit-gain lowpass each baseband stream sees
+// approximately unit-variance noise — the same convention the rest of the
+// codebase uses for per-sample SNR.
+//
+// Ground truth (channel, payload, start) for every frame is returned so
+// tests and benches can score the gateway by decoded content.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/oscillator.hpp"
+#include "lora/params.hpp"
+#include "util/types.hpp"
+
+namespace choir::gateway {
+
+struct TrafficConfig {
+  /// Per-channel PHY (sf, bandwidth, coding rate) shared by all frames.
+  lora::PhyParams phy{};
+  std::size_t n_channels = 8;       ///< power of two >= 2
+  std::size_t frames_per_channel = 3;
+  std::size_t payload_bytes = 8;
+  double snr_db_min = 15.0;
+  double snr_db_max = 20.0;
+  /// Mean gap between consecutive frames on a channel, in symbols
+  /// (exponentially distributed, so channels stay unsynchronized).
+  double gap_symbols_mean = 24.0;
+  bool add_noise = true;
+  channel::OscillatorModel osc{};
+  std::uint64_t seed = 1;
+};
+
+struct TrafficFrame {
+  std::size_t channel = 0;
+  std::vector<std::uint8_t> payload;
+  double start_s = 0.0;  ///< nominal frame start within the capture
+};
+
+struct WidebandCapture {
+  cvec samples;                 ///< wideband IQ at n_channels * B
+  double sample_rate_hz = 0.0;
+  std::vector<TrafficFrame> frames;  ///< ground truth, all channels
+};
+
+/// Renders the full synthetic capture. Deterministic in cfg.seed.
+WidebandCapture generate_traffic(const TrafficConfig& cfg);
+
+/// Exact band-limited upconversion: interleaves K equal-rate baseband
+/// streams into one wideband stream at K times the rate, channel k landing
+/// at center frequency k*B (wrapped). Streams shorter than the longest are
+/// zero-extended. Exposed for the channelizer round-trip tests.
+cvec upconvert_channels(const std::vector<cvec>& channels);
+
+}  // namespace choir::gateway

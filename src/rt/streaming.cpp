@@ -27,10 +27,22 @@ StreamingReceiver::StreamingReceiver(const lora::PhyParams& phy,
 
 void StreamingReceiver::push(const cvec& chunk) {
   buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
+  flushed_ = false;
+  // A scan cannot make progress on less than one new symbol window, and
+  // re-scanning the whole buffer per pushed sample would make tiny chunks
+  // quadratic — batch until a symbol's worth of samples arrived.
+  unscanned_ += chunk.size();
+  if (unscanned_ < phy_.chips()) return;
+  unscanned_ = 0;
   scan(/*at_end=*/false);
 }
 
-void StreamingReceiver::flush() { scan(/*at_end=*/true); }
+void StreamingReceiver::flush() {
+  if (flushed_) return;
+  flushed_ = true;
+  unscanned_ = 0;
+  scan(/*at_end=*/true);
+}
 
 void StreamingReceiver::scan(bool at_end) {
   const std::size_t n = phy_.chips();
@@ -69,17 +81,47 @@ void StreamingReceiver::scan(bool at_end) {
     const std::size_t anchor =
         aligned.detected ? aligned.frame_start : *found;
     const auto users = decoder_.decode(buffer_, anchor);
+
+    // The estimator occasionally splits one transmission into two nearby
+    // user hypotheses that both parse to the same payload; emit each
+    // payload once, preferring the CRC-clean, strongest copy.
+    std::vector<const core::DecodedUser*> emit;
     for (const auto& du : users) {
       if (!du.frame_ok) continue;
+      bool duplicate = false;
+      for (auto& kept : emit) {
+        if (kept->payload != du.payload) continue;
+        duplicate = true;
+        const auto rank = [](const core::DecodedUser& u) {
+          return std::make_pair(u.crc_ok ? 1 : 0, u.est.snr_db);
+        };
+        if (rank(du) > rank(*kept)) kept = &du;
+        break;
+      }
+      if (!duplicate) emit.push_back(&du);
+    }
+    std::size_t decoded_syms = 0;
+    for (const auto* du : emit) {
       FrameEvent ev;
       ev.stream_offset = consumed_ + anchor;
-      ev.user = du;
+      ev.user = *du;
       on_frame_(ev);
+      decoded_syms = std::max(
+          decoded_syms, lora::frame_symbol_count(du->payload.size(), phy_));
     }
 
     // Consume through the end of this frame (collisions share the span).
+    // When a user decoded, its payload tells the frame's real extent —
+    // consuming the full worst-case span instead would swallow the head of
+    // a closely following frame.
+    const std::size_t span =
+        decoded_syms > 0
+            ? (static_cast<std::size_t>(phy_.preamble_len + phy_.sfd_len) +
+               decoded_syms + 1) *
+                  n
+            : frame_span;
     const std::size_t consumed_through =
-        std::min(buffer_.size(), anchor + frame_span);
+        std::min(buffer_.size(), anchor + span);
     buffer_.erase(buffer_.begin(),
                   buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_through));
     consumed_ += consumed_through;

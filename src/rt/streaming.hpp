@@ -43,11 +43,14 @@ class StreamingReceiver {
                     Callback on_frame);
 
   /// Feeds a chunk of samples; the callback fires for every frame that
-  /// completed inside the buffered stream.
+  /// completed inside the buffered stream. Chunks may be any size down to
+  /// a single sample — scanning is deferred until at least one symbol of
+  /// new data has accumulated, so tiny chunks cost no extra work.
   void push(const cvec& chunk);
 
   /// Flushes the tail of the stream (call at end of input): attempts to
   /// decode any detected-but-incomplete frame with what is buffered.
+  /// Idempotent — repeated calls without an intervening push() do nothing.
   void flush();
 
   /// Absolute index of the next unconsumed sample.
@@ -67,6 +70,8 @@ class StreamingReceiver {
   cvec buffer_;
   std::uint64_t consumed_ = 0;  ///< absolute index of buffer_[0]
   std::size_t decode_attempts_ = 0;
+  std::size_t unscanned_ = 0;   ///< samples pushed since the last scan
+  bool flushed_ = false;        ///< tail already flushed, nothing pending
 };
 
 }  // namespace choir::rt

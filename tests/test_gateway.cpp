@@ -1,0 +1,414 @@
+// Gateway subsystem: polyphase channelizer, bounded SPSC queue,
+// aggregator ordering, and the end-to-end parallel runtime (determinism
+// against a serial reference, counters, backpressure policies).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <thread>
+#include <tuple>
+
+#include "gateway/channelizer.hpp"
+#include "gateway/gateway.hpp"
+#include "gateway/spsc_queue.hpp"
+#include "gateway/traffic.hpp"
+#include "util/rng.hpp"
+
+namespace choir {
+namespace {
+
+using gateway::BoundedSpscQueue;
+using gateway::Channelizer;
+using gateway::OverflowPolicy;
+
+double stream_energy(const cvec& v) {
+  double e = 0.0;
+  for (const auto& s : v) e += std::norm(s);
+  return e;
+}
+
+// ---------------------------------------------------------- Channelizer
+
+TEST(Channelizer, ToneLandsOnlyInItsChannel) {
+  // A tone at channel k's center must come out in stream k and (after the
+  // filter transient) essentially nowhere else.
+  const std::size_t k_channels = 4;
+  Channelizer ch(k_channels);
+  const double fs = 4.0 * 125e3;
+  for (std::size_t target = 0; target < k_channels; ++target) {
+    Channelizer c(k_channels);
+    const double f = c.center_frequency_hz(target, fs);
+    cvec wide(16384);
+    for (std::size_t n = 0; n < wide.size(); ++n)
+      wide[n] = cis(kTwoPi * f / fs * static_cast<double>(n));
+    std::vector<cvec> out;
+    c.push(wide, out);
+    ASSERT_EQ(out.size(), k_channels);
+
+    // Skip the prototype-filter transient at the head of each stream.
+    const std::size_t skip = c.prototype().size() / k_channels + 1;
+    double own = 0.0, rest = 0.0;
+    for (std::size_t s = 0; s < k_channels; ++s) {
+      cvec tail(out[s].begin() + static_cast<std::ptrdiff_t>(skip),
+                out[s].end());
+      (s == target ? own : rest) += stream_energy(tail);
+    }
+    EXPECT_GT(own, 1000.0 * rest)
+        << "tone in channel " << target << " leaked";
+  }
+}
+
+TEST(Channelizer, StreamingMatchesOneShot) {
+  // Chunk boundaries must not change the output: push a noise capture in
+  // one call and in ragged small chunks and compare streams exactly.
+  Rng rng(3);
+  cvec wide(8192);
+  for (auto& s : wide) s = rng.cgaussian(1.0);
+
+  Channelizer one(8);
+  std::vector<cvec> out_one;
+  one.push(wide, out_one);
+
+  Channelizer many(8);
+  std::vector<cvec> out_many;
+  std::size_t at = 0, step = 1;
+  while (at < wide.size()) {
+    const std::size_t end = std::min(wide.size(), at + step);
+    many.push(cvec(wide.begin() + static_cast<std::ptrdiff_t>(at),
+                   wide.begin() + static_cast<std::ptrdiff_t>(end)),
+              out_many);
+    at = end;
+    step = step % 97 + 1;  // 1..97 sample chunks
+  }
+
+  ASSERT_EQ(out_one.size(), out_many.size());
+  for (std::size_t s = 0; s < out_one.size(); ++s) {
+    ASSERT_EQ(out_one[s].size(), out_many[s].size());
+    for (std::size_t i = 0; i < out_one[s].size(); ++i) {
+      EXPECT_EQ(out_one[s][i], out_many[s][i]) << "stream " << s << " @" << i;
+    }
+  }
+}
+
+TEST(Channelizer, UpconvertRoundTrip) {
+  // Upconverting K distinct baseband tones and channelizing the result
+  // recovers each tone in its own stream with roughly unit gain.
+  const std::size_t k_channels = 8;
+  const std::size_t len = 4096;
+  std::vector<cvec> base(k_channels);
+  for (std::size_t ch = 0; ch < k_channels; ++ch) {
+    base[ch].resize(len);
+    // Offset each tone from its channel center by a channel-unique amount
+    // well inside the passband.
+    const double f_norm = 0.05 * static_cast<double>(ch + 1) / 10.0;
+    for (std::size_t n = 0; n < len; ++n)
+      base[ch][n] = cis(kTwoPi * f_norm * static_cast<double>(n));
+  }
+  const cvec wide = gateway::upconvert_channels(base);
+  EXPECT_EQ(wide.size(), k_channels * len);
+
+  Channelizer c(k_channels);
+  std::vector<cvec> out;
+  c.push(wide, out);
+  const std::size_t skip = c.prototype().size() / k_channels + 1;
+  for (std::size_t ch = 0; ch < k_channels; ++ch) {
+    ASSERT_GT(out[ch].size(), skip + 100);
+    double e = 0.0;
+    std::size_t count = 0;
+    for (std::size_t i = skip; i < out[ch].size(); ++i, ++count)
+      e += std::norm(out[ch][i]);
+    const double mean_power = e / static_cast<double>(count);
+    EXPECT_NEAR(mean_power, 1.0, 0.25) << "channel " << ch;
+  }
+}
+
+TEST(Channelizer, RejectsBadConfig) {
+  EXPECT_THROW(Channelizer(3), std::invalid_argument);
+  EXPECT_THROW(Channelizer(0), std::invalid_argument);
+  gateway::ChannelizerOptions opt;
+  opt.taps_per_channel = 0;
+  EXPECT_THROW(Channelizer(4, opt), std::invalid_argument);
+}
+
+// --------------------------------------------------------------- Queue
+
+TEST(BoundedQueue, BlockingStressPreservesOrder) {
+  BoundedSpscQueue<int> q(8, OverflowPolicy::kBlock);
+  const int kItems = 20000;
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) q.push(i);
+    q.close();
+  });
+  int expect = 0;
+  while (auto item = q.pop()) {
+    ASSERT_EQ(*item, expect) << "out of order";
+    ++expect;
+  }
+  producer.join();
+  EXPECT_EQ(expect, kItems);
+  EXPECT_EQ(q.dropped(), 0u);
+  EXPECT_LE(q.high_water(), 8u);
+  EXPECT_GE(q.high_water(), 1u);
+}
+
+TEST(BoundedQueue, DropNewestCountsAndKeepsPrefix) {
+  BoundedSpscQueue<int> q(4, OverflowPolicy::kDropNewest);
+  int accepted = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (q.push(i)) ++accepted;
+  }
+  EXPECT_EQ(accepted, 4);
+  EXPECT_EQ(q.dropped(), 96u);
+  EXPECT_EQ(q.high_water(), 4u);
+  q.close();
+  // The oldest items survive, in order.
+  for (int i = 0; i < 4; ++i) {
+    auto item = q.pop();
+    ASSERT_TRUE(item.has_value());
+    EXPECT_EQ(*item, i);
+  }
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(BoundedQueue, CloseUnblocksProducerAndConsumer) {
+  BoundedSpscQueue<int> q(1, OverflowPolicy::kBlock);
+  ASSERT_TRUE(q.push(7));
+  std::thread producer([&] {
+    // Queue is full; this blocks until close(), then reports failure.
+    EXPECT_FALSE(q.push(8));
+  });
+  std::thread closer([&] { q.close(); });
+  closer.join();
+  producer.join();
+  auto item = q.pop();  // pending item still poppable after close
+  ASSERT_TRUE(item.has_value());
+  EXPECT_EQ(*item, 7);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+// ------------------------------------------------------------- Gateway
+
+using Tuple = std::tuple<std::size_t, int, std::vector<std::uint8_t>>;
+
+std::multiset<Tuple> tuple_set(const std::vector<gateway::GatewayEvent>& evs,
+                               bool crc_only) {
+  std::multiset<Tuple> out;
+  for (const auto& ev : evs) {
+    if (crc_only && !ev.user.crc_ok) continue;
+    out.insert({ev.channel, ev.sf, ev.user.payload});
+  }
+  return out;
+}
+
+gateway::TrafficConfig small_traffic() {
+  gateway::TrafficConfig cfg;
+  cfg.phy.sf = 7;
+  cfg.n_channels = 4;
+  cfg.frames_per_channel = 2;
+  cfg.payload_bytes = 6;
+  cfg.snr_db_min = 17.0;
+  cfg.snr_db_max = 21.0;
+  cfg.osc.cfo_drift_hz_per_symbol = 0.0;
+  cfg.seed = 42;
+  return cfg;
+}
+
+// Serial reference: same channelizer, same chunk cadence, one
+// StreamingReceiver per channel run on this thread.
+std::vector<gateway::GatewayEvent> serial_reference(
+    const gateway::TrafficConfig& tcfg, const cvec& wideband,
+    std::size_t chunk, const rt::StreamingOptions& sopt) {
+  std::vector<gateway::GatewayEvent> events;
+  std::vector<std::unique_ptr<rt::StreamingReceiver>> rxs;
+  lora::PhyParams phy = tcfg.phy;
+  for (std::size_t ch = 0; ch < tcfg.n_channels; ++ch) {
+    rxs.push_back(std::make_unique<rt::StreamingReceiver>(
+        phy, sopt, [&events, ch, &phy](const rt::FrameEvent& fe) {
+          gateway::GatewayEvent g;
+          g.channel = ch;
+          g.sf = phy.sf;
+          g.stream_offset = fe.stream_offset;
+          g.user = fe.user;
+          events.push_back(g);
+        }));
+  }
+  Channelizer c(tcfg.n_channels);
+  for (std::size_t at = 0; at < wideband.size(); at += chunk) {
+    const std::size_t end = std::min(wideband.size(), at + chunk);
+    std::vector<cvec> out;
+    c.push(cvec(wideband.begin() + static_cast<std::ptrdiff_t>(at),
+                wideband.begin() + static_cast<std::ptrdiff_t>(end)),
+           out);
+    for (std::size_t ch = 0; ch < tcfg.n_channels; ++ch) {
+      if (!out[ch].empty()) rxs[ch]->push(out[ch]);
+    }
+  }
+  for (auto& rx : rxs) rx->flush();
+  std::stable_sort(events.begin(), events.end(), gateway::event_before);
+  return events;
+}
+
+TEST(Gateway, MatchesSerialReferenceForAnyWorkerCount) {
+  const auto tcfg = small_traffic();
+  const auto cap = gateway::generate_traffic(tcfg);
+  const std::size_t chunk = 1 << 14;
+
+  rt::StreamingOptions sopt;
+  sopt.max_payload_bytes = 16;
+
+  const auto reference = serial_reference(tcfg, cap.samples, chunk, sopt);
+  const auto ref_tuples = tuple_set(reference, /*crc_only=*/true);
+  // The workload must be non-trivial for the comparison to mean anything.
+  ASSERT_GE(ref_tuples.size(), 4u)
+      << "serial reference decoded too little of the synthetic capture";
+
+  for (std::size_t workers : {std::size_t{1}, std::size_t{4}}) {
+    gateway::GatewayConfig gcfg;
+    gcfg.phy = tcfg.phy;
+    gcfg.sfs = {tcfg.phy.sf};
+    gcfg.n_channels = tcfg.n_channels;
+    gcfg.n_workers = workers;
+    gcfg.streaming = sopt;
+    gateway::GatewayRuntime gw(gcfg);
+    for (std::size_t at = 0; at < cap.samples.size(); at += chunk) {
+      const std::size_t end = std::min(cap.samples.size(), at + chunk);
+      gw.push(cvec(cap.samples.begin() + static_cast<std::ptrdiff_t>(at),
+                   cap.samples.begin() + static_cast<std::ptrdiff_t>(end)));
+    }
+    const auto events = gw.stop();
+    EXPECT_EQ(tuple_set(events, true), ref_tuples) << workers << " workers";
+
+    // Full determinism: the ordered feed (offsets included) matches too.
+    ASSERT_EQ(events.size(), reference.size()) << workers << " workers";
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      EXPECT_EQ(events[i].channel, reference[i].channel);
+      EXPECT_EQ(events[i].stream_offset, reference[i].stream_offset);
+      EXPECT_EQ(events[i].user.payload, reference[i].user.payload);
+    }
+  }
+}
+
+TEST(Gateway, DecodesGroundTruthPayloads) {
+  const auto tcfg = small_traffic();
+  const auto cap = gateway::generate_traffic(tcfg);
+
+  gateway::GatewayConfig gcfg;
+  gcfg.phy = tcfg.phy;
+  gcfg.sfs = {tcfg.phy.sf};
+  gcfg.n_channels = tcfg.n_channels;
+  gcfg.n_workers = 2;
+  gcfg.streaming.max_payload_bytes = 16;
+  gateway::GatewayRuntime gw(gcfg);
+  gw.push(cap.samples);
+  const auto events = gw.stop();
+
+  // Score by decoded content against the generator's ground truth.
+  std::size_t delivered = 0;
+  for (const auto& truth : cap.frames) {
+    for (const auto& ev : events) {
+      if (ev.user.crc_ok && ev.channel == truth.channel &&
+          ev.user.payload == truth.payload) {
+        ++delivered;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(delivered, cap.frames.size() - 1)
+      << "of " << cap.frames.size() << " ground-truth frames";
+
+  const auto c = gw.counters();
+  EXPECT_EQ(c.wideband_samples_in, cap.samples.size());
+  EXPECT_EQ(c.frames_decoded, events.size());
+  // One attempt can legitimately emit several users (collision decoding),
+  // so attempts may be below the event count — but never zero here.
+  EXPECT_GT(c.decode_attempts, 0u);
+  EXPECT_EQ(c.chunks_dropped, 0u);
+  EXPECT_EQ(c.queue_high_water.size(), gcfg.n_workers);
+  EXPECT_GE(c.max_queue_high_water(), 1u);
+}
+
+TEST(Gateway, OrderedFeedIsGloballySorted) {
+  const auto tcfg = small_traffic();
+  const auto cap = gateway::generate_traffic(tcfg);
+  gateway::GatewayConfig gcfg;
+  gcfg.phy = tcfg.phy;
+  gcfg.sfs = {tcfg.phy.sf};
+  gcfg.n_channels = tcfg.n_channels;
+  gcfg.n_workers = 4;
+  gcfg.streaming.max_payload_bytes = 16;
+  gateway::GatewayRuntime gw(gcfg);
+  gw.push(cap.samples);
+  const auto events = gw.stop();
+  ASSERT_GE(events.size(), 2u);
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_FALSE(gateway::event_before(events[i], events[i - 1]))
+        << "feed not in global order at " << i;
+  }
+}
+
+TEST(Gateway, DropPolicyAccountsForEveryChunk) {
+  // Under kDropNewest every produced chunk must end up either enqueued or
+  // counted as dropped — nothing silently vanishes, and push never blocks.
+  const auto tcfg = small_traffic();
+  const auto cap = gateway::generate_traffic(tcfg);
+  const std::size_t chunk = 2048;
+
+  // Count the chunks the channelizer will hand the dispatcher (one per
+  // channel per push that completes at least one block).
+  Channelizer probe(tcfg.n_channels);
+  std::uint64_t expected = 0;
+  for (std::size_t at = 0; at < cap.samples.size(); at += chunk) {
+    const std::size_t end = std::min(cap.samples.size(), at + chunk);
+    std::vector<cvec> out;
+    probe.push(cvec(cap.samples.begin() + static_cast<std::ptrdiff_t>(at),
+                    cap.samples.begin() + static_cast<std::ptrdiff_t>(end)),
+               out);
+    for (const auto& s : out) {
+      if (!s.empty()) ++expected;
+    }
+  }
+
+  gateway::GatewayConfig gcfg;
+  gcfg.phy = tcfg.phy;
+  gcfg.sfs = {tcfg.phy.sf};
+  gcfg.n_channels = tcfg.n_channels;
+  gcfg.n_workers = 1;
+  gcfg.queue_capacity = 1;
+  gcfg.overflow = gateway::OverflowPolicy::kDropNewest;
+  gcfg.streaming.max_payload_bytes = 16;
+  gateway::GatewayRuntime gw(gcfg);
+  for (std::size_t at = 0; at < cap.samples.size(); at += chunk) {
+    const std::size_t end = std::min(cap.samples.size(), at + chunk);
+    gw.push(cvec(cap.samples.begin() + static_cast<std::ptrdiff_t>(at),
+                 cap.samples.begin() + static_cast<std::ptrdiff_t>(end)));
+  }
+  (void)gw.stop();
+  const auto c = gw.counters();
+  EXPECT_EQ(c.chunks_enqueued + c.chunks_dropped, expected);
+  EXPECT_GT(c.chunks_enqueued, 0u);
+}
+
+TEST(Gateway, RejectsBadConfig) {
+  gateway::GatewayConfig cfg;
+  cfg.n_workers = 0;
+  EXPECT_THROW(gateway::GatewayRuntime{cfg}, std::invalid_argument);
+  cfg.n_workers = 1;
+  cfg.sfs = {};
+  EXPECT_THROW(gateway::GatewayRuntime{cfg}, std::invalid_argument);
+  cfg.sfs = {8};
+  cfg.n_channels = 5;
+  EXPECT_THROW(gateway::GatewayRuntime{cfg}, std::invalid_argument);
+}
+
+TEST(Gateway, PushAfterStopThrows) {
+  gateway::GatewayConfig cfg;
+  cfg.n_channels = 2;
+  cfg.n_workers = 1;
+  gateway::GatewayRuntime gw(cfg);
+  (void)gw.stop();
+  EXPECT_THROW(gw.push(cvec(16)), std::logic_error);
+  EXPECT_TRUE(gw.stop().empty());  // idempotent
+}
+
+}  // namespace
+}  // namespace choir
