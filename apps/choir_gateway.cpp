@@ -15,6 +15,7 @@
 
 #include "gateway/gateway.hpp"
 #include "gateway/traffic.hpp"
+#include "obs/obs.hpp"
 #include "util/args.hpp"
 #include "util/iq_io.hpp"
 
@@ -35,6 +36,8 @@ int main(int argc, char** argv) {
         "  --queue=N      per-worker queue depth, chunks (64)\n"
         "  --policy=block|drop  backpressure policy (block)\n"
         "  --chunk=N      wideband samples per push (65536)\n"
+        "  --metrics-out=FILE  write pipeline metrics + decode events (JSON)\n"
+        "  --metrics      print the metrics table after the run\n"
         "  synthetic traffic only:\n"
         "  --frames=N     frames per channel (4)  --payload=BYTES (8)\n"
         "  --snr=DB       mean SNR (17)           --seed=S (1)\n");
@@ -118,6 +121,16 @@ int main(int argc, char** argv) {
   std::fputs(gateway::format_counters(c).c_str(), stdout);
   if (truth_frames > 0) {
     std::printf("  ground truth frames : %zu\n", truth_frames);
+  }
+
+  if (args.get_bool("metrics", false)) {
+    std::fputs(obs::format_table().c_str(), stdout);
+  }
+  const std::string metrics_out = args.get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    obs::write_metrics_file(metrics_out);
+    std::printf("metrics written to %s%s\n", metrics_out.c_str(),
+                obs::kEnabled ? "" : " (observability compiled out)");
   }
   return events.empty() ? 1 : 0;
 }

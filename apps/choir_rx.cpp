@@ -12,6 +12,7 @@
 #include <string>
 
 #include "core/team_decoder.hpp"
+#include "obs/obs.hpp"
 #include "rt/streaming.hpp"
 #include "util/args.hpp"
 #include "util/iq_io.hpp"
@@ -24,7 +25,8 @@ int main(int argc, char** argv) {
   if (in.empty()) {
     std::fprintf(stderr,
                  "usage: choir_rx --in=FILE [--format=cf32|cf64] [--sf=N]\n"
-                 "  [--chunk=SAMPLES] [--team-slot=SAMPLE_INDEX]\n");
+                 "  [--chunk=SAMPLES] [--team-slot=SAMPLE_INDEX]\n"
+                 "  [--metrics-out=FILE] [--metrics]\n");
     return 2;
   }
   lora::PhyParams phy;
@@ -82,6 +84,16 @@ int main(int argc, char** argv) {
       std::printf("team: nothing detected near slot %zu (score %.1f)\n",
                   slot, res.detection_score);
     }
+  }
+
+  if (args.get_bool("metrics", false)) {
+    std::fputs(obs::format_table().c_str(), stdout);
+  }
+  const std::string metrics_out = args.get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    obs::write_metrics_file(metrics_out);
+    std::printf("metrics written to %s%s\n", metrics_out.c_str(),
+                obs::kEnabled ? "" : " (observability compiled out)");
   }
   return frames > 0 ? 0 : 1;
 }

@@ -7,6 +7,7 @@
 
 #include "core/residual.hpp"
 #include "dsp/chirp.hpp"
+#include "obs/obs.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/fold_tone.hpp"
 #include "dsp/peaks.hpp"
@@ -447,15 +448,21 @@ void CollisionDecoder::subtract_window(cvec& rx, std::size_t wstart,
 }
 
 std::vector<DecodedUser> CollisionDecoder::decode(const cvec& rx,
-                                                  std::size_t start) const {
+                                                  std::size_t start,
+                                                  DecodeDiag* diag) const {
+  CHOIR_OBS_TIMED_SCOPE("core.decode.us");
   // Packet-level SIC: strip CRC-clean users from the capture and give the
   // rest another chance with the interference gone.
   cvec work = rx;
   std::vector<DecodedUser> finished;
   std::vector<DecodedUser> losers;
   const int rounds = std::max(1, opt_.packet_sic_rounds);
+  int rounds_run = 0;
+  std::size_t first_pass_users = 0;
   for (int round = 0; round < rounds; ++round) {
+    ++rounds_run;
     std::vector<DecodedUser> decoded = decode_once(work, start);
+    if (round == 0) first_pass_users = decoded.size();
     std::vector<DecodedUser> winners;
     losers.clear();
     for (DecodedUser& du : decoded) {
@@ -470,6 +477,22 @@ std::vector<DecodedUser> CollisionDecoder::decode(const cvec& rx,
     if (winners.empty() || losers.empty()) break;
   }
   for (DecodedUser& l : losers) finished.push_back(std::move(l));
+
+  CHOIR_OBS_COUNT("core.decode.sic_rounds", static_cast<std::uint64_t>(rounds_run));
+  CHOIR_OBS_HIST_COUNTS("core.decode.users", static_cast<double>(finished.size()));
+  for (const DecodedUser& du : finished) {
+    if (du.crc_ok) {
+      CHOIR_OBS_COUNT("core.decode.crc_ok", 1);
+    } else if (du.frame_ok) {
+      CHOIR_OBS_COUNT("core.decode.crc_fail", 1);
+    } else {
+      CHOIR_OBS_COUNT("core.decode.frame_fail", 1);
+    }
+  }
+  if (diag != nullptr) {
+    diag->peak_count = first_pass_users;
+    diag->sic_rounds = rounds_run;
+  }
   return finished;
 }
 

@@ -68,6 +68,16 @@ struct CollisionDecoderOptions {
   int packet_sic_rounds = 4;
 };
 
+/// Per-attempt diagnostics filled by decode(), consumed by the
+/// observability decode-event log (src/obs/event_log.hpp).
+struct DecodeDiag {
+  /// User hypotheses produced by the first estimation pass (peak count
+  /// after SNR gating) — the stage where undetected users are lost.
+  std::size_t peak_count = 0;
+  /// Packet-level SIC rounds actually executed (<= packet_sic_rounds).
+  int sic_rounds = 0;
+};
+
 class CollisionDecoder {
  public:
   explicit CollisionDecoder(const lora::PhyParams& phy,
@@ -77,8 +87,10 @@ class CollisionDecoder {
 
   /// Decodes all discernible users. `start` anchors the receiver's symbol
   /// window grid at the (beacon-synchronized) collision start; individual
-  /// users may lead/lag it by their sub-symbol timing offsets.
-  std::vector<DecodedUser> decode(const cvec& rx, std::size_t start) const;
+  /// users may lead/lag it by their sub-symbol timing offsets. `diag`,
+  /// when non-null, receives per-attempt stage diagnostics.
+  std::vector<DecodedUser> decode(const cvec& rx, std::size_t start,
+                                  DecodeDiag* diag = nullptr) const;
 
   /// Like decode(), but also subtracts every decoded user's reconstructed
   /// signal from `rx` in the time domain — used to strip in-range users

@@ -7,6 +7,7 @@
 #include "core/residual.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/peaks.hpp"
+#include "obs/obs.hpp"
 #include "util/db.hpp"
 
 namespace choir::core {
@@ -114,6 +115,7 @@ std::vector<UserEstimate> OffsetEstimator::estimate(
     const std::vector<cvec>& raw_preamble) const {
   if (raw_preamble.empty())
     throw std::invalid_argument("OffsetEstimator: no preamble windows");
+  CHOIR_OBS_TIMED_SCOPE("core.estimate.us");
   const std::size_t n = phy_.chips();
   for (const cvec& w : raw_preamble) {
     if (w.size() != n)
@@ -271,6 +273,7 @@ std::vector<UserEstimate> OffsetEstimator::estimate(
             [](const UserEstimate& a, const UserEstimate& b) {
               return a.magnitude > b.magnitude;
             });
+  CHOIR_OBS_HIST_COUNTS("core.estimate.users", static_cast<double>(users.size()));
   return users;
 }
 

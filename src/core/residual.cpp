@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace choir::core {
 
 namespace {
@@ -171,6 +173,7 @@ std::vector<cplx> ToneResidualEvaluator::project(double offset) const {
 
 double ToneResidualEvaluator::evaluate(const std::vector<double>& offs,
                                        std::size_t changed, double value) {
+  CHOIR_OBS_COUNT("core.residual.evals", 1);
   const std::size_t k = offs.size();
   const std::size_t n = windows_.front().size();
   std::vector<double> actual = offs;
@@ -243,6 +246,7 @@ void ToneResidualEvaluator::add_tone(double value) {
 
 double descend_offsets(ToneResidualEvaluator& eval, double radius, int cycles,
                        double tol) {
+  CHOIR_OBS_COUNT("core.residual.descents", 1);
   double best = eval.current();
   static const double kInvPhi = (std::sqrt(5.0) - 1.0) / 2.0;
   for (int cycle = 0; cycle < cycles; ++cycle) {

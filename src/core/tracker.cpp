@@ -8,6 +8,7 @@
 #include "dsp/chirp.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/peaks.hpp"
+#include "obs/obs.hpp"
 
 namespace choir::core {
 
@@ -61,6 +62,9 @@ std::vector<PeakObservation> UserTracker::collect(const cvec& rx,
 std::vector<int> UserTracker::cluster_users(
     const std::vector<PeakObservation>& obs, std::size_t k, Rng& rng) const {
   if (obs.empty()) return {};
+  CHOIR_OBS_TIMED_SCOPE("core.cluster.us");
+  CHOIR_OBS_COUNT("core.cluster.observations",
+                  static_cast<std::uint64_t>(obs.size()));
   double max_mag = 0.0;
   for (const auto& o : obs) max_mag = std::max(max_mag, o.magnitude);
   if (max_mag <= 0.0) max_mag = 1.0;

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "dsp/fft.hpp"
+#include "obs/obs.hpp"
 
 namespace choir::dsp {
 
@@ -75,6 +76,7 @@ double chirp_phase_at_end(std::size_t n, std::size_t symbol) {
 void dechirp(cvec& window, const cvec& downchirp) {
   if (window.size() != downchirp.size())
     throw std::invalid_argument("dechirp: size mismatch");
+  CHOIR_OBS_COUNT("dsp.dechirp.windows", 1);
   for (std::size_t i = 0; i < window.size(); ++i) window[i] *= downchirp[i];
 }
 

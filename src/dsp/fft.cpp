@@ -4,6 +4,8 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace choir::dsp {
 
 bool is_pow2(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
@@ -91,6 +93,7 @@ const FftPlan& plan_for(std::size_t size) {
 cvec fft_padded(const cvec& in, std::size_t out_size) {
   if (out_size < in.size())
     throw std::invalid_argument("fft_padded: out_size < input length");
+  CHOIR_OBS_TIMED_SCOPE("dsp.fft.us");
   cvec buf(out_size, cplx{0.0, 0.0});
   std::copy(in.begin(), in.end(), buf.begin());
   plan_for(out_size).forward(buf);

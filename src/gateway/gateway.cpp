@@ -25,9 +25,20 @@ GatewayRuntime::GatewayRuntime(const GatewayConfig& cfg)
       pl.worker = pipelines_.size() % cfg_.n_workers;
       lora::PhyParams phy = cfg_.phy;
       phy.sf = sf;
+      rt::StreamingOptions sopt = cfg_.streaming;
+      sopt.obs_channel = static_cast<int>(ch);
+      const std::size_t idx = pipelines_.size();
       pl.rx = std::make_unique<rt::StreamingReceiver>(
-          phy, cfg_.streaming, [this, ch, sf](const rt::FrameEvent& ev) {
+          phy, sopt, [this, ch, sf, idx](const rt::FrameEvent& ev) {
             stats_.add_frame(ev.user.crc_ok);
+            if constexpr (obs::kEnabled) {
+              // Enqueue-to-decode latency of the frame's final chunk.
+              const auto ts = pipelines_[idx].chunk_ts;
+              if (ts != obs::Clock::time_point{}) {
+                CHOIR_OBS_HIST("gateway.frame.latency.us",
+                               obs::elapsed_us(ts, obs::Clock::now()));
+              }
+            }
             GatewayEvent g;
             g.channel = ch;
             g.sf = sf;
@@ -53,6 +64,7 @@ GatewayRuntime::~GatewayRuntime() {
 void GatewayRuntime::push(const cvec& wideband_chunk) {
   if (stopped_)
     throw std::logic_error("GatewayRuntime: push after stop");
+  CHOIR_OBS_TIMED_SCOPE("gateway.push.us");
   stats_.add_samples(wideband_chunk.size());
   for (auto& s : scratch_) s.clear();
   channelizer_.push(wideband_chunk, scratch_);
@@ -68,6 +80,7 @@ void GatewayRuntime::push(const cvec& wideband_chunk) {
       WorkItem item;
       item.pipeline = idx;
       item.chunk = chunk;
+      if constexpr (obs::kEnabled) item.enqueued = obs::Clock::now();
       if (queues_[pipelines_[idx].worker]->push(std::move(item))) {
         stats_.add_chunk();
       }
@@ -81,13 +94,30 @@ std::vector<GatewayEvent> GatewayRuntime::stop() {
   stopped_ = true;
   for (auto& q : queues_) q->close();
   for (auto& t : threads_) t.join();
+  if constexpr (obs::kEnabled) {
+    // Final queue tallies — high-water marks and drop counts only settle
+    // once the workers have drained.
+    std::uint64_t dropped = 0;
+    for (const auto& q : queues_) {
+      CHOIR_OBS_GAUGE_MAX("gateway.queue.high_water",
+                          static_cast<std::int64_t>(q->high_water()));
+      dropped += q->dropped();
+    }
+    stats_.add_dropped(dropped);
+  }
   return aggregator_.drain_ordered();
 }
 
 void GatewayRuntime::worker_main(std::size_t w) {
   auto& queue = *queues_[w];
   while (auto item = queue.pop()) {
-    pipelines_[item->pipeline].rx->push(*item->chunk);
+    Pipeline& pl = pipelines_[item->pipeline];
+    if constexpr (obs::kEnabled) {
+      CHOIR_OBS_HIST("gateway.queue.wait.us",
+                     obs::elapsed_us(item->enqueued, obs::Clock::now()));
+      pl.chunk_ts = item->enqueued;
+    }
+    pl.rx->push(*item->chunk);
   }
   // Queue closed and drained: end-of-stream for every pipeline we own.
   for (auto& pl : pipelines_) {

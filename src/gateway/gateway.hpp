@@ -35,6 +35,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/obs.hpp"
+
 #include "gateway/aggregator.hpp"
 #include "gateway/channelizer.hpp"
 #include "gateway/spsc_queue.hpp"
@@ -92,12 +94,19 @@ class GatewayRuntime {
   struct WorkItem {
     std::size_t pipeline = 0;
     std::shared_ptr<const cvec> chunk;
+    /// Enqueue time, for queue-wait and end-to-end latency metrics (only
+    /// stamped when observability is compiled in).
+    obs::Clock::time_point enqueued{};
   };
   struct Pipeline {
     std::size_t channel = 0;
     int sf = 0;
     std::size_t worker = 0;
     std::unique_ptr<rt::StreamingReceiver> rx;
+    /// Enqueue time of the chunk currently being decoded on this pipeline;
+    /// the frame callback reads it to measure end-to-end frame latency.
+    /// Written and read only on the owning worker's thread.
+    obs::Clock::time_point chunk_ts{};
   };
 
   void worker_main(std::size_t w);

@@ -7,6 +7,18 @@
 
 namespace choir::gateway {
 
+GatewayStats::GatewayStats() {
+  if constexpr (obs::kEnabled) {
+    auto& r = obs::registry();
+    reg_samples_ = &r.counter("gateway.wideband_samples_in");
+    reg_chunks_ = &r.counter("gateway.chunks_enqueued");
+    reg_frames_ = &r.counter("gateway.frames_decoded");
+    reg_crc_fail_ = &r.counter("gateway.crc_failures");
+    reg_attempts_ = &r.counter("gateway.decode_attempts");
+    reg_dropped_ = &r.counter("gateway.chunks_dropped");
+  }
+}
+
 std::size_t GatewayCounters::max_queue_high_water() const {
   std::size_t m = 0;
   for (std::size_t h : queue_high_water) m = std::max(m, h);

@@ -4,12 +4,21 @@
 // All counters are monotonic and relaxed-atomic: they are diagnostics, not
 // synchronization — ordering between them is established by the queues and
 // thread joins, never by the counters themselves.
+//
+// Every add is mirrored into the process-wide obs registry (gateway.*
+// counters) so `--metrics-out` sees the gateway alongside the decode
+// pipeline's own metrics; the per-instance atomics remain authoritative for
+// GatewayRuntime::counters(), which must stay per-runtime (tests construct
+// several runtimes per process). With CHOIR_OBS=OFF the mirror compiles
+// out and only the per-instance counters remain.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "obs/obs.hpp"
 
 namespace choir::gateway {
 
@@ -31,14 +40,32 @@ std::string format_counters(const GatewayCounters& c);
 
 class GatewayStats {
  public:
-  void add_samples(std::uint64_t n) { samples_.fetch_add(n, relaxed); }
-  void add_chunk() { chunks_.fetch_add(1, relaxed); }
+  GatewayStats();
+
+  void add_samples(std::uint64_t n) {
+    samples_.fetch_add(n, relaxed);
+    if constexpr (obs::kEnabled) reg_samples_->add(n);
+  }
+  void add_chunk() {
+    chunks_.fetch_add(1, relaxed);
+    if constexpr (obs::kEnabled) reg_chunks_->add(1);
+  }
   void add_frame(bool crc_ok) {
     frames_.fetch_add(1, relaxed);
-    if (!crc_ok) crc_fail_.fetch_add(1, relaxed);
+    if constexpr (obs::kEnabled) reg_frames_->add(1);
+    if (!crc_ok) {
+      crc_fail_.fetch_add(1, relaxed);
+      if constexpr (obs::kEnabled) reg_crc_fail_->add(1);
+    }
   }
   void add_decode_attempts(std::uint64_t n) {
     attempts_.fetch_add(n, relaxed);
+    if constexpr (obs::kEnabled) reg_attempts_->add(n);
+  }
+  void add_dropped(std::uint64_t n) {
+    if constexpr (obs::kEnabled) {
+      if (n > 0) reg_dropped_->add(n);
+    }
   }
 
   std::uint64_t frames_decoded() const { return frames_.load(relaxed); }
@@ -62,6 +89,13 @@ class GatewayStats {
   std::atomic<std::uint64_t> frames_{0};
   std::atomic<std::uint64_t> crc_fail_{0};
   std::atomic<std::uint64_t> attempts_{0};
+  // Registry mirrors (process-lifetime handles; null iff obs disabled).
+  obs::Counter* reg_samples_ = nullptr;
+  obs::Counter* reg_chunks_ = nullptr;
+  obs::Counter* reg_frames_ = nullptr;
+  obs::Counter* reg_crc_fail_ = nullptr;
+  obs::Counter* reg_attempts_ = nullptr;
+  obs::Counter* reg_dropped_ = nullptr;
 };
 
 }  // namespace choir::gateway

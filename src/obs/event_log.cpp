@@ -1,0 +1,57 @@
+#include "obs/event_log.hpp"
+
+namespace choir::obs {
+
+void DecodeEventLog::record(DecodeEvent ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recorded_;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(ev));
+    return;
+  }
+  if (capacity_ == 0) return;
+  ring_[next_] = std::move(ev);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::vector<DecodeEvent> DecodeEventLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<DecodeEvent> out;
+  out.reserve(ring_.size());
+  // Once the ring has wrapped, `next_` is the oldest retained entry.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::uint64_t DecodeEventLog::total_recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+std::size_t DecodeEventLog::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void DecodeEventLog::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  ring_.clear();
+  next_ = 0;
+}
+
+void DecodeEventLog::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  recorded_ = 0;
+}
+
+DecodeEventLog& decode_log() {
+  static DecodeEventLog log;
+  return log;
+}
+
+}  // namespace choir::obs

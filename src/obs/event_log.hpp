@@ -1,0 +1,76 @@
+// Structured decode-event log: one record per collision-decode attempt,
+// answering "which stage lost this frame" — how many user hypotheses the
+// peak/estimation stage produced, what fractional CFO/timing each user got,
+// how many packet-SIC rounds ran, which users parsed and which passed CRC.
+//
+// Recording happens once per decode attempt (milliseconds of DSP work), so
+// a mutex-protected ring is plenty: the lock is uncontended relative to the
+// decode cost and trivially TSan-clean. The ring keeps the newest
+// `capacity()` events; `total_recorded()` keeps counting past that so
+// exporters can report how many were evicted.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace choir::obs {
+
+/// Per-user slice of a decode attempt.
+struct DecodeUserRecord {
+  double offset_bins = 0.0;     ///< aggregate fractional offset lambda
+  double cfo_bins = 0.0;        ///< carrier component of the split
+  double timing_samples = 0.0;  ///< timing component of the split
+  double snr_db = 0.0;
+  bool frame_ok = false;  ///< frame structure parsed
+  bool crc_ok = false;    ///< payload CRC passed
+  std::uint32_t payload_bytes = 0;
+  /// Which decoder user-slot (cluster of per-window peaks) this record was
+  /// assembled from — slot i is the i-th strongest estimated user. -1 when
+  /// the attempt produced no assignment for this record.
+  std::int32_t cluster = -1;
+};
+
+/// One collision-decode attempt.
+struct DecodeEvent {
+  std::int32_t channel = -1;  ///< gateway channel index; -1 single-stream
+  std::int32_t sf = 0;
+  std::uint64_t stream_offset = 0;  ///< anchor sample of the attempt
+  std::uint32_t peak_count = 0;     ///< user hypotheses after estimation
+  std::uint32_t sic_rounds = 0;     ///< packet-level SIC rounds executed
+  std::uint32_t users_emitted = 0;  ///< frames actually emitted downstream
+  double decode_us = 0.0;           ///< wall time of the decoder call
+  std::vector<DecodeUserRecord> users;
+};
+
+class DecodeEventLog {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 16384;
+
+  void record(DecodeEvent ev);
+
+  /// Oldest-first copy of the retained events.
+  std::vector<DecodeEvent> snapshot() const;
+
+  /// Events ever recorded (>= snapshot().size() once the ring wraps).
+  std::uint64_t total_recorded() const;
+
+  std::size_t capacity() const;
+  /// Also clears retained events (capacity changes restart the ring).
+  void set_capacity(std::size_t capacity);
+
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<DecodeEvent> ring_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::size_t next_ = 0;        ///< ring write position once full
+  std::uint64_t recorded_ = 0;  ///< lifetime count
+};
+
+/// The process-wide decode-event log.
+DecodeEventLog& decode_log();
+
+}  // namespace choir::obs

@@ -1,0 +1,174 @@
+// JSON and table exporters for the registry + decode-event log. The JSON
+// is hand-rolled (flat, no escaping needed: every key is a dotted metric
+// name we mint ourselves) so the library stays dependency-free.
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
+
+namespace choir::obs {
+
+namespace {
+
+std::string num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string num(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+std::string num(std::int64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+  return buf;
+}
+
+void append_event_json(std::string& out, const DecodeEvent& ev) {
+  out += "{\"channel\":" + num(static_cast<std::int64_t>(ev.channel));
+  out += ",\"sf\":" + num(static_cast<std::int64_t>(ev.sf));
+  out += ",\"stream_offset\":" + num(static_cast<std::uint64_t>(ev.stream_offset));
+  out += ",\"peak_count\":" + num(static_cast<std::uint64_t>(ev.peak_count));
+  out += ",\"sic_rounds\":" + num(static_cast<std::uint64_t>(ev.sic_rounds));
+  out += ",\"users_emitted\":" + num(static_cast<std::uint64_t>(ev.users_emitted));
+  out += ",\"decode_us\":" + num(ev.decode_us);
+  out += ",\"users\":[";
+  for (std::size_t i = 0; i < ev.users.size(); ++i) {
+    const DecodeUserRecord& u = ev.users[i];
+    if (i) out += ',';
+    out += "{\"cluster\":" + num(static_cast<std::int64_t>(u.cluster));
+    out += ",\"offset_bins\":" + num(u.offset_bins);
+    out += ",\"cfo_bins\":" + num(u.cfo_bins);
+    out += ",\"timing_samples\":" + num(u.timing_samples);
+    out += ",\"snr_db\":" + num(u.snr_db);
+    out += ",\"frame_ok\":";
+    out += u.frame_ok ? "true" : "false";
+    out += ",\"crc_ok\":";
+    out += u.crc_ok ? "true" : "false";
+    out += ",\"payload_bytes\":" + num(static_cast<std::uint64_t>(u.payload_bytes));
+    out += '}';
+  }
+  out += "]}";
+}
+
+}  // namespace
+
+std::string export_json() {
+  const RegistrySnapshot snap = registry().snapshot();
+  std::string out = "{\n";
+  out += "\"obs_enabled\":";
+  out += kEnabled ? "true" : "false";
+
+  out += ",\n\"counters\":{";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i) out += ',';
+    out += "\n  \"" + snap.counters[i].first +
+           "\":" + num(snap.counters[i].second);
+  }
+  out += "\n},\n\"gauges\":{";
+  for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i) out += ',';
+    out += "\n  \"" + snap.gauges[i].first + "\":" +
+           num(static_cast<std::int64_t>(snap.gauges[i].second));
+  }
+  out += "\n},\n\"histograms\":{";
+  for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
+    const HistogramSnapshot& h = snap.histograms[i];
+    if (i) out += ',';
+    out += "\n  \"" + h.name + "\":{";
+    out += "\"count\":" + num(h.count);
+    out += ",\"sum\":" + num(h.sum);
+    out += ",\"min\":" + num(h.min);
+    out += ",\"max\":" + num(h.max);
+    out += ",\"p50\":" + num(h.p50);
+    out += ",\"p90\":" + num(h.p90);
+    out += ",\"p99\":" + num(h.p99);
+    out += ",\"bounds\":[";
+    for (std::size_t j = 0; j < h.bounds.size(); ++j) {
+      if (j) out += ',';
+      out += num(h.bounds[j]);
+    }
+    out += "],\"bucket_counts\":[";
+    for (std::size_t j = 0; j < h.counts.size(); ++j) {
+      if (j) out += ',';
+      out += num(h.counts[j]);
+    }
+    out += "]}";
+  }
+
+  const std::vector<DecodeEvent> events = decode_log().snapshot();
+  out += "\n},\n\"decode_events\":{";
+  out += "\"recorded\":" + num(decode_log().total_recorded());
+  out += ",\"retained\":" + num(static_cast<std::uint64_t>(events.size()));
+  out += ",\"events\":[";
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    if (i) out += ',';
+    out += "\n  ";
+    append_event_json(out, events[i]);
+  }
+  out += "\n]}\n}\n";
+  return out;
+}
+
+std::string format_table() {
+  const RegistrySnapshot snap = registry().snapshot();
+  std::string out;
+  char buf[256];
+  if (!kEnabled) {
+    out += "observability compiled out (CHOIR_OBS=OFF)\n";
+  }
+  if (!snap.counters.empty() || !snap.gauges.empty()) {
+    out += "-- counters ------------------------------------------------\n";
+    for (const auto& [name, v] : snap.counters) {
+      std::snprintf(buf, sizeof(buf), "  %-34s %14" PRIu64 "\n", name.c_str(),
+                    v);
+      out += buf;
+    }
+    for (const auto& [name, v] : snap.gauges) {
+      std::snprintf(buf, sizeof(buf), "  %-34s %14" PRId64 "  (gauge)\n",
+                    name.c_str(), v);
+      out += buf;
+    }
+  }
+  if (!snap.histograms.empty()) {
+    out += "-- stage latency / distributions ---------------------------\n";
+    std::snprintf(buf, sizeof(buf), "  %-28s %10s %10s %10s %10s %10s\n",
+                  "histogram", "count", "mean", "p50", "p90", "max");
+    out += buf;
+    for (const HistogramSnapshot& h : snap.histograms) {
+      const double mean =
+          h.count ? h.sum / static_cast<double>(h.count) : 0.0;
+      std::snprintf(buf, sizeof(buf),
+                    "  %-28s %10" PRIu64 " %10.1f %10.1f %10.1f %10.1f\n",
+                    h.name.c_str(), h.count, mean, h.p50, h.p90, h.max);
+      out += buf;
+    }
+  }
+  const std::uint64_t recorded = decode_log().total_recorded();
+  std::snprintf(buf, sizeof(buf),
+                "-- decode events: %" PRIu64 " recorded, %zu retained "
+                "(JSON export has full records)\n",
+                recorded, decode_log().snapshot().size());
+  out += buf;
+  return out;
+}
+
+void write_metrics_file(const std::string& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) throw std::runtime_error("obs: cannot open " + path);
+  const std::string json = export_json();
+  f.write(json.data(), static_cast<std::streamsize>(json.size()));
+  if (!f) throw std::runtime_error("obs: write failed: " + path);
+}
+
+}  // namespace choir::obs

@@ -1,0 +1,169 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace choir::obs {
+
+const Buckets& Buckets::latency_us() {
+  static const Buckets b{{1.0,    2.0,    5.0,    10.0,   20.0,   50.0,
+                          100.0,  200.0,  500.0,  1e3,    2e3,    5e3,
+                          1e4,    2e4,    5e4,    1e5,    2e5,    5e5,
+                          1e6,    2e6,    5e6,    1e7}};
+  return b;
+}
+
+const Buckets& Buckets::small_counts() {
+  static const Buckets b{{0.0, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0, 12.0, 16.0,
+                          24.0, 32.0, 64.0}};
+  return b;
+}
+
+Histogram::Histogram(const Buckets& buckets) : bounds_(buckets.bounds) {
+  buckets_ = std::make_unique<std::atomic<std::uint64_t>[]>(
+      bounds_.size() + 1);
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+  min_.store(std::numeric_limits<double>::infinity());
+  max_.store(-std::numeric_limits<double>::infinity());
+}
+
+void Histogram::record(double value) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), value);
+  const std::size_t idx =
+      static_cast<std::size_t>(it - bounds_.begin());  // overflow at size()
+  buckets_[idx].fetch_add(1, relaxed);
+  count_.fetch_add(1, relaxed);
+  // fetch_add on atomic<double> is C++20 but not universally lowered well;
+  // a CAS loop keeps this portable and is uncontended in practice.
+  double s = sum_.load(relaxed);
+  while (!sum_.compare_exchange_weak(s, s + value, relaxed)) {
+  }
+  double lo = min_.load(relaxed);
+  while (value < lo && !min_.compare_exchange_weak(lo, value, relaxed)) {
+  }
+  double hi = max_.load(relaxed);
+  while (value > hi && !max_.compare_exchange_weak(hi, value, relaxed)) {
+  }
+}
+
+double Histogram::min() const {
+  const double v = min_.load(relaxed);
+  return std::isfinite(v) ? v : 0.0;
+}
+
+double Histogram::max() const {
+  const double v = max_.load(relaxed);
+  return std::isfinite(v) ? v : 0.0;
+}
+
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(bounds_.size() + 1);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = buckets_[i].load(relaxed);
+  return out;
+}
+
+double Histogram::quantile(double q) const {
+  const std::vector<std::uint64_t> counts = bucket_counts();
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double next = cum + static_cast<double>(counts[i]);
+    if (next >= target && counts[i] > 0) {
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = i < bounds_.size() ? bounds_[i] : max();
+      const double frac =
+          (target - cum) / static_cast<double>(counts[i]);
+      return lo + std::clamp(frac, 0.0, 1.0) * (std::max(hi, lo) - lo);
+    }
+    cum = next;
+  }
+  return max();
+}
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i)
+    buckets_[i].store(0, relaxed);
+  count_.store(0, relaxed);
+  sum_.store(0.0, relaxed);
+  min_.store(std::numeric_limits<double>::infinity(), relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(), relaxed);
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name, const Buckets& buckets) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(buckets))
+             .first;
+  }
+  return *it->second;
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot out;
+  out.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    out.counters.emplace_back(name, c->value());
+  }
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    out.gauges.emplace_back(name, g->value());
+  }
+  out.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot s;
+    s.name = name;
+    s.bounds = h->bounds();
+    s.counts = h->bucket_counts();
+    s.count = h->count();
+    s.sum = h->sum();
+    s.min = h->min();
+    s.max = h->max();
+    s.p50 = h->quantile(0.50);
+    s.p90 = h->quantile(0.90);
+    s.p99 = h->quantile(0.99);
+    out.histograms.push_back(std::move(s));
+  }
+  return out;
+}
+
+void Registry::reset_values() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace choir::obs

@@ -1,0 +1,167 @@
+// Low-overhead decode-pipeline metrics (counters, gauges, fixed-bucket
+// histograms) behind one process-wide registry.
+//
+// Hot-path discipline: every instrument is a plain relaxed atomic — no
+// locks, no allocation, no branching beyond the atomic op itself. The
+// registry's mutex guards only *registration* (name -> instrument lookup),
+// which call sites do once through a function-local static, so steady-state
+// cost is one relaxed fetch_add (counter/gauge) or one clock read plus a
+// handful of relaxed ops (histogram record).
+//
+// Instruments are registered by dotted name ("gateway.frame.latency_us");
+// the dots encode the span hierarchy documented in docs/OBSERVABILITY.md.
+// Handles returned by the registry stay valid for the process lifetime —
+// reset() zeroes values in place, it never invalidates pointers.
+//
+// The compile-time switch lives in obs.hpp: with CHOIR_OBS=OFF the
+// instrumentation macros expand to nothing and `kEnabled` guards compile
+// out, but this library still builds (the registry simply stays empty).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace choir::obs {
+
+#if defined(CHOIR_OBS_DISABLED)
+inline constexpr bool kEnabled = false;
+#else
+inline constexpr bool kEnabled = true;
+#endif
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, relaxed); }
+  std::uint64_t value() const { return v_.load(relaxed); }
+  void reset() { v_.store(0, relaxed); }
+
+ private:
+  static constexpr auto relaxed = std::memory_order_relaxed;
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written (or running-max) instantaneous value.
+class Gauge {
+ public:
+  void set(std::int64_t v) { v_.store(v, relaxed); }
+  void add(std::int64_t d) { v_.fetch_add(d, relaxed); }
+  /// Raises the gauge to `v` if it is larger (high-water tracking).
+  void max_of(std::int64_t v) {
+    std::int64_t cur = v_.load(relaxed);
+    while (v > cur && !v_.compare_exchange_weak(cur, v, relaxed)) {
+    }
+  }
+  std::int64_t value() const { return v_.load(relaxed); }
+  void reset() { v_.store(0, relaxed); }
+
+ private:
+  static constexpr auto relaxed = std::memory_order_relaxed;
+  std::atomic<std::int64_t> v_{0};
+};
+
+/// Fixed bucket upper bounds for a histogram. Values land in the first
+/// bucket whose bound is >= value; larger values go to the overflow bucket.
+struct Buckets {
+  std::vector<double> bounds;
+
+  /// Default latency grid, microseconds: 1-2-5 decades from 1 us to 10 s.
+  static const Buckets& latency_us();
+  /// Small-integer grid (counts per event: peaks, users, rounds...).
+  static const Buckets& small_counts();
+};
+
+/// Lock-free fixed-bucket histogram with sum/min/max.
+class Histogram {
+ public:
+  explicit Histogram(const Buckets& buckets);
+
+  void record(double value);
+
+  std::uint64_t count() const { return count_.load(relaxed); }
+  double sum() const { return sum_.load(relaxed); }
+  double min() const;
+  double max() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts; index bounds().size() is the overflow bucket.
+  std::vector<std::uint64_t> bucket_counts() const;
+  /// Linear-interpolated quantile estimate from the bucket counts,
+  /// q in [0, 1]. Returns 0 when empty.
+  double quantile(double q) const;
+
+  void reset();
+
+ private:
+  static constexpr auto relaxed = std::memory_order_relaxed;
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> buckets_;  // bounds+overflow
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+/// Plain-value snapshots (safe to hold after the registry moves on).
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  ///< bounds.size()+1 entries (overflow)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+/// Process-wide instrument registry. Registration is mutex-protected and
+/// idempotent; returned references live for the process lifetime.
+class Registry {
+ public:
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name,
+                       const Buckets& buckets = Buckets::latency_us());
+
+  RegistrySnapshot snapshot() const;
+
+  /// Zeroes every instrument in place (handles stay valid). Test isolation
+  /// and app re-runs; not intended for the hot path.
+  void reset_values();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// The process-wide registry.
+Registry& registry();
+
+// ------------------------------------------------------------- exporters
+
+/// Whole-registry JSON document: counters, gauges, histograms and the
+/// decode-event log (see event_log.hpp).
+std::string export_json();
+
+/// Human-readable table of the same data (decode events summarized).
+std::string format_table();
+
+/// Writes export_json() to `path`; throws std::runtime_error on failure.
+void write_metrics_file(const std::string& path);
+
+}  // namespace choir::obs

@@ -1,0 +1,96 @@
+// Umbrella header + instrumentation macros for the decode pipeline.
+//
+// All hot-path instrumentation goes through these macros so that building
+// with -DCHOIR_OBS=OFF (which defines CHOIR_OBS_DISABLED) compiles every
+// call site to nothing — no clock reads, no atomics, no statics. Code that
+// has to *assemble* data before recording (the decode-event log) should
+// guard with `if constexpr (obs::kEnabled)` instead; the branch folds away
+// at compile time.
+//
+// Each macro resolves its instrument once per call site via a
+// function-local static reference, so the steady-state cost is the static
+// guard check plus one relaxed atomic op.
+#pragma once
+
+#include "obs/event_log.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+#define CHOIR_OBS_CONCAT_(a, b) a##b
+#define CHOIR_OBS_CONCAT(a, b) CHOIR_OBS_CONCAT_(a, b)
+
+#if !defined(CHOIR_OBS_DISABLED)
+
+/// Bumps counter `name` by `n`.
+#define CHOIR_OBS_COUNT(name, n)                                           \
+  do {                                                                     \
+    static ::choir::obs::Counter& CHOIR_OBS_CONCAT(choir_obs_c, __LINE__) = \
+        ::choir::obs::registry().counter(name);                            \
+    CHOIR_OBS_CONCAT(choir_obs_c, __LINE__).add(n);                        \
+  } while (0)
+
+/// Sets gauge `name` to `v`.
+#define CHOIR_OBS_GAUGE_SET(name, v)                                       \
+  do {                                                                     \
+    static ::choir::obs::Gauge& CHOIR_OBS_CONCAT(choir_obs_g, __LINE__) =  \
+        ::choir::obs::registry().gauge(name);                              \
+    CHOIR_OBS_CONCAT(choir_obs_g, __LINE__).set(v);                        \
+  } while (0)
+
+/// Raises gauge `name` to `v` if larger (high-water tracking).
+#define CHOIR_OBS_GAUGE_MAX(name, v)                                       \
+  do {                                                                     \
+    static ::choir::obs::Gauge& CHOIR_OBS_CONCAT(choir_obs_g, __LINE__) =  \
+        ::choir::obs::registry().gauge(name);                              \
+    CHOIR_OBS_CONCAT(choir_obs_g, __LINE__).max_of(v);                     \
+  } while (0)
+
+/// Records `v` into histogram `name` (latency-microsecond buckets).
+#define CHOIR_OBS_HIST(name, v)                                            \
+  do {                                                                     \
+    static ::choir::obs::Histogram& CHOIR_OBS_CONCAT(choir_obs_h,          \
+                                                     __LINE__) =           \
+        ::choir::obs::registry().histogram(name);                          \
+    CHOIR_OBS_CONCAT(choir_obs_h, __LINE__).record(v);                     \
+  } while (0)
+
+/// Records `v` into histogram `name` with small-integer buckets.
+#define CHOIR_OBS_HIST_COUNTS(name, v)                                     \
+  do {                                                                     \
+    static ::choir::obs::Histogram& CHOIR_OBS_CONCAT(choir_obs_h,          \
+                                                     __LINE__) =           \
+        ::choir::obs::registry().histogram(                                \
+            name, ::choir::obs::Buckets::small_counts());                  \
+    CHOIR_OBS_CONCAT(choir_obs_h, __LINE__).record(v);                     \
+  } while (0)
+
+/// Times the rest of the enclosing scope into latency histogram `name`.
+#define CHOIR_OBS_TIMED_SCOPE(name)                                        \
+  static ::choir::obs::Histogram& CHOIR_OBS_CONCAT(choir_obs_th,           \
+                                                   __LINE__) =             \
+      ::choir::obs::registry().histogram(name);                            \
+  ::choir::obs::ScopedTimer CHOIR_OBS_CONCAT(choir_obs_ts, __LINE__)(      \
+      CHOIR_OBS_CONCAT(choir_obs_th, __LINE__))
+
+#else  // CHOIR_OBS_DISABLED
+
+#define CHOIR_OBS_COUNT(name, n) \
+  do {                           \
+  } while (0)
+#define CHOIR_OBS_GAUGE_SET(name, v) \
+  do {                               \
+  } while (0)
+#define CHOIR_OBS_GAUGE_MAX(name, v) \
+  do {                               \
+  } while (0)
+#define CHOIR_OBS_HIST(name, v) \
+  do {                          \
+  } while (0)
+#define CHOIR_OBS_HIST_COUNTS(name, v) \
+  do {                                 \
+  } while (0)
+#define CHOIR_OBS_TIMED_SCOPE(name) \
+  do {                              \
+  } while (0)
+
+#endif  // CHOIR_OBS_DISABLED

@@ -1,0 +1,43 @@
+// Scoped-timer span API: measure how long a pipeline stage ran and record
+// it (in microseconds) into a latency histogram on scope exit.
+//
+// Spans nest lexically — a `rt.scan` span encloses the `core.decode` spans
+// of every decode attempt made during that scan, which in turn enclose the
+// `core.estimate` and `dsp.fft` spans below them. The hierarchy is by
+// dotted metric name, not by runtime parent tracking: each level's
+// histogram is independently meaningful and the nesting is documented in
+// docs/OBSERVABILITY.md. Keeping spans unlinked is what makes them cheap
+// enough for per-FFT use (two steady_clock reads + one histogram record).
+//
+// Use via the CHOIR_OBS_TIMED_SCOPE macro in obs.hpp so the whole thing
+// compiles away under CHOIR_OBS=OFF.
+#pragma once
+
+#include <chrono>
+
+#include "obs/metrics.hpp"
+
+namespace choir::obs {
+
+using Clock = std::chrono::steady_clock;
+
+/// Microseconds between two steady-clock points.
+inline double elapsed_us(Clock::time_point t0, Clock::time_point t1) {
+  return std::chrono::duration<double, std::micro>(t1 - t0).count();
+}
+
+/// Records the lifetime of the object, in microseconds, into a histogram.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist) : hist_(&hist), t0_(Clock::now()) {}
+  ~ScopedTimer() { hist_->record(elapsed_us(t0_, Clock::now())); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  Clock::time_point t0_;
+};
+
+}  // namespace choir::obs

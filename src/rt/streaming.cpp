@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "lora/frame.hpp"
+#include "obs/obs.hpp"
 
 namespace choir::rt {
 
@@ -26,6 +27,7 @@ StreamingReceiver::StreamingReceiver(const lora::PhyParams& phy,
 }
 
 void StreamingReceiver::push(const cvec& chunk) {
+  CHOIR_OBS_COUNT("rt.samples_in", chunk.size());
   buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
   flushed_ = false;
   // A scan cannot make progress on less than one new symbol window, and
@@ -40,11 +42,13 @@ void StreamingReceiver::push(const cvec& chunk) {
 void StreamingReceiver::flush() {
   if (flushed_) return;
   flushed_ = true;
+  CHOIR_OBS_COUNT("rt.flushes", 1);
   unscanned_ = 0;
   scan(/*at_end=*/true);
 }
 
 void StreamingReceiver::scan(bool at_end) {
+  CHOIR_OBS_TIMED_SCOPE("rt.scan.us");
   const std::size_t n = phy_.chips();
   // Longest frame we are prepared to decode, in samples.
   const std::size_t frame_span =
@@ -74,13 +78,17 @@ void StreamingReceiver::scan(bool at_end) {
     }
 
     ++decode_attempts_;
+    CHOIR_OBS_COUNT("rt.decode_attempts", 1);
     // Refine alignment with the single-user pipeline (it knows how to line
     // up the SFD), then hand the anchor to the collision decoder so *all*
     // users in the pile-up are recovered.
     const auto aligned = detector_.demodulate(buffer_, start);
     const std::size_t anchor =
         aligned.detected ? aligned.frame_start : *found;
-    const auto users = decoder_.decode(buffer_, anchor);
+    core::DecodeDiag diag;
+    obs::Clock::time_point decode_t0{};
+    if constexpr (obs::kEnabled) decode_t0 = obs::Clock::now();
+    const auto users = decoder_.decode(buffer_, anchor, &diag);
 
     // The estimator occasionally splits one transmission into two nearby
     // user hypotheses that both parse to the same payload; emit each
@@ -108,6 +116,35 @@ void StreamingReceiver::scan(bool at_end) {
       on_frame_(ev);
       decoded_syms = std::max(
           decoded_syms, lora::frame_symbol_count(du->payload.size(), phy_));
+    }
+    CHOIR_OBS_COUNT("rt.frames_emitted", emit.size());
+
+    // One structured decode event per attempt: what the estimation stage
+    // saw, how every user hypothesis fared, and what was emitted.
+    if constexpr (obs::kEnabled) {
+      obs::DecodeEvent oev;
+      oev.channel = opt_.obs_channel;
+      oev.sf = phy_.sf;
+      oev.stream_offset = consumed_ + anchor;
+      oev.peak_count = static_cast<std::uint32_t>(diag.peak_count);
+      oev.sic_rounds = static_cast<std::uint32_t>(diag.sic_rounds);
+      oev.users_emitted = static_cast<std::uint32_t>(emit.size());
+      oev.decode_us = obs::elapsed_us(decode_t0, obs::Clock::now());
+      oev.users.reserve(users.size());
+      for (std::size_t ui = 0; ui < users.size(); ++ui) {
+        const core::DecodedUser& du = users[ui];
+        obs::DecodeUserRecord rec;
+        rec.cluster = static_cast<std::int32_t>(ui);
+        rec.offset_bins = du.est.offset_bins;
+        rec.cfo_bins = du.est.cfo_bins;
+        rec.timing_samples = du.est.timing_samples;
+        rec.snr_db = du.est.snr_db;
+        rec.frame_ok = du.frame_ok;
+        rec.crc_ok = du.crc_ok;
+        rec.payload_bytes = static_cast<std::uint32_t>(du.payload.size());
+        oev.users.push_back(rec);
+      }
+      obs::decode_log().record(std::move(oev));
     }
 
     // Consume through the end of this frame (collisions share the span).

@@ -33,6 +33,9 @@ struct StreamingOptions {
   /// Upper bound on the payload the stream is expected to carry; bounds
   /// how long the receiver waits before decoding a detected frame.
   std::size_t max_payload_bytes = 64;
+  /// Channel index stamped on this stream's obs decode events (-1 = not a
+  /// gateway pipeline). Purely observational; never affects decoding.
+  int obs_channel = -1;
 };
 
 class StreamingReceiver {

@@ -1,0 +1,123 @@
+// Deterministic end-to-end decode matrix: SF x colliding-user-count sweep
+// with fixed seeds, scored against checked-in baseline success rates.
+//
+// Every cell renders `kTrials` seeded collisions, decodes them with the
+// full collision pipeline, and computes the delivery rate (payload
+// recovered CRC-clean / payloads transmitted). The observed rate must not
+// fall below the baseline recorded in tests/data/e2e_baselines.json —
+// baselines are set slightly under the measured rates at the time the
+// matrix was checked in, so any decode-chain regression that costs frames
+// trips the corresponding cell. Improvements are free; to raise the bar,
+// edit the JSON.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "channel/collision.hpp"
+#include "core/collision_decoder.hpp"
+#include "util/rng.hpp"
+
+namespace choir {
+namespace {
+
+constexpr int kTrials = 4;
+
+// Flat {"key": number, ...} document — all the JSON this file needs.
+std::map<std::string, double> load_baselines() {
+  const std::string path =
+      std::string(CHOIR_TEST_DATA_DIR) + "/e2e_baselines.json";
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing " << path;
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string text = ss.str();
+
+  std::map<std::string, double> out;
+  std::size_t at = 0;
+  while (true) {
+    const std::size_t k0 = text.find('"', at);
+    if (k0 == std::string::npos) break;
+    const std::size_t k1 = text.find('"', k0 + 1);
+    if (k1 == std::string::npos) break;
+    const std::size_t colon = text.find(':', k1);
+    if (colon == std::string::npos) break;
+    out[text.substr(k0 + 1, k1 - k0 - 1)] =
+        std::strtod(text.c_str() + colon + 1, nullptr);
+    at = text.find_first_of(",}", colon);
+    if (at == std::string::npos) break;
+  }
+  return out;
+}
+
+class E2eMatrix : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(E2eMatrix, DeliveryRateMeetsBaseline) {
+  const int sf = std::get<0>(GetParam());
+  const int n_users = std::get<1>(GetParam());
+  const std::string key =
+      "sf" + std::to_string(sf) + "_u" + std::to_string(n_users);
+
+  lora::PhyParams phy;
+  phy.sf = sf;
+  channel::OscillatorModel osc;
+  osc.cfo_drift_hz_per_symbol = 0.0;
+
+  int delivered = 0, total = 0;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    // Seed is a pure function of the cell: the matrix is reproducible
+    // run-to-run and machine-to-machine.
+    Rng rng(9000 + static_cast<std::uint64_t>(sf) * 100 +
+            static_cast<std::uint64_t>(n_users) * 10 + trial);
+    std::vector<channel::TxInstance> txs(static_cast<std::size_t>(n_users));
+    for (auto& tx : txs) {
+      tx.phy = phy;
+      tx.payload.resize(6);
+      for (auto& b : tx.payload)
+        b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      tx.hw = channel::DeviceHardware::sample(osc, rng);
+      tx.snr_db = rng.uniform(12.0, 20.0);
+      tx.fading.kind = channel::FadingKind::kNone;
+    }
+    channel::RenderOptions ropt;
+    ropt.osc = osc;
+    const auto cap = render_collision(txs, ropt, rng);
+
+    core::CollisionDecoder dec(phy);
+    const auto users = dec.decode(cap.samples, 0);
+    for (const auto& tx : txs) {
+      ++total;
+      for (const auto& du : users) {
+        if (du.crc_ok && du.payload == tx.payload) {
+          ++delivered;
+          break;
+        }
+      }
+    }
+  }
+
+  const double rate = static_cast<double>(delivered) / total;
+  std::printf("[e2e-matrix] %s: %d/%d delivered (rate %.3f)\n", key.c_str(),
+              delivered, total, rate);
+
+  const auto baselines = load_baselines();
+  const auto it = baselines.find(key);
+  ASSERT_NE(it, baselines.end()) << "no baseline for " << key;
+  EXPECT_GE(rate, it->second)
+      << key << " fell below its checked-in baseline";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cells, E2eMatrix,
+    ::testing::Combine(::testing::Values(7, 8, 10), ::testing::Values(1, 2, 3)),
+    [](const auto& info) {
+      return "sf" + std::to_string(std::get<0>(info.param)) + "_u" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace choir

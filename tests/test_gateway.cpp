@@ -8,6 +8,7 @@
 #include <thread>
 #include <tuple>
 
+#include "channel/collision.hpp"
 #include "gateway/channelizer.hpp"
 #include "gateway/gateway.hpp"
 #include "gateway/spsc_queue.hpp"
@@ -119,6 +120,121 @@ TEST(Channelizer, UpconvertRoundTrip) {
       e += std::norm(out[ch][i]);
     const double mean_power = e / static_cast<double>(count);
     EXPECT_NEAR(mean_power, 1.0, 0.25) << "channel " << ch;
+  }
+}
+
+TEST(Channelizer, ReconstructsRandomNarrowbandTones) {
+  // Perfect-reconstruction property: any tone strictly inside a channel's
+  // passband must come back out of that channel's stream as the same
+  // baseband tone — unit gain, full coherence (a fixed filter delay only
+  // rotates a pure tone's phase) — and essentially nothing elsewhere.
+  Rng rng(77);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t k_channels = (trial % 2 == 0) ? 4 : 8;
+    const auto target =
+        static_cast<std::size_t>(rng.uniform_int(0, static_cast<int>(k_channels) - 1));
+    const double f_norm = rng.uniform(-0.35, 0.35);  // cycles/sample, in-band
+    const double phase = rng.uniform(0.0, kTwoPi);
+    const double amp = rng.uniform(0.5, 2.0);
+    SCOPED_TRACE("trial " + std::to_string(trial) + " k=" +
+                 std::to_string(k_channels) + " ch=" + std::to_string(target) +
+                 " f=" + std::to_string(f_norm));
+
+    const std::size_t len = 4096;
+    std::vector<cvec> base(k_channels, cvec(len, cplx{0.0, 0.0}));
+    for (std::size_t n = 0; n < len; ++n) {
+      base[target][n] =
+          amp * cis(kTwoPi * f_norm * static_cast<double>(n) + phase);
+    }
+    const cvec wide = gateway::upconvert_channels(base);
+
+    Channelizer c(k_channels);
+    std::vector<cvec> out;
+    c.push(wide, out);
+    ASSERT_EQ(out.size(), k_channels);
+    const std::size_t skip = c.prototype().size() / k_channels + 1;
+    ASSERT_GT(out[target].size(), skip + 256);
+
+    // Coherence and gain against the ideal baseband tone (phase-free:
+    // normalized correlation magnitude absorbs the filter's group delay).
+    cplx corr{0.0, 0.0};
+    double e_out = 0.0, e_ref = 0.0;
+    for (std::size_t i = skip; i < out[target].size(); ++i) {
+      const cplx ref =
+          amp * cis(kTwoPi * f_norm * static_cast<double>(i) + phase);
+      corr += out[target][i] * std::conj(ref);
+      e_out += std::norm(out[target][i]);
+      e_ref += std::norm(ref);
+    }
+    EXPECT_GT(std::abs(corr) / std::sqrt(e_out * e_ref), 0.99);
+    EXPECT_NEAR(e_out / e_ref, 1.0, 0.1);
+
+    // Leakage into every other channel stays negligible.
+    for (std::size_t s = 0; s < k_channels; ++s) {
+      if (s == target) continue;
+      cvec tail(out[s].begin() + static_cast<std::ptrdiff_t>(skip),
+                out[s].end());
+      EXPECT_LT(stream_energy(tail), 1e-3 * e_out) << "leak into " << s;
+    }
+  }
+}
+
+TEST(Channelizer, GatewayRoundTripDecodesNarrowbandFrame) {
+  // A clean LoRa frame rendered at baseband, upconverted into one channel
+  // of a wideband stream, must survive channelize -> decode byte-exactly.
+  Rng rng(11);
+  lora::PhyParams phy;
+  phy.sf = 7;
+  const std::size_t k_channels = 4;
+  for (std::size_t target : {std::size_t{0}, std::size_t{2}}) {
+    SCOPED_TRACE("channel " + std::to_string(target));
+    channel::TxInstance tx;
+    tx.phy = phy;
+    tx.payload = {0x13, 0x37, 0xAB, 0xCD, static_cast<std::uint8_t>(target)};
+    tx.hw.cfo_hz = 150.0;
+    tx.hw.timing_offset_s = 1.5e-6;
+    tx.hw.phase = 0.4;
+    tx.snr_db = 25.0;
+    tx.fading.kind = channel::FadingKind::kNone;
+    tx.extra_delay_s = 2e-3;
+    channel::RenderOptions ropt;
+    ropt.osc.cfo_drift_hz_per_symbol = 0.0;
+    ropt.add_noise = false;  // noise goes in at the wideband rate below
+    ropt.tail_s = 2e-3;
+    const auto cap = channel::render_collision({tx}, ropt, rng);
+
+    std::vector<cvec> base(k_channels, cvec(cap.samples.size()));
+    base[target] = cap.samples;
+    cvec wide = gateway::upconvert_channels(base);
+    // Wideband AWGN (variance K -> ~unit per channel after the lowpass):
+    // without it the silent channels are unphysically noise-free and even
+    // numerical leakage images of the frame become "decodable".
+    for (auto& s : wide) {
+      s += rng.cgaussian(static_cast<double>(k_channels));
+    }
+
+    gateway::GatewayConfig gcfg;
+    gcfg.phy = phy;
+    gcfg.sfs = {phy.sf};
+    gcfg.n_channels = k_channels;
+    gcfg.n_workers = 2;
+    gateway::GatewayRuntime gw(gcfg);
+    gw.push(wide);
+    const auto events = gw.stop();
+
+    // The payload must arrive CRC-clean on its own channel and nowhere
+    // else. Adjacent channels may emit CRC-fail fragments from band-edge
+    // leakage — physically expected, not an error.
+    bool delivered = false;
+    for (const auto& ev : events) {
+      if (!ev.user.crc_ok) continue;
+      EXPECT_EQ(ev.channel, target)
+          << "CRC-clean frame decoded on the wrong channel";
+      if (ev.channel == target && ev.user.payload == tx.payload) {
+        delivered = true;
+      }
+    }
+    EXPECT_TRUE(delivered);
   }
 }
 

@@ -1,0 +1,131 @@
+// Observability subsystem: registry instruments, histogram bucketing and
+// quantiles, decode-event ring buffer, and the JSON/table exporters.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "obs/obs.hpp"
+
+namespace choir::obs {
+namespace {
+
+TEST(ObsRegistry, CountersAndGaugesAreIdempotentByName) {
+  auto& r = registry();
+  Counter& a = r.counter("test.obs.counter");
+  Counter& b = r.counter("test.obs.counter");
+  EXPECT_EQ(&a, &b);
+  a.reset();
+  a.add(3);
+  b.add(4);
+  EXPECT_EQ(a.value(), 7u);
+
+  Gauge& g = r.gauge("test.obs.gauge");
+  g.reset();
+  g.set(5);
+  g.max_of(3);
+  EXPECT_EQ(g.value(), 5);
+  g.max_of(9);
+  EXPECT_EQ(g.value(), 9);
+  g.add(-2);
+  EXPECT_EQ(g.value(), 7);
+}
+
+TEST(ObsRegistry, HistogramBucketsAndStats) {
+  auto& r = registry();
+  Histogram& h = r.histogram("test.obs.hist", Buckets::small_counts());
+  h.reset();
+  for (int v : {0, 1, 1, 2, 3, 100}) h.record(v);
+  EXPECT_EQ(h.count(), 6u);
+  EXPECT_DOUBLE_EQ(h.sum(), 107.0);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 100.0);
+  const auto counts = h.bucket_counts();
+  ASSERT_EQ(counts.size(), h.bounds().size() + 1);
+  std::uint64_t total = 0;
+  for (auto c : counts) total += c;
+  EXPECT_EQ(total, 6u);
+  // Overflow bucket catches the value beyond the last bound.
+  EXPECT_EQ(counts.back(), 1u);
+  // Quantiles are monotone and inside the recorded range.
+  const double p50 = h.quantile(0.5), p90 = h.quantile(0.9);
+  EXPECT_LE(p50, p90);
+  EXPECT_GE(p50, 0.0);
+}
+
+TEST(ObsRegistry, HistogramConcurrentRecordsAreAllCounted) {
+  auto& r = registry();
+  Histogram& h = r.histogram("test.obs.hist.mt");
+  h.reset();
+  constexpr int kPerThread = 20000;
+  std::thread t1([&] {
+    for (int i = 0; i < kPerThread; ++i) h.record(10.0);
+  });
+  std::thread t2([&] {
+    for (int i = 0; i < kPerThread; ++i) h.record(1000.0);
+  });
+  t1.join();
+  t2.join();
+  EXPECT_EQ(h.count(), 2u * kPerThread);
+  EXPECT_DOUBLE_EQ(h.sum(), kPerThread * 10.0 + kPerThread * 1000.0);
+}
+
+TEST(ObsEventLog, RingKeepsNewestAndCountsAll) {
+  DecodeEventLog log;
+  log.set_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    DecodeEvent ev;
+    ev.stream_offset = static_cast<std::uint64_t>(i);
+    log.record(std::move(ev));
+  }
+  EXPECT_EQ(log.total_recorded(), 10u);
+  const auto events = log.snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  // Oldest-first snapshot of the newest four.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].stream_offset, 6u + i);
+  }
+}
+
+TEST(ObsExport, JsonContainsInstrumentsAndEvents) {
+  auto& r = registry();
+  r.counter("test.obs.export.count").add(42);
+  {
+    DecodeEvent ev;
+    ev.sf = 8;
+    ev.users_emitted = 1;
+    DecodeUserRecord u;
+    u.offset_bins = 17.25;
+    u.crc_ok = true;
+    ev.users.push_back(u);
+    decode_log().record(std::move(ev));
+  }
+  const std::string json = export_json();
+  EXPECT_NE(json.find("\"test.obs.export.count\""), std::string::npos);
+  EXPECT_NE(json.find("\"decode_events\""), std::string::npos);
+  EXPECT_NE(json.find("\"offset_bins\""), std::string::npos);
+
+  const std::string table = format_table();
+  EXPECT_NE(table.find("test.obs.export.count"), std::string::npos);
+}
+
+TEST(ObsMacros, CompileAndCount) {
+  auto& c = registry().counter("test.obs.macro.count");
+  c.reset();
+  CHOIR_OBS_COUNT("test.obs.macro.count", 2);
+  CHOIR_OBS_COUNT("test.obs.macro.count", 3);
+  if constexpr (kEnabled) {
+    EXPECT_EQ(c.value(), 5u);
+  } else {
+    EXPECT_EQ(c.value(), 0u);
+  }
+  {
+    CHOIR_OBS_TIMED_SCOPE("test.obs.macro.scope.us");
+  }
+  if constexpr (kEnabled) {
+    EXPECT_EQ(registry().histogram("test.obs.macro.scope.us").count(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace choir::obs
