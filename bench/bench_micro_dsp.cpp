@@ -9,6 +9,8 @@
 #include "dsp/chirp.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/fold_tone.hpp"
+#include "dsp/peaks.hpp"
+#include "dsp/workspace.hpp"
 #include "util/rng.hpp"
 
 using namespace choir;
@@ -48,6 +50,40 @@ void BM_DechirpAndPaddedFft(benchmark::State& state) {
 }
 BENCHMARK(BM_DechirpAndPaddedFft);
 
+// Same symbol-window transform through the workspace path: leased buffers
+// plus the in-place *_into kernels — the allocation-free counterpart of
+// BM_DechirpAndPaddedFft.
+void BM_DechirpPaddedFftWorkspace(benchmark::State& state) {
+  const std::size_t n = 256;
+  const cvec sig = random_signal(n, 2);
+  const cvec down = dsp::base_downchirp(n);
+  auto& ws = dsp::DspWorkspace::tls();
+  for (auto _ : state) {
+    auto w = ws.cbuf(n);
+    auto spec = ws.cbuf(16 * n);
+    dsp::dechirp_window_into(sig, 0, down, *w);
+    dsp::fft_padded_into(*w, 16 * n, *spec);
+    benchmark::DoNotOptimize(spec->data());
+  }
+}
+BENCHMARK(BM_DechirpPaddedFftWorkspace);
+
+// The fully fused kernel the receivers actually call: slice + dechirp +
+// padded FFT + shared magnitude array, one pass, zero allocations.
+void BM_FusedDechirpFftMag(benchmark::State& state) {
+  const std::size_t n = 256;
+  const cvec sig = random_signal(4 * n, 2);
+  const cvec down = dsp::base_downchirp(n);
+  auto& ws = dsp::DspWorkspace::tls();
+  for (auto _ : state) {
+    auto spec = ws.cbuf(16 * n);
+    auto mag = ws.rbuf(16 * n);
+    dsp::dechirp_fft_mag(sig, n, down, 16 * n, *spec, *mag);
+    benchmark::DoNotOptimize(mag->data());
+  }
+}
+BENCHMARK(BM_FusedDechirpFftMag);
+
 void BM_FoldArgmaxFull(benchmark::State& state) {
   const std::size_t n = 256;
   const cvec sig = random_signal(n, 3);
@@ -74,6 +110,29 @@ void BM_ResidualEvaluatorTry(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ResidualEvaluatorTry)->Arg(2)->Arg(5)->Arg(10);
+
+// The from-scratch counterpart of BM_ResidualEvaluatorTry: rebuilding the
+// evaluator (full Gram + all tone projections) for every probed offset,
+// which is what the coordinate search cost before the incremental
+// rank-update path.
+void BM_ResidualEvaluatorFromScratch(benchmark::State& state) {
+  const auto k = static_cast<std::size_t>(state.range(0));
+  std::vector<cvec> windows;
+  for (int w = 0; w < 6; ++w) windows.push_back(random_signal(256, 10 + w));
+  std::vector<double> offsets;
+  for (std::size_t i = 0; i < k; ++i)
+    offsets.push_back(3.0 + 2.3 * static_cast<double>(i));
+  double x = 3.0;
+  for (auto _ : state) {
+    x += 0.001;
+    std::vector<double> probe = offsets;
+    probe[0] = x;
+    core::ToneResidualEvaluator eval(windows, probe);
+    benchmark::DoNotOptimize(eval.try_coordinate(0, x));
+    if (x > 3.4) x = 3.0;
+  }
+}
+BENCHMARK(BM_ResidualEvaluatorFromScratch)->Arg(2)->Arg(5)->Arg(10);
 
 void BM_CollisionDecode(benchmark::State& state) {
   const auto users = static_cast<std::size_t>(state.range(0));

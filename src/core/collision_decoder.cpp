@@ -11,6 +11,7 @@
 #include "dsp/fft.hpp"
 #include "dsp/fold_tone.hpp"
 #include "dsp/peaks.hpp"
+#include "dsp/workspace.hpp"
 #include "opt/coordinate_descent.hpp"
 #include "opt/golden.hpp"
 
@@ -119,17 +120,28 @@ void CollisionDecoder::estimate_timing(const cvec& rx, std::size_t start,
   // FFT peaks (peak position ~ d + lambda), keeping validation O(peaks)
   // instead of O(N^2).
   std::vector<std::vector<double>> probe_peaks;
-  for (const cvec& w : probe) {
-    const cvec spec = dsp::fft_padded(w, n * opt_.est.oversample);
-    dsp::PeakFindOptions popt;
-    popt.threshold = 2.5 * dsp::noise_floor(spec);
-    popt.min_separation = 0.5 * static_cast<double>(opt_.est.oversample);
-    popt.max_peaks = 2 * users.size() + 6;
-    std::vector<double> pos;
-    for (const dsp::Peak& p : dsp::find_peaks(spec, popt)) {
-      pos.push_back(p.bin / static_cast<double>(opt_.est.oversample));
+  {
+    auto& pool = dsp::DspWorkspace::tls();
+    const std::size_t fft_len = n * opt_.est.oversample;
+    auto spec = pool.cbuf(fft_len);
+    auto mag = pool.rbuf(fft_len);
+    auto scratch = pool.rbuf(fft_len);
+    auto pk = pool.peaks();
+    for (const cvec& w : probe) {
+      dsp::fft_padded_into(w, fft_len, *spec);
+      dsp::magnitude_into(*spec, *mag);
+      dsp::PeakFindOptions popt;
+      popt.threshold = 2.5 * dsp::noise_floor_mag(*mag, *scratch);
+      popt.min_separation = 0.5 * static_cast<double>(opt_.est.oversample);
+      popt.max_peaks = 2 * users.size() + 6;
+      dsp::find_peaks_mag(*spec, *mag, popt, *pk);
+      std::vector<double> pos;
+      pos.reserve(pk->size());
+      for (const dsp::Peak& p : *pk) {
+        pos.push_back(p.bin / static_cast<double>(opt_.est.oversample));
+      }
+      probe_peaks.push_back(std::move(pos));
     }
-    probe_peaks.push_back(std::move(pos));
   }
   auto validation_score = [&](const UserEstimate& u, double tau) {
     double acc = 0.0;
@@ -243,13 +255,22 @@ void CollisionDecoder::estimate_timing(const cvec& rx, std::size_t start,
 std::vector<double> CollisionDecoder::window_peak_positions(
     const cvec& dechirped, std::size_t max_peaks) const {
   const std::size_t n = phy_.chips();
-  const cvec spec = dsp::fft_padded(dechirped, n * opt_.est.oversample);
+  const std::size_t fft_len = n * opt_.est.oversample;
+  auto& pool = dsp::DspWorkspace::tls();
+  auto spec = pool.cbuf(fft_len);
+  auto mag = pool.rbuf(fft_len);
+  auto scratch = pool.rbuf(fft_len);
+  auto pk = pool.peaks();
+  dsp::fft_padded_into(dechirped, fft_len, *spec);
+  dsp::magnitude_into(*spec, *mag);
   dsp::PeakFindOptions popt;
-  popt.threshold = 2.2 * dsp::noise_floor(spec);
+  popt.threshold = 2.2 * dsp::noise_floor_mag(*mag, *scratch);
   popt.min_separation = 0.5 * static_cast<double>(opt_.est.oversample);
   popt.max_peaks = max_peaks;
+  dsp::find_peaks_mag(*spec, *mag, popt, *pk);
   std::vector<double> pos;
-  for (const dsp::Peak& p : dsp::find_peaks(spec, popt)) {
+  pos.reserve(pk->size());
+  for (const dsp::Peak& p : *pk) {
     pos.push_back(p.bin / static_cast<double>(opt_.est.oversample));
   }
   return pos;
@@ -259,23 +280,28 @@ std::vector<std::uint32_t> CollisionDecoder::extract_window_symbols(
     const cvec& dechirped_in, const std::vector<UserEstimate>& users,
     const std::vector<double>& peak_positions,
     std::vector<std::uint32_t>& prev_symbols) const {
-  cvec dechirped = dechirped_in;
+  auto& pool = dsp::DspWorkspace::tls();
+  auto dechirped_lease = pool.cbuf(dechirped_in.size());
+  cvec& dechirped = *dechirped_lease;
+  std::copy(dechirped_in.begin(), dechirped_in.end(), dechirped.begin());
   const double dn = static_cast<double>(phy_.chips());
   // Candidate symbols per user: values implied by the window's FFT peaks
   // (plus neighbors — the fold can bias an apparent peak by a fraction of
   // a bin). An empty list makes fold_argmax_candidates scan exhaustively.
-  auto candidates_for = [&](const UserEstimate& est) {
-    std::vector<std::uint32_t> ds;
-    ds.reserve(3 * peak_positions.size());
+  auto cand_lease = pool.ubuf(0);
+  std::vector<std::uint32_t>& cand = *cand_lease;
+  auto candidates_for =
+      [&](const UserEstimate& est) -> const std::vector<std::uint32_t>& {
+    cand.clear();
     for (double p : peak_positions) {
       const auto base = static_cast<std::int64_t>(
           std::llround(wrap(p - est.offset_bins, dn)));
       for (std::int64_t nb = base - 1; nb <= base + 1; ++nb) {
-        ds.push_back(static_cast<std::uint32_t>(
+        cand.push_back(static_cast<std::uint32_t>(
             wrap(static_cast<double>(nb), dn)));
       }
     }
-    return ds;
+    return cand;
   };
   // Strongest user first: decode, subtract its fold-aware template, move
   // on — in-window successive cancellation keeps weak users decodable next
@@ -323,12 +349,12 @@ std::vector<std::uint32_t> CollisionDecoder::extract_window_symbols(
     }
     for (std::size_t u = 0; u < users.size(); ++u) {
       if (!ambiguous[u]) continue;
-      cvec with_self = dechirped;
-      // Add this user's pass-1 template back.
-      dsp::fold_subtract(with_self, users[u].offset_bins,
+      // Add this user's pass-1 template back in place, re-decode against
+      // the residual with only the others subtracted, then subtract the
+      // (possibly revised) template again. No window copy needed.
+      dsp::fold_subtract(dechirped, users[u].offset_bins,
                          users[u].timing_samples, symbols[u], -amps[u]);
-      pick(u, with_self);
-      dechirped = std::move(with_self);
+      pick(u, dechirped);
       dsp::fold_subtract(dechirped, users[u].offset_bins,
                          users[u].timing_samples, symbols[u], amps[u]);
     }

@@ -56,7 +56,8 @@ double cross_sf_leakage(int sf_tx, int sf_rx, double bandwidth_hz) {
                                             std::min(n_rx, wave.size())));
   win.resize(n_rx, cplx{0.0, 0.0});
   dsp::dechirp(win, dsp::base_downchirp(n_rx));
-  const cvec spec = dsp::fft(win);
+  dsp::plan_for(n_rx).forward(win);  // in place: win IS the spectrum now
+  const cvec& spec = win;
   double peak = 0.0, total = 0.0;
   for (const auto& s : spec) {
     peak = std::max(peak, std::norm(s));

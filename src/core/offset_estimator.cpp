@@ -7,6 +7,7 @@
 #include "core/residual.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/peaks.hpp"
+#include "dsp/workspace.hpp"
 #include "obs/obs.hpp"
 #include "util/db.hpp"
 
@@ -40,18 +41,22 @@ std::vector<double> OffsetEstimator::coarse_peaks(
     std::size_t limit, double cohort_db) const {
   const std::size_t n = phy_.chips();
   const std::size_t fftlen = n * opt_.oversample;
-  rvec acc(fftlen, 0.0);
+  auto& pool = dsp::DspWorkspace::tls();
+  auto spec_lease = pool.cbuf(fftlen);
+  auto acc_lease = pool.rbuf(fftlen);
+  auto mag_lease = pool.rbuf(fftlen);
+  auto scratch_lease = pool.rbuf(fftlen);
+  cvec& spec = *spec_lease;
+  rvec& acc = *acc_lease;
+  rvec& mag = *mag_lease;
+  std::fill(acc.begin(), acc.end(), 0.0);
   for (const cvec& w : windows) {
-    const cvec spec = dsp::fft_padded(w, fftlen);
+    dsp::fft_padded_into(w, fftlen, spec);
     for (std::size_t i = 0; i < fftlen; ++i) acc[i] += std::norm(spec[i]);
   }
-  rvec mag(fftlen);
   for (std::size_t i = 0; i < fftlen; ++i) mag[i] = std::sqrt(acc[i]);
 
-  rvec sorted = mag;
-  std::nth_element(sorted.begin(), sorted.begin() + sorted.size() / 2,
-                   sorted.end());
-  const double floor = sorted[sorted.size() / 2];
+  const double floor = dsp::noise_floor_mag(mag, *scratch_lease);
   if (noise_out != nullptr) *noise_out = floor;
 
   // Local maxima above the detection threshold, circular axis.
@@ -105,10 +110,9 @@ std::vector<double> OffsetEstimator::coarse_peaks(
 std::vector<cvec> OffsetEstimator::window_channels(
     const std::vector<cvec>& windows,
     const std::vector<double>& offsets) const {
-  std::vector<cvec> out;
-  out.reserve(windows.size());
-  for (const cvec& w : windows) out.push_back(fit_channels(w, offsets));
-  return out;
+  // Shared Gram + Cholesky across windows (offsets are per-user hardware
+  // properties; only the per-window rhs changes).
+  return fit_channels_multi(windows, offsets);
 }
 
 std::vector<UserEstimate> OffsetEstimator::estimate(
@@ -161,13 +165,14 @@ std::vector<UserEstimate> OffsetEstimator::estimate(
   while (offsets.size() < opt_.max_users) {
     std::vector<cvec> residual = preamble;
     if (!offsets.empty()) {
-      for (cvec& w : residual) {
-        try {
-          const cvec h = fit_channels(w, offsets);
-          subtract_tones(w, offsets, h);
-        } catch (const std::runtime_error&) {
-          // singular fit: leave the window as is
-        }
+      // Singularity depends only on the offsets (the Gram), so the fit
+      // fails for all windows or none — one try block covers the batch.
+      try {
+        const std::vector<cvec> hs = fit_channels_multi(residual, offsets);
+        for (std::size_t i = 0; i < residual.size(); ++i)
+          subtract_tones(residual[i], offsets, hs[i]);
+      } catch (const std::runtime_error&) {
+        // singular fit: leave the windows as they are
       }
     }
     // The strongest residual peak may just be our own imperfect
@@ -228,12 +233,11 @@ std::vector<UserEstimate> OffsetEstimator::estimate(
   double noise_var = 0.0;
   {
     std::vector<cvec> residual = preamble;
-    for (cvec& w : residual) {
-      try {
-        const cvec h = fit_channels(w, offsets);
-        subtract_tones(w, offsets, h);
-      } catch (const std::runtime_error&) {
-      }
+    try {
+      const std::vector<cvec> hs = fit_channels_multi(residual, offsets);
+      for (std::size_t i = 0; i < residual.size(); ++i)
+        subtract_tones(residual[i], offsets, hs[i]);
+    } catch (const std::runtime_error&) {
     }
     double floor_amp = 0.0;
     (void)coarse_peaks(residual, &floor_amp, nullptr, 1, 200.0);

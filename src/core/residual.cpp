@@ -10,9 +10,17 @@ namespace choir::core {
 
 namespace {
 
-// Gram matrix of the tone dictionary in closed form:
-//   G(i,k) = sum_n exp(j*2*pi*(off_k - off_i)*n/N)
-// is a geometric series — O(K^2) trig instead of O(N*K^2).
+// One off-diagonal Gram entry in closed form:
+//   sum_n exp(j*2*pi*delta*n/N)
+// is a geometric series — O(1) trig instead of O(N).
+cplx gram_cross_entry(double delta, double dn) {
+  const double step = kTwoPi * delta / dn;
+  if (std::abs(std::sin(step / 2.0)) < 1e-12) return cplx{dn, 0.0};
+  return (cis(kTwoPi * delta) - 1.0) / (cis(step) - 1.0);
+}
+
+// Gram matrix of the tone dictionary in closed form: O(K^2) trig instead
+// of O(N*K^2).
 CMatrix tone_gram(const std::vector<double>& offsets, std::size_t n) {
   const std::size_t k = offsets.size();
   const double dn = static_cast<double>(n);
@@ -25,14 +33,7 @@ CMatrix tone_gram(const std::vector<double>& offsets, std::size_t n) {
   for (std::size_t i = 0; i < k; ++i) {
     g(i, i) = cplx{dn + ridge, 0.0};
     for (std::size_t j = i + 1; j < k; ++j) {
-      const double delta = offsets[j] - offsets[i];
-      const double step = kTwoPi * delta / dn;
-      cplx sum;
-      if (std::abs(std::sin(step / 2.0)) < 1e-12) {
-        sum = cplx{dn, 0.0};
-      } else {
-        sum = (cis(kTwoPi * delta) - 1.0) / (cis(step) - 1.0);
-      }
+      const cplx sum = gram_cross_entry(offsets[j] - offsets[i], dn);
       g(i, j) = sum;
       g(j, i) = std::conj(sum);
     }
@@ -116,6 +117,26 @@ double residual_power_multi(const std::vector<cvec>& windows,
   return acc;
 }
 
+std::vector<cvec> fit_channels_multi(const std::vector<cvec>& windows,
+                                     const std::vector<double>& offsets_bins) {
+  if (offsets_bins.empty())
+    throw std::invalid_argument("fit_channels_multi: no offsets");
+  std::vector<cvec> out;
+  out.reserve(windows.size());
+  if (windows.empty()) return out;
+  const std::size_t n = windows.front().size();
+  Cholesky chol;
+  chol.factorize(tone_gram(offsets_bins, n));
+  cvec b(offsets_bins.size());
+  for (const cvec& w : windows) {
+    b = tone_projections(w, offsets_bins);
+    cvec h;
+    chol.solve_into(b, h);
+    out.push_back(std::move(h));
+  }
+  return out;
+}
+
 void subtract_tones(cvec& dechirped, const std::vector<double>& offsets_bins,
                     const cvec& channels) {
   if (offsets_bins.size() != channels.size())
@@ -151,74 +172,64 @@ ToneResidualEvaluator::ToneResidualEvaluator(const std::vector<cvec>& windows,
     for (const cplx& s : w) e += std::norm(s);
     window_energy_.push_back(e);
   }
-  for (double o : offsets_) b_.push_back(project(o));
+  b_.resize(offsets_.size());
+  for (std::size_t i = 0; i < offsets_.size(); ++i)
+    project_into(offsets_[i], b_[i]);
+  rebuild_gram();
 }
 
-std::vector<cplx> ToneResidualEvaluator::project(double offset) const {
-  std::vector<cplx> out;
-  out.reserve(windows_.size());
+void ToneResidualEvaluator::project_into(double offset,
+                                         std::vector<cplx>& out) {
   const std::size_t n = windows_.front().size();
+  // Build the phasor table once (the recurrence is a serial dependency
+  // chain), then project each window with a plain dot product the compiler
+  // can vectorize — instead of re-running the recurrence per window.
+  phasor_.resize(n);
   const cplx step = cis(-kTwoPi * offset / static_cast<double>(n));
-  for (const cvec& w : windows_) {
-    cplx ph{1.0, 0.0};
-    cplx acc{0.0, 0.0};
-    for (std::size_t t = 0; t < n; ++t) {
-      acc += w[t] * ph;
-      ph *= step;
-    }
-    out.push_back(acc);
+  cplx ph{1.0, 0.0};
+  for (std::size_t t = 0; t < n; ++t) {
+    phasor_[t] = ph;
+    ph *= step;
   }
-  return out;
+  out.resize(windows_.size());
+  for (std::size_t w = 0; w < windows_.size(); ++w) {
+    const cvec& win = windows_[w];
+    cplx acc{0.0, 0.0};
+    for (std::size_t t = 0; t < n; ++t) acc += win[t] * phasor_[t];
+    out[w] = acc;
+  }
 }
 
-double ToneResidualEvaluator::evaluate(const std::vector<double>& offs,
-                                       std::size_t changed, double value) {
+void ToneResidualEvaluator::rebuild_gram() {
+  gram_ = tone_gram(offsets_, windows_.front().size());
+}
+
+void ToneResidualEvaluator::update_gram_cross(CMatrix& g, std::size_t i,
+                                              double value) const {
+  const double dn = static_cast<double>(windows_.front().size());
+  for (std::size_t j = 0; j < offsets_.size(); ++j) {
+    if (j == i) continue;
+    // Entry (i, j) integrates exp(j*2*pi*(off_j - off_i)*n/N).
+    const cplx sum = gram_cross_entry(offsets_[j] - value, dn);
+    g(i, j) = sum;
+    g(j, i) = std::conj(sum);
+  }
+}
+
+double ToneResidualEvaluator::evaluate(const CMatrix& g, std::size_t changed) {
   CHOIR_OBS_COUNT("core.residual.evals", 1);
-  const std::size_t k = offs.size();
-  const std::size_t n = windows_.front().size();
-  std::vector<double> actual = offs;
-  if (changed != static_cast<std::size_t>(-1)) actual[changed] = value;
-
-  const CMatrix g = [&] {
-    // Reuse the closed-form Gram (with ridge) from the free functions.
-    // Building it is O(K^2) trig — negligible next to the projections.
-    CMatrix m(k, k);
-    const double ridge = 3e-3 * static_cast<double>(n);
-    for (std::size_t i = 0; i < k; ++i) {
-      m(i, i) = cplx{static_cast<double>(n) + ridge, 0.0};
-      for (std::size_t j = i + 1; j < k; ++j) {
-        const double delta = actual[j] - actual[i];
-        const double step = kTwoPi * delta / static_cast<double>(n);
-        cplx sum;
-        if (std::abs(std::sin(step / 2.0)) < 1e-12) {
-          sum = cplx{static_cast<double>(n), 0.0};
-        } else {
-          sum = (cis(kTwoPi * delta) - 1.0) / (cis(step) - 1.0);
-        }
-        m(i, j) = sum;
-        m(j, i) = std::conj(sum);
-      }
-    }
-    return m;
-  }();
-
-  std::vector<cplx> changed_b;
-  if (changed != static_cast<std::size_t>(-1)) changed_b = project(value);
-
-  Cholesky chol = [&]() -> Cholesky {
-    return Cholesky(g);
-  }();
-
+  const std::size_t k = offsets_.size();
+  chol_.factorize(g);
   double total = 0.0;
-  cvec b(k);
+  b_work_.resize(k);
   for (std::size_t w = 0; w < windows_.size(); ++w) {
     for (std::size_t u = 0; u < k; ++u) {
-      b[u] = (u == changed) ? changed_b[w] : b_[u][w];
+      b_work_[u] = (u == changed) ? changed_b_[w] : b_[u][w];
     }
-    const cvec h = chol.solve(b);
+    chol_.solve_into(b_work_, h_work_);
     double fit = 0.0;
     for (std::size_t u = 0; u < k; ++u) {
-      fit += (std::conj(b[u]) * h[u]).real();
+      fit += (std::conj(b_work_[u]) * h_work_[u]).real();
     }
     const double r = window_energy_[w] - fit;
     total += r > 0.0 ? r : 0.0;
@@ -227,21 +238,31 @@ double ToneResidualEvaluator::evaluate(const std::vector<double>& offs,
 }
 
 double ToneResidualEvaluator::current() {
-  return evaluate(offsets_, static_cast<std::size_t>(-1), 0.0);
+  return evaluate(gram_, static_cast<std::size_t>(-1));
 }
 
 double ToneResidualEvaluator::try_coordinate(std::size_t i, double value) {
-  return evaluate(offsets_, i, value);
+  // O(K) Gram update on a copy of the cache + one projection pass; the
+  // cached state stays pinned to offsets_.
+  gram_work_ = gram_;
+  update_gram_cross(gram_work_, i, value);
+  project_into(value, changed_b_);
+  return evaluate(gram_work_, i);
 }
 
 void ToneResidualEvaluator::set_coordinate(std::size_t i, double value) {
   offsets_.at(i) = value;
-  b_[i] = project(value);
+  project_into(value, b_[i]);
+  update_gram_cross(gram_, i, value);
 }
 
 void ToneResidualEvaluator::add_tone(double value) {
   offsets_.push_back(value);
-  b_.push_back(project(value));
+  b_.emplace_back();
+  project_into(value, b_.back());
+  // Growing the Gram reshapes the matrix; a full rebuild is O(K^2) trig
+  // and happens once per added tone (rare next to try_coordinate calls).
+  rebuild_gram();
 }
 
 double descend_offsets(ToneResidualEvaluator& eval, double radius, int cycles,

@@ -39,6 +39,12 @@ double residual_power(const cvec& dechirped,
 double residual_power_multi(const std::vector<cvec>& windows,
                             const std::vector<double>& offsets_bins);
 
+/// Per-window least-squares channel fits at shared offsets. Builds the
+/// Gram and its Cholesky factorization ONCE and reuses them for every
+/// window (fit_channels per window would refactorize W times).
+std::vector<cvec> fit_channels_multi(const std::vector<cvec>& windows,
+                                     const std::vector<double>& offsets_bins);
+
 /// Subtracts the reconstructed tones (offsets + channels) from a dechirped
 /// window in place.
 void subtract_tones(cvec& dechirped, const std::vector<double>& offsets_bins,
@@ -52,9 +58,10 @@ cvec reconstruct_tones(const std::vector<double>& offsets_bins,
 ///
 /// A full residual evaluation refits every user on every window; during a
 /// line search only ONE offset moves, so only that user's projections
-/// (O(N) per window) and one Gram row change. With the Gram factorized
-/// once per candidate this cuts the refinement cost by more than an order
-/// of magnitude over naive re-evaluation.
+/// (O(N) per window, computed via a shared phasor table) and one Gram
+/// row/column change (O(K) trig on a copy of the cached Gram — never a
+/// full O(K^2) rebuild per candidate). All work buffers are owned by the
+/// evaluator, so after construction try/set/current allocate nothing.
 class ToneResidualEvaluator {
  public:
   ToneResidualEvaluator(const std::vector<cvec>& windows,
@@ -76,15 +83,28 @@ class ToneResidualEvaluator {
   void add_tone(double value);
 
  private:
-  double evaluate(const std::vector<double>& offs,
-                  std::size_t changed /* or SIZE_MAX */, double value);
-  std::vector<cplx> project(double offset) const;  ///< per-window b entries
+  /// Residual using `g` as the Gram; column `changed` of b comes from
+  /// changed_b_ instead of the cache (SIZE_MAX = no substitution).
+  double evaluate(const CMatrix& g, std::size_t changed);
+  /// Projects every window onto the tone at `offset` via a phasor table
+  /// (built once, then W plain dot products) into `out` (resized to W).
+  void project_into(double offset, std::vector<cplx>& out);
+  void rebuild_gram();
+  /// Recomputes row/column i of `g` for offsets_ with offset i at `value`.
+  void update_gram_cross(CMatrix& g, std::size_t i, double value) const;
 
   const std::vector<cvec>& windows_;
   std::vector<double> offsets_;
   std::vector<double> window_energy_;
   /// b_[u][w] = projection of window w on tone u.
   std::vector<std::vector<cplx>> b_;
+  CMatrix gram_;       ///< cached Gram of the current offsets (with ridge)
+  CMatrix gram_work_;  ///< scratch copy for try_coordinate
+  Cholesky chol_;      ///< factorization scratch (storage reused)
+  std::vector<cplx> changed_b_;  ///< projections of the trial tone
+  cvec phasor_;                  ///< tone phasor table, length N
+  cvec b_work_;                  ///< per-window rhs, length K
+  cvec h_work_;                  ///< per-window solution, length K
 };
 
 /// Cyclic coordinate descent with golden-section line searches over the

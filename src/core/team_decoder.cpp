@@ -9,6 +9,7 @@
 #include "dsp/chirp.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/peaks.hpp"
+#include "dsp/workspace.hpp"
 
 namespace choir::core {
 
@@ -44,24 +45,26 @@ TeamDecoder::TeamDecoder(const lora::PhyParams& phy,
     throw std::invalid_argument("TeamDecoder: oversample not pow2");
 }
 
-rvec TeamDecoder::accumulated_spectrum(const cvec& rx, std::size_t start,
-                                       int windows) const {
+void TeamDecoder::accumulated_spectrum_into(const cvec& rx, std::size_t start,
+                                            int windows, rvec& acc) const {
   const std::size_t n = phy_.chips();
   const std::size_t fftlen = n * opt_.oversample;
-  rvec acc(fftlen, 0.0);
+  acc.assign(fftlen, 0.0);
+  auto spec = dsp::DspWorkspace::tls().cbuf(fftlen);
   for (int k = 0; k < windows; ++k) {
-    cvec w = slice(rx, start + static_cast<std::size_t>(k) * n, n);
-    dsp::dechirp(w, downchirp_);
-    const cvec spec = dsp::fft_padded(w, fftlen);
-    for (std::size_t i = 0; i < fftlen; ++i) acc[i] += std::norm(spec[i]);
+    dsp::dechirp_fft_power_acc(rx, start + static_cast<std::size_t>(k) * n,
+                               downchirp_, fftlen, *spec, acc);
   }
-  return acc;
 }
 
 double TeamDecoder::detection_score_at(const cvec& rx,
                                        std::size_t start) const {
-  const rvec acc = accumulated_spectrum(rx, start, phy_.preamble_len);
-  const double floor = median_of(acc);
+  auto& pool = dsp::DspWorkspace::tls();
+  auto acc_lease = pool.rbuf(0);
+  auto scratch = pool.rbuf(0);
+  rvec& acc = *acc_lease;
+  accumulated_spectrum_into(rx, start, phy_.preamble_len, acc);
+  const double floor = dsp::noise_floor_mag(acc, *scratch);
   const double peak = *std::max_element(acc.begin(), acc.end());
   return floor > 0.0 ? peak / floor : 0.0;
 }
@@ -109,6 +112,9 @@ TeamDecodeResult TeamDecoder::decode(const cvec& rx, std::size_t start_hint,
          s += static_cast<std::int64_t>(n)) {
       shifts.push_back(s);
     }
+    auto& pool = dsp::DspWorkspace::tls();
+    auto win = pool.cbuf(n);
+    auto spec = pool.cbuf(n * opt_.oversample);
     for (std::int64_t shift : shifts) {
       const std::int64_t cand64 =
           static_cast<std::int64_t>(best_start) + shift;
@@ -116,13 +122,12 @@ TeamDecodeResult TeamDecoder::decode(const cvec& rx, std::size_t start_hint,
       const auto cand = static_cast<std::size_t>(cand64);
       double acc = 0.0;
       for (int k = 0; k < phy_.sfd_len; ++k) {
-        cvec w = slice(rx,
-                       cand + static_cast<std::size_t>(phy_.preamble_len + k) * n,
-                       n);
-        dsp::dechirp(w, up);
-        const cvec spec = dsp::fft_padded(w, n * opt_.oversample);
+        dsp::dechirp_window_into(
+            rx, cand + static_cast<std::size_t>(phy_.preamble_len + k) * n,
+            up, *win);
+        dsp::fft_padded_into(*win, n * opt_.oversample, *spec);
         double m = 0.0;
-        for (const auto& s : spec) m = std::max(m, std::norm(s));
+        for (const auto& s : *spec) m = std::max(m, std::norm(s));
         acc += m;
       }
       if (acc > best_sfd) {
@@ -172,7 +177,8 @@ TeamDecodeResult TeamDecoder::decode_components_at(const cvec& rx,
   res.frame_start = best_start;
 
   // Component offsets from the accumulated preamble spectrum.
-  const rvec acc = accumulated_spectrum(rx, best_start, phy_.preamble_len);
+  rvec acc;
+  accumulated_spectrum_into(rx, best_start, phy_.preamble_len, acc);
   const std::size_t fftlen = acc.size();
   rvec mag(fftlen);
   for (std::size_t i = 0; i < fftlen; ++i) mag[i] = std::sqrt(acc[i]);
@@ -217,46 +223,42 @@ TeamDecodeResult TeamDecoder::decode_components_at(const cvec& rx,
   // Refine the component offsets jointly on the preamble windows: the
   // accumulated-spectrum peaks are only coarse when many components crowd
   // together, and decoding errors are dominated by +-1 symbol rounding
-  // from biased comb positions.
-  {
-    std::vector<cvec> pre;
-    for (int k = 1; k < phy_.preamble_len; ++k) {
-      cvec w = slice(rx, best_start + static_cast<std::size_t>(k) * n, n);
-      dsp::dechirp(w, downchirp_);
-      pre.push_back(std::move(w));
-    }
-    if (!pre.empty()) {
-      ToneResidualEvaluator eval(pre, res.offsets);
-      descend_offsets(eval, 0.3, 4, 1e-4);
-      res.offsets = eval.offsets();
-      const double dn_wrap = static_cast<double>(n);
-      for (double& o : res.offsets) {
-        o = std::fmod(std::fmod(o, dn_wrap) + dn_wrap, dn_wrap);
-      }
+  // from biased comb positions. Window 0 has the sync gap, so skip it.
+  std::vector<cvec> pre;
+  for (int k = 1; k < phy_.preamble_len; ++k) {
+    cvec w = slice(rx, best_start + static_cast<std::size_t>(k) * n, n);
+    dsp::dechirp(w, downchirp_);
+    pre.push_back(std::move(w));
+  }
+  if (!pre.empty()) {
+    ToneResidualEvaluator eval(pre, res.offsets);
+    descend_offsets(eval, 0.3, 4, 1e-4);
+    res.offsets = eval.offsets();
+    const double dn_wrap = static_cast<double>(n);
+    for (double& o : res.offsets) {
+      o = std::fmod(std::fmod(o, dn_wrap) + dn_wrap, dn_wrap);
     }
   }
 
-  // Component weights: average |h| across preamble windows by least
-  // squares. Individually-sub-noise channels average into usable weights.
+  // Component weights: average |h| across the same preamble windows by
+  // least squares (one shared Gram/Cholesky across windows). Individually
+  // sub-noise channels average into usable weights.
   res.weights.assign(res.offsets.size(), 0.0);
-  int fitted = 0;
-  for (int k = 1; k < phy_.preamble_len; ++k) {  // window 0 has the sync gap
-    cvec w = slice(rx, best_start + static_cast<std::size_t>(k) * n, n);
-    dsp::dechirp(w, downchirp_);
+  bool fitted = false;
+  if (!pre.empty()) {
     try {
-      const cvec h = fit_channels(w, res.offsets);
-      for (std::size_t i = 0; i < h.size(); ++i)
-        res.weights[i] += std::abs(h[i]);
-      ++fitted;
+      const std::vector<cvec> hs = fit_channels_multi(pre, res.offsets);
+      for (const cvec& h : hs) {
+        for (std::size_t i = 0; i < h.size(); ++i)
+          res.weights[i] += std::abs(h[i]);
+      }
+      for (double& w : res.weights) w /= static_cast<double>(hs.size());
+      fitted = true;
     } catch (const std::runtime_error&) {
-      // singular fit for this window; skip it
+      // singular fit: fall through to flat weights
     }
   }
-  if (fitted > 0) {
-    for (double& w : res.weights) w /= fitted;
-  } else {
-    std::fill(res.weights.begin(), res.weights.end(), 1.0);
-  }
+  if (!fitted) std::fill(res.weights.begin(), res.weights.end(), 1.0);
 
   // Power-spectrum template for the ML search: the accumulated preamble
   // spectrum *is* the team's spectral signature (every member's tone at
@@ -285,14 +287,15 @@ TeamDecodeResult TeamDecoder::decode_components_at(const cvec& rx,
   const std::size_t data_start =
       best_start +
       static_cast<std::size_t>(phy_.preamble_len + phy_.sfd_len) * n;
+  auto& pool = dsp::DspWorkspace::tls();
+  auto spec_lease = pool.cbuf(n * opt_.oversample);
+  auto pw_lease = pool.rbuf(n * opt_.oversample);
+  cvec& spec = *spec_lease;
+  rvec& pw = *pw_lease;
   for (std::size_t j = 0; j < opt_.max_data_symbols; ++j) {
     const std::size_t ws = data_start + j * n;
     if (ws + n > rx.size() + n / 2) break;
-    cvec w = slice(rx, ws, n);
-    dsp::dechirp(w, downchirp_);
-    const cvec spec = dsp::fft_padded(w, n * opt_.oversample);
-    rvec pw(spec.size());
-    for (std::size_t b = 0; b < spec.size(); ++b) pw[b] = std::norm(spec[b]);
+    dsp::dechirp_fft_power(rx, ws, downchirp_, n * opt_.oversample, spec, pw);
     double best_val = -1.0;
     std::uint32_t best_d = 0;
     for (std::size_t d = 0; d < n; ++d) {

@@ -71,8 +71,10 @@ class TeamDecoder {
   double detection_score_at(const cvec& rx, std::size_t start) const;
 
  private:
-  rvec accumulated_spectrum(const cvec& rx, std::size_t start,
-                            int windows) const;
+  /// Accumulated dechirped power spectrum over `windows` symbol windows,
+  /// written into `acc` (resized; zero heap allocations at steady state).
+  void accumulated_spectrum_into(const cvec& rx, std::size_t start,
+                                 int windows, rvec& acc) const;
 
   /// Component estimation + ML decoding at an exact anchor.
   TeamDecodeResult decode_components_at(const cvec& rx,

@@ -8,21 +8,12 @@
 #include "dsp/chirp.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/peaks.hpp"
+#include "dsp/workspace.hpp"
 #include "obs/obs.hpp"
 
 namespace choir::core {
 
 namespace {
-
-cvec slice(const cvec& rx, std::size_t start, std::size_t n) {
-  cvec out(n, cplx{0.0, 0.0});
-  if (start >= rx.size()) return out;
-  const std::size_t avail = std::min(n, rx.size() - start);
-  std::copy(rx.begin() + static_cast<std::ptrdiff_t>(start),
-            rx.begin() + static_cast<std::ptrdiff_t>(start + avail),
-            out.begin());
-  return out;
-}
 
 double frac_part(double x) { return x - std::floor(x); }
 
@@ -38,16 +29,23 @@ std::vector<PeakObservation> UserTracker::collect(const cvec& rx,
                                                   std::size_t n_windows,
                                                   std::size_t max_peaks) const {
   const std::size_t n = phy_.chips();
+  const std::size_t fft_len = n * opt_.oversample;
   std::vector<PeakObservation> out;
+  auto& pool = dsp::DspWorkspace::tls();
+  auto spec = pool.cbuf(fft_len);
+  auto mag = pool.rbuf(fft_len);
+  auto scratch = pool.rbuf(fft_len);
+  auto pk = pool.peaks();
   for (std::size_t j = 0; j < n_windows; ++j) {
-    cvec w = slice(rx, data_start + j * n, n);
-    dsp::dechirp(w, downchirp_);
-    const cvec spec = dsp::fft_padded(w, n * opt_.oversample);
+    dsp::dechirp_fft_mag(rx, data_start + j * n, downchirp_, fft_len, *spec,
+                         *mag);
     dsp::PeakFindOptions popt;
-    popt.threshold = opt_.peak_detect_factor * dsp::noise_floor(spec);
+    popt.threshold =
+        opt_.peak_detect_factor * dsp::noise_floor_mag(*mag, *scratch);
     popt.min_separation = 0.5 * static_cast<double>(opt_.oversample);
     popt.max_peaks = max_peaks;
-    for (const dsp::Peak& p : dsp::find_peaks(spec, popt)) {
+    dsp::find_peaks_mag(*spec, *mag, popt, *pk);
+    for (const dsp::Peak& p : *pk) {
       PeakObservation ob;
       ob.window = j;
       ob.bin = p.bin / static_cast<double>(opt_.oversample);

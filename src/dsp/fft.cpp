@@ -3,6 +3,7 @@
 #include <cmath>
 #include <mutex>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "obs/obs.hpp"
 
@@ -27,8 +28,8 @@ FftPlan::FftPlan(std::size_t size) : size_(size) {
       if (i & (std::size_t{1} << b)) rev |= std::size_t{1} << (log2n - 1 - b);
     bit_reverse_[i] = rev;
   }
-  // Twiddles for each stage, flattened: stage with half-length `len/2`
-  // needs len/2 factors. Total = size - 1 factors.
+  // Radix-2 oracle twiddles for each stage, flattened: stage with
+  // half-length `len/2` needs len/2 factors. Total = size - 1 factors.
   twiddles_.reserve(size);
   inv_twiddles_.reserve(size);
   for (std::size_t len = 2; len <= size; len <<= 1) {
@@ -38,9 +39,30 @@ FftPlan::FftPlan(std::size_t size) : size_(size) {
       inv_twiddles_.push_back(cis(-ang * static_cast<double>(k)));
     }
   }
+  // Merged-stage (radix-4) twiddles. A merged stage combines the radix-2
+  // stages of half-lengths h and 2h into one pass; for butterfly lane k it
+  // needs w1 = e^{-2pi i k/(4h)} (second stage) and w2 = w1^2 (first
+  // stage), stored interleaved so the inner loop reads them contiguously.
+  lead_radix2_ = (log2n % 2) == 1;
+  std::size_t bytes = 0;
+  for (std::size_t h = lead_radix2_ ? 2 : 1; 4 * h <= size_; h *= 4)
+    bytes += 2 * h;
+  r4_twiddles_.reserve(bytes);
+  r4_inv_twiddles_.reserve(bytes);
+  for (std::size_t h = lead_radix2_ ? 2 : 1; 4 * h <= size_; h *= 4) {
+    const double ang = -kTwoPi / static_cast<double>(4 * h);
+    for (std::size_t k = 0; k < h; ++k) {
+      const cplx w1 = cis(ang * static_cast<double>(k));
+      const cplx w2 = cis(2.0 * ang * static_cast<double>(k));
+      r4_twiddles_.push_back(w1);
+      r4_twiddles_.push_back(w2);
+      r4_inv_twiddles_.push_back(std::conj(w1));
+      r4_inv_twiddles_.push_back(std::conj(w2));
+    }
+  }
 }
 
-void FftPlan::transform(cvec& data, bool invert) const {
+void FftPlan::transform_radix2(cvec& data, bool invert) const {
   if (data.size() != size_)
     throw std::invalid_argument("FftPlan: buffer size mismatch");
   for (std::size_t i = 0; i < size_; ++i) {
@@ -67,20 +89,93 @@ void FftPlan::transform(cvec& data, bool invert) const {
   }
 }
 
-void FftPlan::forward(cvec& data) const { transform(data, false); }
-void FftPlan::inverse(cvec& data) const { transform(data, true); }
+template <bool Invert>
+void FftPlan::transform_radix4(cplx* d) const {
+  for (std::size_t i = 0; i < size_; ++i) {
+    const std::size_t j = bit_reverse_[i];
+    if (i < j) std::swap(d[i], d[j]);
+  }
+  std::size_t h = 1;
+  if (lead_radix2_) {
+    // Odd log2(size): one twiddle-free radix-2 stage, then merged stages.
+    for (std::size_t s = 0; s < size_; s += 2) {
+      const cplx u = d[s];
+      const cplx v = d[s + 1];
+      d[s] = u + v;
+      d[s + 1] = u - v;
+    }
+    h = 2;
+  }
+  const cvec& tw = Invert ? r4_inv_twiddles_ : r4_twiddles_;
+  std::size_t off = 0;
+  for (; 4 * h <= size_; h *= 4) {
+    const std::size_t quad = 4 * h;
+    const cplx* twp = tw.data() + off;
+    for (std::size_t s = 0; s < size_; s += quad) {
+      cplx* p = d + s;
+      for (std::size_t k = 0; k < h; ++k) {
+        const cplx w1 = twp[2 * k];
+        const cplx w2 = twp[2 * k + 1];
+        const cplx a0 = p[k];
+        const cplx b1 = p[k + h] * w2;
+        const cplx a2 = p[k + 2 * h];
+        const cplx b3 = p[k + 3 * h] * w2;
+        const cplx t0 = a0 + b1;
+        const cplx t1 = a0 - b1;
+        const cplx u2 = (a2 + b3) * w1;
+        const cplx u3 = (a2 - b3) * w1;
+        // Lane k+h's second-stage twiddle is -i*w1 (forward) / +i*w1
+        // (inverse); applying it to u3 is a component swap, not a multiply.
+        const cplx v3 = Invert ? cplx{-u3.imag(), u3.real()}
+                               : cplx{u3.imag(), -u3.real()};
+        p[k] = t0 + u2;
+        p[k + 2 * h] = t0 - u2;
+        p[k + h] = t1 + v3;
+        p[k + 3 * h] = t1 - v3;
+      }
+    }
+    off += 2 * h;
+  }
+  if constexpr (Invert) {
+    const double inv_n = 1.0 / static_cast<double>(size_);
+    for (std::size_t i = 0; i < size_; ++i) d[i] *= inv_n;
+  }
+}
+
+void FftPlan::forward(cvec& data) const {
+  if (data.size() != size_)
+    throw std::invalid_argument("FftPlan: buffer size mismatch");
+  transform_radix4<false>(data.data());
+}
+
+void FftPlan::inverse(cvec& data) const {
+  if (data.size() != size_)
+    throw std::invalid_argument("FftPlan: buffer size mismatch");
+  transform_radix4<true>(data.data());
+}
+
+void FftPlan::forward_into(cplx* data) const { transform_radix4<false>(data); }
+void FftPlan::inverse_into(cplx* data) const { transform_radix4<true>(data); }
+
+void FftPlan::forward_radix2(cvec& data) const {
+  transform_radix2(data, false);
+}
+void FftPlan::inverse_radix2(cvec& data) const {
+  transform_radix2(data, true);
+}
 
 const FftPlan& plan_for(std::size_t size) {
   // Steady state takes no lock: each thread memoizes the plans it has
-  // already resolved. The shared cache behind it is mutex-guarded; plans
-  // themselves are immutable after construction, so handing out references
-  // across threads is safe.
-  thread_local std::map<std::size_t, const FftPlan*> resolved;
+  // already resolved in a hash map (one hash + one probe on the hot path).
+  // The shared cache behind it is mutex-guarded; plans themselves are
+  // immutable after construction, so handing out references across threads
+  // is safe.
+  thread_local std::unordered_map<std::size_t, const FftPlan*> resolved;
   const auto hit = resolved.find(size);
   if (hit != resolved.end()) return *hit->second;
 
   static std::mutex mu;
-  static std::map<std::size_t, std::unique_ptr<FftPlan>> cache;
+  static std::unordered_map<std::size_t, std::unique_ptr<FftPlan>> cache;
   std::lock_guard<std::mutex> lock(mu);
   auto it = cache.find(size);
   if (it == cache.end()) {
@@ -91,13 +186,20 @@ const FftPlan& plan_for(std::size_t size) {
 }
 
 cvec fft_padded(const cvec& in, std::size_t out_size) {
+  cvec buf;
+  fft_padded_into(in, out_size, buf);
+  return buf;
+}
+
+void fft_padded_into(const cvec& in, std::size_t out_size, cvec& out) {
   if (out_size < in.size())
     throw std::invalid_argument("fft_padded: out_size < input length");
   CHOIR_OBS_TIMED_SCOPE("dsp.fft.us");
-  cvec buf(out_size, cplx{0.0, 0.0});
-  std::copy(in.begin(), in.end(), buf.begin());
-  plan_for(out_size).forward(buf);
-  return buf;
+  out.resize(out_size);
+  std::copy(in.begin(), in.end(), out.begin());
+  std::fill(out.begin() + static_cast<std::ptrdiff_t>(in.size()), out.end(),
+            cplx{0.0, 0.0});
+  plan_for(out_size).forward_into(out.data());
 }
 
 cvec fft(const cvec& in) {
@@ -113,17 +215,27 @@ cvec ifft(const cvec& in) {
 }
 
 rvec magnitude(const cvec& spectrum) {
-  rvec out(spectrum.size());
-  for (std::size_t i = 0; i < spectrum.size(); ++i)
-    out[i] = std::abs(spectrum[i]);
+  rvec out;
+  magnitude_into(spectrum, out);
   return out;
 }
 
 rvec power(const cvec& spectrum) {
-  rvec out(spectrum.size());
+  rvec out;
+  power_into(spectrum, out);
+  return out;
+}
+
+void magnitude_into(const cvec& spectrum, rvec& out) {
+  out.resize(spectrum.size());
+  for (std::size_t i = 0; i < spectrum.size(); ++i)
+    out[i] = std::abs(spectrum[i]);
+}
+
+void power_into(const cvec& spectrum, rvec& out) {
+  out.resize(spectrum.size());
   for (std::size_t i = 0; i < spectrum.size(); ++i)
     out[i] = std::norm(spectrum[i]);
-  return out;
 }
 
 }  // namespace choir::dsp

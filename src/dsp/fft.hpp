@@ -1,13 +1,23 @@
-// Iterative radix-2 FFT with precomputed twiddle plans.
+// Iterative FFT with precomputed twiddle plans.
 //
 // The Choir receiver performs one dechirp + FFT per symbol window, typically
 // at an oversampling (zero-padding) factor of 16 over the 2^SF symbol
 // length, so plans are cached per size.
+//
+// Two transform kernels share each plan:
+//  - the production radix-4 path: pairs of radix-2 stages merged into one
+//    pass over the data, with each merged stage's twiddles stored
+//    contiguously (interleaved [w, w^2] per butterfly) so the inner loop
+//    streams through both the data and the twiddle table linearly;
+//  - the plain radix-2 path, kept as a correctness oracle for the
+//    equivalence test suite.
+//
+// The `*_into` entry points transform caller-provided storage in place and
+// never allocate; together with DspWorkspace (workspace.hpp) they make the
+// steady-state per-symbol decode loop allocation-free.
 #pragma once
 
 #include <cstddef>
-#include <map>
-#include <memory>
 
 #include "util/types.hpp"
 
@@ -32,23 +42,48 @@ class FftPlan {
   /// In-place inverse transform (scaled by 1/N).
   void inverse(cvec& data) const;
 
+  /// In-place forward transform of `size()` elements at `data`. No size
+  /// check, no allocation — the zero-allocation hot-path entry point.
+  void forward_into(cplx* data) const;
+
+  /// In-place inverse transform of `size()` elements at `data` (1/N
+  /// scaled).
+  void inverse_into(cplx* data) const;
+
+  /// Radix-2 reference kernels (correctness oracle for the radix-4 path).
+  void forward_radix2(cvec& data) const;
+  void inverse_radix2(cvec& data) const;
+
  private:
-  void transform(cvec& data, bool invert) const;
+  void transform_radix2(cvec& data, bool invert) const;
+  template <bool Invert>
+  void transform_radix4(cplx* data) const;
 
   std::size_t size_;
+  bool lead_radix2_ = false;  ///< log2(size) odd: one plain stage first
   std::vector<std::size_t> bit_reverse_;
-  cvec twiddles_;          // forward twiddles per stage, flattened
+  cvec twiddles_;  ///< radix-2 oracle twiddles per stage, flattened
   cvec inv_twiddles_;
+  /// Merged-stage twiddles: for each merged stage of quarter-length h,
+  /// 2h entries [w1[k], w2[k]] with w1 = e^{-2pi i k/(4h)}, w2 = w1^2.
+  cvec r4_twiddles_;
+  cvec r4_inv_twiddles_;
 };
 
 /// Process-wide plan cache. Plans are immutable after construction and the
 /// cache itself is mutex-protected, so concurrent decoders (the gateway
-/// worker pool) can share it freely.
+/// worker pool) can share it freely. Each thread memoizes its resolved
+/// plans in a thread-local unordered_map, so the steady state takes no
+/// lock and does one hash lookup.
 const FftPlan& plan_for(std::size_t size);
 
 /// Out-of-place forward FFT zero-padded to `out_size` (power of two,
 /// >= in.size()). Returns the complex spectrum.
 cvec fft_padded(const cvec& in, std::size_t out_size);
+
+/// Allocation-free fft_padded: writes the spectrum into `out` (resized to
+/// `out_size`; no allocation once its capacity has grown to steady state).
+void fft_padded_into(const cvec& in, std::size_t out_size, cvec& out);
 
 /// Convenience: forward FFT of exactly in.size() (must be a power of two).
 cvec fft(const cvec& in);
@@ -61,5 +96,9 @@ rvec magnitude(const cvec& spectrum);
 
 /// Squared magnitude (power) of each spectrum bin.
 rvec power(const cvec& spectrum);
+
+/// Allocation-free variants writing into caller storage (resized).
+void magnitude_into(const cvec& spectrum, rvec& out);
+void power_into(const cvec& spectrum, rvec& out);
 
 }  // namespace choir::dsp

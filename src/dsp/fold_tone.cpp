@@ -91,21 +91,24 @@ void fold_subtract(cvec& dechirped, double lambda, double tau,
 
 namespace {
 
-FoldArgmax argmax_over(const cvec& dechirped, double lambda, double tau,
-                       const std::vector<std::uint32_t>& ds, std::size_t n) {
-  FoldArgmax best;
+// Streaming best/runner-up tracker over candidate symbols. Allocation-free:
+// callers feed candidates one at a time (from any source — a full 0..N-1
+// sweep or a peak-derived shortlist) instead of materializing an index
+// vector.
+struct ArgmaxTracker {
+  std::size_t n;
   double best_score = -1.0;
   std::uint32_t best_d = 0;
   double second_score = -1.0;
   std::uint32_t second_d = 0;
-  for (std::uint32_t d : ds) {
-    const double s = std::abs(fold_corr(dechirped, lambda, tau, d));
+
+  void consider(std::uint32_t d, double s) {
     if (s > best_score) {
       // The old winner becomes runner-up only if it isn't this symbol's
       // immediate neighbor (its own leakage).
       if (best_score >= 0.0) {
-        const std::uint32_t diff =
-            (best_d > d ? best_d - d : d - best_d) % static_cast<std::uint32_t>(n);
+        const std::uint32_t diff = (best_d > d ? best_d - d : d - best_d) %
+                                   static_cast<std::uint32_t>(n);
         if (diff > 1 && diff < n - 1 && best_score > second_score) {
           second_score = best_score;
           second_d = best_d;
@@ -114,36 +117,44 @@ FoldArgmax argmax_over(const cvec& dechirped, double lambda, double tau,
       best_score = s;
       best_d = d;
     } else if (s > second_score) {
-      const std::uint32_t diff =
-          (best_d > d ? best_d - d : d - best_d) % static_cast<std::uint32_t>(n);
+      const std::uint32_t diff = (best_d > d ? best_d - d : d - best_d) %
+                                 static_cast<std::uint32_t>(n);
       if (diff > 1 && diff < n - 1) {
         second_score = s;
         second_d = d;
       }
     }
   }
-  best.symbol = best_d;
-  best.score = best_score;
-  best.amplitude = fold_fit(dechirped, lambda, tau, best_d);
-  best.second = second_d;
-  best.second_score = std::max(0.0, second_score);
-  return best;
-}
+
+  FoldArgmax finish(const cvec& dechirped, double lambda, double tau) const {
+    FoldArgmax best;
+    best.symbol = best_d;
+    best.score = best_score;
+    best.amplitude = fold_fit(dechirped, lambda, tau, best_d);
+    best.second = second_d;
+    best.second_score = std::max(0.0, second_score);
+    return best;
+  }
+};
 
 }  // namespace
 
 FoldArgmax fold_argmax(const cvec& dechirped, double lambda, double tau) {
   const std::size_t n = dechirped.size();
-  std::vector<std::uint32_t> all(n);
-  for (std::size_t i = 0; i < n; ++i) all[i] = static_cast<std::uint32_t>(i);
-  return argmax_over(dechirped, lambda, tau, all, n);
+  ArgmaxTracker t{n};
+  for (std::uint32_t d = 0; d < static_cast<std::uint32_t>(n); ++d)
+    t.consider(d, std::abs(fold_corr(dechirped, lambda, tau, d)));
+  return t.finish(dechirped, lambda, tau);
 }
 
 FoldArgmax fold_argmax_candidates(
     const cvec& dechirped, double lambda, double tau,
     const std::vector<std::uint32_t>& candidates) {
   if (candidates.empty()) return fold_argmax(dechirped, lambda, tau);
-  return argmax_over(dechirped, lambda, tau, candidates, dechirped.size());
+  ArgmaxTracker t{dechirped.size()};
+  for (std::uint32_t d : candidates)
+    t.consider(d, std::abs(fold_corr(dechirped, lambda, tau, d)));
+  return t.finish(dechirped, lambda, tau);
 }
 
 }  // namespace choir::dsp

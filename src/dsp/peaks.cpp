@@ -33,13 +33,11 @@ ParabolicFit parabolic_refine(const rvec& mag, std::size_t i, bool circular) {
   return fit;
 }
 
-std::vector<Peak> find_peaks(const cvec& spectrum,
-                             const PeakFindOptions& opt) {
+void find_peaks_mag(const cvec& spectrum, const rvec& mag,
+                    const PeakFindOptions& opt, std::vector<Peak>& out) {
   const std::size_t n = spectrum.size();
-  std::vector<Peak> candidates;
-  if (n < 3) return candidates;
-  rvec mag(n);
-  for (std::size_t i = 0; i < n; ++i) mag[i] = std::abs(spectrum[i]);
+  out.clear();
+  if (n < 3) return;
 
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t prev = (i + n - 1) % n;
@@ -54,31 +52,51 @@ std::vector<Peak> find_peaks(const cvec& spectrum,
     if (p.bin >= static_cast<double>(n)) p.bin -= static_cast<double>(n);
     p.magnitude = fit.magnitude;
     p.value = spectrum[i];
-    candidates.push_back(p);
+    out.push_back(p);
   }
 
-  std::sort(candidates.begin(), candidates.end(),
-            [](const Peak& a, const Peak& b) {
-              return a.magnitude > b.magnitude;
-            });
+  std::sort(out.begin(), out.end(), [](const Peak& a, const Peak& b) {
+    return a.magnitude > b.magnitude;
+  });
 
-  std::vector<Peak> out;
+  // In-place greedy non-maximum suppression: survivors compact into the
+  // prefix [0, kept); everything after is dropped by the final resize.
   const double dn = static_cast<double>(n);
-  for (const Peak& c : candidates) {
+  std::size_t kept = 0;
+  for (std::size_t c = 0; c < out.size(); ++c) {
     bool suppressed = false;
-    for (const Peak& kept : out) {
-      const double d = opt.circular ? circular_distance(c.bin, kept.bin, dn)
-                                    : std::abs(c.bin - kept.bin);
+    for (std::size_t k = 0; k < kept; ++k) {
+      const double d = opt.circular
+                           ? circular_distance(out[c].bin, out[k].bin, dn)
+                           : std::abs(out[c].bin - out[k].bin);
       if (d < opt.min_separation) {
         suppressed = true;
         break;
       }
     }
     if (suppressed) continue;
-    out.push_back(c);
-    if (opt.max_peaks != 0 && out.size() >= opt.max_peaks) break;
+    out[kept++] = out[c];
+    if (opt.max_peaks != 0 && kept >= opt.max_peaks) break;
   }
+  out.resize(kept);
+}
+
+std::vector<Peak> find_peaks(const cvec& spectrum,
+                             const PeakFindOptions& opt) {
+  rvec mag(spectrum.size());
+  for (std::size_t i = 0; i < spectrum.size(); ++i)
+    mag[i] = std::abs(spectrum[i]);
+  std::vector<Peak> out;
+  find_peaks_mag(spectrum, mag, opt, out);
   return out;
+}
+
+double noise_floor_mag(const rvec& mag, rvec& scratch) {
+  scratch.resize(mag.size());
+  std::copy(mag.begin(), mag.end(), scratch.begin());
+  std::nth_element(scratch.begin(), scratch.begin() + scratch.size() / 2,
+                   scratch.end());
+  return scratch[scratch.size() / 2];
 }
 
 double noise_floor(const cvec& spectrum) {

@@ -40,10 +40,23 @@ struct PeakFindOptions {
 /// suppression at `min_separation`. Positions are parabolic-refined.
 std::vector<Peak> find_peaks(const cvec& spectrum, const PeakFindOptions& opt);
 
+/// Allocation-free find_peaks over a precomputed magnitude array (`mag`
+/// must be the per-bin magnitudes of `spectrum`). Results replace the
+/// contents of `out`; non-maximum suppression runs in place on `out`
+/// (sort-descending + kept-prefix compaction), so no scratch storage is
+/// needed. The hot decode path computes `mag` once via dechirp_fft_mag and
+/// shares it between this and noise_floor_mag.
+void find_peaks_mag(const cvec& spectrum, const rvec& mag,
+                    const PeakFindOptions& opt, std::vector<Peak>& out);
+
 /// Median-based robust estimate of the noise floor magnitude of a spectrum.
 /// For a spectrum dominated by noise plus a few peaks, the median of bin
 /// magnitudes tracks the Rayleigh-distributed noise level.
 double noise_floor(const cvec& spectrum);
+
+/// Allocation-free noise_floor over a precomputed magnitude array.
+/// `scratch` is clobbered (nth_element reorders it).
+double noise_floor_mag(const rvec& mag, rvec& scratch);
 
 /// Parabolic (quadratic) interpolation of the true maximum around index i of
 /// the magnitude array; returns the fractional offset in [-0.5, 0.5] and the

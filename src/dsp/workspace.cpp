@@ -1,0 +1,121 @@
+#include "dsp/workspace.hpp"
+
+#include <algorithm>
+
+#include "dsp/fft.hpp"
+#include "obs/obs.hpp"
+
+namespace choir::dsp {
+
+DspWorkspace::DspWorkspace() {
+  cpool_.reserve(8);
+  rpool_.reserve(4);
+  upool_.reserve(2);
+  ppool_.reserve(2);
+}
+
+template <typename T>
+WsLease<T> DspWorkspace::acquire(std::vector<std::vector<T>>& pool,
+                                 std::size_t n, bool zero) {
+  std::vector<T> buf;
+  if (!pool.empty()) {
+    buf = std::move(pool.back());
+    pool.pop_back();
+  }
+  if (buf.capacity() >= n) {
+    ++hits_;
+    CHOIR_OBS_COUNT("dsp.workspace.hits", 1);
+  } else {
+    ++allocs_;
+    CHOIR_OBS_COUNT("dsp.workspace.allocs", 1);
+  }
+  if (zero) {
+    buf.assign(n, T{});
+  } else {
+    buf.resize(n);
+  }
+  return WsLease<T>(&pool, std::move(buf));
+}
+
+WsLease<cplx> DspWorkspace::cbuf(std::size_t n) {
+  return acquire(cpool_, n, false);
+}
+WsLease<cplx> DspWorkspace::cbuf_zero(std::size_t n) {
+  return acquire(cpool_, n, true);
+}
+WsLease<double> DspWorkspace::rbuf(std::size_t n) {
+  return acquire(rpool_, n, false);
+}
+WsLease<std::uint32_t> DspWorkspace::ubuf(std::size_t n) {
+  return acquire(upool_, n, false);
+}
+WsLease<Peak> DspWorkspace::peaks() { return acquire(ppool_, 0, false); }
+
+DspWorkspace& DspWorkspace::tls() {
+  thread_local DspWorkspace ws;
+  return ws;
+}
+
+void slice_window_into(const cvec& rx, std::size_t start, std::size_t n,
+                       cvec& out) {
+  out.resize(n);
+  const std::size_t avail = start < rx.size() ? rx.size() - start : 0;
+  const std::size_t m = std::min(n, avail);
+  std::copy(rx.begin() + static_cast<std::ptrdiff_t>(start),
+            rx.begin() + static_cast<std::ptrdiff_t>(start + m), out.begin());
+  std::fill(out.begin() + static_cast<std::ptrdiff_t>(m), out.end(),
+            cplx{0.0, 0.0});
+}
+
+void dechirp_window_into(const cvec& rx, std::size_t start,
+                         const cvec& chirp_conj, cvec& out) {
+  const std::size_t n = chirp_conj.size();
+  slice_window_into(rx, start, n, out);
+  for (std::size_t i = 0; i < n; ++i) out[i] *= chirp_conj[i];
+  CHOIR_OBS_COUNT("dsp.dechirp.windows", 1);
+}
+
+namespace {
+
+// Shared core of the fused kernels: dechirped window into `spec`,
+// zero-padded to fft_len, transformed in place.
+void dechirp_fft_into(const cvec& rx, std::size_t start,
+                      const cvec& chirp_conj, std::size_t fft_len,
+                      cvec& spec) {
+  const std::size_t n = chirp_conj.size();
+  spec.resize(fft_len);
+  const std::size_t avail = start < rx.size() ? rx.size() - start : 0;
+  const std::size_t m = std::min(n, avail);
+  for (std::size_t i = 0; i < m; ++i)
+    spec[i] = rx[start + i] * chirp_conj[i];
+  std::fill(spec.begin() + static_cast<std::ptrdiff_t>(m), spec.end(),
+            cplx{0.0, 0.0});
+  CHOIR_OBS_COUNT("dsp.dechirp.windows", 1);
+  CHOIR_OBS_TIMED_SCOPE("dsp.fft.us");
+  plan_for(fft_len).forward_into(spec.data());
+}
+
+}  // namespace
+
+void dechirp_fft_mag(const cvec& rx, std::size_t start, const cvec& chirp_conj,
+                     std::size_t fft_len, cvec& spec, rvec& mag) {
+  dechirp_fft_into(rx, start, chirp_conj, fft_len, spec);
+  magnitude_into(spec, mag);
+}
+
+void dechirp_fft_power(const cvec& rx, std::size_t start,
+                       const cvec& chirp_conj, std::size_t fft_len,
+                       cvec& spec, rvec& power) {
+  dechirp_fft_into(rx, start, chirp_conj, fft_len, spec);
+  power_into(spec, power);
+}
+
+void dechirp_fft_power_acc(const cvec& rx, std::size_t start,
+                           const cvec& chirp_conj, std::size_t fft_len,
+                           cvec& spec, rvec& power_acc) {
+  dechirp_fft_into(rx, start, chirp_conj, fft_len, spec);
+  for (std::size_t i = 0; i < fft_len; ++i)
+    power_acc[i] += std::norm(spec[i]);
+}
+
+}  // namespace choir::dsp

@@ -1,0 +1,141 @@
+// Per-thread reusable DSP buffers and fused symbol-window kernels.
+//
+// Every receiver in Choir funnels through the same per-symbol loop —
+// slice a window out of the capture, dechirp, zero-padded FFT, magnitude /
+// peak scan — and the naive implementation allocates several fresh vectors
+// per window. DspWorkspace is a small arena of pooled buffers that a
+// decode thread leases for the duration of one kernel call and returns
+// with capacity intact, so after a short warm-up the steady-state decode
+// performs zero heap allocations per symbol.
+//
+// Ownership rules (see docs/PERFORMANCE.md):
+//  - DspWorkspace is NOT thread-safe. Use DspWorkspace::tls() — one
+//    workspace per thread — or own a private instance per worker.
+//  - A lease pins its buffer until it goes out of scope; overlapping
+//    leases from the same pool simply draw distinct buffers, so nesting
+//    is safe (the pool just warms up to the peak concurrent demand).
+//  - Buffers come back `resize`d but with unspecified contents unless the
+//    `_zero` variant was used.
+//
+// Observability: the workspace counts buffer reuses ("dsp.workspace.hits")
+// versus buffer (re)allocations ("dsp.workspace.allocs"). A flat allocs
+// counter across a multi-packet run is the zero-allocation property, and
+// tests/test_dsp_workspace.cpp asserts exactly that.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "dsp/peaks.hpp"
+#include "util/types.hpp"
+
+namespace choir::dsp {
+
+class DspWorkspace;
+
+/// RAII lease on a pooled buffer. Move-only; returns the buffer (capacity
+/// intact) to its pool on destruction.
+template <typename T>
+class WsLease {
+ public:
+  WsLease(WsLease&& o) noexcept : pool_(o.pool_), buf_(std::move(o.buf_)) {
+    o.pool_ = nullptr;
+  }
+  WsLease(const WsLease&) = delete;
+  WsLease& operator=(const WsLease&) = delete;
+  WsLease& operator=(WsLease&&) = delete;
+  ~WsLease() {
+    if (pool_ != nullptr) pool_->push_back(std::move(buf_));
+  }
+
+  std::vector<T>& operator*() { return buf_; }
+  const std::vector<T>& operator*() const { return buf_; }
+  std::vector<T>* operator->() { return &buf_; }
+  const std::vector<T>* operator->() const { return &buf_; }
+
+ private:
+  friend class DspWorkspace;
+  WsLease(std::vector<std::vector<T>>* pool, std::vector<T> buf)
+      : pool_(pool), buf_(std::move(buf)) {}
+
+  std::vector<std::vector<T>>* pool_;
+  std::vector<T> buf_;
+};
+
+/// Arena of reusable DSP buffers for one thread.
+class DspWorkspace {
+ public:
+  DspWorkspace();
+
+  /// Complex buffer of n elements, contents unspecified.
+  WsLease<cplx> cbuf(std::size_t n);
+  /// Complex buffer of n elements, zero-filled.
+  WsLease<cplx> cbuf_zero(std::size_t n);
+  /// Real buffer of n elements, contents unspecified.
+  WsLease<double> rbuf(std::size_t n);
+  /// Symbol-candidate buffer of n elements, contents unspecified.
+  WsLease<std::uint32_t> ubuf(std::size_t n);
+  /// Empty peak list with retained capacity.
+  WsLease<Peak> peaks();
+
+  /// Buffer acquisitions served from the pool without growing storage.
+  std::uint64_t hits() const { return hits_; }
+  /// Buffer acquisitions that had to allocate (fresh buffer or regrowth).
+  std::uint64_t allocs() const { return allocs_; }
+
+  /// The calling thread's workspace.
+  static DspWorkspace& tls();
+
+ private:
+  template <typename T>
+  WsLease<T> acquire(std::vector<std::vector<T>>& pool, std::size_t n,
+                     bool zero);
+
+  std::vector<std::vector<cplx>> cpool_;
+  std::vector<std::vector<double>> rpool_;
+  std::vector<std::vector<std::uint32_t>> upool_;
+  std::vector<std::vector<Peak>> ppool_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t allocs_ = 0;
+};
+
+// ------------------------------------------------- fused window kernels
+//
+// All kernels write into caller-provided storage (usually leased from the
+// thread's workspace) and never allocate.
+
+/// Copies rx[start, start+n) into `out` (resized to n), zero-filling past
+/// the end of the capture.
+void slice_window_into(const cvec& rx, std::size_t start, std::size_t n,
+                       cvec& out);
+
+/// slice_window_into + in-place dechirp with `chirp_conj` (the conjugate
+/// chirp; out is resized to chirp_conj.size()).
+void dechirp_window_into(const cvec& rx, std::size_t start,
+                         const cvec& chirp_conj, cvec& out);
+
+/// Fused dechirp + zero-padded FFT + magnitude kernel for one symbol
+/// window taken straight from the capture: slices
+/// rx[start, start+chirp_conj.size()), dechirps, transforms at `fft_len`
+/// into `spec`, and writes per-bin magnitudes into `mag`. One pass
+/// computes the magnitudes every consumer (peak scan AND noise floor)
+/// shares, where the naive path computed them twice.
+void dechirp_fft_mag(const cvec& rx, std::size_t start, const cvec& chirp_conj,
+                     std::size_t fft_len, cvec& spec, rvec& mag);
+
+/// Like dechirp_fft_mag but writes per-bin power |spec[i]|^2 into `power`
+/// (resized to fft_len).
+void dechirp_fft_power(const cvec& rx, std::size_t start,
+                       const cvec& chirp_conj, std::size_t fft_len,
+                       cvec& spec, rvec& power);
+
+/// Fused dechirp + zero-padded FFT + power-accumulate kernel: like
+/// dechirp_fft_power but adds |spec[i]|^2 into `power_acc` (which the
+/// caller must have sized to fft_len) — the accumulated-spectrum primitive
+/// of the offset estimator and team decoder.
+void dechirp_fft_power_acc(const cvec& rx, std::size_t start,
+                           const cvec& chirp_conj, std::size_t fft_len,
+                           cvec& spec, rvec& power_acc);
+
+}  // namespace choir::dsp

@@ -45,8 +45,9 @@ Channelizer::Channelizer(std::size_t n_channels, const ChannelizerOptions& opt)
   proto_ = design_prototype(k_, taps_, opt.cutoff_scale);
   window_.assign(taps_ * k_, cplx{0.0, 0.0});
   fold_.resize(k_);
-  // Warm the FFT plan now so worker threads never contend on first use.
-  dsp::plan_for(k_);
+  // Resolve the FFT plan now so worker threads never contend on first use
+  // and the per-block hot loop skips even the thread-local cache lookup.
+  plan_ = &dsp::plan_for(k_);
 }
 
 double Channelizer::center_frequency_hz(std::size_t ch,
@@ -81,7 +82,7 @@ void Channelizer::push(const cvec& wideband, std::vector<cvec>& out) {
       }
       fold_[i] = acc;
     }
-    dsp::plan_for(k_).forward(fold_);
+    plan_->forward_into(fold_.data());
     for (std::size_t ch = 0; ch < k_; ++ch) out[ch].push_back(fold_[ch]);
     ++emitted_;
 

@@ -22,6 +22,10 @@
 
 #include "util/types.hpp"
 
+namespace choir::dsp {
+class FftPlan;
+}
+
 namespace choir::gateway {
 
 struct ChannelizerOptions {
@@ -70,6 +74,7 @@ class Channelizer {
   cvec window_;          ///< last P blocks, oldest first (P*K samples)
   std::size_t fill_ = 0; ///< valid samples in the newest (partial) block
   cvec fold_;            ///< scratch: folded block, length K
+  const dsp::FftPlan* plan_ = nullptr;  ///< cached K-point plan
   std::uint64_t emitted_ = 0;
 };
 

@@ -4,6 +4,7 @@
 
 #include "channel/collision.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/workspace.hpp"
 #include "lora/frame.hpp"
 #include "util/rng.hpp"
 
@@ -22,9 +23,11 @@ cvec upconvert_channels(const std::vector<cvec>& channels) {
   const std::size_t wide_len = k * len;
   cvec spectrum(wide_len, cplx{0.0, 0.0});
   const double gain = static_cast<double>(k);
+  auto sub_lease = dsp::DspWorkspace::tls().cbuf(len);
+  cvec& sub = *sub_lease;
   for (std::size_t ch = 0; ch < k; ++ch) {
     if (channels[ch].empty()) continue;
-    const cvec sub = dsp::fft_padded(channels[ch], len);
+    dsp::fft_padded_into(channels[ch], len, sub);
     for (std::size_t b = 0; b < len; ++b) {
       // Signed baseband bin, so each channel's negative frequencies land
       // just below its center rather than on top of its upper neighbour.

@@ -3,27 +3,18 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "dsp/chirp.hpp"
 #include "dsp/fft.hpp"
 #include "dsp/fold_tone.hpp"
 #include "dsp/peaks.hpp"
+#include "dsp/workspace.hpp"
 #include "util/db.hpp"
 
 namespace choir::lora {
 
 namespace {
-
-// Copies one symbol window out of the capture, zero-filling past the end.
-cvec slice_window(const cvec& rx, std::size_t start, std::size_t n) {
-  cvec out(n, cplx{0.0, 0.0});
-  if (start >= rx.size()) return out;
-  const std::size_t avail = std::min(n, rx.size() - start);
-  std::copy(rx.begin() + static_cast<std::ptrdiff_t>(start),
-            rx.begin() + static_cast<std::ptrdiff_t>(start + avail),
-            out.begin());
-  return out;
-}
 
 // Circular mean of bin positions on a ring of circumference n.
 double circular_mean_bins(const std::vector<double>& bins, double n) {
@@ -59,26 +50,25 @@ Demodulator::WindowPeak Demodulator::window_peak(const cvec& rx,
                                                  std::size_t start,
                                                  bool up) const {
   const std::size_t n = phy_.chips();
-  cvec win = slice_window(rx, start, n);
-  dsp::dechirp(win, up ? downchirp_ : upchirp_);
-  const cvec spec = dsp::fft_padded(win, n * opt_.oversample);
+  const std::size_t fft_len = n * opt_.oversample;
+  auto& pool = dsp::DspWorkspace::tls();
+  auto spec = pool.cbuf(fft_len);
+  auto mag = pool.rbuf(fft_len);
+  auto scratch = pool.rbuf(fft_len);
+  auto peaks = pool.peaks();
+  dsp::dechirp_fft_mag(rx, start, up ? downchirp_ : upchirp_, fft_len, *spec,
+                       *mag);
   dsp::PeakFindOptions popt;
   popt.max_peaks = 1;
   popt.min_separation = static_cast<double>(opt_.oversample);
-  const auto peaks = dsp::find_peaks(spec, popt);
+  dsp::find_peaks_mag(*spec, *mag, popt, *peaks);
   WindowPeak wp;
-  wp.noise = dsp::noise_floor(spec);
-  if (!peaks.empty()) {
-    wp.fine_bin = peaks.front().bin / static_cast<double>(opt_.oversample);
-    wp.magnitude = peaks.front().magnitude;
+  wp.noise = dsp::noise_floor_mag(*mag, *scratch);
+  if (!peaks->empty()) {
+    wp.fine_bin = peaks->front().bin / static_cast<double>(opt_.oversample);
+    wp.magnitude = peaks->front().magnitude;
   }
   return wp;
-}
-
-double Demodulator::window_energy(const cvec& rx, std::size_t start,
-                                  bool up) const {
-  // Energy of the strongest dechirped tone: a cheap up-vs-down classifier.
-  return window_peak(rx, start, up).magnitude;
 }
 
 double Demodulator::estimate_preamble_offset(const cvec& rx,
@@ -155,12 +145,12 @@ DemodResult Demodulator::demodulate_at(const cvec& rx,
   const std::size_t data_start =
       start + static_cast<std::size_t>(phy_.preamble_len + phy_.sfd_len) * n;
   const std::size_t max_syms = frame_symbol_count(kMaxPayloadBytes, phy_);
+  auto win = dsp::DspWorkspace::tls().cbuf(n);
   for (std::size_t j = 0; j < max_syms; ++j) {
     const std::size_t ws = data_start + j * n;
     if (ws + n > rx.size() + n / 2) break;  // allow a final partial window
-    cvec w = slice_window(rx, ws, n);
-    dsp::dechirp(w, downchirp_);
-    const dsp::FoldArgmax r = dsp::fold_argmax(w, lambda, tau);
+    dsp::dechirp_window_into(rx, ws, downchirp_, *win);
+    const dsp::FoldArgmax r = dsp::fold_argmax(*win, lambda, tau);
     res.raw_symbols.push_back(r.symbol);
   }
 
@@ -189,15 +179,21 @@ std::optional<std::size_t> Demodulator::detect_preamble(
     std::size_t last_w = 0;
   };
   std::vector<Cand> cands;
+  const std::size_t fft_len = n * opt_.oversample;
+  auto& pool = dsp::DspWorkspace::tls();
+  auto spec = pool.cbuf(fft_len);
+  auto mag = pool.rbuf(fft_len);
+  auto scratch = pool.rbuf(fft_len);
+  auto peaks = pool.peaks();
   for (std::size_t w = from; w + n <= rx.size(); w += n) {
-    cvec win = slice_window(rx, w, n);
-    dsp::dechirp(win, downchirp_);
-    const cvec spec = dsp::fft_padded(win, n * opt_.oversample);
+    dsp::dechirp_fft_mag(rx, w, downchirp_, fft_len, *spec, *mag);
     dsp::PeakFindOptions popt;
-    popt.threshold = opt_.detect_snr_factor * dsp::noise_floor(spec);
+    popt.threshold =
+        opt_.detect_snr_factor * dsp::noise_floor_mag(*mag, *scratch);
     popt.min_separation = 1.1 * static_cast<double>(opt_.oversample);
     popt.max_peaks = 3;
-    for (const dsp::Peak& p : dsp::find_peaks(spec, popt)) {
+    dsp::find_peaks_mag(*spec, *mag, popt, *peaks);
+    for (const dsp::Peak& p : *peaks) {
       const double bin = p.bin / static_cast<double>(opt_.oversample);
       bool matched = false;
       for (Cand& c : cands) {
@@ -238,6 +234,17 @@ DemodResult Demodulator::demodulate(const cvec& rx, std::size_t from) const {
   const std::size_t step = std::max<std::size_t>(1, n / 8);
   double best_score = -1.0;
   std::size_t best_start = *coarse;
+  // Candidate starts step by n/8 but probe windows at start + k*n, so
+  // neighboring candidates re-evaluate ~7/8 of each other's windows.
+  // window_peak is pure in (window start, chirp direction) — memoize it for
+  // the duration of the search (~3x fewer FFTs).
+  std::unordered_map<std::size_t, WindowPeak> memo;
+  const auto peak_at = [&](std::size_t at, bool up) -> const WindowPeak& {
+    const std::size_t key = at * 2 + (up ? 1 : 0);
+    auto it = memo.find(key);
+    if (it == memo.end()) it = memo.emplace(key, window_peak(rx, at, up)).first;
+    return it->second;
+  };
   // In a collision the preamble run can be recognized a few windows late
   // (the strongest user's bin flips between windows and restarts the run),
   // so search generously to the left of the coarse estimate.
@@ -251,8 +258,7 @@ DemodResult Demodulator::demodulate(const cvec& rx, std::size_t from) const {
     double score = 0.0;
     for (int k = 0; k < phy_.preamble_len; ++k) {
       score +=
-          window_peak(rx, start + static_cast<std::size_t>(k) * n, true)
-              .magnitude;
+          peak_at(start + static_cast<std::size_t>(k) * n, true).magnitude;
     }
     // The preamble is self-similar under symbol shifts, so the SFD has to
     // arbitrate: at the true start the SFD window is down-chirp-dominant
@@ -262,10 +268,10 @@ DemodResult Demodulator::demodulate(const cvec& rx, std::size_t from) const {
     const std::size_t sfd_at =
         start + static_cast<std::size_t>(phy_.preamble_len) * n;
     if (phy_.sfd_len > 0) {
-      score += window_energy(rx, sfd_at, false) -
-               window_energy(rx, sfd_at, true);
-      score += window_energy(rx, sfd_at - n, true) -
-               window_energy(rx, sfd_at - n, false);
+      score += peak_at(sfd_at, false).magnitude -
+               peak_at(sfd_at, true).magnitude;
+      score += peak_at(sfd_at - n, true).magnitude -
+               peak_at(sfd_at - n, false).magnitude;
     }
     if (score > best_score) {
       best_score = score;

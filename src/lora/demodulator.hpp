@@ -78,8 +78,6 @@ class Demodulator {
   /// up-chirp (to reveal SFD down-chirps).
   WindowPeak window_peak(const cvec& rx, std::size_t start, bool up) const;
 
-  double window_energy(const cvec& rx, std::size_t start, bool up) const;
-
   PhyParams phy_;
   DemodOptions opt_;
   cvec downchirp_;

@@ -57,15 +57,24 @@ void StreamingReceiver::scan(bool at_end) {
       n;
 
   while (true) {
-    const auto found = detector_.detect_preamble(buffer_, 0);
+    const auto found = detector_.detect_preamble(buffer_, scan_from_);
     if (!found) {
-      // Nothing detected: drop all but one frame-span of history (a
-      // preamble could be straddling the chunk boundary).
+      // Nothing detected. A run of consecutive preamble windows that
+      // straddles the buffer end only fires once its tail windows arrive,
+      // so the next scan may restart just one run-length (plus the window
+      // detect_preamble backs up by) before the current end instead of
+      // re-scanning the whole retained history.
+      const std::size_t margin =
+          (static_cast<std::size_t>(opt_.detector.min_preamble_run) + 1) * n;
+      scan_from_ = buffer_.size() > margin ? buffer_.size() - margin : 0;
+      // Drop all but one frame-span of history (a preamble could be
+      // straddling the chunk boundary).
       if (buffer_.size() > frame_span) {
         const std::size_t drop = buffer_.size() - frame_span;
         buffer_.erase(buffer_.begin(),
                       buffer_.begin() + static_cast<std::ptrdiff_t>(drop));
         consumed_ += drop;
+        scan_from_ -= std::min(scan_from_, drop);
       }
       return;
     }
@@ -162,6 +171,7 @@ void StreamingReceiver::scan(bool at_end) {
     buffer_.erase(buffer_.begin(),
                   buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_through));
     consumed_ += consumed_through;
+    scan_from_ = 0;  // the remaining tail has not been scanned on its own
     if (at_end && buffer_.empty()) return;
     if (buffer_.size() < n) return;
   }

@@ -75,6 +75,11 @@ class StreamingReceiver {
   std::size_t decode_attempts_ = 0;
   std::size_t unscanned_ = 0;   ///< samples pushed since the last scan
   bool flushed_ = false;        ///< tail already flushed, nothing pending
+  /// Buffer index preamble scans restart from. Everything before it has
+  /// already been scanned without a detection — minus a safety margin of
+  /// one preamble run, since a run straddling the old buffer end only
+  /// fires once its tail windows arrive.
+  std::size_t scan_from_ = 0;
 };
 
 }  // namespace choir::rt

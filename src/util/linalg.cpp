@@ -89,9 +89,10 @@ cvec least_squares(const CMatrix& e, const cvec& y) {
   return solve_linear(eh.multiply(e), eh.multiply(y));
 }
 
-Cholesky::Cholesky(const CMatrix& a) : l_(a.rows(), a.cols()) {
+void Cholesky::factorize(const CMatrix& a) {
   const std::size_t n = a.rows();
   if (a.cols() != n) throw std::invalid_argument("Cholesky: not square");
+  l_.reshape(n, n);
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t j = 0; j <= i; ++j) {
       cplx sum = a(i, j);
@@ -111,22 +112,26 @@ Cholesky::Cholesky(const CMatrix& a) : l_(a.rows(), a.cols()) {
 }
 
 cvec Cholesky::solve(const cvec& b) const {
+  cvec x;
+  solve_into(b, x);
+  return x;
+}
+
+void Cholesky::solve_into(const cvec& b, cvec& x) const {
   const std::size_t n = size();
   if (b.size() != n) throw std::invalid_argument("Cholesky::solve: size");
-  cvec y(n);
+  x.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     cplx acc = b[i];
-    for (std::size_t k = 0; k < i; ++k) acc -= l_(i, k) * y[k];
-    y[i] = acc / l_(i, i);
+    for (std::size_t k = 0; k < i; ++k) acc -= l_(i, k) * x[k];
+    x[i] = acc / l_(i, i);
   }
-  cvec x(n);
   for (std::size_t ii = n; ii-- > 0;) {
-    cplx acc = y[ii];
+    cplx acc = x[ii];
     for (std::size_t k = ii + 1; k < n; ++k)
       acc -= std::conj(l_(k, ii)) * x[k];
     x[ii] = acc / l_(ii, ii);
   }
-  return x;
 }
 
 CMatrix pseudo_inverse(const CMatrix& a) {

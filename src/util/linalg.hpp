@@ -31,6 +31,14 @@ class CMatrix {
 
   static CMatrix identity(std::size_t n);
 
+  /// Reshapes to rows x cols, reusing the existing storage when it is
+  /// large enough. Contents are left unspecified (no zero-fill).
+  void reshape(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   CMatrix hermitian() const;                 ///< conjugate transpose
   CMatrix multiply(const CMatrix& rhs) const;
   cvec multiply(const cvec& v) const;        ///< matrix-vector product
@@ -55,12 +63,22 @@ CMatrix pseudo_inverse(const CMatrix& a);
 /// (A = L L^H). Throws std::runtime_error if A is not PD.
 class Cholesky {
  public:
-  explicit Cholesky(const CMatrix& a);
+  /// Empty factorization; call factorize() before solving.
+  Cholesky() = default;
+  explicit Cholesky(const CMatrix& a) { factorize(a); }
+
+  /// (Re)factorizes `a`, reusing the internal storage — repeated
+  /// factorizations of same-sized systems allocate nothing.
+  void factorize(const CMatrix& a);
 
   std::size_t size() const { return l_.rows(); }
 
   /// Solves A x = b via forward/back substitution (O(n^2)).
   cvec solve(const cvec& b) const;
+
+  /// Allocation-free solve: forward-substitutes b into x, then
+  /// back-substitutes in place. x is resized; b and x may not alias.
+  void solve_into(const cvec& b, cvec& x) const;
 
  private:
   CMatrix l_;

@@ -1,7 +1,11 @@
-// FFT correctness: roundtrip, known transforms, Parseval, plan cache.
+// FFT correctness: roundtrip, known transforms, Parseval, plan cache,
+// and the radix-4 / radix-2 / naive-DFT equivalence suite.
 #include <gtest/gtest.h>
 
+#include <array>
+#include <atomic>
 #include <cmath>
+#include <thread>
 
 #include "dsp/fft.hpp"
 #include "util/rng.hpp"
@@ -97,6 +101,142 @@ TEST(Fft, ZeroPaddingInterpolatesSpectrum) {
 TEST(Fft, PaddedRejectsShrinking) {
   cvec x(16);
   EXPECT_THROW(fft_padded(x, 8), std::invalid_argument);
+}
+
+// ------------------------------------------------------- equivalence suite
+//
+// The production radix-4 kernel is checked against two independent
+// references: the plain radix-2 oracle kept in the plan, and (for small
+// sizes) a direct O(n^2) DFT.
+
+cvec naive_dft(const cvec& x, bool invert) {
+  const std::size_t n = x.size();
+  const double sign = invert ? 1.0 : -1.0;
+  cvec out(n, cplx{0.0, 0.0});
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t t = 0; t < n; ++t) {
+      out[k] += x[t] * cis(sign * kTwoPi * static_cast<double>(k * t) /
+                           static_cast<double>(n));
+    }
+    if (invert) out[k] /= static_cast<double>(n);
+  }
+  return out;
+}
+
+cvec random_signal(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  cvec x(n);
+  for (auto& v : x) v = rng.cgaussian(1.0);
+  return x;
+}
+
+double rel_l2_error(const cvec& a, const cvec& b) {
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += std::norm(a[i] - b[i]);
+    den += std::norm(b[i]);
+  }
+  return den > 0.0 ? std::sqrt(num / den) : std::sqrt(num);
+}
+
+TEST(FftEquivalence, Radix4MatchesNaiveDft) {
+  for (std::size_t n = 2; n <= 1024; n *= 2) {
+    const cvec x = random_signal(n, 100 + n);
+    cvec fwd = x;
+    plan_for(n).forward(fwd);
+    EXPECT_LT(rel_l2_error(fwd, naive_dft(x, false)), 1e-9) << "n=" << n;
+    cvec inv = x;
+    plan_for(n).inverse(inv);
+    EXPECT_LT(rel_l2_error(inv, naive_dft(x, true)), 1e-9) << "n=" << n;
+  }
+}
+
+TEST(FftEquivalence, Radix4MatchesRadix2Oracle) {
+  for (std::size_t n = 2; n <= 16384; n *= 2) {
+    const FftPlan& plan = plan_for(n);
+    const cvec x = random_signal(n, 200 + n);
+    cvec r4 = x, r2 = x;
+    plan.forward(r4);
+    plan.forward_radix2(r2);
+    EXPECT_LT(rel_l2_error(r4, r2), 1e-10) << "forward n=" << n;
+    r4 = x;
+    r2 = x;
+    plan.inverse(r4);
+    plan.inverse_radix2(r2);
+    EXPECT_LT(rel_l2_error(r4, r2), 1e-10) << "inverse n=" << n;
+  }
+}
+
+TEST(FftEquivalence, ForwardInverseRoundTripAllSizes) {
+  for (std::size_t n = 2; n <= 16384; n *= 2) {
+    const FftPlan& plan = plan_for(n);
+    const cvec x = random_signal(n, 300 + n);
+    cvec work = x;
+    plan.forward_into(work.data());
+    plan.inverse_into(work.data());
+    EXPECT_LT(rel_l2_error(work, x), 1e-10) << "n=" << n;
+  }
+}
+
+TEST(FftEquivalence, PaddedMatchesExplicitZeroPad) {
+  for (std::size_t n : {5u, 32u, 100u, 256u}) {
+    const cvec x = random_signal(n, 400 + n);
+    const std::size_t padded = 4 * next_pow2(n);
+    cvec manual(x);
+    manual.resize(padded, cplx{0.0, 0.0});
+    plan_for(padded).forward(manual);
+    // Allocating and into-variant must agree with the manual zero-pad.
+    const cvec a = fft_padded(x, padded);
+    cvec b;
+    fft_padded_into(x, padded, b);
+    EXPECT_LT(rel_l2_error(a, manual), 1e-12) << "n=" << n;
+    EXPECT_LT(rel_l2_error(b, manual), 1e-12) << "n=" << n;
+    // Unpadded: out_size == input size is the plain transform.
+    if (is_pow2(n)) {
+      cvec c;
+      fft_padded_into(x, n, c);
+      cvec plain = x;
+      plan_for(n).forward(plain);
+      EXPECT_LT(rel_l2_error(c, plain), 1e-12) << "n=" << n;
+    }
+  }
+}
+
+// The process-wide plan cache hands out one immutable plan per size; a
+// pool of threads hammering mixed sizes must agree on the plan addresses
+// and produce correct transforms throughout (run under TSan in CI).
+TEST(FftPlanCacheThreaded, ConcurrentLookupsShareOnePlanPerSize) {
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kIters = 64;
+  const std::size_t sizes[] = {8, 64, 256, 1024, 4096};
+  std::vector<std::array<const FftPlan*, 5>> seen(kThreads);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      for (std::size_t it = 0; it < kIters; ++it) {
+        const std::size_t n = sizes[(t + it) % 5];
+        const FftPlan& plan = plan_for(n);
+        seen[t][(t + it) % 5] = &plan;
+        cvec x(n, cplx{0.0, 0.0});
+        x[it % n] = {1.0, 0.0};  // delta: spectrum is all unit-magnitude
+        plan.forward(x);
+        for (const auto& v : x) {
+          if (std::abs(std::abs(v) - 1.0) > 1e-9) {
+            failures.fetch_add(1, std::memory_order_relaxed);
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  for (std::size_t s = 0; s < 5; ++s) {
+    for (std::size_t t = 1; t < kThreads; ++t) {
+      EXPECT_EQ(seen[t][s], seen[0][s]) << "size index " << s;
+    }
+  }
 }
 
 TEST(Fft, MagnitudeAndPower) {

@@ -1,0 +1,230 @@
+// DspWorkspace pooling semantics, fused-kernel equivalence against the
+// composed slice/dechirp/fft/magnitude pipeline, and the PR's headline
+// guarantee: steady-state packet decode performs zero workspace
+// allocations (the "dsp.workspace.allocs" counter goes flat).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "channel/collision.hpp"
+#include "core/collision_decoder.hpp"
+#include "dsp/chirp.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/peaks.hpp"
+#include "dsp/workspace.hpp"
+#include "util/rng.hpp"
+
+namespace choir::dsp {
+namespace {
+
+TEST(Workspace, FirstAcquireAllocsReuseHits) {
+  DspWorkspace ws;
+  EXPECT_EQ(ws.hits(), 0u);
+  EXPECT_EQ(ws.allocs(), 0u);
+  { auto a = ws.cbuf(64); }
+  EXPECT_EQ(ws.allocs(), 1u);
+  EXPECT_EQ(ws.hits(), 0u);
+  { auto a = ws.cbuf(64); }  // capacity retained: a hit
+  EXPECT_EQ(ws.allocs(), 1u);
+  EXPECT_EQ(ws.hits(), 1u);
+  { auto a = ws.cbuf(32); }  // smaller fits in the retained buffer
+  EXPECT_EQ(ws.hits(), 2u);
+  { auto a = ws.cbuf(4096); }  // growth counts as an alloc
+  EXPECT_EQ(ws.allocs(), 2u);
+  { auto a = ws.cbuf(64); }  // the grown buffer now serves everything
+  EXPECT_EQ(ws.hits(), 3u);
+  EXPECT_EQ(ws.allocs(), 2u);
+}
+
+TEST(Workspace, OverlappingLeasesDrawDistinctBuffers) {
+  DspWorkspace ws;
+  auto a = ws.cbuf(16);
+  auto b = ws.cbuf(16);
+  EXPECT_NE(a->data(), b->data());
+  std::fill(a->begin(), a->end(), cplx{1.0, 0.0});
+  std::fill(b->begin(), b->end(), cplx{2.0, 0.0});
+  EXPECT_EQ((*a)[0], (cplx{1.0, 0.0}));
+  EXPECT_EQ((*b)[0], (cplx{2.0, 0.0}));
+}
+
+TEST(Workspace, ReleasedBufferIsReusedWithoutReallocation) {
+  DspWorkspace ws;
+  const cplx* ptr = nullptr;
+  {
+    auto a = ws.cbuf(512);
+    ptr = a->data();
+  }
+  auto b = ws.cbuf(512);
+  EXPECT_EQ(b->data(), ptr);
+}
+
+TEST(Workspace, ZeroVariantClearsTypedPools) {
+  DspWorkspace ws;
+  {
+    auto a = ws.cbuf(8);
+    std::fill(a->begin(), a->end(), cplx{3.0, -1.0});
+  }
+  auto z = ws.cbuf_zero(8);
+  for (const auto& v : *z) EXPECT_EQ(v, (cplx{0.0, 0.0}));
+  {
+    auto r = ws.rbuf(8);
+    auto u = ws.ubuf(8);
+    auto p = ws.peaks();
+    EXPECT_EQ(r->size(), 8u);
+    EXPECT_EQ(u->size(), 8u);
+    EXPECT_TRUE(p->empty());
+  }
+}
+
+// ----------------------------------------------------- fused kernels
+
+cvec random_rx(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  cvec rx(n);
+  for (auto& v : rx) v = rng.cgaussian(1.0);
+  return rx;
+}
+
+TEST(WorkspaceKernels, SliceAndDechirpMatchManualComposition) {
+  const std::size_t n = 64;
+  const cvec rx = random_rx(3 * n, 5);
+  const cvec down = base_downchirp(n);
+  // Mid-capture window and one hanging past the end (zero fill).
+  for (std::size_t start : {static_cast<std::size_t>(n / 2), 3 * n - 7}) {
+    cvec sliced;
+    slice_window_into(rx, start, n, sliced);
+    cvec dechirped;
+    dechirp_window_into(rx, start, down, dechirped);
+    ASSERT_EQ(sliced.size(), n);
+    ASSERT_EQ(dechirped.size(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const cplx want =
+          start + i < rx.size() ? rx[start + i] : cplx{0.0, 0.0};
+      EXPECT_LT(std::abs(sliced[i] - want), 1e-12);
+      EXPECT_LT(std::abs(dechirped[i] - want * down[i]), 1e-12);
+    }
+  }
+}
+
+TEST(WorkspaceKernels, FusedDechirpFftMatchesComposedPipeline) {
+  const std::size_t n = 128;
+  const std::size_t fft_len = 8 * n;
+  const cvec rx = random_rx(4 * n, 17);
+  const cvec down = base_downchirp(n);
+  for (std::size_t start : {static_cast<std::size_t>(0),
+                            static_cast<std::size_t>(n + 3), 4 * n - 5}) {
+    cvec spec;
+    rvec mag;
+    dechirp_fft_mag(rx, start, down, fft_len, spec, mag);
+
+    cvec manual;
+    dechirp_window_into(rx, start, down, manual);
+    const cvec ref = fft_padded(manual, fft_len);
+    ASSERT_EQ(spec.size(), fft_len);
+    ASSERT_EQ(mag.size(), fft_len);
+    for (std::size_t i = 0; i < fft_len; ++i) {
+      EXPECT_LT(std::abs(spec[i] - ref[i]), 1e-9);
+      EXPECT_NEAR(mag[i], std::abs(ref[i]), 1e-9);
+    }
+
+    cvec spec2;
+    rvec pw;
+    dechirp_fft_power(rx, start, down, fft_len, spec2, pw);
+    for (std::size_t i = 0; i < fft_len; ++i) {
+      EXPECT_NEAR(pw[i], std::norm(ref[i]), 1e-9);
+    }
+  }
+}
+
+TEST(WorkspaceKernels, PowerAccumulatesAcrossWindows) {
+  const std::size_t n = 64;
+  const std::size_t fft_len = 4 * n;
+  const cvec rx = random_rx(4 * n, 23);
+  const cvec down = base_downchirp(n);
+  rvec acc(fft_len, 0.0);
+  cvec spec;
+  rvec want(fft_len, 0.0);
+  for (std::size_t w = 0; w < 3; ++w) {
+    dechirp_fft_power_acc(rx, w * n, down, fft_len, spec, acc);
+    rvec pw;
+    dechirp_fft_power(rx, w * n, down, fft_len, spec, pw);
+    for (std::size_t i = 0; i < fft_len; ++i) want[i] += pw[i];
+  }
+  for (std::size_t i = 0; i < fft_len; ++i) {
+    EXPECT_NEAR(acc[i], want[i], 1e-6 * (1.0 + want[i]));
+  }
+}
+
+TEST(WorkspaceKernels, MagPeaksAndNoiseFloorMatchLegacy) {
+  const std::size_t n = 256;
+  cvec spec(n);
+  Rng rng(41);
+  for (auto& v : spec) v = rng.cgaussian(0.01);
+  spec[40] += cplx{30.0, 0.0};
+  spec[90] += cplx{18.0, 0.0};
+  spec[91] += cplx{9.0, 0.0};  // shadowed by its neighbour under NMS
+
+  rvec mag;
+  magnitude_into(spec, mag);
+  rvec scratch;
+  EXPECT_NEAR(noise_floor_mag(mag, scratch), noise_floor(spec), 1e-12);
+
+  PeakFindOptions opt;
+  opt.threshold = 5.0;
+  opt.min_separation = 3.0;
+  const auto legacy = find_peaks(spec, opt);
+  std::vector<Peak> pooled;
+  find_peaks_mag(spec, mag, opt, pooled);
+  ASSERT_EQ(pooled.size(), legacy.size());
+  for (std::size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_NEAR(pooled[i].bin, legacy[i].bin, 1e-12);
+    EXPECT_NEAR(pooled[i].magnitude, legacy[i].magnitude, 1e-12);
+    EXPECT_LT(std::abs(pooled[i].value - legacy[i].value), 1e-12);
+  }
+}
+
+// ------------------------------------------------- zero-allocation property
+
+// Decode a two-user collision repeatedly on one thread. The first decodes
+// warm the thread's workspace (and the FFT plan cache); after that the
+// allocs counter must go completely flat while hits keep climbing — the
+// steady-state decode path never touches the heap through the workspace.
+TEST(WorkspaceZeroAlloc, AllocsCounterFlatAcrossRepeatedPacketDecodes) {
+  lora::PhyParams phy;
+  phy.sf = 8;
+  channel::OscillatorModel osc;
+  osc.cfo_drift_hz_per_symbol = 0.0;
+  Rng rng(77);
+  std::vector<channel::TxInstance> txs(2);
+  for (auto& tx : txs) {
+    tx.phy = phy;
+    tx.payload = {0xC0, 0xFF, 0xEE, 0x42, 0x13, 0x37};
+    tx.hw = channel::DeviceHardware::sample(osc, rng);
+    tx.snr_db = 15.0;
+    tx.fading.kind = channel::FadingKind::kNone;
+  }
+  channel::RenderOptions ropt;
+  ropt.osc = osc;
+  const auto cap = channel::render_collision(txs, ropt, rng);
+
+  core::CollisionDecoder dec(phy);
+  auto& ws = DspWorkspace::tls();
+  for (int warm = 0; warm < 2; ++warm) {
+    const auto users = dec.decode(cap.samples, 0);
+    EXPECT_FALSE(users.empty());
+  }
+
+  const std::uint64_t allocs_before = ws.allocs();
+  const std::uint64_t hits_before = ws.hits();
+  for (int round = 0; round < 3; ++round) {
+    const auto users = dec.decode(cap.samples, 0);
+    EXPECT_FALSE(users.empty());
+  }
+  EXPECT_EQ(ws.allocs(), allocs_before)
+      << "steady-state decode allocated workspace buffers";
+  EXPECT_GT(ws.hits(), hits_before);
+}
+
+}  // namespace
+}  // namespace choir::dsp
