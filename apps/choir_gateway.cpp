@@ -10,12 +10,18 @@
 //   choir_gateway --in=wideband.cf32 --channels=8 --sf=8 --threads=4
 //   choir_gateway --synth --channels=8 --frames=4 --sf=7 --threads=4
 //   choir_gateway --synth --policy=drop --queue=32
+#include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "gateway/gateway.hpp"
 #include "gateway/traffic.hpp"
 #include "obs/obs.hpp"
+#include "obs/telemetry_server.hpp"
 #include "util/args.hpp"
 #include "util/iq_io.hpp"
 
@@ -37,7 +43,13 @@ int main(int argc, char** argv) {
         "  --policy=block|drop  backpressure policy (block)\n"
         "  --chunk=N      wideband samples per push (65536)\n"
         "  --metrics-out=FILE  write pipeline metrics + decode events (JSON)\n"
+        "  --metrics-interval=SEC  rewrite --metrics-out periodically\n"
         "  --metrics      print the metrics table after the run\n"
+        "  --trace-out=FILE    write per-frame traces (Chrome trace JSON)\n"
+        "  --flight-dir=DIR    IQ flight recorder captures on decode failure\n"
+        "  --telemetry-port=N  live HTTP /metrics /traces/recent /health\n"
+        "                      (N=0 picks a free port)\n"
+        "  --telemetry-linger=SEC  keep serving after the run ends\n"
         "  synthetic traffic only:\n"
         "  --frames=N     frames per channel (4)  --payload=BYTES (8)\n"
         "  --snr=DB       mean SNR (17)           --seed=S (1)\n");
@@ -60,6 +72,72 @@ int main(int argc, char** argv) {
   } else if (policy != "block") {
     std::fprintf(stderr, "unknown --policy=%s (block|drop)\n", policy.c_str());
     return 2;
+  }
+
+  const std::string metrics_out = args.get("metrics-out", "");
+  const std::string trace_out = args.get("trace-out", "");
+  const std::string flight_dir = args.get("flight-dir", "");
+  if (!flight_dir.empty()) {
+    if (obs::kEnabled) {
+      cfg.streaming.flight.dir = flight_dir;
+    } else {
+      std::fprintf(stderr,
+                   "warning: --flight-dir ignored "
+                   "(observability compiled out)\n");
+    }
+  }
+  if (!trace_out.empty() && !obs::kEnabled) {
+    std::fprintf(stderr,
+                 "warning: --trace-out ignored (observability compiled out)\n");
+  }
+
+  // Live telemetry, started before the push loop so the endpoints are
+  // scrapeable while the gateway serves traffic.
+  std::unique_ptr<obs::TelemetryServer> telemetry;
+  if (args.has("telemetry-port")) {
+    if (obs::kEnabled) {
+      try {
+        telemetry = std::make_unique<obs::TelemetryServer>(
+            static_cast<std::uint16_t>(args.get_int("telemetry-port", 0)));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+      std::printf("telemetry: http://127.0.0.1:%u/metrics\n",
+                  telemetry->port());
+      std::fflush(stdout);
+    } else {
+      std::fprintf(stderr,
+                   "warning: --telemetry-port ignored "
+                   "(observability compiled out)\n");
+    }
+  }
+
+  // Periodic metrics snapshots: a background thread rewriting the (atomic,
+  // rename-based) --metrics-out file on an interval, so a crash mid-run
+  // still leaves a recent consistent snapshot behind.
+  const double metrics_interval = args.get_double("metrics-interval", 0.0);
+  std::thread metrics_thread;
+  std::mutex snap_mu;
+  std::condition_variable snap_cv;
+  bool snap_stop = false;
+  if (metrics_interval > 0.0) {
+    if (metrics_out.empty()) {
+      std::fprintf(stderr, "--metrics-interval requires --metrics-out\n");
+      return 2;
+    }
+    metrics_thread = std::thread([&] {
+      std::unique_lock<std::mutex> lock(snap_mu);
+      while (!snap_cv.wait_for(lock,
+                               std::chrono::duration<double>(metrics_interval),
+                               [&] { return snap_stop; })) {
+        try {
+          obs::write_metrics_file(metrics_out);
+        } catch (const std::exception&) {
+          // Snapshots are best-effort; the final write reports errors.
+        }
+      }
+    });
   }
 
   cvec wideband;
@@ -100,6 +178,15 @@ int main(int argc, char** argv) {
   }
   const auto events = gw.stop();
 
+  if (metrics_thread.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(snap_mu);
+      snap_stop = true;
+    }
+    snap_cv.notify_all();
+    metrics_thread.join();
+  }
+
   for (const auto& ev : events) {
     std::string text(ev.user.payload.begin(), ev.user.payload.end());
     for (char& c : text) {
@@ -126,11 +213,22 @@ int main(int argc, char** argv) {
   if (args.get_bool("metrics", false)) {
     std::fputs(obs::format_table().c_str(), stdout);
   }
-  const std::string metrics_out = args.get("metrics-out", "");
   if (!metrics_out.empty()) {
     obs::write_metrics_file(metrics_out);
     std::printf("metrics written to %s%s\n", metrics_out.c_str(),
                 obs::kEnabled ? "" : " (observability compiled out)");
+  }
+  if (!trace_out.empty() && obs::kEnabled) {
+    obs::write_trace_file(trace_out);
+    std::printf("traces written to %s\n", trace_out.c_str());
+  }
+
+  const double linger = args.get_double("telemetry-linger", 0.0);
+  if (telemetry && linger > 0.0) {
+    std::printf("telemetry: lingering %.1f s on port %u\n", linger,
+                telemetry->port());
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::duration<double>(linger));
   }
   return events.empty() ? 1 : 0;
 }

@@ -26,7 +26,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: choir_rx --in=FILE [--format=cf32|cf64] [--sf=N]\n"
                  "  [--chunk=SAMPLES] [--team-slot=SAMPLE_INDEX]\n"
-                 "  [--metrics-out=FILE] [--metrics]\n");
+                 "  [--metrics-out=FILE] [--metrics] [--trace-out=FILE]\n"
+                 "  [--flight-dir=DIR]\n");
     return 2;
   }
   lora::PhyParams phy;
@@ -37,8 +38,17 @@ int main(int argc, char** argv) {
   const cvec samples = read_iq_file(in, fmt);
   std::printf("read %zu samples from %s\n", samples.size(), in.c_str());
 
+  const std::string trace_out = args.get("trace-out", "");
+  const std::string flight_dir = args.get("flight-dir", "");
+  if ((!trace_out.empty() || !flight_dir.empty()) && !obs::kEnabled) {
+    std::fprintf(stderr,
+                 "warning: --trace-out/--flight-dir ignored "
+                 "(observability compiled out)\n");
+  }
+
   int frames = 0;
   rt::StreamingOptions opt;
+  if (obs::kEnabled) opt.flight.dir = flight_dir;
   rt::StreamingReceiver receiver(phy, opt, [&](const rt::FrameEvent& ev) {
     ++frames;
     std::string text(ev.user.payload.begin(), ev.user.payload.end());
@@ -94,6 +104,10 @@ int main(int argc, char** argv) {
     obs::write_metrics_file(metrics_out);
     std::printf("metrics written to %s%s\n", metrics_out.c_str(),
                 obs::kEnabled ? "" : " (observability compiled out)");
+  }
+  if (!trace_out.empty() && obs::kEnabled) {
+    obs::write_trace_file(trace_out);
+    std::printf("traces written to %s\n", trace_out.c_str());
   }
   return frames > 0 ? 0 : 1;
 }

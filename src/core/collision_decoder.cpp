@@ -364,13 +364,17 @@ std::vector<std::uint32_t> CollisionDecoder::extract_window_symbols(
 }
 
 std::vector<DecodedUser> CollisionDecoder::decode_once(
-    const cvec& rx, std::size_t start) const {
+    const cvec& rx, std::size_t start, obs::TraceCollector* trace) const {
   const std::size_t n = phy_.chips();
-  const std::vector<cvec> preamble = dechirped_windows(
-      rx, start, static_cast<std::size_t>(phy_.preamble_len), true);
-  std::vector<UserEstimate> users = estimator_.estimate(preamble);
-  if (users.empty()) return {};
-  estimate_timing(rx, start, users);
+  std::vector<UserEstimate> users;
+  {
+    CHOIR_OBS_TRACE_SPAN(trace, "core.estimate");
+    const std::vector<cvec> preamble = dechirped_windows(
+        rx, start, static_cast<std::size_t>(phy_.preamble_len), true);
+    users = estimator_.estimate(preamble);
+    if (users.empty()) return {};
+    estimate_timing(rx, start, users);
+  }
 
   std::vector<DecodedUser> out(users.size());
 
@@ -473,10 +477,10 @@ void CollisionDecoder::subtract_window(cvec& rx, std::size_t wstart,
   }
 }
 
-std::vector<DecodedUser> CollisionDecoder::decode(const cvec& rx,
-                                                  std::size_t start,
-                                                  DecodeDiag* diag) const {
-  CHOIR_OBS_TIMED_SCOPE("core.decode.us");
+std::vector<DecodedUser> CollisionDecoder::decode(
+    const cvec& rx, std::size_t start, DecodeDiag* diag,
+    obs::TraceCollector* trace) const {
+  CHOIR_OBS_TIMED_SCOPE_T("core.decode.us", trace);
   // Packet-level SIC: strip CRC-clean users from the capture and give the
   // rest another chance with the interference gone.
   cvec work = rx;
@@ -487,7 +491,8 @@ std::vector<DecodedUser> CollisionDecoder::decode(const cvec& rx,
   std::size_t first_pass_users = 0;
   for (int round = 0; round < rounds; ++round) {
     ++rounds_run;
-    std::vector<DecodedUser> decoded = decode_once(work, start);
+    CHOIR_OBS_TRACE_SPAN(trace, "core.sic.round");
+    std::vector<DecodedUser> decoded = decode_once(work, start, trace);
     if (round == 0) first_pass_users = decoded.size();
     std::vector<DecodedUser> winners;
     losers.clear();

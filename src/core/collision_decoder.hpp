@@ -29,6 +29,7 @@
 #include "core/offset_estimator.hpp"
 #include "lora/frame.hpp"
 #include "lora/params.hpp"
+#include "obs/trace.hpp"
 #include "util/types.hpp"
 
 namespace choir::core {
@@ -88,9 +89,12 @@ class CollisionDecoder {
   /// Decodes all discernible users. `start` anchors the receiver's symbol
   /// window grid at the (beacon-synchronized) collision start; individual
   /// users may lead/lag it by their sub-symbol timing offsets. `diag`,
-  /// when non-null, receives per-attempt stage diagnostics.
+  /// when non-null, receives per-attempt stage diagnostics. `trace`, when
+  /// non-null, collects per-stage spans (estimation, each SIC round) for
+  /// the frame-trace subsystem (src/obs/trace.hpp).
   std::vector<DecodedUser> decode(const cvec& rx, std::size_t start,
-                                  DecodeDiag* diag = nullptr) const;
+                                  DecodeDiag* diag = nullptr,
+                                  obs::TraceCollector* trace = nullptr) const;
 
   /// Like decode(), but also subtracts every decoded user's reconstructed
   /// signal from `rx` in the time domain — used to strip in-range users
@@ -121,8 +125,8 @@ class CollisionDecoder {
                                             std::size_t max_peaks) const;
 
   /// Single estimation+demodulation pass (no packet-level SIC).
-  std::vector<DecodedUser> decode_once(const cvec& rx,
-                                       std::size_t start) const;
+  std::vector<DecodedUser> decode_once(const cvec& rx, std::size_t start,
+                                       obs::TraceCollector* trace) const;
 
   /// Subtracts the given users' full reconstructed frames from `rx`.
   void subtract_users(cvec& rx, std::size_t start,

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <tuple>
 
+#include "obs/obs.hpp"
+
 namespace choir::gateway {
 
 bool event_before(const GatewayEvent& a, const GatewayEvent& b) {
@@ -13,6 +15,12 @@ bool event_before(const GatewayEvent& a, const GatewayEvent& b) {
 }
 
 void EventAggregator::add(GatewayEvent ev) {
+  if constexpr (obs::kEnabled) {
+    if (ev.trace_id != 0) {
+      obs::trace_log().add_stage(ev.trace_id, "gateway.aggregate",
+                                 obs::trace_now_us(), 0.0);
+    }
+  }
   std::lock_guard<std::mutex> lock(mu_);
   events_.push_back(std::move(ev));
 }

@@ -23,6 +23,9 @@ struct GatewayEvent {
   std::size_t channel = 0;          ///< channelizer output index
   int sf = 0;                       ///< spreading factor of the pipeline
   std::uint64_t stream_offset = 0;  ///< frame start, baseband samples
+  /// Frame-trace id carried from the receiver (0 = not traced); the
+  /// aggregator appends its own stage to the trace on add().
+  std::uint64_t trace_id = 0;
   core::DecodedUser user;
 };
 

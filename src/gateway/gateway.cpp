@@ -27,22 +27,38 @@ GatewayRuntime::GatewayRuntime(const GatewayConfig& cfg)
       phy.sf = sf;
       rt::StreamingOptions sopt = cfg_.streaming;
       sopt.obs_channel = static_cast<int>(ch);
+      // The aggregator and the ordered drain still run after the receiver
+      // emits, so the receiver must leave traces open for them.
+      sopt.trace_completed_downstream = true;
       const std::size_t idx = pipelines_.size();
       pl.rx = std::make_unique<rt::StreamingReceiver>(
           phy, sopt, [this, ch, sf, idx](const rt::FrameEvent& ev) {
             stats_.add_frame(ev.user.crc_ok);
             if constexpr (obs::kEnabled) {
+              const Pipeline& p = pipelines_[idx];
               // Enqueue-to-decode latency of the frame's final chunk.
-              const auto ts = pipelines_[idx].chunk_ts;
+              const auto ts = p.chunk_ts;
               if (ts != obs::Clock::time_point{}) {
                 CHOIR_OBS_HIST("gateway.frame.latency.us",
                                obs::elapsed_us(ts, obs::Clock::now()));
+              }
+              if (ev.trace_id != 0 && p.chunk_enqueued_us > 0.0) {
+                // Backfill the producer-side stages now that the frame's
+                // trace exists: where its final chunk was enqueued and how
+                // long it waited in the worker's queue.
+                obs::trace_log().add_stage(ev.trace_id, "gateway.enqueue",
+                                           p.chunk_enqueued_us, 0.0,
+                                           p.chunk_enqueue_tid);
+                obs::trace_log().add_stage(
+                    ev.trace_id, "gateway.queue.wait", p.chunk_enqueued_us,
+                    p.chunk_pop_us - p.chunk_enqueued_us);
               }
             }
             GatewayEvent g;
             g.channel = ch;
             g.sf = sf;
             g.stream_offset = ev.stream_offset;
+            g.trace_id = ev.trace_id;
             g.user = ev.user;
             aggregator_.add(std::move(g));
           });
@@ -80,7 +96,11 @@ void GatewayRuntime::push(const cvec& wideband_chunk) {
       WorkItem item;
       item.pipeline = idx;
       item.chunk = chunk;
-      if constexpr (obs::kEnabled) item.enqueued = obs::Clock::now();
+      if constexpr (obs::kEnabled) {
+        item.enqueued = obs::Clock::now();
+        item.enqueued_us = obs::trace_now_us();
+        item.enqueue_tid = obs::current_tid();
+      }
       if (queues_[pipelines_[idx].worker]->push(std::move(item))) {
         stats_.add_chunk();
       }
@@ -105,7 +125,18 @@ std::vector<GatewayEvent> GatewayRuntime::stop() {
     }
     stats_.add_dropped(dropped);
   }
-  return aggregator_.drain_ordered();
+  auto events = aggregator_.drain_ordered();
+  if constexpr (obs::kEnabled) {
+    // The ordered drain is the end of every surviving frame's pipeline:
+    // stamp it and close the trace.
+    const double now = obs::trace_now_us();
+    for (const auto& ev : events) {
+      if (ev.trace_id == 0) continue;
+      obs::trace_log().add_stage(ev.trace_id, "gateway.drain", now, 0.0);
+      obs::trace_log().complete(ev.trace_id);
+    }
+  }
+  return events;
 }
 
 void GatewayRuntime::worker_main(std::size_t w) {
@@ -116,6 +147,9 @@ void GatewayRuntime::worker_main(std::size_t w) {
       CHOIR_OBS_HIST("gateway.queue.wait.us",
                      obs::elapsed_us(item->enqueued, obs::Clock::now()));
       pl.chunk_ts = item->enqueued;
+      pl.chunk_enqueued_us = item->enqueued_us;
+      pl.chunk_pop_us = obs::trace_now_us();
+      pl.chunk_enqueue_tid = item->enqueue_tid;
     }
     pl.rx->push(*item->chunk);
   }

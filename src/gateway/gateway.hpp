@@ -97,6 +97,11 @@ class GatewayRuntime {
     /// Enqueue time, for queue-wait and end-to-end latency metrics (only
     /// stamped when observability is compiled in).
     obs::Clock::time_point enqueued{};
+    /// Trace-epoch enqueue time and the producer's thread ordinal — carried
+    /// so a frame's trace can show who enqueued its final chunk and how
+    /// long it sat in the queue.
+    double enqueued_us = 0.0;
+    std::uint32_t enqueue_tid = 0;
   };
   struct Pipeline {
     std::size_t channel = 0;
@@ -107,6 +112,11 @@ class GatewayRuntime {
     /// the frame callback reads it to measure end-to-end frame latency.
     /// Written and read only on the owning worker's thread.
     obs::Clock::time_point chunk_ts{};
+    /// Trace bookkeeping for the chunk currently being decoded (same
+    /// single-thread ownership as chunk_ts).
+    double chunk_enqueued_us = 0.0;
+    double chunk_pop_us = 0.0;
+    std::uint32_t chunk_enqueue_tid = 0;
   };
 
   void worker_main(std::size_t w);

@@ -10,6 +10,7 @@
 
 #include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace choir::obs {
 
@@ -87,6 +88,7 @@ std::string export_json() {
     if (i) out += ',';
     out += "\n  \"" + h.name + "\":{";
     out += "\"count\":" + num(h.count);
+    out += ",\"overflow\":" + num(h.overflow);
     out += ",\"sum\":" + num(h.sum);
     out += ",\"min\":" + num(h.min);
     out += ",\"max\":" + num(h.max);
@@ -163,12 +165,71 @@ std::string format_table() {
   return out;
 }
 
+std::string export_prometheus() {
+  const RegistrySnapshot snap = registry().snapshot();
+  std::string out;
+  const auto sanitize = [](const std::string& name) {
+    std::string s = "choir_" + name;
+    for (char& c : s) {
+      const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                      (c >= '0' && c <= '9') || c == '_';
+      if (!ok) c = '_';
+    }
+    return s;
+  };
+  for (const auto& [name, v] : snap.counters) {
+    const std::string m = sanitize(name);
+    out += "# TYPE " + m + " counter\n";
+    out += m + " " + num(v) + "\n";
+  }
+  for (const auto& [name, v] : snap.gauges) {
+    const std::string m = sanitize(name);
+    out += "# TYPE " + m + " gauge\n";
+    out += m + " " + num(v) + "\n";
+  }
+  out += "# TYPE choir_obs_decode_events_recorded counter\n";
+  out += "choir_obs_decode_events_recorded " +
+         num(decode_log().total_recorded()) + "\n";
+  out += "# TYPE choir_obs_traces_begun counter\n";
+  out += "choir_obs_traces_begun " + num(trace_log().total_begun()) + "\n";
+  out += "# TYPE choir_obs_traces_completed counter\n";
+  out += "choir_obs_traces_completed " + num(trace_log().total_completed()) +
+         "\n";
+  for (const HistogramSnapshot& h : snap.histograms) {
+    const std::string m = sanitize(h.name);
+    out += "# TYPE " + m + " histogram\n";
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cum += h.counts[i];
+      out += m + "_bucket{le=\"" + num(h.bounds[i]) + "\"} " + num(cum) +
+             "\n";
+    }
+    out += m + "_bucket{le=\"+Inf\"} " + num(h.count) + "\n";
+    out += m + "_sum " + num(h.sum) + "\n";
+    out += m + "_count " + num(h.count) + "\n";
+    // Explicit overflow series: how many observations exceeded the last
+    // finite bound (le="+Inf" alone hides them inside the total).
+    out += m + "_overflow " + num(h.overflow) + "\n";
+  }
+  return out;
+}
+
+void write_file_atomic(const std::string& path, const std::string& data) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) throw std::runtime_error("obs: cannot open " + tmp);
+    f.write(data.data(), static_cast<std::streamsize>(data.size()));
+    f.flush();
+    if (!f) throw std::runtime_error("obs: write failed: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("obs: rename failed: " + tmp + " -> " + path);
+  }
+}
+
 void write_metrics_file(const std::string& path) {
-  std::ofstream f(path, std::ios::binary | std::ios::trunc);
-  if (!f) throw std::runtime_error("obs: cannot open " + path);
-  const std::string json = export_json();
-  f.write(json.data(), static_cast<std::streamsize>(json.size()));
-  if (!f) throw std::runtime_error("obs: write failed: " + path);
+  write_file_atomic(path, export_json());
 }
 
 }  // namespace choir::obs

@@ -1,0 +1,169 @@
+#include "obs/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.hpp"
+
+namespace choir::obs {
+
+namespace {
+
+// %.17g round-trips an IEEE double exactly, which the byte-for-byte replay
+// contract depends on: the replay recomputes the same doubles and must
+// format them identically.
+std::string numd(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string numu(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+// Round a double through float32 exactly as the cf32 file stores it. The
+// volatile store is load-bearing: GCC's vectorizer (observed on 12.2 at
+// -O2) fuses the narrow/widen conversion pair in a loop into a no-op,
+// which would silently skip the quantization extract() promises.
+double quantize_f32(double v) {
+  volatile float f = static_cast<float>(v);
+  return static_cast<double>(f);
+}
+
+}  // namespace
+
+std::string format_decode_diag(std::uint32_t peak_count,
+                               std::uint32_t sic_rounds,
+                               const std::vector<DecodeUserRecord>& users) {
+  std::string out = "{\"peak_count\":" + numu(peak_count);
+  out += ",\"sic_rounds\":" + numu(sic_rounds);
+  out += ",\"users\":[";
+  for (std::size_t i = 0; i < users.size(); ++i) {
+    const DecodeUserRecord& u = users[i];
+    if (i) out += ',';
+    out += "{\"cluster\":" + std::to_string(u.cluster);
+    out += ",\"offset_bins\":" + numd(u.offset_bins);
+    out += ",\"cfo_bins\":" + numd(u.cfo_bins);
+    out += ",\"timing_samples\":" + numd(u.timing_samples);
+    out += ",\"snr_db\":" + numd(u.snr_db);
+    out += ",\"frame_ok\":";
+    out += u.frame_ok ? "true" : "false";
+    out += ",\"crc_ok\":";
+    out += u.crc_ok ? "true" : "false";
+    out += ",\"payload_bytes\":" +
+           numu(static_cast<std::uint64_t>(u.payload_bytes));
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+FlightRecorder::FlightRecorder(const FlightRecorderOptions& opt, int channel,
+                               int sf, double bandwidth_hz)
+    : opt_(opt), channel_(channel), sf_(sf), bandwidth_hz_(bandwidth_hz) {
+  if (enabled()) {
+    ring_.resize(std::max<std::size_t>(1, opt_.ring_samples));
+  }
+}
+
+void FlightRecorder::push(const cvec& chunk) {
+  if (!enabled() || chunk.empty()) return;
+  const std::size_t cap = ring_.size();
+  // Only the newest `cap` samples of the chunk can survive.
+  const std::size_t n = std::min(chunk.size(), cap);
+  const cplx* src = chunk.data() + (chunk.size() - n);
+  std::size_t w = static_cast<std::size_t>((end_ + (chunk.size() - n)) % cap);
+  std::size_t left = n;
+  while (left > 0) {
+    const std::size_t run = std::min(left, cap - w);
+    std::memcpy(ring_.data() + w, src, run * sizeof(cplx));
+    src += run;
+    w = (w + run) % cap;
+    left -= run;
+  }
+  end_ += chunk.size();
+}
+
+bool FlightRecorder::extract(std::uint64_t anchor, std::uint64_t stream_end,
+                             cvec* out, std::uint64_t* start) const {
+  if (!enabled()) return false;
+  const std::size_t cap = ring_.size();
+  const std::uint64_t ring_first = end_ > cap ? end_ - cap : 0;
+  const std::uint64_t want_first =
+      anchor > opt_.guard_samples ? anchor - opt_.guard_samples : 0;
+  const std::uint64_t first = std::max(want_first, ring_first);
+  const std::uint64_t last = std::min(stream_end, end_);
+  if (last <= first) return false;
+  out->clear();
+  out->reserve(static_cast<std::size_t>(last - first));
+  for (std::uint64_t i = first; i < last; ++i) {
+    const cplx& s = ring_[static_cast<std::size_t>(i % cap)];
+    out->emplace_back(quantize_f32(s.real()), quantize_f32(s.imag()));
+  }
+  *start = first;
+  return true;
+}
+
+std::string FlightRecorder::trigger(const CaptureContext& ctx) {
+  if (!enabled()) return "";
+  ++triggers_;
+  if (written_ >= opt_.max_captures) return "";
+
+  const std::size_t cap = ring_.size();
+  const std::uint64_t ring_first = end_ > cap ? end_ - cap : 0;
+  const std::uint64_t want_first =
+      ctx.anchor > opt_.guard_samples ? ctx.anchor - opt_.guard_samples : 0;
+  const std::uint64_t first = std::max(want_first, ring_first);
+  const std::uint64_t last = std::min(ctx.stream_end, end_);
+  if (last <= first) return "";
+
+  std::string samples;
+  samples.reserve(static_cast<std::size_t>(last - first) * 2 * sizeof(float));
+  for (std::uint64_t i = first; i < last; ++i) {
+    const cplx& s = ring_[static_cast<std::size_t>(i % cap)];
+    const float iq[2] = {static_cast<float>(s.real()),
+                         static_cast<float>(s.imag())};
+    samples.append(reinterpret_cast<const char*>(iq), sizeof(iq));
+  }
+
+  char stem[160];
+  std::snprintf(stem, sizeof(stem), "fr_ch%d_sf%d_off%" PRIu64 "_%s",
+                channel_, sf_, ctx.anchor, ctx.reason);
+  const std::string base = opt_.dir + "/" + stem;
+
+  std::string sidecar = "{\n";
+  sidecar += "\"capture\":\"" + std::string(stem) + ".cf32\",\n";
+  sidecar += "\"format\":\"cf32\",\n";
+  sidecar += "\"reason\":\"" + std::string(ctx.reason) + "\",\n";
+  sidecar += "\"trace_id\":" + numu(ctx.trace_id) + ",\n";
+  sidecar += "\"channel\":" + std::to_string(channel_) + ",\n";
+  sidecar += "\"sf\":" + std::to_string(sf_) + ",\n";
+  sidecar += "\"bandwidth_hz\":" + numd(bandwidth_hz_) + ",\n";
+  sidecar += "\"anchor\":" + numu(ctx.anchor) + ",\n";
+  sidecar += "\"capture_start\":" + numu(first) + ",\n";
+  sidecar += "\"capture_samples\":" + numu(last - first) + ",\n";
+  // A capture whose head was clipped by the ring cannot replay the decode
+  // exactly (the anchor itself fell off the ring).
+  sidecar += "\"truncated\":";
+  sidecar += first > ctx.anchor ? "true" : "false";
+  sidecar += ",\n";
+  sidecar += "\"diag\": " +
+             format_decode_diag(ctx.peak_count, ctx.sic_rounds, ctx.users) +
+             "\n}\n";
+
+  try {
+    write_file_atomic(base + ".cf32", samples);
+    write_file_atomic(base + ".json", sidecar);
+  } catch (const std::exception&) {
+    return "";  // diagnostics must never take the pipeline down
+  }
+  ++written_;
+  return base + ".cf32";
+}
+
+}  // namespace choir::obs

@@ -1,0 +1,115 @@
+// IQ flight recorder: a ring of recent baseband samples per
+// (channel, SF) stream that, on a decode failure, snapshots the offending
+// window (plus guard context) to disk as a cf32 capture with a JSON
+// sidecar — turning any field failure into a replayable, checked-in-able
+// regression input (tools/choir_replay re-decodes it standalone).
+//
+// The ring is owned by exactly one thread (its StreamingReceiver's worker)
+// and costs one memcpy per pushed chunk when enabled; when disabled
+// (empty `dir`) every call is a cheap early-out. Snapshot triggers fire at
+// decode-attempt cadence (milliseconds of DSP behind each), so file I/O
+// never gates the hot path in any meaningful way.
+//
+// The sidecar embeds a *canonical diagnostics block* (format_decode_diag)
+// that deliberately excludes wall-clock fields, so a replay of the capture
+// must reproduce it byte-for-byte — the regression test for the whole
+// decode path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/event_log.hpp"
+#include "util/types.hpp"
+
+namespace choir::obs {
+
+struct FlightRecorderOptions {
+  /// Capture output directory; empty disables the recorder entirely.
+  std::string dir;
+  /// Ring depth in baseband samples. Must cover the longest frame span the
+  /// stream can produce plus guard, or captures get truncated at the ring
+  /// boundary (noted in the sidecar).
+  std::size_t ring_samples = 1u << 17;
+  /// Context samples captured before the decode anchor.
+  std::size_t guard_samples = 2048;
+  /// Retention cap: captures written beyond this are counted but dropped.
+  std::size_t max_captures = 8;
+  /// Trigger on a user that parsed but failed its payload CRC.
+  bool trigger_crc_fail = true;
+  /// Trigger on an attempt that emitted no CRC-clean user at all
+  /// (detection fired, decode produced nothing usable).
+  bool trigger_decode_fail = true;
+  /// Trigger when packet-level SIC ran out of rounds with users still
+  /// failing (non-convergence).
+  bool trigger_sic_exhausted = false;
+};
+
+/// Everything a trigger snapshot records besides the samples.
+struct CaptureContext {
+  const char* reason = "";       ///< trigger kind, e.g. "crc_fail"
+  std::uint64_t anchor = 0;      ///< absolute stream sample of the decode anchor
+  std::uint64_t stream_end = 0;  ///< absolute end of the decoded window
+  std::uint64_t trace_id = 0;
+  std::uint32_t peak_count = 0;
+  std::uint32_t sic_rounds = 0;
+  std::vector<DecodeUserRecord> users;  ///< per-user CFO/TO estimates
+};
+
+/// Canonical decode-diagnostics JSON (single line, no wall-clock fields):
+/// the contract between a capture's sidecar and choir_replay. Identical
+/// inputs must produce identical bytes.
+std::string format_decode_diag(std::uint32_t peak_count,
+                               std::uint32_t sic_rounds,
+                               const std::vector<DecodeUserRecord>& users);
+
+class FlightRecorder {
+ public:
+  /// `channel`/`sf` tag file names and sidecars; channel -1 marks a
+  /// single-stream (non-gateway) receiver.
+  FlightRecorder(const FlightRecorderOptions& opt, int channel, int sf,
+                 double bandwidth_hz);
+
+  bool enabled() const { return !opt_.dir.empty(); }
+
+  /// True when the next trigger would actually write files (enabled and
+  /// under the retention cap). Lets the caller spend effort — e.g. the
+  /// quantized re-decode that makes the sidecar exact — only when needed.
+  bool will_write() const { return enabled() && written_ < opt_.max_captures; }
+
+  /// Appends a chunk to the ring (no-op when disabled). Call in stream
+  /// order from the owning thread; absolute offsets advance per sample.
+  void push(const cvec& chunk);
+
+  /// Copies the capture window trigger() would store for (anchor,
+  /// stream_end) into `out`, quantized through float32 exactly as the
+  /// cf32 file stores it, and sets `start` to the window's absolute first
+  /// sample. Returns false when the window is empty. Decoding `out` is
+  /// therefore bit-identical to decoding the written capture read back.
+  bool extract(std::uint64_t anchor, std::uint64_t stream_end, cvec* out,
+               std::uint64_t* start) const;
+
+  /// Absolute sample index one past the newest ring sample.
+  std::uint64_t end_offset() const { return end_; }
+
+  /// Snapshots [ctx.anchor - guard, ctx.stream_end) clipped to the ring
+  /// into `<dir>/fr_chC_sfS_offA_reason.cf32` + `.json`. Returns the
+  /// capture path, or "" when disabled or past the retention cap.
+  std::string trigger(const CaptureContext& ctx);
+
+  std::size_t captures_written() const { return written_; }
+  std::uint64_t triggers_total() const { return triggers_; }
+
+ private:
+  FlightRecorderOptions opt_;
+  int channel_;
+  int sf_;
+  double bandwidth_hz_;
+  cvec ring_;              ///< newest `ring_.size()` samples, rolling
+  std::uint64_t end_ = 0;  ///< absolute index one past ring end
+  std::size_t written_ = 0;
+  std::uint64_t triggers_ = 0;
+};
+
+}  // namespace choir::obs

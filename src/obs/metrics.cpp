@@ -79,7 +79,15 @@ double Histogram::quantile(double q) const {
       const double hi = i < bounds_.size() ? bounds_[i] : max();
       const double frac =
           (target - cum) / static_cast<double>(counts[i]);
-      return lo + std::clamp(frac, 0.0, 1.0) * (std::max(hi, lo) - lo);
+      const double est =
+          lo + std::clamp(frac, 0.0, 1.0) * (std::max(hi, lo) - lo);
+      // Bucket interpolation can only place the estimate inside the
+      // bucket's bounds, which misreports distributions hugging an edge —
+      // most visibly the overflow bucket, where interpolating from the
+      // last bound reports the bucket edge instead of the data. The true
+      // quantile can never leave [min, max], so clamp to the observed
+      // range.
+      return std::clamp(est, min(), max());
     }
     cum = next;
   }
@@ -142,6 +150,7 @@ RegistrySnapshot Registry::snapshot() const {
     s.name = name;
     s.bounds = h->bounds();
     s.counts = h->bucket_counts();
+    s.overflow = s.counts.empty() ? 0 : s.counts.back();
     s.count = h->count();
     s.sum = h->sum();
     s.min = h->min();

@@ -112,6 +112,7 @@ struct HistogramSnapshot {
   std::string name;
   std::vector<double> bounds;
   std::vector<std::uint64_t> counts;  ///< bounds.size()+1 entries (overflow)
+  std::uint64_t overflow = 0;  ///< values above the last bucket bound
   std::uint64_t count = 0;
   double sum = 0.0;
   double min = 0.0;
@@ -158,10 +159,23 @@ Registry& registry();
 /// decode-event log (see event_log.hpp).
 std::string export_json();
 
+/// Whole-registry Prometheus text exposition (version 0.0.4): counters and
+/// gauges as `choir_<name>` (dots -> underscores), histograms as native
+/// Prometheus histograms (cumulative `_bucket{le=...}` series, `_sum`,
+/// `_count`) plus an explicit `_overflow` series for values above the last
+/// finite bound.
+std::string export_prometheus();
+
 /// Human-readable table of the same data (decode events summarized).
 std::string format_table();
 
-/// Writes export_json() to `path`; throws std::runtime_error on failure.
+/// Crash-safe file write: writes `data` to `path + ".tmp"` and atomically
+/// renames over `path`, so an interrupted run never leaves a truncated
+/// file. Throws std::runtime_error on failure.
+void write_file_atomic(const std::string& path, const std::string& data);
+
+/// Writes export_json() to `path` crash-safely (temp file + atomic
+/// rename); throws std::runtime_error on failure.
 void write_metrics_file(const std::string& path);
 
 }  // namespace choir::obs

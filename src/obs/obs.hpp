@@ -15,6 +15,7 @@
 #include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "obs/trace.hpp"
 
 #define CHOIR_OBS_CONCAT_(a, b) a##b
 #define CHOIR_OBS_CONCAT(a, b) CHOIR_OBS_CONCAT_(a, b)
@@ -72,6 +73,32 @@
   ::choir::obs::ScopedTimer CHOIR_OBS_CONCAT(choir_obs_ts, __LINE__)(      \
       CHOIR_OBS_CONCAT(choir_obs_th, __LINE__))
 
+/// CHOIR_OBS_TIMED_SCOPE with a trace context: also appends the span to
+/// `collector` (a ::choir::obs::TraceCollector*, may be null) so the stage
+/// shows up in the frame's flame row. `name` must be a string literal.
+#define CHOIR_OBS_TIMED_SCOPE_T(name, collector)                           \
+  static ::choir::obs::Histogram& CHOIR_OBS_CONCAT(choir_obs_th,           \
+                                                   __LINE__) =             \
+      ::choir::obs::registry().histogram(name);                            \
+  ::choir::obs::TracedScopedTimer CHOIR_OBS_CONCAT(choir_obs_ts,           \
+                                                   __LINE__)(              \
+      CHOIR_OBS_CONCAT(choir_obs_th, __LINE__), (collector), name)
+
+/// Times the rest of the enclosing scope into trace collector `collector`
+/// only (no histogram). `name` must be a string literal.
+#define CHOIR_OBS_TRACE_SPAN(collector, name)                              \
+  ::choir::obs::TraceSpan CHOIR_OBS_CONCAT(choir_obs_tr, __LINE__)(        \
+      (collector), name)
+
+/// Appends an instant (zero-duration) stage to trace collector
+/// `collector` (may be null). `name` must be a string literal.
+#define CHOIR_OBS_TRACE_INSTANT(collector, name)                           \
+  do {                                                                     \
+    ::choir::obs::TraceCollector* choir_obs_c = (collector);               \
+    if (choir_obs_c != nullptr)                                            \
+      choir_obs_c->add(name, ::choir::obs::trace_now_us(), 0.0);           \
+  } while (0)
+
 #else  // CHOIR_OBS_DISABLED
 
 #define CHOIR_OBS_COUNT(name, n) \
@@ -91,6 +118,18 @@
   } while (0)
 #define CHOIR_OBS_TIMED_SCOPE(name) \
   do {                              \
+  } while (0)
+#define CHOIR_OBS_TIMED_SCOPE_T(name, collector) \
+  do {                                           \
+    (void)(collector);                           \
+  } while (0)
+#define CHOIR_OBS_TRACE_SPAN(collector, name) \
+  do {                                        \
+    (void)(collector);                        \
+  } while (0)
+#define CHOIR_OBS_TRACE_INSTANT(collector, name) \
+  do {                                           \
+    (void)(collector);                           \
   } while (0)
 
 #endif  // CHOIR_OBS_DISABLED

@@ -16,6 +16,7 @@
 #include <chrono>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace choir::obs {
 
@@ -38,6 +39,29 @@ class ScopedTimer {
  private:
   Histogram* hist_;
   Clock::time_point t0_;
+};
+
+/// ScopedTimer that additionally appends the span to a per-frame trace
+/// collector (null collector = histogram only). One clock read per end,
+/// shared between the histogram and the trace stage.
+class TracedScopedTimer {
+ public:
+  TracedScopedTimer(Histogram& hist, TraceCollector* c, const char* name)
+      : hist_(&hist), c_(c), name_(name), t0_us_(trace_now_us()) {}
+  ~TracedScopedTimer() {
+    const double dur = trace_now_us() - t0_us_;
+    hist_->record(dur);
+    if (c_ != nullptr) c_->add(name_, t0_us_, dur);
+  }
+
+  TracedScopedTimer(const TracedScopedTimer&) = delete;
+  TracedScopedTimer& operator=(const TracedScopedTimer&) = delete;
+
+ private:
+  Histogram* hist_;
+  TraceCollector* c_;
+  const char* name_;
+  double t0_us_;
 };
 
 }  // namespace choir::obs

@@ -1,0 +1,124 @@
+#include "obs/telemetry_server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace choir::obs {
+
+namespace {
+
+void send_all(int fd, const char* data, std::size_t len) {
+  std::size_t at = 0;
+  while (at < len) {
+    const ssize_t n = ::send(fd, data + at, len - at, MSG_NOSIGNAL);
+    if (n <= 0) return;  // client went away; nothing to do about it
+    at += static_cast<std::size_t>(n);
+  }
+}
+
+void send_response(int fd, const char* status, const char* content_type,
+                   const std::string& body) {
+  std::string head = "HTTP/1.0 ";
+  head += status;
+  head += "\r\nContent-Type: ";
+  head += content_type;
+  head += "\r\nContent-Length: " + std::to_string(body.size());
+  head += "\r\nConnection: close\r\n\r\n";
+  send_all(fd, head.data(), head.size());
+  send_all(fd, body.data(), body.size());
+}
+
+}  // namespace
+
+TelemetryServer::TelemetryServer(std::uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("telemetry: socket() failed");
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) <
+          0 ||
+      ::listen(listen_fd_, 16) < 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("telemetry: cannot bind 127.0.0.1:" +
+                             std::to_string(port));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  thread_ = std::thread([this] { serve(); });
+}
+
+TelemetryServer::~TelemetryServer() { stop(); }
+
+void TelemetryServer::stop() {
+  if (listen_fd_ < 0) return;
+  stop_.store(true, std::memory_order_relaxed);
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void TelemetryServer::serve() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 200);
+    if (pr <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    // Read the request head; 4 KB is generous for "GET /path HTTP/1.x".
+    char buf[4096];
+    const ssize_t n = ::recv(fd, buf, sizeof(buf) - 1, 0);
+    if (n > 0) {
+      buf[n] = '\0';
+      std::string path = "/";
+      if (std::strncmp(buf, "GET ", 4) == 0) {
+        const char* start = buf + 4;
+        const char* end = std::strchr(start, ' ');
+        if (end != nullptr) path.assign(start, end);
+      }
+      respond(fd, path);
+      requests_.fetch_add(1, std::memory_order_relaxed);
+    }
+    ::close(fd);
+  }
+}
+
+void TelemetryServer::respond(int fd, const std::string& path) {
+  if (path == "/metrics") {
+    send_response(fd, "200 OK", "text/plain; version=0.0.4; charset=utf-8",
+                  export_prometheus());
+  } else if (path == "/metrics.json") {
+    send_response(fd, "200 OK", "application/json", export_json());
+  } else if (path == "/traces/recent") {
+    send_response(fd, "200 OK", "application/json",
+                  export_traces_recent_json(64));
+  } else if (path == "/health") {
+    std::string body = "{\"status\":\"ok\",\"obs_enabled\":";
+    body += kEnabled ? "true" : "false";
+    body += ",\"uptime_us\":" + std::to_string(trace_now_us());
+    body += ",\"traces_begun\":" +
+            std::to_string(trace_log().total_begun()) + "}\n";
+    send_response(fd, "200 OK", "application/json", body);
+  } else {
+    send_response(fd, "404 Not Found", "text/plain", "not found\n");
+  }
+}
+
+}  // namespace choir::obs

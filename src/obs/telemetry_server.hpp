@@ -1,0 +1,61 @@
+// Live telemetry: a tiny dependency-free HTTP/1.0 server that makes the
+// observability registry scrapeable while the gateway serves traffic.
+//
+// Endpoints:
+//   /metrics        Prometheus text exposition (version 0.0.4)
+//   /metrics.json   the same registry as the --metrics-out JSON document
+//   /traces/recent  the newest per-frame traces as compact JSON
+//   /health         {"status":"ok", ...} liveness probe
+//
+// One acceptor thread, one request per connection, close after response —
+// a deliberate floor of an implementation: a scraper polls every few
+// seconds, so there is nothing to pool or pipeline. The server only ever
+// *reads* snapshots of the lock-free registry, so it perturbs the decode
+// hot path exactly as much as a --metrics-out dump does: not at all.
+//
+// POSIX sockets only (the project already assumes a POSIX platform for
+// threads). The class compiles regardless of CHOIR_OBS; with observability
+// off the exported documents are simply empty, and the apps refuse the
+// flag with a warning instead.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace choir::obs {
+
+class TelemetryServer {
+ public:
+  /// Binds 127.0.0.1:`port` (0 picks an ephemeral port) and starts the
+  /// acceptor thread. Throws std::runtime_error if the bind fails.
+  explicit TelemetryServer(std::uint16_t port);
+  ~TelemetryServer();
+
+  TelemetryServer(const TelemetryServer&) = delete;
+  TelemetryServer& operator=(const TelemetryServer&) = delete;
+
+  /// The actually bound port (resolves port 0).
+  std::uint16_t port() const { return port_; }
+
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+  /// Stops accepting, joins the thread. Idempotent.
+  void stop();
+
+ private:
+  void serve();
+  /// Routes one request path to (status line, content type, body).
+  static void respond(int fd, const std::string& path);
+
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread thread_;
+};
+
+}  // namespace choir::obs

@@ -1,0 +1,228 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+
+namespace choir::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point trace_epoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+std::string num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+std::string num(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+}  // namespace
+
+std::uint32_t current_tid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t tid =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+double trace_now_us() {
+  return std::chrono::duration<double, std::micro>(Clock::now() -
+                                                   trace_epoch())
+      .count();
+}
+
+TraceId TraceLog::begin(FrameTrace trace) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (capacity_ == 0) return 0;
+  trace.id = next_id_++;
+  ++begun_;
+  const TraceId id = trace.id;
+  if (ring_.size() < capacity_) {
+    index_.emplace(id, ring_.size());
+    ring_.push_back(std::move(trace));
+    return id;
+  }
+  index_.erase(ring_[next_].id);  // evict the oldest retained trace
+  index_.emplace(id, next_);
+  ring_[next_] = std::move(trace);
+  next_ = (next_ + 1) % capacity_;
+  return id;
+}
+
+void TraceLog::add_stage(TraceId id, const char* name, double ts_us,
+                         double dur_us) {
+  add_stage(id, name, ts_us, dur_us, current_tid());
+}
+
+void TraceLog::add_stage(TraceId id, const char* name, double ts_us,
+                         double dur_us, std::uint32_t tid) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(id);
+  if (it == index_.end()) {
+    ++orphans_;
+    return;
+  }
+  ring_[it->second].stages.push_back({name, ts_us, dur_us, tid});
+}
+
+void TraceLog::complete(TraceId id) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(id);
+  if (it == index_.end()) {
+    ++orphans_;
+    return;
+  }
+  FrameTrace& t = ring_[it->second];
+  if (!t.complete) {
+    t.complete = true;
+    ++completed_;
+  }
+}
+
+std::vector<FrameTrace> TraceLog::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FrameTrace> out;
+  out.reserve(ring_.size());
+  // Once the ring has wrapped, `next_` is the oldest retained entry.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  for (FrameTrace& t : out) {
+    std::stable_sort(t.stages.begin(), t.stages.end(),
+                     [](const TraceStage& a, const TraceStage& b) {
+                       return a.ts_us < b.ts_us;
+                     });
+  }
+  return out;
+}
+
+std::uint64_t TraceLog::total_begun() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return begun_;
+}
+
+std::uint64_t TraceLog::total_completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+std::uint64_t TraceLog::orphan_stages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return orphans_;
+}
+
+std::size_t TraceLog::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+void TraceLog::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  ring_.clear();
+  index_.clear();
+  next_ = 0;
+}
+
+void TraceLog::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  index_.clear();
+  next_ = 0;
+  begun_ = 0;
+  completed_ = 0;
+  orphans_ = 0;
+}
+
+TraceLog& trace_log() {
+  static TraceLog log;
+  return log;
+}
+
+std::string export_trace_json() {
+  const std::vector<FrameTrace> traces = trace_log().snapshot();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  out += "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
+         "\"args\":{\"name\":\"choir\"}}";
+  char buf[256];
+  for (const FrameTrace& t : traces) {
+    // One virtual thread row per frame: tid = trace id. The metadata name
+    // is what Perfetto shows as the row label.
+    std::snprintf(buf, sizeof(buf),
+                  ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%" PRIu64
+                  ",\"name\":\"thread_name\",\"args\":{\"name\":"
+                  "\"frame %" PRIu64 " ch%d sf%d @%" PRIu64
+                  " crc=%s%s\"}}",
+                  t.id, t.id, t.channel, t.sf, t.stream_offset,
+                  t.crc_ok ? "ok" : "BAD", t.complete ? "" : " (partial)");
+    out += buf;
+    for (const TraceStage& s : t.stages) {
+      out += ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":" + num(t.id);
+      out += ",\"ts\":" + num(s.ts_us);
+      out += ",\"dur\":" + num(s.dur_us);
+      out += ",\"name\":\"";
+      out += s.name;
+      out += "\",\"args\":{\"thread\":" +
+             num(static_cast<std::uint64_t>(s.tid)) + "}}";
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string export_traces_recent_json(std::size_t limit) {
+  std::vector<FrameTrace> traces = trace_log().snapshot();
+  const std::size_t n = std::min(limit, traces.size());
+  std::string out = "{";
+  out += "\"begun\":" + num(trace_log().total_begun());
+  out += ",\"completed\":" + num(trace_log().total_completed());
+  out += ",\"orphan_stages\":" + num(trace_log().orphan_stages());
+  out += ",\"retained\":" + num(static_cast<std::uint64_t>(traces.size()));
+  out += ",\"traces\":[";
+  for (std::size_t i = traces.size() - n; i < traces.size(); ++i) {
+    const FrameTrace& t = traces[i];
+    if (i != traces.size() - n) out += ',';
+    out += "\n{\"id\":" + num(t.id);
+    out += ",\"channel\":" + std::to_string(t.channel);
+    out += ",\"sf\":" + std::to_string(t.sf);
+    out += ",\"stream_offset\":" + num(t.stream_offset);
+    out += ",\"crc_ok\":";
+    out += t.crc_ok ? "true" : "false";
+    out += ",\"complete\":";
+    out += t.complete ? "true" : "false";
+    out += ",\"stages\":[";
+    for (std::size_t j = 0; j < t.stages.size(); ++j) {
+      const TraceStage& s = t.stages[j];
+      if (j) out += ',';
+      out += "{\"name\":\"";
+      out += s.name;
+      out += "\",\"ts_us\":" + num(s.ts_us);
+      out += ",\"dur_us\":" + num(s.dur_us);
+      out += ",\"tid\":" + num(static_cast<std::uint64_t>(s.tid)) + "}";
+    }
+    out += "]}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+void write_trace_file(const std::string& path) {
+  write_file_atomic(path, export_trace_json());
+}
+
+}  // namespace choir::obs

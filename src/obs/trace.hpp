@@ -1,0 +1,165 @@
+// Per-frame trace contexts: follow one frame's journey through the
+// concurrent gateway pipeline — channelizer fan-out, SPSC queue wait,
+// preamble detection, collision decode (per SIC round), emission,
+// aggregation — and export it as Chrome trace_event / Perfetto-compatible
+// JSON where every frame renders as one flame row.
+//
+// Two-phase design, because a frame does not exist until the decoder says
+// so: stage spans recorded *during* a decode attempt go into an
+// attempt-scoped TraceCollector (plain vector, owned by one thread, no
+// locking). When the attempt emits frames, each emitted frame mints a
+// TraceId and the collected stages are copied into the process-wide
+// TraceLog; later pipeline stages (queue bookkeeping, aggregation, ordered
+// drain) append to the trace by id from whichever thread they run on.
+//
+// Hot-path discipline matches the rest of obs: the TraceLog mutex is taken
+// once per *emitted frame* (milliseconds of decode work behind it), never
+// per sample or per chunk. Under CHOIR_OBS=OFF every call site is guarded
+// by `if constexpr (obs::kEnabled)` or the no-op macros in obs.hpp, so the
+// whole subsystem compiles away.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace choir::obs {
+
+/// Identifies one traced frame. 0 means "not traced".
+using TraceId = std::uint64_t;
+
+/// Small dense per-thread ordinal (first use of a thread assigns the next
+/// one) — stable across the run, readable in trace exports.
+std::uint32_t current_tid();
+
+/// Microseconds since the process trace epoch (first call wins).
+double trace_now_us();
+
+/// One pipeline stage a frame passed through. `name` must be a string
+/// literal (stage names are compile-time constants; nothing is copied).
+struct TraceStage {
+  const char* name = "";
+  double ts_us = 0.0;   ///< trace-epoch start time
+  double dur_us = 0.0;  ///< 0 for instant events
+  std::uint32_t tid = 0;
+};
+
+/// Attempt-scoped stage buffer: owned by the decoding thread, filled while
+/// the frame's TraceId does not exist yet. clear() keeps capacity, so a
+/// long-lived collector (one per StreamingReceiver) never reallocates in
+/// steady state.
+class TraceCollector {
+ public:
+  void add(const char* name, double ts_us, double dur_us) {
+    stages_.push_back({name, ts_us, dur_us, current_tid()});
+  }
+  void clear() { stages_.clear(); }
+  bool empty() const { return stages_.empty(); }
+  const std::vector<TraceStage>& stages() const { return stages_; }
+
+ private:
+  std::vector<TraceStage> stages_;
+};
+
+/// RAII span that appends to a collector on scope exit (no-op collector
+/// pointer allowed, so call sites need no branching).
+class TraceSpan {
+ public:
+  TraceSpan(TraceCollector* c, const char* name)
+      : c_(c), name_(name), t0_us_(c ? trace_now_us() : 0.0) {}
+  ~TraceSpan() {
+    if (c_ != nullptr) c_->add(name_, t0_us_, trace_now_us() - t0_us_);
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceCollector* c_;
+  const char* name_;
+  double t0_us_;
+};
+
+/// The full journey of one delivered frame.
+struct FrameTrace {
+  TraceId id = 0;
+  std::int32_t channel = -1;  ///< gateway channel; -1 = single-stream rx
+  std::int32_t sf = 0;
+  std::uint64_t stream_offset = 0;  ///< frame anchor, baseband samples
+  bool crc_ok = false;
+  bool complete = false;  ///< reached the end of its pipeline
+  std::vector<TraceStage> stages;
+};
+
+/// Process-wide ring of frame traces. Mutex-protected like the decode-event
+/// log: every operation is per-frame, not per-sample, so contention is
+/// irrelevant and the structure is trivially TSan-clean.
+class TraceLog {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  /// Stores `trace` (its `id` field is overwritten with a fresh id) and
+  /// returns the id. Evicts the oldest retained trace once full.
+  TraceId begin(FrameTrace trace);
+
+  /// Appends a stage to a live trace from any thread. Unknown ids (already
+  /// evicted, or never minted) count as orphans instead of crashing.
+  void add_stage(TraceId id, const char* name, double ts_us, double dur_us);
+
+  /// Same, with an explicit thread ordinal — for stages recorded on behalf
+  /// of another thread (e.g. the worker appending the producer's enqueue
+  /// stamp once the frame's trace id exists).
+  void add_stage(TraceId id, const char* name, double ts_us, double dur_us,
+                 std::uint32_t tid);
+
+  /// Marks the end of the frame's pipeline.
+  void complete(TraceId id);
+
+  /// Oldest-first copy of retained traces, stages sorted by timestamp.
+  std::vector<FrameTrace> snapshot() const;
+
+  std::uint64_t total_begun() const;
+  std::uint64_t total_completed() const;
+  /// Stage appends that referenced an unknown trace id.
+  std::uint64_t orphan_stages() const;
+
+  std::size_t capacity() const;
+  /// Also clears retained traces (capacity changes restart the ring).
+  void set_capacity(std::size_t capacity);
+
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<FrameTrace> ring_;
+  std::unordered_map<TraceId, std::size_t> index_;  ///< id -> ring slot
+  std::size_t capacity_ = kDefaultCapacity;
+  std::size_t next_ = 0;  ///< ring write position once full
+  TraceId next_id_ = 1;
+  std::uint64_t begun_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t orphans_ = 0;
+};
+
+/// The process-wide frame-trace log.
+TraceLog& trace_log();
+
+// ------------------------------------------------------------- exporters
+
+/// Chrome trace_event JSON ("traceEvents" array, Perfetto-loadable): one
+/// virtual thread row per frame (tid = trace id), real thread ordinals in
+/// each event's args.
+std::string export_trace_json();
+
+/// Compact JSON of the most recent `limit` traces (newest last) for the
+/// telemetry server's /traces/recent endpoint.
+std::string export_traces_recent_json(std::size_t limit);
+
+/// Writes export_trace_json() to `path` crash-safely (temp file + atomic
+/// rename); throws std::runtime_error on failure.
+void write_trace_file(const std::string& path);
+
+}  // namespace choir::obs

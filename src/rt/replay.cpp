@@ -1,0 +1,108 @@
+#include "rt/replay.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/flight_recorder.hpp"
+#include "rt/streaming.hpp"
+#include "util/iq_io.hpp"
+
+namespace choir::rt {
+
+namespace {
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("replay: cannot read " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// The sidecar is machine-written with a fixed key set (one key per line),
+// so targeted key lookups beat dragging in a JSON parser dependency.
+std::string find_value(const std::string& doc, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = doc.find(needle);
+  if (at == std::string::npos) {
+    throw std::runtime_error("replay: sidecar missing key \"" + key + "\"");
+  }
+  std::size_t from = at + needle.size();
+  while (from < doc.size() && doc[from] == ' ') ++from;
+  std::size_t to = doc.find('\n', from);
+  if (to == std::string::npos) to = doc.size();
+  std::string value = doc.substr(from, to - from);
+  while (!value.empty() && (value.back() == ',' || value.back() == ' ')) {
+    value.pop_back();
+  }
+  return value;
+}
+
+std::string unquote(std::string v) {
+  if (v.size() >= 2 && v.front() == '"' && v.back() == '"') {
+    return v.substr(1, v.size() - 2);
+  }
+  return v;
+}
+
+}  // namespace
+
+ReplayResult replay_capture(const std::string& sidecar_path) {
+  std::string json_path = sidecar_path;
+  const std::string cf32_ext = ".cf32";
+  if (json_path.size() > cf32_ext.size() &&
+      json_path.compare(json_path.size() - cf32_ext.size(), cf32_ext.size(),
+                        cf32_ext) == 0) {
+    json_path.replace(json_path.size() - cf32_ext.size(), cf32_ext.size(),
+                      ".json");
+  }
+  const std::string doc = read_text_file(json_path);
+
+  ReplayResult res;
+  res.channel = std::atoi(find_value(doc, "channel").c_str());
+  res.reason = unquote(find_value(doc, "reason"));
+  res.trace_id = std::strtoull(find_value(doc, "trace_id").c_str(), nullptr, 10);
+  res.anchor = std::strtoull(find_value(doc, "anchor").c_str(), nullptr, 10);
+  res.capture_start =
+      std::strtoull(find_value(doc, "capture_start").c_str(), nullptr, 10);
+  res.truncated = find_value(doc, "truncated") == "true";
+  res.recorded_diag = find_value(doc, "diag");
+  res.phy.sf = std::atoi(find_value(doc, "sf").c_str());
+  res.phy.bandwidth_hz = std::strtod(find_value(doc, "bandwidth_hz").c_str(),
+                                     nullptr);
+  res.phy.validate();
+
+  const std::string capture_name = unquote(find_value(doc, "capture"));
+  const std::size_t slash = json_path.find_last_of('/');
+  const std::string capture_path =
+      slash == std::string::npos ? capture_name
+                                 : json_path.substr(0, slash + 1) + capture_name;
+  const cvec samples = read_iq_file(capture_path, IqFormat::kCf32);
+
+  if (res.anchor < res.capture_start ||
+      res.anchor - res.capture_start >= samples.size()) {
+    throw std::runtime_error("replay: anchor outside capture window");
+  }
+  const std::size_t anchor_in_capture =
+      static_cast<std::size_t>(res.anchor - res.capture_start);
+
+  // Same decoder configuration the live stream ran with (the streaming
+  // receiver widens max_timing_samples for detection slack); same anchor,
+  // same samples from the anchor to the stream edge — so the diagnostics
+  // must come out identical.
+  const core::CollisionDecoder decoder(
+      res.phy, streaming_decoder_options(res.phy, StreamingOptions{}));
+  core::DecodeDiag diag;
+  obs::TraceCollector collector;
+  res.users = decoder.decode(samples, anchor_in_capture, &diag, &collector);
+  res.stages = collector.stages();
+  res.replayed_diag = obs::format_decode_diag(
+      static_cast<std::uint32_t>(diag.peak_count),
+      static_cast<std::uint32_t>(diag.sic_rounds), to_decode_records(res.users));
+  res.diag_match = res.replayed_diag == res.recorded_diag;
+  return res;
+}
+
+}  // namespace choir::rt

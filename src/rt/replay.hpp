@@ -1,0 +1,45 @@
+// Flight-recorder capture replay: re-decodes a cf32 capture written by
+// obs::FlightRecorder (see src/obs/flight_recorder.hpp) standalone, under
+// the same decoder options the StreamingReceiver that wrote it ran with,
+// and checks the recomputed canonical diagnostics against the sidecar
+// byte-for-byte.
+//
+// That byte equality is the point: a capture taken in the field (or by a
+// test forcing a CRC failure) becomes a deterministic regression input for
+// the whole collision-decode path. Replay assumes the stream ran with the
+// default StreamingOptions decoder configuration — the sidecar records the
+// PHY (sf, bandwidth) but not decoder tuning overrides.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/collision_decoder.hpp"
+#include "lora/params.hpp"
+
+namespace choir::rt {
+
+struct ReplayResult {
+  lora::PhyParams phy;  ///< reconstructed from the sidecar
+  int channel = -1;
+  std::string reason;
+  std::uint64_t trace_id = 0;
+  std::uint64_t anchor = 0;         ///< absolute stream sample of the anchor
+  std::uint64_t capture_start = 0;  ///< absolute stream sample of capture[0]
+  bool truncated = false;  ///< anchor fell off the ring; exactness waived
+  std::string recorded_diag;  ///< canonical diag line from the sidecar
+  std::string replayed_diag;  ///< recomputed by the re-decode
+  bool diag_match = false;    ///< recorded_diag == replayed_diag
+  std::vector<core::DecodedUser> users;  ///< the re-decoded users
+  /// Stage spans the re-decode went through (estimation, SIC rounds) —
+  /// empty when observability is compiled out.
+  std::vector<obs::TraceStage> stages;
+};
+
+/// Replays the capture described by `sidecar_path` (the `.json` sidecar; a
+/// `.cf32` path is accepted and redirected to its sidecar). Throws
+/// std::runtime_error on unreadable or malformed inputs.
+ReplayResult replay_capture(const std::string& sidecar_path);
+
+}  // namespace choir::rt

@@ -11,16 +11,21 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/collision_decoder.hpp"
 #include "lora/demodulator.hpp"
+#include "obs/flight_recorder.hpp"
 
 namespace choir::rt {
 
 /// One decoded uplink frame (or a per-user slice of a decoded collision).
 struct FrameEvent {
   std::uint64_t stream_offset = 0;  ///< absolute sample index of frame start
+  /// Frame-trace id minted at emission (0 when tracing is off or compiled
+  /// out); downstream stages append to the trace by this id.
+  obs::TraceId trace_id = 0;
   core::DecodedUser user;
 };
 
@@ -36,7 +41,29 @@ struct StreamingOptions {
   /// Channel index stamped on this stream's obs decode events (-1 = not a
   /// gateway pipeline). Purely observational; never affects decoding.
   int obs_channel = -1;
+  /// Mint a per-frame trace for every emitted frame (obs builds only).
+  bool trace_frames = true;
+  /// When true, the receiver leaves its traces open for downstream stages
+  /// (the gateway aggregator completes them); when false, a trace is
+  /// completed as soon as the frame callback returns.
+  bool trace_completed_downstream = false;
+  /// IQ flight recorder (disabled unless `flight.dir` is set): snapshots
+  /// the baseband window of a failed decode to disk for offline replay.
+  obs::FlightRecorderOptions flight{};
 };
+
+/// The collision-decoder options the receiver actually runs with:
+/// `opt.decoder` plus the timing slack detection alignment requires.
+/// Shared with tools/choir_replay so a flight-recorder capture re-decodes
+/// under the exact options of the stream that wrote it.
+core::CollisionDecoderOptions streaming_decoder_options(
+    const lora::PhyParams& phy, const StreamingOptions& opt);
+
+/// Plain per-user records (obs schema) from decoder output, in decoder
+/// user-slot order. Shared by the decode-event log, the flight-recorder
+/// sidecar, and choir_replay — all three must agree byte-for-byte.
+std::vector<obs::DecodeUserRecord> to_decode_records(
+    const std::vector<core::DecodedUser>& users);
 
 class StreamingReceiver {
  public:
@@ -62,6 +89,11 @@ class StreamingReceiver {
   /// Number of decode attempts made (diagnostics).
   std::size_t decode_attempts() const { return decode_attempts_; }
 
+  /// The flight recorder, when one is configured (null otherwise).
+  const obs::FlightRecorder* flight_recorder() const {
+    return recorder_.get();
+  }
+
  private:
   void scan(bool at_end);
 
@@ -70,6 +102,10 @@ class StreamingReceiver {
   Callback on_frame_;
   core::CollisionDecoder decoder_;
   lora::Demodulator detector_;
+  /// Per-attempt trace scratch: the worker-side stages of one decode
+  /// attempt, copied into every frame trace minted from that attempt.
+  obs::TraceCollector trace_scratch_;
+  std::unique_ptr<obs::FlightRecorder> recorder_;
   cvec buffer_;
   std::uint64_t consumed_ = 0;  ///< absolute index of buffer_[0]
   std::size_t decode_attempts_ = 0;

@@ -1,8 +1,11 @@
 // Observability subsystem: registry instruments, histogram bucketing and
-// quantiles, decode-event ring buffer, and the JSON/table exporters.
+// quantiles, decode-event ring buffer, and the JSON/table/Prometheus
+// exporters plus the crash-safe file writer.
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <thread>
 
 #include "obs/obs.hpp"
@@ -51,6 +54,25 @@ TEST(ObsRegistry, HistogramBucketsAndStats) {
   const double p50 = h.quantile(0.5), p90 = h.quantile(0.9);
   EXPECT_LE(p50, p90);
   EXPECT_GE(p50, 0.0);
+}
+
+TEST(ObsRegistry, QuantileClampedToObservedRange) {
+  auto& r = registry();
+  Histogram& h = r.histogram("test.obs.hist.clamp", Buckets::small_counts());
+  h.reset();
+  // Everything lands in the overflow bucket: bucket interpolation alone
+  // would report the last bound (an edge far below the data); the
+  // estimate must be clamped into [min, max].
+  h.record(2000.0);
+  h.record(3000.0);
+  EXPECT_GE(h.quantile(0.5), 2000.0);
+  EXPECT_LE(h.quantile(0.99), 3000.0);
+  // And at the low edge: a quantile can never undershoot the minimum.
+  h.reset();
+  h.record(0.5);
+  h.record(0.5);
+  EXPECT_GE(h.quantile(0.01), 0.5);
+  EXPECT_LE(h.quantile(0.99), 0.5);
 }
 
 TEST(ObsRegistry, HistogramConcurrentRecordsAreAllCounted) {
@@ -107,6 +129,59 @@ TEST(ObsExport, JsonContainsInstrumentsAndEvents) {
 
   const std::string table = format_table();
   EXPECT_NE(table.find("test.obs.export.count"), std::string::npos);
+}
+
+TEST(ObsExport, HistogramOverflowIsExplicitInJsonAndPrometheus) {
+  auto& r = registry();
+  Histogram& h = r.histogram("test.obs.overflow.hist",
+                             Buckets::small_counts());
+  h.reset();
+  h.record(1.0);
+  h.record(1e9);  // past the last bound -> overflow bucket
+
+  const auto snaps = r.snapshot();
+  bool found = false;
+  for (const auto& s : snaps.histograms) {
+    if (s.name != "test.obs.overflow.hist") continue;
+    found = true;
+    EXPECT_EQ(s.overflow, 1u);
+    EXPECT_EQ(s.counts.back(), 1u);
+  }
+  ASSERT_TRUE(found);
+
+  const std::string json = export_json();
+  EXPECT_NE(json.find("\"overflow\":1"), std::string::npos);
+
+  const std::string prom = export_prometheus();
+  // Dots sanitize to underscores under the choir_ prefix; the overflow
+  // count is its own series next to the cumulative buckets.
+  EXPECT_NE(prom.find("choir_test_obs_overflow_hist_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(prom.find("choir_test_obs_overflow_hist_overflow 1"),
+            std::string::npos);
+  EXPECT_NE(prom.find("choir_test_obs_overflow_hist_count 2"),
+            std::string::npos);
+}
+
+TEST(ObsExport, AtomicWriteLeavesNoTempAndReplacesContent) {
+  namespace fs = std::filesystem;
+  const std::string path =
+      (fs::path(testing::TempDir()) / "choir_obs_atomic.json").string();
+  fs::remove(path);
+  fs::remove(path + ".tmp");
+
+  write_file_atomic(path, "first\n");
+  write_file_atomic(path, "second\n");  // must replace, not append
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "second\n");
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+
+  // An unwritable destination throws instead of silently dropping data.
+  EXPECT_THROW(write_file_atomic("/nonexistent-dir/x.json", "data"),
+               std::runtime_error);
+  fs::remove(path);
 }
 
 TEST(ObsMacros, CompileAndCount) {

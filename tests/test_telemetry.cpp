@@ -1,0 +1,91 @@
+// Live telemetry server: raw-socket HTTP requests against an ephemeral
+// port — Prometheus exposition, JSON metrics, recent traces, health, 404s.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+
+#include "obs/obs.hpp"
+#include "obs/telemetry_server.hpp"
+
+namespace choir {
+namespace {
+
+// Minimal HTTP/1.0 GET over a blocking socket; returns the full response
+// (headers + body), or "" on connect failure.
+std::string http_get(std::uint16_t port, const std::string& path) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+  ::send(fd, req.data(), req.size(), 0);
+  std::string out;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    out.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+TEST(ObsTelemetry, ServesMetricsTracesAndHealth) {
+  obs::TelemetryServer server(0);  // ephemeral port
+  ASSERT_NE(server.port(), 0);
+
+  if constexpr (obs::kEnabled) {
+    obs::registry().counter("test.telemetry.counter").add(7);
+  }
+
+  const std::string health = http_get(server.port(), "/health");
+  EXPECT_NE(health.find("200 OK"), std::string::npos);
+  EXPECT_NE(health.find("\"status\":\"ok\""), std::string::npos);
+  EXPECT_NE(health.find("\"obs_enabled\":"), std::string::npos);
+
+  const std::string metrics = http_get(server.port(), "/metrics");
+  EXPECT_NE(metrics.find("200 OK"), std::string::npos);
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  if constexpr (obs::kEnabled) {
+    EXPECT_NE(metrics.find("# TYPE choir_test_telemetry_counter counter"),
+              std::string::npos);
+    EXPECT_NE(metrics.find("choir_test_telemetry_counter 7"),
+              std::string::npos);
+  }
+
+  const std::string json = http_get(server.port(), "/metrics.json");
+  EXPECT_NE(json.find("200 OK"), std::string::npos);
+  EXPECT_NE(json.find("application/json"), std::string::npos);
+
+  const std::string traces = http_get(server.port(), "/traces/recent");
+  EXPECT_NE(traces.find("200 OK"), std::string::npos);
+  EXPECT_NE(traces.find("\"traces\":["), std::string::npos);
+
+  const std::string missing = http_get(server.port(), "/nope");
+  EXPECT_NE(missing.find("404 Not Found"), std::string::npos);
+
+  EXPECT_GE(server.requests_served(), 5u);
+  server.stop();
+  server.stop();  // idempotent
+}
+
+TEST(ObsTelemetry, TwoServersBindDistinctEphemeralPorts) {
+  obs::TelemetryServer a(0);
+  obs::TelemetryServer b(0);
+  EXPECT_NE(a.port(), b.port());
+  EXPECT_NE(http_get(b.port(), "/health").find("200 OK"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace choir
