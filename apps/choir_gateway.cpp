@@ -20,6 +20,8 @@
 
 #include "gateway/gateway.hpp"
 #include "gateway/traffic.hpp"
+#include "net/udp.hpp"
+#include "net/uplink.hpp"
 #include "obs/obs.hpp"
 #include "obs/telemetry_server.hpp"
 #include "util/args.hpp"
@@ -50,6 +52,9 @@ int main(int argc, char** argv) {
         "  --telemetry-port=N  live HTTP /metrics /traces/recent /health\n"
         "                      (N=0 picks a free port)\n"
         "  --telemetry-linger=SEC  keep serving after the run ends\n"
+        "  --gateway-id=N      provenance id stamped on every frame (0)\n"
+        "  --uplink-dest=HOST:PORT  forward decoded CRC-clean frames to a\n"
+        "                      choir_netserver over UDP (IPv4 literal)\n"
         "  synthetic traffic only:\n"
         "  --frames=N     frames per channel (4)  --payload=BYTES (8)\n"
         "  --snr=DB       mean SNR (17)           --seed=S (1)\n");
@@ -71,6 +76,15 @@ int main(int argc, char** argv) {
     cfg.overflow = gateway::OverflowPolicy::kDropNewest;
   } else if (policy != "block") {
     std::fprintf(stderr, "unknown --policy=%s (block|drop)\n", policy.c_str());
+    return 2;
+  }
+
+  cfg.gateway_id = static_cast<std::uint32_t>(args.get_int("gateway-id", 0));
+  const std::string uplink_dest = args.get("uplink-dest", "");
+  net::Endpoint uplink_ep;
+  if (!uplink_dest.empty() && !net::parse_endpoint(uplink_dest, uplink_ep)) {
+    std::fprintf(stderr, "bad --uplink-dest=%s (want IPV4:PORT)\n",
+                 uplink_dest.c_str());
     return 2;
   }
 
@@ -155,6 +169,10 @@ int main(int argc, char** argv) {
     traffic.snr_db_max = snr + 2.0;
     traffic.osc.cfo_drift_hz_per_symbol = 0.0;
     traffic.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    // Uplink forwarding wants dedup-able (DevAddr, FCnt) headers; same-seed
+    // runs then emit byte-identical frames for the netserver to collapse.
+    traffic.stamp_device_headers =
+        args.get_bool("stamp-headers", !uplink_dest.empty());
     const auto cap = gateway::generate_traffic(traffic);
     wideband = cap.samples;
     truth_frames = cap.frames.size();
@@ -192,13 +210,40 @@ int main(int argc, char** argv) {
     for (char& c : text) {
       if (c < 0x20 || c > 0x7E) c = '.';
     }
-    std::printf("ch%zu sf%d @%llu: offset=%.3f bins tau=%.2f snr=%.1f dB "
+    std::printf("gw%u ch%zu sf%d @%llu: offset=%.3f bins tau=%.2f snr=%.1f dB "
                 "crc=%s payload=\"%s\"\n",
-                ev.channel, ev.sf,
+                ev.gateway_id, ev.channel, ev.sf,
                 static_cast<unsigned long long>(ev.stream_offset),
                 ev.user.est.offset_bins, ev.user.est.timing_samples,
                 ev.user.est.snr_db, ev.user.crc_ok ? "ok" : "BAD",
                 text.c_str());
+  }
+
+  // Uplink forwarding: ship every CRC-clean decoded frame to the network
+  // server, the way a LoRaWAN packet forwarder ships its backhaul.
+  if (!uplink_dest.empty()) {
+    std::vector<net::UplinkFrame> uplinks;
+    uplinks.reserve(events.size());
+    for (const auto& ev : events) {
+      if (!ev.user.crc_ok) continue;
+      uplinks.push_back(net::make_uplink(
+          ev.user.payload, static_cast<float>(ev.user.est.snr_db),
+          static_cast<float>(ev.user.est.cfo_bins),
+          static_cast<float>(ev.user.est.timing_samples), ev.gateway_id,
+          static_cast<std::uint16_t>(ev.channel),
+          static_cast<std::uint8_t>(ev.sf), ev.stream_offset));
+    }
+    try {
+      net::UdpUplinkSender sender(uplink_ep.host, uplink_ep.port);
+      sender.send(uplinks);
+      std::printf("uplink: %zu frame(s) -> %s (%llu datagram(s), gw id %u)\n",
+                  uplinks.size(), uplink_dest.c_str(),
+                  static_cast<unsigned long long>(sender.datagrams_sent()),
+                  cfg.gateway_id);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "uplink: %s\n", e.what());
+      return 2;
+    }
   }
 
   const auto c = gw.counters();

@@ -1,0 +1,145 @@
+// choir_netserver — LoRaWAN-style network server above choir_gateway.
+//
+// Listens for length-prefixed uplink datagrams from N gateway instances,
+// deduplicates cross-gateway receptions (keeping the best-SNR copy),
+// validates frame counters against the sharded device registry, and on
+// request emits ADR recommendations and Choir team rosters.
+//
+//   choir_netserver --listen=9475 --duration=10 --metrics
+//   choir_netserver --listen=9475 --expect-frames=32 --timeout=30 --teams
+//
+// Pair with gateways:
+//   choir_gateway --synth --uplink-dest=127.0.0.1:9475 --gateway-id=1
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "net/server.hpp"
+#include "net/udp.hpp"
+#include "obs/obs.hpp"
+#include "obs/telemetry_server.hpp"
+#include "util/args.hpp"
+
+using namespace choir;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  if (args.get_bool("help", false)) {
+    std::fprintf(
+        stderr,
+        "usage: choir_netserver [--listen=PORT]\n"
+        "  --listen=PORT       UDP uplink ingest port (0 picks a free one)\n"
+        "  --duration=SEC      serve this long, then summarize (5)\n"
+        "  --expect-frames=N   exit early once N frames were accepted\n"
+        "  --dedup-window=SEC  cross-gateway dedup window (0.5)\n"
+        "  --shards=BITS       log2 registry/dedup shards (4)\n"
+        "  --teams             rebuild and print the Choir team roster\n"
+        "  --print-frames      print every accepted frame\n"
+        "  --metrics           print the obs metrics table at the end\n"
+        "  --metrics-out=FILE  write the obs registry (JSON)\n"
+        "  --telemetry-port=N  live HTTP /metrics /health\n");
+    return 2;
+  }
+
+  net::NetServerConfig cfg;
+  cfg.dedup.window_s = args.get_double("dedup-window", 0.5);
+  cfg.registry.shard_bits =
+      static_cast<std::size_t>(args.get_int("shards", 4));
+  cfg.dedup.shard_bits = cfg.registry.shard_bits;
+
+  net::NetServer server(cfg);
+  const bool print_frames = args.get_bool("print-frames", false);
+  if (print_frames) {
+    server.set_callback([](const net::UplinkFrame& f) {
+      std::printf("accepted gw%u ch%u sf%u dev=0x%08x fcnt=%u snr=%.1f dB\n",
+                  f.gateway_id, f.channel, f.sf, f.dev_addr, f.fcnt,
+                  static_cast<double>(f.snr_db));
+      std::fflush(stdout);
+    });
+  }
+
+  std::unique_ptr<net::UdpIngestServer> udp;
+  try {
+    udp = std::make_unique<net::UdpIngestServer>(
+        server, static_cast<std::uint16_t>(args.get_int("listen", 0)));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  std::printf("netserver: listening on udp 127.0.0.1:%u\n", udp->port());
+  std::fflush(stdout);
+
+  std::unique_ptr<obs::TelemetryServer> telemetry;
+  if (args.has("telemetry-port")) {
+    if (obs::kEnabled) {
+      try {
+        telemetry = std::make_unique<obs::TelemetryServer>(
+            static_cast<std::uint16_t>(args.get_int("telemetry-port", 0)));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+      std::printf("telemetry: http://127.0.0.1:%u/metrics\n",
+                  telemetry->port());
+      std::fflush(stdout);
+    } else {
+      std::fprintf(stderr,
+                   "warning: --telemetry-port ignored "
+                   "(observability compiled out)\n");
+    }
+  }
+
+  const double duration = args.get_double("duration", 5.0);
+  const auto expect =
+      static_cast<std::uint64_t>(args.get_int("expect-frames", 0));
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(duration);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (expect > 0 && server.stats().accepted >= expect) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  udp->stop();
+
+  const auto s = server.stats();
+  std::printf("netserver: %llu datagram(s), %zu device(s), "
+              "%zu dedup entry(ies) pending\n",
+              static_cast<unsigned long long>(udp->datagrams_received()),
+              server.registry().device_count(), server.dedup().pending());
+  std::fputs(net::format_stats(s).c_str(), stdout);
+
+  if (args.get_bool("teams", false)) {
+    const net::TeamRoster roster = server.teams().rebuild();
+    std::printf("team roster v%llu: %zu team(s), %zu individual, "
+                "%zu unreachable\n",
+                static_cast<unsigned long long>(roster.version),
+                roster.plan.teams.size(), roster.plan.individual.size(),
+                roster.plan.unreachable.size());
+    for (std::size_t t = 0; t < roster.plan.teams.size(); ++t) {
+      std::printf("  team %zu:", t);
+      for (std::size_t id : roster.plan.teams[t])
+        std::printf(" 0x%08zx", id);
+      std::printf("\n");
+    }
+  }
+
+  if (args.get_bool("metrics", false)) {
+    std::fputs(obs::format_table().c_str(), stdout);
+  }
+  const std::string metrics_out = args.get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    obs::write_metrics_file(metrics_out);
+    std::printf("metrics written to %s%s\n", metrics_out.c_str(),
+                obs::kEnabled ? "" : " (observability compiled out)");
+  }
+
+  const double linger = args.get_double("telemetry-linger", 0.0);
+  if (telemetry && linger > 0.0) {
+    std::printf("telemetry: lingering %.1f s on port %u\n", linger,
+                telemetry->port());
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::duration<double>(linger));
+  }
+  return s.accepted > 0 ? 0 : 1;
+}

@@ -52,5 +52,7 @@ int main(int argc, char** argv) {
   std::printf("  tx/packet  : %.2f\n", m.tx_per_packet);
   std::printf("  delivered  : %zu of %zu attempts (%zu dropped)\n",
               m.delivered, m.attempts, m.dropped);
+  std::printf("  net tier   : %zu dedup dropped, %zu replay rejected\n",
+              m.dedup_dropped, m.replay_rejected);
   return 0;
 }

@@ -1,0 +1,210 @@
+// bench_netserver_ingest — multi-threaded network-server ingest rate.
+//
+// Pre-generates a per-thread uplink schedule (disjoint device ranges, so
+// every thread's frame counters are independently valid), salts it with
+// cross-gateway duplicates and frame-counter replays, then hammers one
+// NetServer from N threads under a logical clock and reports the aggregate
+// ingest rate with the full dedup + replay pipeline enabled.
+//
+// The duplicate/replay bookkeeping is exact: every injected duplicate must
+// come back kDuplicate (and upgrade the retained copy, its SNR is higher),
+// every injected replay kReplay, everything else kAccepted. The bench
+// exits non-zero if the server's counters disagree with the schedule.
+//
+//   bench_netserver_ingest [--threads=8] [--uplinks=4000000]
+//                          [--devices=16384] [--dup-pct=10] [--replay-pct=5]
+//                          [--payload=12] [--shards=6] [--min-rate=0]
+#include <chrono>
+#include <cstdio>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "net/server.hpp"
+#include "util/args.hpp"
+
+using namespace choir;
+
+namespace {
+
+// xorshift64*: cheap deterministic per-thread stream for the dup/replay
+// coin flips (the harness forbids nothing, but keep it dependency-free).
+std::uint64_t next_rand(std::uint64_t& s) {
+  s ^= s >> 12;
+  s ^= s << 25;
+  s ^= s >> 27;
+  return s * 0x2545F4914F6CDD1DULL;
+}
+
+struct Schedule {
+  std::vector<net::UplinkFrame> frames;
+  std::uint64_t normals = 0;
+  std::uint64_t dups = 0;
+  std::uint64_t replays = 0;
+};
+
+constexpr std::uint32_t kNoFcnt = ~std::uint32_t{0};
+constexpr std::size_t kNone = ~std::size_t{0};
+
+Schedule build_schedule(std::size_t thread_idx, std::size_t per_thread,
+                        std::uint32_t dev_lo, std::uint32_t dev_count,
+                        std::size_t payload_bytes, unsigned dup_pct,
+                        unsigned replay_pct) {
+  Schedule sch;
+  sch.frames.reserve(per_thread);
+  std::uint64_t rng = 0x9E3779B97F4A7C15ULL * (thread_idx + 1);
+  // Exactness bookkeeping: a replay must use the device's last *accepted*
+  // counter (a displaced cycle slot leaves a gap the registry would accept),
+  // and stacked duplicates need strictly rising SNR to all count upgraded.
+  std::vector<std::uint32_t> last_acc(dev_count, kNoFcnt);
+  std::size_t last_normal = kNone;
+  unsigned dup_streak = 0;
+  for (std::size_t i = 0; i < per_thread; ++i) {
+    const auto dev_idx = static_cast<std::uint32_t>(i % dev_count);
+    const std::uint32_t dev = dev_lo + dev_idx;
+    const std::uint32_t fcnt = static_cast<std::uint32_t>(i / dev_count);
+    const unsigned roll = static_cast<unsigned>(next_rand(rng) % 100);
+
+    if (roll < dup_pct && last_normal != kNone) {
+      // Cross-gateway duplicate of the last normal frame: same payload,
+      // different ear, strictly better SNR (must win the retained copy).
+      net::UplinkFrame f = sch.frames[last_normal];
+      f.gateway_id = 2;
+      ++dup_streak;
+      f.snr_db += 1.5f * static_cast<float>(dup_streak);
+      sch.frames.push_back(std::move(f));
+      ++sch.dups;
+      continue;
+    }
+
+    net::UplinkFrame f;
+    f.gateway_id = 1;
+    f.channel = static_cast<std::uint16_t>(dev & 0x7);
+    f.sf = 8;
+    f.dev_addr = dev;
+    f.snr_db = -5.0f + static_cast<float>(dev % 20);
+    f.cfo_bins = static_cast<float>(static_cast<int>(dev % 64) - 32) * 0.25f;
+    f.payload.resize(payload_bytes);
+    const bool replay =
+        roll < dup_pct + replay_pct && last_acc[dev_idx] != kNoFcnt;
+    if (replay) {
+      // Replay: a stale frame counter with attacker-crafted content — the
+      // payload hash differs from every other transmission (the iteration
+      // index is baked in), so the dedup window cannot excuse it.
+      f.fcnt = last_acc[dev_idx];
+      f.payload[5] = static_cast<std::uint8_t>(i);
+      f.payload[6] = static_cast<std::uint8_t>(i >> 8);
+      f.payload[7] = static_cast<std::uint8_t>(i >> 16);
+      f.payload[8] = static_cast<std::uint8_t>(i >> 24);
+      f.payload[payload_bytes - 1] = 0xEE;
+      ++sch.replays;
+    } else {
+      f.fcnt = fcnt;
+      last_acc[dev_idx] = fcnt;
+      ++sch.normals;
+      last_normal = sch.frames.size();
+      dup_streak = 0;
+    }
+    // Payload encodes (dev, fcnt) so every distinct transmission hashes
+    // differently and every duplicate hashes identically.
+    f.payload[0] = static_cast<std::uint8_t>(f.dev_addr);
+    f.payload[1] = static_cast<std::uint8_t>(f.dev_addr >> 8);
+    f.payload[2] = static_cast<std::uint8_t>(f.fcnt);
+    f.payload[3] = static_cast<std::uint8_t>(f.fcnt >> 8);
+    f.payload[4] = static_cast<std::uint8_t>(f.fcnt >> 16);
+    sch.frames.push_back(std::move(f));
+  }
+  return sch;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const auto threads = static_cast<std::size_t>(args.get_int("threads", 8));
+  const auto total = static_cast<std::size_t>(args.get_int("uplinks", 4000000));
+  const auto devices = static_cast<std::uint32_t>(args.get_int("devices", 16384));
+  const auto payload = static_cast<std::size_t>(args.get_int("payload", 12));
+  const auto dup_pct = static_cast<unsigned>(args.get_int("dup-pct", 10));
+  const auto replay_pct = static_cast<unsigned>(args.get_int("replay-pct", 5));
+  const double min_rate = args.get_double("min-rate", 0.0);
+  if (threads == 0 || devices < threads || payload < 10) {
+    std::fprintf(stderr, "bad arguments (need threads>0, devices>=threads, "
+                         "payload>=10)\n");
+    return 2;
+  }
+
+  net::NetServerConfig cfg;
+  cfg.registry.shard_bits = static_cast<std::size_t>(args.get_int("shards", 6));
+  cfg.dedup.shard_bits = cfg.registry.shard_bits;
+  cfg.dedup.window_s = 0.05;
+  cfg.keep_feed = false;  // the callback/counters are the sink here
+  net::NetServer server(cfg);
+
+  const std::size_t per_thread = total / threads;
+  const std::uint32_t dev_per_thread = devices / static_cast<std::uint32_t>(threads);
+  std::printf("# netserver ingest: %zu threads x %zu uplinks, %u devices, "
+              "%u%% dup, %u%% replay, %zu dedup/registry shards\n",
+              threads, per_thread, devices, dup_pct, replay_pct,
+              std::size_t{1} << cfg.registry.shard_bits);
+
+  std::vector<Schedule> schedules;
+  schedules.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    schedules.push_back(build_schedule(
+        t, per_thread, static_cast<std::uint32_t>(t) * dev_per_thread,
+        dev_per_thread, payload, dup_pct, replay_pct));
+  }
+
+  // Logical clock: 10 us per uplink per thread, all threads in lockstep
+  // enough for the dedup window. No wall-clock reads in the hot loop.
+  constexpr double kDt = 1e-5;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool.emplace_back([&server, &sch = schedules[t]] {
+      for (std::size_t i = 0; i < sch.frames.size(); ++i) {
+        server.ingest_at(std::move(sch.frames[i]),
+                         static_cast<double>(i) * kDt);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  std::uint64_t want_normals = 0, want_dups = 0, want_replays = 0;
+  for (const auto& sch : schedules) {
+    want_normals += sch.normals;
+    want_dups += sch.dups;
+    want_replays += sch.replays;
+  }
+  const auto s = server.stats();
+  const double rate = static_cast<double>(s.uplinks) / secs;
+  std::printf("ingested %llu uplinks in %.3f s: %.2f M uplinks/s "
+              "(%zu devices live)\n",
+              static_cast<unsigned long long>(s.uplinks), secs, rate / 1e6,
+              server.registry().device_count());
+  std::fputs(net::format_stats(s).c_str(), stdout);
+
+  bool ok = true;
+  if (s.accepted != want_normals || s.dedup_dropped != want_dups ||
+      s.dedup_upgraded != want_dups || s.replay_rejected != want_replays ||
+      s.unknown_device != 0 || s.malformed != 0) {
+    std::fprintf(stderr,
+                 "FAIL: expected %llu accepted, %llu dup (all upgraded), "
+                 "%llu replay\n",
+                 static_cast<unsigned long long>(want_normals),
+                 static_cast<unsigned long long>(want_dups),
+                 static_cast<unsigned long long>(want_replays));
+    ok = false;
+  }
+  if (min_rate > 0.0 && rate < min_rate) {
+    std::fprintf(stderr, "FAIL: %.0f uplinks/s below --min-rate=%.0f\n", rate,
+                 min_rate);
+    ok = false;
+  }
+  return ok ? 0 : 1;
+}

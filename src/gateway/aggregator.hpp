@@ -20,6 +20,9 @@ namespace choir::gateway {
 
 /// One decoded frame, tagged with where in the gateway it came from.
 struct GatewayEvent {
+  /// Which gateway instance decoded this frame (GatewayConfig::gateway_id)
+  /// — the provenance the network server's cross-gateway dedup keys on.
+  std::uint32_t gateway_id = 0;
   std::size_t channel = 0;          ///< channelizer output index
   int sf = 0;                       ///< spreading factor of the pipeline
   std::uint64_t stream_offset = 0;  ///< frame start, baseband samples

@@ -10,6 +10,8 @@ GatewayRuntime::GatewayRuntime(const GatewayConfig& cfg)
     throw std::invalid_argument("GatewayRuntime: n_workers must be >= 1");
   if (cfg_.sfs.empty())
     throw std::invalid_argument("GatewayRuntime: sfs must be non-empty");
+  CHOIR_OBS_GAUGE_SET("gateway.id",
+                      static_cast<std::int64_t>(cfg_.gateway_id));
 
   for (std::size_t w = 0; w < cfg_.n_workers; ++w) {
     queues_.push_back(std::make_unique<BoundedSpscQueue<WorkItem>>(
@@ -55,6 +57,7 @@ GatewayRuntime::GatewayRuntime(const GatewayConfig& cfg)
               }
             }
             GatewayEvent g;
+            g.gateway_id = cfg_.gateway_id;
             g.channel = ch;
             g.sf = sf;
             g.stream_offset = ev.stream_offset;

@@ -47,6 +47,10 @@
 namespace choir::gateway {
 
 struct GatewayConfig {
+  /// Identity of this gateway instance, stamped on every emitted event (and
+  /// mirrored to the `gateway.id` obs gauge) so a network server receiving
+  /// feeds from several gateways can attribute each reception.
+  std::uint32_t gateway_id = 0;
   /// Per-channel PHY. `phy.sf` is ignored; the decoded SFs come from `sfs`.
   /// `phy.bandwidth_hz` is the channel bandwidth B; the wideband input rate
   /// is n_channels * B.

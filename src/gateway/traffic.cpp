@@ -46,6 +46,9 @@ cvec upconvert_channels(const std::vector<cvec>& channels) {
 WidebandCapture generate_traffic(const TrafficConfig& cfg) {
   if (cfg.payload_bytes < 2)
     throw std::invalid_argument("generate_traffic: payload_bytes >= 2");
+  if (cfg.stamp_device_headers && cfg.payload_bytes < 3)
+    throw std::invalid_argument(
+        "generate_traffic: stamp_device_headers needs payload_bytes >= 3");
   if (cfg.frames_per_channel == 0)
     throw std::invalid_argument("generate_traffic: frames_per_channel");
   cfg.phy.validate();
@@ -70,6 +73,14 @@ WidebandCapture generate_traffic(const TrafficConfig& cfg) {
       tx.payload[1] = static_cast<std::uint8_t>(f & 0xFF);
       for (std::size_t b = 2; b < cfg.payload_bytes; ++b)
         tx.payload[b] = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+      if (cfg.stamp_device_headers) {
+        // Compact header: one synthetic device per frame, deterministic in
+        // the capture ordinal, so same-seed captures collide byte-for-byte.
+        const std::size_t ordinal = cap.frames.size();
+        tx.payload[0] = static_cast<std::uint8_t>(ordinal & 0xFF);
+        tx.payload[1] = static_cast<std::uint8_t>((ordinal >> 8) & 0xFF);
+        tx.payload[2] = static_cast<std::uint8_t>((ordinal >> 16) & 0xFF);
+      }
       tx.hw = channel::DeviceHardware::sample(cfg.osc, rng);
       tx.snr_db = rng.uniform(cfg.snr_db_min, cfg.snr_db_max);
       tx.fading.kind = channel::FadingKind::kNone;

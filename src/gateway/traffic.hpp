@@ -36,6 +36,13 @@ struct TrafficConfig {
   /// Mean gap between consecutive frames on a channel, in symbols
   /// (exponentially distributed, so channels stay unsynchronized).
   double gap_symbols_mean = 24.0;
+  /// Stamp the network tier's compact device header on every payload
+  /// (payload[0] = DevAddr, payload[1..2] = FCnt little-endian, see
+  /// src/net/uplink.hpp): each frame gets a distinct (DevAddr, FCnt) pair,
+  /// deterministic in `seed`, so two gateway instances fed the same seed
+  /// emit byte-identical frames a network server can deduplicate.
+  /// Requires payload_bytes >= 3.
+  bool stamp_device_headers = false;
   bool add_noise = true;
   channel::OscillatorModel osc{};
   std::uint64_t seed = 1;

@@ -1,0 +1,49 @@
+#include "net/adr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace choir::net {
+
+double required_snr_db(int sf, const AdrOptions& opt) {
+  return opt.required_snr_sf7_db - (sf - 7) * opt.sf_step_db;
+}
+
+AdrDecision recommend_adr(const DeviceSession& s, int current_sf,
+                          double current_power_dbm, const AdrOptions& opt) {
+  AdrDecision d;
+  d.sf = std::clamp(current_sf, opt.min_sf, opt.max_sf);
+  d.tx_power_dbm =
+      std::clamp(current_power_dbm, opt.min_power_dbm, opt.max_power_dbm);
+  if (s.snr_count == 0) {
+    d.changed = d.sf != current_sf || d.tx_power_dbm != current_power_dbm;
+    return d;
+  }
+
+  d.headroom_db = s.max_snr_db() - required_snr_db(d.sf, opt) - opt.margin_db;
+  int steps = static_cast<int>(std::floor(d.headroom_db / opt.step_db));
+
+  // Spend headroom: faster data rate first, then lower power.
+  while (steps > 0 && d.sf > opt.min_sf) {
+    --d.sf;
+    --steps;
+  }
+  while (steps > 0 && d.tx_power_dbm - opt.step_db >= opt.min_power_dbm) {
+    d.tx_power_dbm -= opt.step_db;
+    --steps;
+  }
+  // Recover a deficit: more power first (no airtime cost), then slower SF.
+  while (steps < 0 && d.tx_power_dbm + opt.step_db <= opt.max_power_dbm) {
+    d.tx_power_dbm += opt.step_db;
+    ++steps;
+  }
+  while (steps < 0 && d.sf < opt.max_sf) {
+    ++d.sf;
+    ++steps;
+  }
+
+  d.changed = d.sf != current_sf || d.tx_power_dbm != current_power_dbm;
+  return d;
+}
+
+}  // namespace choir::net

@@ -1,0 +1,53 @@
+// Adaptive data rate: SF / transmit-power recommendations from a device's
+// SNR history (LoRaWAN-network-server flavor).
+//
+// The link budget target is the decode floor of the device's current SF
+// plus an installation margin. LoRa gains roughly a constant number of dB
+// of demodulation floor per SF step, so the required SNR is modeled as
+//
+//   required(sf) = required_snr_sf7_db - (sf - 7) * sf_step_db
+//
+// and the headroom is measured against the *max* SNR of the history ring
+// (the LoRaWAN ADR convention: the best recent reception bounds what the
+// link can do; the margin absorbs fading). Headroom is spent in 3 dB
+// steps, dropping SF first (airtime is the scarce resource, paper Sec. 2)
+// and transmit power second; negative headroom claws both back in the
+// opposite order. Devices that bottom out below the largest SF's floor are
+// the team manager's clientele (docs/NETSERVER.md).
+#pragma once
+
+#include "net/registry.hpp"
+
+namespace choir::net {
+
+struct AdrOptions {
+  double margin_db = 8.0;  ///< installation margin over the decode floor
+  int min_sf = 7;
+  int max_sf = 12;
+  /// Decode floor at SF7, per-sample SNR (matches the collision decoder's
+  /// usable range rather than hardware datasheet sensitivity).
+  double required_snr_sf7_db = -5.0;
+  double sf_step_db = 2.5;   ///< floor improvement per SF increment
+  double step_db = 3.0;      ///< headroom spent/recovered per ADR step
+  double max_power_dbm = 14.0;
+  double min_power_dbm = 2.0;
+};
+
+/// Decode-floor SNR for `sf` under `opt`'s link model.
+double required_snr_db(int sf, const AdrOptions& opt);
+
+struct AdrDecision {
+  int sf = 0;
+  double tx_power_dbm = 0.0;
+  double headroom_db = 0.0;  ///< measured margin before adjustment
+  bool changed = false;      ///< differs from the device's current setting
+};
+
+/// Recommends (SF, power) for a device currently at (current_sf,
+/// current_power_dbm) given its session SNR history. A device with no
+/// history keeps its settings.
+AdrDecision recommend_adr(const DeviceSession& s, int current_sf,
+                          double current_power_dbm,
+                          const AdrOptions& opt = {});
+
+}  // namespace choir::net

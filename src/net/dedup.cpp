@@ -1,0 +1,79 @@
+#include "net/dedup.hpp"
+
+#include <stdexcept>
+
+namespace choir::net {
+
+CrossGatewayDedup::CrossGatewayDedup(const DedupOptions& opt) : opt_(opt) {
+  if (opt_.shard_bits > 12)
+    throw std::invalid_argument("dedup: shard_bits > 12");
+  if (opt_.window_s <= 0.0) throw std::invalid_argument("dedup: window_s");
+  const std::size_t n = std::size_t{1} << opt_.shard_bits;
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+}
+
+void CrossGatewayDedup::sweep(Shard& sh, double now_s) {
+  while (!sh.fifo.empty() && sh.fifo.front().first <= now_s) {
+    // The FIFO may hold a stale entry when a key was evicted early by the
+    // size cap and re-inserted; only erase a map entry that actually
+    // expired.
+    auto it = sh.entries.find(sh.fifo.front().second);
+    if (it != sh.entries.end() && it->second.expires_s <= now_s)
+      sh.entries.erase(it);
+    sh.fifo.pop_front();
+  }
+}
+
+DedupOutcome CrossGatewayDedup::check_and_insert(const DedupKey& key,
+                                                 float snr_db, double now_s) {
+  Shard& sh = shard_for(key);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  sweep(sh, now_s);
+
+  auto [it, inserted] = sh.entries.try_emplace(key);
+  if (inserted) {
+    it->second.best_snr_db = snr_db;
+    it->second.expires_s = now_s + opt_.window_s;
+    sh.fifo.emplace_back(it->second.expires_s, key);
+    if (sh.entries.size() > opt_.max_entries_per_shard) {
+      // Oldest-first eviction keeps memory bounded; evicting a live entry
+      // merely re-opens its key, the registry still rejects the replay.
+      while (!sh.fifo.empty() &&
+             sh.entries.size() > opt_.max_entries_per_shard) {
+        sh.entries.erase(sh.fifo.front().second);
+        sh.fifo.pop_front();
+      }
+    }
+    return {};
+  }
+
+  DedupOutcome out;
+  out.duplicate = true;
+  out.feed_index = it->second.feed_index;
+  if (snr_db > it->second.best_snr_db) {
+    it->second.best_snr_db = snr_db;
+    out.improved = true;
+  }
+  return out;
+}
+
+void CrossGatewayDedup::set_feed_index(const DedupKey& key,
+                                       std::uint64_t feed_index) {
+  Shard& sh = shard_for(key);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  auto it = sh.entries.find(key);
+  if (it != sh.entries.end()) it->second.feed_index = feed_index;
+}
+
+std::size_t CrossGatewayDedup::pending() const {
+  std::size_t n = 0;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    n += sh->entries.size();
+  }
+  return n;
+}
+
+}  // namespace choir::net

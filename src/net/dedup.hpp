@@ -1,0 +1,112 @@
+// Cross-gateway deduplication window.
+//
+// In an urban deployment several gateways hear overlapping device
+// populations, so the same transmission arrives at the network server once
+// per gateway within the radio-propagation + backhaul jitter window. The
+// dedup stage keys receptions by (DevAddr, FCnt, payload hash) — the
+// payload hash distinguishes a cross-gateway duplicate (same bits) from a
+// genuine FCnt reuse (different bits, which the registry then rejects as a
+// replay) — and admits exactly the first copy. Later copies inside the
+// window are dropped, but their SNR is compared so the *retained* copy's
+// metadata can be upgraded to the best reception (NetServer rewrites the
+// stored frame and the registry's last-seen state in place).
+//
+// Sharded like the registry (hash of the key, per-shard mutex). Entries
+// expire `window_s` after first sight, via a per-shard FIFO swept lazily
+// on insert; a hard per-shard entry cap bounds memory under pathological
+// traffic. Time is an explicit caller-provided monotonic value so the MAC
+// simulator can run the window on simulated time and benches stay free of
+// clock reads.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace choir::net {
+
+struct DedupOptions {
+  /// How long after the first copy later copies still count as duplicates.
+  double window_s = 0.5;
+  /// log2 of the shard count.
+  std::size_t shard_bits = 4;
+  /// Hard cap on live entries per shard (oldest evicted first).
+  std::size_t max_entries_per_shard = 1 << 15;
+};
+
+struct DedupKey {
+  std::uint32_t dev_addr = 0;
+  std::uint32_t fcnt = 0;
+  std::uint64_t payload_hash = 0;
+
+  bool operator==(const DedupKey&) const = default;
+};
+
+/// Sentinel feed index for frames that were not retained (rejected or
+/// feed-keeping disabled).
+inline constexpr std::uint64_t kNoFeedIndex = ~std::uint64_t{0};
+
+struct DedupOutcome {
+  bool duplicate = false;  ///< a copy of this key was already seen
+  /// Duplicate only: this copy beats the best SNR seen so far.
+  bool improved = false;
+  /// Duplicate only: feed slot of the retained copy (kNoFeedIndex if the
+  /// first copy was not retained).
+  std::uint64_t feed_index = kNoFeedIndex;
+};
+
+class CrossGatewayDedup {
+ public:
+  explicit CrossGatewayDedup(const DedupOptions& opt = {});
+
+  CrossGatewayDedup(const CrossGatewayDedup&) = delete;
+  CrossGatewayDedup& operator=(const CrossGatewayDedup&) = delete;
+
+  /// Atomically classifies one reception: first sight inserts an entry
+  /// (expiring at now_s + window_s) and reports duplicate=false; a repeat
+  /// within the window reports duplicate=true and raises the entry's best
+  /// SNR when this copy improves on it.
+  DedupOutcome check_and_insert(const DedupKey& key, float snr_db,
+                                double now_s);
+
+  /// Records where the first copy of `key` was retained, so later
+  /// higher-SNR duplicates can point NetServer at the slot to upgrade.
+  void set_feed_index(const DedupKey& key, std::uint64_t feed_index);
+
+  /// Live (unexpired, unevicted) entries across all shards.
+  std::size_t pending() const;
+
+ private:
+  struct Entry {
+    float best_snr_db = 0.0f;
+    double expires_s = 0.0;
+    std::uint64_t feed_index = kNoFeedIndex;
+  };
+  struct KeyHash {
+    std::size_t operator()(const DedupKey& k) const {
+      std::uint64_t h = k.payload_hash;
+      h ^= (static_cast<std::uint64_t>(k.dev_addr) << 32) | k.fcnt;
+      h *= 0x9E3779B97F4A7C15ULL;
+      h ^= h >> 32;
+      return static_cast<std::size_t>(h);
+    }
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<DedupKey, Entry, KeyHash> entries;
+    std::deque<std::pair<double, DedupKey>> fifo;  ///< (expiry, key)
+  };
+
+  Shard& shard_for(const DedupKey& key) const {
+    return *shards_[KeyHash{}(key) & (shards_.size() - 1)];
+  }
+  static void sweep(Shard& sh, double now_s);
+
+  DedupOptions opt_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace choir::net

@@ -1,0 +1,159 @@
+#include "net/registry.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+
+namespace choir::net {
+
+void DeviceSession::push_snr(float snr_db) {
+  snr_hist[snr_head] = snr_db;
+  snr_head = static_cast<std::uint8_t>((snr_head + 1) % kSnrHistory);
+  if (snr_count < kSnrHistory) ++snr_count;
+}
+
+double DeviceSession::mean_snr_db() const {
+  if (snr_count == 0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < snr_count; ++i) acc += snr_hist[i];
+  return acc / static_cast<double>(snr_count);
+}
+
+double DeviceSession::max_snr_db() const {
+  if (snr_count == 0) return 0.0;
+  double m = snr_hist[0];
+  for (std::size_t i = 1; i < snr_count; ++i)
+    m = std::max(m, static_cast<double>(snr_hist[i]));
+  return m;
+}
+
+DeviceRegistry::DeviceRegistry(const RegistryOptions& opt) : opt_(opt) {
+  if (opt_.shard_bits > 12)
+    throw std::invalid_argument("registry: shard_bits > 12");
+  const std::size_t n = std::size_t{1} << opt_.shard_bits;
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+  if constexpr (obs::kEnabled) {
+    shard_gauges_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      shard_gauges_[i] = &obs::registry().gauge(
+          "net.registry.shard" + std::to_string(i) + ".devices");
+    }
+    total_gauge_ = &obs::registry().gauge("net.registry.devices");
+  }
+}
+
+void DeviceRegistry::update_occupancy(std::size_t shard_idx, std::size_t n) {
+  if constexpr (obs::kEnabled) {
+    shard_gauges_[shard_idx]->set(static_cast<std::int64_t>(n));
+    total_gauge_->add(1);
+  } else {
+    (void)shard_idx;
+    (void)n;
+  }
+}
+
+DeviceSession& DeviceRegistry::get_or_create(Shard& sh, std::size_t shard_idx,
+                                             std::uint32_t dev_addr) {
+  auto [it, inserted] = sh.sessions.try_emplace(dev_addr);
+  if (inserted) {
+    it->second.dev_addr = dev_addr;
+    update_occupancy(shard_idx, sh.sessions.size());
+  }
+  return it->second;
+}
+
+void DeviceRegistry::provision(std::uint32_t dev_addr, double x_m,
+                               double y_m) {
+  const std::size_t idx = mix(dev_addr) & (shards_.size() - 1);
+  Shard& sh = *shards_[idx];
+  std::lock_guard<std::mutex> lock(sh.mu);
+  DeviceSession& s = get_or_create(sh, idx, dev_addr);
+  s.x_m = x_m;
+  s.y_m = y_m;
+}
+
+FcntCheck DeviceRegistry::accept(const UplinkFrame& f) {
+  const std::size_t idx = mix(f.dev_addr) & (shards_.size() - 1);
+  Shard& sh = *shards_[idx];
+  std::lock_guard<std::mutex> lock(sh.mu);
+
+  DeviceSession* s = nullptr;
+  if (opt_.auto_provision) {
+    s = &get_or_create(sh, idx, f.dev_addr);
+  } else {
+    auto it = sh.sessions.find(f.dev_addr);
+    if (it == sh.sessions.end()) return FcntCheck::kUnknownDevice;
+    s = &it->second;
+  }
+
+  if (s->seen) {
+    const bool stale = f.fcnt <= s->last_fcnt;
+    const bool desync = !stale && f.fcnt - s->last_fcnt > opt_.max_fcnt_gap;
+    if (stale || desync) {
+      ++s->replays;
+      return FcntCheck::kReplay;
+    }
+  }
+
+  s->seen = true;
+  s->last_fcnt = f.fcnt;
+  ++s->uplinks;
+  s->last_gateway = f.gateway_id;
+  s->last_channel = f.channel;
+  s->last_snr_db = f.snr_db;
+  s->last_timing_samples = f.timing_samples;
+  s->cfo_fingerprint_bins =
+      s->uplinks == 1 ? static_cast<double>(f.cfo_bins)
+                      : (1.0 - opt_.cfo_alpha) * s->cfo_fingerprint_bins +
+                            opt_.cfo_alpha * f.cfo_bins;
+  s->push_snr(f.snr_db);
+  return FcntCheck::kAccepted;
+}
+
+void DeviceRegistry::note_better_copy(const UplinkFrame& f) {
+  Shard& sh = shard_for(f.dev_addr);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  auto it = sh.sessions.find(f.dev_addr);
+  if (it == sh.sessions.end()) return;
+  DeviceSession& s = it->second;
+  if (!s.seen || s.last_fcnt != f.fcnt || f.snr_db <= s.last_snr_db) return;
+  s.last_gateway = f.gateway_id;
+  s.last_channel = f.channel;
+  s.last_snr_db = f.snr_db;
+  s.last_timing_samples = f.timing_samples;
+  if (s.snr_count > 0) {
+    const std::uint8_t newest = static_cast<std::uint8_t>(
+        (s.snr_head + kSnrHistory - 1) % kSnrHistory);
+    s.snr_hist[newest] = f.snr_db;
+  }
+}
+
+std::optional<DeviceSession> DeviceRegistry::lookup(
+    std::uint32_t dev_addr) const {
+  Shard& sh = shard_for(dev_addr);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  auto it = sh.sessions.find(dev_addr);
+  if (it == sh.sessions.end()) return std::nullopt;
+  return it->second;
+}
+
+std::size_t DeviceRegistry::device_count() const {
+  std::size_t n = 0;
+  for (const auto& sh : shards_) {
+    std::lock_guard<std::mutex> lock(sh->mu);
+    n += sh->sessions.size();
+  }
+  return n;
+}
+
+std::vector<std::size_t> DeviceRegistry::shard_occupancy() const {
+  std::vector<std::size_t> occ(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i]->mu);
+    occ[i] = shards_[i]->sessions.size();
+  }
+  return occ;
+}
+
+}  // namespace choir::net

@@ -1,0 +1,151 @@
+// Sharded device registry: per-device session state for every sensor the
+// network server knows about.
+//
+// The registry is the concurrency backbone of the ingest path: devices are
+// hashed onto a power-of-two number of shards, each shard owning its own
+// mutex and session map, so N ingest threads proceed in parallel unless
+// they land on the same shard. Session state per device:
+//
+//   * frame-counter window with replay rejection — an uplink is accepted
+//     iff its FCnt is strictly newer than the last accepted one and within
+//     `max_fcnt_gap` (the LoRaWAN MAX_FCNT_GAP rule);
+//   * last-seen reception metadata (gateway, channel, SNR, timing) and an
+//     EWMA CFO fingerprint from the collision decoder's per-user offsets —
+//     a soft identity check and the ADR engine's input;
+//   * a bounded SNR history ring feeding ADR (src/net/adr.hpp) and team
+//     planning (src/net/team_manager.hpp);
+//   * an optional position, used for proximity-constrained Choir teams.
+//
+// Per-shard occupancy is exported as `net.registry.shard<k>.devices`
+// gauges plus a `net.registry.devices` total.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "net/uplink.hpp"
+#include "obs/obs.hpp"
+
+namespace choir::net {
+
+/// SNR samples retained per device for ADR and team planning.
+inline constexpr std::size_t kSnrHistory = 16;
+
+struct RegistryOptions {
+  /// log2 of the shard count (power-of-two shards, per-shard mutex).
+  std::size_t shard_bits = 4;
+  /// Accept uplinks from devices that were never provisioned, creating
+  /// their session on first contact.
+  bool auto_provision = true;
+  /// Largest forward FCnt jump accepted (LoRaWAN MAX_FCNT_GAP flavor);
+  /// larger jumps are treated as desync and rejected as replays.
+  std::uint32_t max_fcnt_gap = 16384;
+  /// EWMA weight of the newest CFO observation in the fingerprint.
+  double cfo_alpha = 0.25;
+};
+
+struct DeviceSession {
+  std::uint32_t dev_addr = 0;
+  double x_m = 0.0, y_m = 0.0;  ///< position (0,0 if unsurveyed)
+  bool seen = false;            ///< at least one uplink accepted
+  std::uint32_t last_fcnt = 0;
+  std::uint64_t uplinks = 0;    ///< accepted uplinks
+  std::uint64_t replays = 0;    ///< rejected receptions
+  std::uint32_t last_gateway = 0;
+  std::uint16_t last_channel = 0;
+  double last_snr_db = 0.0;
+  double last_timing_samples = 0.0;
+  /// EWMA of the decoder's per-user CFO estimates — drifts slowly with the
+  /// crystal, so a sudden jump flags a misattributed (or spoofed) frame.
+  double cfo_fingerprint_bins = 0.0;
+
+  std::array<float, kSnrHistory> snr_hist{};
+  std::uint8_t snr_count = 0;
+  std::uint8_t snr_head = 0;
+
+  void push_snr(float snr_db);
+  double mean_snr_db() const;
+  double max_snr_db() const;
+};
+
+enum class FcntCheck {
+  kAccepted,       ///< new FCnt, session updated
+  kReplay,         ///< stale / duplicate / desynced FCnt
+  kUnknownDevice,  ///< not provisioned and auto_provision off
+};
+
+class DeviceRegistry {
+ public:
+  explicit DeviceRegistry(const RegistryOptions& opt = {});
+
+  DeviceRegistry(const DeviceRegistry&) = delete;
+  DeviceRegistry& operator=(const DeviceRegistry&) = delete;
+
+  /// Creates (or repositions) a device session ahead of traffic.
+  void provision(std::uint32_t dev_addr, double x_m = 0.0, double y_m = 0.0);
+
+  /// Validates `f` against the device's frame-counter window and, when
+  /// accepted, folds the reception metadata into the session.
+  FcntCheck accept(const UplinkFrame& f);
+
+  /// Re-attributes the retained copy of the device's newest frame to a
+  /// better reception: called when cross-gateway dedup sees a higher-SNR
+  /// copy of the frame that `accept` already admitted. Updates last-seen
+  /// gateway/channel/SNR (and the newest SNR history slot) iff the session
+  /// still points at `f.fcnt`.
+  void note_better_copy(const UplinkFrame& f);
+
+  /// Copy of the device's session, if it exists.
+  std::optional<DeviceSession> lookup(std::uint32_t dev_addr) const;
+
+  /// Calls `fn` on every session, shard by shard (each shard locked while
+  /// its sessions are visited).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& sh : shards_) {
+      std::lock_guard<std::mutex> lock(sh->mu);
+      for (const auto& [addr, s] : sh->sessions) fn(s);
+    }
+  }
+
+  std::size_t device_count() const;
+  std::size_t n_shards() const { return shards_.size(); }
+  std::vector<std::size_t> shard_occupancy() const;
+
+  const RegistryOptions& options() const { return opt_; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::uint32_t, DeviceSession> sessions;
+  };
+
+  /// Multiplicative hash spreads sequential dev_addrs across shards.
+  static std::uint32_t mix(std::uint32_t x) {
+    x ^= x >> 16;
+    x *= 0x7feb352dU;
+    x ^= x >> 15;
+    x *= 0x846ca68bU;
+    x ^= x >> 16;
+    return x;
+  }
+  Shard& shard_for(std::uint32_t dev_addr) const {
+    return *shards_[mix(dev_addr) & (shards_.size() - 1)];
+  }
+  /// Inserts a session if absent; returns it. Caller holds the shard lock.
+  DeviceSession& get_or_create(Shard& sh, std::size_t shard_idx,
+                               std::uint32_t dev_addr);
+  void update_occupancy(std::size_t shard_idx, std::size_t n);
+
+  RegistryOptions opt_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::vector<obs::Gauge*> shard_gauges_;  ///< empty when obs compiled out
+  obs::Gauge* total_gauge_ = nullptr;
+};
+
+}  // namespace choir::net

@@ -1,0 +1,174 @@
+#include "net/server.hpp"
+
+#include <cstdio>
+
+namespace choir::net {
+
+const char* ingest_status_name(IngestStatus s) {
+  switch (s) {
+    case IngestStatus::kAccepted:
+      return "accepted";
+    case IngestStatus::kDuplicate:
+      return "duplicate";
+    case IngestStatus::kReplay:
+      return "replay";
+    case IngestStatus::kUnknownDevice:
+      return "unknown_device";
+    case IngestStatus::kMalformed:
+      return "malformed";
+  }
+  return "?";
+}
+
+std::string format_stats(const NetServerStats& s) {
+  char buf[320];
+  std::snprintf(buf, sizeof(buf),
+                "  uplinks in          : %llu\n"
+                "  accepted            : %llu\n"
+                "  dedup dropped       : %llu (%llu upgraded)\n"
+                "  replay rejected     : %llu\n"
+                "  unknown device      : %llu\n"
+                "  malformed           : %llu\n",
+                static_cast<unsigned long long>(s.uplinks),
+                static_cast<unsigned long long>(s.accepted),
+                static_cast<unsigned long long>(s.dedup_dropped),
+                static_cast<unsigned long long>(s.dedup_upgraded),
+                static_cast<unsigned long long>(s.replay_rejected),
+                static_cast<unsigned long long>(s.unknown_device),
+                static_cast<unsigned long long>(s.malformed));
+  return buf;
+}
+
+NetServer::NetServer(const NetServerConfig& cfg)
+    : cfg_(cfg),
+      registry_(cfg.registry),
+      dedup_(cfg.dedup),
+      teams_(registry_, cfg.teams) {
+  if constexpr (obs::kEnabled) {
+    auto& r = obs::registry();
+    reg_uplinks_ = &r.counter("net.uplinks");
+    reg_accepted_ = &r.counter("net.accepted");
+    reg_dedup_dropped_ = &r.counter("net.dedup_dropped");
+    reg_dedup_upgraded_ = &r.counter("net.dedup_upgraded");
+    reg_replay_rejected_ = &r.counter("net.replay_rejected");
+    reg_unknown_device_ = &r.counter("net.unknown_device");
+    reg_malformed_ = &r.counter("net.malformed");
+  }
+}
+
+IngestResult NetServer::ingest(UplinkFrame frame) {
+  return ingest_at(std::move(frame), wall_now_s());
+}
+
+IngestResult NetServer::ingest_at(UplinkFrame frame, double now_s) {
+  uplinks_.fetch_add(1, relaxed);
+  if constexpr (obs::kEnabled) reg_uplinks_->add(1);
+
+  IngestResult res;
+  res.dev_addr = frame.dev_addr;
+  res.fcnt = frame.fcnt;
+
+  if (frame.payload.empty() || frame.sf < 5 || frame.sf > 12) {
+    malformed_.fetch_add(1, relaxed);
+    if constexpr (obs::kEnabled) reg_malformed_->add(1);
+    res.status = IngestStatus::kMalformed;
+    return res;
+  }
+
+  // Dedup before the replay window: a cross-gateway copy shares the FCnt
+  // of the frame the registry just accepted (see header comment).
+  DedupKey key{frame.dev_addr, frame.fcnt, payload_hash(frame.payload)};
+  const DedupOutcome dup = dedup_.check_and_insert(key, frame.snr_db, now_s);
+  if (dup.duplicate) {
+    dedup_dropped_.fetch_add(1, relaxed);
+    if constexpr (obs::kEnabled) reg_dedup_dropped_->add(1);
+    if (dup.improved) {
+      dedup_upgraded_.fetch_add(1, relaxed);
+      if constexpr (obs::kEnabled) reg_dedup_upgraded_->add(1);
+      registry_.note_better_copy(frame);
+      if (dup.feed_index != kNoFeedIndex) {
+        std::lock_guard<std::mutex> lock(feed_mu_);
+        if (dup.feed_index < feed_.size()) {
+          UplinkFrame& kept = feed_[dup.feed_index];
+          kept.gateway_id = frame.gateway_id;
+          kept.channel = frame.channel;
+          kept.stream_offset = frame.stream_offset;
+          kept.snr_db = frame.snr_db;
+          kept.cfo_bins = frame.cfo_bins;
+          kept.timing_samples = frame.timing_samples;
+        }
+      }
+      res.upgraded = true;
+    }
+    res.status = IngestStatus::kDuplicate;
+    return res;
+  }
+
+  switch (registry_.accept(frame)) {
+    case FcntCheck::kReplay:
+      replay_rejected_.fetch_add(1, relaxed);
+      if constexpr (obs::kEnabled) reg_replay_rejected_->add(1);
+      res.status = IngestStatus::kReplay;
+      return res;
+    case FcntCheck::kUnknownDevice:
+      unknown_device_.fetch_add(1, relaxed);
+      if constexpr (obs::kEnabled) reg_unknown_device_->add(1);
+      res.status = IngestStatus::kUnknownDevice;
+      return res;
+    case FcntCheck::kAccepted:
+      break;
+  }
+
+  accepted_.fetch_add(1, relaxed);
+  if constexpr (obs::kEnabled) reg_accepted_->add(1);
+  if (on_accept_) on_accept_(frame);
+  if (cfg_.keep_feed) {
+    std::uint64_t idx = 0;
+    {
+      std::lock_guard<std::mutex> lock(feed_mu_);
+      idx = feed_.size();
+      feed_.push_back(std::move(frame));
+    }
+    dedup_.set_feed_index(key, idx);
+  }
+  res.status = IngestStatus::kAccepted;
+  return res;
+}
+
+std::vector<UplinkFrame> NetServer::drain_feed() {
+  std::lock_guard<std::mutex> lock(feed_mu_);
+  std::vector<UplinkFrame> out;
+  out.swap(feed_);
+  return out;
+}
+
+std::size_t NetServer::feed_size() const {
+  std::lock_guard<std::mutex> lock(feed_mu_);
+  return feed_.size();
+}
+
+NetServerStats NetServer::stats() const {
+  NetServerStats s;
+  s.uplinks = uplinks_.load(relaxed);
+  s.accepted = accepted_.load(relaxed);
+  s.dedup_dropped = dedup_dropped_.load(relaxed);
+  s.dedup_upgraded = dedup_upgraded_.load(relaxed);
+  s.replay_rejected = replay_rejected_.load(relaxed);
+  s.unknown_device = unknown_device_.load(relaxed);
+  s.malformed = malformed_.load(relaxed);
+  return s;
+}
+
+AdrDecision NetServer::adr_for(std::uint32_t dev_addr, int current_sf,
+                               double current_power_dbm) const {
+  const auto session = registry_.lookup(dev_addr);
+  if (!session) {
+    AdrDecision d;
+    d.sf = current_sf;
+    d.tx_power_dbm = current_power_dbm;
+    return d;
+  }
+  return recommend_adr(*session, current_sf, current_power_dbm, cfg_.adr);
+}
+
+}  // namespace choir::net

@@ -1,0 +1,165 @@
+// Network server: the tier above the gateways.
+//
+//   gateway 0 --\                         +-- DeviceRegistry (sharded
+//   gateway 1 ---+--> NetServer::ingest --+   sessions, FCnt replay window,
+//   gateway N --/     (any thread)        |   CFO fingerprint, SNR history)
+//        |                                +-- CrossGatewayDedup (best-SNR
+//        +-- in-process or UDP framing    |   exactly-once window)
+//                                         +-- accepted-frame feed / callback
+//                                         +-- AdrEngine + TeamManager
+//
+// Ingest pipeline per reception, in order:
+//   1. structural validation (empty payload, absurd SF) -> kMalformed;
+//   2. cross-gateway dedup on (DevAddr, FCnt, payload hash) -> kDuplicate,
+//      upgrading the retained copy's metadata when this copy's SNR wins;
+//   3. registry FCnt window -> kReplay / kUnknownDevice;
+//   4. accept: session updated, frame appended to the feed (if kept) and
+//      handed to the callback.
+//
+// Dedup runs *before* the replay check on purpose: a second gateway's copy
+// of an accepted frame carries the same FCnt, so the registry alone would
+// misclassify it as a replay; the payload-hash key separates "same
+// transmission, another ear" from "attacker replaying an old counter".
+//
+// Thread safety: ingest() may be called from any number of threads
+// (gateway UDP readers, in-process pipelines). Internally everything is
+// sharded or atomic; the only global lock is the optional feed vector's.
+//
+// Metrics (obs registry): net.uplinks, net.accepted, net.dedup_dropped,
+// net.dedup_upgraded, net.replay_rejected, net.unknown_device,
+// net.malformed, and the registry's per-shard occupancy gauges.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "net/adr.hpp"
+#include "net/dedup.hpp"
+#include "net/registry.hpp"
+#include "net/team_manager.hpp"
+#include "net/uplink.hpp"
+#include "obs/obs.hpp"
+
+namespace choir::net {
+
+struct NetServerConfig {
+  RegistryOptions registry{};
+  DedupOptions dedup{};
+  AdrOptions adr{};
+  TeamManagerOptions teams{};
+  /// Retain accepted frames in an in-memory feed (drain_feed()). Turn off
+  /// for long-running / benchmark ingest where the callback is the sink.
+  bool keep_feed = true;
+};
+
+enum class IngestStatus {
+  kAccepted,
+  kDuplicate,       ///< cross-gateway copy inside the dedup window
+  kReplay,          ///< FCnt window rejection
+  kUnknownDevice,   ///< auto-provision off and device not provisioned
+  kMalformed,       ///< structurally invalid frame
+};
+
+const char* ingest_status_name(IngestStatus s);
+
+struct IngestResult {
+  IngestStatus status = IngestStatus::kMalformed;
+  std::uint32_t dev_addr = 0;
+  std::uint32_t fcnt = 0;
+  /// kDuplicate only: this copy improved the retained copy's SNR.
+  bool upgraded = false;
+};
+
+/// Plain-value counter snapshot (mirrored into the obs registry).
+struct NetServerStats {
+  std::uint64_t uplinks = 0;          ///< every reception offered
+  std::uint64_t accepted = 0;
+  std::uint64_t dedup_dropped = 0;
+  std::uint64_t dedup_upgraded = 0;   ///< duplicates that won on SNR
+  std::uint64_t replay_rejected = 0;
+  std::uint64_t unknown_device = 0;
+  std::uint64_t malformed = 0;
+};
+
+std::string format_stats(const NetServerStats& s);
+
+class NetServer {
+ public:
+  using Callback = std::function<void(const UplinkFrame&)>;
+
+  explicit NetServer(const NetServerConfig& cfg = {});
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  /// Ingests one reception, stamping it with wall-clock time for the
+  /// dedup window. Thread-safe.
+  IngestResult ingest(UplinkFrame frame);
+
+  /// Ingest under an explicit monotonic clock (simulated time, benches).
+  /// Callers must not mix wall-clock ingest() into the same server.
+  IngestResult ingest_at(UplinkFrame frame, double now_s);
+
+  /// Invoked (from the ingesting thread) for every accepted frame.
+  void set_callback(Callback cb) { on_accept_ = std::move(cb); }
+
+  /// Moves out the accepted-frame feed in acceptance order. Frames whose
+  /// later cross-gateway copies won on SNR carry the winning copy's
+  /// reception metadata (payload is bit-identical by construction).
+  std::vector<UplinkFrame> drain_feed();
+  std::size_t feed_size() const;
+
+  NetServerStats stats() const;
+
+  DeviceRegistry& registry() { return registry_; }
+  const DeviceRegistry& registry() const { return registry_; }
+  CrossGatewayDedup& dedup() { return dedup_; }
+  TeamManager& teams() { return teams_; }
+
+  /// ADR recommendation for one device under the server's policy.
+  AdrDecision adr_for(std::uint32_t dev_addr, int current_sf,
+                      double current_power_dbm) const;
+
+  const NetServerConfig& config() const { return cfg_; }
+
+ private:
+  double wall_now_s() const {
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  NetServerConfig cfg_;
+  DeviceRegistry registry_;
+  CrossGatewayDedup dedup_;
+  TeamManager teams_;
+  Callback on_accept_;
+  std::chrono::steady_clock::time_point epoch_ =
+      std::chrono::steady_clock::now();
+
+  mutable std::mutex feed_mu_;
+  std::vector<UplinkFrame> feed_;
+
+  static constexpr auto relaxed = std::memory_order_relaxed;
+  std::atomic<std::uint64_t> uplinks_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> dedup_dropped_{0};
+  std::atomic<std::uint64_t> dedup_upgraded_{0};
+  std::atomic<std::uint64_t> replay_rejected_{0};
+  std::atomic<std::uint64_t> unknown_device_{0};
+  std::atomic<std::uint64_t> malformed_{0};
+  // Registry mirrors (process-lifetime handles; null iff obs disabled).
+  obs::Counter* reg_uplinks_ = nullptr;
+  obs::Counter* reg_accepted_ = nullptr;
+  obs::Counter* reg_dedup_dropped_ = nullptr;
+  obs::Counter* reg_dedup_upgraded_ = nullptr;
+  obs::Counter* reg_replay_rejected_ = nullptr;
+  obs::Counter* reg_unknown_device_ = nullptr;
+  obs::Counter* reg_malformed_ = nullptr;
+};
+
+}  // namespace choir::net

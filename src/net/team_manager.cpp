@@ -1,0 +1,124 @@
+#include "net/team_manager.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace choir::net {
+
+namespace {
+
+/// Stable identity of an assignment for churn accounting: teams are named
+/// by their smallest member DevAddr (ordinals shuffle between rebuilds,
+/// membership does not), individual/unreachable by sentinels.
+constexpr int kIndividual = -1;
+constexpr int kUnreachable = -2;
+
+int team_key(const std::vector<std::size_t>& team) {
+  std::size_t mn = team.front();
+  for (std::size_t id : team) mn = std::min(mn, id);
+  return static_cast<int>(mn);
+}
+
+}  // namespace
+
+TeamManager::TeamManager(const DeviceRegistry& registry,
+                         const TeamManagerOptions& opt)
+    : registry_(registry), opt_(opt) {}
+
+TeamRoster TeamManager::rebuild() {
+  // Snapshot: every device with enough accepted uplinks to trust its SNR.
+  std::vector<core::SensorInfo> sensors;
+  registry_.for_each([&](const DeviceSession& s) {
+    if (s.uplinks < opt_.min_uplinks) return;
+    core::SensorInfo info;
+    info.id = s.dev_addr;
+    info.snr_db = s.mean_snr_db();
+    info.x_m = s.x_m;
+    info.y_m = s.y_m;
+    sensors.push_back(info);
+  });
+  // for_each visits shards in hash order; sort for run-to-run determinism.
+  std::sort(sensors.begin(), sensors.end(),
+            [](const core::SensorInfo& a, const core::SensorInfo& b) {
+              return a.id < b.id;
+            });
+
+  std::lock_guard<std::mutex> lock(mu_);
+
+  std::unordered_map<std::size_t, const core::SensorInfo*> by_id;
+  for (const auto& s : sensors) by_id.emplace(s.id, &s);
+
+  // Stability pass: carry over every previous team that is still viable
+  // under the fresh SNR estimates.
+  std::vector<std::vector<std::size_t>> kept;
+  std::unordered_set<std::size_t> consumed;
+  if (opt_.sticky) {
+    for (const auto& team : roster_.plan.teams) {
+      bool viable = team.size() <= opt_.plan.max_team_size;
+      std::vector<double> snrs;
+      for (std::size_t id : team) {
+        auto it = by_id.find(id);
+        if (it == by_id.end() ||
+            it->second->snr_db >= opt_.plan.individual_floor_db) {
+          viable = false;
+          break;
+        }
+        snrs.push_back(it->second->snr_db);
+      }
+      if (viable &&
+          core::aggregate_snr_db(snrs) >= opt_.plan.team_target_db) {
+        kept.push_back(team);
+        for (std::size_t id : team) consumed.insert(id);
+      }
+    }
+  }
+
+  std::vector<core::SensorInfo> to_plan;
+  for (const auto& s : sensors) {
+    if (!consumed.count(s.id)) to_plan.push_back(s);
+  }
+  core::TeamPlan fresh = core::plan_teams(to_plan, opt_.plan);
+
+  TeamRoster next;
+  next.version = roster_.version + 1;
+  next.plan.individual = std::move(fresh.individual);
+  next.plan.unreachable = std::move(fresh.unreachable);
+  next.plan.teams = std::move(kept);
+  for (auto& t : fresh.teams) next.plan.teams.push_back(std::move(t));
+
+  // Churn: devices whose stable assignment key changed (or who are new).
+  std::unordered_map<std::uint32_t, Assignment> assign;
+  for (std::size_t id : next.plan.individual)
+    assign[static_cast<std::uint32_t>(id)] = kIndividual;
+  for (std::size_t id : next.plan.unreachable)
+    assign[static_cast<std::uint32_t>(id)] = kUnreachable;
+  for (const auto& team : next.plan.teams) {
+    const int key = team_key(team);
+    for (std::size_t id : team) assign[static_cast<std::uint32_t>(id)] = key;
+  }
+  for (const auto& [id, a] : assign) {
+    auto it = assignment_.find(id);
+    if (it == assignment_.end() || it->second != a) ++next.churned;
+  }
+
+  CHOIR_OBS_COUNT("net.teams.rebuilds", 1);
+  CHOIR_OBS_COUNT("net.teams.churned", next.churned);
+  CHOIR_OBS_GAUGE_SET("net.teams.count",
+                      static_cast<std::int64_t>(next.plan.teams.size()));
+  CHOIR_OBS_GAUGE_SET("net.teams.individual",
+                      static_cast<std::int64_t>(next.plan.individual.size()));
+  CHOIR_OBS_GAUGE_SET(
+      "net.teams.unreachable",
+      static_cast<std::int64_t>(next.plan.unreachable.size()));
+
+  assignment_ = std::move(assign);
+  roster_ = next;
+  return next;
+}
+
+TeamRoster TeamManager::roster() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return roster_;
+}
+
+}  // namespace choir::net

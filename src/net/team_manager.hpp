@@ -1,0 +1,79 @@
+// Choir team management (paper Sec. 7): the network-server side of the
+// range-extension design.
+//
+// The registry knows each device's long-run SNR and position; the team
+// manager turns that into the base station's beacon schedule input — which
+// devices transmit individually, and which co-located below-floor devices
+// answer together as a team so their aggregate power clears the decode
+// threshold. The planning math is core::plan_teams (the greedy
+// proximity-constrained grower the paper evaluates); this layer owns the
+// *lifecycle*: snapshotting the registry, keeping rosters stable across
+// rebuilds, versioning, and churn accounting.
+//
+// Stability rule: a team survives a rebuild untouched iff every member is
+// still known, still below the individual floor, and the team's aggregate
+// SNR (under fresh estimates) still clears the target. Everyone else —
+// members of dissolved teams, newly weak devices — is re-planned from
+// scratch. This keeps beacon schedules (and the data-averaging semantics
+// of a team, Sec. 7.3) from thrashing every time one device's SNR
+// estimate wobbles.
+//
+// Rosters are consumed by core::team_scheduler (beacon planning) and give
+// core::team_decoder its expected component counts; ids in the plan are
+// DevAddrs.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/team_scheduler.hpp"
+#include "net/registry.hpp"
+
+namespace choir::net {
+
+struct TeamManagerOptions {
+  core::TeamPlanOptions plan{};
+  /// Devices need at least this many accepted uplinks before they are
+  /// planned (one reception = one SNR estimate; fewer means no evidence).
+  std::uint64_t min_uplinks = 1;
+  /// Keep still-viable teams across rebuilds instead of re-planning
+  /// everything (see the stability rule above).
+  bool sticky = true;
+};
+
+struct TeamRoster {
+  std::uint64_t version = 0;
+  /// Team plan over DevAddrs (plan.teams[i] is roster of team i).
+  core::TeamPlan plan;
+  /// Devices whose assignment changed relative to the previous roster.
+  std::size_t churned = 0;
+};
+
+class TeamManager {
+ public:
+  TeamManager(const DeviceRegistry& registry,
+              const TeamManagerOptions& opt = {});
+
+  /// Snapshots the registry and recomputes the roster. Thread-safe.
+  TeamRoster rebuild();
+
+  /// Copy of the latest roster (empty, version 0, before first rebuild).
+  TeamRoster roster() const;
+
+  const TeamManagerOptions& options() const { return opt_; }
+
+ private:
+  /// Assignment of one device in a roster, for churn accounting.
+  /// >= 0: team ordinal; -1: individual; -2: unreachable.
+  using Assignment = int;
+
+  const DeviceRegistry& registry_;
+  TeamManagerOptions opt_;
+
+  mutable std::mutex mu_;
+  TeamRoster roster_;
+  std::unordered_map<std::uint32_t, Assignment> assignment_;
+};
+
+}  // namespace choir::net

@@ -1,0 +1,116 @@
+#include "net/udp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <stdexcept>
+
+namespace choir::net {
+
+bool parse_endpoint(const std::string& s, Endpoint& out) {
+  const std::size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= s.size())
+    return false;
+  const std::string host = s.substr(0, colon);
+  in_addr probe{};
+  if (::inet_pton(AF_INET, host.c_str(), &probe) != 1) return false;
+  long port = 0;
+  for (std::size_t i = colon + 1; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+    port = port * 10 + (s[i] - '0');
+    if (port > 65535) return false;
+  }
+  if (port == 0) return false;
+  out.host = host;
+  out.port = static_cast<std::uint16_t>(port);
+  return true;
+}
+
+UdpUplinkSender::UdpUplinkSender(const std::string& host,
+                                 std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    throw std::runtime_error("uplink sender: bad IPv4 address " + host);
+  }
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) throw std::runtime_error("uplink sender: socket() failed");
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("uplink sender: connect() failed");
+  }
+}
+
+UdpUplinkSender::~UdpUplinkSender() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void UdpUplinkSender::send(const std::vector<UplinkFrame>& frames) {
+  if (frames.empty()) return;
+  for (const auto& dgram : encode_datagrams(frames)) {
+    // UDP: a failed send is a lost datagram, same as a drop in flight.
+    (void)::send(fd_, dgram.data(), dgram.size(), MSG_NOSIGNAL);
+    datagrams_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+UdpIngestServer::UdpIngestServer(NetServer& server, std::uint16_t port,
+                                 bool bind_any)
+    : server_(server) {
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) throw std::runtime_error("udp ingest: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(bind_any ? INADDR_ANY : INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("udp ingest: cannot bind port " +
+                             std::to_string(port));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  thread_ = std::thread([this] { serve(); });
+}
+
+UdpIngestServer::~UdpIngestServer() { stop(); }
+
+void UdpIngestServer::stop() {
+  if (fd_ < 0) return;
+  stop_.store(true, std::memory_order_relaxed);
+  ::shutdown(fd_, SHUT_RDWR);  // unblocks a pending recv on most stacks
+  if (thread_.joinable()) thread_.join();
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void UdpIngestServer::serve() {
+  std::vector<std::uint8_t> buf(64 * 1024);
+  std::vector<UplinkFrame> frames;
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 100 /* ms */);
+    if (pr <= 0 || !(pfd.revents & POLLIN)) continue;
+    const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+    if (n <= 0) continue;
+    frames.clear();
+    if (!decode_datagram(buf.data(), static_cast<std::size_t>(n), frames)) {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    datagrams_.fetch_add(1, std::memory_order_relaxed);
+    for (auto& f : frames) server_.ingest(std::move(f));
+  }
+}
+
+}  // namespace choir::net

@@ -1,0 +1,89 @@
+// UDP transport for the uplink framing (src/net/uplink.hpp): how decoded
+// frames travel from `choir_gateway --uplink-dest` to `choir_netserver`.
+//
+// Deliberately minimal, like the telemetry server: POSIX sockets, IPv4
+// literals only (no resolver dependency), one receive thread. UDP fits the
+// workload — each datagram is self-contained (magic + count + records), a
+// lost datagram loses only the frames inside it, and LoRaWAN gateway
+// backhauls (Semtech UDP packet forwarder) made the same call. The server
+// binds loopback by default; set `bind_any` for a routable deployment.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "net/server.hpp"
+#include "net/uplink.hpp"
+
+namespace choir::net {
+
+struct Endpoint {
+  std::string host;  ///< IPv4 literal, e.g. "127.0.0.1"
+  std::uint16_t port = 0;
+};
+
+/// Parses "host:port" (host an IPv4 literal). Returns false on bad input.
+bool parse_endpoint(const std::string& s, Endpoint& out);
+
+/// Fire-and-forget uplink batch sender (the gateway side).
+class UdpUplinkSender {
+ public:
+  /// Opens a connected UDP socket to host:port. Throws std::runtime_error
+  /// on a bad address or socket failure.
+  UdpUplinkSender(const std::string& host, std::uint16_t port);
+  ~UdpUplinkSender();
+
+  UdpUplinkSender(const UdpUplinkSender&) = delete;
+  UdpUplinkSender& operator=(const UdpUplinkSender&) = delete;
+
+  /// Encodes and sends `frames` as one or more datagrams.
+  void send(const std::vector<UplinkFrame>& frames);
+
+  std::uint64_t datagrams_sent() const {
+    return datagrams_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  int fd_ = -1;
+  std::atomic<std::uint64_t> datagrams_{0};
+};
+
+/// Receive loop feeding a NetServer (the network-server side).
+class UdpIngestServer {
+ public:
+  /// Binds UDP `port` (0 picks an ephemeral port) and starts the receive
+  /// thread; every decoded frame goes to server.ingest(). Throws
+  /// std::runtime_error if the bind fails.
+  UdpIngestServer(NetServer& server, std::uint16_t port,
+                  bool bind_any = false);
+  ~UdpIngestServer();
+
+  UdpIngestServer(const UdpIngestServer&) = delete;
+  UdpIngestServer& operator=(const UdpIngestServer&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  std::uint64_t datagrams_received() const {
+    return datagrams_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t decode_errors() const {
+    return errors_.load(std::memory_order_relaxed);
+  }
+
+  /// Stops the receive thread and closes the socket. Idempotent.
+  void stop();
+
+ private:
+  void serve();
+
+  NetServer& server_;
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> datagrams_{0};
+  std::atomic<std::uint64_t> errors_{0};
+  std::thread thread_;
+};
+
+}  // namespace choir::net

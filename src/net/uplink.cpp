@@ -1,0 +1,206 @@
+#include "net/uplink.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace choir::net {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xFF));
+}
+
+void put_f32(std::vector<std::uint8_t>& out, float v) {
+  put_u32(out, std::bit_cast<std::uint32_t>(v));
+}
+
+struct Cursor {
+  const std::uint8_t* p;
+  std::size_t n;
+
+  bool u8(std::uint8_t& v) {
+    if (n < 1) return false;
+    v = p[0];
+    p += 1;
+    n -= 1;
+    return true;
+  }
+  bool u16(std::uint16_t& v) {
+    if (n < 2) return false;
+    v = static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+    p += 2;
+    n -= 2;
+    return true;
+  }
+  bool u32(std::uint32_t& v) {
+    if (n < 4) return false;
+    v = 0;
+    for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+    p += 4;
+    n -= 4;
+    return true;
+  }
+  bool u64(std::uint64_t& v) {
+    if (n < 8) return false;
+    v = 0;
+    for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+    p += 8;
+    n -= 8;
+    return true;
+  }
+  bool f32(float& v) {
+    std::uint32_t bits = 0;
+    if (!u32(bits)) return false;
+    v = std::bit_cast<float>(bits);
+    return true;
+  }
+};
+
+}  // namespace
+
+std::uint64_t payload_hash(const std::vector<std::uint8_t>& payload) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  for (std::uint8_t b : payload) {
+    h ^= b;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+DeviceHeader parse_device_header(const std::vector<std::uint8_t>& payload) {
+  DeviceHeader h;
+  if (payload.size() >= 3) {
+    h.dev_addr = payload[0];
+    h.fcnt = static_cast<std::uint32_t>(payload[1] |
+                                        (static_cast<std::uint32_t>(payload[2])
+                                         << 8));
+  } else {
+    // Anonymous short frame: hash-derived synthetic address outside the
+    // compact 8-bit range so it can never shadow a provisioned device.
+    h.dev_addr =
+        static_cast<std::uint32_t>(payload_hash(payload) & 0x00FFFFFF) |
+        0x01000000u;
+    h.fcnt = 0;
+  }
+  return h;
+}
+
+UplinkFrame make_uplink(std::vector<std::uint8_t> payload, float snr_db,
+                        float cfo_bins, float timing_samples,
+                        std::uint32_t gateway_id, std::uint16_t channel,
+                        std::uint8_t sf, std::uint64_t stream_offset) {
+  UplinkFrame f;
+  const DeviceHeader h = parse_device_header(payload);
+  f.dev_addr = h.dev_addr;
+  f.fcnt = h.fcnt;
+  f.gateway_id = gateway_id;
+  f.channel = channel;
+  f.sf = sf;
+  f.stream_offset = stream_offset;
+  f.snr_db = snr_db;
+  f.cfo_bins = cfo_bins;
+  f.timing_samples = timing_samples;
+  f.payload = std::move(payload);
+  return f;
+}
+
+void encode_uplink(const UplinkFrame& f, std::vector<std::uint8_t>& out) {
+  const std::size_t body = kRecordFixedBytes + f.payload.size();
+  put_u16(out, static_cast<std::uint16_t>(body));
+  put_u32(out, f.gateway_id);
+  put_u16(out, f.channel);
+  out.push_back(f.sf);
+  out.push_back(0);  // flags
+  put_u32(out, f.dev_addr);
+  put_u32(out, f.fcnt);
+  put_u64(out, f.stream_offset);
+  put_f32(out, f.snr_db);
+  put_f32(out, f.cfo_bins);
+  put_f32(out, f.timing_samples);
+  put_u16(out, static_cast<std::uint16_t>(f.payload.size()));
+  out.insert(out.end(), f.payload.begin(), f.payload.end());
+}
+
+std::vector<std::uint8_t> encode_datagram(
+    const std::vector<UplinkFrame>& frames, std::size_t begin,
+    std::size_t end) {
+  std::vector<std::uint8_t> out;
+  put_u32(out, kWireMagic);
+  out.push_back(kWireVersion);
+  out.push_back(0);  // reserved
+  put_u16(out, static_cast<std::uint16_t>(end - begin));
+  for (std::size_t i = begin; i < end; ++i) encode_uplink(frames[i], out);
+  return out;
+}
+
+std::vector<std::vector<std::uint8_t>> encode_datagrams(
+    const std::vector<UplinkFrame>& frames, std::size_t max_bytes) {
+  std::vector<std::vector<std::uint8_t>> out;
+  std::size_t begin = 0;
+  while (begin < frames.size()) {
+    std::size_t bytes = 8;  // datagram header
+    std::size_t end = begin;
+    while (end < frames.size()) {
+      const std::size_t rec = 2 + kRecordFixedBytes + frames[end].payload.size();
+      if (end > begin && bytes + rec > max_bytes) break;
+      bytes += rec;
+      ++end;
+    }
+    out.push_back(encode_datagram(frames, begin, end));
+    begin = end;
+  }
+  return out;
+}
+
+bool decode_datagram(const std::uint8_t* data, std::size_t len,
+                     std::vector<UplinkFrame>& out) {
+  Cursor c{data, len};
+  std::uint32_t magic = 0;
+  std::uint8_t version = 0, reserved = 0;
+  std::uint16_t count = 0;
+  if (!c.u32(magic) || magic != kWireMagic) return false;
+  if (!c.u8(version) || version != kWireVersion) return false;
+  if (!c.u8(reserved) || !c.u16(count)) return false;
+
+  std::vector<UplinkFrame> frames;
+  frames.reserve(count);
+  for (std::uint16_t i = 0; i < count; ++i) {
+    std::uint16_t body = 0;
+    if (!c.u16(body) || body < kRecordFixedBytes || c.n < body) return false;
+    Cursor rec{c.p, body};
+    c.p += body;
+    c.n -= body;
+
+    UplinkFrame f;
+    std::uint8_t flags = 0;
+    std::uint16_t payload_len = 0;
+    if (!rec.u32(f.gateway_id) || !rec.u16(f.channel) || !rec.u8(f.sf) ||
+        !rec.u8(flags) || !rec.u32(f.dev_addr) || !rec.u32(f.fcnt) ||
+        !rec.u64(f.stream_offset) || !rec.f32(f.snr_db) ||
+        !rec.f32(f.cfo_bins) || !rec.f32(f.timing_samples) ||
+        !rec.u16(payload_len)) {
+      return false;
+    }
+    if (rec.n < payload_len) return false;
+    f.payload.assign(rec.p, rec.p + payload_len);
+    // Bytes past the payload belong to a future format revision: skip.
+    frames.push_back(std::move(f));
+  }
+  out.insert(out.end(), std::make_move_iterator(frames.begin()),
+             std::make_move_iterator(frames.end()));
+  return true;
+}
+
+}  // namespace choir::net

@@ -1,0 +1,98 @@
+// Uplink frame: the unit of traffic between gateways and the network
+// server.
+//
+// A gateway (the PHY tier, src/gateway/) decodes frames out of IQ; the
+// network server (this tier) only ever sees the decoded result plus the
+// reception metadata the collision decoder measured — SNR, CFO and timing
+// offsets, which double as a soft device fingerprint. Frames reach the
+// server either through the in-process API (NetServer::ingest) or over a
+// length-prefixed UDP framing (src/net/udp.hpp) emitted by
+// `choir_gateway --uplink-dest`.
+//
+// Device addressing rides inside the payload ("compact header", the same
+// convention the MAC simulator has always used):
+//   payload[0]          DevAddr (8-bit device address)
+//   payload[1..2]       FCnt, little-endian 16-bit uplink frame counter
+// Payloads shorter than 3 bytes get a synthetic DevAddr derived from the
+// payload hash (bit 24 set to keep it out of the compact range) so that
+// anonymous traffic still deduplicates across gateways. The registry and
+// the wire format carry 32-bit DevAddr / FCnt so richer headers can slot
+// in without a format change (see docs/NETSERVER.md).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace choir::net {
+
+struct UplinkFrame {
+  std::uint32_t gateway_id = 0;  ///< which gateway heard this reception
+  std::uint16_t channel = 0;     ///< channelizer output index at the gateway
+  std::uint8_t sf = 0;           ///< spreading factor of the pipeline
+  std::uint32_t dev_addr = 0;    ///< device address (from the payload header)
+  std::uint32_t fcnt = 0;        ///< uplink frame counter
+  std::uint64_t stream_offset = 0;  ///< frame start, baseband samples
+  float snr_db = 0.0f;           ///< per-sample SNR of this reception
+  float cfo_bins = 0.0f;         ///< carrier-offset estimate (fingerprint)
+  float timing_samples = 0.0f;   ///< timing-offset estimate
+  std::vector<std::uint8_t> payload;
+};
+
+/// FNV-1a 64-bit hash of the payload bytes — the content component of the
+/// cross-gateway dedup key.
+std::uint64_t payload_hash(const std::vector<std::uint8_t>& payload);
+
+struct DeviceHeader {
+  std::uint32_t dev_addr = 0;
+  std::uint32_t fcnt = 0;
+};
+
+/// Parses the compact device header out of a payload (see file comment).
+DeviceHeader parse_device_header(const std::vector<std::uint8_t>& payload);
+
+/// Builds an UplinkFrame from a decoded payload plus reception metadata,
+/// filling dev_addr/fcnt from the compact header.
+UplinkFrame make_uplink(std::vector<std::uint8_t> payload, float snr_db,
+                        float cfo_bins, float timing_samples,
+                        std::uint32_t gateway_id, std::uint16_t channel,
+                        std::uint8_t sf, std::uint64_t stream_offset);
+
+// ------------------------------------------------------------ wire format
+//
+// Datagram: magic "CHOU", version u8, reserved u8, count u16; then `count`
+// length-prefixed records. Record: u16 byte length of the body, then the
+// body — gateway_id u32, channel u16, sf u8, flags u8 (reserved, 0),
+// dev_addr u32, fcnt u32, stream_offset u64, snr f32, cfo f32, timing f32,
+// payload_len u16, payload bytes. All integers and float bit patterns are
+// little-endian. Unknown trailing body bytes are skipped (forward
+// compatibility); a record shorter than the fixed body is an error.
+
+inline constexpr std::uint32_t kWireMagic = 0x554F4843;  // "CHOU" LE
+inline constexpr std::uint8_t kWireVersion = 1;
+/// Fixed body size of a record, before the payload bytes.
+inline constexpr std::size_t kRecordFixedBytes = 38;
+/// Safe datagram budget (stays under typical loopback/ethernet MTUs after
+/// fragmentation is avoided for the common frame sizes).
+inline constexpr std::size_t kMaxDatagramBytes = 1400;
+
+/// Appends one length-prefixed record for `f` to `out`.
+void encode_uplink(const UplinkFrame& f, std::vector<std::uint8_t>& out);
+
+/// Serializes frames [begin, end) of `frames` into one datagram.
+std::vector<std::uint8_t> encode_datagram(
+    const std::vector<UplinkFrame>& frames, std::size_t begin,
+    std::size_t end);
+
+/// Splits `frames` into datagrams no larger than `max_bytes` each (at
+/// least one frame per datagram, so an oversized single frame still ships).
+std::vector<std::vector<std::uint8_t>> encode_datagrams(
+    const std::vector<UplinkFrame>& frames,
+    std::size_t max_bytes = kMaxDatagramBytes);
+
+/// Parses a datagram; appends decoded frames to `out`. Returns false (and
+/// appends nothing) on bad magic/version or a structurally invalid record.
+bool decode_datagram(const std::uint8_t* data, std::size_t len,
+                     std::vector<UplinkFrame>& out);
+
+}  // namespace choir::net

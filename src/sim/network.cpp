@@ -8,6 +8,8 @@
 #include "core/collision_decoder.hpp"
 #include "lora/demodulator.hpp"
 #include "lora/frame.hpp"
+#include "net/server.hpp"
+#include "net/uplink.hpp"
 
 namespace choir::sim {
 
@@ -33,19 +35,55 @@ std::vector<std::uint8_t> make_payload(std::size_t user, std::uint16_t seq,
   return p;
 }
 
-struct Attribution {
-  std::size_t user;
-  std::uint16_t seq;
-};
+// Network tier shared by all three MACs. Each sim user u is provisioned as
+// DevAddr u in the sharded registry (auto-provisioning off, so a lucky
+// CRC-passing garbage decode cannot mint a phantom device), and every
+// CRC-clean decode flows through the same dedup -> FCnt-window pipeline a
+// real deployment's network server runs. make_payload's [id, seq_lo,
+// seq_hi] prefix is exactly the compact device header the tier parses.
+class NetTier {
+ public:
+  explicit NetTier(const NetworkConfig& cfg)
+      : server_(make_config()), sf_(static_cast<std::uint8_t>(cfg.phy.sf)) {
+    for (std::size_t u = 0; u < cfg.n_users; ++u)
+      server_.registry().provision(static_cast<std::uint32_t>(u));
+  }
 
-std::optional<Attribution> attribute(const std::vector<std::uint8_t>& payload,
-                                     std::size_t n_users) {
-  if (payload.size() < 3) return std::nullopt;
-  const std::size_t user = payload[0];
-  if (user >= n_users) return std::nullopt;
-  const auto seq = static_cast<std::uint16_t>(payload[1] | (payload[2] << 8));
-  return Attribution{user, seq};
-}
+  /// Hands one CRC-clean reception to the server under simulated time.
+  /// Returns the accepted device id, or nullopt when the tier rejected it
+  /// (duplicate decoder emission, stale/desynced FCnt, unknown device).
+  std::optional<std::size_t> deliver(const std::vector<std::uint8_t>& payload,
+                                     double snr_db, double cfo_bins,
+                                     double timing_samples, double now_s) {
+    net::UplinkFrame f = net::make_uplink(
+        payload, static_cast<float>(snr_db), static_cast<float>(cfo_bins),
+        static_cast<float>(timing_samples), /*gateway=*/0, /*channel=*/0, sf_,
+        /*stream_offset=*/0);
+    const net::IngestResult r = server_.ingest_at(std::move(f), now_s);
+    if (r.status != net::IngestStatus::kAccepted) return std::nullopt;
+    return static_cast<std::size_t>(r.dev_addr);
+  }
+
+  net::NetServerStats stats() const { return server_.stats(); }
+
+ private:
+  static net::NetServerConfig make_config() {
+    net::NetServerConfig c;
+    c.registry.auto_provision = false;
+    // The MACs retransmit with a fresh random payload tail, so a tight
+    // FCnt window costs nothing and keeps a garbage decode that happens
+    // to pass CRC from desyncing a device for long.
+    c.registry.max_fcnt_gap = 8;
+    // Long enough to collapse duplicate emissions of one episode (they
+    // share a timestamp), far shorter than any retransmission gap.
+    c.dedup.window_s = 0.05;
+    c.keep_feed = false;
+    return c;
+  }
+
+  net::NetServer server_;
+  std::uint8_t sf_;
+};
 
 struct Tally {
   std::size_t delivered = 0;
@@ -74,11 +112,14 @@ double user_snr(const NetworkConfig& cfg, std::size_t u) {
   return cfg.user_snr_db[u % cfg.user_snr_db.size()];
 }
 
-NetMetrics finish(const NetworkConfig& cfg, const Tally& tally) {
+NetMetrics finish(const NetworkConfig& cfg, const Tally& tally,
+                  const net::NetServerStats& net) {
   NetMetrics m;
   m.delivered = tally.delivered;
   m.attempts = tally.attempts;
   m.dropped = tally.dropped;
+  m.dedup_dropped = static_cast<std::size_t>(net.dedup_dropped);
+  m.replay_rejected = static_cast<std::size_t>(net.replay_rejected);
   m.sim_time_s = cfg.sim_duration_s;
   m.throughput_bps = static_cast<double>(tally.delivered) *
                      static_cast<double>(cfg.payload_bytes) * 8.0 /
@@ -99,6 +140,7 @@ NetMetrics run_aloha(const NetworkConfig& cfg) {
   Rng rng(cfg.seed);
   const double air = lora::frame_airtime_s(cfg.payload_bytes, cfg.phy);
   lora::Demodulator demod(cfg.phy);
+  NetTier tier(cfg);
 
   std::vector<UserState> users(cfg.n_users);
   for (std::size_t u = 0; u < cfg.n_users; ++u) {
@@ -137,7 +179,6 @@ NetMetrics run_aloha(const NetworkConfig& cfg) {
 
     // Render the episode's IQ superposition.
     std::vector<channel::TxInstance> txs;
-    std::vector<std::uint16_t> seqs;
     for (std::size_t u : members) {
       channel::TxInstance tx;
       tx.phy = cfg.phy;
@@ -146,7 +187,6 @@ NetMetrics run_aloha(const NetworkConfig& cfg) {
       tx.snr_db = users[u].snr_db;
       tx.fading = cfg.fading;
       tx.extra_delay_s = users[u].next_tx_s - t0;
-      seqs.push_back(users[u].seq);
       txs.push_back(std::move(tx));
     }
     channel::RenderOptions ropt;
@@ -186,8 +226,13 @@ NetMetrics run_aloha(const NetworkConfig& cfg) {
             std::llround(cap.users[i].delay_samples));
         const lora::DemodResult res = demod.demodulate_at(cap.samples, start);
         if (res.crc_ok) {
-          const auto att = attribute(res.payload, cfg.n_users);
-          ok = att && att->user == u && att->seq == seqs[i];
+          // The tier validates the decoded DevAddr/FCnt header; a capture
+          // that decoded some other member's frame is that member's
+          // delivery, not this one's, so require dev == u for credit.
+          const auto dev = tier.deliver(res.payload, res.snr_db,
+                                        res.offset_bins, res.timing_samples,
+                                        frame_end);
+          ok = dev.has_value() && *dev == u;
         }
       }
       if (ok) {
@@ -211,7 +256,7 @@ NetMetrics run_aloha(const NetworkConfig& cfg) {
       }
     }
   }
-  return finish(cfg, tally);
+  return finish(cfg, tally, tier.stats());
 }
 
 NetMetrics run_oracle(const NetworkConfig& cfg) {
@@ -219,6 +264,7 @@ NetMetrics run_oracle(const NetworkConfig& cfg) {
   const double air = lora::frame_airtime_s(cfg.payload_bytes, cfg.phy);
   const double slot = air + cfg.turnaround_s;
   lora::Demodulator demod(cfg.phy);
+  NetTier tier(cfg);
 
   std::vector<UserState> users(cfg.n_users);
   for (std::size_t u = 0; u < cfg.n_users; ++u) {
@@ -246,8 +292,9 @@ NetMetrics run_oracle(const NetworkConfig& cfg) {
     const lora::DemodResult res = demod.demodulate_at(cap.samples, start);
     bool ok = false;
     if (res.crc_ok) {
-      const auto att = attribute(res.payload, cfg.n_users);
-      ok = att && att->user == u && att->seq == users[u].seq;
+      const auto dev = tier.deliver(res.payload, res.snr_db, res.offset_bins,
+                                    res.timing_samples, t + air);
+      ok = dev.has_value() && *dev == u;
     }
     if (ok) {
       tally.success(t + air, users[u].hol_since_s);
@@ -256,7 +303,7 @@ NetMetrics run_oracle(const NetworkConfig& cfg) {
     }
     // Failed slots simply retry at the user's next turn.
   }
-  return finish(cfg, tally);
+  return finish(cfg, tally, tier.stats());
 }
 
 NetMetrics run_choir(const NetworkConfig& cfg) {
@@ -264,6 +311,7 @@ NetMetrics run_choir(const NetworkConfig& cfg) {
   const double air = lora::frame_airtime_s(cfg.payload_bytes, cfg.phy);
   const double round_len = air + cfg.choir_guard_s;
   core::CollisionDecoder decoder(cfg.phy);
+  NetTier tier(cfg);
 
   std::vector<UserState> users(cfg.n_users);
   for (std::size_t u = 0; u < cfg.n_users; ++u) {
@@ -275,7 +323,6 @@ NetMetrics run_choir(const NetworkConfig& cfg) {
   for (double t = 0.0; t + air <= cfg.sim_duration_s; t += round_len) {
     // Saturated: every user answers the beacon each round.
     std::vector<channel::TxInstance> txs;
-    std::vector<std::uint16_t> seqs;
     for (std::size_t u = 0; u < cfg.n_users; ++u) {
       channel::TxInstance tx;
       tx.phy = cfg.phy;
@@ -283,7 +330,6 @@ NetMetrics run_choir(const NetworkConfig& cfg) {
       tx.hw = users[u].hw.packet_instance(cfg.osc, rng);
       tx.snr_db = users[u].snr_db;
       tx.fading = cfg.fading;
-      seqs.push_back(users[u].seq);
       txs.push_back(std::move(tx));
     }
     channel::RenderOptions ropt;
@@ -293,22 +339,23 @@ NetMetrics run_choir(const NetworkConfig& cfg) {
     tally.attempts += cfg.n_users;
     const std::vector<core::DecodedUser> decoded =
         decoder.decode(cap.samples, 0);
-    std::vector<bool> got(cfg.n_users, false);
+    // The net tier replaces the old per-round bitmap: duplicate decoder
+    // emissions collapse in the dedup window (same payload) or bounce off
+    // the FCnt window (same seq, different garbage), so each user is
+    // credited at most once per round.
     for (const core::DecodedUser& du : decoded) {
       if (!du.crc_ok) continue;
-      const auto att = attribute(du.payload, cfg.n_users);
-      if (!att || got[att->user]) continue;
-      if (att->seq != seqs[att->user]) continue;
-      got[att->user] = true;
-    }
-    for (std::size_t u = 0; u < cfg.n_users; ++u) {
-      if (!got[u]) continue;  // retransmits next round
+      const auto dev =
+          tier.deliver(du.payload, du.est.snr_db, du.est.cfo_bins,
+                       du.est.timing_samples, t + air);
+      if (!dev) continue;  // losers retransmit next round
+      const std::size_t u = *dev;
       tally.success(t + air, users[u].hol_since_s);
       users[u].seq++;
       users[u].hol_since_s = t + round_len;
     }
   }
-  return finish(cfg, tally);
+  return finish(cfg, tally, tier.stats());
 }
 
 }  // namespace

@@ -15,9 +15,13 @@
 // Adjudication renders the actual IQ superposition of every transmission
 // cluster ("episode") through the collision channel and runs the real
 // receivers — the standard single-user demodulator for the LoRaWAN MACs
-// (capture effect included), the Choir decoder for Choir rounds. Decoded
-// payloads carry the sender id, so attribution is by decoded content, never
-// by ground truth.
+// (capture effect included), the Choir decoder for Choir rounds. Every
+// CRC-clean decode is then handed to the real network-server tier
+// (net::NetServer): the sharded device registry parses the compact
+// DevAddr/FCnt header, deduplicates duplicate decoder emissions, and
+// enforces the frame-counter replay window. A packet counts as delivered
+// only when the net tier accepts it, so attribution is by decoded content
+// and server-side validation, never by ground truth.
 #pragma once
 
 #include <cstdint>
@@ -55,6 +59,8 @@ struct NetMetrics {
   std::size_t delivered = 0;
   std::size_t attempts = 0;
   std::size_t dropped = 0;       ///< packets abandoned after max_retries
+  std::size_t dedup_dropped = 0;    ///< duplicate receptions collapsed (net tier)
+  std::size_t replay_rejected = 0;  ///< stale/desynced FCnts rejected (net tier)
   double sim_time_s = 0.0;
 };
 

@@ -1,0 +1,555 @@
+// Network-server tier tests: wire codec, cross-gateway dedup, sharded
+// registry, ingest pipeline, ADR, team manager, and the loopback UDP path.
+//
+// Suite names are load-bearing: the CI TSan lane selects
+// NetServer|NetUdp|NetRegistry|NetDedup by regex.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "net/adr.hpp"
+#include "net/dedup.hpp"
+#include "net/registry.hpp"
+#include "net/server.hpp"
+#include "net/team_manager.hpp"
+#include "net/udp.hpp"
+#include "net/uplink.hpp"
+
+using namespace choir;
+
+namespace {
+
+net::UplinkFrame frame_for(std::uint32_t dev, std::uint32_t fcnt,
+                           float snr_db = 10.0f, std::uint32_t gateway = 1,
+                           std::uint8_t extra = 0) {
+  net::UplinkFrame f;
+  f.gateway_id = gateway;
+  f.channel = 3;
+  f.sf = 8;
+  f.dev_addr = dev;
+  f.fcnt = fcnt;
+  f.stream_offset = 1000 + fcnt;
+  f.snr_db = snr_db;
+  f.cfo_bins = 0.5f;
+  f.timing_samples = -1.25f;
+  f.payload = {static_cast<std::uint8_t>(dev),
+               static_cast<std::uint8_t>(fcnt),
+               static_cast<std::uint8_t>(fcnt >> 8),
+               static_cast<std::uint8_t>(fcnt >> 16),
+               extra};
+  return f;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- wire codec
+
+TEST(NetWire, DatagramRoundTripPreservesEveryField) {
+  std::vector<net::UplinkFrame> in;
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    net::UplinkFrame f = frame_for(0x10 + i, 100 + i, 3.5f + i, i);
+    f.payload.resize(40 + i, static_cast<std::uint8_t>(i));
+    in.push_back(std::move(f));
+  }
+  const auto grams = net::encode_datagrams(in);
+  ASSERT_GE(grams.size(), 1u);
+
+  std::vector<net::UplinkFrame> out;
+  for (const auto& g : grams)
+    ASSERT_TRUE(net::decode_datagram(g.data(), g.size(), out));
+  ASSERT_EQ(out.size(), in.size());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_EQ(out[i].gateway_id, in[i].gateway_id);
+    EXPECT_EQ(out[i].channel, in[i].channel);
+    EXPECT_EQ(out[i].sf, in[i].sf);
+    EXPECT_EQ(out[i].dev_addr, in[i].dev_addr);
+    EXPECT_EQ(out[i].fcnt, in[i].fcnt);
+    EXPECT_EQ(out[i].stream_offset, in[i].stream_offset);
+    EXPECT_FLOAT_EQ(out[i].snr_db, in[i].snr_db);
+    EXPECT_FLOAT_EQ(out[i].cfo_bins, in[i].cfo_bins);
+    EXPECT_FLOAT_EQ(out[i].timing_samples, in[i].timing_samples);
+    EXPECT_EQ(out[i].payload, in[i].payload);
+  }
+}
+
+TEST(NetWire, SplitsLargeBatchesUnderTheDatagramBudget) {
+  std::vector<net::UplinkFrame> in;
+  for (std::uint32_t i = 0; i < 200; ++i) {
+    net::UplinkFrame f = frame_for(i, i);
+    f.payload.resize(100, 0xAB);
+    in.push_back(std::move(f));
+  }
+  const auto grams = net::encode_datagrams(in);
+  EXPECT_GT(grams.size(), 1u);
+  std::size_t total = 0;
+  for (const auto& g : grams) {
+    EXPECT_LE(g.size(), net::kMaxDatagramBytes);
+    std::vector<net::UplinkFrame> out;
+    ASSERT_TRUE(net::decode_datagram(g.data(), g.size(), out));
+    total += out.size();
+  }
+  EXPECT_EQ(total, in.size());
+}
+
+TEST(NetWire, RejectsBadMagicVersionAndTruncation) {
+  const std::vector<net::UplinkFrame> in{frame_for(1, 2)};
+  auto g = net::encode_datagram(in, 0, 1);
+
+  std::vector<net::UplinkFrame> out;
+  auto bad = g;
+  bad[0] ^= 0xFF;  // magic
+  EXPECT_FALSE(net::decode_datagram(bad.data(), bad.size(), out));
+  bad = g;
+  bad[4] = 99;  // version
+  EXPECT_FALSE(net::decode_datagram(bad.data(), bad.size(), out));
+  for (const std::size_t cut : {std::size_t{0}, std::size_t{5}, g.size() - 1})
+    EXPECT_FALSE(net::decode_datagram(g.data(), cut, out));
+  EXPECT_TRUE(out.empty());  // failures never emit partial frames
+}
+
+TEST(NetWire, SkipsUnknownTrailingRecordBytes) {
+  // Forward compatibility: a future sender may append fields to the record
+  // body; today's parser must skip them. Datagram layout: 8-byte header,
+  // then u16 record length + body.
+  const std::vector<net::UplinkFrame> in{frame_for(7, 9)};
+  auto g = net::encode_datagram(in, 0, 1);
+  const std::uint16_t rec_len =
+      static_cast<std::uint16_t>(g[8] | (g[9] << 8));
+  g.push_back(0xDE);
+  g.push_back(0xAD);
+  const std::uint16_t grown = static_cast<std::uint16_t>(rec_len + 2);
+  g[8] = static_cast<std::uint8_t>(grown & 0xFF);
+  g[9] = static_cast<std::uint8_t>(grown >> 8);
+
+  std::vector<net::UplinkFrame> out;
+  ASSERT_TRUE(net::decode_datagram(g.data(), g.size(), out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].dev_addr, 7u);
+  EXPECT_EQ(out[0].payload, in[0].payload);
+}
+
+TEST(NetWire, CompactHeaderAndSyntheticAddresses) {
+  const net::DeviceHeader h =
+      net::parse_device_header({5, 0x34, 0x12, 0xFF});
+  EXPECT_EQ(h.dev_addr, 5u);
+  EXPECT_EQ(h.fcnt, 0x1234u);
+
+  // Too short for the compact header: synthetic, out of the 8-bit range.
+  const net::DeviceHeader s = net::parse_device_header({0x42, 0x43});
+  EXPECT_GE(s.dev_addr, 1u << 24);
+  // Deterministic: the same anonymous payload maps to the same device.
+  EXPECT_EQ(net::parse_device_header({0x42, 0x43}).dev_addr, s.dev_addr);
+}
+
+// ------------------------------------------------------------------ dedup
+
+TEST(NetDedup, CollapsesWithinWindowAndTracksBestSnr) {
+  net::DedupOptions opt;
+  opt.window_s = 0.5;
+  net::CrossGatewayDedup dedup(opt);
+  const net::DedupKey key{9, 100, 0xABCDEF};
+
+  EXPECT_FALSE(dedup.check_and_insert(key, 5.0f, 0.0).duplicate);
+  const auto better = dedup.check_and_insert(key, 7.0f, 0.1);
+  EXPECT_TRUE(better.duplicate);
+  EXPECT_TRUE(better.improved);
+  const auto worse = dedup.check_and_insert(key, 6.0f, 0.2);
+  EXPECT_TRUE(worse.duplicate);
+  EXPECT_FALSE(worse.improved);  // 6 dB does not beat the retained 7 dB
+
+  // Window expired: the key is fresh again.
+  EXPECT_FALSE(dedup.check_and_insert(key, 1.0f, 1.0).duplicate);
+}
+
+TEST(NetDedup, DistinctPayloadHashesAreDistinctReceptions) {
+  net::CrossGatewayDedup dedup{net::DedupOptions{}};
+  EXPECT_FALSE(
+      dedup.check_and_insert({9, 100, 0x1111}, 5.0f, 0.0).duplicate);
+  EXPECT_FALSE(
+      dedup.check_and_insert({9, 100, 0x2222}, 5.0f, 0.0).duplicate);
+}
+
+TEST(NetDedup, SizeCapEvictsOldestFirst) {
+  net::DedupOptions opt;
+  opt.shard_bits = 0;
+  opt.max_entries_per_shard = 4;
+  opt.window_s = 100.0;
+  net::CrossGatewayDedup dedup(opt);
+  for (std::uint32_t i = 0; i < 10; ++i)
+    dedup.check_and_insert({i, i, i}, 0.0f, static_cast<double>(i) * 1e-3);
+  EXPECT_LE(dedup.pending(), 4u);
+  // The newest key must have survived the eviction churn.
+  EXPECT_TRUE(dedup.check_and_insert({9, 9, 9}, 0.0f, 0.01).duplicate);
+}
+
+// --------------------------------------------------------------- registry
+
+TEST(NetRegistry, FcntWindowAcceptsForwardRejectsStaleAndDesync) {
+  net::RegistryOptions opt;
+  opt.max_fcnt_gap = 100;
+  net::DeviceRegistry reg(opt);
+  reg.provision(42);
+
+  EXPECT_EQ(reg.accept(frame_for(42, 5)), net::FcntCheck::kAccepted);
+  EXPECT_EQ(reg.accept(frame_for(42, 5)), net::FcntCheck::kReplay);
+  EXPECT_EQ(reg.accept(frame_for(42, 4)), net::FcntCheck::kReplay);
+  EXPECT_EQ(reg.accept(frame_for(42, 6)), net::FcntCheck::kAccepted);
+  EXPECT_EQ(reg.accept(frame_for(42, 6 + 101)), net::FcntCheck::kReplay);
+  EXPECT_EQ(reg.accept(frame_for(42, 6 + 100)), net::FcntCheck::kAccepted);
+
+  const auto s = reg.lookup(42);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->uplinks, 3u);
+  EXPECT_EQ(s->replays, 3u);
+  EXPECT_EQ(s->last_fcnt, 106u);
+}
+
+TEST(NetRegistry, AutoProvisionPolicyGatesUnknownDevices) {
+  net::RegistryOptions strict;
+  strict.auto_provision = false;
+  net::DeviceRegistry reg(strict);
+  EXPECT_EQ(reg.accept(frame_for(7, 0)), net::FcntCheck::kUnknownDevice);
+  EXPECT_EQ(reg.device_count(), 0u);
+
+  net::DeviceRegistry open_reg{net::RegistryOptions{}};
+  EXPECT_EQ(open_reg.accept(frame_for(7, 0)), net::FcntCheck::kAccepted);
+  EXPECT_EQ(open_reg.device_count(), 1u);
+}
+
+TEST(NetRegistry, ShardOccupancySumsToDeviceCount) {
+  net::RegistryOptions opt;
+  opt.shard_bits = 3;
+  net::DeviceRegistry reg(opt);
+  EXPECT_EQ(reg.n_shards(), 8u);
+  for (std::uint32_t d = 0; d < 200; ++d) reg.provision(d);
+  const auto occ = reg.shard_occupancy();
+  ASSERT_EQ(occ.size(), 8u);
+  std::size_t sum = 0;
+  for (std::size_t n : occ) sum += n;
+  EXPECT_EQ(sum, 200u);
+  EXPECT_EQ(reg.device_count(), 200u);
+  // The multiplicative mix must actually spread sequential addresses.
+  for (std::size_t n : occ) EXPECT_GT(n, 0u);
+}
+
+TEST(NetRegistry, SessionTracksFingerprintAndSnrHistory) {
+  net::DeviceRegistry reg{net::RegistryOptions{}};
+  EXPECT_EQ(reg.accept(frame_for(3, 1, 4.0f)), net::FcntCheck::kAccepted);
+  EXPECT_EQ(reg.accept(frame_for(3, 2, 8.0f)), net::FcntCheck::kAccepted);
+
+  const auto s = reg.lookup(3);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_TRUE(s->seen);
+  EXPECT_DOUBLE_EQ(s->last_snr_db, 8.0);
+  EXPECT_DOUBLE_EQ(s->mean_snr_db(), 6.0);
+  EXPECT_DOUBLE_EQ(s->max_snr_db(), 8.0);
+  // EWMA fingerprint converges toward the (constant) CFO estimate.
+  EXPECT_GT(s->cfo_fingerprint_bins, 0.0);
+  EXPECT_LE(s->cfo_fingerprint_bins, 0.5 + 1e-9);
+}
+
+TEST(NetRegistry, NoteBetterCopyUpgradesOnlyTheCurrentFrame) {
+  net::DeviceRegistry reg{net::RegistryOptions{}};
+  EXPECT_EQ(reg.accept(frame_for(3, 10, 5.0f, 1)), net::FcntCheck::kAccepted);
+
+  reg.note_better_copy(frame_for(3, 10, 9.0f, 2));
+  auto s = reg.lookup(3);
+  ASSERT_TRUE(s.has_value());
+  EXPECT_DOUBLE_EQ(s->last_snr_db, 9.0);
+  EXPECT_EQ(s->last_gateway, 2u);
+  EXPECT_DOUBLE_EQ(s->max_snr_db(), 9.0);
+
+  // A late copy of an older frame must not touch the session.
+  reg.note_better_copy(frame_for(3, 9, 40.0f, 7));
+  s = reg.lookup(3);
+  EXPECT_DOUBLE_EQ(s->last_snr_db, 9.0);
+  EXPECT_EQ(s->last_gateway, 2u);
+}
+
+// ----------------------------------------------------------------- server
+
+TEST(NetServer, IngestPipelineClassifiesEveryOutcome) {
+  net::NetServerConfig cfg;
+  cfg.registry.auto_provision = false;
+  net::NetServer server(cfg);
+  server.registry().provision(1);
+
+  EXPECT_EQ(server.ingest_at(frame_for(1, 5), 0.0).status,
+            net::IngestStatus::kAccepted);
+  // Bit-identical second reception: cross-gateway duplicate.
+  EXPECT_EQ(server.ingest_at(frame_for(1, 5, 10.0f, 2), 0.01).status,
+            net::IngestStatus::kDuplicate);
+  // Same counter, different content: true replay, not a duplicate.
+  EXPECT_EQ(server.ingest_at(frame_for(1, 5, 10.0f, 2, 0x77), 0.02).status,
+            net::IngestStatus::kReplay);
+  EXPECT_EQ(server.ingest_at(frame_for(99, 0), 0.03).status,
+            net::IngestStatus::kUnknownDevice);
+
+  net::UplinkFrame empty = frame_for(1, 6);
+  empty.payload.clear();
+  EXPECT_EQ(server.ingest_at(std::move(empty), 0.04).status,
+            net::IngestStatus::kMalformed);
+  net::UplinkFrame bad_sf = frame_for(1, 6);
+  bad_sf.sf = 42;
+  EXPECT_EQ(server.ingest_at(std::move(bad_sf), 0.05).status,
+            net::IngestStatus::kMalformed);
+
+  const auto s = server.stats();
+  EXPECT_EQ(s.uplinks, 6u);
+  EXPECT_EQ(s.accepted, 1u);
+  EXPECT_EQ(s.dedup_dropped, 1u);
+  EXPECT_EQ(s.replay_rejected, 1u);
+  EXPECT_EQ(s.unknown_device, 1u);
+  EXPECT_EQ(s.malformed, 2u);
+}
+
+TEST(NetServer, FeedRetainsTheBestSnrCopy) {
+  net::NetServer server{net::NetServerConfig{}};
+  ASSERT_EQ(server.ingest_at(frame_for(5, 1, 4.0f, 1), 0.0).status,
+            net::IngestStatus::kAccepted);
+  const auto dup = server.ingest_at(frame_for(5, 1, 11.0f, 2), 0.1);
+  EXPECT_EQ(dup.status, net::IngestStatus::kDuplicate);
+  EXPECT_TRUE(dup.upgraded);
+
+  const auto feed = server.drain_feed();
+  ASSERT_EQ(feed.size(), 1u);
+  EXPECT_EQ(feed[0].gateway_id, 2u);  // the louder ear won
+  EXPECT_FLOAT_EQ(feed[0].snr_db, 11.0f);
+  EXPECT_EQ(feed[0].dev_addr, 5u);
+  EXPECT_EQ(server.stats().dedup_upgraded, 1u);
+}
+
+TEST(NetServer, CallbackFiresOnlyForAcceptedFrames) {
+  net::NetServer server{net::NetServerConfig{}};
+  std::size_t calls = 0;
+  server.set_callback([&](const net::UplinkFrame&) { ++calls; });
+  server.ingest_at(frame_for(1, 1), 0.0);
+  server.ingest_at(frame_for(1, 1), 0.0);  // duplicate
+  server.ingest_at(frame_for(1, 1, 5.0f, 1, 9), 0.0);  // replay
+  EXPECT_EQ(calls, 1u);
+}
+
+TEST(NetServer, ConcurrentShardedIngestCountsExactly) {
+  // 8 threads on disjoint device ranges, every 4th reception a duplicate
+  // of the previous one — the TSan lane drives this test specifically.
+  net::NetServerConfig cfg;
+  cfg.keep_feed = false;
+  cfg.registry.shard_bits = 4;
+  cfg.dedup.shard_bits = 4;
+  net::NetServer server(cfg);
+
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 20000;
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&server, t] {
+      for (std::size_t i = 0; i < kPerThread; ++i) {
+        const auto dev = static_cast<std::uint32_t>(t * 1000 + (i % 100));
+        const auto fcnt = static_cast<std::uint32_t>(i / 100 + 1);
+        net::UplinkFrame f = frame_for(dev, fcnt, 5.0f, 1);
+        const double now = static_cast<double>(i) * 1e-6;
+        if (i % 4 == 3) {
+          net::UplinkFrame d = frame_for(dev, fcnt, 6.0f, 2);
+          server.ingest_at(std::move(f), now);
+          server.ingest_at(std::move(d), now);
+        } else {
+          server.ingest_at(std::move(f), now);
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+
+  const auto s = server.stats();
+  EXPECT_EQ(s.uplinks, kThreads * kPerThread * 5 / 4);
+  EXPECT_EQ(s.accepted, kThreads * kPerThread);
+  EXPECT_EQ(s.dedup_dropped, kThreads * kPerThread / 4);
+  EXPECT_EQ(s.dedup_upgraded, kThreads * kPerThread / 4);
+  EXPECT_EQ(s.replay_rejected, 0u);
+  EXPECT_EQ(server.registry().device_count(), kThreads * 100);
+}
+
+// -------------------------------------------------------------------- ADR
+
+TEST(NetAdr, RequiredSnrFallsWithSpreadingFactor) {
+  const net::AdrOptions opt;
+  EXPECT_DOUBLE_EQ(net::required_snr_db(7, opt), opt.required_snr_sf7_db);
+  EXPECT_DOUBLE_EQ(net::required_snr_db(8, opt),
+                   opt.required_snr_sf7_db - opt.sf_step_db);
+  EXPECT_LT(net::required_snr_db(12, opt), net::required_snr_db(7, opt));
+}
+
+TEST(NetAdr, StrongLinkShedsSfThenPower) {
+  net::DeviceSession s;
+  for (int i = 0; i < 4; ++i) s.push_snr(20.0f);
+  const auto d = net::recommend_adr(s, 12, 14.0);
+  EXPECT_TRUE(d.changed);
+  EXPECT_LT(d.sf, 12);
+  EXPECT_LE(d.tx_power_dbm, 14.0);
+  EXPECT_GT(d.headroom_db, 0.0);
+}
+
+TEST(NetAdr, WeakLinkRaisesPowerThenSf) {
+  net::DeviceSession s;
+  for (int i = 0; i < 4; ++i) s.push_snr(-25.0f);
+  const auto d = net::recommend_adr(s, 7, 2.0);
+  EXPECT_TRUE(d.changed);
+  EXPECT_LT(d.headroom_db, 0.0);
+  // Both knobs should move toward robustness.
+  EXPECT_GE(d.tx_power_dbm, 2.0);
+  EXPECT_GT(d.sf, 7);
+}
+
+TEST(NetAdr, NoHistoryNoChange) {
+  const net::DeviceSession s;
+  const auto d = net::recommend_adr(s, 9, 8.0);
+  EXPECT_FALSE(d.changed);
+  EXPECT_EQ(d.sf, 9);
+  EXPECT_DOUBLE_EQ(d.tx_power_dbm, 8.0);
+}
+
+// ----------------------------------------------------------- team manager
+
+namespace {
+
+/// Registry with `strong` above-floor devices and one compact cluster of
+/// `weak` below-floor devices (team material).
+void feed_devices(net::DeviceRegistry& reg, std::size_t strong,
+                  std::size_t weak, float weak_snr_db) {
+  std::uint32_t addr = 1;
+  for (std::size_t i = 0; i < strong; ++i, ++addr) {
+    reg.provision(addr, 10.0 * static_cast<double>(i), 0.0);
+    reg.accept(frame_for(addr, 1, 10.0f));
+  }
+  for (std::size_t i = 0; i < weak; ++i, ++addr) {
+    reg.provision(addr, 5.0 * static_cast<double>(i), 500.0);
+    reg.accept(frame_for(addr, 1, weak_snr_db));
+  }
+}
+
+}  // namespace
+
+TEST(NetTeams, RosterSplitsIndividualsFromTeams) {
+  net::DeviceRegistry reg{net::RegistryOptions{}};
+  feed_devices(reg, 3, 4, -9.0f);  // 4 x -9 dB aggregate ~ -3 dB > target
+
+  net::TeamManager mgr(reg, net::TeamManagerOptions{});
+  EXPECT_EQ(mgr.roster().version, 0u);
+  const auto roster = mgr.rebuild();
+  EXPECT_EQ(roster.version, 1u);
+  EXPECT_EQ(roster.plan.individual.size(), 3u);
+  ASSERT_EQ(roster.plan.teams.size(), 1u);
+  EXPECT_EQ(roster.plan.teams[0].size(), 4u);
+  EXPECT_TRUE(roster.plan.unreachable.empty());
+  EXPECT_EQ(roster.churned, 7u);  // everyone is new
+}
+
+TEST(NetTeams, StickyRosterDoesNotChurnOnStableInput) {
+  net::DeviceRegistry reg{net::RegistryOptions{}};
+  feed_devices(reg, 2, 4, -9.0f);
+  net::TeamManager mgr(reg, net::TeamManagerOptions{});
+  const auto first = mgr.rebuild();
+  const auto second = mgr.rebuild();
+  EXPECT_EQ(second.version, 2u);
+  EXPECT_EQ(second.churned, 0u);
+  EXPECT_EQ(second.plan.teams, first.plan.teams);
+  EXPECT_EQ(second.plan.individual, first.plan.individual);
+}
+
+TEST(NetTeams, TeamSurvivesSnrWobbleDissolvesOnPromotion) {
+  net::DeviceRegistry reg{net::RegistryOptions{}};
+  feed_devices(reg, 0, 4, -9.0f);
+  net::TeamManager mgr(reg, net::TeamManagerOptions{});
+  const auto first = mgr.rebuild();
+  ASSERT_EQ(first.plan.teams.size(), 1u);
+
+  // Wobble: one member gets slightly weaker; the team stays viable and the
+  // sticky pass must keep it byte-identical.
+  reg.accept(frame_for(1, 2, -10.0f));
+  const auto wobbled = mgr.rebuild();
+  EXPECT_EQ(wobbled.churned, 0u);
+  EXPECT_EQ(wobbled.plan.teams, first.plan.teams);
+
+  // Promotion: the same member is now loud enough to fly solo; the team
+  // dissolves and its remnants are re-planned (here: unreachable, the
+  // three survivors cannot clear the target alone).
+  for (std::uint32_t f = 3; f < 20; ++f) reg.accept(frame_for(1, f, 15.0f));
+  const auto promoted = mgr.rebuild();
+  EXPECT_TRUE(promoted.plan.teams.empty());
+  EXPECT_EQ(promoted.plan.individual.size(), 1u);
+  EXPECT_EQ(promoted.plan.unreachable.size(), 3u);
+  EXPECT_GT(promoted.churned, 0u);
+}
+
+TEST(NetTeams, MinUplinksGatesUnheardDevices) {
+  net::DeviceRegistry reg{net::RegistryOptions{}};
+  reg.provision(1);  // provisioned but never heard
+  reg.accept(frame_for(2, 1, 10.0f));
+  net::TeamManagerOptions opt;
+  opt.min_uplinks = 1;
+  net::TeamManager mgr(reg, opt);
+  const auto roster = mgr.rebuild();
+  EXPECT_EQ(roster.plan.individual.size(), 1u);
+  EXPECT_TRUE(roster.plan.teams.empty());
+  EXPECT_TRUE(roster.plan.unreachable.empty());
+}
+
+// -------------------------------------------------------------------- UDP
+
+TEST(NetUdp, ParseEndpoint) {
+  net::Endpoint ep;
+  EXPECT_TRUE(net::parse_endpoint("127.0.0.1:9475", ep));
+  EXPECT_EQ(ep.host, "127.0.0.1");
+  EXPECT_EQ(ep.port, 9475);
+  EXPECT_FALSE(net::parse_endpoint("localhost:9475", ep));  // IPv4 literal
+  EXPECT_FALSE(net::parse_endpoint("127.0.0.1", ep));
+  EXPECT_FALSE(net::parse_endpoint("127.0.0.1:0", ep));
+  EXPECT_FALSE(net::parse_endpoint("127.0.0.1:99999", ep));
+}
+
+TEST(NetUdp, TwoGatewayLoopbackDeliversExactlyOnceKeepingBestSnr) {
+  net::NetServer server{net::NetServerConfig{}};
+  net::UdpIngestServer ingest(server, 0);
+  ASSERT_GT(ingest.port(), 0);
+
+  // Both "gateways" heard the same 20 transmissions; gateway 2 heard every
+  // one of them 3 dB louder.
+  std::vector<net::UplinkFrame> gw1, gw2;
+  for (std::uint32_t i = 0; i < 20; ++i) {
+    gw1.push_back(frame_for(10 + i % 5, 1 + i / 5, 5.0f, 1));
+    net::UplinkFrame f = gw1.back();
+    f.gateway_id = 2;
+    f.snr_db += 3.0f;
+    gw2.push_back(std::move(f));
+  }
+  net::UdpUplinkSender s1("127.0.0.1", ingest.port());
+  net::UdpUplinkSender s2("127.0.0.1", ingest.port());
+  s1.send(gw1);
+  s2.send(gw2);
+
+  // UDP on loopback does not reorder, but delivery is asynchronous.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (server.stats().uplinks < 40 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ingest.stop();
+
+  const auto st = server.stats();
+  ASSERT_EQ(st.uplinks, 40u) << "datagrams lost on loopback?";
+  EXPECT_EQ(st.accepted, 20u);        // each frame delivered exactly once
+  EXPECT_EQ(st.dedup_dropped, 20u);   // the second ear always collapsed
+  EXPECT_EQ(st.dedup_upgraded, 20u);  // and always won on SNR
+  EXPECT_EQ(st.replay_rejected, 0u);
+
+  const auto feed = server.drain_feed();
+  ASSERT_EQ(feed.size(), 20u);
+  for (const auto& f : feed) {
+    EXPECT_EQ(f.gateway_id, 2u);
+    EXPECT_FLOAT_EQ(f.snr_db, 8.0f);
+  }
+}

@@ -1,0 +1,150 @@
+// core::team_scheduler tests: the greedy proximity-constrained team
+// planner (paper Sec. 7.1) and its aggregate-SNR power math. Lifecycle /
+// churn behavior on top of this planner is covered by NetTeams in
+// test_net.cpp.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_map>
+
+#include "core/team_scheduler.hpp"
+
+using namespace choir;
+
+namespace {
+
+core::SensorInfo sensor(std::size_t id, double snr_db, double x_m = 0.0,
+                        double y_m = 0.0) {
+  core::SensorInfo s;
+  s.id = id;
+  s.snr_db = snr_db;
+  s.x_m = x_m;
+  s.y_m = y_m;
+  return s;
+}
+
+std::size_t planned_count(const core::TeamPlan& p) {
+  std::size_t n = p.individual.size() + p.unreachable.size();
+  for (const auto& t : p.teams) n += t.size();
+  return n;
+}
+
+}  // namespace
+
+TEST(TeamScheduler, AggregateSnrIsAPowerSum) {
+  // Two equal transmitters add 3 dB; one transmitter is itself.
+  EXPECT_NEAR(core::aggregate_snr_db({-7.0}), -7.0, 1e-12);
+  EXPECT_NEAR(core::aggregate_snr_db({-7.0, -7.0}), -7.0 + 10.0 * std::log10(2.0),
+              1e-9);
+  EXPECT_NEAR(core::aggregate_snr_db({-10.0, -10.0, -10.0, -10.0}),
+              -10.0 + 10.0 * std::log10(4.0), 1e-9);
+  // Empty set carries no power.
+  EXPECT_LT(core::aggregate_snr_db({}), -200.0);
+  // Adding a member can only add power.
+  EXPECT_GT(core::aggregate_snr_db({-10.0, -30.0}),
+            core::aggregate_snr_db({-10.0}));
+}
+
+TEST(TeamScheduler, StrongSensorsStayIndividual) {
+  const core::TeamPlanOptions opt;
+  std::vector<core::SensorInfo> sensors;
+  for (std::size_t i = 0; i < 5; ++i)
+    sensors.push_back(sensor(i, opt.individual_floor_db + 1.0 + i));
+  const auto plan = core::plan_teams(sensors, opt);
+  EXPECT_EQ(plan.individual.size(), 5u);
+  EXPECT_TRUE(plan.teams.empty());
+  EXPECT_TRUE(plan.unreachable.empty());
+}
+
+TEST(TeamScheduler, WeakClusterFormsOneViableTeam) {
+  const core::TeamPlanOptions opt;
+  std::vector<core::SensorInfo> sensors;
+  // Four co-located -10 dB sensors: aggregate -4 dB, exactly the target.
+  for (std::size_t i = 0; i < 4; ++i)
+    sensors.push_back(sensor(i, -10.0, 5.0 * static_cast<double>(i), 0.0));
+  const auto plan = core::plan_teams(sensors, opt);
+  EXPECT_TRUE(plan.individual.empty());
+  ASSERT_EQ(plan.teams.size(), 1u);
+  EXPECT_EQ(plan.teams[0].size(), 4u);
+  EXPECT_TRUE(plan.unreachable.empty());
+}
+
+TEST(TeamScheduler, EverySensorIsPlannedExactlyOnce) {
+  const core::TeamPlanOptions opt;
+  std::vector<core::SensorInfo> sensors;
+  for (std::size_t i = 0; i < 40; ++i) {
+    sensors.push_back(sensor(i, -20.0 + static_cast<double>(i),
+                             10.0 * static_cast<double>(i % 7),
+                             10.0 * static_cast<double>(i % 5)));
+  }
+  const auto plan = core::plan_teams(sensors, opt);
+  EXPECT_EQ(planned_count(plan), sensors.size());
+  std::unordered_map<std::size_t, int> seen;
+  for (std::size_t id : plan.individual) seen[id]++;
+  for (std::size_t id : plan.unreachable) seen[id]++;
+  for (const auto& t : plan.teams)
+    for (std::size_t id : t) seen[id]++;
+  for (const auto& [id, n] : seen) EXPECT_EQ(n, 1) << "sensor " << id;
+}
+
+TEST(TeamScheduler, TeamSizeNeverExceedsTheBound) {
+  core::TeamPlanOptions opt;
+  opt.max_team_size = 5;
+  std::vector<core::SensorInfo> sensors;
+  // 23 co-located -10 dB sensors: viable teams need four members, the cap
+  // allows five, and the three left over cannot clear the target.
+  for (std::size_t i = 0; i < 23; ++i)
+    sensors.push_back(sensor(i, -10.0, static_cast<double>(i), 0.0));
+  const auto plan = core::plan_teams(sensors, opt);
+  for (const auto& t : plan.teams) {
+    EXPECT_LE(t.size(), opt.max_team_size);
+    EXPECT_GE(t.size(), 4u);  // fewer than four -10 dB members can't clear
+  }
+  EXPECT_EQ(planned_count(plan), sensors.size());
+}
+
+TEST(TeamScheduler, ProximityConstraintKeepsClustersApart) {
+  core::TeamPlanOptions opt;
+  opt.proximity_m = 50.0;
+  std::vector<core::SensorInfo> sensors;
+  // Two weak clusters 1 km apart; no team may span both.
+  for (std::size_t i = 0; i < 4; ++i)
+    sensors.push_back(sensor(i, -10.0, static_cast<double>(i), 0.0));
+  for (std::size_t i = 0; i < 4; ++i)
+    sensors.push_back(sensor(100 + i, -10.0, 1000.0 + static_cast<double>(i),
+                             0.0));
+  const auto plan = core::plan_teams(sensors, opt);
+  ASSERT_EQ(plan.teams.size(), 2u);
+  for (const auto& t : plan.teams) {
+    bool near = false, far = false;
+    for (std::size_t id : t) (id < 100 ? near : far) = true;
+    EXPECT_FALSE(near && far) << "team spans both clusters";
+  }
+}
+
+TEST(TeamScheduler, LonelyWeakSensorIsUnreachable) {
+  const core::TeamPlanOptions opt;
+  std::vector<core::SensorInfo> sensors;
+  sensors.push_back(sensor(0, 0.0));            // fine alone
+  sensors.push_back(sensor(1, -20.0, 5000.0));  // weak, no neighbors
+  const auto plan = core::plan_teams(sensors, opt);
+  EXPECT_EQ(plan.individual, std::vector<std::size_t>{0});
+  EXPECT_TRUE(plan.teams.empty());
+  EXPECT_EQ(plan.unreachable, std::vector<std::size_t>{1});
+}
+
+TEST(TeamScheduler, FartherSensorsGetLargerTeams) {
+  // The resolution/distance trade-off (Fig 10): the weaker the members,
+  // the more of them a viable team needs.
+  const core::TeamPlanOptions opt;
+  std::vector<core::SensorInfo> near_cluster, far_cluster;
+  for (std::size_t i = 0; i < 12; ++i)
+    near_cluster.push_back(sensor(i, -8.0, static_cast<double>(i), 0.0));
+  for (std::size_t i = 0; i < 12; ++i)
+    far_cluster.push_back(sensor(i, -14.0, static_cast<double>(i), 0.0));
+  const auto near_plan = core::plan_teams(near_cluster, opt);
+  const auto far_plan = core::plan_teams(far_cluster, opt);
+  ASSERT_FALSE(near_plan.teams.empty());
+  ASSERT_FALSE(far_plan.teams.empty());
+  EXPECT_LT(near_plan.teams[0].size(), far_plan.teams[0].size());
+}
