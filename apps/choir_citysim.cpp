@@ -1,0 +1,145 @@
+// choir_citysim — city-scale discrete-event simulation of an urban LoRa
+// deployment driven through the real network-server tier (docs/CITYSIM.md).
+//
+// A million metering/parking/tracker/alarm devices on a multi-gateway
+// grid, Poisson traffic with diurnal modulation and alarm storms,
+// log-distance + shadowing links, collision outcomes sampled from the
+// PHY-calibrated table (tools/choir_calibrate), every decoded copy fed
+// into net::NetServer — cross-gateway dedup, sharded registry, ADR, team
+// management. The report cross-checks the server's counters against the
+// engine's exact accounting mirror.
+//
+//   choir_citysim --devices=1000000 --duration=600 --gateways=9
+//   choir_citysim --devices=100000 --duration=300 --storm-interval=120
+//       --replay-rate=0.01 --teams-every=4 --telemetry-port=9500
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+
+#include "citysim/engine.hpp"
+#include "obs/obs.hpp"
+#include "obs/telemetry_server.hpp"
+#include "util/args.hpp"
+
+using namespace choir;
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  if (args.get_bool("help", false)) {
+    std::fprintf(
+        stderr,
+        "usage: choir_citysim [options]\n"
+        "  --devices=N         simulated devices (100000)\n"
+        "  --duration=SEC      simulated horizon (600)\n"
+        "  --channels=N        radio channels (8)\n"
+        "  --gateways=N        gateway grid size (9, max 32)\n"
+        "  --radius=M          deployment disk radius (1500)\n"
+        "  --threads=N         worker threads; results are bit-identical\n"
+        "                      for any value (1)\n"
+        "  --seed=N            master seed (1)\n"
+        "  --table=FILE        calibrated outcome table (built-in analytic\n"
+        "                      model when omitted)\n"
+        "  --receiver=R        choir | standard (choir)\n"
+        "  --storm-interval=S  alarm-storm cadence, 0 = off (0)\n"
+        "  --replay-rate=P     injected replay probability per decode (0)\n"
+        "  --adr-every=N       apply ADR every N accepted uplinks (16)\n"
+        "  --teams-every=N     team rebuild every N epochs, 0 = off (0)\n"
+        "  --epoch=SEC         barrier cadence (30)\n"
+        "  --max-devices=N     registry session cap, 0 = unbounded (0)\n"
+        "  --shards=BITS       log2 registry/dedup shards (6)\n"
+        "  --metrics           print the obs metrics table at the end\n"
+        "  --metrics-out=FILE  write the obs registry (JSON)\n"
+        "  --telemetry-port=N  live HTTP /metrics /health\n"
+        "  --telemetry-linger=SEC  keep telemetry up after the run\n");
+    return 2;
+  }
+
+  citysim::EngineOptions opt;
+  opt.n_devices = static_cast<std::size_t>(args.get_int("devices", 100000));
+  opt.duration_s = args.get_double("duration", 600.0);
+  opt.n_channels = static_cast<std::size_t>(args.get_int("channels", 8));
+  opt.city.n_gateways = static_cast<std::size_t>(args.get_int("gateways", 9));
+  opt.city.radius_m = args.get_double("radius", 1500.0);
+  opt.threads = static_cast<int>(args.get_int("threads", 1));
+  opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  opt.traffic.storm_interval_s = args.get_double("storm-interval", 0.0);
+  opt.replay_rate = args.get_double("replay-rate", 0.0);
+  opt.adr_every =
+      static_cast<std::uint32_t>(args.get_int("adr-every", 16));
+  opt.team_rebuild_epochs =
+      static_cast<std::uint32_t>(args.get_int("teams-every", 0));
+  opt.epoch_s = args.get_double("epoch", 30.0);
+  opt.net.registry.max_devices =
+      static_cast<std::size_t>(args.get_int("max-devices", 0));
+  opt.net.registry.shard_bits =
+      static_cast<std::size_t>(args.get_int("shards", 6));
+  opt.net.dedup.shard_bits = opt.net.registry.shard_bits;
+  const std::string receiver = args.get("receiver", "choir");
+  opt.receiver = receiver == "standard" ? citysim::Receiver::kStandard
+                                        : citysim::Receiver::kChoir;
+
+  citysim::OutcomeTable table;
+  const std::string table_path = args.get("table", "");
+  if (!table_path.empty()) {
+    try {
+      table = citysim::OutcomeTable::load(table_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s\n", e.what());
+      return 2;
+    }
+  } else {
+    table = citysim::OutcomeTable::analytic();
+  }
+  std::printf("citysim: %zu devices, %.0f s horizon, %zu gateways, "
+              "%zu channels, %d thread(s), %s receiver, %s table\n",
+              opt.n_devices, opt.duration_s, opt.city.n_gateways,
+              opt.n_channels, opt.threads, citysim::receiver_name(opt.receiver),
+              table.meta().analytic ? "analytic" : "calibrated");
+  std::fflush(stdout);
+
+  std::unique_ptr<obs::TelemetryServer> telemetry;
+  if (args.has("telemetry-port")) {
+    if (obs::kEnabled) {
+      try {
+        telemetry = std::make_unique<obs::TelemetryServer>(
+            static_cast<std::uint16_t>(args.get_int("telemetry-port", 0)));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "%s\n", e.what());
+        return 2;
+      }
+      std::printf("telemetry: http://127.0.0.1:%u/metrics\n",
+                  telemetry->port());
+      std::fflush(stdout);
+    } else {
+      std::fprintf(stderr, "warning: --telemetry-port ignored "
+                           "(observability compiled out)\n");
+    }
+  }
+
+  citysim::CityEngine engine(opt, table);
+  const citysim::EngineReport r = engine.run();
+
+  std::fputs(citysim::format_report(r).c_str(), stdout);
+  std::fputs("net server:\n", stdout);
+  std::fputs(net::format_stats(r.net_stats).c_str(), stdout);
+
+  if (args.get_bool("metrics", false)) {
+    std::fputs(obs::format_table().c_str(), stdout);
+  }
+  const std::string metrics_out = args.get("metrics-out", "");
+  if (!metrics_out.empty()) {
+    obs::write_metrics_file(metrics_out);
+    std::printf("metrics written to %s%s\n", metrics_out.c_str(),
+                obs::kEnabled ? "" : " (observability compiled out)");
+  }
+  const double linger = args.get_double("telemetry-linger", 0.0);
+  if (telemetry && linger > 0.0) {
+    std::printf("telemetry: lingering %.1f s on port %u\n", linger,
+                telemetry->port());
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::duration<double>(linger));
+  }
+  return r.accounting_exact ? 0 : 1;
+}

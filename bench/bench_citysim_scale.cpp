@@ -1,0 +1,94 @@
+// bench_citysim_scale — city-simulator scaling curve: devices vs
+// sim-events/s and uplinks/s through the real NetServer ingest pipeline.
+//
+// Runs the event-driven engine at a ladder of population sizes (same
+// seed, same per-device traffic statistics) and reports, per rung, the
+// event rate, the server-offered uplink rate, and the exact-accounting
+// verdict. Exits non-zero if any rung's accounting mismatches or the
+// largest rung falls below --min-events-rate.
+//
+//   bench_citysim_scale [--devices=10000,100000,1000000] [--duration=120]
+//                       [--threads=1] [--gateways=9] [--channels=8]
+//                       [--seed=1] [--table=FILE] [--min-events-rate=0]
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "citysim/engine.hpp"
+#include "util/args.hpp"
+
+using namespace choir;
+
+namespace {
+
+std::vector<std::size_t> parse_ladder(const std::string& csv) {
+  std::vector<std::size_t> out;
+  std::size_t at = 0;
+  while (at < csv.size()) {
+    out.push_back(static_cast<std::size_t>(
+        std::strtoull(csv.c_str() + at, nullptr, 10)));
+    const std::size_t comma = csv.find(',', at);
+    if (comma == std::string::npos) break;
+    at = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const std::vector<std::size_t> ladder =
+      parse_ladder(args.get("devices", "10000,100000,1000000"));
+  const double duration = args.get_double("duration", 120.0);
+  const double min_rate = args.get_double("min-events-rate", 0.0);
+
+  citysim::OutcomeTable table;
+  const std::string table_path = args.get("table", "");
+  if (!table_path.empty()) {
+    table = citysim::OutcomeTable::load(table_path);
+  } else {
+    table = citysim::OutcomeTable::analytic();
+  }
+
+  std::printf("%10s %12s %12s %12s %12s %10s  %s\n", "devices", "events",
+              "events/s", "uplinks", "uplinks/s", "wall_s", "accounting");
+  bool all_exact = true;
+  double last_rate = 0.0;
+  for (std::size_t n : ladder) {
+    citysim::EngineOptions opt;
+    opt.n_devices = n;
+    opt.duration_s = duration;
+    opt.threads = static_cast<int>(args.get_int("threads", 1));
+    opt.n_channels = static_cast<std::size_t>(args.get_int("channels", 8));
+    opt.city.n_gateways =
+        static_cast<std::size_t>(args.get_int("gateways", 9));
+    opt.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+    opt.net.registry.shard_bits =
+        static_cast<std::size_t>(args.get_int("shards", 6));
+    opt.net.dedup.shard_bits = opt.net.registry.shard_bits;
+
+    citysim::CityEngine engine(opt, table);
+    const citysim::EngineReport r = engine.run();
+    all_exact = all_exact && r.accounting_exact;
+    last_rate = r.events_per_s;
+    std::printf("%10zu %12llu %12.0f %12llu %12.0f %10.2f  %s\n", n,
+                static_cast<unsigned long long>(r.events), r.events_per_s,
+                static_cast<unsigned long long>(r.net_stats.uplinks),
+                r.uplinks_per_s, r.wall_s,
+                r.accounting_exact ? "exact" : "MISMATCH");
+    std::fflush(stdout);
+  }
+
+  if (!all_exact) {
+    std::fprintf(stderr, "FAIL: accounting mismatch\n");
+    return 1;
+  }
+  if (min_rate > 0.0 && last_rate < min_rate) {
+    std::fprintf(stderr, "FAIL: %.0f events/s below floor %.0f\n", last_rate,
+                 min_rate);
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,132 @@
+#include "citysim/city.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace choir::citysim {
+
+namespace {
+
+// Stream ids for the layout's derived RNG streams. Disjoint from the
+// engine's traffic/outcome streams by construction (each purpose gets its
+// own constant folded through CounterRng::split).
+constexpr std::uint64_t kHomeStream = 0x401E5ULL;      // "homes"
+constexpr std::uint64_t kShadowStream = 0x5AD0ULL;     // "shadow"
+constexpr std::uint64_t kWaypointStream = 0x3A9FULL;   // "waypoints"
+constexpr std::uint64_t kFadingStream = 0xFAD1ULL;     // "fading"
+
+/// Uniform point on a disk of radius r via the sqrt trick.
+void disk_point(CounterRng& rng, double r, double* x, double* y) {
+  const double rho = r * std::sqrt(rng.uniform());
+  const double theta = rng.uniform(0.0, kTwoPi);
+  *x = rho * std::cos(theta);
+  *y = rho * std::sin(theta);
+}
+
+}  // namespace
+
+CityLayout::CityLayout(const CityOptions& opt, std::uint64_t seed)
+    : opt_(opt), seed_(seed), noise_dbm_(opt.link.noise_dbm()) {
+  // Gateways on a near-square grid covering the deployment disk: grid
+  // side ceil(sqrt(n)), cells centered, scaled so corners sit inside the
+  // disk edge. A single gateway sits at the center.
+  const std::size_t n = std::max<std::size_t>(1, opt_.n_gateways);
+  gateways_.reserve(n);
+  if (n == 1) {
+    gateways_.push_back({0.0, 0.0});
+    return;
+  }
+  const std::size_t side = static_cast<std::size_t>(
+      std::ceil(std::sqrt(static_cast<double>(n))));
+  // Span chosen so the outermost row/column lands at ~70% radius: grid
+  // coverage of the disk without wasting gateways on the rim.
+  const double span = 1.4 * opt_.radius_m;
+  const double step = span / static_cast<double>(side);
+  const double origin = -span / 2.0 + step / 2.0;
+  for (std::size_t i = 0; i < side && gateways_.size() < n; ++i) {
+    for (std::size_t j = 0; j < side && gateways_.size() < n; ++j) {
+      gateways_.push_back({origin + static_cast<double>(j) * step,
+                           origin + static_cast<double>(i) * step});
+    }
+  }
+}
+
+void CityLayout::device_home(std::uint32_t dev, double* x_m,
+                             double* y_m) const {
+  CounterRng rng = CounterRng(seed_, kHomeStream).split(dev);
+  disk_point(rng, opt_.radius_m, x_m, y_m);
+}
+
+void CityLayout::waypoint(std::uint32_t dev, std::uint32_t leg, double* x_m,
+                          double* y_m) const {
+  if (leg == 0) {
+    device_home(dev, x_m, y_m);
+    return;
+  }
+  CounterRng rng =
+      CounterRng(seed_, kWaypointStream).split(dev).split(leg);
+  disk_point(rng, opt_.radius_m, x_m, y_m);
+}
+
+double CityLayout::link_snr_db(std::uint32_t dev, std::size_t gw, double x_m,
+                               double y_m, double tx_power_dbm) const {
+  const GatewayInfo& g = gateways_[gw];
+  const double dx = x_m - g.x_m;
+  const double dy = y_m - g.y_m;
+  const double d = std::max(1.0, std::sqrt(dx * dx + dy * dy));
+  // Shadowing is frozen per (dev, gw): the buildings between a device's
+  // neighborhood and a gateway don't move.
+  CounterRng sh = CounterRng(seed_, kShadowStream).split(dev).split(gw);
+  const double shadow = sh.gaussian(opt_.shadowing_std_db);
+  const double rx_dbm =
+      tx_power_dbm - opt_.pathloss.median_loss_db(d) - shadow;
+  return rx_dbm - noise_dbm_;
+}
+
+double CityLayout::fading_db(std::uint32_t dev, std::size_t gw,
+                             std::uint32_t fcnt) const {
+  if (opt_.fading_std_db <= 0.0) return 0.0;
+  CounterRng rng = CounterRng(seed_, kFadingStream).split(dev).split(gw);
+  rng.seek(static_cast<std::uint64_t>(fcnt) * 2);  // gaussian = 2 draws
+  return rng.gaussian(opt_.fading_std_db);
+}
+
+void CityLayout::mobile_position(std::uint32_t dev, double t_s, double* x_m,
+                                 double* y_m) const {
+  double ax = 0.0, ay = 0.0;
+  device_home(dev, &ax, &ay);
+  const double speed = std::max(0.01, opt_.speed_mps);
+  double remaining = std::max(0.0, t_s);
+  // Walk legs until the remaining time falls inside one. A leg covers
+  // ~radius_m at walking speed, so even day-long horizons stay at a few
+  // dozen iterations; the hard cap only guards against degenerate options.
+  for (std::uint32_t leg = 1; leg < (1u << 20); ++leg) {
+    double bx = 0.0, by = 0.0;
+    waypoint(dev, leg, &bx, &by);
+    const double d = std::hypot(bx - ax, by - ay);
+    const double leg_t = d / speed;
+    if (remaining < leg_t) {
+      const double f = remaining / leg_t;
+      *x_m = ax + f * (bx - ax);
+      *y_m = ay + f * (by - ay);
+      return;
+    }
+    remaining -= leg_t;
+    ax = bx;
+    ay = by;
+  }
+  *x_m = ax;
+  *y_m = ay;
+}
+
+double CityLayout::best_home_snr_db(std::uint32_t dev,
+                                    double tx_power_dbm) const {
+  double x = 0.0, y = 0.0;
+  device_home(dev, &x, &y);
+  double best = -1e9;
+  for (std::size_t g = 0; g < gateways_.size(); ++g)
+    best = std::max(best, link_snr_db(dev, g, x, y, tx_power_dbm));
+  return best;
+}
+
+}  // namespace choir::citysim

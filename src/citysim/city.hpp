@@ -1,0 +1,86 @@
+// City geometry for the event-driven simulator: device placement, the
+// multi-gateway grid, urban log-distance links with per-(device, gateway)
+// static shadowing and per-frame fading, and random-waypoint mobility.
+//
+// Everything here is a *pure function* of (seed, device id, leg/frame
+// counters): positions, shadowing draws and fading draws are recomputed
+// identically wherever they are needed, so no layout state needs to be
+// shared — or synchronized — between worker threads. This is half of the
+// bit-reproducibility story (the other half is CounterRng itself).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "channel/pathloss.hpp"
+#include "util/rng.hpp"
+
+namespace choir::citysim {
+
+struct CityOptions {
+  /// Devices are placed uniformly on a disk of this radius around the
+  /// city center; gateways cover the same disk.
+  double radius_m = 1500.0;
+  std::size_t n_gateways = 9;
+  channel::UrbanPathLoss pathloss{};
+  channel::LinkBudget link{};  ///< tx_power_dbm is per-device, not from here
+  /// Static per-(device, gateway) shadowing (buildings between the two).
+  double shadowing_std_db = 6.0;
+  /// Per-frame small-scale fading, dB std on top of the static link.
+  double fading_std_db = 2.0;
+  /// Receptions below this per-sample SNR are ignored outright (they are
+  /// ~10 dB under the SF12 floor; their interference is negligible too).
+  double hear_floor_db = -30.0;
+  /// Random-waypoint speed for tracker-class devices.
+  double speed_mps = 1.5;
+};
+
+struct GatewayInfo {
+  double x_m = 0.0;
+  double y_m = 0.0;
+};
+
+class CityLayout {
+ public:
+  CityLayout(const CityOptions& opt, std::uint64_t seed);
+
+  const CityOptions& options() const { return opt_; }
+  const std::vector<GatewayInfo>& gateways() const { return gateways_; }
+
+  /// Deterministic home position of a device (uniform on the disk).
+  void device_home(std::uint32_t dev, double* x_m, double* y_m) const;
+
+  /// Waypoint `leg` of a mobile device's random-waypoint tour (leg 0 is
+  /// the home position).
+  void waypoint(std::uint32_t dev, std::uint32_t leg, double* x_m,
+                double* y_m) const;
+
+  /// Static link SNR (dB, per-sample) from a transmitter at (x, y) with
+  /// `tx_power_dbm` to gateway `gw`: median log-distance loss plus the
+  /// frozen shadowing draw for (dev, gw). No fading — add it per frame.
+  double link_snr_db(std::uint32_t dev, std::size_t gw, double x_m,
+                     double y_m, double tx_power_dbm) const;
+
+  /// Per-frame fading draw (dB) for (dev, gw, fcnt).
+  double fading_db(std::uint32_t dev, std::size_t gw,
+                   std::uint32_t fcnt) const;
+
+  /// Best static SNR across gateways from the device's home at the given
+  /// power — used to seed a sensible initial SF before ADR takes over.
+  double best_home_snr_db(std::uint32_t dev, double tx_power_dbm) const;
+
+  /// Position of a random-waypoint mobile device at time `t_s`: the tour
+  /// home -> waypoint(1) -> waypoint(2) -> ... walked at `speed_mps`.
+  /// Computed lazily from the waypoint stream (no per-device mobility
+  /// state, no mobility events in the simulator's heap).
+  void mobile_position(std::uint32_t dev, double t_s, double* x_m,
+                       double* y_m) const;
+
+ private:
+  CityOptions opt_;
+  std::uint64_t seed_ = 0;
+  double noise_dbm_ = 0.0;
+  std::vector<GatewayInfo> gateways_;
+};
+
+}  // namespace choir::citysim

@@ -1,0 +1,296 @@
+#include "citysim/outcome_table.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "channel/pathloss.hpp"
+#include "obs/metrics.hpp"  // write_file_atomic
+
+namespace choir::citysim {
+
+namespace {
+
+double logistic(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+// ------------------------------------------------------ tiny JSON reader
+//
+// The table format is flat enough that a full JSON parser would be the
+// only dependency it justifies. This scanner handles exactly what
+// to_json() emits (and tolerates whitespace/ordering changes): top-level
+// scalar numbers, one level of string keys, and arrays of numbers.
+
+struct JsonDoc {
+  std::string text;
+
+  /// Value after `"key":`, parsed as double. Throws if absent.
+  double number(const std::string& key) const {
+    const std::size_t at = find_key(key);
+    return std::strtod(text.c_str() + at, nullptr);
+  }
+
+  double number_or(const std::string& key, double def) const {
+    const std::size_t at = find_key_opt(key);
+    if (at == std::string::npos) return def;
+    return std::strtod(text.c_str() + at, nullptr);
+  }
+
+  bool has(const std::string& key) const {
+    return find_key_opt(key) != std::string::npos;
+  }
+
+  /// Array of numbers after `"key": [...]`. Throws if absent/malformed.
+  std::vector<double> array(const std::string& key) const {
+    std::size_t at = find_key(key);
+    at = text.find('[', at);
+    if (at == std::string::npos)
+      throw std::runtime_error("outcome table: expected array for " + key);
+    std::vector<double> out;
+    ++at;
+    while (at < text.size()) {
+      while (at < text.size() &&
+             (std::isspace(static_cast<unsigned char>(text[at])) ||
+              text[at] == ','))
+        ++at;
+      if (at >= text.size() || text[at] == ']') break;
+      char* end = nullptr;
+      out.push_back(std::strtod(text.c_str() + at, &end));
+      if (end == text.c_str() + at)
+        throw std::runtime_error("outcome table: bad number in " + key);
+      at = static_cast<std::size_t>(end - text.c_str());
+    }
+    return out;
+  }
+
+ private:
+  std::size_t find_key_opt(const std::string& key) const {
+    const std::string quoted = "\"" + key + "\"";
+    std::size_t at = text.find(quoted);
+    if (at == std::string::npos) return std::string::npos;
+    at = text.find(':', at + quoted.size());
+    if (at == std::string::npos) return std::string::npos;
+    return at + 1;
+  }
+  std::size_t find_key(const std::string& key) const {
+    const std::size_t at = find_key_opt(key);
+    if (at == std::string::npos)
+      throw std::runtime_error("outcome table: missing key " + key);
+    return at;
+  }
+};
+
+std::string curve_key(Receiver rx, int sf, int colliders) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s_sf%d_k%d", receiver_name(rx), sf,
+                colliders);
+  return buf;
+}
+
+void append_number_array(std::string& out, const std::vector<double>& v) {
+  char buf[32];
+  out += '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) out += ", ";
+    std::snprintf(buf, sizeof(buf), "%.6g", v[i]);
+    out += buf;
+  }
+  out += ']';
+}
+
+}  // namespace
+
+const char* receiver_name(Receiver r) {
+  switch (r) {
+    case Receiver::kStandard:
+      return "standard";
+    case Receiver::kChoir:
+      return "choir";
+  }
+  return "?";
+}
+
+std::size_t OutcomeTable::curve_index(Receiver rx, int sf,
+                                      int colliders) const {
+  const std::size_t n_sf = static_cast<std::size_t>(max_sf_ - min_sf_ + 1);
+  const std::size_t r = rx == Receiver::kChoir ? 1 : 0;
+  return (r * n_sf + static_cast<std::size_t>(sf - min_sf_)) *
+             static_cast<std::size_t>(max_colliders_) +
+         static_cast<std::size_t>(colliders - 1);
+}
+
+void OutcomeTable::set_axes(std::vector<double> rel_grid_db, int min_sf,
+                            int max_sf, int max_colliders) {
+  if (rel_grid_db.size() < 2 ||
+      !std::is_sorted(rel_grid_db.begin(), rel_grid_db.end()))
+    throw std::runtime_error("outcome table: bad SINR grid");
+  if (min_sf < 6 || max_sf > 12 || min_sf > max_sf)
+    throw std::runtime_error("outcome table: bad SF range");
+  if (max_colliders < 1)
+    throw std::runtime_error("outcome table: bad collider range");
+  rel_grid_db_ = std::move(rel_grid_db);
+  min_sf_ = min_sf;
+  max_sf_ = max_sf;
+  max_colliders_ = max_colliders;
+  curves_.assign(2 * static_cast<std::size_t>(max_sf - min_sf + 1) *
+                     static_cast<std::size_t>(max_colliders),
+                 {});
+}
+
+void OutcomeTable::set_curve(Receiver rx, int sf, int colliders,
+                             std::vector<double> p) {
+  if (sf < min_sf_ || sf > max_sf_ || colliders < 1 ||
+      colliders > max_colliders_)
+    throw std::runtime_error("outcome table: curve outside axes");
+  if (p.size() != rel_grid_db_.size())
+    throw std::runtime_error("outcome table: curve/grid size mismatch");
+  curves_[curve_index(rx, sf, colliders)] = std::move(p);
+}
+
+bool OutcomeTable::has_curve(Receiver rx, int sf, int colliders) const {
+  if (sf < min_sf_ || sf > max_sf_ || colliders < 1 ||
+      colliders > max_colliders_)
+    return false;
+  return !curves_[curve_index(rx, sf, colliders)].empty();
+}
+
+double OutcomeTable::decode_prob(Receiver rx, int sf, int colliders,
+                                 double sinr_db) const {
+  if (curves_.empty()) return 0.0;
+  // The relative axis uses the *requested* SF's floor, then the curve of
+  // the nearest calibrated SF — this is what makes out-of-range SFs
+  // extrapolate sensibly (see header).
+  const int sf_floor = std::clamp(sf, 6, 12);
+  const double rel = sinr_db - channel::lora_demod_floor_snr_db(sf_floor);
+  const int sf_c = std::clamp(sf, min_sf_, max_sf_);
+  int k = std::clamp(colliders, 1, max_colliders_);
+  // Fall back to the nearest calibrated collider count below (a missing
+  // k=3 curve reuses k=2 rather than reporting 0).
+  while (k > 1 && curves_[curve_index(rx, sf_c, k)].empty()) --k;
+  const std::vector<double>& p = curves_[curve_index(rx, sf_c, k)];
+  if (p.empty()) return 0.0;
+
+  const std::vector<double>& g = rel_grid_db_;
+  if (rel <= g.front()) return p.front();
+  if (rel >= g.back()) return p.back();
+  const auto hi = std::upper_bound(g.begin(), g.end(), rel);
+  const std::size_t i = static_cast<std::size_t>(hi - g.begin());
+  const double t = (rel - g[i - 1]) / (g[i] - g[i - 1]);
+  return p[i - 1] + t * (p[i] - p[i - 1]);
+}
+
+OutcomeTable OutcomeTable::analytic() {
+  OutcomeTable t;
+  std::vector<double> grid;
+  for (double x = -10.0; x <= 20.0 + 1e-9; x += 1.0) grid.push_back(x);
+  t.set_axes(std::move(grid), 7, 12, 4);
+  t.meta_.analytic = true;
+  for (int sf = 7; sf <= 12; ++sf) {
+    for (int k = 1; k <= 4; ++k) {
+      std::vector<double> std_p, choir_p;
+      for (double x : t.rel_grid_db_) {
+        // Standard receiver: sharp transition ~1.5 dB above the floor;
+        // under collision the co-SF chirp structure costs ~5 dB of
+        // additional SINR before capture holds.
+        const double std_mid = 1.5 + (k > 1 ? 5.0 : 0.0);
+        std_p.push_back(logistic((x - std_mid) / 1.2));
+        // Choir: joint estimation tolerates collisions but each extra
+        // user costs estimation headroom and a little success ceiling.
+        const double choir_mid = 2.0 + 1.5 * (k - 1);
+        const double ceiling = std::pow(0.97, k - 1);
+        choir_p.push_back(ceiling * logistic((x - choir_mid) / 1.6));
+      }
+      t.set_curve(Receiver::kStandard, sf, k, std::move(std_p));
+      t.set_curve(Receiver::kChoir, sf, k, std::move(choir_p));
+    }
+  }
+  return t;
+}
+
+std::string OutcomeTable::to_json() const {
+  std::string out;
+  out += "{\n";
+  out += "  \"kind\": \"choir_outcome_table\",\n";
+  out += "  \"version\": " + std::to_string(kFormatVersion) + ",\n";
+  out += "  \"min_sf\": " + std::to_string(min_sf_) + ",\n";
+  out += "  \"max_sf\": " + std::to_string(max_sf_) + ",\n";
+  out += "  \"max_colliders\": " + std::to_string(max_colliders_) + ",\n";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(meta_.seed));
+  out += std::string("  \"seed\": ") + buf + ",\n";
+  out += "  \"trials\": " + std::to_string(meta_.trials) + ",\n";
+  out += "  \"payload_bytes\": " + std::to_string(meta_.payload_bytes) + ",\n";
+  std::snprintf(buf, sizeof(buf), "%.6g", meta_.interferer_inr_db);
+  out += std::string("  \"interferer_inr_db\": ") + buf + ",\n";
+  out += std::string("  \"analytic\": ") + (meta_.analytic ? "true" : "false") +
+         ",\n";
+  out += "  \"rel_snr_grid_db\": ";
+  append_number_array(out, rel_grid_db_);
+  out += ",\n  \"curves\": {\n";
+  bool first = true;
+  for (int r = 0; r < 2; ++r) {
+    const Receiver rx = r ? Receiver::kChoir : Receiver::kStandard;
+    for (int sf = min_sf_; sf <= max_sf_; ++sf) {
+      for (int k = 1; k <= max_colliders_; ++k) {
+        const std::vector<double>& p = curves_[curve_index(rx, sf, k)];
+        if (p.empty()) continue;
+        if (!first) out += ",\n";
+        first = false;
+        out += "    \"" + curve_key(rx, sf, k) + "\": ";
+        append_number_array(out, p);
+      }
+    }
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+OutcomeTable OutcomeTable::from_json(const std::string& text) {
+  JsonDoc doc{text};
+  const int version = static_cast<int>(doc.number("version"));
+  if (version != kFormatVersion)
+    throw std::runtime_error("outcome table: unsupported version " +
+                             std::to_string(version));
+  OutcomeTable t;
+  t.set_axes(doc.array("rel_snr_grid_db"),
+             static_cast<int>(doc.number("min_sf")),
+             static_cast<int>(doc.number("max_sf")),
+             static_cast<int>(doc.number("max_colliders")));
+  t.meta_.seed = static_cast<std::uint64_t>(doc.number_or("seed", 0));
+  t.meta_.trials = static_cast<int>(doc.number_or("trials", 0));
+  t.meta_.payload_bytes =
+      static_cast<std::size_t>(doc.number_or("payload_bytes", 0));
+  t.meta_.interferer_inr_db = doc.number_or("interferer_inr_db", 0.0);
+  t.meta_.analytic = text.find("\"analytic\": true") != std::string::npos;
+  for (int r = 0; r < 2; ++r) {
+    const Receiver rx = r ? Receiver::kChoir : Receiver::kStandard;
+    for (int sf = t.min_sf_; sf <= t.max_sf_; ++sf) {
+      for (int k = 1; k <= t.max_colliders_; ++k) {
+        const std::string key = curve_key(rx, sf, k);
+        if (!doc.has(key)) continue;
+        t.set_curve(rx, sf, k, doc.array(key));
+      }
+    }
+  }
+  return t;
+}
+
+OutcomeTable OutcomeTable::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good())
+    throw std::runtime_error("outcome table: cannot open " + path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return from_json(ss.str());
+}
+
+void OutcomeTable::save(const std::string& path) const {
+  obs::write_file_atomic(path, to_json());
+}
+
+}  // namespace choir::citysim

@@ -1,0 +1,116 @@
+// Calibrated decode-outcome tables: the PHY abstraction that lets the
+// city-scale simulator drive a million devices without synthesizing IQ.
+//
+// The receiver-analysis literature (Ghanaatian et al., arXiv:1811.04146)
+// shows that LoRa decode outcome is well characterized by SINR x SF
+// curves, and SIC-capable uplinks (Tesfay et al., arXiv:2103.03146) add
+// the concurrent-collider count as the remaining axis. So instead of
+// rendering IQ per frame, we measure — once, offline, on the *real*
+// demodulator and CollisionDecoder via tools/choir_calibrate — the
+// probability that a target transmission decodes as a function of
+//
+//   (receiver, SF, concurrent same-SF collider count, target SINR),
+//
+// and the event-driven engine samples frame outcomes from these curves.
+//
+// Axes and conventions (mirrored exactly by the calibration tool):
+//  * The SINR axis is stored *relative to the SF's demodulation floor*
+//    (channel::lora_demod_floor_snr_db), so curves for different SFs line
+//    up and SFs outside the calibrated range extrapolate by reusing the
+//    nearest calibrated SF's relative curve — an SF11 lookup with only
+//    SF7..10 calibrated uses the SF10 shape shifted to SF11's floor.
+//  * `colliders` counts concurrent same-(channel, SF) transmissions
+//    including the target (1 = clean frame).
+//  * During calibration the k-1 interferers are rendered at a fixed
+//    interferer-to-noise ratio (meta.interferer_inr_db) and the target is
+//    swept; the engine then enters the table by the *measured* SINR
+//    (signal over noise + total interference), which carries the actual
+//    power imbalance of the simulated collision.
+//  * Receiver::kStandard is the single-user lora::Demodulator locked onto
+//    the target frame's start (commodity-gateway capture behavior);
+//    Receiver::kChoir is core::CollisionDecoder over the whole collision.
+//
+// Tables are versioned JSON (see docs/CITYSIM.md for the format and the
+// regeneration workflow); the checked-in instance lives in
+// tests/data/citysim_outcomes.json and is regression-tested against the
+// real PHY by the slow-lane calibration test.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace choir::citysim {
+
+enum class Receiver { kStandard, kChoir };
+
+const char* receiver_name(Receiver r);
+
+/// Provenance of a calibrated table, persisted alongside the curves so a
+/// reader can tell how the numbers were produced.
+struct OutcomeTableMeta {
+  std::uint64_t seed = 0;
+  int trials = 0;              ///< renders per grid point
+  std::size_t payload_bytes = 0;
+  double interferer_inr_db = 0.0;
+  bool analytic = false;       ///< true for the built-in fallback model
+};
+
+class OutcomeTable {
+ public:
+  static constexpr int kFormatVersion = 1;
+
+  /// Built-in analytic fallback (logistic curves anchored at the per-SF
+  /// demodulation floor, capture/SIC penalties per extra collider). Lets
+  /// the engine run without a calibration file; measured tables are
+  /// strictly better.
+  static OutcomeTable analytic();
+
+  /// Parses a table from JSON text. Throws std::runtime_error on a
+  /// malformed document or an unsupported format version.
+  static OutcomeTable from_json(const std::string& text);
+
+  /// Loads a table from a JSON file. Throws std::runtime_error.
+  static OutcomeTable load(const std::string& path);
+
+  std::string to_json() const;
+  void save(const std::string& path) const;  ///< crash-safe (tmp + rename)
+
+  /// Decode probability for a target frame. `sinr_db` is signal over
+  /// (noise + total same-SF interference) at the gateway; `colliders`
+  /// includes the target. SF and collider count clamp to the calibrated
+  /// range; the SINR axis interpolates linearly and clamps at the ends.
+  double decode_prob(Receiver rx, int sf, int colliders,
+                     double sinr_db) const;
+
+  // ---- construction (calibration tool) ----
+
+  /// Defines the axes. `rel_grid_db` is the SINR grid relative to each
+  /// SF's demod floor, strictly increasing.
+  void set_axes(std::vector<double> rel_grid_db, int min_sf, int max_sf,
+                int max_colliders);
+
+  /// Installs one curve (probability per rel-grid point).
+  void set_curve(Receiver rx, int sf, int colliders, std::vector<double> p);
+
+  bool has_curve(Receiver rx, int sf, int colliders) const;
+
+  const std::vector<double>& rel_grid_db() const { return rel_grid_db_; }
+  int min_sf() const { return min_sf_; }
+  int max_sf() const { return max_sf_; }
+  int max_colliders() const { return max_colliders_; }
+  OutcomeTableMeta& meta() { return meta_; }
+  const OutcomeTableMeta& meta() const { return meta_; }
+
+ private:
+  std::size_t curve_index(Receiver rx, int sf, int colliders) const;
+
+  std::vector<double> rel_grid_db_;
+  int min_sf_ = 0, max_sf_ = -1;
+  int max_colliders_ = 0;
+  /// curves_[curve_index]: empty vector = not calibrated.
+  std::vector<std::vector<double>> curves_;
+  OutcomeTableMeta meta_;
+};
+
+}  // namespace choir::citysim

@@ -1,0 +1,104 @@
+#include "citysim/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/types.hpp"
+
+namespace choir::citysim {
+
+namespace {
+constexpr double kNever = std::numeric_limits<double>::max() / 4.0;
+}
+
+const char* device_class_name(DeviceClass c) {
+  switch (c) {
+    case DeviceClass::kMetering:
+      return "metering";
+    case DeviceClass::kParking:
+      return "parking";
+    case DeviceClass::kTracker:
+      return "tracker";
+    case DeviceClass::kAlarm:
+      return "alarm";
+  }
+  return "?";
+}
+
+DeviceClass assign_class(std::uint64_t seed, std::uint32_t dev,
+                         const ClassMix& mix) {
+  const double total = mix.metering + mix.parking + mix.tracker + mix.alarm;
+  // Dedicated stream id so class draws never alias traffic/mobility draws.
+  CounterRng rng(seed, 0xC1A55ULL);
+  const double u = rng.split(dev).uniform(0.0, total > 0.0 ? total : 1.0);
+  if (u < mix.metering) return DeviceClass::kMetering;
+  if (u < mix.metering + mix.parking) return DeviceClass::kParking;
+  if (u < mix.metering + mix.parking + mix.tracker)
+    return DeviceClass::kTracker;
+  return DeviceClass::kAlarm;
+}
+
+double mean_period_s(DeviceClass c, const TrafficOptions& opt) {
+  switch (c) {
+    case DeviceClass::kMetering:
+      return opt.metering_period_s;
+    case DeviceClass::kParking:
+      return opt.parking_period_s;
+    case DeviceClass::kTracker:
+      return opt.tracker_period_s;
+    case DeviceClass::kAlarm:
+      return opt.alarm_period_s;
+  }
+  return opt.metering_period_s;
+}
+
+double diurnal_factor(double t_s, const TrafficOptions& opt) {
+  if (opt.diurnal_amplitude <= 0.0) return 1.0;
+  const double phase = kTwoPi * (t_s - opt.diurnal_peak_s) / opt.day_s;
+  return 1.0 + opt.diurnal_amplitude * std::cos(phase);
+}
+
+double next_storm_s(double t_s, const TrafficOptions& opt) {
+  if (opt.storm_interval_s <= 0.0) return kNever;
+  if (t_s < opt.storm_first_s) return opt.storm_first_s;
+  const double n =
+      std::ceil((t_s - opt.storm_first_s) / opt.storm_interval_s);
+  return opt.storm_first_s + n * opt.storm_interval_s;
+}
+
+std::uint64_t storms_before(double horizon_s, const TrafficOptions& opt) {
+  if (opt.storm_interval_s <= 0.0 || horizon_s <= opt.storm_first_s) return 0;
+  return 1 + static_cast<std::uint64_t>((horizon_s - opt.storm_first_s -
+                                         1e-9) /
+                                        opt.storm_interval_s);
+}
+
+double next_tx_time(DeviceClass c, double now_s, const TrafficOptions& opt,
+                    CounterRng& rng) {
+  const double mean = std::max(1.0, mean_period_s(c, opt));
+  // Lewis thinning against the peak rate: candidate gaps at rate
+  // (1+A)/mean, accepted with probability factor(t)/(1+A). Bounded below
+  // by the duty-cycle gap.
+  const double peak = 1.0 + std::max(0.0, opt.diurnal_amplitude);
+  double t = now_s;
+  for (int guard = 0; guard < 1024; ++guard) {
+    t += rng.exponential(mean / peak);
+    if (rng.uniform(0.0, peak) <= diurnal_factor(t, opt)) break;
+  }
+  t = std::max(t, now_s + opt.min_gap_s);
+
+  if (c == DeviceClass::kAlarm) {
+    // The storm pre-empts the background heartbeat: fire within the
+    // spread window of the first storm that starts before the background
+    // draw would have.
+    const double storm = next_storm_s(now_s + opt.min_gap_s, opt);
+    if (storm < t) {
+      const double slot = storm + rng.uniform(0.0, opt.storm_spread_s);
+      t = std::max(slot, now_s + opt.min_gap_s);
+    }
+  }
+  return t;
+}
+
+}  // namespace choir::citysim

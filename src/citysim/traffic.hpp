@@ -1,0 +1,87 @@
+// Traffic processes for the city-scale simulator: who transmits when.
+//
+// Four device classes with LP-WAN-typical duty cycles:
+//   * metering  — slow periodic reporters (water/gas/power meters);
+//   * parking   — medium-rate occupancy sensors;
+//   * tracker   — fast reporters that also move (random waypoint);
+//   * alarm     — near-silent background rate, but they participate in
+//                 city-wide alarm storms: deterministic storm windows in
+//                 which every alarm device fires within a few seconds —
+//                 the correlated-burst workload that stresses the dedup
+//                 window and the collision curves hardest.
+//
+// Inter-transmission gaps are a non-homogeneous Poisson process: an
+// exponential base rate per class modulated by a sinusoidal diurnal
+// profile, sampled by Lewis thinning so every draw comes from the
+// device's counter-based RNG stream (bit-reproducible regardless of
+// thread count; see util/rng.hpp CounterRng).
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+
+namespace choir::citysim {
+
+enum class DeviceClass : std::uint8_t {
+  kMetering = 0,
+  kParking = 1,
+  kTracker = 2,
+  kAlarm = 3,
+};
+inline constexpr int kDeviceClasses = 4;
+
+const char* device_class_name(DeviceClass c);
+
+/// Population fractions per class (normalized by assign_class).
+struct ClassMix {
+  double metering = 0.70;
+  double parking = 0.15;
+  double tracker = 0.10;
+  double alarm = 0.05;
+};
+
+struct TrafficOptions {
+  double metering_period_s = 600.0;
+  double parking_period_s = 300.0;
+  double tracker_period_s = 120.0;
+  /// Background (non-storm) alarm heartbeat period.
+  double alarm_period_s = 3600.0;
+  /// Diurnal rate modulation: rate(t) = base * (1 + A*cos(2pi (t-peak)/day)).
+  double diurnal_amplitude = 0.5;  ///< A in [0, 1)
+  double diurnal_peak_s = 17.0 * 3600.0;
+  double day_s = 86400.0;
+  /// Alarm storms: every `storm_interval_s` (0 = no storms) all alarm
+  /// devices fire within `storm_spread_s` of the storm start.
+  double storm_interval_s = 0.0;
+  double storm_first_s = 60.0;
+  double storm_spread_s = 5.0;
+  /// Minimum gap between a device's consecutive transmissions (duty
+  /// cycle / regulatory floor).
+  double min_gap_s = 2.0;
+};
+
+/// Deterministic class assignment for a device id under a mix.
+DeviceClass assign_class(std::uint64_t seed, std::uint32_t dev,
+                         const ClassMix& mix);
+
+double mean_period_s(DeviceClass c, const TrafficOptions& opt);
+
+/// Diurnal rate multiplier at absolute sim time `t_s` (>= 0).
+double diurnal_factor(double t_s, const TrafficOptions& opt);
+
+/// Start time of the first storm at or after `t_s`, or a huge sentinel
+/// when storms are disabled.
+double next_storm_s(double t_s, const TrafficOptions& opt);
+
+/// Number of storm windows beginning in [0, horizon_s).
+std::uint64_t storms_before(double horizon_s, const TrafficOptions& opt);
+
+/// Next transmission time strictly after `now_s` for one device. Draws
+/// come from `rng` (the device's persistent traffic stream — the caller
+/// saves/restores its counter). Alarm-class devices return the earlier of
+/// their background draw and their next storm slot.
+double next_tx_time(DeviceClass c, double now_s, const TrafficOptions& opt,
+                    CounterRng& rng);
+
+}  // namespace choir::citysim

@@ -15,7 +15,7 @@ AdrDecision recommend_adr(const DeviceSession& s, int current_sf,
   d.sf = std::clamp(current_sf, opt.min_sf, opt.max_sf);
   d.tx_power_dbm =
       std::clamp(current_power_dbm, opt.min_power_dbm, opt.max_power_dbm);
-  if (s.snr_count == 0) {
+  if (s.snr_count < std::max<std::uint8_t>(1, opt.min_samples)) {
     d.changed = d.sf != current_sf || d.tx_power_dbm != current_power_dbm;
     return d;
   }

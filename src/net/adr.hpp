@@ -22,6 +22,15 @@ namespace choir::net {
 
 struct AdrOptions {
   double margin_db = 8.0;  ///< installation margin over the decode floor
+  /// Fewest SNR history samples before the planner will move. History
+  /// samples are only comparable when they were received at the same
+  /// transmit power, so the caller must clear the device's history when it
+  /// applies a change (NetServer::note_adr_applied) — this floor then
+  /// guarantees every decision sees a full fresh window, which is what
+  /// keeps the planner from ping-ponging on fading wobble: without it,
+  /// stale high-power samples inflate the headroom after a power cut and
+  /// the planner chases its own tail.
+  std::uint8_t min_samples = 8;
   int min_sf = 7;
   int max_sf = 12;
   /// Decode floor at SF7, per-sample SNR (matches the collision decoder's

@@ -31,6 +31,12 @@ DeviceRegistry::DeviceRegistry(const RegistryOptions& opt) : opt_(opt) {
   if (opt_.shard_bits > 12)
     throw std::invalid_argument("registry: shard_bits > 12");
   const std::size_t n = std::size_t{1} << opt_.shard_bits;
+  if (opt_.max_devices > 0) {
+    // Per-shard cap; rounding up keeps the aggregate cap >= max_devices so
+    // a perfectly-balanced population never evicts below the configured
+    // budget (hashing skew can push one shard to its cap slightly early).
+    shard_cap_ = (opt_.max_devices + n - 1) / n;
+  }
   shards_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
   if constexpr (obs::kEnabled) {
@@ -40,6 +46,7 @@ DeviceRegistry::DeviceRegistry(const RegistryOptions& opt) : opt_(opt) {
           "net.registry.shard" + std::to_string(i) + ".devices");
     }
     total_gauge_ = &obs::registry().gauge("net.registry.devices");
+    evicted_counter_ = &obs::registry().counter("net.registry.evicted");
   }
 }
 
@@ -58,6 +65,25 @@ DeviceSession& DeviceRegistry::get_or_create(Shard& sh, std::size_t shard_idx,
   auto [it, inserted] = sh.sessions.try_emplace(dev_addr);
   if (inserted) {
     it->second.dev_addr = dev_addr;
+    if (shard_cap_ > 0) {
+      sh.order.push_back(dev_addr);
+      while (sh.sessions.size() > shard_cap_) {
+        // Oldest-provisioned session goes first. Entries in `order` are
+        // unique (sessions are only ever erased here, and each erase pops
+        // its queue slot), so the front always names a live session other
+        // than the one just inserted (cap >= 1).
+        const std::uint32_t victim = sh.order.front();
+        sh.order.pop_front();
+        sh.sessions.erase(victim);
+        evicted_.fetch_add(1, std::memory_order_relaxed);
+        if constexpr (obs::kEnabled) {
+          evicted_counter_->add(1);
+          total_gauge_->add(-1);
+        }
+      }
+      // The erase may have invalidated `it`.
+      it = sh.sessions.find(dev_addr);
+    }
     update_occupancy(shard_idx, sh.sessions.size());
   }
   return it->second;
@@ -127,6 +153,16 @@ void DeviceRegistry::note_better_copy(const UplinkFrame& f) {
         (s.snr_head + kSnrHistory - 1) % kSnrHistory);
     s.snr_hist[newest] = f.snr_db;
   }
+}
+
+void DeviceRegistry::clear_snr_history(std::uint32_t dev_addr) {
+  Shard& sh = shard_for(dev_addr);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  auto it = sh.sessions.find(dev_addr);
+  if (it == sh.sessions.end()) return;
+  it->second.snr_hist = {};
+  it->second.snr_count = 0;
+  it->second.snr_head = 0;
 }
 
 std::optional<DeviceSession> DeviceRegistry::lookup(

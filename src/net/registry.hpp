@@ -21,7 +21,9 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -47,6 +49,14 @@ struct RegistryOptions {
   std::uint32_t max_fcnt_gap = 16384;
   /// EWMA weight of the newest CFO observation in the fingerprint.
   double cfo_alpha = 0.25;
+  /// Hard cap on resident device sessions across all shards (0 =
+  /// unbounded). Auto-provisioning beyond the cap evicts the
+  /// oldest-provisioned session in the full shard (FIFO), so a city-scale
+  /// run with more devices than budgeted memory degrades to a rolling
+  /// window instead of growing without bound. Evictions reset the victim's
+  /// FCnt replay window (it re-provisions on next contact) and are counted
+  /// in `net.registry.evicted` so they are never silent.
+  std::size_t max_devices = 0;
 };
 
 struct DeviceSession {
@@ -100,6 +110,11 @@ class DeviceRegistry {
   /// still points at `f.fcnt`.
   void note_better_copy(const UplinkFrame& f);
 
+  /// Drops the device's SNR history ring (counters and last-seen metadata
+  /// stay). Called when an ADR change is applied: samples received at the
+  /// old transmit power are not comparable with what comes next.
+  void clear_snr_history(std::uint32_t dev_addr);
+
   /// Copy of the device's session, if it exists.
   std::optional<DeviceSession> lookup(std::uint32_t dev_addr) const;
 
@@ -116,6 +131,8 @@ class DeviceRegistry {
   std::size_t device_count() const;
   std::size_t n_shards() const { return shards_.size(); }
   std::vector<std::size_t> shard_occupancy() const;
+  /// Sessions evicted by the max_devices cap since construction.
+  std::uint64_t evicted() const { return evicted_.load(std::memory_order_relaxed); }
 
   const RegistryOptions& options() const { return opt_; }
 
@@ -123,6 +140,9 @@ class DeviceRegistry {
   struct Shard {
     mutable std::mutex mu;
     std::unordered_map<std::uint32_t, DeviceSession> sessions;
+    /// Provisioning order, oldest first — the eviction queue when
+    /// max_devices caps the shard. Only maintained when the cap is set.
+    std::deque<std::uint32_t> order;
   };
 
   /// Multiplicative hash spreads sequential dev_addrs across shards.
@@ -143,9 +163,12 @@ class DeviceRegistry {
   void update_occupancy(std::size_t shard_idx, std::size_t n);
 
   RegistryOptions opt_;
+  std::size_t shard_cap_ = 0;  ///< per-shard session cap (0 = unbounded)
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<std::uint64_t> evicted_{0};
   std::vector<obs::Gauge*> shard_gauges_;  ///< empty when obs compiled out
   obs::Gauge* total_gauge_ = nullptr;
+  obs::Counter* evicted_counter_ = nullptr;
 };
 
 }  // namespace choir::net

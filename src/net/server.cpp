@@ -171,4 +171,8 @@ AdrDecision NetServer::adr_for(std::uint32_t dev_addr, int current_sf,
   return recommend_adr(*session, current_sf, current_power_dbm, cfg_.adr);
 }
 
+void NetServer::note_adr_applied(std::uint32_t dev_addr) {
+  registry_.clear_snr_history(dev_addr);
+}
+
 }  // namespace choir::net

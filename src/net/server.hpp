@@ -124,6 +124,12 @@ class NetServer {
   AdrDecision adr_for(std::uint32_t dev_addr, int current_sf,
                       double current_power_dbm) const;
 
+  /// Records that an ADR change was actually commanded: clears the
+  /// device's SNR history so the next recommendation is computed from
+  /// samples taken at the new settings only (the LoRaWAN network-server
+  /// convention — without it the planner ping-pongs; see adr.hpp).
+  void note_adr_applied(std::uint32_t dev_addr);
+
   const NetServerConfig& config() const { return cfg_; }
 
  private:

@@ -1,6 +1,7 @@
 // Deterministic random number generation for reproducible experiments.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <random>
 
@@ -53,6 +54,95 @@ class Rng {
 
  private:
   std::mt19937_64 gen_;
+};
+
+/// Counter-based, splittable RNG for massively-parallel simulation.
+///
+/// Every draw is a pure hash of (seed, stream, counter) — there is no
+/// hidden engine state beyond the counter — so a simulation that gives
+/// each device its own stream id produces bit-identical results for a
+/// given seed no matter how devices are partitioned across threads or how
+/// events interleave. Distributions are hand-rolled (no <random>
+/// distribution objects, whose algorithms are implementation-defined), so
+/// sequences also match across standard libraries and platforms.
+///
+/// The generator is the stateless-increment flavor of SplitMix64: the
+/// per-draw value is finalize(key + counter * golden_gamma) where the key
+/// folds seed and stream through the same finalizer. Draws are random
+/// access: `at(n)` returns the n-th raw value without advancing.
+class CounterRng {
+ public:
+  explicit CounterRng(std::uint64_t seed = 1, std::uint64_t stream = 0)
+      : key_(mix64(seed ^ mix64(stream + 0x9E3779B97F4A7C15ULL))) {}
+
+  /// Derives an independent child stream: same seed space, decorrelated
+  /// from both the parent and every other `split` value.
+  CounterRng split(std::uint64_t substream) const {
+    CounterRng child;
+    child.key_ = mix64(key_ ^ mix64(substream + 0xD1B54A32D192ED03ULL));
+    child.ctr_ = 0;
+    return child;
+  }
+
+  /// Raw 64 random bits at absolute position `n` (counter untouched).
+  std::uint64_t at(std::uint64_t n) const {
+    return mix64(key_ + (n + 1) * 0x9E3779B97F4A7C15ULL);
+  }
+
+  /// Next raw 64 random bits (advances the counter).
+  std::uint64_t next() { return at(ctr_++); }
+
+  std::uint64_t counter() const { return ctr_; }
+  void seek(std::uint64_t counter) { ctr_ = counter; }
+
+  /// Uniform double in [lo, hi). 53 mantissa bits of the raw draw.
+  double uniform(double lo = 0.0, double hi = 1.0) {
+    const double u =
+        static_cast<double>(next() >> 11) * 0x1.0p-53;  // [0, 1)
+    return lo + (hi - lo) * u;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive (unbiased rejection-free
+  /// Lemire-style mapping is overkill here; modulo bias is < 2^-32 for the
+  /// simulator's ranges and determinism is what matters).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(next() % span);
+  }
+
+  /// Zero-mean Gaussian via Box-Muller (two draws per call, no cached
+  /// spare — keeps the draw count a pure function of the call count).
+  double gaussian(double stddev = 1.0, double mean = 0.0) {
+    const double u1 =
+        (static_cast<double>(next() >> 11) + 1.0) * 0x1.0p-53;  // (0, 1]
+    const double u2 = static_cast<double>(next() >> 11) * 0x1.0p-53;
+    return mean + stddev * std::sqrt(-2.0 * std::log(u1)) *
+                      std::cos(kTwoPi * u2);
+  }
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean) {
+    const double u =
+        (static_cast<double>(next() >> 11) + 1.0) * 0x1.0p-53;  // (0, 1]
+    return -mean * std::log(u);
+  }
+
+  /// Bernoulli trial.
+  bool chance(double p) { return uniform() < p; }
+
+ private:
+  /// MurmurHash3/SplitMix64 finalizer: full-avalanche 64-bit mix.
+  static std::uint64_t mix64(std::uint64_t z) {
+    z ^= z >> 33;
+    z *= 0xFF51AFD7ED558CCDULL;
+    z ^= z >> 33;
+    z *= 0xC4CEB9FE1A85EC53ULL;
+    z ^= z >> 33;
+    return z;
+  }
+
+  std::uint64_t key_ = 0;
+  std::uint64_t ctr_ = 0;
 };
 
 }  // namespace choir

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -271,6 +272,63 @@ TEST(NetRegistry, NoteBetterCopyUpgradesOnlyTheCurrentFrame) {
 
 // ----------------------------------------------------------------- server
 
+TEST(NetRegistry, MaxDevicesCapEvictsOldestProvisioned) {
+  net::RegistryOptions opt;
+  opt.shard_bits = 0;  // one shard: the FIFO order is the global order
+  opt.max_devices = 8;
+  net::DeviceRegistry reg(opt);
+
+  for (std::uint32_t dev = 0; dev < 32; ++dev)
+    EXPECT_EQ(reg.accept(frame_for(dev, 100)), net::FcntCheck::kAccepted);
+
+  EXPECT_EQ(reg.device_count(), 8u);
+  EXPECT_EQ(reg.evicted(), 24u);
+  for (std::uint32_t dev = 0; dev < 24; ++dev)
+    EXPECT_FALSE(reg.lookup(dev).has_value()) << dev;
+  for (std::uint32_t dev = 24; dev < 32; ++dev)
+    EXPECT_TRUE(reg.lookup(dev).has_value()) << dev;
+}
+
+TEST(NetRegistry, EvictionResetsTheFcntReplayWindow) {
+  net::RegistryOptions opt;
+  opt.shard_bits = 0;
+  opt.max_devices = 2;
+  net::DeviceRegistry reg(opt);
+
+  ASSERT_EQ(reg.accept(frame_for(1, 500)), net::FcntCheck::kAccepted);
+  // Push the victim out.
+  ASSERT_EQ(reg.accept(frame_for(2, 1)), net::FcntCheck::kAccepted);
+  ASSERT_EQ(reg.accept(frame_for(3, 1)), net::FcntCheck::kAccepted);
+  ASSERT_FALSE(reg.lookup(1).has_value());
+
+  // Re-contact re-provisions from scratch: an FCnt far below the one the
+  // evicted session had accepted is fresh again (this is why the engine's
+  // exact-accounting mirror requires zero evictions).
+  EXPECT_EQ(reg.accept(frame_for(1, 5)), net::FcntCheck::kAccepted);
+  EXPECT_EQ(reg.evicted(), 2u);
+  EXPECT_EQ(reg.device_count(), 2u);
+}
+
+TEST(NetRegistry, CapIsSplitAcrossShardsAndZeroMeansUnbounded) {
+  net::RegistryOptions capped;
+  capped.shard_bits = 2;  // 4 shards, ceil(6/4) = 2 sessions each
+  capped.max_devices = 6;
+  net::DeviceRegistry reg(capped);
+  for (std::uint32_t dev = 0; dev < 256; ++dev)
+    reg.accept(frame_for(dev, 1));
+  EXPECT_LE(reg.device_count(), 8u);  // 4 shards x per-shard cap 2
+  EXPECT_GT(reg.evicted(), 0u);
+  for (const std::size_t occ : reg.shard_occupancy()) EXPECT_LE(occ, 2u);
+
+  net::RegistryOptions unbounded;
+  unbounded.shard_bits = 2;
+  net::DeviceRegistry reg2(unbounded);
+  for (std::uint32_t dev = 0; dev < 256; ++dev)
+    reg2.accept(frame_for(dev, 1));
+  EXPECT_EQ(reg2.device_count(), 256u);
+  EXPECT_EQ(reg2.evicted(), 0u);
+}
+
 TEST(NetServer, IngestPipelineClassifiesEveryOutcome) {
   net::NetServerConfig cfg;
   cfg.registry.auto_provision = false;
@@ -384,7 +442,7 @@ TEST(NetAdr, RequiredSnrFallsWithSpreadingFactor) {
 
 TEST(NetAdr, StrongLinkShedsSfThenPower) {
   net::DeviceSession s;
-  for (int i = 0; i < 4; ++i) s.push_snr(20.0f);
+  for (int i = 0; i < 8; ++i) s.push_snr(20.0f);
   const auto d = net::recommend_adr(s, 12, 14.0);
   EXPECT_TRUE(d.changed);
   EXPECT_LT(d.sf, 12);
@@ -394,7 +452,7 @@ TEST(NetAdr, StrongLinkShedsSfThenPower) {
 
 TEST(NetAdr, WeakLinkRaisesPowerThenSf) {
   net::DeviceSession s;
-  for (int i = 0; i < 4; ++i) s.push_snr(-25.0f);
+  for (int i = 0; i < 8; ++i) s.push_snr(-25.0f);
   const auto d = net::recommend_adr(s, 7, 2.0);
   EXPECT_TRUE(d.changed);
   EXPECT_LT(d.headroom_db, 0.0);
@@ -409,6 +467,116 @@ TEST(NetAdr, NoHistoryNoChange) {
   EXPECT_FALSE(d.changed);
   EXPECT_EQ(d.sf, 9);
   EXPECT_DOUBLE_EQ(d.tx_power_dbm, 8.0);
+}
+
+TEST(NetAdr, ThinHistoryGatesThePlanner) {
+  // Below min_samples the planner holds even on an obviously strong link:
+  // a couple of receptions after a power change say nothing yet.
+  net::DeviceSession s;
+  for (int i = 0; i < 7; ++i) s.push_snr(25.0f);
+  EXPECT_FALSE(net::recommend_adr(s, 12, 14.0).changed);
+  s.push_snr(25.0f);
+  EXPECT_TRUE(net::recommend_adr(s, 12, 14.0).changed);
+}
+
+// ------------------------------------------------- ADR long-run dynamics
+
+namespace {
+
+/// Closed-loop ADR trajectory: the device observes
+/// base_snr(t) + (power - max_power) each uplink, the server re-plans
+/// every `adr_every` uplinks, and the device applies every change —
+/// clearing the SNR history on application, as NetServer::note_adr_applied
+/// does. Returns the number of applied changes after uplink `settle_after`.
+struct AdrTrajectory {
+  int sf;
+  double power_dbm;
+  int changes = 0;
+  int late_changes = 0;
+};
+
+AdrTrajectory run_adr_loop(const std::vector<double>& base_snr_at_max,
+                           int start_sf, double start_power,
+                           int adr_every = 4, int settle_after = 0) {
+  const net::AdrOptions opt;
+  net::DeviceSession s;
+  AdrTrajectory tr{start_sf, start_power};
+  for (std::size_t i = 0; i < base_snr_at_max.size(); ++i) {
+    s.push_snr(static_cast<float>(base_snr_at_max[i] +
+                                  (tr.power_dbm - opt.max_power_dbm)));
+    if ((i + 1) % static_cast<std::size_t>(adr_every) != 0) continue;
+    const auto d = net::recommend_adr(s, tr.sf, tr.power_dbm, opt);
+    if (d.changed) {
+      tr.sf = d.sf;
+      tr.power_dbm = d.tx_power_dbm;
+      s.snr_hist = {};
+      s.snr_count = 0;
+      s.snr_head = 0;
+      ++tr.changes;
+      if (i >= static_cast<std::size_t>(settle_after)) ++tr.late_changes;
+    }
+  }
+  return tr;
+}
+
+}  // namespace
+
+TEST(NetAdr, ImprovingLinkConvergesToMinSfAndStays) {
+  // Link climbs from deep fade to a strong +10 dB (at max power) over the
+  // first 40 uplinks, then holds for 160 more. ADR must end at SF7 with
+  // power shed to the cheapest setting whose headroom sits inside one
+  // step, and must stop changing once the history ring has turned over.
+  std::vector<double> base;
+  for (int i = 0; i < 40; ++i) base.push_back(-20.0 + 30.0 * i / 40.0);
+  for (int i = 0; i < 160; ++i) base.push_back(10.0);
+  const auto tr = run_adr_loop(base, 12, 14.0, 4, 120);
+
+  EXPECT_EQ(tr.sf, 7);
+  // Steady state: headroom = (10 + p - 14) - (-5) - 8 in [0, 3) => p = 8.
+  EXPECT_DOUBLE_EQ(tr.power_dbm, 8.0);
+  EXPECT_GT(tr.changes, 0);
+  EXPECT_EQ(tr.late_changes, 0) << "ADR still hunting after convergence";
+}
+
+TEST(NetAdr, DegradingLinkClimbsMonotonicallyToMaxRobustness) {
+  // Link decays from healthy to 25 dB below the SF7 budget. The planner
+  // must walk SF up (power is already at max) without ever stepping back
+  // down mid-decline, and park at the most robust setting.
+  const net::AdrOptions opt;
+  net::DeviceSession s;
+  int sf = 7;
+  double power = 14.0;
+  int last_sf = sf;
+  for (int i = 0; i < 200; ++i) {
+    const double base = 0.0 - 25.0 * std::min(1.0, i / 100.0);
+    s.push_snr(static_cast<float>(base + (power - opt.max_power_dbm)));
+    if ((i + 1) % 4 != 0) continue;
+    const auto d = net::recommend_adr(s, sf, power, opt);
+    if (d.changed) {
+      sf = d.sf;
+      power = d.tx_power_dbm;
+      s.snr_hist = {};
+      s.snr_count = 0;
+      s.snr_head = 0;
+    }
+    EXPECT_GE(sf, last_sf) << "SF stepped back down while the link decayed";
+    last_sf = sf;
+  }
+  EXPECT_EQ(sf, opt.max_sf);
+  EXPECT_DOUBLE_EQ(power, opt.max_power_dbm);
+}
+
+TEST(NetAdr, OscillatingSnrDoesNotPingPong) {
+  // +/-2.5 dB swing with a period shorter than the history ring: the
+  // max-of-history convention must absorb the wobble — after the initial
+  // approach the settings freeze.
+  std::vector<double> base;
+  for (int i = 0; i < 240; ++i)
+    base.push_back(5.0 + 2.5 * std::sin(2.0 * M_PI * i / 8.0));
+  const auto tr = run_adr_loop(base, 12, 14.0, 4, 120);
+
+  EXPECT_EQ(tr.sf, 7);
+  EXPECT_EQ(tr.late_changes, 0) << "ADR ping-ponged on a wobbling link";
 }
 
 // ----------------------------------------------------------- team manager

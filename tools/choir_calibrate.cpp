@@ -1,0 +1,160 @@
+// Calibration stage for the city-scale simulator (docs/CITYSIM.md).
+//
+// Measures, on the *real* PHY — channel::render_collision into
+// lora::Demodulator (standard gateway) and core::CollisionDecoder (Choir)
+// — the probability that a target frame decodes, as a function of
+// (receiver, SF, concurrent same-SF collider count, target SINR), and
+// writes the versioned JSON outcome table the event-driven engine samples
+// from. The checked-in instance lives at tests/data/citysim_outcomes.json
+// and is regression-tested by test_citysim_calibration (slow lane).
+//
+// Conventions (must mirror citysim/outcome_table.hpp):
+//  * the SINR axis is relative to the SF's demod floor; the target's
+//    transmit SNR is chosen so its post-interference SINR lands exactly on
+//    the grid point;
+//  * the k-1 interferers transmit at a fixed absolute INR (--inr, dB over
+//    noise) with random payloads and their own hardware offsets;
+//  * all frames are beacon-synchronized (coarse start alignment), the
+//    regime the Choir decoder is built for; residual fractional offsets
+//    come from the sampled oscillator model.
+//
+// Regenerate with:
+//   choir_calibrate --min-sf=7 --max-sf=10 --kmax=3 --trials=30
+//     --grid-min=-6 --grid-max=14 --grid-step=2 --seed=7
+//     --out=tests/data/citysim_outcomes.json      (one line)
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "channel/collision.hpp"
+#include "channel/pathloss.hpp"
+#include "citysim/outcome_table.hpp"
+#include "core/collision_decoder.hpp"
+#include "lora/demodulator.hpp"
+#include "lora/frame.hpp"
+#include "util/args.hpp"
+#include "util/rng.hpp"
+
+using namespace choir;
+
+namespace {
+
+std::vector<std::uint8_t> random_payload(std::size_t n, Rng& rng) {
+  std::vector<std::uint8_t> p(n);
+  for (auto& b : p) b = static_cast<std::uint8_t>(rng.uniform_int(0, 255));
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const int min_sf = static_cast<int>(args.get_int("min-sf", 7));
+  const int max_sf = static_cast<int>(args.get_int("max-sf", 10));
+  const int kmax = static_cast<int>(args.get_int("kmax", 3));
+  const int trials = static_cast<int>(args.get_int("trials", 30));
+  const double grid_min = args.get_double("grid-min", -6.0);
+  const double grid_max = args.get_double("grid-max", 14.0);
+  const double grid_step = args.get_double("grid-step", 2.0);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(args.get_int("seed", 7));
+  const std::size_t payload_bytes =
+      static_cast<std::size_t>(args.get_int("payload", 8));
+  const double inr_db = args.get_double("inr", 6.0);
+  const std::string out =
+      args.get("out", "tests/data/citysim_outcomes.json");
+
+  std::vector<double> grid;
+  for (double x = grid_min; x <= grid_max + 1e-9; x += grid_step)
+    grid.push_back(x);
+
+  citysim::OutcomeTable table;
+  table.set_axes(grid, min_sf, max_sf, kmax);
+  table.meta().seed = seed;
+  table.meta().trials = trials;
+  table.meta().payload_bytes = payload_bytes;
+  table.meta().interferer_inr_db = inr_db;
+  table.meta().analytic = false;
+
+  channel::OscillatorModel osc;
+  const double interferer_lin = std::pow(10.0, inr_db / 10.0);
+
+  for (int sf = min_sf; sf <= max_sf; ++sf) {
+    lora::PhyParams phy;
+    phy.sf = sf;
+    const double floor_db = channel::lora_demod_floor_snr_db(sf);
+    lora::Demodulator demod(phy);
+    core::CollisionDecoder choir_dec(phy);
+
+    for (int k = 1; k <= kmax; ++k) {
+      // Total interference the target sees at the receiver, linear over
+      // noise; the target's transmit SNR compensates so its SINR lands on
+      // the grid point exactly.
+      const double interf_total = static_cast<double>(k - 1) * interferer_lin;
+      const double comp_db = 10.0 * std::log10(1.0 + interf_total);
+
+      std::vector<double> std_curve, choir_curve;
+      for (std::size_t gi = 0; gi < grid.size(); ++gi) {
+        const double target_snr_db = floor_db + grid[gi] + comp_db;
+        int std_ok = 0, choir_ok = 0;
+        for (int tr = 0; tr < trials; ++tr) {
+          // Seed per (sf, k, grid point, trial): any subset of the sweep
+          // reproduces the same captures.
+          Rng rng(seed ^ (static_cast<std::uint64_t>(sf) << 40) ^
+                  (static_cast<std::uint64_t>(k) << 32) ^
+                  (static_cast<std::uint64_t>(gi) << 16) ^
+                  static_cast<std::uint64_t>(tr));
+          std::vector<channel::TxInstance> txs(static_cast<std::size_t>(k));
+          for (int u = 0; u < k; ++u) {
+            auto& tx = txs[static_cast<std::size_t>(u)];
+            tx.phy = phy;
+            tx.payload = random_payload(payload_bytes, rng);
+            tx.hw = channel::DeviceHardware::sample(osc, rng);
+            tx.snr_db = u == 0 ? target_snr_db : inr_db;
+            tx.fading.kind = channel::FadingKind::kNone;
+          }
+          channel::RenderOptions ropt;
+          ropt.osc = osc;
+          const channel::RenderedCapture cap =
+              channel::render_collision(txs, ropt, rng);
+
+          // Standard receiver: single-user chain locked on the target.
+          {
+            const auto start = static_cast<std::size_t>(
+                std::llround(cap.users[0].delay_samples));
+            const lora::DemodResult res =
+                demod.demodulate_at(cap.samples, start);
+            if (res.crc_ok && res.payload == txs[0].payload) ++std_ok;
+          }
+          // Choir receiver: joint decode over the whole collision.
+          {
+            const auto users = choir_dec.decode(cap.samples, 0);
+            for (const auto& du : users) {
+              if (du.crc_ok && du.payload == txs[0].payload) {
+                ++choir_ok;
+                break;
+              }
+            }
+          }
+        }
+        std_curve.push_back(static_cast<double>(std_ok) / trials);
+        choir_curve.push_back(static_cast<double>(choir_ok) / trials);
+      }
+      table.set_curve(citysim::Receiver::kStandard, sf, k, std_curve);
+      table.set_curve(citysim::Receiver::kChoir, sf, k, choir_curve);
+      std::printf("sf%d k%d: standard", sf, k);
+      for (double p : std_curve) std::printf(" %.2f", p);
+      std::printf(" | choir");
+      for (double p : choir_curve) std::printf(" %.2f", p);
+      std::printf("\n");
+      std::fflush(stdout);
+    }
+  }
+
+  table.save(out);
+  std::printf("wrote %s (%d trials per point, %zu grid points, sf%d..%d, "
+              "k<=%d)\n",
+              out.c_str(), trials, grid.size(), min_sf, max_sf, kmax);
+  return 0;
+}
