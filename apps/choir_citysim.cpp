@@ -49,6 +49,10 @@ int main(int argc, char** argv) {
         "  --epoch=SEC         barrier cadence (30)\n"
         "  --max-devices=N     registry session cap, 0 = unbounded (0)\n"
         "  --shards=BITS       log2 registry/dedup shards (6)\n"
+        "  --state-dir=DIR     durable registry snapshot + FCnt journal\n"
+        "  --checkpoint-every=N  checkpoint every N epochs, 0 = off (0)\n"
+        "  --kill-at=N         kill/restore drill at end of epoch N (0)\n"
+        "  --journal-flush=N   journal records per write(2) (1)\n"
         "  --metrics           print the obs metrics table at the end\n"
         "  --metrics-out=FILE  write the obs registry (JSON)\n"
         "  --telemetry-port=N  live HTTP /metrics /health\n"
@@ -76,6 +80,13 @@ int main(int argc, char** argv) {
   opt.net.registry.shard_bits =
       static_cast<std::size_t>(args.get_int("shards", 6));
   opt.net.dedup.shard_bits = opt.net.registry.shard_bits;
+  opt.net.persist.dir = args.get("state-dir", "");
+  opt.net.persist.flush_every_records =
+      static_cast<std::size_t>(args.get_int("journal-flush", 1));
+  opt.checkpoint_epochs =
+      static_cast<std::uint32_t>(args.get_int("checkpoint-every", 0));
+  opt.kill_restore_epoch =
+      static_cast<std::uint32_t>(args.get_int("kill-at", 0));
   const std::string receiver = args.get("receiver", "choir");
   opt.receiver = receiver == "standard" ? citysim::Receiver::kStandard
                                         : citysim::Receiver::kChoir;
@@ -118,8 +129,14 @@ int main(int argc, char** argv) {
     }
   }
 
-  citysim::CityEngine engine(opt, table);
-  const citysim::EngineReport r = engine.run();
+  std::unique_ptr<citysim::CityEngine> engine;
+  try {
+    engine = std::make_unique<citysim::CityEngine>(opt, table);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  const citysim::EngineReport r = engine->run();
 
   std::fputs(citysim::format_report(r).c_str(), stdout);
   std::fputs("net server:\n", stdout);

@@ -10,6 +10,7 @@
 //
 // Pair with gateways:
 //   choir_gateway --synth --uplink-dest=127.0.0.1:9475 --gateway-id=1
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <memory>
@@ -39,7 +40,12 @@ int main(int argc, char** argv) {
         "  --print-frames      print every accepted frame\n"
         "  --metrics           print the obs metrics table at the end\n"
         "  --metrics-out=FILE  write the obs registry (JSON)\n"
-        "  --telemetry-port=N  live HTTP /metrics /health\n");
+        "  --telemetry-port=N  live HTTP /metrics /health\n"
+        "  --state-dir=DIR     durable registry snapshot + FCnt journal;\n"
+        "                      restores on start, checkpoints on exit\n"
+        "  --snapshot-every=S  checkpoint every S seconds (default 30)\n"
+        "  --journal-flush=N   journal records per write(2) (default 1 =\n"
+        "                      every accept durable before confirmation)\n");
     return 2;
   }
 
@@ -48,8 +54,36 @@ int main(int argc, char** argv) {
   cfg.registry.shard_bits =
       static_cast<std::size_t>(args.get_int("shards", 4));
   cfg.dedup.shard_bits = cfg.registry.shard_bits;
+  cfg.persist.dir = args.get("state-dir", "");
+  cfg.persist.flush_every_records =
+      static_cast<std::size_t>(args.get_int("journal-flush", 1));
 
-  net::NetServer server(cfg);
+  std::unique_ptr<net::NetServer> server_ptr;
+  try {
+    server_ptr = std::make_unique<net::NetServer>(cfg);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  net::NetServer& server = *server_ptr;
+  if (server.persistent()) {
+    const auto& rec = server.recovery();
+    if (rec.restored) {
+      std::printf(
+          "netserver: restored generation %llu from %s "
+          "(%llu session(s), %llu journal record(s) replayed, "
+          "%llu discarded, %llu damaged journal tail(s) sealed)\n",
+          static_cast<unsigned long long>(rec.generation),
+          cfg.persist.dir.c_str(),
+          static_cast<unsigned long long>(rec.snapshot_sessions),
+          static_cast<unsigned long long>(rec.replayed),
+          static_cast<unsigned long long>(rec.discarded),
+          static_cast<unsigned long long>(rec.damaged_journals));
+    } else {
+      std::printf("netserver: fresh state in %s\n", cfg.persist.dir.c_str());
+    }
+    std::fflush(stdout);
+  }
   const bool print_frames = args.get_bool("print-frames", false);
   if (print_frames) {
     server.set_callback([](const net::UplinkFrame& f) {
@@ -91,6 +125,25 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Periodic checkpoints rotate the persistence generation so the journal
+  // a restart must replay stays bounded.
+  std::atomic<bool> stop_checkpoints{false};
+  std::thread checkpoint_thread;
+  const double snapshot_every = args.get_double("snapshot-every", 30.0);
+  if (server.persistent() && snapshot_every > 0.0) {
+    checkpoint_thread = std::thread([&] {
+      auto next = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double>(snapshot_every);
+      while (!stop_checkpoints.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        if (std::chrono::steady_clock::now() < next) continue;
+        server.checkpoint();
+        next = std::chrono::steady_clock::now() +
+               std::chrono::duration<double>(snapshot_every);
+      }
+    });
+  }
+
   const double duration = args.get_double("duration", 5.0);
   const auto expect =
       static_cast<std::uint64_t>(args.get_int("expect-frames", 0));
@@ -101,6 +154,11 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
   udp->stop();
+  if (checkpoint_thread.joinable()) {
+    stop_checkpoints.store(true, std::memory_order_relaxed);
+    checkpoint_thread.join();
+  }
+  if (server.persistent()) server.checkpoint();  // graceful-exit snapshot
 
   const auto s = server.stats();
   std::printf("netserver: %llu datagram(s), %zu device(s), "
@@ -141,5 +199,7 @@ int main(int argc, char** argv) {
     std::fflush(stdout);
     std::this_thread::sleep_for(std::chrono::duration<double>(linger));
   }
-  return s.accepted > 0 ? 0 : 1;
+  // Success = the server did real classification work: fresh accepts, or
+  // (after a restore) replay rejections proving the recovered windows.
+  return (s.accepted + s.replay_rejected) > 0 ? 0 : 1;
 }

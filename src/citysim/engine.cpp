@@ -97,6 +97,15 @@ EngineOptions normalize(EngineOptions o) {
   // accounting and thread-count invariance. Clamp the window to cover
   // the worst-case skew so no live frame's entry can expire mid-frame.
   o.net.dedup.window_s = std::max(o.net.dedup.window_s, o.epoch_s + 1.0);
+  if ((o.checkpoint_epochs > 0 || o.kill_restore_epoch > 0) &&
+      o.net.persist.dir.empty())
+    throw std::invalid_argument(
+        "citysim: checkpoint_epochs / kill_restore_epoch require "
+        "net.persist.dir");
+  // The kill drill drops whatever the journal buffered but had not yet
+  // written; only per-record flushing makes recovery lossless, which the
+  // drill's bit-for-bit mirror check demands.
+  if (o.kill_restore_epoch > 0) o.net.persist.flush_every_records = 1;
   return o;
 }
 
@@ -256,7 +265,7 @@ void CityEngine::on_tx_end(Worker& wk, std::uint32_t dev, double t) {
   if (opt_.provision_positions && !model_seen_[dev]) {
     double hx = 0.0, hy = 0.0;
     layout_.device_home(dev, &hx, &hy);
-    server_->registry().provision(dev, hx, hy);
+    server_->provision(dev, hx, hy);  // journaled when persistence is on
   }
 
   const float cfo =
@@ -372,6 +381,22 @@ void CityEngine::run_worker(std::size_t w, double until_s) {
   }
 }
 
+void CityEngine::kill_and_restore() {
+  // The barrier guarantees quiescence: no worker is mid-ingest and every
+  // copy of every frame ending before `until` has been offered. Kill the
+  // persistence exactly as SIGKILL would leave it (unflushed bytes die
+  // with the process — none exist at flush_every_records == 1), drop the
+  // whole server, and rebuild it from the state directory alone. The
+  // engine's model_last_/model_seen_ mirrors are NOT reset: if recovery
+  // is correct they describe the recovered registry too, and the
+  // end-of-run exact-accounting check proves it.
+  server_->persistence()->simulate_kill();
+  server_.reset();
+  server_ = std::make_unique<net::NetServer>(opt_.net);
+  restored_ = true;
+  recovery_ = server_->recovery();
+}
+
 void CityEngine::flush_obs() {
   std::uint64_t ev = 0, tx = 0, dec = 0, col = 0;
   for (const auto& w : workers_) {
@@ -424,6 +449,13 @@ EngineReport CityEngine::run() {
         static_cast<double>(epoch) * opt_.epoch_s < opt_.duration_s) {
       team_churn += server_->teams().rebuild().churned;
     }
+    if (opt_.checkpoint_epochs > 0 &&
+        (epoch + 1) % opt_.checkpoint_epochs == 0) {
+      server_->checkpoint();
+    }
+    if (opt_.kill_restore_epoch > 0 && epoch + 1 == opt_.kill_restore_epoch) {
+      kill_and_restore();
+    }
     flush_obs();
     CHOIR_OBS_GAUGE_SET(
         "citysim.sim_time_s",
@@ -465,6 +497,12 @@ EngineReport CityEngine::run() {
       r.net_stats.replay_rejected == r.expect_replays &&
       r.net_stats.unknown_device == 0 && r.net_stats.malformed == 0;
 
+  r.restored = restored_;
+  r.recovery_generation = recovery_.generation;
+  r.recovery_snapshot_sessions = recovery_.snapshot_sessions;
+  r.recovery_replayed = recovery_.replayed;
+  r.recovery_discarded = recovery_.discarded;
+
   const net::TeamRoster roster = server_->teams().roster();
   r.team_version = roster.version;
   r.teams = roster.plan.teams.size();
@@ -483,7 +521,19 @@ EngineReport CityEngine::run() {
 }
 
 std::string format_report(const EngineReport& r) {
-  char buf[1024];
+  char buf[1200];
+  std::string kill_restore = "off";
+  if (r.restored) {
+    char kr[160];
+    std::snprintf(kr, sizeof(kr),
+                  "recovered gen %llu (%llu sessions, %llu journal records"
+                  " replayed, %llu discarded)",
+                  static_cast<unsigned long long>(r.recovery_generation),
+                  static_cast<unsigned long long>(r.recovery_snapshot_sessions),
+                  static_cast<unsigned long long>(r.recovery_replayed),
+                  static_cast<unsigned long long>(r.recovery_discarded));
+    kill_restore = kr;
+  }
   std::snprintf(
       buf, sizeof(buf),
       "  events              : %llu (%.0f/s)\n"
@@ -498,6 +548,7 @@ std::string format_report(const EngineReport& r) {
       "  teams               : v%llu, %zu teams, %zu individual, "
       "%zu unreachable, churn %llu\n"
       "  accounting          : %s\n"
+      "  kill/restore        : %s\n"
       "  wall                : %.2fs (%.0f uplinks/s)\n",
       static_cast<unsigned long long>(r.events), r.events_per_s,
       static_cast<unsigned long long>(r.transmissions),
@@ -515,7 +566,8 @@ std::string format_report(const EngineReport& r) {
       static_cast<unsigned long long>(r.team_version), r.teams,
       r.team_individual, r.team_unreachable,
       static_cast<unsigned long long>(r.team_churned),
-      r.accounting_exact ? "exact" : "MISMATCH", r.wall_s, r.uplinks_per_s);
+      r.accounting_exact ? "exact" : "MISMATCH",
+      kill_restore.c_str(), r.wall_s, r.uplinks_per_s);
   return buf;
 }
 

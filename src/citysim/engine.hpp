@@ -88,6 +88,21 @@ struct EngineOptions {
   CityOptions city{};
   TrafficOptions traffic{};
   ClassMix mix{};
+  /// Checkpoint the server's persistence generation every this many
+  /// epochs (0 = never). Requires net.persist.dir.
+  std::uint32_t checkpoint_epochs = 0;
+  /// Kill/restore fault drill: at the end of this epoch (1-based; 0 =
+  /// off), the engine SIGKILL-equivalently kills the net server's
+  /// persistence (buffered journal bytes dropped, descriptors closed),
+  /// destroys the server, and reconstructs it from net.persist.dir —
+  /// then keeps simulating against the recovered instance. With
+  /// journal flush_every_records == 1 (forced on when this is set) the
+  /// engine's exact-accounting mirror must still match bit-for-bit at
+  /// the end of the run: the proof that recovery loses nothing.
+  /// Requires net.persist.dir. Kills land at epoch barriers, where no
+  /// frame is mid-flight and all of a frame's gateway copies have been
+  /// ingested — so losing the (unpersisted) dedup window is harmless.
+  std::uint32_t kill_restore_epoch = 0;
   /// Net-server tier configuration. keep_feed is forced off (the feed
   /// would grow with every accepted frame).
   net::NetServerConfig net{};
@@ -119,6 +134,13 @@ struct EngineReport {
   /// registry evicted nothing; evictions reset FCnt windows the mirror
   /// does not track).
   bool accounting_exact = false;
+
+  // Kill/restore drill (kill_restore_epoch > 0).
+  bool restored = false;               ///< the drill ran
+  std::uint64_t recovery_generation = 0;
+  std::uint64_t recovery_snapshot_sessions = 0;
+  std::uint64_t recovery_replayed = 0;   ///< journal records applied
+  std::uint64_t recovery_discarded = 0;  ///< journal records that no-opped
 
   std::uint64_t team_version = 0;
   std::size_t teams = 0;
@@ -159,6 +181,8 @@ class CityEngine {
   void on_tx_end(Worker& wk, std::uint32_t dev, double t);
   void account_copies(Worker& wk, std::uint32_t dev, std::uint32_t fcnt,
                       std::size_t copies, std::uint64_t upgraded);
+  /// The kill/restore drill (see EngineOptions::kill_restore_epoch).
+  void kill_and_restore();
   std::vector<std::uint8_t> make_payload(std::uint32_t dev,
                                          std::uint32_t fcnt,
                                          std::uint32_t nonce) const;
@@ -195,6 +219,8 @@ class CityEngine {
   std::uint64_t flushed_decoded_ = 0;
   std::uint64_t flushed_collided_ = 0;
   bool ran_ = false;
+  bool restored_ = false;  ///< the kill/restore drill has run
+  net::persist::RecoveryStats recovery_{};
 };
 
 }  // namespace choir::citysim

@@ -1,0 +1,62 @@
+#include "net/persist/crash_point.hpp"
+
+#include <map>
+#include <mutex>
+
+namespace choir::net::persist {
+
+namespace {
+
+struct CrashState {
+  std::mutex mu;
+  std::string armed;          // empty = disarmed
+  std::uint64_t armed_nth = 0;
+  std::uint64_t armed_hits = 0;  // executions of `armed` since arming
+  std::map<std::string, std::uint64_t> log;
+};
+
+CrashState& state() {
+  static CrashState s;
+  return s;
+}
+
+}  // namespace
+
+void arm_crash_point(const std::string& name, std::uint64_t nth) {
+  CrashState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.armed = name;
+  s.armed_nth = nth == 0 ? 1 : nth;
+  s.armed_hits = 0;
+}
+
+void disarm_crash_points() {
+  CrashState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.armed.clear();
+  s.armed_nth = 0;
+  s.armed_hits = 0;
+  s.log.clear();
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> crash_point_log() {
+  CrashState& s = state();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return {s.log.begin(), s.log.end()};
+}
+
+void hit_crash_point(const char* name) {
+  CrashState& s = state();
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    ++s.log[name];
+    if (!s.armed.empty() && s.armed == name && ++s.armed_hits == s.armed_nth) {
+      fire = true;
+      s.armed.clear();  // one shot: the "process" is dead after this
+    }
+  }
+  if (fire) throw CrashInjected(name);
+}
+
+}  // namespace choir::net::persist

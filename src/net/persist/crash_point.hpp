@@ -1,0 +1,70 @@
+// Crash-point fault injection for the persistence layer.
+//
+// A crash point is a named boundary inside a disk-mutating operation —
+// before a journal write, between the two halves of a snapshot tmp write,
+// after a manifest rename. Tests *arm* a point; when execution reaches the
+// armed occurrence, `CrashInjected` is thrown. The persistence layer
+// treats the throw as process death: it marks itself crashed *before*
+// rethrowing, so no destructor, flush or retry touches the disk again —
+// whatever bytes were durable at the throw are exactly the bytes a real
+// SIGKILL would have left behind. The crash/restore matrix test
+// (tests/test_persist.cpp) walks every registered point and proves
+// recovery is correct from each one.
+//
+// Like CHOIR_OBS, the hook compiles out of production builds: configure
+// with -DCHOIR_FAULTS=OFF and CHOIR_CRASH_POINT() expands to nothing —
+// no string, no call, no lock. The helper functions below remain defined
+// (tests check kFaultsEnabled and skip), they just never fire.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace choir::net::persist {
+
+#if defined(CHOIR_FAULTS_DISABLED)
+inline constexpr bool kFaultsEnabled = false;
+#else
+inline constexpr bool kFaultsEnabled = true;
+#endif
+
+/// Thrown by an armed crash point. Catching it means "the process died
+/// here": abandon the server instance and recover from disk.
+class CrashInjected : public std::runtime_error {
+ public:
+  explicit CrashInjected(const std::string& point)
+      : std::runtime_error("crash injected at " + point), point_(point) {}
+  const std::string& point() const { return point_; }
+
+ private:
+  std::string point_;
+};
+
+/// Arms crash point `name`: its `nth` execution after this call (1-based)
+/// throws CrashInjected. Only one point is armed at a time; re-arming
+/// replaces the previous armament and restarts its occurrence count.
+void arm_crash_point(const std::string& name, std::uint64_t nth = 1);
+
+/// Disarms everything and clears the hit log.
+void disarm_crash_points();
+
+/// (name, times hit) for every crash point executed since the last
+/// disarm — the matrix test's dry-run enumeration.
+std::vector<std::pair<std::string, std::uint64_t>> crash_point_log();
+
+/// The macro target: logs the hit and throws if this is the armed
+/// occurrence. Call through CHOIR_CRASH_POINT so it compiles out.
+void hit_crash_point(const char* name);
+
+}  // namespace choir::net::persist
+
+#if defined(CHOIR_FAULTS_DISABLED)
+#define CHOIR_CRASH_POINT(name) \
+  do {                          \
+  } while (0)
+#else
+#define CHOIR_CRASH_POINT(name) ::choir::net::persist::hit_crash_point(name)
+#endif

@@ -1,0 +1,114 @@
+// Binary on-disk format shared by the write-ahead journal and the
+// registry snapshot (docs/PERSISTENCE.md has the byte-level spec).
+//
+// Everything is little-endian, written through the explicit put/get
+// helpers below — identical in spirit to the CHOU uplink wire format
+// (src/net/uplink.cpp), so the two tiers stay stylistically one system.
+// Float and double fields are serialized as raw IEEE bit patterns:
+// restore must reproduce session state *bit for bit* (the citysim
+// kill-restore harness diffs CFO EWMAs and SNR histories exactly).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace choir::net::persist {
+
+// ------------------------------------------------------------- LE helpers
+
+inline void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+inline void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>(v >> 8));
+}
+inline void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+inline void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+inline void put_f32(std::string& out, float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, 4);
+  put_u32(out, bits);
+}
+inline void put_f64(std::string& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  put_u64(out, bits);
+}
+
+/// Bounds-checked cursor over a byte buffer. Reads past the end set
+/// `ok = false` and return zeros; callers check once at a record
+/// boundary instead of per field, so corrupt input can never read out of
+/// bounds (the journal fuzz tests run this under ASan).
+struct Cursor {
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  bool need(std::size_t n) {
+    if (!ok || size - pos < n) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+  std::uint8_t u8() {
+    if (!need(1)) return 0;
+    return data[pos++];
+  }
+  std::uint16_t u16() {
+    if (!need(2)) return 0;
+    std::uint16_t v = static_cast<std::uint16_t>(data[pos]) |
+                      static_cast<std::uint16_t>(data[pos + 1]) << 8;
+    pos += 2;
+    return v;
+  }
+  std::uint32_t u32() {
+    if (!need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<std::uint32_t>(data[pos + static_cast<std::size_t>(i)])
+           << (8 * i);
+    pos += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    if (!need(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<std::uint64_t>(data[pos + static_cast<std::size_t>(i)])
+           << (8 * i);
+    pos += 8;
+    return v;
+  }
+  float f32() {
+    const std::uint32_t bits = u32();
+    float v;
+    std::memcpy(&v, &bits, 4);
+    return v;
+  }
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+  }
+};
+
+/// CRC-32 (IEEE 802.3, reflected, the zlib polynomial) over `data`.
+/// Frames every journal record and seals the snapshot, so random bit
+/// flips are detected rather than silently applied to session state.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t len);
+inline std::uint32_t crc32(const std::string& s) {
+  return crc32(reinterpret_cast<const std::uint8_t*>(s.data()), s.size());
+}
+
+}  // namespace choir::net::persist

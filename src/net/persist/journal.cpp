@@ -1,0 +1,174 @@
+#include "net/persist/journal.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "net/persist/format.hpp"
+
+namespace choir::net::persist {
+
+namespace {
+
+/// Reception metadata shared by kAccept and kReject bodies.
+void put_frame(std::string& body, const UplinkFrame& f) {
+  put_u32(body, f.dev_addr);
+  put_u32(body, f.fcnt);
+  put_u32(body, f.gateway_id);
+  put_u16(body, f.channel);
+  put_u8(body, f.sf);
+  put_u8(body, 0);  // flags, reserved
+  put_u64(body, f.stream_offset);
+  put_f32(body, f.snr_db);
+  put_f32(body, f.cfo_bins);
+  put_f32(body, f.timing_samples);
+}
+
+UplinkFrame get_frame(Cursor& c) {
+  UplinkFrame f;
+  f.dev_addr = c.u32();
+  f.fcnt = c.u32();
+  f.gateway_id = c.u32();
+  f.channel = c.u16();
+  f.sf = c.u8();
+  c.u8();  // flags
+  f.stream_offset = c.u64();
+  f.snr_db = c.f32();
+  f.cfo_bins = c.f32();
+  f.timing_samples = c.f32();
+  return f;
+}
+
+}  // namespace
+
+void encode_record(const JournalRecord& r, std::string& out) {
+  std::string body;
+  put_u8(body, static_cast<std::uint8_t>(r.type));
+  switch (r.type) {
+    case RecordType::kProvision:
+      put_u32(body, r.dev_addr);
+      put_f64(body, r.x_m);
+      put_f64(body, r.y_m);
+      break;
+    case RecordType::kAccept:
+      put_frame(body, r.frame);
+      break;
+    case RecordType::kReject:
+      put_u8(body, static_cast<std::uint8_t>(r.reject_kind));
+      put_u8(body, r.upgraded ? 1 : 0);
+      put_frame(body, r.frame);
+      break;
+    case RecordType::kAdrApplied:
+      put_u32(body, r.dev_addr);
+      break;
+    case RecordType::kRoster:
+      put_u64(body, r.roster_version);
+      break;
+  }
+  put_u16(out, static_cast<std::uint16_t>(body.size()));
+  out += body;
+  put_u32(out, crc32(body));
+}
+
+std::string journal_header(std::uint8_t shard) {
+  std::string h;
+  put_u32(h, kJournalMagic);
+  put_u8(h, kJournalVersion);
+  put_u8(h, shard);
+  put_u16(h, 0);
+  return h;
+}
+
+JournalScan scan_journal(const std::uint8_t* data, std::size_t len,
+                         std::uint8_t expect_shard) {
+  JournalScan out;
+  Cursor c{data, len, 0, true};
+  if (c.u32() != kJournalMagic || c.u8() != kJournalVersion ||
+      c.u8() != expect_shard || (c.u16(), !c.ok)) {
+    out.damaged = len != 0;  // an empty file is a clean empty journal
+    return out;
+  }
+  out.bytes = kJournalHeaderBytes;
+
+  for (;;) {
+    const std::size_t record_start = c.pos;
+    if (c.pos == len) break;  // clean end
+    const std::uint16_t rec_len = c.u16();
+    if (!c.ok || rec_len == 0 || rec_len > kMaxRecordBytes ||
+        !c.need(rec_len + 4u)) {
+      out.damaged = true;
+      break;
+    }
+    const std::uint8_t* body = data + c.pos;
+    c.pos += rec_len;
+    const std::uint32_t stored_crc = c.u32();
+    if (crc32(body, rec_len) != stored_crc) {
+      out.damaged = true;
+      break;
+    }
+
+    Cursor b{body, rec_len, 0, true};
+    JournalRecord r;
+    const std::uint8_t type = b.u8();
+    bool known = true;
+    switch (static_cast<RecordType>(type)) {
+      case RecordType::kProvision:
+        r.type = RecordType::kProvision;
+        r.dev_addr = b.u32();
+        r.x_m = b.f64();
+        r.y_m = b.f64();
+        break;
+      case RecordType::kAccept:
+        r.type = RecordType::kAccept;
+        r.frame = get_frame(b);
+        break;
+      case RecordType::kReject: {
+        r.type = RecordType::kReject;
+        const std::uint8_t kind = b.u8();
+        if (kind < 1 || kind > 4) {
+          known = false;
+          break;
+        }
+        r.reject_kind = static_cast<RejectKind>(kind);
+        r.upgraded = b.u8() != 0;
+        r.frame = get_frame(b);
+        break;
+      }
+      case RecordType::kAdrApplied:
+        r.type = RecordType::kAdrApplied;
+        r.dev_addr = b.u32();
+        break;
+      case RecordType::kRoster:
+        r.type = RecordType::kRoster;
+        r.roster_version = b.u64();
+        break;
+      default:
+        known = false;  // future record type: CRC says intact, skip it
+        break;
+    }
+    if (known && !b.ok) {
+      // CRC passed but the body is shorter than the type demands — a
+      // writer bug or a forged record; stop rather than apply garbage.
+      out.damaged = true;
+      break;
+    }
+    if (known) {
+      out.records.push_back(std::move(r));
+    } else {
+      ++out.skipped_unknown;
+    }
+    out.bytes += c.pos - record_start;
+  }
+  return out;
+}
+
+JournalScan load_journal(const std::string& path, std::uint8_t expect_shard) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return {};  // missing file: clean empty journal
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  const std::string bytes = ss.str();
+  return scan_journal(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+                      bytes.size(), expect_shard);
+}
+
+}  // namespace choir::net::persist

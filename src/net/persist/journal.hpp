@@ -1,0 +1,102 @@
+// Write-ahead journal of control-plane mutations.
+//
+// One journal file per registry shard, so concurrent ingest threads
+// contend only on their shard's writer and per-device record order is the
+// shard's true mutation order. Each file:
+//
+//   header:  magic "CHOJ" u32 | version u8 | shard u8 | reserved u16
+//   records: { len u16 | type u8 | body | crc32 u32 } ...
+//
+// `len` counts type+body; the CRC covers type+body. Records are
+// append-only and self-delimiting: a reader needs no index, can tail a
+// growing file (the future hot-standby path), and recovers any prefix of
+// a valid journal to the last intact record — a torn tail, a truncation
+// or a flipped bit stops the scan exactly at the damage. A record whose
+// type is unknown but whose CRC verifies is *skipped*, not fatal, so old
+// readers survive new record types.
+//
+// Record types (bodies in docs/PERSISTENCE.md):
+//   kProvision  device provisioned / repositioned
+//   kAccept     uplink accepted by the FCnt window (full reception
+//               metadata: replaying it through DeviceRegistry::accept
+//               reproduces the session bit for bit)
+//   kReject     uplink counted but not accepted (dedup / replay /
+//               unknown-device / malformed), with the reception metadata
+//               so best-SNR dedup upgrades replay too
+//   kAdrApplied ADR change commanded (SNR history cleared)
+//   kRoster     team roster rebuilt to a new version
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/uplink.hpp"
+
+namespace choir::net::persist {
+
+inline constexpr std::uint32_t kJournalMagic = 0x4A4F4843;  // "CHOJ" LE
+inline constexpr std::uint8_t kJournalVersion = 1;
+inline constexpr std::size_t kJournalHeaderBytes = 8;
+/// Sanity cap on one record's len field; anything larger is damage.
+inline constexpr std::size_t kMaxRecordBytes = 256;
+
+enum class RecordType : std::uint8_t {
+  kProvision = 1,
+  kAccept = 2,
+  kReject = 3,
+  kAdrApplied = 4,
+  kRoster = 5,
+};
+
+/// Why an uplink was rejected (kReject body).
+enum class RejectKind : std::uint8_t {
+  kDedup = 1,
+  kReplay = 2,
+  kUnknownDevice = 3,
+  kMalformed = 4,
+};
+
+/// One decoded journal record. `frame` is populated for kAccept/kReject
+/// (payload left empty — the registry never stores payload bytes).
+struct JournalRecord {
+  RecordType type = RecordType::kAccept;
+  // kProvision
+  std::uint32_t dev_addr = 0;
+  double x_m = 0.0, y_m = 0.0;
+  // kAccept / kReject
+  UplinkFrame frame;
+  // kReject
+  RejectKind reject_kind = RejectKind::kDedup;
+  bool upgraded = false;  ///< dedup rejects that won on SNR
+  // kRoster
+  std::uint64_t roster_version = 0;
+};
+
+/// Appends the framed encoding of `r` (len|type|body|crc) to `out`.
+void encode_record(const JournalRecord& r, std::string& out);
+
+/// File header for shard `shard`.
+std::string journal_header(std::uint8_t shard);
+
+/// Outcome of scanning one journal file's bytes.
+struct JournalScan {
+  std::vector<JournalRecord> records;
+  std::uint64_t bytes = 0;            ///< bytes consumed as intact records
+  std::uint64_t skipped_unknown = 0;  ///< intact records of unknown type
+  /// True when the scan stopped before the end of the buffer: torn tail,
+  /// truncated record, CRC mismatch, or a bad/missing header.
+  bool damaged = false;
+};
+
+/// Decodes `len` bytes of a journal file (header + records). Never
+/// throws; damage stops the scan at the last intact record.
+JournalScan scan_journal(const std::uint8_t* data, std::size_t len,
+                         std::uint8_t expect_shard);
+
+/// Loads and scans a journal file. A missing file is an empty, undamaged
+/// scan (a crash between snapshot commit and journal creation leaves
+/// exactly that).
+JournalScan load_journal(const std::string& path, std::uint8_t expect_shard);
+
+}  // namespace choir::net::persist

@@ -1,0 +1,329 @@
+#include "net/persist/persistence.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "net/persist/crash_point.hpp"
+#include "net/persist/format.hpp"
+#include "obs/obs.hpp"
+#include "util/atomic_write.hpp"
+
+namespace fs = std::filesystem;
+
+namespace choir::net::persist {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw std::runtime_error("persist: " + what + ": " +
+                           std::strerror(errno));
+}
+
+/// write(2) the whole buffer, retrying short writes and EINTR.
+void write_all(int fd, const char* data, std::size_t len,
+               const std::string& what) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("write " + what);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string read_small_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return {};
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+Persistence::Persistence(const PersistOptions& opt, std::size_t n_shards)
+    : opt_(opt), n_shards_(n_shards) {
+  if (opt_.dir.empty())
+    throw std::runtime_error("persist: empty state directory");
+  if (opt_.flush_every_records == 0) opt_.flush_every_records = 1;
+  std::error_code ec;
+  fs::create_directories(opt_.dir, ec);
+  if (ec)
+    throw std::runtime_error("persist: cannot create state dir " + opt_.dir +
+                             ": " + ec.message());
+  writers_.reserve(n_shards_);
+  for (std::size_t i = 0; i < n_shards_; ++i)
+    writers_.push_back(std::make_unique<ShardWriter>());
+}
+
+Persistence::~Persistence() {
+  if (crashed_) return;  // a crashed instance must not touch disk again
+  try {
+    close_writers(/*flush=*/true);
+  } catch (...) {
+    // Destructor: swallow flush failures; the journal simply ends at the
+    // last successful write, which recovery handles by design.
+  }
+}
+
+std::string Persistence::snapshot_path(std::uint64_t gen) const {
+  return opt_.dir + "/snapshot-" + std::to_string(gen) + ".bin";
+}
+
+std::string Persistence::journal_path(std::uint64_t gen,
+                                      std::size_t shard) const {
+  return opt_.dir + "/journal-" + std::to_string(gen) + "-" +
+         std::to_string(shard) + ".log";
+}
+
+std::string Persistence::manifest_path() const {
+  return opt_.dir + "/MANIFEST";
+}
+
+bool Persistence::recover(SnapshotImage& image,
+                          std::vector<std::vector<JournalRecord>>& shard_records,
+                          RecoveryStats& st) {
+  st = RecoveryStats{};
+  shard_records.assign(n_shards_, {});
+
+  // MANIFEST is one line: "gen <g>\n". Absent or unparsable means no
+  // generation was ever committed — fresh start (atomic_write guarantees
+  // it is never half-written).
+  const std::string manifest = read_small_file(manifest_path());
+  std::uint64_t gen = 0;
+  {
+    std::istringstream ss(manifest);
+    std::string tag;
+    if (!(ss >> tag >> gen) || tag != "gen") return false;
+  }
+
+  const std::string snap_bytes = read_small_file(snapshot_path(gen));
+  if (snap_bytes.empty())
+    throw std::runtime_error(
+        "persist: MANIFEST names generation " + std::to_string(gen) +
+        " but " + snapshot_path(gen) +
+        " is missing or empty; refusing to start with reopened replay "
+        "windows (remove the state dir to discard the instance)");
+  image = decode_snapshot(snap_bytes);  // throws on damage
+
+  for (std::size_t sh = 0; sh < n_shards_; ++sh) {
+    JournalScan scan =
+        load_journal(journal_path(gen, sh), static_cast<std::uint8_t>(sh));
+    st.journal_records += scan.records.size();
+    st.journal_bytes += scan.bytes;
+    st.skipped_unknown += scan.skipped_unknown;
+    if (scan.damaged) ++st.damaged_journals;
+    shard_records[sh] = std::move(scan.records);
+  }
+
+  generation_ = gen;
+  st.restored = true;
+  st.generation = gen;
+  st.snapshot_sessions = 0;
+  for (const auto& shard : image.shards) st.snapshot_sessions += shard.size();
+  return true;
+}
+
+void Persistence::begin_generation(const SnapshotImage& image) {
+  if (crashed_)
+    throw std::runtime_error("persist: instance already crashed");
+
+  // 1. Seal the outgoing generation's journals: flush buffers and close,
+  //    so the files we are about to supersede are as complete as they
+  //    will ever be. (Crash after this: old generation still live, fully
+  //    intact — recovery replays it.)
+  close_writers(/*flush=*/true);
+
+  const std::uint64_t next = generation_ + 1;
+
+  // 2. Stage the snapshot. util::atomic_write's temp+rename means a
+  //    crash mid-write leaves at most a stray .tmp file that no MANIFEST
+  //    references. The hook forwards each stage to a named crash point.
+  try {
+    CHOIR_CRASH_POINT("checkpoint.snapshot.before");
+    util::atomic_write(
+        snapshot_path(next), encode_snapshot(image),
+        [](util::AtomicWriteStage st) {
+          switch (st) {
+            case util::AtomicWriteStage::kBeforeTmpWrite:
+              CHOIR_CRASH_POINT("checkpoint.snapshot.tmp_open");
+              break;
+            case util::AtomicWriteStage::kMidTmpWrite:
+              CHOIR_CRASH_POINT("checkpoint.snapshot.tmp_torn");
+              break;
+            case util::AtomicWriteStage::kBeforeRename:
+              CHOIR_CRASH_POINT("checkpoint.snapshot.before_rename");
+              break;
+            case util::AtomicWriteStage::kAfterRename:
+              CHOIR_CRASH_POINT("checkpoint.snapshot.after_rename");
+              break;
+          }
+        });
+
+    // 3. Open the new generation's journals (empty, header only).
+    //    Crash here: snapshot-<next> exists but MANIFEST still names the
+    //    old generation, so it is dead weight that the next successful
+    //    checkpoint deletes.
+    CHOIR_CRASH_POINT("checkpoint.journal.before_open");
+    open_generation_journals(next);
+    CHOIR_CRASH_POINT("checkpoint.journal.after_open");
+
+    // 4. THE commit point: atomically repoint MANIFEST.
+    CHOIR_CRASH_POINT("checkpoint.manifest.before");
+    util::atomic_write(manifest_path(),
+                       "gen " + std::to_string(next) + "\n");
+    CHOIR_CRASH_POINT("checkpoint.manifest.after");
+
+    generation_ = next;
+
+    // 5. Garbage-collect superseded generations. Crash mid-delete is
+    //    harmless: MANIFEST already names the new generation and
+    //    recovery never looks at the leftovers.
+    CHOIR_CRASH_POINT("checkpoint.cleanup.before_delete");
+    delete_stale_generations(next);
+  } catch (const CrashInjected&) {
+    crashed_ = true;  // freeze: disk now looks exactly like a SIGKILL
+    close_writers(/*flush=*/false);
+    throw;
+  }
+}
+
+void Persistence::open_generation_journals(std::uint64_t gen) {
+  for (std::size_t sh = 0; sh < n_shards_; ++sh) {
+    ShardWriter& w = *writers_[sh];
+    std::lock_guard<std::mutex> lk(w.mu);
+    const std::string path = journal_path(gen, sh);
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) fail("open " + path);
+    const std::string header = journal_header(static_cast<std::uint8_t>(sh));
+    try {
+      write_all(fd, header.data(), header.size(), path);
+    } catch (...) {
+      ::close(fd);
+      throw;
+    }
+    w.fd = fd;
+    w.buffer.clear();
+    w.buffered_records = 0;
+  }
+}
+
+void Persistence::append(std::size_t shard, const JournalRecord& r) {
+  if (crashed_) return;  // dead instance: silently drop (post-kill)
+  ShardWriter& w = *writers_[shard];
+  std::lock_guard<std::mutex> lk(w.mu);
+  if (w.fd < 0) return;  // no generation open yet (recovery in progress)
+  encode_record(r, w.buffer);
+  ++w.buffered_records;
+  if (w.buffered_records >= opt_.flush_every_records) flush_locked(w);
+}
+
+void Persistence::flush_locked(ShardWriter& w) {
+  if (w.buffer.empty()) {
+    w.buffered_records = 0;
+    return;
+  }
+  try {
+    CHOIR_CRASH_POINT("journal.flush.before_write");
+    if (w.buffer.size() > 1) {
+      // Two-part write so a crash point can model a torn record: the
+      // kernel may persist any prefix of a buffered write on real kills.
+      const std::size_t half = w.buffer.size() / 2;
+      write_all(w.fd, w.buffer.data(), half, "journal");
+      CHOIR_CRASH_POINT("journal.flush.mid_write");
+      write_all(w.fd, w.buffer.data() + half, w.buffer.size() - half,
+                "journal");
+    } else {
+      write_all(w.fd, w.buffer.data(), w.buffer.size(), "journal");
+    }
+    CHOIR_CRASH_POINT("journal.flush.after_write");
+  } catch (const CrashInjected&) {
+    crashed_ = true;
+    throw;
+  }
+  w.records += w.buffered_records;
+  w.bytes += w.buffer.size();
+  CHOIR_OBS_COUNT("net.persist.journal.bytes", w.buffer.size());
+  w.buffer.clear();
+  w.buffered_records = 0;
+}
+
+void Persistence::flush_all() {
+  if (crashed_) return;
+  for (auto& wp : writers_) {
+    ShardWriter& w = *wp;
+    std::lock_guard<std::mutex> lk(w.mu);
+    if (w.fd >= 0) flush_locked(w);
+  }
+}
+
+void Persistence::close_writers(bool flush) {
+  for (auto& wp : writers_) {
+    ShardWriter& w = *wp;
+    std::lock_guard<std::mutex> lk(w.mu);
+    if (w.fd < 0) continue;
+    if (flush) flush_locked(w);
+    ::close(w.fd);  // close(2) does not flush user buffers — ours are gone
+    w.fd = -1;
+    w.buffer.clear();
+    w.buffered_records = 0;
+  }
+}
+
+void Persistence::simulate_kill() {
+  crashed_ = true;
+  for (auto& wp : writers_) {
+    ShardWriter& w = *wp;
+    std::lock_guard<std::mutex> lk(w.mu);
+    if (w.fd >= 0) ::close(w.fd);
+    w.fd = -1;
+    w.buffer.clear();  // buffered-but-unwritten records die with the process
+    w.buffered_records = 0;
+  }
+}
+
+void Persistence::delete_stale_generations(std::uint64_t keep) {
+  std::error_code ec;
+  for (const auto& ent : fs::directory_iterator(opt_.dir, ec)) {
+    const std::string name = ent.path().filename().string();
+    std::uint64_t gen = 0;
+    if (name.rfind("snapshot-", 0) == 0)
+      gen = std::strtoull(name.c_str() + 9, nullptr, 10);
+    else if (name.rfind("journal-", 0) == 0)
+      gen = std::strtoull(name.c_str() + 8, nullptr, 10);
+    else
+      continue;
+    if (gen == keep) continue;
+    std::error_code rm_ec;
+    fs::remove(ent.path(), rm_ec);  // best-effort GC
+  }
+}
+
+std::uint64_t Persistence::journal_records_written() const {
+  std::uint64_t n = 0;
+  for (const auto& wp : writers_) {
+    std::lock_guard<std::mutex> lk(wp->mu);
+    n += wp->records;
+  }
+  return n;
+}
+
+std::uint64_t Persistence::journal_bytes_written() const {
+  std::uint64_t n = 0;
+  for (const auto& wp : writers_) {
+    std::lock_guard<std::mutex> lk(wp->mu);
+    n += wp->bytes;
+  }
+  return n;
+}
+
+}  // namespace choir::net::persist

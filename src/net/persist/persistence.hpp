@@ -1,0 +1,143 @@
+// Storage engine for the durable control plane: generations, manifest,
+// snapshot files and per-shard write-ahead journals under one state
+// directory.
+//
+//   <dir>/MANIFEST                the commit point: names the live
+//                                 generation g (written atomically)
+//   <dir>/snapshot-<g>.bin        registry+counters+teams at gen start
+//   <dir>/journal-<g>-<s>.log     shard s's mutations after the snapshot
+//
+// Checkpoint protocol (begin_generation): flush old journals -> write
+// snapshot-<g+1> via util::atomic_write -> create empty journal-<g+1>-*
+// files -> atomically rewrite MANIFEST (the commit) -> delete stale
+// generations. A crash at *any* boundary leaves the directory naming a
+// complete, consistent generation: before the manifest rename the old
+// generation is still live and intact, after it the new one is. Every
+// boundary carries a CHOIR_CRASH_POINT so the fault-injection matrix can
+// prove that sentence rather than assert it.
+//
+// Durability: a journal append is buffered per shard and written to the
+// OS at every `flush_every_records` records. Once write(2) returns, the
+// record survives SIGKILL (page cache outlives the process). The default
+// of 1 makes each accept durable before NetServer confirms it to the
+// callback — exactly-once across a crash; raising it trades a bounded
+// tail-loss window for fewer syscalls (group commit), like Redis AOF
+// everysec. fsync is deliberately not issued (power loss is out of
+// scope; see docs/PERSISTENCE.md).
+//
+// This class is storage only: NetServer owns *applying* recovered state
+// and deciding what to journal. Thread safety: appends lock only their
+// shard's writer; begin_generation must run quiesced (NetServer's
+// persist gate guarantees it).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/persist/journal.hpp"
+#include "net/persist/snapshot.hpp"
+
+namespace choir::net::persist {
+
+struct PersistOptions {
+  /// State directory (created if missing). Empty = persistence disabled.
+  std::string dir;
+  /// Journal records buffered per shard before a write(2). 1 = every
+  /// record durable before the ingest returns (strict exactly-once);
+  /// larger values group-commit with a bounded tail-loss window.
+  std::size_t flush_every_records = 1;
+};
+
+/// What recovery found on disk. Exposed by NetServer::recovery() and
+/// mirrored into net.persist.recovery.* counters.
+struct RecoveryStats {
+  bool restored = false;           ///< a previous generation was loaded
+  std::uint64_t generation = 0;    ///< generation recovered from
+  std::uint64_t snapshot_sessions = 0;
+  std::uint64_t journal_records = 0;   ///< intact records scanned
+  std::uint64_t journal_bytes = 0;
+  std::uint64_t replayed = 0;      ///< records applied to the registry
+  std::uint64_t discarded = 0;     ///< stale/no-op records skipped on apply
+  std::uint64_t skipped_unknown = 0;
+  std::uint64_t damaged_journals = 0;  ///< journals cut short by damage
+};
+
+class Persistence {
+ public:
+  /// Opens (creating if needed) the state directory. Does not read
+  /// anything yet — call recover() before the first append.
+  Persistence(const PersistOptions& opt, std::size_t n_shards);
+  ~Persistence();
+
+  Persistence(const Persistence&) = delete;
+  Persistence& operator=(const Persistence&) = delete;
+
+  /// Reads MANIFEST + snapshot + journals of the live generation.
+  /// Returns false when the directory holds no committed generation
+  /// (fresh start). Throws std::runtime_error when a committed
+  /// generation's snapshot is unreadable (we will not silently reopen
+  /// replay windows). Populates `st` either way.
+  bool recover(SnapshotImage& image,
+               std::vector<std::vector<JournalRecord>>& shard_records,
+               RecoveryStats& st);
+
+  /// Starts generation current+1 from `image` (the checkpoint protocol
+  /// above). Caller must be quiesced. Also the first call after
+  /// construction/recovery: it seals any damaged journal tails into a
+  /// fresh, clean generation.
+  void begin_generation(const SnapshotImage& image);
+
+  // Journal appends (thread-safe; routed to `shard`'s writer, which for
+  // device-keyed records must be the registry's shard index so per-device
+  // order is preserved).
+  void append(std::size_t shard, const JournalRecord& r);
+
+  /// Flushes every shard's buffered records to the OS.
+  void flush_all();
+
+  /// SIGKILL-equivalent: drop every buffered byte, close descriptors,
+  /// refuse all further writes. The disk keeps exactly what a kill at
+  /// this instant would have left. Used by the kill/restore harnesses.
+  void simulate_kill();
+
+  /// True once a CrashInjected fired (or simulate_kill ran); the
+  /// instance is permanently read-only-dead.
+  bool crashed() const { return crashed_; }
+
+  std::uint64_t generation() const { return generation_; }
+  std::uint64_t journal_records_written() const;
+  std::uint64_t journal_bytes_written() const;
+
+  const PersistOptions& options() const { return opt_; }
+
+ private:
+  struct ShardWriter {
+    std::mutex mu;
+    int fd = -1;
+    std::string buffer;
+    std::size_t buffered_records = 0;
+    std::uint64_t records = 0;  ///< written (flushed) records
+    std::uint64_t bytes = 0;    ///< written (flushed) bytes
+  };
+
+  std::string snapshot_path(std::uint64_t gen) const;
+  std::string journal_path(std::uint64_t gen, std::size_t shard) const;
+  std::string manifest_path() const;
+  /// Flush one writer's buffer (caller holds its mutex). Crash points
+  /// inside; marks crashed_ and rethrows on injection.
+  void flush_locked(ShardWriter& w);
+  void open_generation_journals(std::uint64_t gen);
+  void close_writers(bool flush);
+  void delete_stale_generations(std::uint64_t keep);
+
+  PersistOptions opt_;
+  std::size_t n_shards_;
+  std::uint64_t generation_ = 0;
+  bool crashed_ = false;
+  std::vector<std::unique_ptr<ShardWriter>> writers_;
+};
+
+}  // namespace choir::net::persist

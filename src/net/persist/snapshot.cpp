@@ -1,0 +1,145 @@
+#include "net/persist/snapshot.hpp"
+
+#include <stdexcept>
+
+#include "net/persist/format.hpp"
+
+namespace choir::net::persist {
+
+namespace {
+
+[[noreturn]] void corrupt(const char* what) {
+  throw std::runtime_error(std::string("snapshot: ") + what);
+}
+
+void put_session(std::string& out, const DeviceSession& s) {
+  put_u32(out, s.dev_addr);
+  put_f64(out, s.x_m);
+  put_f64(out, s.y_m);
+  put_u8(out, s.seen ? 1 : 0);
+  put_u8(out, s.snr_count);
+  put_u8(out, s.snr_head);
+  put_u8(out, 0);  // reserved
+  put_u32(out, s.last_fcnt);
+  put_u64(out, s.uplinks);
+  put_u64(out, s.replays);
+  put_u32(out, s.last_gateway);
+  put_u16(out, s.last_channel);
+  put_u16(out, 0);  // reserved
+  put_f64(out, s.last_snr_db);
+  put_f64(out, s.last_timing_samples);
+  put_f64(out, s.cfo_fingerprint_bins);
+  for (float v : s.snr_hist) put_f32(out, v);
+}
+
+DeviceSession get_session(Cursor& c) {
+  DeviceSession s;
+  s.dev_addr = c.u32();
+  s.x_m = c.f64();
+  s.y_m = c.f64();
+  s.seen = c.u8() != 0;
+  s.snr_count = c.u8();
+  s.snr_head = c.u8();
+  c.u8();
+  s.last_fcnt = c.u32();
+  s.uplinks = c.u64();
+  s.replays = c.u64();
+  s.last_gateway = c.u32();
+  s.last_channel = c.u16();
+  c.u16();
+  s.last_snr_db = c.f64();
+  s.last_timing_samples = c.f64();
+  s.cfo_fingerprint_bins = c.f64();
+  for (std::size_t i = 0; i < kSnrHistory; ++i) s.snr_hist[i] = c.f32();
+  if (s.snr_count > kSnrHistory || s.snr_head >= kSnrHistory)
+    corrupt("session SNR ring out of range");
+  return s;
+}
+
+}  // namespace
+
+std::string encode_snapshot(const SnapshotImage& img) {
+  std::string out;
+  put_u32(out, kSnapshotMagic);
+  put_u16(out, kSnapshotVersion);
+  put_u16(out, 0);  // flags
+
+  put_u64(out, img.counters.uplinks);
+  put_u64(out, img.counters.accepted);
+  put_u64(out, img.counters.dedup_dropped);
+  put_u64(out, img.counters.dedup_upgraded);
+  put_u64(out, img.counters.replay_rejected);
+  put_u64(out, img.counters.unknown_device);
+  put_u64(out, img.counters.malformed);
+  put_u64(out, img.evicted);
+
+  put_u64(out, img.team_version);
+  put_u64(out, img.assignments.size());
+  for (const auto& [dev, a] : img.assignments) {
+    put_u32(out, dev);
+    put_u32(out, static_cast<std::uint32_t>(a));
+  }
+
+  put_u32(out, img.shard_bits);
+  for (const auto& shard : img.shards) {
+    put_u32(out, static_cast<std::uint32_t>(shard.size()));
+    for (const DeviceSession& s : shard) put_session(out, s);
+  }
+
+  put_u32(out, crc32(out));
+  return out;
+}
+
+SnapshotImage decode_snapshot(const std::string& bytes) {
+  if (bytes.size() < 4 + 4) corrupt("too short");
+  const std::string_view body(bytes.data(), bytes.size() - 4);
+  Cursor tail{reinterpret_cast<const std::uint8_t*>(bytes.data()),
+              bytes.size(), bytes.size() - 4, true};
+  if (crc32(reinterpret_cast<const std::uint8_t*>(body.data()),
+            body.size()) != tail.u32())
+    corrupt("CRC mismatch");
+
+  Cursor c{reinterpret_cast<const std::uint8_t*>(body.data()), body.size(),
+           0, true};
+  if (c.u32() != kSnapshotMagic) corrupt("bad magic");
+  if (c.u16() != kSnapshotVersion) corrupt("unsupported version");
+  c.u16();  // flags
+
+  SnapshotImage img;
+  img.counters.uplinks = c.u64();
+  img.counters.accepted = c.u64();
+  img.counters.dedup_dropped = c.u64();
+  img.counters.dedup_upgraded = c.u64();
+  img.counters.replay_rejected = c.u64();
+  img.counters.unknown_device = c.u64();
+  img.counters.malformed = c.u64();
+  img.evicted = c.u64();
+
+  img.team_version = c.u64();
+  const std::uint64_t n_assign = c.u64();
+  if (!c.ok || n_assign > (body.size() / 8))
+    corrupt("assignment count out of range");
+  img.assignments.reserve(n_assign);
+  for (std::uint64_t i = 0; i < n_assign; ++i) {
+    const std::uint32_t dev = c.u32();
+    const std::int32_t a = static_cast<std::int32_t>(c.u32());
+    img.assignments.emplace_back(dev, a);
+  }
+
+  img.shard_bits = c.u32();
+  if (!c.ok || img.shard_bits > 12) corrupt("shard_bits out of range");
+  const std::size_t n_shards = std::size_t{1} << img.shard_bits;
+  img.shards.resize(n_shards);
+  for (std::size_t sh = 0; sh < n_shards; ++sh) {
+    const std::uint32_t n = c.u32();
+    if (!c.ok || n > body.size()) corrupt("session count out of range");
+    img.shards[sh].reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i)
+      img.shards[sh].push_back(get_session(c));
+    if (!c.ok) corrupt("truncated shard");
+  }
+  if (!c.ok || c.pos != body.size()) corrupt("trailing or missing bytes");
+  return img;
+}
+
+}  // namespace choir::net::persist

@@ -1,0 +1,54 @@
+// Versioned binary snapshot of the network server's durable state: the
+// sharded device registry (sessions in provisioning order, so FIFO
+// eviction replays identically), the ingest counters, and the team
+// manager's roster version + stable assignments.
+//
+// Layout (all little-endian; docs/PERSISTENCE.md has the field tables):
+//
+//   magic "CHSS" u32 | version u16 | flags u16
+//   counters: 7 x u64 (uplinks, accepted, dedup_dropped, dedup_upgraded,
+//             replay_rejected, unknown_device, malformed)
+//   evicted u64
+//   team: version u64 | n_assign u64 | { dev u32, assignment i32 } ...
+//   registry: shard_bits u32 | per shard: n u32 | session records
+//   crc32 u32 over everything above
+//
+// A snapshot is only ever written through util::atomic_write, so on disk
+// it is either absent or complete; the trailing CRC turns silent media
+// corruption into a clean load error instead of a poisoned registry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/registry.hpp"
+#include "net/server_stats.hpp"
+
+namespace choir::net::persist {
+
+inline constexpr std::uint32_t kSnapshotMagic = 0x53534843;  // "CHSS" LE
+inline constexpr std::uint16_t kSnapshotVersion = 1;
+
+/// In-memory image of a snapshot: what checkpoint() serializes and
+/// recovery deserializes before applying it to a live NetServer.
+struct SnapshotImage {
+  NetServerStats counters{};
+  std::uint64_t evicted = 0;
+  std::uint64_t team_version = 0;
+  /// TeamManager's stable-assignment map (dev -> team key / -1 / -2).
+  std::vector<std::pair<std::uint32_t, std::int32_t>> assignments;
+  std::uint32_t shard_bits = 0;
+  /// Per shard, sessions in provisioning order.
+  std::vector<std::vector<DeviceSession>> shards;
+};
+
+/// Serializes `img` (including the trailing CRC).
+std::string encode_snapshot(const SnapshotImage& img);
+
+/// Parses a snapshot. Throws std::runtime_error on any structural
+/// damage: bad magic/version, truncation, or CRC mismatch.
+SnapshotImage decode_snapshot(const std::string& bytes);
+
+}  // namespace choir::net::persist

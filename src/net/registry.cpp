@@ -183,6 +183,54 @@ std::size_t DeviceRegistry::device_count() const {
   return n;
 }
 
+std::vector<DeviceSession> DeviceRegistry::dump_shard(std::size_t i) const {
+  Shard& sh = *shards_[i];
+  std::lock_guard<std::mutex> lock(sh.mu);
+  std::vector<DeviceSession> out;
+  out.reserve(sh.sessions.size());
+  if (shard_cap_ > 0) {
+    for (std::uint32_t dev : sh.order) {
+      auto it = sh.sessions.find(dev);
+      if (it != sh.sessions.end()) out.push_back(it->second);
+    }
+  } else {
+    for (const auto& [dev, s] : sh.sessions) out.push_back(s);
+  }
+  return out;
+}
+
+void DeviceRegistry::restore_shard(std::size_t i,
+                                   const std::vector<DeviceSession>& sessions) {
+  Shard& sh = *shards_[i];
+  std::lock_guard<std::mutex> lock(sh.mu);
+  const std::size_t before = sh.sessions.size();
+  sh.sessions.clear();
+  sh.order.clear();
+  for (const DeviceSession& s : sessions) {
+    if ((mix(s.dev_addr) & (shards_.size() - 1)) != i)
+      throw std::invalid_argument(
+          "registry: restored session for device " +
+          std::to_string(s.dev_addr) + " does not hash to shard " +
+          std::to_string(i) + " (snapshot written with different shard_bits?)");
+    sh.sessions[s.dev_addr] = s;
+    if (shard_cap_ > 0) sh.order.push_back(s.dev_addr);
+  }
+  if constexpr (obs::kEnabled) {
+    shard_gauges_[i]->set(static_cast<std::int64_t>(sh.sessions.size()));
+    total_gauge_->add(static_cast<std::int64_t>(sh.sessions.size()) -
+                      static_cast<std::int64_t>(before));
+  }
+}
+
+void DeviceRegistry::restore_evicted(std::uint64_t n) {
+  const std::uint64_t before = evicted_.exchange(n, std::memory_order_relaxed);
+  if constexpr (obs::kEnabled) {
+    if (n > before) evicted_counter_->add(static_cast<std::int64_t>(n - before));
+  } else {
+    (void)before;
+  }
+}
+
 std::vector<std::size_t> DeviceRegistry::shard_occupancy() const {
   std::vector<std::size_t> occ(shards_.size());
   for (std::size_t i = 0; i < shards_.size(); ++i) {

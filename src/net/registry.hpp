@@ -131,6 +131,28 @@ class DeviceRegistry {
   std::size_t device_count() const;
   std::size_t n_shards() const { return shards_.size(); }
   std::vector<std::size_t> shard_occupancy() const;
+
+  /// Shard a device hashes to — the persistence tier keys its per-shard
+  /// write-ahead journals on this so per-device record order is total.
+  std::size_t shard_index(std::uint32_t dev_addr) const {
+    return mix(dev_addr) & (shards_.size() - 1);
+  }
+
+  /// Sessions of shard `i` in provisioning order (the FIFO eviction
+  /// order) when max_devices caps the registry, map order otherwise.
+  /// Snapshot serialization: restore_shard() of this exact sequence
+  /// reproduces the shard bit-for-bit, including future eviction order.
+  std::vector<DeviceSession> dump_shard(std::size_t i) const;
+
+  /// Replaces shard `i` with `sessions` (in provisioning order). Throws
+  /// std::invalid_argument if any session hashes to a different shard —
+  /// that means the snapshot was written with different shard_bits.
+  void restore_shard(std::size_t i, const std::vector<DeviceSession>& sessions);
+
+  /// Restores the lifetime eviction counter after a snapshot load so
+  /// `net.registry.evicted` keeps counting from where the dead process
+  /// left off.
+  void restore_evicted(std::uint64_t n);
   /// Sessions evicted by the max_devices cap since construction.
   std::uint64_t evicted() const { return evicted_.load(std::memory_order_relaxed); }
 

@@ -1,8 +1,14 @@
 #include "net/server.hpp"
 
 #include <cstdio>
+#include <stdexcept>
+#include <string>
 
 namespace choir::net {
+
+using persist::JournalRecord;
+using persist::RecordType;
+using persist::RejectKind;
 
 const char* ingest_status_name(IngestStatus s) {
   switch (s) {
@@ -54,6 +60,179 @@ NetServer::NetServer(const NetServerConfig& cfg)
     reg_unknown_device_ = &r.counter("net.unknown_device");
     reg_malformed_ = &r.counter("net.malformed");
   }
+  if (!cfg_.persist.dir.empty()) {
+    persist_ = std::make_unique<persist::Persistence>(cfg_.persist,
+                                                      registry_.n_shards());
+    restore_from_disk();
+    // Startup checkpoint: seal whatever recovery found (including torn
+    // journal tails) into a brand-new generation, so this process never
+    // appends after damage. If a crash point fires inside, the exception
+    // propagates and the half-built NetServer is destroyed — exactly a
+    // process that died during its startup checkpoint.
+    persist_->begin_generation(snapshot_image());
+    CHOIR_OBS_COUNT("net.persist.snapshots", 1);
+    CHOIR_OBS_GAUGE_SET("net.persist.generation",
+                        static_cast<std::int64_t>(persist_->generation()));
+    teams_.set_rebuild_listener([this](std::uint64_t version) {
+      std::shared_lock<std::shared_mutex> gate(persist_gate_);
+      JournalRecord r;
+      r.type = RecordType::kRoster;
+      r.roster_version = version;
+      persist_->append(0, r);  // the roster is global; shard 0 by convention
+    });
+  }
+}
+
+void NetServer::restore_from_disk() {
+  persist::SnapshotImage image;
+  std::vector<std::vector<JournalRecord>> shard_records;
+  if (!persist_->recover(image, shard_records, recovery_)) return;
+
+  if (image.shard_bits != cfg_.registry.shard_bits)
+    throw std::runtime_error(
+        "persist: snapshot was written with shard_bits=" +
+        std::to_string(image.shard_bits) + " but this server is configured " +
+        "with shard_bits=" + std::to_string(cfg_.registry.shard_bits) +
+        "; refusing to guess a re-sharding (restart with the original "
+        "shard count, or discard the state dir)");
+
+  for (std::size_t i = 0; i < image.shards.size(); ++i)
+    registry_.restore_shard(i, image.shards[i]);
+  registry_.restore_evicted(image.evicted);
+
+  // NetServerStats atomics are restored; the obs registry's counters are
+  // process-lifetime by design and intentionally left at zero.
+  uplinks_.store(image.counters.uplinks, relaxed);
+  accepted_.store(image.counters.accepted, relaxed);
+  dedup_dropped_.store(image.counters.dedup_dropped, relaxed);
+  dedup_upgraded_.store(image.counters.dedup_upgraded, relaxed);
+  replay_rejected_.store(image.counters.replay_rejected, relaxed);
+  unknown_device_.store(image.counters.unknown_device, relaxed);
+  malformed_.store(image.counters.malformed, relaxed);
+
+  std::uint64_t roster_version = image.team_version;
+
+  // Replay the journals through the real registry code paths so EWMAs,
+  // SNR rings and eviction order come out bit-for-bit identical to the
+  // dead process's registry at its last durable write.
+  for (const auto& records : shard_records)
+    for (const JournalRecord& r : records) apply_record(r, roster_version);
+
+  teams_.restore_state(roster_version, image.assignments);
+
+  CHOIR_OBS_COUNT("net.persist.recovery.replayed", recovery_.replayed);
+  CHOIR_OBS_COUNT("net.persist.recovery.discarded", recovery_.discarded);
+  CHOIR_OBS_COUNT("net.persist.recovery.damaged_journals",
+                  recovery_.damaged_journals);
+}
+
+void NetServer::apply_record(const JournalRecord& r,
+                             std::uint64_t& max_roster_version) {
+  switch (r.type) {
+    case RecordType::kProvision:
+      registry_.provision(r.dev_addr, r.x_m, r.y_m);
+      ++recovery_.replayed;
+      return;
+    case RecordType::kAdrApplied:
+      registry_.clear_snr_history(r.dev_addr);
+      ++recovery_.replayed;
+      return;
+    case RecordType::kRoster:
+      if (r.roster_version > max_roster_version)
+        max_roster_version = r.roster_version;
+      ++recovery_.replayed;
+      return;
+    case RecordType::kAccept:
+    case RecordType::kReject:
+      break;
+  }
+
+  // Ingest records. Counters follow the journal (that is what the dead
+  // process counted); the registry is driven through accept() /
+  // note_better_copy() so session state evolves exactly as it did live.
+  // A result that disagrees with the record means journal-append order
+  // raced registry order across threads for one device — possible only
+  // with concurrent same-device traffic, never in the simulator (devices
+  // are pinned to workers); counted as discarded, never fatal.
+  uplinks_.fetch_add(1, relaxed);
+  if (r.type == RecordType::kAccept) {
+    accepted_.fetch_add(1, relaxed);
+    if (registry_.accept(r.frame) == FcntCheck::kAccepted)
+      ++recovery_.replayed;
+    else
+      ++recovery_.discarded;
+    return;
+  }
+  switch (r.reject_kind) {
+    case RejectKind::kDedup:
+      dedup_dropped_.fetch_add(1, relaxed);
+      if (r.upgraded) {
+        dedup_upgraded_.fetch_add(1, relaxed);
+        registry_.note_better_copy(r.frame);
+      }
+      ++recovery_.replayed;
+      return;
+    case RejectKind::kReplay:
+      replay_rejected_.fetch_add(1, relaxed);
+      // Re-offering the frame reproduces the session's replays counter.
+      if (registry_.accept(r.frame) == FcntCheck::kReplay)
+        ++recovery_.replayed;
+      else
+        ++recovery_.discarded;
+      return;
+    case RejectKind::kUnknownDevice:
+      unknown_device_.fetch_add(1, relaxed);
+      ++recovery_.replayed;
+      return;
+    case RejectKind::kMalformed:
+      malformed_.fetch_add(1, relaxed);
+      ++recovery_.replayed;
+      return;
+  }
+}
+
+persist::SnapshotImage NetServer::snapshot_image() const {
+  persist::SnapshotImage img;
+  img.counters = stats();
+  img.evicted = registry_.evicted();
+  auto [version, assignments] = teams_.export_state();
+  img.team_version = version;
+  img.assignments = std::move(assignments);
+  img.shard_bits = static_cast<std::uint32_t>(cfg_.registry.shard_bits);
+  img.shards.resize(registry_.n_shards());
+  for (std::size_t i = 0; i < registry_.n_shards(); ++i)
+    img.shards[i] = registry_.dump_shard(i);
+  return img;
+}
+
+void NetServer::checkpoint() {
+  if (!persist_) return;
+  std::unique_lock<std::shared_mutex> gate(persist_gate_);
+  const auto t0 = std::chrono::steady_clock::now();
+  persist_->begin_generation(snapshot_image());
+  CHOIR_OBS_COUNT("net.persist.snapshots", 1);
+  CHOIR_OBS_GAUGE_SET("net.persist.generation",
+                      static_cast<std::int64_t>(persist_->generation()));
+  CHOIR_OBS_HIST(
+      "net.persist.checkpoint_us",
+      static_cast<double>(std::chrono::duration_cast<std::chrono::microseconds>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count()));
+}
+
+void NetServer::provision(std::uint32_t dev_addr, double x_m, double y_m) {
+  if (!persist_) {
+    registry_.provision(dev_addr, x_m, y_m);
+    return;
+  }
+  std::shared_lock<std::shared_mutex> gate(persist_gate_);
+  registry_.provision(dev_addr, x_m, y_m);
+  JournalRecord r;
+  r.type = RecordType::kProvision;
+  r.dev_addr = dev_addr;
+  r.x_m = x_m;
+  r.y_m = y_m;
+  persist_->append(registry_.shard_index(dev_addr), r);
 }
 
 IngestResult NetServer::ingest(UplinkFrame frame) {
@@ -61,6 +240,44 @@ IngestResult NetServer::ingest(UplinkFrame frame) {
 }
 
 IngestResult NetServer::ingest_at(UplinkFrame frame, double now_s) {
+  if (!persist_) return ingest_impl(frame, now_s);
+  // Shared gate: many ingests in parallel, but never across a checkpoint.
+  std::shared_lock<std::shared_mutex> gate(persist_gate_);
+  return ingest_impl(frame, now_s);
+}
+
+void NetServer::journal_ingest(const IngestResult& res,
+                               const UplinkFrame& frame) {
+  JournalRecord r;
+  r.frame = frame;
+  r.frame.payload.clear();  // replay windows never read payload bytes
+  switch (res.status) {
+    case IngestStatus::kAccepted:
+      r.type = RecordType::kAccept;
+      break;
+    case IngestStatus::kDuplicate:
+      r.type = RecordType::kReject;
+      r.reject_kind = RejectKind::kDedup;
+      r.upgraded = res.upgraded;
+      break;
+    case IngestStatus::kReplay:
+      r.type = RecordType::kReject;
+      r.reject_kind = RejectKind::kReplay;
+      break;
+    case IngestStatus::kUnknownDevice:
+      r.type = RecordType::kReject;
+      r.reject_kind = RejectKind::kUnknownDevice;
+      break;
+    case IngestStatus::kMalformed:
+      r.type = RecordType::kReject;
+      r.reject_kind = RejectKind::kMalformed;
+      break;
+  }
+  persist_->append(registry_.shard_index(frame.dev_addr), r);
+  CHOIR_OBS_COUNT("net.persist.journal.records", 1);
+}
+
+IngestResult NetServer::ingest_impl(UplinkFrame& frame, double now_s) {
   uplinks_.fetch_add(1, relaxed);
   if constexpr (obs::kEnabled) reg_uplinks_->add(1);
 
@@ -72,6 +289,7 @@ IngestResult NetServer::ingest_at(UplinkFrame frame, double now_s) {
     malformed_.fetch_add(1, relaxed);
     if constexpr (obs::kEnabled) reg_malformed_->add(1);
     res.status = IngestStatus::kMalformed;
+    if (persist_) journal_ingest(res, frame);
     return res;
   }
 
@@ -101,6 +319,7 @@ IngestResult NetServer::ingest_at(UplinkFrame frame, double now_s) {
       res.upgraded = true;
     }
     res.status = IngestStatus::kDuplicate;
+    if (persist_) journal_ingest(res, frame);
     return res;
   }
 
@@ -109,11 +328,13 @@ IngestResult NetServer::ingest_at(UplinkFrame frame, double now_s) {
       replay_rejected_.fetch_add(1, relaxed);
       if constexpr (obs::kEnabled) reg_replay_rejected_->add(1);
       res.status = IngestStatus::kReplay;
+      if (persist_) journal_ingest(res, frame);
       return res;
     case FcntCheck::kUnknownDevice:
       unknown_device_.fetch_add(1, relaxed);
       if constexpr (obs::kEnabled) reg_unknown_device_->add(1);
       res.status = IngestStatus::kUnknownDevice;
+      if (persist_) journal_ingest(res, frame);
       return res;
     case FcntCheck::kAccepted:
       break;
@@ -121,6 +342,13 @@ IngestResult NetServer::ingest_at(UplinkFrame frame, double now_s) {
 
   accepted_.fetch_add(1, relaxed);
   if constexpr (obs::kEnabled) reg_accepted_->add(1);
+  res.status = IngestStatus::kAccepted;
+  // Durable-before-confirmed: the journal write happens before the
+  // callback and feed see the frame. A crash between the registry update
+  // and this append loses the in-memory acceptance with the process —
+  // the disk (which never saw it) stays authoritative, and the frame was
+  // never confirmed downstream, so re-offering it after restart is safe.
+  if (persist_) journal_ingest(res, frame);
   if (on_accept_) on_accept_(frame);
   if (cfg_.keep_feed) {
     std::uint64_t idx = 0;
@@ -131,7 +359,6 @@ IngestResult NetServer::ingest_at(UplinkFrame frame, double now_s) {
     }
     dedup_.set_feed_index(key, idx);
   }
-  res.status = IngestStatus::kAccepted;
   return res;
 }
 
@@ -172,7 +399,16 @@ AdrDecision NetServer::adr_for(std::uint32_t dev_addr, int current_sf,
 }
 
 void NetServer::note_adr_applied(std::uint32_t dev_addr) {
+  if (!persist_) {
+    registry_.clear_snr_history(dev_addr);
+    return;
+  }
+  std::shared_lock<std::shared_mutex> gate(persist_gate_);
   registry_.clear_snr_history(dev_addr);
+  JournalRecord r;
+  r.type = RecordType::kAdrApplied;
+  r.dev_addr = dev_addr;
+  persist_->append(registry_.shard_index(dev_addr), r);
 }
 
 }  // namespace choir::net

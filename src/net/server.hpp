@@ -7,39 +7,61 @@
 //        +-- in-process or UDP framing    |   exactly-once window)
 //                                         +-- accepted-frame feed / callback
 //                                         +-- AdrEngine + TeamManager
+//                                         +-- persist::Persistence (optional
+//                                             snapshot + FCnt journal)
 //
 // Ingest pipeline per reception, in order:
 //   1. structural validation (empty payload, absurd SF) -> kMalformed;
 //   2. cross-gateway dedup on (DevAddr, FCnt, payload hash) -> kDuplicate,
 //      upgrading the retained copy's metadata when this copy's SNR wins;
 //   3. registry FCnt window -> kReplay / kUnknownDevice;
-//   4. accept: session updated, frame appended to the feed (if kept) and
-//      handed to the callback.
+//   4. journal the outcome (when persistence is on) -> durable;
+//   5. accept: frame appended to the feed (if kept) and handed to the
+//      callback.
 //
 // Dedup runs *before* the replay check on purpose: a second gateway's copy
 // of an accepted frame carries the same FCnt, so the registry alone would
 // misclassify it as a replay; the payload-hash key separates "same
 // transmission, another ear" from "attacker replaying an old counter".
 //
+// Durability (cfg.persist.dir set): every classification is journaled
+// before the accept callback fires, so a frame is never confirmed
+// downstream unless a restarted server will refuse to accept it again —
+// exactly-once across a crash. Construction recovers the newest committed
+// generation (snapshot + journal replay through the real registry code
+// paths, so CFO EWMAs and SNR rings restore bit-for-bit) and immediately
+// checkpoints, sealing any torn journal tail into a fresh generation.
+// What is deliberately NOT persisted: the cross-gateway dedup window (a
+// restart reopens at most one dedup-window of duplicate delivery; the
+// FCnt window still blocks same-device replays) and the obs registry's
+// process-lifetime counters (NetServerStats atomics ARE restored). See
+// docs/PERSISTENCE.md.
+//
 // Thread safety: ingest() may be called from any number of threads
 // (gateway UDP readers, in-process pipelines). Internally everything is
-// sharded or atomic; the only global lock is the optional feed vector's.
+// sharded or atomic; checkpoint() quiesces ingest via a shared_mutex gate
+// taken shared by every journaling operation.
 //
 // Metrics (obs registry): net.uplinks, net.accepted, net.dedup_dropped,
 // net.dedup_upgraded, net.replay_rejected, net.unknown_device,
-// net.malformed, and the registry's per-shard occupancy gauges.
+// net.malformed, the registry's per-shard occupancy gauges, and (when
+// persistence is on) the net.persist.* family.
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "net/adr.hpp"
 #include "net/dedup.hpp"
+#include "net/persist/persistence.hpp"
 #include "net/registry.hpp"
+#include "net/server_stats.hpp"
 #include "net/team_manager.hpp"
 #include "net/uplink.hpp"
 #include "obs/obs.hpp"
@@ -51,6 +73,10 @@ struct NetServerConfig {
   DedupOptions dedup{};
   AdrOptions adr{};
   TeamManagerOptions teams{};
+  /// Durable control plane: snapshot + write-ahead journal under
+  /// persist.dir. Empty dir (the default) disables persistence entirely —
+  /// zero overhead on the ingest path.
+  persist::PersistOptions persist{};
   /// Retain accepted frames in an in-memory feed (drain_feed()). Turn off
   /// for long-running / benchmark ingest where the callback is the sink.
   bool keep_feed = true;
@@ -74,23 +100,14 @@ struct IngestResult {
   bool upgraded = false;
 };
 
-/// Plain-value counter snapshot (mirrored into the obs registry).
-struct NetServerStats {
-  std::uint64_t uplinks = 0;          ///< every reception offered
-  std::uint64_t accepted = 0;
-  std::uint64_t dedup_dropped = 0;
-  std::uint64_t dedup_upgraded = 0;   ///< duplicates that won on SNR
-  std::uint64_t replay_rejected = 0;
-  std::uint64_t unknown_device = 0;
-  std::uint64_t malformed = 0;
-};
-
-std::string format_stats(const NetServerStats& s);
-
 class NetServer {
  public:
   using Callback = std::function<void(const UplinkFrame&)>;
 
+  /// When cfg.persist.dir is set, construction recovers any committed
+  /// state under it and starts a fresh generation. Throws
+  /// std::runtime_error if the directory holds a committed generation
+  /// that cannot be loaded, or one written with different shard_bits.
   explicit NetServer(const NetServerConfig& cfg = {});
 
   NetServer(const NetServer&) = delete;
@@ -104,7 +121,15 @@ class NetServer {
   /// Callers must not mix wall-clock ingest() into the same server.
   IngestResult ingest_at(UplinkFrame frame, double now_s);
 
-  /// Invoked (from the ingesting thread) for every accepted frame.
+  /// Creates (or repositions) a device session ahead of traffic,
+  /// journaling the provision when persistence is on. Prefer this over
+  /// registry().provision() — direct registry provisioning bypasses the
+  /// journal and the device's position would not survive a restart.
+  void provision(std::uint32_t dev_addr, double x_m = 0.0, double y_m = 0.0);
+
+  /// Invoked (from the ingesting thread) for every accepted frame. With
+  /// persistence on, the frame is durable in the journal before this
+  /// fires — the callback is the exactly-once confirmation point.
   void set_callback(Callback cb) { on_accept_ = std::move(cb); }
 
   /// Moves out the accepted-frame feed in acceptance order. Frames whose
@@ -128,7 +153,21 @@ class NetServer {
   /// device's SNR history so the next recommendation is computed from
   /// samples taken at the new settings only (the LoRaWAN network-server
   /// convention — without it the planner ping-pongs; see adr.hpp).
+  /// Journaled, so a restarted server's ADR engine sees the same history.
   void note_adr_applied(std::uint32_t dev_addr);
+
+  /// Rotates the persistence generation: flush journals, write a fresh
+  /// snapshot, atomically commit, GC old generations. Quiesces ingest for
+  /// the duration. No-op without persistence. Thread-safe.
+  void checkpoint();
+
+  /// What construction recovered from disk (all-zero on a fresh start or
+  /// when persistence is off).
+  const persist::RecoveryStats& recovery() const { return recovery_; }
+
+  /// Null when persistence is off.
+  persist::Persistence* persistence() { return persist_.get(); }
+  bool persistent() const { return persist_ != nullptr; }
 
   const NetServerConfig& config() const { return cfg_; }
 
@@ -139,6 +178,16 @@ class NetServer {
         .count();
   }
 
+  IngestResult ingest_impl(UplinkFrame& frame, double now_s);
+  /// Journal one classified ingest (caller holds the persist gate shared).
+  void journal_ingest(const IngestResult& res, const UplinkFrame& frame);
+  /// Current durable state, for checkpoint(). Caller must be quiesced.
+  persist::SnapshotImage snapshot_image() const;
+  /// Construction-time restore: apply snapshot + replay journals.
+  void restore_from_disk();
+  void apply_record(const persist::JournalRecord& r,
+                    std::uint64_t& max_roster_version);
+
   NetServerConfig cfg_;
   DeviceRegistry registry_;
   CrossGatewayDedup dedup_;
@@ -146,6 +195,12 @@ class NetServer {
   Callback on_accept_;
   std::chrono::steady_clock::time_point epoch_ =
       std::chrono::steady_clock::now();
+
+  std::unique_ptr<persist::Persistence> persist_;
+  persist::RecoveryStats recovery_{};
+  /// Checkpoint gate: journaling ops hold shared, checkpoint() unique.
+  /// Only touched when persistence is on.
+  mutable std::shared_mutex persist_gate_;
 
   mutable std::mutex feed_mu_;
   std::vector<UplinkFrame> feed_;

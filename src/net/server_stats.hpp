@@ -1,0 +1,25 @@
+// Plain-value snapshot of the NetServer ingest counters. Split out of
+// server.hpp so the persistence tier (src/net/persist/) can serialize it
+// without pulling in the full server — and its include graph — in turn.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace choir::net {
+
+/// Counter snapshot (mirrored into the obs registry, serialized by the
+/// persistence snapshot, recovered across restarts).
+struct NetServerStats {
+  std::uint64_t uplinks = 0;          ///< every reception offered
+  std::uint64_t accepted = 0;
+  std::uint64_t dedup_dropped = 0;
+  std::uint64_t dedup_upgraded = 0;   ///< duplicates that won on SNR
+  std::uint64_t replay_rejected = 0;
+  std::uint64_t unknown_device = 0;
+  std::uint64_t malformed = 0;
+};
+
+std::string format_stats(const NetServerStats& s);
+
+}  // namespace choir::net

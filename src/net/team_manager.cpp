@@ -43,7 +43,7 @@ TeamRoster TeamManager::rebuild() {
               return a.id < b.id;
             });
 
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
 
   std::unordered_map<std::size_t, const core::SensorInfo*> by_id;
   for (const auto& s : sensors) by_id.emplace(s.id, &s);
@@ -113,7 +113,40 @@ TeamRoster TeamManager::rebuild() {
 
   assignment_ = std::move(assign);
   roster_ = next;
+
+  // Copy under the lock, invoke outside it: the listener journals through
+  // NetServer, which must be free to call back into roster().
+  std::function<void(std::uint64_t)> listener = rebuild_listener_;
+  lock.unlock();
+  if (listener) listener(next.version);
   return next;
+}
+
+void TeamManager::set_rebuild_listener(std::function<void(std::uint64_t)> fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rebuild_listener_ = std::move(fn);
+}
+
+void TeamManager::restore_state(
+    std::uint64_t version,
+    const std::vector<std::pair<std::uint32_t, std::int32_t>>& assignments) {
+  std::lock_guard<std::mutex> lock(mu_);
+  roster_ = TeamRoster{};
+  roster_.version = version;
+  assignment_.clear();
+  assignment_.reserve(assignments.size());
+  for (const auto& [dev, a] : assignments) assignment_[dev] = a;
+}
+
+std::pair<std::uint64_t,
+          std::vector<std::pair<std::uint32_t, std::int32_t>>>
+TeamManager::export_state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::uint32_t, std::int32_t>> out;
+  out.reserve(assignment_.size());
+  for (const auto& [dev, a] : assignment_) out.emplace_back(dev, a);
+  std::sort(out.begin(), out.end());
+  return {roster_.version, std::move(out)};
 }
 
 TeamRoster TeamManager::roster() const {

@@ -24,8 +24,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 #include "core/team_scheduler.hpp"
 #include "net/registry.hpp"
@@ -61,6 +64,25 @@ class TeamManager {
   /// Copy of the latest roster (empty, version 0, before first rebuild).
   TeamRoster roster() const;
 
+  /// Called (outside the roster lock) after every rebuild with the new
+  /// roster version. NetServer hooks this to journal roster changes so a
+  /// restart resumes version numbering instead of restarting at 1.
+  void set_rebuild_listener(std::function<void(std::uint64_t)> fn);
+
+  /// Restores the version counter and stable-assignment map from a
+  /// snapshot. The next rebuild continues from `version + 1` and computes
+  /// churn against the restored assignments, exactly as the dead process
+  /// would have. (The roster's plan itself is not restored — the first
+  /// post-restart rebuild recomputes it from the recovered registry.)
+  void restore_state(
+      std::uint64_t version,
+      const std::vector<std::pair<std::uint32_t, std::int32_t>>& assignments);
+
+  /// Snapshot export: current version + stable assignments, sorted by
+  /// device so snapshots are byte-stable.
+  std::pair<std::uint64_t, std::vector<std::pair<std::uint32_t, std::int32_t>>>
+  export_state() const;
+
   const TeamManagerOptions& options() const { return opt_; }
 
  private:
@@ -74,6 +96,7 @@ class TeamManager {
   mutable std::mutex mu_;
   TeamRoster roster_;
   std::unordered_map<std::uint32_t, Assignment> assignment_;
+  std::function<void(std::uint64_t)> rebuild_listener_;
 };
 
 }  // namespace choir::net

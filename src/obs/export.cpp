@@ -11,6 +11,7 @@
 #include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/atomic_write.hpp"
 
 namespace choir::obs {
 
@@ -215,17 +216,9 @@ std::string export_prometheus() {
 }
 
 void write_file_atomic(const std::string& path, const std::string& data) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
-    if (!f) throw std::runtime_error("obs: cannot open " + tmp);
-    f.write(data.data(), static_cast<std::streamsize>(data.size()));
-    f.flush();
-    if (!f) throw std::runtime_error("obs: write failed: " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    throw std::runtime_error("obs: rename failed: " + tmp + " -> " + path);
-  }
+  // Shared temp+rename implementation (also used by the persistence
+  // tier's snapshots and manifest) lives in util/atomic_write.
+  util::atomic_write(path, data);
 }
 
 void write_metrics_file(const std::string& path) {

@@ -4,11 +4,14 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace choir {
 
-/// Parses flags of the form `--name=value` or `--name value`. Unknown
-/// positional arguments are ignored. Typed getters fall back to defaults.
+/// Parses flags of the form `--name=value` or `--name value`; remaining
+/// tokens are collected as positional arguments (note `--flag token`
+/// binds the token to the flag — put positionals first, or use `=`).
+/// Typed getters fall back to defaults.
 class Args {
  public:
   Args(int argc, char** argv);
@@ -18,9 +21,11 @@ class Args {
   std::int64_t get_int(const std::string& name, std::int64_t def) const;
   double get_double(const std::string& name, double def) const;
   bool get_bool(const std::string& name, bool def) const;
+  const std::vector<std::string>& positional() const { return positional_; }
 
  private:
   std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
 };
 
 }  // namespace choir

@@ -1,0 +1,60 @@
+#include "util/atomic_write.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace choir::util {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw std::runtime_error("atomic_write: " + what + ": " + path + " (" +
+                           std::strerror(errno) + ")");
+}
+
+/// write(2) until done (short writes are legal on POSIX).
+void write_all(int fd, const char* data, std::size_t len,
+               const std::string& path) {
+  std::size_t off = 0;
+  while (off < len) {
+    const ::ssize_t n = ::write(fd, data + off, len - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail("write failed", path);
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+void atomic_write(const std::string& path, std::string_view data,
+                  const AtomicWriteHook& hook) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) fail("cannot open", tmp);
+  try {
+    if (hook) hook(AtomicWriteStage::kBeforeTmpWrite);
+    // Two halves with a stage boundary between them, so fault injection
+    // can leave a genuinely torn tmp file behind.
+    const std::size_t half = data.size() / 2;
+    write_all(fd, data.data(), half, tmp);
+    if (hook) hook(AtomicWriteStage::kMidTmpWrite);
+    write_all(fd, data.data() + half, data.size() - half, tmp);
+    if (hook) hook(AtomicWriteStage::kBeforeRename);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  if (::close(fd) != 0) fail("close failed", tmp);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    fail("rename failed onto", path);
+  if (hook) hook(AtomicWriteStage::kAfterRename);
+}
+
+}  // namespace choir::util

@@ -1,0 +1,44 @@
+// Crash-safe whole-file writes: write to `<path>.tmp`, then rename onto
+// `path`. On POSIX the rename is atomic, so a reader (or a process that
+// crashed mid-write and restarted) only ever sees the old complete file or
+// the new complete file — never a torn one. Grown out of the hand-rolled
+// temp+rename writers behind `--metrics-out` / `--trace-out`; now the one
+// implementation shared by metrics export, trace export, flight-recorder
+// captures, outcome tables and the net tier's snapshot/manifest files.
+//
+// Durability scope: the write is flushed to the OS before the rename, so
+// the result survives process death (SIGKILL). It is *not* fsync'd, so a
+// kernel panic or power loss within the page-cache writeback window can
+// still lose it — the same stance Redis takes for its default RDB saves.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace choir::util {
+
+/// Stages of an atomic write, in order. Exposed so fault-injection tests
+/// (src/net/persist/crash_point.hpp) can kill the writer at every
+/// boundary; production callers never observe them.
+enum class AtomicWriteStage {
+  kBeforeTmpWrite,  ///< tmp file opened, nothing written yet
+  kMidTmpWrite,     ///< roughly half the bytes written
+  kBeforeRename,    ///< tmp complete and flushed, rename not yet issued
+  kAfterRename,     ///< rename done, target now the new content
+};
+
+/// Observer invoked at each stage boundary. May throw — the write is
+/// abandoned (the tmp file is left behind; the target keeps its previous
+/// content unless the stage was kAfterRename).
+using AtomicWriteHook = std::function<void(AtomicWriteStage)>;
+
+/// Writes `data` to `path` via `<path>.tmp` + rename. Throws
+/// std::runtime_error when the tmp file cannot be created (e.g. missing
+/// parent directory), the write fails, or the rename fails; in every
+/// failure case the target keeps its previous content. Renaming onto an
+/// existing file replaces it atomically.
+void atomic_write(const std::string& path, std::string_view data,
+                  const AtomicWriteHook& hook = {});
+
+}  // namespace choir::util

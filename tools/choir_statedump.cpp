@@ -1,0 +1,152 @@
+// choir_statedump — inspect a network-server persistence state directory
+// (docs/PERSISTENCE.md) without starting a server.
+//
+//   choir_statedump /var/lib/choir/netserver
+//   choir_statedump --journals --sessions=8 state/
+//
+// Prints the committed generation, snapshot totals, and per-shard journal
+// health (intact records, damaged tails). Read-only: safe to run against
+// a live server's directory (you may see a mid-checkpoint mixture; the
+// MANIFEST read is atomic, the rest is advisory).
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/persist/journal.hpp"
+#include "net/persist/snapshot.hpp"
+#include "util/args.hpp"
+
+using namespace choir;
+using namespace choir::net;
+
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return {};
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+const char* record_type_name(persist::RecordType t) {
+  switch (t) {
+    case persist::RecordType::kProvision:
+      return "provision";
+    case persist::RecordType::kAccept:
+      return "accept";
+    case persist::RecordType::kReject:
+      return "reject";
+    case persist::RecordType::kAdrApplied:
+      return "adr";
+    case persist::RecordType::kRoster:
+      return "roster";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const std::vector<std::string>& pos = args.positional();
+  if (args.get_bool("help", false) || pos.empty()) {
+    std::fprintf(stderr,
+                 "usage: choir_statedump [options] STATE_DIR\n"
+                 "  --journals      per-record journal listing\n"
+                 "  --sessions=N    print the first N snapshot sessions (0)\n");
+    return 2;
+  }
+  const std::string dir = pos.front();
+
+  const std::string manifest = slurp(dir + "/MANIFEST");
+  std::uint64_t gen = 0;
+  {
+    std::istringstream ss(manifest);
+    std::string tag;
+    if (!(ss >> tag >> gen) || tag != "gen") {
+      std::fprintf(stderr, "%s: no committed generation (missing/invalid "
+                           "MANIFEST)\n", dir.c_str());
+      return 1;
+    }
+  }
+  std::printf("generation          : %llu\n",
+              static_cast<unsigned long long>(gen));
+
+  const std::string snap_path =
+      dir + "/snapshot-" + std::to_string(gen) + ".bin";
+  const std::string snap_bytes = slurp(snap_path);
+  persist::SnapshotImage img;
+  try {
+    img = persist::decode_snapshot(snap_bytes);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", snap_path.c_str(), e.what());
+    return 1;
+  }
+  std::size_t sessions = 0;
+  for (const auto& sh : img.shards) sessions += sh.size();
+  std::printf("snapshot            : %zu bytes, %zu session(s), "
+              "%zu shard(s)\n",
+              snap_bytes.size(), sessions, img.shards.size());
+  std::printf("  counters          : uplinks=%llu accepted=%llu "
+              "dedup=%llu replay=%llu unknown=%llu malformed=%llu\n",
+              static_cast<unsigned long long>(img.counters.uplinks),
+              static_cast<unsigned long long>(img.counters.accepted),
+              static_cast<unsigned long long>(img.counters.dedup_dropped),
+              static_cast<unsigned long long>(img.counters.replay_rejected),
+              static_cast<unsigned long long>(img.counters.unknown_device),
+              static_cast<unsigned long long>(img.counters.malformed));
+  std::printf("  evicted           : %llu\n",
+              static_cast<unsigned long long>(img.evicted));
+  std::printf("  teams             : v%llu, %zu stable assignment(s)\n",
+              static_cast<unsigned long long>(img.team_version),
+              img.assignments.size());
+
+  const int show = static_cast<int>(args.get_int("sessions", 0));
+  int shown = 0;
+  for (const auto& sh : img.shards) {
+    for (const auto& s : sh) {
+      if (shown >= show) break;
+      std::printf("  dev 0x%08x      : fcnt=%u uplinks=%llu replays=%llu "
+                  "snr=%.1f cfo=%.3f\n",
+                  s.dev_addr, s.last_fcnt,
+                  static_cast<unsigned long long>(s.uplinks),
+                  static_cast<unsigned long long>(s.replays), s.last_snr_db,
+                  s.cfo_fingerprint_bins);
+      ++shown;
+    }
+  }
+
+  const bool list = args.get_bool("journals", false);
+  std::uint64_t total_records = 0, total_damaged = 0, total_unknown = 0;
+  for (std::size_t sh = 0; sh < img.shards.size(); ++sh) {
+    const std::string jpath = dir + "/journal-" + std::to_string(gen) + "-" +
+                              std::to_string(sh) + ".log";
+    const persist::JournalScan scan =
+        persist::load_journal(jpath, static_cast<std::uint8_t>(sh));
+    total_records += scan.records.size();
+    total_unknown += scan.skipped_unknown;
+    if (scan.damaged) ++total_damaged;
+    if (scan.records.empty() && !scan.damaged && !list) continue;
+    std::printf("journal shard %-5zu : %zu record(s), %llu byte(s)%s%s\n", sh,
+                scan.records.size(),
+                static_cast<unsigned long long>(scan.bytes),
+                scan.skipped_unknown ? ", unknown skipped" : "",
+                scan.damaged ? ", DAMAGED TAIL" : "");
+    if (list) {
+      for (const auto& r : scan.records) {
+        std::printf("    %-9s dev=0x%08x fcnt=%u\n", record_type_name(r.type),
+                    r.dev_addr ? r.dev_addr : r.frame.dev_addr, r.frame.fcnt);
+      }
+    }
+  }
+  std::printf("journal totals      : %llu record(s), %llu unknown, "
+              "%llu damaged tail(s)\n",
+              static_cast<unsigned long long>(total_records),
+              static_cast<unsigned long long>(total_unknown),
+              static_cast<unsigned long long>(total_damaged));
+  return 0;
+}
