@@ -7,14 +7,22 @@
 // across runs: the lossless (kBlock) gateway must decode the identical
 // frame set at every thread count.
 //
+// With --json=PATH the per-thread-count results are also written as a
+// small JSON document (fields: simd ISA, capture size, and one row per
+// worker count with msamples_per_sec / frames_per_sec / events). The CI
+// perf gate parses that file and compares the single-worker Msamples/s
+// against the checked-in floor in BENCH_pr8.json.
+//
 //   bench_gateway_throughput [--channels=8] [--sf=7] [--frames=6]
 //                            [--threads=1,2,4,8] [--chunk=65536] [--seed=1]
+//                            [--json=out.json]
 #include <chrono>
 #include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "dsp/simd/simd.hpp"
 #include "gateway/gateway.hpp"
 #include "gateway/traffic.hpp"
 #include "util/args.hpp"
@@ -74,6 +82,13 @@ int main(int argc, char** argv) {
 
   std::printf("%8s %14s %12s %10s %10s %8s\n", "threads", "Msamples/s",
               "frames/s", "events", "queue_hw", "speedup");
+  struct Row {
+    std::size_t threads;
+    double msamples_per_sec;
+    double frames_per_sec;
+    std::size_t events;
+  };
+  std::vector<Row> rows;
   double base_rate = 0.0;
   std::uint64_t base_events = 0;
   for (std::size_t n : threads) {
@@ -108,6 +123,35 @@ int main(int argc, char** argv) {
     std::printf("%8zu %14.2f %12.1f %10zu %10zu %7.2fx\n", n, rate / 1e6,
                 static_cast<double>(events.size()) / secs, events.size(),
                 c.max_queue_high_water(), rate / base_rate);
+    rows.push_back({n, rate / 1e6,
+                    static_cast<double>(events.size()) / secs,
+                    events.size()});
+  }
+
+  const std::string json_path = args.get("json", "");
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+      return 1;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"gateway_throughput\",\n");
+    std::fprintf(f, "  \"simd\": \"%s\",\n",
+                 dsp::simd::isa_name(dsp::simd::active().isa));
+    std::fprintf(f, "  \"sf\": %d,\n  \"channels\": %zu,\n",
+                 traffic.phy.sf, traffic.n_channels);
+    std::fprintf(f, "  \"wideband_samples\": %zu,\n", cap.samples.size());
+    std::fprintf(f, "  \"runs\": [\n");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"threads\": %zu, \"msamples_per_sec\": %.4f, "
+                   "\"frames_per_sec\": %.2f, \"events\": %zu}%s\n",
+                   rows[i].threads, rows[i].msamples_per_sec,
+                   rows[i].frames_per_sec, rows[i].events,
+                   i + 1 < rows.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
   }
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "dsp/fft.hpp"
 #include "dsp/fold_tone.hpp"
 #include "dsp/peaks.hpp"
+#include "dsp/simd/simd.hpp"
 #include "dsp/workspace.hpp"
 #include "util/rng.hpp"
 
@@ -83,6 +84,110 @@ void BM_FusedDechirpFftMag(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FusedDechirpFftMag);
+
+// ------------------------- paired scalar-vs-SIMD kernel benches --------
+//
+// Every BM_Kernel* takes {n, table} where table 0 runs the scalar oracle
+// and table 1 the dispatch-selected table (identical to 0 when the build
+// or CPU has no SIMD, or when CHOIR_SIMD=off). The perf-smoke CI job emits
+// these into its JSON artifact; the per-kernel speedup is the ratio of the
+// matching /0 and /1 rows.
+
+const dsp::simd::Ops& bench_table(std::int64_t which) {
+  return which == 0 ? dsp::simd::scalar_ops() : dsp::simd::active();
+}
+
+// Elementwise complex MAC — the dechirp / polyphase-fold primitive.
+void BM_KernelCmul(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto& ops = bench_table(state.range(1));
+  const cvec a = random_signal(n, 11);
+  const cvec b = random_signal(n, 12);
+  cvec dst(n);
+  for (auto _ : state) {
+    ops.cmul(dst.data(), a.data(), b.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_KernelCmul)->Args({2048, 0})->Args({2048, 1});
+
+// Phasor-recurrence dot product — fold_corr / tone projections.
+void BM_KernelPhasorDot(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto& ops = bench_table(state.range(1));
+  const cvec x = random_signal(n, 13);
+  const cplx step = cis(-kTwoPi * 3.3 / static_cast<double>(n));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ops.phasor_dot(x.data(), n, cplx{1.0, 0.0}, step));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_KernelPhasorDot)->Args({256, 0})->Args({256, 1});
+
+// One merged radix-4 butterfly stage at the geometry of a 2048-point
+// transform's widest stage (h = 128), twiddles in the table's own layout.
+void BM_KernelRadix4Stage(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto& ops = bench_table(state.range(1));
+  const std::size_t h = n / 16;
+  cvec tw(2 * h);
+  for (std::size_t k = 0; k < h; ++k) {
+    const cplx w1 = cis(-kTwoPi * static_cast<double>(k) /
+                        static_cast<double>(4 * h));
+    const cplx w2 = w1 * w1;
+    if (ops.isa == dsp::simd::Isa::kAvx2) {
+      tw[2 * (k & ~std::size_t{1}) + (k & 1)] = w1;
+      tw[2 * (k & ~std::size_t{1}) + 2 + (k & 1)] = w2;
+    } else {
+      tw[2 * k] = w1;
+      tw[2 * k + 1] = w2;
+    }
+  }
+  cvec d = random_signal(n, 14);
+  for (auto _ : state) {
+    ops.radix4_stage(d.data(), n, h, tw.data(), false);
+    benchmark::DoNotOptimize(d.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_KernelRadix4Stage)->Args({2048, 0})->Args({2048, 1});
+
+// Fused magnitude pass over a spectrum-sized buffer.
+void BM_KernelMagnitude(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto& ops = bench_table(state.range(1));
+  const cvec src = random_signal(n, 15);
+  rvec dst(n);
+  for (auto _ : state) {
+    ops.magnitude(dst.data(), src.data(), n);
+    benchmark::DoNotOptimize(dst.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_KernelMagnitude)->Args({4096, 0})->Args({4096, 1});
+
+// Local-maximum prefilter of the peak scan.
+void BM_KernelPeakCandidates(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto& ops = bench_table(state.range(1));
+  Rng rng(16);
+  rvec mag(n);
+  for (auto& m : mag) m = std::abs(rng.cgaussian(1.0));
+  std::vector<std::uint32_t> idx(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ops.peak_candidates(mag.data(), n, 1.5, idx.data()));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_KernelPeakCandidates)->Args({4096, 0})->Args({4096, 1});
 
 void BM_FoldArgmaxFull(benchmark::State& state) {
   const std::size_t n = 256;

@@ -4,6 +4,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "dsp/simd/simd.hpp"
 #include "obs/obs.hpp"
 
 namespace choir::core {
@@ -46,15 +47,10 @@ CMatrix tone_gram(const std::vector<double>& offsets, std::size_t n) {
 cvec tone_projections(const cvec& y, const std::vector<double>& offsets) {
   const std::size_t n = y.size();
   cvec b(offsets.size());
+  const auto& ops = dsp::simd::active();
   for (std::size_t i = 0; i < offsets.size(); ++i) {
     const cplx step = cis(-kTwoPi * offsets[i] / static_cast<double>(n));
-    cplx ph{1.0, 0.0};
-    cplx acc{0.0, 0.0};
-    for (std::size_t t = 0; t < n; ++t) {
-      acc += y[t] * ph;
-      ph *= step;
-    }
-    b[i] = acc;
+    b[i] = ops.phasor_dot(y.data(), n, cplx{1.0, 0.0}, step);
   }
   return b;
 }
@@ -99,8 +95,8 @@ double residual_power(const cvec& dechirped,
     // candidate so the optimizer steps away from it.
     return std::numeric_limits<double>::infinity();
   }
-  double y2 = 0.0;
-  for (const cplx& s : dechirped) y2 += std::norm(s);
+  const double y2 =
+      dsp::simd::active().energy(dechirped.data(), dechirped.size());
   // ||y - E h||^2 = ||y||^2 - Re(b^H h) when h solves the normal equations.
   double fit = 0.0;
   for (std::size_t i = 0; i < h.size(); ++i) {
@@ -149,14 +145,11 @@ void subtract_tones(cvec& dechirped, const std::vector<double>& offsets_bins,
 cvec reconstruct_tones(const std::vector<double>& offsets_bins,
                        const cvec& channels, std::size_t n_samples) {
   cvec out(n_samples, cplx{0.0, 0.0});
+  const auto& ops = dsp::simd::active();
   for (std::size_t i = 0; i < offsets_bins.size(); ++i) {
     const cplx step =
         cis(kTwoPi * offsets_bins[i] / static_cast<double>(n_samples));
-    cplx ph = channels[i];
-    for (std::size_t n = 0; n < n_samples; ++n) {
-      out[n] += ph;
-      ph *= step;
-    }
+    ops.phasor_accumulate(out.data(), n_samples, channels[i], step);
   }
   return out;
 }
@@ -167,11 +160,9 @@ ToneResidualEvaluator::ToneResidualEvaluator(const std::vector<cvec>& windows,
   if (windows_.empty())
     throw std::invalid_argument("ToneResidualEvaluator: no windows");
   window_energy_.reserve(windows_.size());
-  for (const cvec& w : windows_) {
-    double e = 0.0;
-    for (const cplx& s : w) e += std::norm(s);
-    window_energy_.push_back(e);
-  }
+  const auto& ops = dsp::simd::active();
+  for (const cvec& w : windows_)
+    window_energy_.push_back(ops.energy(w.data(), w.size()));
   b_.resize(offsets_.size());
   for (std::size_t i = 0; i < offsets_.size(); ++i)
     project_into(offsets_[i], b_[i]);
@@ -182,21 +173,16 @@ void ToneResidualEvaluator::project_into(double offset,
                                          std::vector<cplx>& out) {
   const std::size_t n = windows_.front().size();
   // Build the phasor table once (the recurrence is a serial dependency
-  // chain), then project each window with a plain dot product the compiler
-  // can vectorize — instead of re-running the recurrence per window.
+  // chain), then project each window with a plain complex dot product —
+  // instead of re-running the recurrence per window. Both passes go
+  // through the dispatched kernels.
   phasor_.resize(n);
+  const auto& ops = dsp::simd::active();
   const cplx step = cis(-kTwoPi * offset / static_cast<double>(n));
-  cplx ph{1.0, 0.0};
-  for (std::size_t t = 0; t < n; ++t) {
-    phasor_[t] = ph;
-    ph *= step;
-  }
+  ops.phasor_table(phasor_.data(), n, cplx{1.0, 0.0}, step);
   out.resize(windows_.size());
   for (std::size_t w = 0; w < windows_.size(); ++w) {
-    const cvec& win = windows_[w];
-    cplx acc{0.0, 0.0};
-    for (std::size_t t = 0; t < n; ++t) acc += win[t] * phasor_[t];
-    out[w] = acc;
+    out[w] = ops.cdot(windows_[w].data(), phasor_.data(), n);
   }
 }
 

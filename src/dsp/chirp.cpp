@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "dsp/fft.hpp"
+#include "dsp/simd/simd.hpp"
 #include "obs/obs.hpp"
 
 namespace choir::dsp {
@@ -77,7 +78,8 @@ void dechirp(cvec& window, const cvec& downchirp) {
   if (window.size() != downchirp.size())
     throw std::invalid_argument("dechirp: size mismatch");
   CHOIR_OBS_COUNT("dsp.dechirp.windows", 1);
-  for (std::size_t i = 0; i < window.size(); ++i) window[i] *= downchirp[i];
+  simd::active().cmul(window.data(), window.data(), downchirp.data(),
+                      window.size());
 }
 
 }  // namespace choir::dsp

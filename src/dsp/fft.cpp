@@ -17,7 +17,8 @@ std::size_t next_pow2(std::size_t n) {
   return p;
 }
 
-FftPlan::FftPlan(std::size_t size) : size_(size) {
+FftPlan::FftPlan(std::size_t size)
+    : size_(size), ops_(&simd::active()) {
   if (!is_pow2(size)) throw std::invalid_argument("FftPlan: size not pow2");
   bit_reverse_.resize(size);
   std::size_t log2n = 0;
@@ -59,6 +60,35 @@ FftPlan::FftPlan(std::size_t size) : size_(size) {
       r4_inv_twiddles_.push_back(std::conj(w1));
       r4_inv_twiddles_.push_back(std::conj(w2));
     }
+  }
+  // Two-butterfly vector kernels (AVX2) read twiddles as pair-deinterleaved
+  // blocks [w1[k], w1[k+1], w2[k], w2[k+1]]; build that layout from the
+  // scalar one when the bound kernel wants it. Stage offsets are identical
+  // in both layouts (2h entries per stage), so the stage loop is shared.
+  use_simd_layout_ = ops_->isa == simd::Isa::kAvx2;
+  if (use_simd_layout_) {
+    const auto pack = [this](const cvec& src) {
+      cvec out;
+      out.reserve(src.size());
+      std::size_t off = 0;
+      for (std::size_t h = lead_radix2_ ? 2 : 1; 4 * h <= size_; h *= 4) {
+        if (h == 1) {
+          out.push_back(src[off]);
+          out.push_back(src[off + 1]);
+        } else {
+          for (std::size_t k = 0; k + 2 <= h; k += 2) {
+            out.push_back(src[off + 2 * k]);          // w1[k]
+            out.push_back(src[off + 2 * (k + 1)]);    // w1[k+1]
+            out.push_back(src[off + 2 * k + 1]);      // w2[k]
+            out.push_back(src[off + 2 * (k + 1) + 1]);  // w2[k+1]
+          }
+        }
+        off += 2 * h;
+      }
+      return out;
+    };
+    r4_simd_twiddles_ = pack(r4_twiddles_);
+    r4_simd_inv_twiddles_ = pack(r4_inv_twiddles_);
   }
 }
 
@@ -106,34 +136,16 @@ void FftPlan::transform_radix4(cplx* d) const {
     }
     h = 2;
   }
-  const cvec& tw = Invert ? r4_inv_twiddles_ : r4_twiddles_;
+  // Every merged stage runs through the kernel (and the twiddle layout)
+  // bound at construction; the butterfly math itself lives in
+  // simd/kernels_*.cpp with the scalar version as the oracle.
+  const cvec& tw = use_simd_layout_
+                       ? (Invert ? r4_simd_inv_twiddles_ : r4_simd_twiddles_)
+                       : (Invert ? r4_inv_twiddles_ : r4_twiddles_);
+  const auto stage = ops_->radix4_stage;
   std::size_t off = 0;
   for (; 4 * h <= size_; h *= 4) {
-    const std::size_t quad = 4 * h;
-    const cplx* twp = tw.data() + off;
-    for (std::size_t s = 0; s < size_; s += quad) {
-      cplx* p = d + s;
-      for (std::size_t k = 0; k < h; ++k) {
-        const cplx w1 = twp[2 * k];
-        const cplx w2 = twp[2 * k + 1];
-        const cplx a0 = p[k];
-        const cplx b1 = p[k + h] * w2;
-        const cplx a2 = p[k + 2 * h];
-        const cplx b3 = p[k + 3 * h] * w2;
-        const cplx t0 = a0 + b1;
-        const cplx t1 = a0 - b1;
-        const cplx u2 = (a2 + b3) * w1;
-        const cplx u3 = (a2 - b3) * w1;
-        // Lane k+h's second-stage twiddle is -i*w1 (forward) / +i*w1
-        // (inverse); applying it to u3 is a component swap, not a multiply.
-        const cplx v3 = Invert ? cplx{-u3.imag(), u3.real()}
-                               : cplx{u3.imag(), -u3.real()};
-        p[k] = t0 + u2;
-        p[k + 2 * h] = t0 - u2;
-        p[k + h] = t1 + v3;
-        p[k + 3 * h] = t1 - v3;
-      }
-    }
+    stage(d, size_, h, tw.data() + off, Invert);
     off += 2 * h;
   }
   if constexpr (Invert) {
@@ -228,14 +240,12 @@ rvec power(const cvec& spectrum) {
 
 void magnitude_into(const cvec& spectrum, rvec& out) {
   out.resize(spectrum.size());
-  for (std::size_t i = 0; i < spectrum.size(); ++i)
-    out[i] = std::abs(spectrum[i]);
+  simd::active().magnitude(out.data(), spectrum.data(), spectrum.size());
 }
 
 void power_into(const cvec& spectrum, rvec& out) {
   out.resize(spectrum.size());
-  for (std::size_t i = 0; i < spectrum.size(); ++i)
-    out[i] = std::norm(spectrum[i]);
+  simd::active().power(out.data(), spectrum.data(), spectrum.size());
 }
 
 }  // namespace choir::dsp

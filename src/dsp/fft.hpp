@@ -19,6 +19,7 @@
 
 #include <cstddef>
 
+#include "dsp/simd/simd.hpp"
 #include "util/types.hpp"
 
 namespace choir::dsp {
@@ -34,7 +35,17 @@ class FftPlan {
  public:
   explicit FftPlan(std::size_t size);
 
+  FftPlan(const FftPlan&) = delete;
+  FftPlan& operator=(const FftPlan&) = delete;
+
   std::size_t size() const { return size_; }
+
+  /// The instruction set this plan's butterfly kernel and twiddle layout
+  /// were bound to at construction (== simd::active().isa for every plan
+  /// in the process — dispatch is resolved once, before the first plan, so
+  /// scalar and SIMD twiddle layouts can never mix within a plan or
+  /// between a plan and its kernel).
+  simd::Isa isa() const { return ops_->isa; }
 
   /// In-place forward transform; `data.size()` must equal `size()`.
   void forward(cvec& data) const;
@@ -61,6 +72,15 @@ class FftPlan {
 
   std::size_t size_;
   bool lead_radix2_ = false;  ///< log2(size) odd: one plain stage first
+  /// Kernel table bound at construction (simd::active() at that moment —
+  /// i.e. process startup, since dispatch is resolved before any plan).
+  /// The merged-stage pass goes through ops_->radix4_stage with the
+  /// twiddle array whose layout matches it; see use_simd_layout_.
+  const simd::Ops* ops_;
+  /// True when ops_ expects the SIMD (pair-deinterleaved) twiddle layout;
+  /// selects r4_simd_* over r4_* in the stage loop. Bound together with
+  /// ops_ so a plan structurally cannot mix kernel and layout.
+  bool use_simd_layout_ = false;
   std::vector<std::size_t> bit_reverse_;
   cvec twiddles_;  ///< radix-2 oracle twiddles per stage, flattened
   cvec inv_twiddles_;
@@ -68,6 +88,11 @@ class FftPlan {
   /// 2h entries [w1[k], w2[k]] with w1 = e^{-2pi i k/(4h)}, w2 = w1^2.
   cvec r4_twiddles_;
   cvec r4_inv_twiddles_;
+  /// The same factors packed for two-butterfly vector kernels: per pair of
+  /// lanes [w1[k], w1[k+1], w2[k], w2[k+1]] (two straight vector loads per
+  /// butterfly pair). Built only when the bound kernel wants it.
+  cvec r4_simd_twiddles_;
+  cvec r4_simd_inv_twiddles_;
 };
 
 /// Process-wide plan cache. Plans are immutable after construction and the
@@ -75,6 +100,13 @@ class FftPlan {
 /// worker pool) can share it freely. Each thread memoizes its resolved
 /// plans in a thread-local unordered_map, so the steady state takes no
 /// lock and does one hash lookup.
+///
+/// Every cached plan is the per-ISA variant for this process: the plan
+/// binds simd::active()'s butterfly kernel and matching twiddle layout at
+/// construction, and dispatch is resolved once before the first plan, so a
+/// cached (or channelizer-held) plan pointer can never pair a scalar
+/// layout with a SIMD kernel or vice versa. plan.isa() reports the
+/// binding.
 const FftPlan& plan_for(std::size_t size);
 
 /// Out-of-place forward FFT zero-padded to `out_size` (power of two,

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "dsp/simd/simd.hpp"
+#include "dsp/workspace.hpp"
+
 namespace choir::dsp {
 
 namespace {
@@ -15,7 +18,11 @@ double circular_distance(double a, double b, double n) {
 }  // namespace
 
 ParabolicFit parabolic_refine(const rvec& mag, std::size_t i, bool circular) {
-  const std::size_t n = mag.size();
+  return parabolic_refine(mag.data(), mag.size(), i, circular);
+}
+
+ParabolicFit parabolic_refine(const double* mag, std::size_t n, std::size_t i,
+                              bool circular) {
   ParabolicFit fit;
   fit.magnitude = mag[i];
   if (n < 3) return fit;
@@ -35,17 +42,20 @@ ParabolicFit parabolic_refine(const rvec& mag, std::size_t i, bool circular) {
 
 void find_peaks_mag(const cvec& spectrum, const rvec& mag,
                     const PeakFindOptions& opt, std::vector<Peak>& out) {
-  const std::size_t n = spectrum.size();
+  find_peaks_mag(spectrum.data(), mag.data(), spectrum.size(), opt, out);
+}
+
+void find_peaks_mag(const cplx* spectrum, const double* mag, std::size_t n,
+                    const PeakFindOptions& opt, std::vector<Peak>& out) {
   out.clear();
   if (n < 3) return;
 
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t prev = (i + n - 1) % n;
-    const std::size_t next = (i + 1) % n;
-    if (!opt.circular && (i == 0 || i == n - 1)) continue;
-    if (mag[i] <= mag[prev] || mag[i] < mag[next]) continue;
-    if (mag[i] < opt.threshold) continue;
-    const ParabolicFit fit = parabolic_refine(mag, i, opt.circular);
+  // The SIMD prefilter covers interior bins [1, n-1); the two wrap bins
+  // are tested here. Candidates must stay in ascending-bin order (0,
+  // interior, n-1) — the magnitude sort below is not stable, so insertion
+  // order is part of the observable contract for equal-magnitude peaks.
+  auto emit = [&](std::size_t i) {
+    const ParabolicFit fit = parabolic_refine(mag, n, i, opt.circular);
     Peak p;
     p.bin = static_cast<double>(i) + fit.offset;
     if (p.bin < 0.0) p.bin += static_cast<double>(n);
@@ -53,6 +63,18 @@ void find_peaks_mag(const cvec& spectrum, const rvec& mag,
     p.magnitude = fit.magnitude;
     p.value = spectrum[i];
     out.push_back(p);
+  };
+  if (opt.circular && mag[0] > mag[n - 1] && mag[0] >= mag[1] &&
+      mag[0] >= opt.threshold) {
+    emit(0);
+  }
+  auto idx = DspWorkspace::tls().ubuf(n);
+  const std::size_t count =
+      simd::active().peak_candidates(mag, n, opt.threshold, idx->data());
+  for (std::size_t c = 0; c < count; ++c) emit((*idx)[c]);
+  if (opt.circular && mag[n - 1] > mag[n - 2] && mag[n - 1] >= mag[0] &&
+      mag[n - 1] >= opt.threshold) {
+    emit(n - 1);
   }
 
   std::sort(out.begin(), out.end(), [](const Peak& a, const Peak& b) {
@@ -84,16 +106,19 @@ void find_peaks_mag(const cvec& spectrum, const rvec& mag,
 std::vector<Peak> find_peaks(const cvec& spectrum,
                              const PeakFindOptions& opt) {
   rvec mag(spectrum.size());
-  for (std::size_t i = 0; i < spectrum.size(); ++i)
-    mag[i] = std::abs(spectrum[i]);
+  simd::active().magnitude(mag.data(), spectrum.data(), spectrum.size());
   std::vector<Peak> out;
   find_peaks_mag(spectrum, mag, opt, out);
   return out;
 }
 
 double noise_floor_mag(const rvec& mag, rvec& scratch) {
-  scratch.resize(mag.size());
-  std::copy(mag.begin(), mag.end(), scratch.begin());
+  return noise_floor_mag(mag.data(), mag.size(), scratch);
+}
+
+double noise_floor_mag(const double* mag, std::size_t n, rvec& scratch) {
+  scratch.resize(n);
+  std::copy(mag, mag + n, scratch.begin());
   std::nth_element(scratch.begin(), scratch.begin() + scratch.size() / 2,
                    scratch.end());
   return scratch[scratch.size() / 2];
@@ -101,8 +126,7 @@ double noise_floor_mag(const rvec& mag, rvec& scratch) {
 
 double noise_floor(const cvec& spectrum) {
   rvec mag(spectrum.size());
-  for (std::size_t i = 0; i < spectrum.size(); ++i)
-    mag[i] = std::abs(spectrum[i]);
+  simd::active().magnitude(mag.data(), spectrum.data(), spectrum.size());
   std::nth_element(mag.begin(), mag.begin() + mag.size() / 2, mag.end());
   return mag[mag.size() / 2];
 }

@@ -49,6 +49,12 @@ std::vector<Peak> find_peaks(const cvec& spectrum, const PeakFindOptions& opt);
 void find_peaks_mag(const cvec& spectrum, const rvec& mag,
                     const PeakFindOptions& opt, std::vector<Peak>& out);
 
+/// Pointer-based find_peaks_mag over `n` bins — the row-view form used by
+/// the batched demodulation path, where spectra and magnitudes live as
+/// rows of a shared slab rather than standalone vectors.
+void find_peaks_mag(const cplx* spectrum, const double* mag, std::size_t n,
+                    const PeakFindOptions& opt, std::vector<Peak>& out);
+
 /// Median-based robust estimate of the noise floor magnitude of a spectrum.
 /// For a spectrum dominated by noise plus a few peaks, the median of bin
 /// magnitudes tracks the Rayleigh-distributed noise level.
@@ -58,6 +64,9 @@ double noise_floor(const cvec& spectrum);
 /// `scratch` is clobbered (nth_element reorders it).
 double noise_floor_mag(const rvec& mag, rvec& scratch);
 
+/// Pointer-based noise_floor_mag over `n` bins (slab-row form).
+double noise_floor_mag(const double* mag, std::size_t n, rvec& scratch);
+
 /// Parabolic (quadratic) interpolation of the true maximum around index i of
 /// the magnitude array; returns the fractional offset in [-0.5, 0.5] and the
 /// interpolated peak magnitude.
@@ -66,5 +75,9 @@ struct ParabolicFit {
   double magnitude = 0.0;
 };
 ParabolicFit parabolic_refine(const rvec& mag, std::size_t i, bool circular);
+
+/// Pointer-based parabolic_refine over `n` bins (slab-row form).
+ParabolicFit parabolic_refine(const double* mag, std::size_t n, std::size_t i,
+                              bool circular);
 
 }  // namespace choir::dsp

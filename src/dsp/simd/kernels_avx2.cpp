@@ -1,0 +1,380 @@
+// AVX2+FMA kernels. Compiled into every x86-64 build via per-function
+// target attributes (no global -mavx2, so the binary stays runnable on
+// older CPUs); selected at runtime only when CPUID reports both AVX2 and
+// FMA.
+//
+// Data layout: a ymm register holds two complex doubles as
+// [re0, im0, re1, im1]. The complex product uses the standard
+// movedup/permute/fmaddsub recipe (3 shuffles + mul + fmaddsub for two
+// products). Phasor recurrences advance four lanes [ph, ph*s, ph*s^2,
+// ph*s^3] by s^4 per iteration, which reassociates the rounding relative
+// to the scalar serial recurrence — covered by the tolerance contract in
+// simd.hpp.
+#include "dsp/simd/simd_internal.hpp"
+
+#if defined(CHOIR_SIMD_HAVE_AVX2)
+
+#include <immintrin.h>
+
+#include <cmath>
+
+#define CHOIR_AVX2 __attribute__((target("avx2,fma")))
+
+namespace choir::dsp::simd {
+
+namespace {
+
+// [a0*b0, a1*b1] for ymm = two packed complex doubles.
+CHOIR_AVX2 inline __m256d cmul2(__m256d a, __m256d b) {
+  const __m256d b_re = _mm256_movedup_pd(b);
+  const __m256d b_im = _mm256_permute_pd(b, 0xF);
+  const __m256d a_sw = _mm256_permute_pd(a, 0x5);
+  return _mm256_fmaddsub_pd(a, b_re, _mm256_mul_pd(a_sw, b_im));
+}
+
+// Complex sum of the two packed complexes in `acc`.
+CHOIR_AVX2 inline cplx reduce2(__m256d acc) {
+  const __m128d lo = _mm256_castpd256_pd128(acc);
+  const __m128d hi = _mm256_extractf128_pd(acc, 1);
+  const __m128d s = _mm_add_pd(lo, hi);
+  return {_mm_cvtsd_f64(s), _mm_cvtsd_f64(_mm_unpackhi_pd(s, s))};
+}
+
+CHOIR_AVX2 inline __m256d broadcast_cplx(cplx v) {
+  return _mm256_setr_pd(v.real(), v.imag(), v.real(), v.imag());
+}
+
+CHOIR_AVX2 void a_cmul(cplx* dst, const cplx* a, const cplx* b,
+                       std::size_t n) {
+  std::size_t i = 0;
+  auto* dp = reinterpret_cast<double*>(dst);
+  const auto* ap = reinterpret_cast<const double*>(a);
+  const auto* bp = reinterpret_cast<const double*>(b);
+  for (; i + 4 <= n; i += 4) {
+    const __m256d r0 = cmul2(_mm256_loadu_pd(ap + 2 * i),
+                             _mm256_loadu_pd(bp + 2 * i));
+    const __m256d r1 = cmul2(_mm256_loadu_pd(ap + 2 * i + 4),
+                             _mm256_loadu_pd(bp + 2 * i + 4));
+    _mm256_storeu_pd(dp + 2 * i, r0);
+    _mm256_storeu_pd(dp + 2 * i + 4, r1);
+  }
+  for (; i + 2 <= n; i += 2) {
+    _mm256_storeu_pd(dp + 2 * i, cmul2(_mm256_loadu_pd(ap + 2 * i),
+                                       _mm256_loadu_pd(bp + 2 * i)));
+  }
+  for (; i < n; ++i) dst[i] = a[i] * b[i];
+}
+
+CHOIR_AVX2 cplx a_cdot(const cplx* a, const cplx* b, std::size_t n) {
+  const auto* ap = reinterpret_cast<const double*>(a);
+  const auto* bp = reinterpret_cast<const double*>(b);
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 = _mm256_add_pd(acc0, cmul2(_mm256_loadu_pd(ap + 2 * i),
+                                     _mm256_loadu_pd(bp + 2 * i)));
+    acc1 = _mm256_add_pd(acc1, cmul2(_mm256_loadu_pd(ap + 2 * i + 4),
+                                     _mm256_loadu_pd(bp + 2 * i + 4)));
+  }
+  for (; i + 2 <= n; i += 2) {
+    acc0 = _mm256_add_pd(acc0, cmul2(_mm256_loadu_pd(ap + 2 * i),
+                                     _mm256_loadu_pd(bp + 2 * i)));
+  }
+  cplx acc = reduce2(_mm256_add_pd(acc0, acc1));
+  for (; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+// Phasor-recurrence lane setup shared by the phasor kernels: lanes carry
+// [ph, ph*s] and [ph*s^2, ph*s^3] and advance by s^4 per 4-element block.
+// The scalar tail resumes from lane 0 of p0 (ph0 * step^m after m blocks).
+struct PhasorLanes {
+  __m256d p0;
+  __m256d p1;
+  __m256d step4;
+};
+
+CHOIR_AVX2 inline PhasorLanes phasor_lanes(cplx ph0, cplx step) {
+  const cplx step2 = step * step;
+  const cplx ph1 = ph0 * step;
+  const cplx ph2 = ph0 * step2;
+  const cplx ph3 = ph2 * step;
+  PhasorLanes l;
+  l.p0 = _mm256_setr_pd(ph0.real(), ph0.imag(), ph1.real(), ph1.imag());
+  l.p1 = _mm256_setr_pd(ph2.real(), ph2.imag(), ph3.real(), ph3.imag());
+  l.step4 = broadcast_cplx(step2 * step2);
+  return l;
+}
+
+CHOIR_AVX2 inline cplx lane0(__m256d v) {
+  const __m128d lo = _mm256_castpd256_pd128(v);
+  return {_mm_cvtsd_f64(lo), _mm_cvtsd_f64(_mm_unpackhi_pd(lo, lo))};
+}
+
+CHOIR_AVX2 cplx a_phasor_dot(const cplx* x, std::size_t n, cplx ph0,
+                             cplx step) {
+  const auto* xp = reinterpret_cast<const double*>(x);
+  PhasorLanes l = phasor_lanes(ph0, step);
+  __m256d acc0 = _mm256_setzero_pd();
+  __m256d acc1 = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 = _mm256_add_pd(acc0, cmul2(_mm256_loadu_pd(xp + 2 * i), l.p0));
+    acc1 = _mm256_add_pd(acc1, cmul2(_mm256_loadu_pd(xp + 2 * i + 4), l.p1));
+    l.p0 = cmul2(l.p0, l.step4);
+    l.p1 = cmul2(l.p1, l.step4);
+  }
+  cplx acc = reduce2(_mm256_add_pd(acc0, acc1));
+  cplx ph = lane0(l.p0);
+  for (; i < n; ++i) {
+    acc += x[i] * ph;
+    ph *= step;
+  }
+  return acc;
+}
+
+CHOIR_AVX2 void a_phasor_table(cplx* dst, std::size_t n, cplx ph0,
+                               cplx step) {
+  auto* dp = reinterpret_cast<double*>(dst);
+  PhasorLanes l = phasor_lanes(ph0, step);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(dp + 2 * i, l.p0);
+    _mm256_storeu_pd(dp + 2 * i + 4, l.p1);
+    l.p0 = cmul2(l.p0, l.step4);
+    l.p1 = cmul2(l.p1, l.step4);
+  }
+  cplx ph = lane0(l.p0);
+  for (; i < n; ++i) {
+    dst[i] = ph;
+    ph *= step;
+  }
+}
+
+CHOIR_AVX2 void a_phasor_subtract(cplx* x, std::size_t n, cplx amp0,
+                                  cplx step) {
+  auto* xp = reinterpret_cast<double*>(x);
+  PhasorLanes l = phasor_lanes(amp0, step);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(xp + 2 * i,
+                     _mm256_sub_pd(_mm256_loadu_pd(xp + 2 * i), l.p0));
+    _mm256_storeu_pd(xp + 2 * i + 4,
+                     _mm256_sub_pd(_mm256_loadu_pd(xp + 2 * i + 4), l.p1));
+    l.p0 = cmul2(l.p0, l.step4);
+    l.p1 = cmul2(l.p1, l.step4);
+  }
+  cplx amp = lane0(l.p0);
+  for (; i < n; ++i) {
+    x[i] -= amp;
+    amp *= step;
+  }
+}
+
+CHOIR_AVX2 void a_phasor_accumulate(cplx* x, std::size_t n, cplx amp0,
+                                    cplx step) {
+  auto* xp = reinterpret_cast<double*>(x);
+  PhasorLanes l = phasor_lanes(amp0, step);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(xp + 2 * i,
+                     _mm256_add_pd(_mm256_loadu_pd(xp + 2 * i), l.p0));
+    _mm256_storeu_pd(xp + 2 * i + 4,
+                     _mm256_add_pd(_mm256_loadu_pd(xp + 2 * i + 4), l.p1));
+    l.p0 = cmul2(l.p0, l.step4);
+    l.p1 = cmul2(l.p1, l.step4);
+  }
+  cplx amp = lane0(l.p0);
+  for (; i < n; ++i) {
+    x[i] += amp;
+    amp *= step;
+  }
+}
+
+// |c|^2 for four packed complexes (two ymms) -> one ymm of four doubles in
+// element order.
+CHOIR_AVX2 inline __m256d norm4(__m256d a, __m256d b) {
+  const __m256d h =
+      _mm256_hadd_pd(_mm256_mul_pd(a, a), _mm256_mul_pd(b, b));
+  // hadd interleaves pairs as [|c0|^2, |c2|^2, |c1|^2, |c3|^2].
+  return _mm256_permute4x64_pd(h, _MM_SHUFFLE(3, 1, 2, 0));
+}
+
+CHOIR_AVX2 void a_magnitude(double* dst, const cplx* src, std::size_t n) {
+  const auto* sp = reinterpret_cast<const double*>(src);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d nrm = norm4(_mm256_loadu_pd(sp + 2 * i),
+                              _mm256_loadu_pd(sp + 2 * i + 4));
+    _mm256_storeu_pd(dst + i, _mm256_sqrt_pd(nrm));
+  }
+  for (; i < n; ++i) dst[i] = std::abs(src[i]);
+}
+
+CHOIR_AVX2 void a_power(double* dst, const cplx* src, std::size_t n) {
+  const auto* sp = reinterpret_cast<const double*>(src);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(dst + i, norm4(_mm256_loadu_pd(sp + 2 * i),
+                                    _mm256_loadu_pd(sp + 2 * i + 4)));
+  }
+  for (; i < n; ++i) dst[i] = std::norm(src[i]);
+}
+
+CHOIR_AVX2 void a_power_acc(double* dst, const cplx* src, std::size_t n) {
+  const auto* sp = reinterpret_cast<const double*>(src);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d nrm = norm4(_mm256_loadu_pd(sp + 2 * i),
+                              _mm256_loadu_pd(sp + 2 * i + 4));
+    _mm256_storeu_pd(dst + i, _mm256_add_pd(_mm256_loadu_pd(dst + i), nrm));
+  }
+  for (; i < n; ++i) dst[i] += std::norm(src[i]);
+}
+
+CHOIR_AVX2 double a_energy(const cplx* x, std::size_t n) {
+  const auto* xp = reinterpret_cast<const double*>(x);
+  __m256d acc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m256d v = _mm256_loadu_pd(xp + 2 * i);
+    acc = _mm256_fmadd_pd(v, v, acc);
+  }
+  const __m128d s = _mm_add_pd(_mm256_castpd256_pd128(acc),
+                               _mm256_extractf128_pd(acc, 1));
+  double e = _mm_cvtsd_f64(s) + _mm_cvtsd_f64(_mm_unpackhi_pd(s, s));
+  for (; i < n; ++i) e += std::norm(x[i]);
+  return e;
+}
+
+template <bool Invert>
+CHOIR_AVX2 void a_radix4_stage_impl(cplx* d, std::size_t size, std::size_t h,
+                                    const cplx* tw) {
+  // Twiddle layout (FftPlan simd packing): per pair of butterfly lanes
+  // [w1[k], w1[k+1], w2[k], w2[k+1]] — two straight ymm loads per pair.
+  const std::size_t quad = 4 * h;
+  const auto* twp = reinterpret_cast<const double*>(tw);
+  // Sign masks for the -i*w1 / +i*w1 lane factor: forward negates the
+  // real (even) lanes after the swap, inverse the imaginary (odd) ones.
+  const __m256d sign = Invert
+                           ? _mm256_setr_pd(-0.0, 0.0, -0.0, 0.0)
+                           : _mm256_setr_pd(0.0, -0.0, 0.0, -0.0);
+  for (std::size_t s = 0; s < size; s += quad) {
+    auto* p = reinterpret_cast<double*>(d + s);
+    for (std::size_t k = 0; k + 2 <= h; k += 2) {
+      const __m256d w1 = _mm256_loadu_pd(twp + 4 * k);
+      const __m256d w2 = _mm256_loadu_pd(twp + 4 * k + 4);
+      const __m256d a0 = _mm256_loadu_pd(p + 2 * k);
+      const __m256d b1 = cmul2(_mm256_loadu_pd(p + 2 * (k + h)), w2);
+      const __m256d a2 = _mm256_loadu_pd(p + 2 * (k + 2 * h));
+      const __m256d b3 = cmul2(_mm256_loadu_pd(p + 2 * (k + 3 * h)), w2);
+      const __m256d t0 = _mm256_add_pd(a0, b1);
+      const __m256d t1 = _mm256_sub_pd(a0, b1);
+      const __m256d u2 = cmul2(_mm256_add_pd(a2, b3), w1);
+      const __m256d u3 = cmul2(_mm256_sub_pd(a2, b3), w1);
+      const __m256d v3 =
+          _mm256_xor_pd(_mm256_permute_pd(u3, 0x5), sign);
+      _mm256_storeu_pd(p + 2 * k, _mm256_add_pd(t0, u2));
+      _mm256_storeu_pd(p + 2 * (k + 2 * h), _mm256_sub_pd(t0, u2));
+      _mm256_storeu_pd(p + 2 * (k + h), _mm256_add_pd(t1, v3));
+      _mm256_storeu_pd(p + 2 * (k + 3 * h), _mm256_sub_pd(t1, v3));
+    }
+  }
+}
+
+// Scalar butterfly for the h == 1 stage (a single lane per block; its
+// twiddles are exactly 1, so there is nothing to vectorize across k).
+template <bool Invert>
+void a_radix4_stage_h1(cplx* d, std::size_t size) {
+  for (std::size_t s = 0; s < size; s += 4) {
+    cplx* p = d + s;
+    const cplx t0 = p[0] + p[1];
+    const cplx t1 = p[0] - p[1];
+    const cplx u2 = p[2] + p[3];
+    const cplx u3 = p[2] - p[3];
+    const cplx v3 = Invert ? cplx{-u3.imag(), u3.real()}
+                           : cplx{u3.imag(), -u3.real()};
+    p[0] = t0 + u2;
+    p[2] = t0 - u2;
+    p[1] = t1 + v3;
+    p[3] = t1 - v3;
+  }
+}
+
+void a_radix4_stage(cplx* d, std::size_t size, std::size_t h, const cplx* tw,
+                    bool invert) {
+  if (h == 1) {
+    if (invert) {
+      a_radix4_stage_h1<true>(d, size);
+    } else {
+      a_radix4_stage_h1<false>(d, size);
+    }
+    return;
+  }
+  if (invert) {
+    a_radix4_stage_impl<true>(d, size, h, tw);
+  } else {
+    a_radix4_stage_impl<false>(d, size, h, tw);
+  }
+}
+
+CHOIR_AVX2 std::size_t a_peak_candidates(const double* mag, std::size_t n,
+                                         double threshold,
+                                         std::uint32_t* out_idx) {
+  std::size_t count = 0;
+  std::size_t i = 1;
+  if (n >= 6) {
+    const __m256d tv = _mm256_set1_pd(threshold);
+    for (; i + 5 <= n; i += 4) {
+      const __m256d c = _mm256_loadu_pd(mag + i);
+      const __m256d l = _mm256_loadu_pd(mag + i - 1);
+      const __m256d r = _mm256_loadu_pd(mag + i + 1);
+      const __m256d m = _mm256_and_pd(
+          _mm256_and_pd(_mm256_cmp_pd(c, l, _CMP_GT_OQ),
+                        _mm256_cmp_pd(c, r, _CMP_GE_OQ)),
+          _mm256_cmp_pd(c, tv, _CMP_GE_OQ));
+      int bits = _mm256_movemask_pd(m);
+      while (bits != 0) {
+        const int b = __builtin_ctz(static_cast<unsigned>(bits));
+        out_idx[count++] = static_cast<std::uint32_t>(i + b);
+        bits &= bits - 1;
+      }
+    }
+  }
+  for (; i + 1 < n; ++i) {
+    if (mag[i] <= mag[i - 1] || mag[i] < mag[i + 1]) continue;
+    if (mag[i] < threshold) continue;
+    out_idx[count++] = static_cast<std::uint32_t>(i);
+  }
+  return count;
+}
+
+}  // namespace
+
+const Ops* avx2_ops_or_null() {
+  if (!__builtin_cpu_supports("avx2") || !__builtin_cpu_supports("fma"))
+    return nullptr;
+  static const Ops ops = [] {
+    Ops o;
+    o.isa = Isa::kAvx2;
+    o.cmul = a_cmul;
+    o.cdot = a_cdot;
+    o.phasor_dot = a_phasor_dot;
+    o.phasor_table = a_phasor_table;
+    o.phasor_subtract = a_phasor_subtract;
+    o.phasor_accumulate = a_phasor_accumulate;
+    o.magnitude = a_magnitude;
+    o.power = a_power;
+    o.power_acc = a_power_acc;
+    o.energy = a_energy;
+    o.radix4_stage = a_radix4_stage;
+    o.peak_candidates = a_peak_candidates;
+    return o;
+  }();
+  return &ops;
+}
+
+}  // namespace choir::dsp::simd
+
+#endif  // CHOIR_SIMD_HAVE_AVX2

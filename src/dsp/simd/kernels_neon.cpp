@@ -1,0 +1,251 @@
+// NEON (AArch64) kernels. A 128-bit q-register holds exactly one complex
+// double, so the win over scalar comes from explicit two-wide unrolling
+// (independent accumulator chains) and from keeping the complex arithmetic
+// in registers; the shapes mirror the AVX2 file at half the width. NEON is
+// baseline on AArch64, so once compiled in it is always selectable.
+#include "dsp/simd/simd_internal.hpp"
+
+#if defined(CHOIR_SIMD_HAVE_NEON)
+
+#include <arm_neon.h>
+
+#include <cmath>
+
+namespace choir::dsp::simd {
+
+namespace {
+
+// One complex product: v = [re, im].
+inline float64x2_t cmul1(float64x2_t a, float64x2_t b) {
+  const float64x2_t b_re = vdupq_laneq_f64(b, 0);
+  const float64x2_t b_im = vdupq_laneq_f64(b, 1);
+  const float64x2_t a_sw = vextq_f64(a, a, 1);  // [im, re]
+  // [-im_a*im_b, re_a*im_b] + a*b_re
+  const float64x2_t neg = vsetq_lane_f64(-1.0, vdupq_n_f64(1.0), 0);
+  return vfmaq_f64(vmulq_f64(vmulq_f64(a_sw, b_im), neg), a, b_re);
+}
+
+inline float64x2_t load_c(const cplx* p) {
+  return vld1q_f64(reinterpret_cast<const double*>(p));
+}
+inline void store_c(cplx* p, float64x2_t v) {
+  vst1q_f64(reinterpret_cast<double*>(p), v);
+}
+inline cplx to_cplx(float64x2_t v) {
+  return {vgetq_lane_f64(v, 0), vgetq_lane_f64(v, 1)};
+}
+
+void n_cmul(cplx* dst, const cplx* a, const cplx* b, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    store_c(dst + i, cmul1(load_c(a + i), load_c(b + i)));
+    store_c(dst + i + 1, cmul1(load_c(a + i + 1), load_c(b + i + 1)));
+  }
+  for (; i < n; ++i) dst[i] = a[i] * b[i];
+}
+
+cplx n_cdot(const cplx* a, const cplx* b, std::size_t n) {
+  float64x2_t acc0 = vdupq_n_f64(0.0);
+  float64x2_t acc1 = vdupq_n_f64(0.0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    acc0 = vaddq_f64(acc0, cmul1(load_c(a + i), load_c(b + i)));
+    acc1 = vaddq_f64(acc1, cmul1(load_c(a + i + 1), load_c(b + i + 1)));
+  }
+  cplx acc = to_cplx(vaddq_f64(acc0, acc1));
+  for (; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+cplx n_phasor_dot(const cplx* x, std::size_t n, cplx ph0, cplx step) {
+  const cplx step2 = step * step;
+  const cplx ph1s = ph0 * step;
+  float64x2_t p0 = vld1q_f64(reinterpret_cast<const double*>(&ph0));
+  float64x2_t p1 = vld1q_f64(reinterpret_cast<const double*>(&ph1s));
+  const float64x2_t sv = vld1q_f64(reinterpret_cast<const double*>(&step2));
+  float64x2_t acc0 = vdupq_n_f64(0.0);
+  float64x2_t acc1 = vdupq_n_f64(0.0);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    acc0 = vaddq_f64(acc0, cmul1(load_c(x + i), p0));
+    acc1 = vaddq_f64(acc1, cmul1(load_c(x + i + 1), p1));
+    p0 = cmul1(p0, sv);
+    p1 = cmul1(p1, sv);
+  }
+  cplx acc = to_cplx(vaddq_f64(acc0, acc1));
+  cplx ph = to_cplx(p0);
+  for (; i < n; ++i) {
+    acc += x[i] * ph;
+    ph *= step;
+  }
+  return acc;
+}
+
+void n_phasor_table(cplx* dst, std::size_t n, cplx ph0, cplx step) {
+  cplx ph = ph0;
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = ph;
+    ph *= step;
+  }
+}
+
+void n_phasor_subtract(cplx* x, std::size_t n, cplx amp0, cplx step) {
+  const cplx step2 = step * step;
+  const cplx amp1s = amp0 * step;
+  float64x2_t p0 = vld1q_f64(reinterpret_cast<const double*>(&amp0));
+  float64x2_t p1 = vld1q_f64(reinterpret_cast<const double*>(&amp1s));
+  const float64x2_t sv = vld1q_f64(reinterpret_cast<const double*>(&step2));
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    store_c(x + i, vsubq_f64(load_c(x + i), p0));
+    store_c(x + i + 1, vsubq_f64(load_c(x + i + 1), p1));
+    p0 = cmul1(p0, sv);
+    p1 = cmul1(p1, sv);
+  }
+  cplx amp = to_cplx(p0);
+  for (; i < n; ++i) {
+    x[i] -= amp;
+    amp *= step;
+  }
+}
+
+void n_phasor_accumulate(cplx* x, std::size_t n, cplx amp0, cplx step) {
+  const cplx step2 = step * step;
+  const cplx amp1s = amp0 * step;
+  float64x2_t p0 = vld1q_f64(reinterpret_cast<const double*>(&amp0));
+  float64x2_t p1 = vld1q_f64(reinterpret_cast<const double*>(&amp1s));
+  const float64x2_t sv = vld1q_f64(reinterpret_cast<const double*>(&step2));
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    store_c(x + i, vaddq_f64(load_c(x + i), p0));
+    store_c(x + i + 1, vaddq_f64(load_c(x + i + 1), p1));
+    p0 = cmul1(p0, sv);
+    p1 = cmul1(p1, sv);
+  }
+  cplx amp = to_cplx(p0);
+  for (; i < n; ++i) {
+    x[i] += amp;
+    amp *= step;
+  }
+}
+
+void n_magnitude(double* dst, const cplx* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t a = load_c(src + i);
+    const float64x2_t b = load_c(src + i + 1);
+    const float64x2_t nrm = vpaddq_f64(vmulq_f64(a, a), vmulq_f64(b, b));
+    vst1q_f64(dst + i, vsqrtq_f64(nrm));
+  }
+  for (; i < n; ++i) dst[i] = std::abs(src[i]);
+}
+
+void n_power(double* dst, const cplx* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t a = load_c(src + i);
+    const float64x2_t b = load_c(src + i + 1);
+    vst1q_f64(dst + i, vpaddq_f64(vmulq_f64(a, a), vmulq_f64(b, b)));
+  }
+  for (; i < n; ++i) dst[i] = std::norm(src[i]);
+}
+
+void n_power_acc(double* dst, const cplx* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const float64x2_t a = load_c(src + i);
+    const float64x2_t b = load_c(src + i + 1);
+    const float64x2_t nrm = vpaddq_f64(vmulq_f64(a, a), vmulq_f64(b, b));
+    vst1q_f64(dst + i, vaddq_f64(vld1q_f64(dst + i), nrm));
+  }
+  for (; i < n; ++i) dst[i] += std::norm(src[i]);
+}
+
+double n_energy(const cplx* x, std::size_t n) {
+  float64x2_t acc = vdupq_n_f64(0.0);
+  std::size_t i = 0;
+  for (; i < n; ++i) {
+    const float64x2_t v = load_c(x + i);
+    acc = vfmaq_f64(acc, v, v);
+  }
+  return vaddvq_f64(acc);
+}
+
+template <bool Invert>
+void n_radix4_stage_impl(cplx* d, std::size_t size, std::size_t h,
+                         const cplx* tw) {
+  // NEON uses the scalar (interleaved [w1[k], w2[k]]) twiddle layout; one
+  // q-register per complex keeps the butterfly in registers.
+  const std::size_t quad = 4 * h;
+  for (std::size_t s = 0; s < size; s += quad) {
+    cplx* p = d + s;
+    for (std::size_t k = 0; k < h; ++k) {
+      const float64x2_t w1 = load_c(tw + 2 * k);
+      const float64x2_t w2 = load_c(tw + 2 * k + 1);
+      const float64x2_t a0 = load_c(p + k);
+      const float64x2_t b1 = cmul1(load_c(p + k + h), w2);
+      const float64x2_t a2 = load_c(p + k + 2 * h);
+      const float64x2_t b3 = cmul1(load_c(p + k + 3 * h), w2);
+      const float64x2_t t0 = vaddq_f64(a0, b1);
+      const float64x2_t t1 = vsubq_f64(a0, b1);
+      const float64x2_t u2 = cmul1(vaddq_f64(a2, b3), w1);
+      const float64x2_t u3 = cmul1(vsubq_f64(a2, b3), w1);
+      const float64x2_t u3_sw = vextq_f64(u3, u3, 1);  // [im, re]
+      const float64x2_t sign =
+          Invert ? vsetq_lane_f64(-1.0, vdupq_n_f64(1.0), 0)
+                 : vsetq_lane_f64(-1.0, vdupq_n_f64(1.0), 1);
+      const float64x2_t v3 = vmulq_f64(u3_sw, sign);
+      store_c(p + k, vaddq_f64(t0, u2));
+      store_c(p + k + 2 * h, vsubq_f64(t0, u2));
+      store_c(p + k + h, vaddq_f64(t1, v3));
+      store_c(p + k + 3 * h, vsubq_f64(t1, v3));
+    }
+  }
+}
+
+void n_radix4_stage(cplx* d, std::size_t size, std::size_t h, const cplx* tw,
+                    bool invert) {
+  if (invert) {
+    n_radix4_stage_impl<true>(d, size, h, tw);
+  } else {
+    n_radix4_stage_impl<false>(d, size, h, tw);
+  }
+}
+
+std::size_t n_peak_candidates(const double* mag, std::size_t n,
+                              double threshold, std::uint32_t* out_idx) {
+  std::size_t count = 0;
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    if (mag[i] <= mag[i - 1] || mag[i] < mag[i + 1]) continue;
+    if (mag[i] < threshold) continue;
+    out_idx[count++] = static_cast<std::uint32_t>(i);
+  }
+  return count;
+}
+
+}  // namespace
+
+const Ops* neon_ops_or_null() {
+  static const Ops ops = [] {
+    Ops o;
+    o.isa = Isa::kNeon;
+    o.cmul = n_cmul;
+    o.cdot = n_cdot;
+    o.phasor_dot = n_phasor_dot;
+    o.phasor_table = n_phasor_table;
+    o.phasor_subtract = n_phasor_subtract;
+    o.phasor_accumulate = n_phasor_accumulate;
+    o.magnitude = n_magnitude;
+    o.power = n_power;
+    o.power_acc = n_power_acc;
+    o.energy = n_energy;
+    o.radix4_stage = n_radix4_stage;
+    o.peak_candidates = n_peak_candidates;
+    return o;
+  }();
+  return &ops;
+}
+
+}  // namespace choir::dsp::simd
+
+#endif  // CHOIR_SIMD_HAVE_NEON

@@ -1,0 +1,147 @@
+// Portable scalar kernels: the correctness oracle every SIMD
+// implementation is tested against (tests/test_dsp_simd.cpp). These are
+// the exact loops the pre-SIMD receiver ran, moved behind the Ops table;
+// keep them boring.
+#include <cmath>
+
+#include "dsp/simd/simd.hpp"
+
+namespace choir::dsp::simd {
+
+namespace {
+
+void s_cmul(cplx* dst, const cplx* a, const cplx* b, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = a[i] * b[i];
+}
+
+cplx s_cdot(const cplx* a, const cplx* b, std::size_t n) {
+  cplx acc{0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+cplx s_phasor_dot(const cplx* x, std::size_t n, cplx ph0, cplx step) {
+  cplx ph = ph0;
+  cplx acc{0.0, 0.0};
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += x[i] * ph;
+    ph *= step;
+  }
+  return acc;
+}
+
+void s_phasor_table(cplx* dst, std::size_t n, cplx ph0, cplx step) {
+  cplx ph = ph0;
+  for (std::size_t i = 0; i < n; ++i) {
+    dst[i] = ph;
+    ph *= step;
+  }
+}
+
+void s_phasor_subtract(cplx* x, std::size_t n, cplx amp0, cplx step) {
+  cplx amp = amp0;
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] -= amp;
+    amp *= step;
+  }
+}
+
+void s_phasor_accumulate(cplx* x, std::size_t n, cplx amp0, cplx step) {
+  cplx amp = amp0;
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] += amp;
+    amp *= step;
+  }
+}
+
+void s_magnitude(double* dst, const cplx* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = std::abs(src[i]);
+}
+
+void s_power(double* dst, const cplx* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = std::norm(src[i]);
+}
+
+void s_power_acc(double* dst, const cplx* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] += std::norm(src[i]);
+}
+
+double s_energy(const cplx* x, std::size_t n) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += std::norm(x[i]);
+  return acc;
+}
+
+template <bool Invert>
+void s_radix4_stage_impl(cplx* d, std::size_t size, std::size_t h,
+                         const cplx* tw) {
+  const std::size_t quad = 4 * h;
+  for (std::size_t s = 0; s < size; s += quad) {
+    cplx* p = d + s;
+    for (std::size_t k = 0; k < h; ++k) {
+      const cplx w1 = tw[2 * k];
+      const cplx w2 = tw[2 * k + 1];
+      const cplx a0 = p[k];
+      const cplx b1 = p[k + h] * w2;
+      const cplx a2 = p[k + 2 * h];
+      const cplx b3 = p[k + 3 * h] * w2;
+      const cplx t0 = a0 + b1;
+      const cplx t1 = a0 - b1;
+      const cplx u2 = (a2 + b3) * w1;
+      const cplx u3 = (a2 - b3) * w1;
+      // Lane k+h's second-stage twiddle is -i*w1 (forward) / +i*w1
+      // (inverse); applying it to u3 is a component swap, not a multiply.
+      const cplx v3 = Invert ? cplx{-u3.imag(), u3.real()}
+                             : cplx{u3.imag(), -u3.real()};
+      p[k] = t0 + u2;
+      p[k + 2 * h] = t0 - u2;
+      p[k + h] = t1 + v3;
+      p[k + 3 * h] = t1 - v3;
+    }
+  }
+}
+
+void s_radix4_stage(cplx* d, std::size_t size, std::size_t h, const cplx* tw,
+                    bool invert) {
+  if (invert) {
+    s_radix4_stage_impl<true>(d, size, h, tw);
+  } else {
+    s_radix4_stage_impl<false>(d, size, h, tw);
+  }
+}
+
+std::size_t s_peak_candidates(const double* mag, std::size_t n,
+                              double threshold, std::uint32_t* out_idx) {
+  std::size_t count = 0;
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    if (mag[i] <= mag[i - 1] || mag[i] < mag[i + 1]) continue;
+    if (mag[i] < threshold) continue;
+    out_idx[count++] = static_cast<std::uint32_t>(i);
+  }
+  return count;
+}
+
+}  // namespace
+
+const Ops& scalar_ops() {
+  static const Ops ops = [] {
+    Ops o;
+    o.isa = Isa::kScalar;
+    o.cmul = s_cmul;
+    o.cdot = s_cdot;
+    o.phasor_dot = s_phasor_dot;
+    o.phasor_table = s_phasor_table;
+    o.phasor_subtract = s_phasor_subtract;
+    o.phasor_accumulate = s_phasor_accumulate;
+    o.magnitude = s_magnitude;
+    o.power = s_power;
+    o.power_acc = s_power_acc;
+    o.energy = s_energy;
+    o.radix4_stage = s_radix4_stage;
+    o.peak_candidates = s_peak_candidates;
+    return o;
+  }();
+  return ops;
+}
+
+}  // namespace choir::dsp::simd

@@ -1,0 +1,101 @@
+// Kernel-table dispatch: CPUID + the CHOIR_SIMD knob, resolved once per
+// process. See simd.hpp for the contract.
+#include "dsp/simd/simd.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+#include "dsp/simd/simd_internal.hpp"
+
+namespace choir::dsp::simd {
+
+const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kNeon:
+      return "neon";
+  }
+  return "unknown";
+}
+
+namespace {
+
+enum class Force { kAuto, kScalar, kAvx2, kNeon };
+
+Force parse_knob() {
+  const char* env = std::getenv("CHOIR_SIMD");
+  if (env == nullptr) return Force::kAuto;
+  std::string v(env);
+  for (char& c : v) c = static_cast<char>(std::tolower(c));
+  if (v == "off" || v == "scalar" || v == "0" || v == "none")
+    return Force::kScalar;
+  if (v == "avx2") return Force::kAvx2;
+  if (v == "neon") return Force::kNeon;
+  return Force::kAuto;  // "auto", "on", "1", unknown values
+}
+
+const Ops* best_available() {
+#if defined(CHOIR_SIMD_HAVE_AVX2)
+  if (const Ops* o = avx2_ops_or_null()) return o;
+#endif
+#if defined(CHOIR_SIMD_HAVE_NEON)
+  if (const Ops* o = neon_ops_or_null()) return o;
+#endif
+  return &scalar_ops();
+}
+
+const Ops* resolve() {
+  switch (parse_knob()) {
+    case Force::kScalar:
+      return &scalar_ops();
+    case Force::kAvx2: {
+      const Ops* o = ops_for(Isa::kAvx2);
+      return o != nullptr ? o : &scalar_ops();
+    }
+    case Force::kNeon: {
+      const Ops* o = ops_for(Isa::kNeon);
+      return o != nullptr ? o : &scalar_ops();
+    }
+    case Force::kAuto:
+      break;
+  }
+  return best_available();
+}
+
+}  // namespace
+
+const Ops& active() {
+  // Magic-static: thread-safe, resolved exactly once. Everything that can
+  // cache ISA-dependent state (FFT plans, channelizers) reads this, so the
+  // process runs one ISA end to end.
+  static const Ops* ops = resolve();
+  return *ops;
+}
+
+const Ops* ops_for(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return &scalar_ops();
+    case Isa::kAvx2:
+#if defined(CHOIR_SIMD_HAVE_AVX2)
+      return avx2_ops_or_null();
+#else
+      return nullptr;
+#endif
+    case Isa::kNeon:
+#if defined(CHOIR_SIMD_HAVE_NEON)
+      return neon_ops_or_null();
+#else
+      return nullptr;
+#endif
+  }
+  return nullptr;
+}
+
+bool available(Isa isa) { return ops_for(isa) != nullptr; }
+
+}  // namespace choir::dsp::simd

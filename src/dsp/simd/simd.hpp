@@ -1,0 +1,125 @@
+// Runtime-dispatched SIMD kernels for the DSP hot loops.
+//
+// Every hot inner loop in the receiver reduces to a handful of primitives:
+// elementwise complex multiply (dechirp, polyphase fold), complex dot
+// products (tone projections), phasor-recurrence multiply-accumulate
+// (fold-aware correlation, direct DFTs, tone subtraction/reconstruction),
+// fused magnitude/power passes, the merged radix-4 FFT butterfly stage,
+// and the local-maximum prefilter of the peak scan. This module provides
+// one `Ops` table of function pointers per instruction set — portable
+// scalar (the correctness oracle), AVX2+FMA on x86-64, NEON on AArch64 —
+// and selects the best available implementation ONCE at startup via CPUID
+// (`__builtin_cpu_supports`), overridable with the CHOIR_SIMD environment
+// variable:
+//
+//   CHOIR_SIMD=off|scalar   force the scalar oracle kernels
+//   CHOIR_SIMD=avx2         require AVX2 (falls back to scalar if absent)
+//   CHOIR_SIMD=neon         require NEON (falls back to scalar if absent)
+//   CHOIR_SIMD=auto|on      best available (the default)
+//
+// The knob is read once, before the first FFT plan is built, so a process
+// runs one ISA end to end: FFT plans capture the active ops table (and the
+// matching twiddle layout) at construction and can never mix scalar and
+// SIMD layouts (see dsp/fft.hpp).
+//
+// Numerical contract: SIMD kernels may reassociate additions (multiple
+// accumulators), use FMA contraction, and step phasor recurrences four
+// lanes at a time — results match the scalar oracle to ~1e-12 relative
+// error, not bit-exactly. tests/test_dsp_simd.cpp pins every kernel
+// against its oracle across sizes 2..16384, odd lengths, and unaligned
+// tails.
+//
+// Alignment contract: kernels use unaligned loads and accept any pointer,
+// so interior window slices (rx + start) are always valid inputs. Buffers
+// allocated through cvec/rvec (util/types.hpp) are 64-byte aligned, which
+// keeps the common base-pointer case split-free.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/types.hpp"
+
+namespace choir::dsp::simd {
+
+enum class Isa : std::uint8_t { kScalar = 0, kAvx2 = 1, kNeon = 2 };
+
+/// Human-readable ISA name ("scalar", "avx2", "neon").
+const char* isa_name(Isa isa);
+
+/// Kernel table for one instruction set. All kernels tolerate n == 0 and
+/// arbitrary (unaligned) pointers; `dst`/`a`/`b` must not partially
+/// overlap (in-place via dst == a is allowed where noted).
+struct Ops {
+  Isa isa = Isa::kScalar;
+
+  /// dst[i] = a[i] * b[i]. dst may alias a (in-place dechirp).
+  void (*cmul)(cplx* dst, const cplx* a, const cplx* b, std::size_t n);
+
+  /// sum_i a[i] * b[i] (no conjugation — the tone tables already carry the
+  /// conjugated phasor).
+  cplx (*cdot)(const cplx* a, const cplx* b, std::size_t n);
+
+  /// sum_i x[i] * (ph0 * step^i): phasor-recurrence multiply-accumulate,
+  /// the core of fold_corr / tone_dft / tone projections.
+  cplx (*phasor_dot)(const cplx* x, std::size_t n, cplx ph0, cplx step);
+
+  /// dst[i] = ph0 * step^i (tone phasor table fill).
+  void (*phasor_table)(cplx* dst, std::size_t n, cplx ph0, cplx step);
+
+  /// x[i] -= amp0 * step^i (fold-aware SIC subtraction).
+  void (*phasor_subtract)(cplx* x, std::size_t n, cplx amp0, cplx step);
+
+  /// x[i] += amp0 * step^i (tone reconstruction).
+  void (*phasor_accumulate)(cplx* x, std::size_t n, cplx amp0, cplx step);
+
+  /// dst[i] = |src[i]|.
+  void (*magnitude)(double* dst, const cplx* src, std::size_t n);
+
+  /// dst[i] = |src[i]|^2.
+  void (*power)(double* dst, const cplx* src, std::size_t n);
+
+  /// dst[i] += |src[i]|^2 (accumulated spectrum).
+  void (*power_acc)(double* dst, const cplx* src, std::size_t n);
+
+  /// sum_i |x[i]|^2.
+  double (*energy)(const cplx* x, std::size_t n);
+
+  /// One merged (radix-4) FFT stage of quarter-length h over `size`
+  /// elements: for every block of 4h elements, h butterflies combining the
+  /// radix-2 stages of half-lengths h and 2h. `tw` points at this stage's
+  /// 2h twiddle factors in THIS ISA's layout (see FftPlan: scalar
+  /// interleaves [w1[k], w2[k]]; AVX2 deinterleaves pairs as
+  /// [w1[k], w1[k+1], w2[k], w2[k+1]]). `invert` selects the conjugate
+  /// rotation of the -i*w1 lane factor; the twiddles themselves are
+  /// already conjugated by the plan.
+  void (*radix4_stage)(cplx* d, std::size_t size, std::size_t h,
+                       const cplx* tw, bool invert);
+
+  /// Local-maximum prefilter of the peak scan over interior bins
+  /// i in [1, n-1): writes every i with mag[i] > mag[i-1] &&
+  /// mag[i] >= mag[i+1] && mag[i] >= threshold to out_idx, returns the
+  /// count. Wrap-around bins 0 and n-1 are the caller's business
+  /// (find_peaks_mag handles circular spectra). out_idx must hold n
+  /// entries.
+  std::size_t (*peak_candidates)(const double* mag, std::size_t n,
+                                 double threshold, std::uint32_t* out_idx);
+};
+
+/// The process-wide dispatch-selected kernel table. Resolved once (thread
+/// safe, first call wins) from CPUID + the CHOIR_SIMD knob; stable for the
+/// process lifetime.
+const Ops& active();
+
+/// The scalar oracle table, always available regardless of dispatch.
+const Ops& scalar_ops();
+
+/// The table for a specific ISA, or nullptr when this build/CPU cannot run
+/// it. Used by the equivalence tests to pin SIMD kernels against the
+/// oracle without re-exec'ing under a different CHOIR_SIMD.
+const Ops* ops_for(Isa isa);
+
+/// True when `isa` is compiled in AND supported by the running CPU.
+bool available(Isa isa);
+
+}  // namespace choir::dsp::simd

@@ -1,0 +1,33 @@
+// Internal glue between the dispatcher (simd.cpp) and the per-ISA kernel
+// translation units. The feature macros depend only on compiler
+// predefines, so every TU in the library agrees on them without any build
+// system coordination. CHOIR_SIMD_DISPATCH (CMake option CHOIR_SIMD, on by
+// default) gates whether vector ISAs are compiled at all; with it off the
+// build is pure scalar and `active()` is the oracle.
+#pragma once
+
+#include "dsp/simd/simd.hpp"
+
+#if defined(CHOIR_SIMD_DISPATCH) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define CHOIR_SIMD_HAVE_AVX2 1
+#endif
+
+#if defined(CHOIR_SIMD_DISPATCH) && defined(__aarch64__) && \
+    defined(__ARM_NEON)
+#define CHOIR_SIMD_HAVE_NEON 1
+#endif
+
+namespace choir::dsp::simd {
+
+#if defined(CHOIR_SIMD_HAVE_AVX2)
+/// The AVX2+FMA table, or nullptr when the running CPU lacks either.
+const Ops* avx2_ops_or_null();
+#endif
+
+#if defined(CHOIR_SIMD_HAVE_NEON)
+/// The NEON table (AArch64 baseline, so never null once compiled in).
+const Ops* neon_ops_or_null();
+#endif
+
+}  // namespace choir::dsp::simd

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "dsp/fft.hpp"
+#include "dsp/simd/simd.hpp"
 #include "obs/obs.hpp"
 
 namespace choir::dsp {
@@ -15,9 +16,9 @@ DspWorkspace::DspWorkspace() {
 }
 
 template <typename T>
-WsLease<T> DspWorkspace::acquire(std::vector<std::vector<T>>& pool,
-                                 std::size_t n, bool zero) {
-  std::vector<T> buf;
+WsLease<T> DspWorkspace::acquire(std::vector<WsVecT<T>>& pool, std::size_t n,
+                                 bool zero) {
+  WsVecT<T> buf;
   if (!pool.empty()) {
     buf = std::move(pool.back());
     pool.pop_back();
@@ -38,18 +39,20 @@ WsLease<T> DspWorkspace::acquire(std::vector<std::vector<T>>& pool,
 }
 
 WsLease<cplx> DspWorkspace::cbuf(std::size_t n) {
-  return acquire(cpool_, n, false);
+  return acquire<cplx>(cpool_, n, false);
 }
 WsLease<cplx> DspWorkspace::cbuf_zero(std::size_t n) {
-  return acquire(cpool_, n, true);
+  return acquire<cplx>(cpool_, n, true);
 }
 WsLease<double> DspWorkspace::rbuf(std::size_t n) {
-  return acquire(rpool_, n, false);
+  return acquire<double>(rpool_, n, false);
 }
 WsLease<std::uint32_t> DspWorkspace::ubuf(std::size_t n) {
-  return acquire(upool_, n, false);
+  return acquire<std::uint32_t>(upool_, n, false);
 }
-WsLease<Peak> DspWorkspace::peaks() { return acquire(ppool_, 0, false); }
+WsLease<Peak> DspWorkspace::peaks() {
+  return acquire<Peak>(ppool_, 0, false);
+}
 
 DspWorkspace& DspWorkspace::tls() {
   thread_local DspWorkspace ws;
@@ -71,7 +74,7 @@ void dechirp_window_into(const cvec& rx, std::size_t start,
                          const cvec& chirp_conj, cvec& out) {
   const std::size_t n = chirp_conj.size();
   slice_window_into(rx, start, n, out);
-  for (std::size_t i = 0; i < n; ++i) out[i] *= chirp_conj[i];
+  simd::active().cmul(out.data(), out.data(), chirp_conj.data(), n);
   CHOIR_OBS_COUNT("dsp.dechirp.windows", 1);
 }
 
@@ -86,13 +89,23 @@ void dechirp_fft_into(const cvec& rx, std::size_t start,
   spec.resize(fft_len);
   const std::size_t avail = start < rx.size() ? rx.size() - start : 0;
   const std::size_t m = std::min(n, avail);
-  for (std::size_t i = 0; i < m; ++i)
-    spec[i] = rx[start + i] * chirp_conj[i];
+  simd::active().cmul(spec.data(), rx.data() + start, chirp_conj.data(), m);
   std::fill(spec.begin() + static_cast<std::ptrdiff_t>(m), spec.end(),
             cplx{0.0, 0.0});
   CHOIR_OBS_COUNT("dsp.dechirp.windows", 1);
   CHOIR_OBS_TIMED_SCOPE("dsp.fft.us");
   plan_for(fft_len).forward_into(spec.data());
+}
+
+// Dechirp one window into row `row` of the batch slab (no FFT yet).
+void dechirp_into_row(const cvec& rx, std::size_t start,
+                      const cvec& chirp_conj, std::size_t fft_len, cplx* row) {
+  const std::size_t n = chirp_conj.size();
+  const std::size_t avail = start < rx.size() ? rx.size() - start : 0;
+  const std::size_t m = std::min(n, avail);
+  simd::active().cmul(row, rx.data() + start, chirp_conj.data(), m);
+  for (std::size_t i = m; i < fft_len; ++i) row[i] = cplx{0.0, 0.0};
+  CHOIR_OBS_COUNT("dsp.dechirp.windows", 1);
 }
 
 }  // namespace
@@ -114,8 +127,33 @@ void dechirp_fft_power_acc(const cvec& rx, std::size_t start,
                            const cvec& chirp_conj, std::size_t fft_len,
                            cvec& spec, rvec& power_acc) {
   dechirp_fft_into(rx, start, chirp_conj, fft_len, spec);
-  for (std::size_t i = 0; i < fft_len; ++i)
-    power_acc[i] += std::norm(spec[i]);
+  simd::active().power_acc(power_acc.data(), spec.data(), fft_len);
+}
+
+void dechirp_fft_mag_batch(const cvec& rx, const std::size_t* starts,
+                           std::size_t count, const cvec& chirp_conj,
+                           std::size_t fft_len, cvec& spec_slab,
+                           rvec& mag_slab) {
+  spec_slab.resize(count * fft_len);
+  mag_slab.resize(count * fft_len);
+  if (count == 0) return;
+  // Phase 1: dechirp every window into its slab row. Keeping this pass
+  // separate from the transforms keeps the cmul kernel streaming over the
+  // capture instead of alternating with FFT butterflies.
+  for (std::size_t w = 0; w < count; ++w) {
+    dechirp_into_row(rx, starts[w], chirp_conj, fft_len,
+                     spec_slab.data() + w * fft_len);
+  }
+  // Phase 2: transform every row with the one resolved per-ISA plan — the
+  // plan lookup (thread-local memo) happens once per batch, not per window.
+  {
+    CHOIR_OBS_TIMED_SCOPE("dsp.fft.us");
+    const FftPlan& plan = plan_for(fft_len);
+    for (std::size_t w = 0; w < count; ++w)
+      plan.forward_into(spec_slab.data() + w * fft_len);
+  }
+  // Phase 3: one fused magnitude pass over the whole slab.
+  simd::active().magnitude(mag_slab.data(), spec_slab.data(), count * fft_len);
 }
 
 }  // namespace choir::dsp

@@ -25,6 +25,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <type_traits>
 #include <vector>
 
 #include "dsp/peaks.hpp"
@@ -33,6 +34,28 @@
 namespace choir::dsp {
 
 class DspWorkspace;
+
+/// Pool storage type per element: sample/spectrum buffers use the aligned
+/// cvec/rvec (the SIMD alignment contract covers every lease handed to a
+/// kernel); index and peak lists stay plain vectors.
+template <typename T>
+struct WsVec {
+  using type = std::vector<T>;
+};
+template <>
+struct WsVec<cplx> {
+  using type = cvec;
+};
+template <>
+struct WsVec<double> {
+  using type = rvec;
+};
+template <typename T>
+using WsVecT = typename WsVec<T>::type;
+
+static_assert(std::is_same_v<WsVecT<cplx>, cvec> &&
+                  std::is_same_v<WsVecT<double>, rvec>,
+              "workspace sample leases must be the aligned buffer types");
 
 /// RAII lease on a pooled buffer. Move-only; returns the buffer (capacity
 /// intact) to its pool on destruction.
@@ -49,18 +72,18 @@ class WsLease {
     if (pool_ != nullptr) pool_->push_back(std::move(buf_));
   }
 
-  std::vector<T>& operator*() { return buf_; }
-  const std::vector<T>& operator*() const { return buf_; }
-  std::vector<T>* operator->() { return &buf_; }
-  const std::vector<T>* operator->() const { return &buf_; }
+  WsVecT<T>& operator*() { return buf_; }
+  const WsVecT<T>& operator*() const { return buf_; }
+  WsVecT<T>* operator->() { return &buf_; }
+  const WsVecT<T>* operator->() const { return &buf_; }
 
  private:
   friend class DspWorkspace;
-  WsLease(std::vector<std::vector<T>>* pool, std::vector<T> buf)
+  WsLease(std::vector<WsVecT<T>>* pool, WsVecT<T> buf)
       : pool_(pool), buf_(std::move(buf)) {}
 
-  std::vector<std::vector<T>>* pool_;
-  std::vector<T> buf_;
+  std::vector<WsVecT<T>>* pool_;
+  WsVecT<T> buf_;
 };
 
 /// Arena of reusable DSP buffers for one thread.
@@ -89,11 +112,10 @@ class DspWorkspace {
 
  private:
   template <typename T>
-  WsLease<T> acquire(std::vector<std::vector<T>>& pool, std::size_t n,
-                     bool zero);
+  WsLease<T> acquire(std::vector<WsVecT<T>>& pool, std::size_t n, bool zero);
 
-  std::vector<std::vector<cplx>> cpool_;
-  std::vector<std::vector<double>> rpool_;
+  std::vector<cvec> cpool_;
+  std::vector<rvec> rpool_;
   std::vector<std::vector<std::uint32_t>> upool_;
   std::vector<std::vector<Peak>> ppool_;
   std::uint64_t hits_ = 0;
@@ -137,5 +159,23 @@ void dechirp_fft_power(const cvec& rx, std::size_t start,
 void dechirp_fft_power_acc(const cvec& rx, std::size_t start,
                            const cvec& chirp_conj, std::size_t fft_len,
                            cvec& spec, rvec& power_acc);
+
+/// Batched dechirp + FFT + magnitude over `count` windows that share one
+/// conjugate chirp (one SF): window w covers rx[starts[w], starts[w] +
+/// chirp_conj.size()). Results land in shared slabs — row w of `spec_slab`
+/// / `mag_slab` is the fft_len-wide spectrum / magnitude of window w
+/// (both slabs are resized to count*fft_len; rows inherit the slab's SIMD
+/// alignment because fft_len is a multiple of the alignment for all
+/// practical SF/oversample choices).
+///
+/// Semantically identical to calling dechirp_fft_mag once per window, but
+/// structured as three slab-wide passes (dechirp-all, FFT-all with a
+/// single resolved plan, one fused magnitude sweep) so each kernel runs
+/// long streams instead of per-window snippets. This is the batched
+/// per-SF demodulation primitive behind Demodulator's preamble scan.
+void dechirp_fft_mag_batch(const cvec& rx, const std::size_t* starts,
+                           std::size_t count, const cvec& chirp_conj,
+                           std::size_t fft_len, cvec& spec_slab,
+                           rvec& mag_slab);
 
 }  // namespace choir::dsp

@@ -71,10 +71,16 @@ class Channelizer {
   std::size_t k_;        ///< number of channels = decimation factor
   std::size_t taps_;     ///< polyphase taps per branch (P)
   rvec proto_;           ///< prototype lowpass, length P*K, DC gain 1
+  cvec proto_c_;         ///< prototype as cplx{h, 0} for the cmul kernel
   cvec window_;          ///< last P blocks, oldest first (P*K samples)
   std::size_t fill_ = 0; ///< valid samples in the newest (partial) block
+  cvec weighted_;        ///< scratch: proto-weighted window, length P*K
   cvec fold_;            ///< scratch: folded block, length K
-  const dsp::FftPlan* plan_ = nullptr;  ///< cached K-point plan
+  /// Cached K-point plan. plan_for() resolves the SIMD dispatch before
+  /// building any plan, so this pointer is always the per-ISA variant
+  /// matching the active kernels — it cannot pair scalar butterflies with
+  /// a SIMD twiddle layout or vice versa (see dsp/fft.hpp).
+  const dsp::FftPlan* plan_ = nullptr;
   std::uint64_t emitted_ = 0;
 };
 

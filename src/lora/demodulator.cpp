@@ -49,38 +49,54 @@ Demodulator::Demodulator(const PhyParams& phy, const DemodOptions& opt)
 Demodulator::WindowPeak Demodulator::window_peak(const cvec& rx,
                                                  std::size_t start,
                                                  bool up) const {
+  WindowPeak wp;
+  window_peaks_batch(rx, &start, 1, up, &wp);
+  return wp;
+}
+
+void Demodulator::window_peaks_batch(const cvec& rx, const std::size_t* starts,
+                                     std::size_t count, bool up,
+                                     WindowPeak* out) const {
   const std::size_t n = phy_.chips();
   const std::size_t fft_len = n * opt_.oversample;
   auto& pool = dsp::DspWorkspace::tls();
-  auto spec = pool.cbuf(fft_len);
-  auto mag = pool.rbuf(fft_len);
+  auto spec_slab = pool.cbuf(count * fft_len);
+  auto mag_slab = pool.rbuf(count * fft_len);
   auto scratch = pool.rbuf(fft_len);
   auto peaks = pool.peaks();
-  dsp::dechirp_fft_mag(rx, start, up ? downchirp_ : upchirp_, fft_len, *spec,
-                       *mag);
+  dsp::dechirp_fft_mag_batch(rx, starts, count, up ? downchirp_ : upchirp_,
+                             fft_len, *spec_slab, *mag_slab);
   dsp::PeakFindOptions popt;
   popt.max_peaks = 1;
   popt.min_separation = static_cast<double>(opt_.oversample);
-  dsp::find_peaks_mag(*spec, *mag, popt, *peaks);
-  WindowPeak wp;
-  wp.noise = dsp::noise_floor_mag(*mag, *scratch);
-  if (!peaks->empty()) {
-    wp.fine_bin = peaks->front().bin / static_cast<double>(opt_.oversample);
-    wp.magnitude = peaks->front().magnitude;
+  for (std::size_t w = 0; w < count; ++w) {
+    const cplx* spec = spec_slab->data() + w * fft_len;
+    const double* mag = mag_slab->data() + w * fft_len;
+    dsp::find_peaks_mag(spec, mag, fft_len, popt, *peaks);
+    WindowPeak wp;
+    wp.noise = dsp::noise_floor_mag(mag, fft_len, *scratch);
+    if (!peaks->empty()) {
+      wp.fine_bin = peaks->front().bin / static_cast<double>(opt_.oversample);
+      wp.magnitude = peaks->front().magnitude;
+    }
+    out[w] = wp;
   }
-  return wp;
 }
 
 double Demodulator::estimate_preamble_offset(const cvec& rx,
                                              std::size_t start,
                                              int count) const {
   const std::size_t n = phy_.chips();
+  std::vector<std::size_t> starts(static_cast<std::size_t>(count));
+  for (int k = 0; k < count; ++k)
+    starts[static_cast<std::size_t>(k)] =
+        start + static_cast<std::size_t>(k) * n;
+  std::vector<WindowPeak> wps(starts.size());
+  window_peaks_batch(rx, starts.data(), starts.size(), /*up=*/true,
+                     wps.data());
   std::vector<double> bins;
-  for (int k = 0; k < count; ++k) {
-    bins.push_back(window_peak(rx, start + static_cast<std::size_t>(k) * n,
-                               /*up=*/true)
-                       .fine_bin);
-  }
+  bins.reserve(wps.size());
+  for (const WindowPeak& wp : wps) bins.push_back(wp.fine_bin);
   return circular_mean_bins(bins, static_cast<double>(n));
 }
 
@@ -90,15 +106,21 @@ DemodResult Demodulator::demodulate_at(const cvec& rx,
   DemodResult res;
   res.frame_start = start;
 
-  // Aggregate offset and SNR from the preamble.
+  // Aggregate offset and SNR from the preamble — all preamble windows go
+  // through one batched dechirp+FFT+magnitude pass.
   std::vector<double> bins;
   double peak_mag = 0.0, noise_mag = 0.0;
-  for (int k = 0; k < phy_.preamble_len; ++k) {
-    const WindowPeak wp =
-        window_peak(rx, start + static_cast<std::size_t>(k) * n, true);
-    bins.push_back(wp.fine_bin);
-    peak_mag += wp.magnitude;
-    noise_mag += wp.noise;
+  {
+    const auto plen = static_cast<std::size_t>(phy_.preamble_len);
+    std::vector<std::size_t> starts(plen);
+    for (std::size_t k = 0; k < plen; ++k) starts[k] = start + k * n;
+    std::vector<WindowPeak> wps(plen);
+    window_peaks_batch(rx, starts.data(), plen, /*up=*/true, wps.data());
+    for (const WindowPeak& wp : wps) {
+      bins.push_back(wp.fine_bin);
+      peak_mag += wp.magnitude;
+      noise_mag += wp.noise;
+    }
   }
   peak_mag /= phy_.preamble_len;
   noise_mag /= phy_.preamble_len;
@@ -122,10 +144,14 @@ DemodResult Demodulator::demodulate_at(const cvec& rx,
   double tau = 0.0;
   if (phy_.sfd_len > 0) {
     double mu_acc_sin = 0.0, mu_acc_cos = 0.0;
-    for (int k = 0; k < phy_.sfd_len; ++k) {
-      const WindowPeak wp = window_peak(
-          rx, start + static_cast<std::size_t>(phy_.preamble_len + k) * n,
-          /*up=*/false);
+    const auto slen = static_cast<std::size_t>(phy_.sfd_len);
+    std::vector<std::size_t> starts(slen);
+    for (std::size_t k = 0; k < slen; ++k)
+      starts[k] =
+          start + (static_cast<std::size_t>(phy_.preamble_len) + k) * n;
+    std::vector<WindowPeak> wps(slen);
+    window_peaks_batch(rx, starts.data(), slen, /*up=*/false, wps.data());
+    for (const WindowPeak& wp : wps) {
       const double th = kTwoPi * wp.fine_bin / static_cast<double>(n);
       mu_acc_cos += std::cos(th);
       mu_acc_sin += std::sin(th);
@@ -181,18 +207,34 @@ std::optional<std::size_t> Demodulator::detect_preamble(
   std::vector<Cand> cands;
   const std::size_t fft_len = n * opt_.oversample;
   auto& pool = dsp::DspWorkspace::tls();
-  auto spec = pool.cbuf(fft_len);
-  auto mag = pool.rbuf(fft_len);
+  // Scan windows in batches: one slab-wide dechirp+FFT+magnitude pass per
+  // kBatch windows (the batched-demod planner), then per-row peak scans.
+  // A batch may run a few windows past the detection point; detection
+  // still returns the first qualifying window, so results are identical
+  // to the window-at-a-time scan.
+  constexpr std::size_t kBatch = 8;
+  auto spec_slab = pool.cbuf(kBatch * fft_len);
+  auto mag_slab = pool.rbuf(kBatch * fft_len);
   auto scratch = pool.rbuf(fft_len);
   auto peaks = pool.peaks();
-  for (std::size_t w = from; w + n <= rx.size(); w += n) {
-    dsp::dechirp_fft_mag(rx, w, downchirp_, fft_len, *spec, *mag);
+  std::size_t starts[kBatch];
+  std::size_t next = from;
+  while (next + n <= rx.size()) {
+    std::size_t count = 0;
+    for (; count < kBatch && next + n <= rx.size(); ++count, next += n)
+      starts[count] = next;
+    dsp::dechirp_fft_mag_batch(rx, starts, count, downchirp_, fft_len,
+                               *spec_slab, *mag_slab);
+    for (std::size_t b = 0; b < count; ++b) {
+    const std::size_t w = starts[b];
+    const cplx* spec = spec_slab->data() + b * fft_len;
+    const double* mag = mag_slab->data() + b * fft_len;
     dsp::PeakFindOptions popt;
-    popt.threshold =
-        opt_.detect_snr_factor * dsp::noise_floor_mag(*mag, *scratch);
+    popt.threshold = opt_.detect_snr_factor *
+                     dsp::noise_floor_mag(mag, fft_len, *scratch);
     popt.min_separation = 1.1 * static_cast<double>(opt_.oversample);
     popt.max_peaks = 3;
-    dsp::find_peaks_mag(*spec, *mag, popt, *peaks);
+    dsp::find_peaks_mag(spec, mag, fft_len, popt, *peaks);
     for (const dsp::Peak& p : *peaks) {
       const double bin = p.bin / static_cast<double>(opt_.oversample);
       bool matched = false;
@@ -217,6 +259,7 @@ std::optional<std::size_t> Demodulator::detect_preamble(
       }
     }
     std::erase_if(cands, [&](const Cand& c) { return c.last_w < w; });
+    }
   }
   return std::nullopt;
 }

@@ -78,6 +78,13 @@ class Demodulator {
   /// up-chirp (to reveal SFD down-chirps).
   WindowPeak window_peak(const cvec& rx, std::size_t start, bool up) const;
 
+  /// Batched window_peak over `count` windows sharing one chirp direction:
+  /// dechirp + FFT + magnitude run as slab-wide passes (see
+  /// dsp::dechirp_fft_mag_batch), then each row is peak-scanned. `out`
+  /// must have room for `count` entries.
+  void window_peaks_batch(const cvec& rx, const std::size_t* starts,
+                          std::size_t count, bool up, WindowPeak* out) const;
+
   PhyParams phy_;
   DemodOptions opt_;
   cvec downchirp_;

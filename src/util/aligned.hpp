@@ -1,0 +1,66 @@
+// Aligned allocation for SIMD-facing buffers.
+//
+// The dsp::simd kernels (AVX2/NEON) read their working buffers with vector
+// loads; serving them from 64-byte-aligned storage keeps every access
+// inside one cache line and lets the FFT working sets start on a vector
+// boundary. The allocator below backs the project-wide `cvec`/`rvec`
+// typedefs (util/types.hpp), so every DspWorkspace lease — and any other
+// sample buffer in the tree — satisfies the alignment contract
+// documented in docs/PERFORMANCE.md. Kernels still use unaligned-load
+// instructions for correctness on arbitrary interior offsets (a symbol
+// window starts wherever the detector anchored it); the allocator
+// guarantees the *base* pointers, which is what keeps the common
+// start-of-buffer case split-free.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace choir::util {
+
+/// SIMD alignment of every pooled DSP buffer, in bytes. 64 covers AVX-512
+/// and a full x86 cache line; AVX2/NEON need 32/16.
+inline constexpr std::size_t kSimdAlign = 64;
+
+/// Minimal C++17 aligned allocator. All instances compare equal, so
+/// containers can freely move storage between them.
+template <typename T, std::size_t Align = kSimdAlign>
+struct AlignedAllocator {
+  static_assert((Align & (Align - 1)) == 0, "alignment must be a power of two");
+  static_assert(Align >= alignof(T), "alignment below the type's natural one");
+
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Align});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+/// True if `p` meets the project-wide SIMD alignment contract.
+inline bool is_simd_aligned(const void* p) {
+  return (reinterpret_cast<std::uintptr_t>(p) & (kSimdAlign - 1)) == 0;
+}
+
+}  // namespace choir::util

@@ -5,17 +5,22 @@
 #include <cstdint>
 #include <vector>
 
+#include "util/aligned.hpp"
+
 namespace choir {
 
 /// Complex baseband sample. Double precision keeps sub-bin frequency-offset
 /// estimation noise-limited rather than precision-limited (see DESIGN.md §6).
 using cplx = std::complex<double>;
 
-/// A buffer of IQ samples.
-using cvec = std::vector<cplx>;
+/// A buffer of IQ samples. 64-byte-aligned storage: every sample buffer in
+/// the tree (including all DspWorkspace leases) satisfies the dsp::simd
+/// alignment contract (util/aligned.hpp, docs/PERFORMANCE.md).
+using cvec = std::vector<cplx, util::AlignedAllocator<cplx>>;
 
-/// A buffer of real values (spectra, residuals, metrics...).
-using rvec = std::vector<double>;
+/// A buffer of real values (spectra, residuals, metrics...). Aligned like
+/// cvec.
+using rvec = std::vector<double, util::AlignedAllocator<double>>;
 
 inline constexpr double kPi = 3.14159265358979323846;
 inline constexpr double kTwoPi = 2.0 * kPi;

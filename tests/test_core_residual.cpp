@@ -11,7 +11,7 @@ namespace choir::core {
 namespace {
 
 cvec make_collision(const std::vector<double>& offsets,
-                    const std::vector<cplx>& channels, std::size_t n,
+                    const cvec& channels, std::size_t n,
                     double noise_sigma, Rng& rng) {
   cvec y = reconstruct_tones(offsets, channels, n);
   if (noise_sigma > 0.0) {
@@ -23,7 +23,7 @@ cvec make_collision(const std::vector<double>& offsets,
 TEST(Residual, FitRecoversChannelsExactly) {
   Rng rng(1);
   const std::vector<double> offsets{10.3, 50.7, 200.1};
-  std::vector<cplx> channels{{1.0, 2.0}, {-0.5, 0.3}, {2.0, -1.0}};
+  cvec channels{{1.0, 2.0}, {-0.5, 0.3}, {2.0, -1.0}};
   const cvec y = make_collision(offsets, channels, 256, 0.0, rng);
   const cvec h = fit_channels(y, offsets);
   for (std::size_t i = 0; i < channels.size(); ++i) {
@@ -34,7 +34,7 @@ TEST(Residual, FitRecoversChannelsExactly) {
 TEST(Residual, ZeroAtTrueOffsetsNoiseless) {
   Rng rng(2);
   const std::vector<double> offsets{33.4, 121.9};
-  std::vector<cplx> channels{{1.0, 0.0}, {0.0, 1.0}};
+  cvec channels{{1.0, 0.0}, {0.0, 1.0}};
   const cvec y = make_collision(offsets, channels, 256, 0.0, rng);
   // Ridge regularization keeps the residual slightly above zero; it must
   // still be tiny relative to the signal energy (2*N).
@@ -44,7 +44,7 @@ TEST(Residual, ZeroAtTrueOffsetsNoiseless) {
 TEST(Residual, GrowsAwayFromTruth) {
   Rng rng(3);
   const std::vector<double> offsets{33.4, 121.9};
-  std::vector<cplx> channels{{1.0, 0.0}, {0.0, 1.0}};
+  cvec channels{{1.0, 0.0}, {0.0, 1.0}};
   const cvec y = make_collision(offsets, channels, 256, 0.05, rng);
   const double at_truth = residual_power(y, offsets);
   const double off_a = residual_power(y, {33.8, 121.9});
@@ -59,7 +59,7 @@ TEST(Residual, LocallyConvexAroundTruth) {
   // sides within a +-0.5 bin neighborhood.
   Rng rng(4);
   const std::vector<double> offsets{77.25, 140.6};
-  std::vector<cplx> channels{{1.0, 0.5}, {-0.7, 0.9}};
+  cvec channels{{1.0, 0.5}, {-0.7, 0.9}};
   const cvec y = make_collision(offsets, channels, 256, 0.02, rng);
   std::vector<double> profile;
   for (double d = -0.5; d <= 0.5001; d += 0.05) {
@@ -77,7 +77,7 @@ TEST(Residual, LocallyConvexAroundTruth) {
 TEST(Residual, DegenerateOffsetsDoNotExplode) {
   Rng rng(5);
   const std::vector<double> offsets{50.0, 50.0001};
-  std::vector<cplx> channels{{1.0, 0.0}, {1.0, 0.0}};
+  cvec channels{{1.0, 0.0}, {1.0, 0.0}};
   const cvec y = make_collision({50.0}, {{2.0, 0.0}}, 256, 0.01, rng);
   // With the ridge the fit must stay finite and the channel magnitudes
   // physically bounded.
@@ -91,7 +91,7 @@ TEST(Residual, DegenerateOffsetsDoNotExplode) {
 TEST(Residual, SubtractTonesRemovesSignal) {
   Rng rng(6);
   const std::vector<double> offsets{12.7, 99.2};
-  std::vector<cplx> channels{{1.5, 0.0}, {0.0, -2.0}};
+  cvec channels{{1.5, 0.0}, {0.0, -2.0}};
   cvec y = make_collision(offsets, channels, 128, 0.0, rng);
   double before = 0.0;
   for (const auto& s : y) before += std::norm(s);
@@ -114,7 +114,7 @@ TEST(Residual, ToneMatrixMatchesAnalyticColumns) {
 TEST(Evaluator, MatchesBatchResidual) {
   Rng rng(7);
   const std::vector<double> offsets{20.2, 120.9, 200.4};
-  std::vector<cplx> channels{{1, 0}, {0, 1}, {0.5, 0.5}};
+  cvec channels{{1, 0}, {0, 1}, {0.5, 0.5}};
   std::vector<cvec> windows;
   for (int w = 0; w < 4; ++w) {
     windows.push_back(make_collision(offsets, channels, 256, 0.1, rng));
@@ -136,7 +136,7 @@ TEST(Evaluator, MatchesBatchResidual) {
 TEST(Evaluator, DescentRefinesCoarseOffsets) {
   Rng rng(8);
   const std::vector<double> truth{60.37, 61.82};  // close pair
-  std::vector<cplx> channels{{1.0, 0.3}, {-0.8, 0.6}};
+  cvec channels{{1.0, 0.3}, {-0.8, 0.6}};
   std::vector<cvec> windows;
   for (int w = 0; w < 6; ++w) {
     windows.push_back(make_collision(truth, channels, 256, 0.05, rng));

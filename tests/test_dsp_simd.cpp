@@ -1,0 +1,371 @@
+// Equivalence suite for the runtime-dispatched SIMD kernels: every kernel
+// in dsp::simd::Ops is pinned against the scalar oracle across sizes
+// 2..16384, odd lengths, and unaligned tails, for every ISA the build and
+// CPU can run. The CHOIR_SIMD=off ctest lane re-runs the whole test binary
+// under forced-scalar dispatch, covering the other side of the dispatch
+// switch (the DispatchKnob test asserts the lane actually took effect).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "dsp/fft.hpp"
+#include "dsp/peaks.hpp"
+#include "dsp/simd/simd.hpp"
+#include "dsp/workspace.hpp"
+#include "util/aligned.hpp"
+#include "util/types.hpp"
+
+namespace choir {
+namespace {
+
+using dsp::simd::Isa;
+using dsp::simd::Ops;
+
+// Sizes chosen to hit every tail-handling path: below one vector, odd
+// lengths, exact multiples of the 2- and 4-wide strides, and the largest
+// FFT the receiver uses (SF12 at oversample 16).
+const std::size_t kSizes[] = {0,  1,  2,   3,   4,   5,    7,    8,    9,
+                              15, 16, 17,  31,  32,  33,   63,   64,   100,
+                              255, 256, 1023, 1024, 4097, 16384};
+
+std::vector<const Ops*> simd_tables() {
+  std::vector<const Ops*> out;
+  for (Isa isa : {Isa::kAvx2, Isa::kNeon}) {
+    const Ops* ops = dsp::simd::ops_for(isa);
+    if (ops != nullptr) out.push_back(ops);
+  }
+  return out;
+}
+
+cvec random_cvec(std::size_t n, std::uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> d(-1.0, 1.0);
+  cvec v(n);
+  for (auto& x : v) x = cplx{d(rng), d(rng)};
+  return v;
+}
+
+// Tolerance for an n-term reassociated reduction: the SIMD kernels may
+// split the sum over multiple accumulators and contract with FMA, so the
+// error budget grows with n but stays far below 1e-9 even at 16384.
+double tol(std::size_t n) {
+  return 1e-12 * (1.0 + std::sqrt(static_cast<double>(n + 1)));
+}
+
+void expect_near(cplx a, cplx b, double scale, std::size_t n,
+                 const char* what) {
+  EXPECT_NEAR(a.real(), b.real(), tol(n) * (scale + 1.0))
+      << what << " n=" << n;
+  EXPECT_NEAR(a.imag(), b.imag(), tol(n) * (scale + 1.0))
+      << what << " n=" << n;
+}
+
+TEST(DspSimd, ScalarTableAlwaysAvailable) {
+  EXPECT_EQ(dsp::simd::scalar_ops().isa, Isa::kScalar);
+  EXPECT_TRUE(dsp::simd::available(Isa::kScalar));
+  EXPECT_NE(dsp::simd::ops_for(Isa::kScalar), nullptr);
+}
+
+TEST(DspSimd, DispatchKnobRespected) {
+  // The active table must honor CHOIR_SIMD: the forced-scalar ctest lane
+  // relies on this to actually exercise the scalar path end to end.
+  const char* knob = std::getenv("CHOIR_SIMD");
+  const std::string v = knob ? knob : "";
+  const Isa active = dsp::simd::active().isa;
+  if (v == "off" || v == "scalar" || v == "0" || v == "none") {
+    EXPECT_EQ(active, Isa::kScalar);
+  } else {
+    EXPECT_TRUE(dsp::simd::available(active));
+  }
+}
+
+TEST(DspSimd, CmulMatchesOracle) {
+  const Ops& oracle = dsp::simd::scalar_ops();
+  for (const Ops* ops : simd_tables()) {
+    for (std::size_t n : kSizes) {
+      const cvec a = random_cvec(n, 1000 + static_cast<std::uint32_t>(n));
+      const cvec b = random_cvec(n, 2000 + static_cast<std::uint32_t>(n));
+      cvec want(n), got(n);
+      oracle.cmul(want.data(), a.data(), b.data(), n);
+      ops->cmul(got.data(), a.data(), b.data(), n);
+      for (std::size_t i = 0; i < n; ++i)
+        expect_near(got[i], want[i], 1.0, n, "cmul");
+      // In-place form (dst aliases a), the dechirp call pattern.
+      cvec inplace = a;
+      ops->cmul(inplace.data(), inplace.data(), b.data(), n);
+      for (std::size_t i = 0; i < n; ++i)
+        expect_near(inplace[i], want[i], 1.0, n, "cmul-inplace");
+    }
+  }
+}
+
+TEST(DspSimd, CdotMatchesOracle) {
+  const Ops& oracle = dsp::simd::scalar_ops();
+  for (const Ops* ops : simd_tables()) {
+    for (std::size_t n : kSizes) {
+      const cvec a = random_cvec(n, 3000 + static_cast<std::uint32_t>(n));
+      const cvec b = random_cvec(n, 4000 + static_cast<std::uint32_t>(n));
+      expect_near(ops->cdot(a.data(), b.data(), n),
+                  oracle.cdot(a.data(), b.data(), n),
+                  static_cast<double>(n), n, "cdot");
+    }
+  }
+}
+
+TEST(DspSimd, PhasorKernelsMatchOracle) {
+  const Ops& oracle = dsp::simd::scalar_ops();
+  for (const Ops* ops : simd_tables()) {
+    for (std::size_t n : kSizes) {
+      const cvec x = random_cvec(n, 5000 + static_cast<std::uint32_t>(n));
+      const cplx ph0 = cis(0.7351);
+      const cplx step = cis(-kTwoPi * 3.37 / static_cast<double>(n + 1));
+      expect_near(ops->phasor_dot(x.data(), n, ph0, step),
+                  oracle.phasor_dot(x.data(), n, ph0, step),
+                  static_cast<double>(n), n, "phasor_dot");
+
+      cvec want(n), got(n);
+      oracle.phasor_table(want.data(), n, ph0, step);
+      ops->phasor_table(got.data(), n, ph0, step);
+      for (std::size_t i = 0; i < n; ++i)
+        expect_near(got[i], want[i], 1.0, n, "phasor_table");
+
+      const cplx amp{0.83, -0.41};
+      cvec ws = x, gs = x;
+      oracle.phasor_subtract(ws.data(), n, amp, step);
+      ops->phasor_subtract(gs.data(), n, amp, step);
+      for (std::size_t i = 0; i < n; ++i)
+        expect_near(gs[i], ws[i], 1.0, n, "phasor_subtract");
+
+      cvec wa = x, ga = x;
+      oracle.phasor_accumulate(wa.data(), n, amp, step);
+      ops->phasor_accumulate(ga.data(), n, amp, step);
+      for (std::size_t i = 0; i < n; ++i)
+        expect_near(ga[i], wa[i], 1.0, n, "phasor_accumulate");
+    }
+  }
+}
+
+TEST(DspSimd, MagnitudePowerEnergyMatchOracle) {
+  const Ops& oracle = dsp::simd::scalar_ops();
+  for (const Ops* ops : simd_tables()) {
+    for (std::size_t n : kSizes) {
+      const cvec x = random_cvec(n, 6000 + static_cast<std::uint32_t>(n));
+      rvec want(n), got(n);
+      oracle.magnitude(want.data(), x.data(), n);
+      ops->magnitude(got.data(), x.data(), n);
+      for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(got[i], want[i], tol(n)) << "magnitude n=" << n;
+
+      oracle.power(want.data(), x.data(), n);
+      ops->power(got.data(), x.data(), n);
+      for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(got[i], want[i], tol(n)) << "power n=" << n;
+
+      rvec wacc(n, 0.5), gacc(n, 0.5);
+      oracle.power_acc(wacc.data(), x.data(), n);
+      ops->power_acc(gacc.data(), x.data(), n);
+      for (std::size_t i = 0; i < n; ++i)
+        EXPECT_NEAR(gacc[i], wacc[i], tol(n)) << "power_acc n=" << n;
+
+      EXPECT_NEAR(ops->energy(x.data(), n), oracle.energy(x.data(), n),
+                  tol(n) * (static_cast<double>(n) + 1.0))
+          << "energy n=" << n;
+    }
+  }
+}
+
+TEST(DspSimd, KernelsAcceptUnalignedPointers) {
+  // Every kernel must accept interior slices (rx + start is rarely
+  // 64-byte aligned). Offset every operand by one element and compare.
+  const Ops& oracle = dsp::simd::scalar_ops();
+  for (const Ops* ops : simd_tables()) {
+    for (std::size_t n : {5u, 33u, 257u}) {
+      const cvec a = random_cvec(n + 1, 7000 + static_cast<std::uint32_t>(n));
+      const cvec b = random_cvec(n + 1, 8000 + static_cast<std::uint32_t>(n));
+      cvec want(n + 1), got(n + 1);
+      oracle.cmul(want.data() + 1, a.data() + 1, b.data() + 1, n);
+      ops->cmul(got.data() + 1, a.data() + 1, b.data() + 1, n);
+      for (std::size_t i = 1; i <= n; ++i)
+        expect_near(got[i], want[i], 1.0, n, "cmul-unaligned");
+      expect_near(ops->cdot(a.data() + 1, b.data() + 1, n),
+                  oracle.cdot(a.data() + 1, b.data() + 1, n),
+                  static_cast<double>(n), n, "cdot-unaligned");
+      const cplx step = cis(-0.1234);
+      expect_near(ops->phasor_dot(a.data() + 1, n, cplx{1.0, 0.0}, step),
+                  oracle.phasor_dot(a.data() + 1, n, cplx{1.0, 0.0}, step),
+                  static_cast<double>(n), n, "phasor_dot-unaligned");
+      rvec rw(n + 1), rg(n + 1);
+      oracle.magnitude(rw.data() + 1, a.data() + 1, n);
+      ops->magnitude(rg.data() + 1, a.data() + 1, n);
+      for (std::size_t i = 1; i <= n; ++i)
+        EXPECT_NEAR(rg[i], rw[i], tol(n)) << "magnitude-unaligned";
+    }
+  }
+}
+
+TEST(DspSimd, Radix4StageMatchesOracle) {
+  // Drive the merged butterfly stage directly with synthetic twiddles in
+  // each ISA's own layout (scalar: [w1[k], w2[k]] interleaved; AVX2:
+  // pair-deinterleaved [w1[k], w1[k+1], w2[k], w2[k+1]]; NEON uses the
+  // scalar layout). h == 1 exercises the unit-twiddle path.
+  const Ops& oracle = dsp::simd::scalar_ops();
+  std::mt19937 rng(99);
+  std::uniform_real_distribution<double> ang(0.0, kTwoPi);
+  for (const Ops* ops : simd_tables()) {
+    for (std::size_t size : {4u, 16u, 64u, 1024u, 4096u}) {
+      for (std::size_t h = 1; 4 * h <= size; h *= 4) {
+        cvec w1(h), w2(h);
+        for (std::size_t k = 0; k < h; ++k) {
+          w1[k] = h == 1 ? cplx{1.0, 0.0} : cis(ang(rng));
+          w2[k] = h == 1 ? cplx{1.0, 0.0} : cis(ang(rng));
+        }
+        cvec tw_scalar(2 * h), tw_simd(2 * h);
+        for (std::size_t k = 0; k < h; ++k) {
+          tw_scalar[2 * k] = w1[k];
+          tw_scalar[2 * k + 1] = w2[k];
+        }
+        if (ops->isa == Isa::kAvx2 && h >= 2) {
+          for (std::size_t k = 0; k < h; k += 2) {
+            tw_simd[2 * k] = w1[k];
+            tw_simd[2 * k + 1] = w1[k + 1];
+            tw_simd[2 * k + 2] = w2[k];
+            tw_simd[2 * k + 3] = w2[k + 1];
+          }
+        } else {
+          tw_simd = tw_scalar;
+        }
+        for (bool invert : {false, true}) {
+          cvec want =
+              random_cvec(size, 9000 + static_cast<std::uint32_t>(size + h));
+          cvec got = want;
+          oracle.radix4_stage(want.data(), size, h, tw_scalar.data(), invert);
+          ops->radix4_stage(got.data(), size, h, tw_simd.data(), invert);
+          for (std::size_t i = 0; i < size; ++i)
+            expect_near(got[i], want[i], 1.0, size, "radix4_stage");
+        }
+      }
+    }
+  }
+}
+
+TEST(DspSimd, PeakCandidatesMatchesOracle) {
+  const Ops& oracle = dsp::simd::scalar_ops();
+  std::mt19937 rng(7);
+  std::uniform_real_distribution<double> d(0.0, 1.0);
+  for (const Ops* ops : simd_tables()) {
+    for (std::size_t n : kSizes) {
+      rvec mag(n);
+      for (auto& m : mag) m = d(rng);
+      // Inject plateaus and exact-equal neighbors — the > vs >= asymmetry
+      // between left and right comparisons must match exactly.
+      for (std::size_t i = 3; i + 1 < n; i += 7) mag[i] = mag[i - 1];
+      std::vector<std::uint32_t> want(n + 1), got(n + 1);
+      const double thr = 0.5;
+      const std::size_t wc =
+          oracle.peak_candidates(mag.data(), n, thr, want.data());
+      const std::size_t gc = ops->peak_candidates(mag.data(), n, thr,
+                                                  got.data());
+      ASSERT_EQ(gc, wc) << "n=" << n;
+      for (std::size_t i = 0; i < wc; ++i)
+        EXPECT_EQ(got[i], want[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(DspSimd, AlignedVectorsMeetSimdAlignment) {
+  // The alignment contract: cvec/rvec storage (including workspace leases
+  // and regrown buffers) starts on a kSimdAlign boundary.
+  static_assert(util::kSimdAlign % alignof(cplx) == 0);
+  cvec c(3);
+  rvec r(5);
+  EXPECT_TRUE(util::is_simd_aligned(c.data()));
+  EXPECT_TRUE(util::is_simd_aligned(r.data()));
+  for (int i = 0; i < 12; ++i) c.push_back(cplx{1.0, 0.0});  // force regrowth
+  EXPECT_TRUE(util::is_simd_aligned(c.data()));
+
+  auto& ws = dsp::DspWorkspace::tls();
+  auto cb = ws.cbuf(1027);
+  auto rb = ws.rbuf(515);
+  EXPECT_TRUE(util::is_simd_aligned(cb->data()));
+  EXPECT_TRUE(util::is_simd_aligned(rb->data()));
+}
+
+TEST(DspSimd, FftPlanBindsActiveIsa) {
+  // Satellite fix: every plan (thread-local memo, global cache, and the
+  // channelizer's cached pointer) is the per-ISA variant of the active
+  // dispatch — kernels and twiddle layout can never mix.
+  const dsp::FftPlan& p = dsp::plan_for(256);
+  EXPECT_EQ(p.isa(), dsp::simd::active().isa);
+  const dsp::FftPlan& q = dsp::plan_for(256);
+  EXPECT_EQ(&p, &q);  // memoized, same variant
+}
+
+TEST(DspSimd, FftMatchesNaiveDft) {
+  for (std::size_t n : {4u, 8u, 64u, 256u, 1024u}) {
+    const cvec x = random_cvec(n, 42 + static_cast<std::uint32_t>(n));
+    cvec got = x;
+    dsp::plan_for(n).forward_into(got.data());
+    for (std::size_t k = 0; k < n; k += std::max<std::size_t>(1, n / 16)) {
+      cplx want{0.0, 0.0};
+      for (std::size_t t = 0; t < n; ++t)
+        want += x[t] * cis(-kTwoPi * static_cast<double>(k * t) /
+                           static_cast<double>(n));
+      EXPECT_NEAR(got[k].real(), want.real(), 1e-9 * static_cast<double>(n));
+      EXPECT_NEAR(got[k].imag(), want.imag(), 1e-9 * static_cast<double>(n));
+    }
+  }
+}
+
+TEST(DspSimd, BatchKernelMatchesPerWindowKernel) {
+  // The batched planner must be semantically identical to the one-window
+  // fused kernel it replaces.
+  const std::size_t n = 128, fft_len = 512;
+  const cvec rx = random_cvec(4096, 77);
+  const cvec chirp = random_cvec(n, 78);
+  const std::size_t starts[] = {0, 128, 300, 1111, 4000 /* zero-pad tail */,
+                                5000 /* fully past the end */};
+  const std::size_t count = sizeof(starts) / sizeof(starts[0]);
+  cvec spec_slab;
+  rvec mag_slab;
+  dsp::dechirp_fft_mag_batch(rx, starts, count, chirp, fft_len, spec_slab,
+                             mag_slab);
+  ASSERT_EQ(spec_slab.size(), count * fft_len);
+  ASSERT_EQ(mag_slab.size(), count * fft_len);
+  cvec spec;
+  rvec mag;
+  for (std::size_t w = 0; w < count; ++w) {
+    dsp::dechirp_fft_mag(rx, starts[w], chirp, fft_len, spec, mag);
+    for (std::size_t i = 0; i < fft_len; ++i) {
+      EXPECT_NEAR(spec_slab[w * fft_len + i].real(), spec[i].real(), 1e-12)
+          << "w=" << w << " i=" << i;
+      EXPECT_NEAR(spec_slab[w * fft_len + i].imag(), spec[i].imag(), 1e-12);
+      EXPECT_NEAR(mag_slab[w * fft_len + i], mag[i], 1e-12);
+    }
+  }
+}
+
+TEST(DspSimd, PointerPeakScanMatchesVectorForm) {
+  const cvec spec = random_cvec(512, 123);
+  rvec mag(spec.size());
+  dsp::simd::active().magnitude(mag.data(), spec.data(), spec.size());
+  dsp::PeakFindOptions opt;
+  opt.threshold = 0.4;
+  opt.max_peaks = 8;
+  std::vector<dsp::Peak> a, b;
+  dsp::find_peaks_mag(spec, mag, opt, a);
+  dsp::find_peaks_mag(spec.data(), mag.data(), spec.size(), opt, b);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].bin, b[i].bin);
+    EXPECT_EQ(a[i].magnitude, b[i].magnitude);
+  }
+}
+
+}  // namespace
+}  // namespace choir
