@@ -55,7 +55,8 @@ int main(int argc, char** argv) {
         "  --journal-flush=N   journal records per write(2) (1)\n"
         "  --metrics           print the obs metrics table at the end\n"
         "  --metrics-out=FILE  write the obs registry (JSON)\n"
-        "  --telemetry-port=N  live HTTP /metrics /health\n"
+        "  --telemetry-port=N  live HTTP /metrics /metrics.json\n"
+        "                      /traces/recent /timeseries.json /health\n"
         "  --telemetry-linger=SEC  keep telemetry up after the run\n");
     return 2;
   }

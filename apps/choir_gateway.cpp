@@ -49,7 +49,8 @@ int main(int argc, char** argv) {
         "  --metrics      print the metrics table after the run\n"
         "  --trace-out=FILE    write per-frame traces (Chrome trace JSON)\n"
         "  --flight-dir=DIR    IQ flight recorder captures on decode failure\n"
-        "  --telemetry-port=N  live HTTP /metrics /traces/recent /health\n"
+        "  --telemetry-port=N  live HTTP /metrics /metrics.json\n"
+        "                      /traces/recent /timeseries.json /health\n"
         "                      (N=0 picks a free port)\n"
         "  --telemetry-linger=SEC  keep serving after the run ends\n"
         "  --gateway-id=N      provenance id stamped on every frame (0)\n"
@@ -226,12 +227,21 @@ int main(int argc, char** argv) {
     uplinks.reserve(events.size());
     for (const auto& ev : events) {
       if (!ev.user.crc_ok) continue;
-      uplinks.push_back(net::make_uplink(
+      net::UplinkFrame f = net::make_uplink(
           ev.user.payload, static_cast<float>(ev.user.est.snr_db),
           static_cast<float>(ev.user.est.cfo_bins),
           static_cast<float>(ev.user.est.timing_samples), ev.gateway_id,
           static_cast<std::uint16_t>(ev.channel),
-          static_cast<std::uint8_t>(ev.sf), ev.stream_offset));
+          static_cast<std::uint8_t>(ev.sf), ev.stream_offset);
+      // Cross-tier tracing: carry the frame's TraceId (and a wall-clock
+      // emit stamp) in the CHOU v2 record so the netserver can merge its
+      // ingest spans onto the same trace. Untraced frames stay wire-v1
+      // sized.
+      if (ev.trace_id != 0) {
+        f.trace_id = ev.trace_id;
+        f.emitted_unix_us = obs::unix_now_us();
+      }
+      uplinks.push_back(std::move(f));
     }
     try {
       net::UdpUplinkSender sender(uplink_ep.host, uplink_ep.port);

@@ -40,7 +40,10 @@ int main(int argc, char** argv) {
         "  --print-frames      print every accepted frame\n"
         "  --metrics           print the obs metrics table at the end\n"
         "  --metrics-out=FILE  write the obs registry (JSON)\n"
-        "  --telemetry-port=N  live HTTP /metrics /health\n"
+        "  --trace-out=FILE    write merged cross-tier traces at exit\n"
+        "                      (Chrome trace JSON, Perfetto-loadable)\n"
+        "  --telemetry-port=N  live HTTP /metrics /metrics.json\n"
+        "                      /traces/recent /timeseries.json /health\n"
         "  --state-dir=DIR     durable registry snapshot + FCnt journal;\n"
         "                      restores on start, checkpoints on exit\n"
         "  --snapshot-every=S  checkpoint every S seconds (default 30)\n"
@@ -189,6 +192,15 @@ int main(int argc, char** argv) {
   if (!metrics_out.empty()) {
     obs::write_metrics_file(metrics_out);
     std::printf("metrics written to %s%s\n", metrics_out.c_str(),
+                obs::kEnabled ? "" : " (observability compiled out)");
+  }
+  // The merged cross-tier view: every trace row here carries the netserver
+  // ingest spans, plus one net.gw.copy instant per gateway that delivered
+  // the frame (stamped CHOU v2 records only).
+  const std::string trace_out = args.get("trace-out", "");
+  if (!trace_out.empty()) {
+    obs::write_trace_file(trace_out);
+    std::printf("traces written to %s%s\n", trace_out.c_str(),
                 obs::kEnabled ? "" : " (observability compiled out)");
   }
 

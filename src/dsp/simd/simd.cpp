@@ -7,6 +7,7 @@
 #include <string>
 
 #include "dsp/simd/simd_internal.hpp"
+#include "obs/obs.hpp"
 
 namespace choir::dsp::simd {
 
@@ -66,13 +67,52 @@ const Ops* resolve() {
   return best_available();
 }
 
+// Dispatch observability: which ISA won, and — kernel by kernel — whether
+// the table entry actually left the scalar oracle behind (a partially
+// ported ISA table falls back per kernel, which a single "avx2" banner
+// would hide). Gauges, not counters: dispatch resolves once per process.
+void publish_dispatch_metrics(const Ops& ops) {
+  if constexpr (obs::kEnabled) {
+    auto& r = obs::registry();
+    r.gauge("dsp.simd.isa").set(static_cast<std::int64_t>(ops.isa));
+    // Info-style series: dsp.simd.isa{name="avx2"} 1 — greppable without
+    // decoding the enum value.
+    r.gauge(obs::labeled("dsp.simd.active", {{"name", isa_name(ops.isa)}}))
+        .set(1);
+    const Ops& scalar = scalar_ops();
+    const auto kernel = [&](const char* name, bool vectorized) {
+      r.gauge(obs::labeled("dsp.simd.vectorized", {{"kernel", name}}))
+          .set(vectorized ? 1 : 0);
+    };
+    kernel("cmul", ops.cmul != scalar.cmul);
+    kernel("cdot", ops.cdot != scalar.cdot);
+    kernel("phasor_dot", ops.phasor_dot != scalar.phasor_dot);
+    kernel("phasor_table", ops.phasor_table != scalar.phasor_table);
+    kernel("phasor_subtract", ops.phasor_subtract != scalar.phasor_subtract);
+    kernel("phasor_accumulate",
+           ops.phasor_accumulate != scalar.phasor_accumulate);
+    kernel("magnitude", ops.magnitude != scalar.magnitude);
+    kernel("power", ops.power != scalar.power);
+    kernel("power_acc", ops.power_acc != scalar.power_acc);
+    kernel("energy", ops.energy != scalar.energy);
+    kernel("radix4_stage", ops.radix4_stage != scalar.radix4_stage);
+    kernel("peak_candidates", ops.peak_candidates != scalar.peak_candidates);
+  } else {
+    (void)ops;
+  }
+}
+
 }  // namespace
 
 const Ops& active() {
   // Magic-static: thread-safe, resolved exactly once. Everything that can
   // cache ISA-dependent state (FFT plans, channelizers) reads this, so the
   // process runs one ISA end to end.
-  static const Ops* ops = resolve();
+  static const Ops* ops = [] {
+    const Ops* o = resolve();
+    publish_dispatch_metrics(*o);
+    return o;
+  }();
   return *ops;
 }
 

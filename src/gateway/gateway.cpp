@@ -1,6 +1,7 @@
 #include "gateway/gateway.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace choir::gateway {
 
@@ -33,11 +34,21 @@ GatewayRuntime::GatewayRuntime(const GatewayConfig& cfg)
       // emits, so the receiver must leave traces open for them.
       sopt.trace_completed_downstream = true;
       const std::size_t idx = pipelines_.size();
+      if constexpr (obs::kEnabled) {
+        const std::string sf_s = std::to_string(sf);
+        const std::string ch_s = std::to_string(ch);
+        pl.decoded = &obs::registry().counter(
+            obs::labeled("gateway.decoded", {{"sf", sf_s}, {"channel", ch_s}}));
+        pl.decoded_crc_ok = &obs::registry().counter(obs::labeled(
+            "gateway.decoded_crc_ok", {{"sf", sf_s}, {"channel", ch_s}}));
+      }
       pl.rx = std::make_unique<rt::StreamingReceiver>(
           phy, sopt, [this, ch, sf, idx](const rt::FrameEvent& ev) {
             stats_.add_frame(ev.user.crc_ok);
             if constexpr (obs::kEnabled) {
               const Pipeline& p = pipelines_[idx];
+              p.decoded->add(1);
+              if (ev.user.crc_ok) p.decoded_crc_ok->add(1);
               // Enqueue-to-decode latency of the frame's final chunk.
               const auto ts = p.chunk_ts;
               if (ts != obs::Clock::time_point{}) {

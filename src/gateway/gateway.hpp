@@ -121,6 +121,11 @@ class GatewayRuntime {
     double chunk_enqueued_us = 0.0;
     double chunk_pop_us = 0.0;
     std::uint32_t chunk_enqueue_tid = 0;
+    /// Dimensional decode series for this (sf, channel), registered once
+    /// at construction: gateway.decoded{sf="..",channel=".."} and its
+    /// crc_ok companion. Null iff obs is compiled out.
+    obs::Counter* decoded = nullptr;
+    obs::Counter* decoded_crc_ok = nullptr;
   };
 
   void worker_main(std::size_t w);

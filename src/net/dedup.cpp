@@ -52,6 +52,7 @@ DedupOutcome CrossGatewayDedup::check_and_insert(const DedupKey& key,
   DedupOutcome out;
   out.duplicate = true;
   out.feed_index = it->second.feed_index;
+  out.trace_id = it->second.trace_id;
   if (snr_db > it->second.best_snr_db) {
     it->second.best_snr_db = snr_db;
     out.improved = true;
@@ -65,6 +66,14 @@ void CrossGatewayDedup::set_feed_index(const DedupKey& key,
   std::lock_guard<std::mutex> lock(sh.mu);
   auto it = sh.entries.find(key);
   if (it != sh.entries.end()) it->second.feed_index = feed_index;
+}
+
+void CrossGatewayDedup::set_trace_id(const DedupKey& key,
+                                     std::uint64_t trace_id) {
+  Shard& sh = shard_for(key);
+  std::lock_guard<std::mutex> lock(sh.mu);
+  auto it = sh.entries.find(key);
+  if (it != sh.entries.end()) it->second.trace_id = trace_id;
 }
 
 std::size_t CrossGatewayDedup::pending() const {

@@ -56,6 +56,10 @@ struct DedupOutcome {
   /// Duplicate only: feed slot of the retained copy (kNoFeedIndex if the
   /// first copy was not retained).
   std::uint64_t feed_index = kNoFeedIndex;
+  /// Duplicate only: merged trace id of the first copy (0 = untraced).
+  /// The dedup window doubles as the cross-gateway trace-merge index:
+  /// later copies append their journey to this trace.
+  std::uint64_t trace_id = 0;
 };
 
 class CrossGatewayDedup {
@@ -76,6 +80,10 @@ class CrossGatewayDedup {
   /// higher-SNR duplicates can point NetServer at the slot to upgrade.
   void set_feed_index(const DedupKey& key, std::uint64_t feed_index);
 
+  /// Records the merged trace id of `key`'s first copy, so later copies'
+  /// stages land on the same trace row (no-op if the entry expired).
+  void set_trace_id(const DedupKey& key, std::uint64_t trace_id);
+
   /// Live (unexpired, unevicted) entries across all shards.
   std::size_t pending() const;
 
@@ -84,6 +92,7 @@ class CrossGatewayDedup {
     float best_snr_db = 0.0f;
     double expires_s = 0.0;
     std::uint64_t feed_index = kNoFeedIndex;
+    std::uint64_t trace_id = 0;  ///< merged trace of the first copy
   };
   struct KeyHash {
     std::size_t operator()(const DedupKey& k) const {

@@ -4,6 +4,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -224,7 +225,16 @@ void Persistence::append(std::size_t shard, const JournalRecord& r) {
   if (w.fd < 0) return;  // no generation open yet (recovery in progress)
   encode_record(r, w.buffer);
   ++w.buffered_records;
-  if (w.buffered_records >= opt_.flush_every_records) flush_locked(w);
+  // Unconfirmed tail: records buffered in user space that a kill right now
+  // would lose (non-zero only under group commit, flush_every_records > 1).
+  CHOIR_OBS_GAUGE_MAX("net.persist.unconfirmed_tail.high_water",
+                      static_cast<std::int64_t>(w.buffered_records));
+  if (w.buffered_records >= opt_.flush_every_records) {
+    flush_locked(w);
+  } else {
+    CHOIR_OBS_GAUGE_SET("net.persist.unconfirmed_tail",
+                        static_cast<std::int64_t>(w.buffered_records));
+  }
 }
 
 void Persistence::flush_locked(ShardWriter& w) {
@@ -232,6 +242,7 @@ void Persistence::flush_locked(ShardWriter& w) {
     w.buffered_records = 0;
     return;
   }
+  const auto flush_t0 = std::chrono::steady_clock::now();
   try {
     CHOIR_CRASH_POINT("journal.flush.before_write");
     if (w.buffer.size() > 1) {
@@ -253,6 +264,13 @@ void Persistence::flush_locked(ShardWriter& w) {
   w.records += w.buffered_records;
   w.bytes += w.buffer.size();
   CHOIR_OBS_COUNT("net.persist.journal.bytes", w.buffer.size());
+  CHOIR_OBS_COUNT("net.persist.journal.flushes", 1);
+  const double flush_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - flush_t0)
+          .count();
+  CHOIR_OBS_HIST("net.persist.flush_us", flush_us);
+  CHOIR_OBS_GAUGE_SET("net.persist.unconfirmed_tail", 0);
   w.buffer.clear();
   w.buffered_records = 0;
 }

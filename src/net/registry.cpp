@@ -99,11 +99,34 @@ void DeviceRegistry::provision(std::uint32_t dev_addr, double x_m,
   s.y_m = y_m;
 }
 
-FcntCheck DeviceRegistry::accept(const UplinkFrame& f) {
+FcntCheck DeviceRegistry::accept(const UplinkFrame& f,
+                                 RegistryTiming* timing) {
   const std::size_t idx = mix(f.dev_addr) & (shards_.size() - 1);
   Shard& sh = *shards_[idx];
-  std::lock_guard<std::mutex> lock(sh.mu);
+  if (timing == nullptr) {
+    std::lock_guard<std::mutex> lock(sh.mu);
+    return accept_locked(sh, idx, f);
+  }
 
+  // Timed variant (traced frames): split the shard-lock cost into queueing
+  // vs. critical-section time so a contended shard shows up as wait.
+  const double t0 = obs::trace_now_us();
+  std::unique_lock<std::mutex> lock(sh.mu);
+  const double t1 = obs::trace_now_us();
+  const FcntCheck out = accept_locked(sh, idx, f);
+  lock.unlock();
+  const double t2 = obs::trace_now_us();
+  timing->shard = idx;
+  timing->lock_acquired_us = t1;
+  timing->lock_wait_us = t1 - t0;
+  timing->lock_hold_us = t2 - t1;
+  CHOIR_OBS_HIST("net.registry.lock_wait_us", timing->lock_wait_us);
+  CHOIR_OBS_HIST("net.registry.lock_hold_us", timing->lock_hold_us);
+  return out;
+}
+
+FcntCheck DeviceRegistry::accept_locked(Shard& sh, std::size_t idx,
+                                        const UplinkFrame& f) {
   DeviceSession* s = nullptr;
   if (opt_.auto_provision) {
     s = &get_or_create(sh, idx, f.dev_addr);

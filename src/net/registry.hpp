@@ -89,6 +89,17 @@ enum class FcntCheck {
   kUnknownDevice,  ///< not provisioned and auto_provision off
 };
 
+/// Per-call shard-lock timing, filled when a caller passes it to accept():
+/// how long the ingest thread queued on the shard mutex vs. how long it
+/// held it. Requested per-frame (traced frames only) so the untraced hot
+/// path never pays the extra clock reads.
+struct RegistryTiming {
+  std::size_t shard = 0;
+  double lock_acquired_us = 0.0;  ///< trace-epoch time the lock was taken
+  double lock_wait_us = 0.0;
+  double lock_hold_us = 0.0;
+};
+
 class DeviceRegistry {
  public:
   explicit DeviceRegistry(const RegistryOptions& opt = {});
@@ -100,8 +111,10 @@ class DeviceRegistry {
   void provision(std::uint32_t dev_addr, double x_m = 0.0, double y_m = 0.0);
 
   /// Validates `f` against the device's frame-counter window and, when
-  /// accepted, folds the reception metadata into the session.
-  FcntCheck accept(const UplinkFrame& f);
+  /// accepted, folds the reception metadata into the session. A non-null
+  /// `timing` additionally measures the shard-lock wait/hold split (and
+  /// records it into the net.registry.lock_{wait,hold}_us histograms).
+  FcntCheck accept(const UplinkFrame& f, RegistryTiming* timing = nullptr);
 
   /// Re-attributes the retained copy of the device's newest frame to a
   /// better reception: called when cross-gateway dedup sees a higher-SNR
@@ -182,6 +195,8 @@ class DeviceRegistry {
   /// Inserts a session if absent; returns it. Caller holds the shard lock.
   DeviceSession& get_or_create(Shard& sh, std::size_t shard_idx,
                                std::uint32_t dev_addr);
+  /// The FCnt-window classification body. Caller holds the shard lock.
+  FcntCheck accept_locked(Shard& sh, std::size_t idx, const UplinkFrame& f);
   void update_occupancy(std::size_t shard_idx, std::size_t n);
 
   RegistryOptions opt_;

@@ -59,6 +59,16 @@ NetServer::NetServer(const NetServerConfig& cfg)
     reg_replay_rejected_ = &r.counter("net.replay_rejected");
     reg_unknown_device_ = &r.counter("net.unknown_device");
     reg_malformed_ = &r.counter("net.malformed");
+    for (int sf = 5; sf <= 12; ++sf) {
+      reg_accepted_sf_[static_cast<std::size_t>(sf - 5)] = &r.counter(
+          obs::labeled("net.accepted", {{"sf", std::to_string(sf)}}));
+    }
+    hist_ingest_ = &r.histogram("net.ingest_us");
+    hist_dedup_ = &r.histogram("net.dedup_us");
+    hist_replay_ = &r.histogram("net.replay_us");
+    hist_adr_ = &r.histogram("net.adr_us");
+    hist_journal_ = &r.histogram("net.persist.journal_us");
+    hist_accept_ = &r.histogram("net.accept_us");
   }
   if (!cfg_.persist.dir.empty()) {
     persist_ = std::make_unique<persist::Persistence>(cfg_.persist,
@@ -277,9 +287,68 @@ void NetServer::journal_ingest(const IngestResult& res,
   CHOIR_OBS_COUNT("net.persist.journal.records", 1);
 }
 
+namespace {
+
+// Manual span timing instead of TraceSpan RAII: the collector pointer is
+// null for every untraced frame, and these fold to a single null check so
+// the untraced hot path pays one branch per site, no clock reads.
+inline double span_begin(const obs::TraceCollector* col) {
+  return col != nullptr ? obs::trace_now_us() : 0.0;
+}
+
+inline void span_end(obs::TraceCollector* col, const char* name, double t0,
+                     obs::Histogram* hist, std::uint64_t arg = 0) {
+  if (col == nullptr) return;
+  const double dur = obs::trace_now_us() - t0;
+  col->add(name, t0, dur, arg);
+  // Span latency histograms sample traced frames only — by design, so the
+  // bench-guarded untraced path stays clock-free.
+  if (hist != nullptr) hist->record(dur);
+}
+
+}  // namespace
+
 IngestResult NetServer::ingest_impl(UplinkFrame& frame, double now_s) {
   uplinks_.fetch_add(1, relaxed);
   if constexpr (obs::kEnabled) reg_uplinks_->add(1);
+
+  // Cross-tier tracing: only frames whose CHOU record carried a trace
+  // stamp collect spans. The collector is thread-local so concurrent
+  // ingest threads never share one, and reused so steady state does not
+  // allocate.
+  obs::TraceCollector* col = nullptr;
+  double t_ingest0 = 0.0;
+  if constexpr (obs::kEnabled) {
+    if (frame.trace_id != 0) {
+      static thread_local obs::TraceCollector collector;
+      collector.clear();
+      col = &collector;
+      t_ingest0 = obs::trace_now_us();
+      if (frame.emitted_unix_us != 0) {
+        // Synthesize the gateway's emission instant on this process's
+        // timeline (unix-µs travels between processes; steady clocks do
+        // not) and span the backhaul flight time when it is positive —
+        // cross-host clock skew can make it negative, in which case only
+        // the instant is kept.
+        const double t_emit = obs::trace_us_from_unix(frame.emitted_unix_us);
+        col->add("net.gw.copy", t_emit, 0.0, frame.gateway_id);
+        if (t_emit < t_ingest0)
+          col->add("net.backhaul", t_emit, t_ingest0 - t_emit,
+                   frame.gateway_id);
+      } else {
+        col->add("net.gw.copy", t_ingest0, 0.0, frame.gateway_id);
+      }
+    }
+  }
+
+  // Every classification journals (when persistence is on) under the
+  // net.persist.journal span — append + any size-triggered flush.
+  const auto journal = [&](const IngestResult& r) {
+    if (!persist_) return;
+    const double t0 = span_begin(col);
+    journal_ingest(r, frame);
+    span_end(col, "net.persist.journal", t0, hist_journal_);
+  };
 
   IngestResult res;
   res.dev_addr = frame.dev_addr;
@@ -289,14 +358,17 @@ IngestResult NetServer::ingest_impl(UplinkFrame& frame, double now_s) {
     malformed_.fetch_add(1, relaxed);
     if constexpr (obs::kEnabled) reg_malformed_->add(1);
     res.status = IngestStatus::kMalformed;
-    if (persist_) journal_ingest(res, frame);
+    journal(res);
+    if (col != nullptr) finish_trace(col, frame, res, nullptr, 0, t_ingest0);
     return res;
   }
 
   // Dedup before the replay window: a cross-gateway copy shares the FCnt
   // of the frame the registry just accepted (see header comment).
   DedupKey key{frame.dev_addr, frame.fcnt, payload_hash(frame.payload)};
+  double t0 = span_begin(col);
   const DedupOutcome dup = dedup_.check_and_insert(key, frame.snr_db, now_s);
+  span_end(col, "net.dedup", t0, hist_dedup_);
   if (dup.duplicate) {
     dedup_dropped_.fetch_add(1, relaxed);
     if constexpr (obs::kEnabled) reg_dedup_dropped_->add(1);
@@ -319,36 +391,65 @@ IngestResult NetServer::ingest_impl(UplinkFrame& frame, double now_s) {
       res.upgraded = true;
     }
     res.status = IngestStatus::kDuplicate;
-    if (persist_) journal_ingest(res, frame);
+    journal(res);
+    if (col != nullptr)
+      finish_trace(col, frame, res, &key, dup.trace_id, t_ingest0);
     return res;
   }
 
-  switch (registry_.accept(frame)) {
+  RegistryTiming timing;
+  t0 = span_begin(col);
+  const FcntCheck check =
+      registry_.accept(frame, col != nullptr ? &timing : nullptr);
+  span_end(col, "net.replay", t0, hist_replay_);
+  if (col != nullptr) {
+    // The shard critical section, placed at the measured acquisition time
+    // so lock *wait* shows as the gap between net.replay's start and this.
+    col->add("net.registry", timing.lock_acquired_us, timing.lock_hold_us,
+             timing.shard);
+  }
+  switch (check) {
     case FcntCheck::kReplay:
       replay_rejected_.fetch_add(1, relaxed);
       if constexpr (obs::kEnabled) reg_replay_rejected_->add(1);
       res.status = IngestStatus::kReplay;
-      if (persist_) journal_ingest(res, frame);
+      journal(res);
+      if (col != nullptr) finish_trace(col, frame, res, &key, 0, t_ingest0);
       return res;
     case FcntCheck::kUnknownDevice:
       unknown_device_.fetch_add(1, relaxed);
       if constexpr (obs::kEnabled) reg_unknown_device_->add(1);
       res.status = IngestStatus::kUnknownDevice;
-      if (persist_) journal_ingest(res, frame);
+      journal(res);
+      if (col != nullptr) finish_trace(col, frame, res, &key, 0, t_ingest0);
       return res;
     case FcntCheck::kAccepted:
       break;
   }
 
   accepted_.fetch_add(1, relaxed);
-  if constexpr (obs::kEnabled) reg_accepted_->add(1);
+  if constexpr (obs::kEnabled) {
+    reg_accepted_->add(1);
+    reg_accepted_sf_[static_cast<std::size_t>(frame.sf - 5)]->add(1);
+  }
   res.status = IngestStatus::kAccepted;
+
+  if (col != nullptr) {
+    // What the ADR planner would recommend for this device right now —
+    // const, evaluated for its latency on traced frames only (the real
+    // control plane asks on its own schedule).
+    const double t_adr = span_begin(col);
+    (void)adr_for(frame.dev_addr, frame.sf, 14.0);
+    span_end(col, "net.adr", t_adr, hist_adr_);
+  }
+
   // Durable-before-confirmed: the journal write happens before the
   // callback and feed see the frame. A crash between the registry update
   // and this append loses the in-memory acceptance with the process —
   // the disk (which never saw it) stays authoritative, and the frame was
   // never confirmed downstream, so re-offering it after restart is safe.
-  if (persist_) journal_ingest(res, frame);
+  journal(res);
+  t0 = span_begin(col);
   if (on_accept_) on_accept_(frame);
   if (cfg_.keep_feed) {
     std::uint64_t idx = 0;
@@ -359,7 +460,47 @@ IngestResult NetServer::ingest_impl(UplinkFrame& frame, double now_s) {
     }
     dedup_.set_feed_index(key, idx);
   }
+  // Scalar frame fields survive the move above (only the payload vector's
+  // storage moved), so finish_trace may still read identity fields.
+  span_end(col, "net.accept", t0, hist_accept_);
+  if (col != nullptr) finish_trace(col, frame, res, &key, 0, t_ingest0);
   return res;
+}
+
+void NetServer::finish_trace(obs::TraceCollector* col,
+                             const UplinkFrame& frame, const IngestResult& res,
+                             const DedupKey* key, std::uint64_t dup_trace_id,
+                             double t_ingest0) {
+  if (col == nullptr) return;
+  const double dur = obs::trace_now_us() - t_ingest0;
+  col->add("net.ingest", t_ingest0, dur);
+  if (hist_ingest_ != nullptr) hist_ingest_->record(dur);
+
+  auto& log = obs::trace_log();
+  obs::TraceId merged = 0;
+  if (res.status == IngestStatus::kDuplicate && dup_trace_id != 0) {
+    // Another gateway's copy of a transmission whose first copy was also
+    // traced: fold this copy's stages (gateway-side ones included when the
+    // gateway ran in-process) into the dedup winner's row.
+    merged = dup_trace_id;
+    log.absorb(merged, frame.trace_id);
+  } else {
+    // First traced copy (or the winner was untraced): this trace becomes
+    // the transmission's merged row, and the dedup entry remembers it so
+    // later copies land here.
+    obs::FrameTrace server_side;
+    server_side.channel = frame.channel;
+    server_side.sf = frame.sf;
+    server_side.stream_offset = frame.stream_offset;
+    server_side.crc_ok = true;
+    server_side.dev_addr = frame.dev_addr;
+    server_side.fcnt = frame.fcnt;
+    merged = log.adopt(frame.trace_id, std::move(server_side));
+    if (key != nullptr) dedup_.set_trace_id(*key, merged);
+  }
+  log.add_stages(merged, col->stages());
+  if (res.status == IngestStatus::kAccepted) log.complete(merged);
+  col->clear();
 }
 
 std::vector<UplinkFrame> NetServer::drain_feed() {

@@ -44,10 +44,24 @@
 //
 // Metrics (obs registry): net.uplinks, net.accepted, net.dedup_dropped,
 // net.dedup_upgraded, net.replay_rejected, net.unknown_device,
-// net.malformed, the registry's per-shard occupancy gauges, and (when
-// persistence is on) the net.persist.* family.
+// net.malformed, per-SF net.accepted{sf="N"} series, the registry's
+// per-shard occupancy gauges, and (when persistence is on) the
+// net.persist.* family.
+//
+// Cross-tier tracing: a frame whose CHOU record carried a trace stamp
+// (frame.trace_id != 0, wire v2) is followed through the whole ingest
+// pipeline with spans — net.ingest, net.dedup, net.replay, net.registry
+// (shard-lock wait vs. hold), net.adr, net.persist.journal, net.accept —
+// plus a synthesized net.backhaul span from the gateway's emit timestamp.
+// Multi-gateway copies of the same transmission merge onto ONE trace row,
+// keyed by the dedup window's (DevAddr, FCnt, payload-hash) entry: the
+// first copy's trace becomes the merged row, later copies are absorbed
+// into it (their gateway-side stages included when the gateway ran
+// in-process). Untraced frames pay one branch; under CHOIR_OBS=OFF all of
+// it compiles out. See docs/OBSERVABILITY.md.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -179,6 +193,12 @@ class NetServer {
   }
 
   IngestResult ingest_impl(UplinkFrame& frame, double now_s);
+  /// Attaches the collected ingest spans to the frame's merged cross-tier
+  /// trace (first copy adopts / mints the row, duplicates are absorbed
+  /// into the dedup winner's row). Only called for traced frames.
+  void finish_trace(obs::TraceCollector* col, const UplinkFrame& frame,
+                    const IngestResult& res, const DedupKey* key,
+                    std::uint64_t dup_trace_id, double t_ingest0);
   /// Journal one classified ingest (caller holds the persist gate shared).
   void journal_ingest(const IngestResult& res, const UplinkFrame& frame);
   /// Current durable state, for checkpoint(). Caller must be quiesced.
@@ -221,6 +241,16 @@ class NetServer {
   obs::Counter* reg_replay_rejected_ = nullptr;
   obs::Counter* reg_unknown_device_ = nullptr;
   obs::Counter* reg_malformed_ = nullptr;
+  /// Per-SF accepted series, net.accepted{sf="5".."12"} (index sf-5).
+  std::array<obs::Counter*, 8> reg_accepted_sf_{};
+  // Ingest-span latency histograms, sampled on traced frames only (the
+  // untraced hot path takes no extra clock reads).
+  obs::Histogram* hist_ingest_ = nullptr;
+  obs::Histogram* hist_dedup_ = nullptr;
+  obs::Histogram* hist_replay_ = nullptr;
+  obs::Histogram* hist_adr_ = nullptr;
+  obs::Histogram* hist_journal_ = nullptr;
+  obs::Histogram* hist_accept_ = nullptr;
 };
 
 }  // namespace choir::net

@@ -117,12 +117,14 @@ UplinkFrame make_uplink(std::vector<std::uint8_t> payload, float snr_db,
 }
 
 void encode_uplink(const UplinkFrame& f, std::vector<std::uint8_t>& out) {
-  const std::size_t body = kRecordFixedBytes + f.payload.size();
+  const bool traced = f.trace_id != 0;
+  const std::size_t body = kRecordFixedBytes + f.payload.size() +
+                           (traced ? kTraceExtensionBytes : 0);
   put_u16(out, static_cast<std::uint16_t>(body));
   put_u32(out, f.gateway_id);
   put_u16(out, f.channel);
   out.push_back(f.sf);
-  out.push_back(0);  // flags
+  out.push_back(traced ? kWireFlagTrace : 0);  // flags
   put_u32(out, f.dev_addr);
   put_u32(out, f.fcnt);
   put_u64(out, f.stream_offset);
@@ -131,6 +133,10 @@ void encode_uplink(const UplinkFrame& f, std::vector<std::uint8_t>& out) {
   put_f32(out, f.timing_samples);
   put_u16(out, static_cast<std::uint16_t>(f.payload.size()));
   out.insert(out.end(), f.payload.begin(), f.payload.end());
+  if (traced) {
+    put_u64(out, f.trace_id);
+    put_u64(out, f.emitted_unix_us);
+  }
 }
 
 std::vector<std::uint8_t> encode_datagram(
@@ -153,7 +159,9 @@ std::vector<std::vector<std::uint8_t>> encode_datagrams(
     std::size_t bytes = 8;  // datagram header
     std::size_t end = begin;
     while (end < frames.size()) {
-      const std::size_t rec = 2 + kRecordFixedBytes + frames[end].payload.size();
+      const std::size_t rec =
+          2 + kRecordFixedBytes + frames[end].payload.size() +
+          (frames[end].trace_id != 0 ? kTraceExtensionBytes : 0);
       if (end > begin && bytes + rec > max_bytes) break;
       bytes += rec;
       ++end;
@@ -171,7 +179,8 @@ bool decode_datagram(const std::uint8_t* data, std::size_t len,
   std::uint8_t version = 0, reserved = 0;
   std::uint16_t count = 0;
   if (!c.u32(magic) || magic != kWireMagic) return false;
-  if (!c.u8(version) || version != kWireVersion) return false;
+  if (!c.u8(version) || version < kWireMinVersion || version > kWireVersion)
+    return false;
   if (!c.u8(reserved) || !c.u16(count)) return false;
 
   std::vector<UplinkFrame> frames;
@@ -195,7 +204,14 @@ bool decode_datagram(const std::uint8_t* data, std::size_t len,
     }
     if (rec.n < payload_len) return false;
     f.payload.assign(rec.p, rec.p + payload_len);
-    // Bytes past the payload belong to a future format revision: skip.
+    rec.p += payload_len;
+    rec.n -= payload_len;
+    if ((flags & kWireFlagTrace) != 0) {
+      // v2 trace extension: a flagged record that cannot hold it is
+      // structurally invalid (the sender always writes both fields).
+      if (!rec.u64(f.trace_id) || !rec.u64(f.emitted_unix_us)) return false;
+    }
+    // Bytes past here belong to a future format revision: skip.
     frames.push_back(std::move(f));
   }
   out.insert(out.end(), std::make_move_iterator(frames.begin()),

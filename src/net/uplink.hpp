@@ -36,6 +36,13 @@ struct UplinkFrame {
   float snr_db = 0.0f;           ///< per-sample SNR of this reception
   float cfo_bins = 0.0f;         ///< carrier-offset estimate (fingerprint)
   float timing_samples = 0.0f;   ///< timing-offset estimate
+  /// Cross-tier trace stamp (wire v2 extension): the gateway-side trace id
+  /// of this reception, 0 when the frame was not traced. Carried so the
+  /// netserver can merge multi-gateway copies onto one trace timeline.
+  std::uint64_t trace_id = 0;
+  /// Wall-clock unix microseconds when the gateway emitted the record
+  /// (0 = unstamped). Paired with trace_id on the wire.
+  std::uint64_t emitted_unix_us = 0;
   std::vector<std::uint8_t> payload;
 };
 
@@ -62,16 +69,31 @@ UplinkFrame make_uplink(std::vector<std::uint8_t> payload, float snr_db,
 //
 // Datagram: magic "CHOU", version u8, reserved u8, count u16; then `count`
 // length-prefixed records. Record: u16 byte length of the body, then the
-// body — gateway_id u32, channel u16, sf u8, flags u8 (reserved, 0),
-// dev_addr u32, fcnt u32, stream_offset u64, snr f32, cfo f32, timing f32,
+// body — gateway_id u32, channel u16, sf u8, flags u8, dev_addr u32,
+// fcnt u32, stream_offset u64, snr f32, cfo f32, timing f32,
 // payload_len u16, payload bytes. All integers and float bit patterns are
 // little-endian. Unknown trailing body bytes are skipped (forward
 // compatibility); a record shorter than the fixed body is an error.
+//
+// Version 2 adds an optional trace extension AFTER the payload bytes,
+// announced by flags bit 0 (kWireFlagTrace): trace_id u64 + emit
+// timestamp u64 (wall-clock unix microseconds at the gateway). Because v1
+// readers skip unknown trailing body bytes, a v2 record parses cleanly
+// under the v1 rules minus the extension — only the version byte gates
+// acceptance, so v1-era decoders that check `version <= theirs` reject it
+// while this decoder accepts both 1 and 2.
 
 inline constexpr std::uint32_t kWireMagic = 0x554F4843;  // "CHOU" LE
-inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::uint8_t kWireVersion = 2;
+/// Oldest record format this decoder still accepts.
+inline constexpr std::uint8_t kWireMinVersion = 1;
+/// flags bit 0: the record body ends with the 16-byte trace extension.
+inline constexpr std::uint8_t kWireFlagTrace = 0x01;
 /// Fixed body size of a record, before the payload bytes.
 inline constexpr std::size_t kRecordFixedBytes = 38;
+/// Size of the optional post-payload trace extension (trace_id u64 +
+/// emit unix-µs u64).
+inline constexpr std::size_t kTraceExtensionBytes = 16;
 /// Safe datagram budget (stays under typical loopback/ethernet MTUs after
 /// fragmentation is avoided for the common frame sizes).
 inline constexpr std::size_t kMaxDatagramBytes = 1400;

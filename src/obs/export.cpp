@@ -1,12 +1,16 @@
 // JSON and table exporters for the registry + decode-event log. The JSON
-// is hand-rolled (flat, no escaping needed: every key is a dotted metric
-// name we mint ourselves) so the library stays dependency-free.
+// is hand-rolled (flat; the only escaping needed is for metric-name keys,
+// since labeled series names embed quotes) so the library stays
+// dependency-free.
 #include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/event_log.hpp"
 #include "obs/metrics.hpp"
@@ -34,6 +38,27 @@ std::string num(std::int64_t v) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "%" PRId64, v);
   return buf;
+}
+
+// Metric names are JSON keys; labeled series names embed double quotes
+// (net.accepted{sf="7"}), so keys are escaped after all.
+std::string json_key(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// Splits a registered series name into its base family and the label
+/// block (braces included): "net.accepted{sf=\"7\"}" -> {"net.accepted",
+/// "{sf=\"7\"}"}. Unlabeled names return an empty block.
+std::pair<std::string, std::string> split_labels(const std::string& name) {
+  const std::size_t brace = name.find('{');
+  if (brace == std::string::npos) return {name, ""};
+  return {name.substr(0, brace), name.substr(brace)};
 }
 
 void append_event_json(std::string& out, const DecodeEvent& ev) {
@@ -74,20 +99,20 @@ std::string export_json() {
   out += ",\n\"counters\":{";
   for (std::size_t i = 0; i < snap.counters.size(); ++i) {
     if (i) out += ',';
-    out += "\n  \"" + snap.counters[i].first +
+    out += "\n  \"" + json_key(snap.counters[i].first) +
            "\":" + num(snap.counters[i].second);
   }
   out += "\n},\n\"gauges\":{";
   for (std::size_t i = 0; i < snap.gauges.size(); ++i) {
     if (i) out += ',';
-    out += "\n  \"" + snap.gauges[i].first + "\":" +
+    out += "\n  \"" + json_key(snap.gauges[i].first) + "\":" +
            num(static_cast<std::int64_t>(snap.gauges[i].second));
   }
   out += "\n},\n\"histograms\":{";
   for (std::size_t i = 0; i < snap.histograms.size(); ++i) {
     const HistogramSnapshot& h = snap.histograms[i];
     if (i) out += ',';
-    out += "\n  \"" + h.name + "\":{";
+    out += "\n  \"" + json_key(h.name) + "\":{";
     out += "\"count\":" + num(h.count);
     out += ",\"overflow\":" + num(h.overflow);
     out += ",\"sum\":" + num(h.sum);
@@ -169,6 +194,11 @@ std::string format_table() {
 std::string export_prometheus() {
   const RegistrySnapshot snap = registry().snapshot();
   std::string out;
+  // Only the base family name is sanitized (dots -> underscores); a label
+  // block registered via obs::labeled() passes through verbatim — its
+  // values were escaped at registration. Series of one family share a
+  // single TYPE line and are emitted adjacently, as the exposition format
+  // requires, via the per-family grouping below.
   const auto sanitize = [](const std::string& name) {
     std::string s = "choir_" + name;
     for (char& c : s) {
@@ -178,16 +208,25 @@ std::string export_prometheus() {
     }
     return s;
   };
-  for (const auto& [name, v] : snap.counters) {
-    const std::string m = sanitize(name);
-    out += "# TYPE " + m + " counter\n";
-    out += m + " " + num(v) + "\n";
-  }
-  for (const auto& [name, v] : snap.gauges) {
-    const std::string m = sanitize(name);
-    out += "# TYPE " + m + " gauge\n";
-    out += m + " " + num(v) + "\n";
-  }
+  // family -> series lines, ordered; the registry's sorted maps make the
+  // insertion order deterministic.
+  const auto emit_scalars = [&](const auto& series, const char* type) {
+    std::map<std::string, std::string> families;
+    std::vector<const std::string*> order;
+    for (const auto& [name, v] : series) {
+      const auto [base, labels] = split_labels(name);
+      const std::string family = sanitize(base);
+      auto [it, inserted] = families.try_emplace(family);
+      if (inserted) order.push_back(&it->first);
+      it->second += family + labels + " " + num(v) + "\n";
+    }
+    for (const std::string* family : order) {
+      out += "# TYPE " + *family + " " + type + "\n";
+      out += families[*family];
+    }
+  };
+  emit_scalars(snap.counters, "counter");
+  emit_scalars(snap.gauges, "gauge");
   out += "# TYPE choir_obs_decode_events_recorded counter\n";
   out += "choir_obs_decode_events_recorded " +
          num(decode_log().total_recorded()) + "\n";
@@ -197,20 +236,25 @@ std::string export_prometheus() {
   out += "choir_obs_traces_completed " + num(trace_log().total_completed()) +
          "\n";
   for (const HistogramSnapshot& h : snap.histograms) {
-    const std::string m = sanitize(h.name);
+    // Labeled histogram series splice their labels into each sample line:
+    // base{labels} -> base_bucket{labels,le="..."} / base_sum{labels}.
+    const auto [base, labels] = split_labels(h.name);
+    const std::string m = sanitize(base);
+    const std::string inner =
+        labels.empty() ? "" : labels.substr(1, labels.size() - 2) + ",";
     out += "# TYPE " + m + " histogram\n";
     std::uint64_t cum = 0;
     for (std::size_t i = 0; i < h.bounds.size(); ++i) {
       cum += h.counts[i];
-      out += m + "_bucket{le=\"" + num(h.bounds[i]) + "\"} " + num(cum) +
-             "\n";
+      out += m + "_bucket{" + inner + "le=\"" + num(h.bounds[i]) + "\"} " +
+             num(cum) + "\n";
     }
-    out += m + "_bucket{le=\"+Inf\"} " + num(h.count) + "\n";
-    out += m + "_sum " + num(h.sum) + "\n";
-    out += m + "_count " + num(h.count) + "\n";
+    out += m + "_bucket{" + inner + "le=\"+Inf\"} " + num(h.count) + "\n";
+    out += m + "_sum" + labels + " " + num(h.sum) + "\n";
+    out += m + "_count" + labels + " " + num(h.count) + "\n";
     // Explicit overflow series: how many observations exceeded the last
     // finite bound (le="+Inf" alone hides them inside the total).
-    out += m + "_overflow " + num(h.overflow) + "\n";
+    out += m + "_overflow" + labels + " " + num(h.overflow) + "\n";
   }
   return out;
 }

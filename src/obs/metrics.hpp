@@ -20,11 +20,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace choir::obs {
@@ -152,6 +154,27 @@ class Registry {
 
 /// The process-wide registry.
 Registry& registry();
+
+// --------------------------------------------------------------- labels
+//
+// Dimensional series are plain instruments whose *name* carries the label
+// block, in Prometheus exposition syntax: labeled("net.accepted",
+// {{"sf", "7"}, {"channel", "2"}}) -> net.accepted{sf="7",channel="2"}.
+// The exporters understand the convention — Prometheus emits the base
+// family name (dots -> underscores) with the label block passed through
+// verbatim, and all series of one family share a single TYPE line.
+// Register labeled handles once (construction time), exactly like plain
+// ones; building the name allocates.
+
+/// Escapes a label value for Prometheus exposition (backslash, double
+/// quote, newline).
+std::string escape_label_value(std::string_view v);
+
+/// Builds `base{k1="v1",k2="v2"}` with escaped values. No labels -> base.
+std::string labeled(
+    std::string_view base,
+    std::initializer_list<std::pair<std::string_view, std::string_view>>
+        labels);
 
 // ------------------------------------------------------------- exporters
 

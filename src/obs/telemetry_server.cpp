@@ -10,6 +10,7 @@
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace choir::obs {
@@ -76,7 +77,18 @@ void TelemetryServer::stop() {
 }
 
 void TelemetryServer::serve() {
+  // The acceptor doubles as the time-series sampler: its 200 ms poll tick
+  // is the only periodic wakeup in the obs tier, so the ~1 Hz registry
+  // snapshots ride on it instead of a dedicated thread.
+  double last_sample_us = -1e18;
   while (!stop_.load(std::memory_order_relaxed)) {
+    if constexpr (kEnabled) {
+      const double now_us = trace_now_us();
+      if (now_us - last_sample_us >= 1e6) {
+        timeseries().sample();
+        last_sample_us = now_us;
+      }
+    }
     pollfd pfd{listen_fd_, POLLIN, 0};
     const int pr = ::poll(&pfd, 1, 200);
     if (pr <= 0) continue;
@@ -109,6 +121,12 @@ void TelemetryServer::respond(int fd, const std::string& path) {
   } else if (path == "/traces/recent") {
     send_response(fd, "200 OK", "application/json",
                   export_traces_recent_json(64));
+  } else if (path == "/timeseries.json") {
+    // Sample-on-request so the answer includes right-now totals even when
+    // the 1 Hz cadence has not ticked since the last burst of traffic.
+    timeseries().sample();
+    send_response(fd, "200 OK", "application/json",
+                  timeseries().export_json());
   } else if (path == "/health") {
     std::string body = "{\"status\":\"ok\",\"obs_enabled\":";
     body += kEnabled ? "true" : "false";

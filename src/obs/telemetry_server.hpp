@@ -2,10 +2,16 @@
 // observability registry scrapeable while the gateway serves traffic.
 //
 // Endpoints:
-//   /metrics        Prometheus text exposition (version 0.0.4)
-//   /metrics.json   the same registry as the --metrics-out JSON document
-//   /traces/recent  the newest per-frame traces as compact JSON
-//   /health         {"status":"ok", ...} liveness probe
+//   /metrics          Prometheus text exposition (version 0.0.4)
+//   /metrics.json     the same registry as the --metrics-out JSON document
+//   /traces/recent    the newest per-frame traces as compact JSON
+//   /timeseries.json  windowed rates from the sliding snapshot ring
+//                     (uplinks/s, dedup-hit %, windowed histogram p99s)
+//   /health           {"status":"ok", ...} liveness probe
+//
+// The acceptor thread also feeds the obs::timeseries() ring: one registry
+// snapshot per second while the server runs (plus one per /timeseries.json
+// request), so windowed rates are available without any app changes.
 //
 // One acceptor thread, one request per connection, close after response —
 // a deliberate floor of an implementation: a scraper polls every few

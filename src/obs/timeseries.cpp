@@ -1,0 +1,218 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+
+#include "obs/trace.hpp"
+
+namespace choir::obs {
+
+namespace {
+
+std::string num(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string num(std::uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  return buf;
+}
+
+std::string json_key(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// Interpolated quantile over windowed (delta) bucket counts — same
+/// estimator as Histogram::quantile but fed differences, and without the
+/// observed min/max clamp (min/max are lifetime values, not windowed).
+double quantile_from_deltas(const std::vector<double>& bounds,
+                            const std::vector<std::uint64_t>& counts,
+                            double q) {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(total);
+  double cum = 0.0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    const double next = cum + static_cast<double>(counts[i]);
+    if (next >= target && counts[i] > 0) {
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      // Overflow bucket: no finite upper edge in the window; report its
+      // lower edge (the last finite bound) rather than inventing a max.
+      const double hi = i < bounds.size() ? bounds[i] : lo;
+      const double frac = (target - cum) / static_cast<double>(counts[i]);
+      return lo + std::clamp(frac, 0.0, 1.0) * (std::max(hi, lo) - lo);
+    }
+    cum = next;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+}  // namespace
+
+TimeSeries::TimeSeries(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void TimeSeries::sample() {
+  Sample s;
+  s.t_us = trace_now_us();
+  s.snap = registry().snapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(s));
+    return;
+  }
+  ring_[next_] = std::move(s);
+  next_ = (next_ + 1) % capacity_;
+}
+
+std::size_t TimeSeries::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_.size();
+}
+
+std::size_t TimeSeries::capacity() const { return capacity_; }
+
+void TimeSeries::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+}
+
+std::string TimeSeries::export_json(double window_s) const {
+  // Oldest-first copy of the ring, then pick the window endpoints.
+  std::vector<const Sample*> ordered;
+  std::lock_guard<std::mutex> lock(mu_);
+  ordered.reserve(ring_.size());
+  for (std::size_t i = 0; i < ring_.size(); ++i)
+    ordered.push_back(&ring_[(next_ + i) % ring_.size()]);
+
+  std::string out = "{\n";
+  out += "\"now_unix_us\":" + num(unix_now_us());
+  out += ",\n\"samples\":" + num(static_cast<std::uint64_t>(ordered.size()));
+  if (ordered.empty()) {
+    out += ",\n\"window_s\":0,\n\"counters\":{},\n\"gauges\":{},\n";
+    out += "\"histograms\":{},\n\"derived\":{}\n}\n";
+    return out;
+  }
+
+  const Sample& newest = *ordered.back();
+  // Oldest retained sample still inside the requested window; when only
+  // one sample exists old == new and every rate reads zero.
+  const Sample* oldest = ordered.back();
+  const double horizon_us = newest.t_us - window_s * 1e6;
+  for (const Sample* s : ordered) {
+    if (s->t_us >= horizon_us) {
+      oldest = s;
+      break;
+    }
+  }
+  const double span_s = std::max((newest.t_us - oldest->t_us) / 1e6, 0.0);
+  const double dt = span_s > 0.0 ? span_s : 1.0;  // avoid 0/0 on one sample
+
+  out += ",\n\"window_s\":" + num(span_s);
+
+  std::unordered_map<std::string, std::uint64_t> old_counters;
+  old_counters.reserve(oldest->snap.counters.size());
+  for (const auto& [name, v] : oldest->snap.counters) old_counters[name] = v;
+  const auto counter_rate = [&](const std::string& name,
+                                std::uint64_t now) -> double {
+    const auto it = old_counters.find(name);
+    const std::uint64_t then = it == old_counters.end() ? 0 : it->second;
+    return now >= then ? static_cast<double>(now - then) / dt : 0.0;
+  };
+
+  out += ",\n\"counters\":{";
+  for (std::size_t i = 0; i < newest.snap.counters.size(); ++i) {
+    const auto& [name, v] = newest.snap.counters[i];
+    if (i) out += ',';
+    out += "\n  \"" + json_key(name) + "\":{\"total\":" + num(v) +
+           ",\"rate_per_s\":" + num(counter_rate(name, v)) + "}";
+  }
+
+  out += "\n},\n\"gauges\":{";
+  for (std::size_t i = 0; i < newest.snap.gauges.size(); ++i) {
+    const auto& [name, v] = newest.snap.gauges[i];
+    if (i) out += ',';
+    out += "\n  \"" + json_key(name) + "\":" + std::to_string(v);
+  }
+
+  std::unordered_map<std::string, const HistogramSnapshot*> old_hists;
+  old_hists.reserve(oldest->snap.histograms.size());
+  for (const auto& h : oldest->snap.histograms) old_hists[h.name] = &h;
+
+  double journal_flush_p99 = 0.0;
+  out += "\n},\n\"histograms\":{";
+  for (std::size_t i = 0; i < newest.snap.histograms.size(); ++i) {
+    const HistogramSnapshot& h = newest.snap.histograms[i];
+    // Windowed bucket deltas; an unseen-before histogram differences
+    // against zero.
+    std::vector<std::uint64_t> delta = h.counts;
+    std::uint64_t then_count = 0;
+    const auto it = old_hists.find(h.name);
+    if (it != old_hists.end() &&
+        it->second->counts.size() == delta.size()) {
+      then_count = it->second->count;
+      for (std::size_t j = 0; j < delta.size(); ++j) {
+        delta[j] = delta[j] >= it->second->counts[j]
+                       ? delta[j] - it->second->counts[j]
+                       : 0;
+      }
+    }
+    const double p50 = quantile_from_deltas(h.bounds, delta, 0.50);
+    const double p90 = quantile_from_deltas(h.bounds, delta, 0.90);
+    const double p99 = quantile_from_deltas(h.bounds, delta, 0.99);
+    if (h.name == "net.persist.flush_us") journal_flush_p99 = p99;
+    const double rate =
+        h.count >= then_count
+            ? static_cast<double>(h.count - then_count) / dt
+            : 0.0;
+    if (i) out += ',';
+    out += "\n  \"" + json_key(h.name) + "\":{";
+    out += "\"count\":" + num(h.count);
+    out += ",\"rate_per_s\":" + num(rate);
+    out += ",\"p50\":" + num(p50);
+    out += ",\"p90\":" + num(p90);
+    out += ",\"p99\":" + num(p99);
+    out += "}";
+  }
+
+  // Headline series, computed over the same window. Dedup-hit % is the
+  // share of uplinks that were cross-gateway duplicates.
+  double uplinks_per_s = 0.0;
+  double dedup_per_s = 0.0;
+  for (const auto& [name, v] : newest.snap.counters) {
+    if (name == "net.uplinks") uplinks_per_s = counter_rate(name, v);
+    if (name == "net.dedup_dropped") dedup_per_s = counter_rate(name, v);
+  }
+  const double dedup_hit_pct =
+      uplinks_per_s > 0.0 ? 100.0 * dedup_per_s / uplinks_per_s : 0.0;
+
+  out += "\n},\n\"derived\":{";
+  out += "\"uplinks_per_s\":" + num(uplinks_per_s);
+  out += ",\"dedup_hit_pct\":" + num(dedup_hit_pct);
+  out += ",\"journal_flush_p99_us\":" + num(journal_flush_p99);
+  out += "}\n}\n";
+  return out;
+}
+
+TimeSeries& timeseries() {
+  static TimeSeries ts;
+  return ts;
+}
+
+}  // namespace choir::obs

@@ -1,0 +1,69 @@
+// Sliding-window time series over the metrics registry: a ring of
+// timestamped RegistrySnapshots, sampled on a coarse cadence (the
+// telemetry server's poll loop, ~1 s) and on demand, from which windowed
+// *rates* are derived — uplinks/s, dedup-hit %, journal-flush p99 — things
+// the raw monotonic counters cannot answer without a scraper-side TSDB.
+//
+// Counters difference across the window into rates; histograms difference
+// their per-bucket counts, so quantiles describe only the observations
+// that landed inside the window (a process-lifetime p99 goes stale within
+// seconds of a load change, a windowed one does not); gauges report their
+// newest value. Everything is derived from Registry::snapshot(), so
+// sampling perturbs the hot path exactly as much as a /metrics scrape.
+//
+// With CHOIR_OBS=OFF the registry is empty and so are the snapshots; the
+// class still compiles and /timeseries.json degrades to an empty document,
+// matching the rest of the obs tier.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace choir::obs {
+
+class TimeSeries {
+ public:
+  /// ~2 minutes of history at the telemetry server's 1 Hz cadence.
+  static constexpr std::size_t kDefaultCapacity = 128;
+
+  explicit TimeSeries(std::size_t capacity = kDefaultCapacity);
+
+  /// Snapshots the whole registry now. Evicts the oldest sample when full.
+  void sample();
+
+  /// Retained sample count (<= capacity).
+  std::size_t size() const;
+  std::size_t capacity() const;
+
+  /// Drops all samples (capacity keeps). Test isolation.
+  void reset();
+
+  /// JSON document of windowed rates: for each counter its total and
+  /// per-second rate across the last `window_s` seconds, per-histogram
+  /// windowed count rate and p50/p90/p99 from bucket-count deltas, gauges
+  /// at their newest value, plus the derived headline series
+  /// (uplinks_per_s, dedup_hit_pct, journal_flush_p99_us). Needs at least
+  /// two samples to difference; exports zero rates until then.
+  std::string export_json(double window_s = 10.0) const;
+
+ private:
+  struct Sample {
+    double t_us = 0.0;  ///< trace-epoch timestamp
+    RegistrySnapshot snap;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Sample> ring_;  ///< oldest-first once rotated
+  std::size_t capacity_;
+  std::size_t next_ = 0;  ///< write position once full
+};
+
+/// The process-wide time series (sampled by TelemetryServer when one is
+/// running; apps without a telemetry port can sample it themselves).
+TimeSeries& timeseries();
+
+}  // namespace choir::obs

@@ -12,10 +12,27 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-Clock::time_point trace_epoch() {
-  static const Clock::time_point epoch = Clock::now();
+/// Steady epoch + the wall-clock instant it corresponds to, captured
+/// together so unix-µs wire timestamps map onto the trace timeline.
+struct TraceEpoch {
+  Clock::time_point steady;
+  std::uint64_t unix_us;
+};
+
+const TraceEpoch& trace_epoch_pair() {
+  static const TraceEpoch epoch = [] {
+    TraceEpoch e;
+    e.steady = Clock::now();
+    e.unix_us = static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::system_clock::now().time_since_epoch())
+            .count());
+    return e;
+  }();
   return epoch;
 }
+
+Clock::time_point trace_epoch() { return trace_epoch_pair().steady; }
 
 std::string num(double v) {
   char buf[64];
@@ -42,6 +59,22 @@ double trace_now_us() {
   return std::chrono::duration<double, std::micro>(Clock::now() -
                                                    trace_epoch())
       .count();
+}
+
+std::uint64_t unix_now_us() {
+  // Derived from the steady clock and the epoch pair rather than a fresh
+  // system_clock read, so stamps are monotonic within a process even if
+  // the host clock steps mid-run.
+  const TraceEpoch& e = trace_epoch_pair();
+  const double since_us = trace_now_us();
+  return e.unix_us + static_cast<std::uint64_t>(since_us < 0.0 ? 0.0 : since_us);
+}
+
+std::uint64_t trace_unix_epoch_us() { return trace_epoch_pair().unix_us; }
+
+double trace_us_from_unix(std::uint64_t unix_us) {
+  const TraceEpoch& e = trace_epoch_pair();
+  return static_cast<double>(unix_us) - static_cast<double>(e.unix_us);
 }
 
 TraceId TraceLog::begin(FrameTrace trace) {
@@ -71,7 +104,7 @@ void TraceLog::add_stage(TraceId id, const char* name, double ts_us,
                          double dur_us, std::uint32_t tid) {
   if (id == 0) return;
   std::lock_guard<std::mutex> lock(mu_);
-  const auto it = index_.find(id);
+  const auto it = index_.find(resolve_locked(id));
   if (it == index_.end()) {
     ++orphans_;
     return;
@@ -79,10 +112,72 @@ void TraceLog::add_stage(TraceId id, const char* name, double ts_us,
   ring_[it->second].stages.push_back({name, ts_us, dur_us, tid});
 }
 
+void TraceLog::add_stages(TraceId id, const std::vector<TraceStage>& stages) {
+  if (id == 0 || stages.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = index_.find(resolve_locked(id));
+  if (it == index_.end()) {
+    orphans_ += stages.size();
+    return;
+  }
+  FrameTrace& t = ring_[it->second];
+  t.stages.insert(t.stages.end(), stages.begin(), stages.end());
+}
+
+TraceId TraceLog::resolve_locked(TraceId id) const {
+  const auto r = redirects_.find(id);
+  return r == redirects_.end() ? id : r->second;
+}
+
+TraceId TraceLog::adopt(TraceId id, FrameTrace server_side) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(resolve_locked(id));
+    if (it != index_.end()) {
+      FrameTrace& t = ring_[it->second];
+      t.dev_addr = server_side.dev_addr;
+      t.fcnt = server_side.fcnt;
+      if (t.copies == 0) t.copies = 1;
+      return t.id;
+    }
+  }
+  // Cross-process (or evicted) gateway trace: the netserver starts its own
+  // row for this frame.
+  if (server_side.copies == 0) server_side.copies = 1;
+  return begin(std::move(server_side));
+}
+
+void TraceLog::absorb(TraceId dst, TraceId src) {
+  if (dst == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto dit = index_.find(resolve_locked(dst));
+  if (dit == index_.end()) {
+    ++orphans_;
+    return;
+  }
+  FrameTrace& d = ring_[dit->second];
+  ++d.copies;
+  if (src == 0 || src == d.id) return;
+  const auto sit = index_.find(resolve_locked(src));
+  if (sit != index_.end() && sit->second != dit->second) {
+    FrameTrace& s = ring_[sit->second];
+    d.stages.insert(d.stages.end(), s.stages.begin(), s.stages.end());
+    s.stages.clear();
+    s.stages.shrink_to_fit();
+    s.merged_into = d.id;
+    if (!s.complete) {
+      s.complete = true;  // its journey continues on the merged row
+      ++completed_;
+    }
+  }
+  if (redirects_.size() >= 4 * capacity_) redirects_.clear();
+  redirects_[src] = d.id;
+}
+
 void TraceLog::complete(TraceId id) {
   if (id == 0) return;
   std::lock_guard<std::mutex> lock(mu_);
-  const auto it = index_.find(id);
+  const auto it = index_.find(resolve_locked(id));
   if (it == index_.end()) {
     ++orphans_;
     return;
@@ -136,6 +231,7 @@ void TraceLog::set_capacity(std::size_t capacity) {
   capacity_ = capacity;
   ring_.clear();
   index_.clear();
+  redirects_.clear();
   next_ = 0;
 }
 
@@ -143,6 +239,7 @@ void TraceLog::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   ring_.clear();
   index_.clear();
+  redirects_.clear();
   next_ = 0;
   begun_ = 0;
   completed_ = 0;
@@ -159,17 +256,29 @@ std::string export_trace_json() {
   std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
   out += "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"process_name\","
          "\"args\":{\"name\":\"choir\"}}";
-  char buf[256];
+  char buf[320];
   for (const FrameTrace& t : traces) {
+    if (t.merged_into != 0) continue;  // folded into the dedup winner's row
     // One virtual thread row per frame: tid = trace id. The metadata name
     // is what Perfetto shows as the row label.
-    std::snprintf(buf, sizeof(buf),
-                  ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%" PRIu64
-                  ",\"name\":\"thread_name\",\"args\":{\"name\":"
-                  "\"frame %" PRIu64 " ch%d sf%d @%" PRIu64
-                  " crc=%s%s\"}}",
-                  t.id, t.id, t.channel, t.sf, t.stream_offset,
-                  t.crc_ok ? "ok" : "BAD", t.complete ? "" : " (partial)");
+    if (t.copies > 0) {
+      std::snprintf(buf, sizeof(buf),
+                    ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%" PRIu64
+                    ",\"name\":\"thread_name\",\"args\":{\"name\":"
+                    "\"frame %" PRIu64 " dev=0x%08x fcnt=%u copies=%u ch%d "
+                    "sf%d crc=%s%s\"}}",
+                    t.id, t.id, t.dev_addr, t.fcnt, t.copies, t.channel,
+                    t.sf, t.crc_ok ? "ok" : "BAD",
+                    t.complete ? "" : " (partial)");
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":%" PRIu64
+                    ",\"name\":\"thread_name\",\"args\":{\"name\":"
+                    "\"frame %" PRIu64 " ch%d sf%d @%" PRIu64
+                    " crc=%s%s\"}}",
+                    t.id, t.id, t.channel, t.sf, t.stream_offset,
+                    t.crc_ok ? "ok" : "BAD", t.complete ? "" : " (partial)");
+    }
     out += buf;
     for (const TraceStage& s : t.stages) {
       out += ",\n{\"ph\":\"X\",\"pid\":1,\"tid\":" + num(t.id);
@@ -178,7 +287,9 @@ std::string export_trace_json() {
       out += ",\"name\":\"";
       out += s.name;
       out += "\",\"args\":{\"thread\":" +
-             num(static_cast<std::uint64_t>(s.tid)) + "}}";
+             num(static_cast<std::uint64_t>(s.tid));
+      if (s.arg != 0) out += ",\"arg\":" + num(s.arg);
+      out += "}}";
     }
   }
   out += "\n]}\n";
@@ -186,7 +297,11 @@ std::string export_trace_json() {
 }
 
 std::string export_traces_recent_json(std::size_t limit) {
-  std::vector<FrameTrace> traces = trace_log().snapshot();
+  const std::vector<FrameTrace> all = trace_log().snapshot();
+  std::vector<const FrameTrace*> traces;
+  traces.reserve(all.size());
+  for (const FrameTrace& t : all)
+    if (t.merged_into == 0) traces.push_back(&t);
   const std::size_t n = std::min(limit, traces.size());
   std::string out = "{";
   out += "\"begun\":" + num(trace_log().total_begun());
@@ -195,7 +310,7 @@ std::string export_traces_recent_json(std::size_t limit) {
   out += ",\"retained\":" + num(static_cast<std::uint64_t>(traces.size()));
   out += ",\"traces\":[";
   for (std::size_t i = traces.size() - n; i < traces.size(); ++i) {
-    const FrameTrace& t = traces[i];
+    const FrameTrace& t = *traces[i];
     if (i != traces.size() - n) out += ',';
     out += "\n{\"id\":" + num(t.id);
     out += ",\"channel\":" + std::to_string(t.channel);
@@ -205,6 +320,9 @@ std::string export_traces_recent_json(std::size_t limit) {
     out += t.crc_ok ? "true" : "false";
     out += ",\"complete\":";
     out += t.complete ? "true" : "false";
+    out += ",\"dev_addr\":" + num(static_cast<std::uint64_t>(t.dev_addr));
+    out += ",\"fcnt\":" + num(static_cast<std::uint64_t>(t.fcnt));
+    out += ",\"copies\":" + num(static_cast<std::uint64_t>(t.copies));
     out += ",\"stages\":[";
     for (std::size_t j = 0; j < t.stages.size(); ++j) {
       const TraceStage& s = t.stages[j];
@@ -213,7 +331,9 @@ std::string export_traces_recent_json(std::size_t limit) {
       out += s.name;
       out += "\",\"ts_us\":" + num(s.ts_us);
       out += ",\"dur_us\":" + num(s.dur_us);
-      out += ",\"tid\":" + num(static_cast<std::uint64_t>(s.tid)) + "}";
+      out += ",\"tid\":" + num(static_cast<std::uint64_t>(s.tid));
+      if (s.arg != 0) out += ",\"arg\":" + num(s.arg);
+      out += "}";
     }
     out += "]}";
   }

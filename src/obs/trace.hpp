@@ -39,6 +39,20 @@ std::uint32_t current_tid();
 /// Microseconds since the process trace epoch (first call wins).
 double trace_now_us();
 
+/// Current wall-clock time as unix microseconds — what the CHOU uplink
+/// record carries as its emit timestamp (steady-clock epochs do not travel
+/// between processes; unix time does, give or take host clock skew).
+std::uint64_t unix_now_us();
+
+/// Unix microseconds corresponding to trace-epoch time 0, captured at the
+/// same instant as the steady-clock epoch.
+std::uint64_t trace_unix_epoch_us();
+
+/// Maps a unix-µs wall-clock stamp (e.g. the emit timestamp a gateway put
+/// on the wire) into this process's trace-epoch timeline. Negative results
+/// mean "before this process's trace epoch".
+double trace_us_from_unix(std::uint64_t unix_us);
+
 /// One pipeline stage a frame passed through. `name` must be a string
 /// literal (stage names are compile-time constants; nothing is copied).
 struct TraceStage {
@@ -46,6 +60,9 @@ struct TraceStage {
   double ts_us = 0.0;   ///< trace-epoch start time
   double dur_us = 0.0;  ///< 0 for instant events
   std::uint32_t tid = 0;
+  /// Free-form stage payload (0 = none). Cross-tier stages use it for the
+  /// gateway id, net.registry for the shard index.
+  std::uint64_t arg = 0;
 };
 
 /// Attempt-scoped stage buffer: owned by the decoding thread, filled while
@@ -54,8 +71,9 @@ struct TraceStage {
 /// steady state.
 class TraceCollector {
  public:
-  void add(const char* name, double ts_us, double dur_us) {
-    stages_.push_back({name, ts_us, dur_us, current_tid()});
+  void add(const char* name, double ts_us, double dur_us,
+           std::uint64_t arg = 0) {
+    stages_.push_back({name, ts_us, dur_us, current_tid(), arg});
   }
   void clear() { stages_.clear(); }
   bool empty() const { return stages_.empty(); }
@@ -83,7 +101,9 @@ class TraceSpan {
   double t0_us_;
 };
 
-/// The full journey of one delivered frame.
+/// The full journey of one delivered frame. A trace that crossed the CHOU
+/// backhaul additionally carries the device identity the netserver keyed
+/// its merge on and the number of gateway copies folded into this row.
 struct FrameTrace {
   TraceId id = 0;
   std::int32_t channel = -1;  ///< gateway channel; -1 = single-stream rx
@@ -91,6 +111,14 @@ struct FrameTrace {
   std::uint64_t stream_offset = 0;  ///< frame anchor, baseband samples
   bool crc_ok = false;
   bool complete = false;  ///< reached the end of its pipeline
+  std::uint32_t dev_addr = 0;  ///< cross-tier traces only (0 otherwise)
+  std::uint32_t fcnt = 0;
+  /// Gateway copies merged into this trace (0 = gateway-local trace that
+  /// never reached a netserver).
+  std::uint32_t copies = 0;
+  /// Non-zero: this trace's stages were absorbed into another trace (the
+  /// dedup winner) — exporters skip it so each frame renders once.
+  TraceId merged_into = 0;
   std::vector<TraceStage> stages;
 };
 
@@ -115,6 +143,23 @@ class TraceLog {
   void add_stage(TraceId id, const char* name, double ts_us, double dur_us,
                  std::uint32_t tid);
 
+  /// Appends a batch of already-stamped stages (one lock acquisition).
+  void add_stages(TraceId id, const std::vector<TraceStage>& stages);
+
+  /// Cross-tier merge, first copy: if `id` is still live in this process's
+  /// log (in-process gateway → netserver), stamps the device identity onto
+  /// it and returns `id`; otherwise (the trace was minted in another
+  /// process, or already evicted) begins a fresh trace from `server_side`
+  /// and returns the new id. Either way the result has copies >= 1.
+  TraceId adopt(TraceId id, FrameTrace server_side);
+
+  /// Cross-tier merge, later copies: folds `src`'s stages into `dst` (when
+  /// `src` is live in this log), marks `src` merged-away so it no longer
+  /// renders as its own row, and bumps `dst`'s copy count. `src` may be
+  /// unknown (cross-process duplicate) — the copy count still bumps.
+  /// Future stages appended to `src` are redirected to `dst`.
+  void absorb(TraceId dst, TraceId src);
+
   /// Marks the end of the frame's pipeline.
   void complete(TraceId id);
 
@@ -133,9 +178,15 @@ class TraceLog {
   void reset();
 
  private:
+  /// Follows absorb() redirects (caller holds mu_).
+  TraceId resolve_locked(TraceId id) const;
+
   mutable std::mutex mu_;
   std::vector<FrameTrace> ring_;
   std::unordered_map<TraceId, std::size_t> index_;  ///< id -> ring slot
+  /// absorbed src id -> dst id, so late stages land on the merged row.
+  /// Bounded: cleared wholesale when it outgrows 4x the ring capacity.
+  std::unordered_map<TraceId, TraceId> redirects_;
   std::size_t capacity_ = kDefaultCapacity;
   std::size_t next_ = 0;  ///< ring write position once full
   TraceId next_id_ = 1;

@@ -1,0 +1,303 @@
+// Cross-tier distributed tracing tests: the CHOU v2 trace stamp on the
+// wire (round-trip, v1 forward compatibility, truncation), the netserver's
+// multi-gateway trace merge (two copies of one transmission -> ONE trace
+// row carrying both gateways' stages plus every ingest span), and the
+// guarantee that all of it is absent under CHOIR_OBS=OFF.
+//
+// Suite names are load-bearing: CI's telemetry-smoke and TSan lanes select
+// by regex (NetWireV2|CrossTierTrace).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/server.hpp"
+#include "net/uplink.hpp"
+#include "obs/obs.hpp"
+
+namespace fs = std::filesystem;
+using namespace choir;
+using namespace choir::net;
+
+namespace {
+
+UplinkFrame traced_frame(std::uint32_t dev, std::uint32_t fcnt,
+                         std::uint32_t gateway, float snr_db,
+                         std::uint64_t trace_id) {
+  UplinkFrame f;
+  f.gateway_id = gateway;
+  f.channel = 2;
+  f.sf = 7;
+  f.dev_addr = dev;
+  f.fcnt = fcnt;
+  f.stream_offset = 4096 + fcnt;
+  f.snr_db = snr_db;
+  f.payload = {static_cast<std::uint8_t>(dev),
+               static_cast<std::uint8_t>(fcnt),
+               static_cast<std::uint8_t>(fcnt >> 8), 0xAA, 0xBB};
+  f.trace_id = trace_id;
+  if (trace_id != 0) f.emitted_unix_us = obs::unix_now_us();
+  return f;
+}
+
+std::string scratch_dir(const std::string& name) {
+  const fs::path dir = fs::path(testing::TempDir()) / name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+std::uint16_t rd_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+std::uint32_t rd_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (std::uint32_t{p[1]} << 8) |
+         (std::uint32_t{p[2]} << 16) | (std::uint32_t{p[3]} << 24);
+}
+
+std::uint64_t rd_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(rd_u32(p)) |
+         (static_cast<std::uint64_t>(rd_u32(p + 4)) << 32);
+}
+
+}  // namespace
+
+// --------------------------------------------------------- CHOU wire v2
+
+TEST(NetWireV2, TraceStampRoundTrips) {
+  UplinkFrame f = traced_frame(0x21, 7, 1, 9.0f, 0);
+  f.trace_id = 0xDEADBEEFCAFE0123ull;
+  f.emitted_unix_us = 1754500000000000ull;
+  const auto g = encode_datagram({f}, 0, 1);
+
+  std::vector<UplinkFrame> out;
+  ASSERT_TRUE(decode_datagram(g.data(), g.size(), out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].trace_id, f.trace_id);
+  EXPECT_EQ(out[0].emitted_unix_us, f.emitted_unix_us);
+  EXPECT_EQ(out[0].payload, f.payload);
+  EXPECT_EQ(out[0].dev_addr, f.dev_addr);
+}
+
+TEST(NetWireV2, UntracedFramesStayExtensionFree) {
+  UplinkFrame plain = traced_frame(0x21, 7, 1, 9.0f, 0);
+  UplinkFrame traced = plain;
+  traced.trace_id = 42;
+  traced.emitted_unix_us = 99;
+  const auto g_plain = encode_datagram({plain}, 0, 1);
+  const auto g_traced = encode_datagram({traced}, 0, 1);
+  // The extension costs exactly kTraceExtensionBytes, paid only when a
+  // trace stamp is present.
+  EXPECT_EQ(g_traced.size(), g_plain.size() + kTraceExtensionBytes);
+
+  std::vector<UplinkFrame> out;
+  ASSERT_TRUE(decode_datagram(g_plain.data(), g_plain.size(), out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].trace_id, 0u);
+  EXPECT_EQ(out[0].emitted_unix_us, 0u);
+}
+
+TEST(NetWireV2, ParsesUnderV1ReaderRules) {
+  // Forward compatibility, proven by construction: walk a v2 record with a
+  // hand-rolled v1-era parser — fixed body, payload, and "skip unknown
+  // trailing bytes". The trailing bytes it skips must be exactly the trace
+  // extension, and everything a v1 reader extracts must be intact.
+  UplinkFrame f = traced_frame(0x33, 11, 2, 12.0f, 0);
+  f.trace_id = 0x1122334455667788ull;
+  f.emitted_unix_us = 0x99AABBCCDDEEFF00ull;
+  const auto g = encode_datagram({f}, 0, 1);
+
+  // Datagram header: magic u32, version u8, reserved u8, count u16.
+  ASSERT_GE(g.size(), 8u);
+  EXPECT_EQ(rd_u32(g.data()), kWireMagic);
+  EXPECT_EQ(g[4], kWireVersion);
+  ASSERT_EQ(rd_u16(g.data() + 6), 1u);
+
+  // Record: u16 body length, then the body.
+  const std::uint8_t* rec = g.data() + 8;
+  const std::uint16_t body_len = rd_u16(rec);
+  const std::uint8_t* body = rec + 2;
+  ASSERT_EQ(static_cast<std::size_t>(body_len), g.size() - 10);
+
+  // v1 fixed body: gateway u32, channel u16, sf u8, flags u8, dev u32,
+  // fcnt u32, stream_offset u64, snr f32, cfo f32, timing f32,
+  // payload_len u16.
+  ASSERT_GE(body_len, kRecordFixedBytes);
+  EXPECT_EQ(rd_u32(body), f.gateway_id);
+  EXPECT_EQ(rd_u16(body + 4), f.channel);
+  EXPECT_EQ(body[6], f.sf);
+  EXPECT_EQ(body[7], kWireFlagTrace);  // reserved-to-v1, flag-to-v2
+  EXPECT_EQ(rd_u32(body + 8), f.dev_addr);
+  EXPECT_EQ(rd_u32(body + 12), f.fcnt);
+  EXPECT_EQ(rd_u64(body + 16), f.stream_offset);
+  const std::uint16_t payload_len = rd_u16(body + 36);
+  ASSERT_EQ(payload_len, f.payload.size());
+  ASSERT_GE(static_cast<std::size_t>(body_len),
+            kRecordFixedBytes + payload_len);
+  EXPECT_EQ(0, std::memcmp(body + kRecordFixedBytes, f.payload.data(),
+                           payload_len));
+  // What a v1 reader would skip: exactly the 16-byte trace extension.
+  EXPECT_EQ(body_len - kRecordFixedBytes - payload_len,
+            kTraceExtensionBytes);
+  EXPECT_EQ(rd_u64(body + kRecordFixedBytes + payload_len), f.trace_id);
+  EXPECT_EQ(rd_u64(body + kRecordFixedBytes + payload_len + 8),
+            f.emitted_unix_us);
+}
+
+TEST(NetWireV2, DecoderStillAcceptsVersion1Datagrams) {
+  const UplinkFrame f = traced_frame(0x44, 3, 1, 8.0f, 0);
+  auto g = encode_datagram({f}, 0, 1);
+  g[4] = 1;  // a v1-era sender: same layout, no flags, no extension
+  std::vector<UplinkFrame> out;
+  ASSERT_TRUE(decode_datagram(g.data(), g.size(), out));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].dev_addr, f.dev_addr);
+  EXPECT_EQ(out[0].trace_id, 0u);
+}
+
+TEST(NetWireV2, RejectsTraceFlagWithoutExtensionBytes) {
+  // flags announce the extension but the body cannot hold it: structural
+  // error, not a skip.
+  const UplinkFrame f = traced_frame(0x55, 5, 1, 8.0f, 0);
+  auto g = encode_datagram({f}, 0, 1);
+  // Body starts at offset 10; flags byte is body[7].
+  g[10 + 7] |= kWireFlagTrace;
+  std::vector<UplinkFrame> out;
+  EXPECT_FALSE(decode_datagram(g.data(), g.size(), out));
+  EXPECT_TRUE(out.empty());
+}
+
+// ------------------------------------------------- cross-tier trace merge
+
+TEST(CrossTierTrace, TwoGatewayCopiesMergeOntoOneTimeline) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "observability compiled out";
+  }
+  obs::trace_log().reset();
+
+  NetServerConfig cfg;
+  cfg.persist.dir = scratch_dir("cross_tier_trace");  // 7th span: journal
+  NetServer server(cfg);
+
+  // Two gateways decoded the same transmission; each minted a gateway-side
+  // trace with its own decode stage (the in-process gateway tier does
+  // exactly this).
+  const double t0 = obs::trace_now_us();
+  obs::FrameTrace gw_a;
+  gw_a.channel = 2;
+  gw_a.sf = 7;
+  gw_a.crc_ok = true;
+  const obs::TraceId tid_a = obs::trace_log().begin(std::move(gw_a));
+  obs::trace_log().add_stage(tid_a, "gateway.decode", t0, 5.0);
+  obs::FrameTrace gw_b;
+  gw_b.channel = 2;
+  gw_b.sf = 7;
+  gw_b.crc_ok = true;
+  const obs::TraceId tid_b = obs::trace_log().begin(std::move(gw_b));
+  obs::trace_log().add_stage(tid_b, "gateway.decode", t0 + 1.0, 6.0);
+
+  const auto res_a = server.ingest(traced_frame(0x61, 9, 1, 12.0f, tid_a));
+  const auto res_b = server.ingest(traced_frame(0x61, 9, 2, 7.0f, tid_b));
+  EXPECT_EQ(res_a.status, IngestStatus::kAccepted);
+  EXPECT_EQ(res_b.status, IngestStatus::kDuplicate);
+
+  const auto traces = obs::trace_log().snapshot();
+  // Exactly one renderable (non-absorbed) row for the transmission.
+  const obs::FrameTrace* merged = nullptr;
+  std::size_t renderable = 0;
+  for (const auto& t : traces) {
+    if (t.merged_into != 0) continue;
+    ++renderable;
+    if (t.dev_addr == 0x61) merged = &t;
+  }
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(renderable, 1u);
+  EXPECT_EQ(merged->id, tid_a);  // the dedup winner's row
+  EXPECT_EQ(merged->fcnt, 9u);
+  EXPECT_EQ(merged->copies, 2u);
+  EXPECT_TRUE(merged->complete);
+
+  // The loser's row survives in the ring but is marked absorbed.
+  const auto absorbed = std::find_if(
+      traces.begin(), traces.end(),
+      [&](const obs::FrameTrace& t) { return t.id == tid_b; });
+  ASSERT_NE(absorbed, traces.end());
+  EXPECT_EQ(absorbed->merged_into, tid_a);
+  EXPECT_TRUE(absorbed->stages.empty());
+
+  // Both gateways' emissions and all seven netserver spans, one timeline.
+  std::set<std::uint64_t> copy_gateways;
+  std::multiset<std::string> names;
+  for (const auto& s : merged->stages) {
+    names.insert(s.name);
+    if (std::string(s.name) == "net.gw.copy") copy_gateways.insert(s.arg);
+  }
+  EXPECT_EQ(copy_gateways, (std::set<std::uint64_t>{1, 2}));
+  EXPECT_EQ(names.count("gateway.decode"), 2u);  // one per gateway copy
+  for (const char* span :
+       {"net.ingest", "net.dedup", "net.replay", "net.registry", "net.adr",
+        "net.persist.journal", "net.accept"}) {
+    EXPECT_GE(names.count(span), 1u) << span;
+  }
+  // The duplicate path ran its own ingest/dedup/journal before merging.
+  EXPECT_EQ(names.count("net.ingest"), 2u);
+  EXPECT_EQ(names.count("net.dedup"), 2u);
+
+  // Cross-tier monotonicity: every gateway emission instant precedes the
+  // end of every server ingest span (same host, one trace epoch).
+  double last_ingest_end = 0.0;
+  for (const auto& s : merged->stages) {
+    if (std::string(s.name) == "net.ingest")
+      last_ingest_end = std::max(last_ingest_end, s.ts_us + s.dur_us);
+  }
+  for (const auto& s : merged->stages) {
+    if (std::string(s.name) == "net.gw.copy") {
+      EXPECT_LE(s.ts_us, last_ingest_end);
+      EXPECT_GE(s.ts_us, 0.0);  // same process: after the trace epoch
+    }
+  }
+  // snapshot() sorts stages by timestamp — the merged row must read as one
+  // monotonic timeline.
+  for (std::size_t i = 1; i < merged->stages.size(); ++i)
+    EXPECT_LE(merged->stages[i - 1].ts_us, merged->stages[i].ts_us);
+
+  // The merged identity shows up in the recent-traces JSON for
+  // /traces/recent scrapers.
+  const std::string recent = obs::export_traces_recent_json(16);
+  EXPECT_NE(recent.find("\"copies\":2"), std::string::npos);
+  EXPECT_NE(recent.find("\"dev_addr\":97"), std::string::npos);
+
+  obs::trace_log().reset();
+}
+
+TEST(CrossTierTrace, UntracedFramesCollectNoSpans) {
+  if constexpr (!obs::kEnabled) {
+    GTEST_SKIP() << "observability compiled out";
+  }
+  obs::trace_log().reset();
+  NetServer server;
+  const auto res = server.ingest(traced_frame(0x62, 1, 1, 10.0f, 0));
+  EXPECT_EQ(res.status, IngestStatus::kAccepted);
+  EXPECT_EQ(obs::trace_log().total_begun(), 0u);
+  EXPECT_EQ(obs::trace_log().snapshot().size(), 0u);
+}
+
+TEST(CrossTierTrace, CompilesToNothingWhenObsDisabled) {
+  if constexpr (obs::kEnabled) {
+    GTEST_SKIP() << "observability enabled; covered by the merge test";
+  }
+  // A stamped frame must classify normally and leave zero traces behind.
+  NetServer server;
+  const auto res_a = server.ingest(traced_frame(0x63, 4, 1, 12.0f, 777));
+  const auto res_b = server.ingest(traced_frame(0x63, 4, 2, 5.0f, 778));
+  EXPECT_EQ(res_a.status, IngestStatus::kAccepted);
+  EXPECT_EQ(res_b.status, IngestStatus::kDuplicate);
+  EXPECT_EQ(obs::trace_log().total_begun(), 0u);
+  EXPECT_EQ(obs::trace_log().snapshot().size(), 0u);
+}

@@ -4,11 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <string>
 #include <thread>
 
 #include "obs/obs.hpp"
+#include "obs/timeseries.hpp"
 
 namespace choir::obs {
 namespace {
@@ -182,6 +186,103 @@ TEST(ObsExport, AtomicWriteLeavesNoTempAndReplacesContent) {
   EXPECT_THROW(write_file_atomic("/nonexistent-dir/x.json", "data"),
                std::runtime_error);
   fs::remove(path);
+}
+
+TEST(ObsExport, LabeledSeriesKeepTheirLabelBlockInPrometheus) {
+  // Label values pass through verbatim (escaped at registration); only the
+  // base family name is sanitized, and one TYPE line covers the family.
+  EXPECT_EQ(labeled("net.accepted", {{"sf", "7"}}), "net.accepted{sf=\"7\"}");
+  EXPECT_EQ(labeled("x", {{"a", "1"}, {"b", "2"}}), "x{a=\"1\",b=\"2\"}");
+  EXPECT_EQ(escape_label_value("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+
+  auto& plain = registry().counter("test.obs.labelfam");
+  auto& sf7 = registry().counter(labeled("test.obs.labelfam", {{"sf", "7"}}));
+  auto& sf8 = registry().counter(
+      labeled("test.obs.labelfam", {{"sf", "8"}, {"channel", "2"}}));
+  plain.reset();
+  sf7.reset();
+  sf8.reset();
+  plain.add(1);
+  sf7.add(2);
+  sf8.add(3);
+
+  const std::string prom = export_prometheus();
+  if constexpr (kEnabled) {
+    EXPECT_NE(prom.find("choir_test_obs_labelfam 1\n"), std::string::npos);
+    EXPECT_NE(prom.find("choir_test_obs_labelfam{sf=\"7\"} 2\n"),
+              std::string::npos);
+    EXPECT_NE(
+        prom.find("choir_test_obs_labelfam{sf=\"8\",channel=\"2\"} 3\n"),
+        std::string::npos);
+    // One TYPE line for the whole family, not one per labeled series, and
+    // no label block sanitized into underscores anywhere.
+    std::size_t type_lines = 0;
+    for (std::size_t at = 0;
+         (at = prom.find("# TYPE choir_test_obs_labelfam counter", at)) !=
+         std::string::npos;
+         ++at)
+      ++type_lines;
+    EXPECT_EQ(type_lines, 1u);
+    EXPECT_EQ(prom.find("labelfam_sf_"), std::string::npos);
+
+    // The JSON exporter escapes the quotes the labeled key embeds.
+    const std::string json = export_json();
+    EXPECT_NE(json.find("test.obs.labelfam{sf=\\\"7\\\"}"),
+              std::string::npos);
+  }
+}
+
+TEST(ObsTimeSeries, WindowedRatesFromSnapshotDeltas) {
+  TimeSeries ts(8);
+  auto& c = registry().counter("net.uplinks");
+  auto& d = registry().counter("net.dedup_dropped");
+  auto& h = registry().histogram("net.persist.flush_us");
+  c.reset();
+  d.reset();
+  h.reset();
+
+  ts.sample();
+  c.add(100);
+  d.add(25);
+  for (int i = 0; i < 100; ++i) h.record(150.0);
+  // A strictly later second sample (trace_now_us has sub-µs resolution,
+  // but don't rely on two calls differing).
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ts.sample();
+  EXPECT_EQ(ts.size(), 2u);
+
+  const std::string out = ts.export_json(60.0);
+  if constexpr (kEnabled) {
+    EXPECT_NE(out.find("\"samples\":2"), std::string::npos);
+    // 25 duplicates out of 100 uplinks in the window.
+    EXPECT_NE(out.find("\"dedup_hit_pct\":25"), std::string::npos);
+    // Windowed flush p99 interpolates inside the (100, 200] bucket.
+    const std::size_t at = out.find("\"journal_flush_p99_us\":");
+    ASSERT_NE(at, std::string::npos);
+    const double p99 = std::atof(out.c_str() + at + 23);
+    EXPECT_GT(p99, 100.0);
+    EXPECT_LE(p99, 200.0);
+    // Rates are positive and finite (the exact value depends on the sleep).
+    EXPECT_NE(out.find("\"net.uplinks\":{\"total\":100,\"rate_per_s\":"),
+              std::string::npos);
+  } else {
+    EXPECT_NE(out.find("\"samples\":2"), std::string::npos);
+  }
+
+  ts.reset();
+  EXPECT_EQ(ts.size(), 0u);
+  c.reset();
+  d.reset();
+  h.reset();
+}
+
+TEST(ObsTimeSeries, RingEvictsOldestSample) {
+  TimeSeries ts(3);
+  for (int i = 0; i < 5; ++i) ts.sample();
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_EQ(ts.capacity(), 3u);
+  const std::string out = ts.export_json();
+  EXPECT_NE(out.find("\"samples\":3"), std::string::npos);
 }
 
 TEST(ObsMacros, CompileAndCount) {

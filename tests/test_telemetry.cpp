@@ -72,10 +72,21 @@ TEST(ObsTelemetry, ServesMetricsTracesAndHealth) {
   EXPECT_NE(traces.find("200 OK"), std::string::npos);
   EXPECT_NE(traces.find("\"traces\":["), std::string::npos);
 
+  // /timeseries.json samples on request, so even a fresh server answers
+  // with a well-formed document (derived rates zero until traffic flows).
+  const std::string ts = http_get(server.port(), "/timeseries.json");
+  EXPECT_NE(ts.find("200 OK"), std::string::npos);
+  EXPECT_NE(ts.find("\"derived\":"), std::string::npos);
+  EXPECT_NE(ts.find("\"samples\":"), std::string::npos);
+  if constexpr (obs::kEnabled) {
+    EXPECT_NE(ts.find("\"uplinks_per_s\":"), std::string::npos);
+    EXPECT_NE(ts.find("\"test.telemetry.counter\""), std::string::npos);
+  }
+
   const std::string missing = http_get(server.port(), "/nope");
   EXPECT_NE(missing.find("404 Not Found"), std::string::npos);
 
-  EXPECT_GE(server.requests_served(), 5u);
+  EXPECT_GE(server.requests_served(), 6u);
   server.stop();
   server.stop();  // idempotent
 }
