@@ -20,6 +20,7 @@
 
 #include "gateway/gateway.hpp"
 #include "gateway/traffic.hpp"
+#include "net/ha/failover.hpp"
 #include "net/udp.hpp"
 #include "net/uplink.hpp"
 #include "obs/obs.hpp"
@@ -54,8 +55,12 @@ int main(int argc, char** argv) {
         "                      (N=0 picks a free port)\n"
         "  --telemetry-linger=SEC  keep serving after the run ends\n"
         "  --gateway-id=N      provenance id stamped on every frame (0)\n"
-        "  --uplink-dest=HOST:PORT  forward decoded CRC-clean frames to a\n"
-        "                      choir_netserver over UDP (IPv4 literal)\n"
+        "  --uplink-dest=HOST:PORT[,HOST:PORT]  forward decoded CRC-clean\n"
+        "                      frames to a choir_netserver over UDP (IPv4\n"
+        "                      literal). A second destination enables the\n"
+        "                      acked failover sender (HA netserver pair)\n"
+        "  --uplink-ack-timeout=SEC  per-round ack window (0.25)\n"
+        "  --uplink-rounds=N   retransmit round budget (20)\n"
         "  synthetic traffic only:\n"
         "  --frames=N     frames per channel (4)  --payload=BYTES (8)\n"
         "  --snr=DB       mean SNR (17)           --seed=S (1)\n");
@@ -81,12 +86,26 @@ int main(int argc, char** argv) {
   }
 
   cfg.gateway_id = static_cast<std::uint32_t>(args.get_int("gateway-id", 0));
+  // --uplink-dest=primary[,secondary]: a second destination turns on the
+  // acked/retransmitting failover sender (see net/ha/failover.hpp).
   const std::string uplink_dest = args.get("uplink-dest", "");
-  net::Endpoint uplink_ep;
-  if (!uplink_dest.empty() && !net::parse_endpoint(uplink_dest, uplink_ep)) {
-    std::fprintf(stderr, "bad --uplink-dest=%s (want IPV4:PORT)\n",
-                 uplink_dest.c_str());
-    return 2;
+  net::Endpoint uplink_ep, uplink_ep2;
+  bool have_secondary = false;
+  if (!uplink_dest.empty()) {
+    std::string primary = uplink_dest, secondary;
+    const std::size_t comma = uplink_dest.find(',');
+    if (comma != std::string::npos) {
+      primary = uplink_dest.substr(0, comma);
+      secondary = uplink_dest.substr(comma + 1);
+    }
+    if (!net::parse_endpoint(primary, uplink_ep) ||
+        (!secondary.empty() && !net::parse_endpoint(secondary, uplink_ep2))) {
+      std::fprintf(stderr,
+                   "bad --uplink-dest=%s (want IPV4:PORT[,IPV4:PORT])\n",
+                   uplink_dest.c_str());
+      return 2;
+    }
+    have_secondary = !secondary.empty();
   }
 
   const std::string metrics_out = args.get("metrics-out", "");
@@ -244,12 +263,33 @@ int main(int argc, char** argv) {
       uplinks.push_back(std::move(f));
     }
     try {
-      net::UdpUplinkSender sender(uplink_ep.host, uplink_ep.port);
-      sender.send(uplinks);
-      std::printf("uplink: %zu frame(s) -> %s (%llu datagram(s), gw id %u)\n",
-                  uplinks.size(), uplink_dest.c_str(),
-                  static_cast<unsigned long long>(sender.datagrams_sent()),
-                  cfg.gateway_id);
+      if (have_secondary) {
+        net::ha::FailoverOptions fo;
+        fo.ack_timeout_s = args.get_double("uplink-ack-timeout", 0.25);
+        fo.max_rounds = static_cast<int>(args.get_int("uplink-rounds", 20));
+        net::ha::FailoverUplinkSender sender(uplink_ep, uplink_ep2, fo);
+        const auto rep = sender.send_reliable(uplinks);
+        std::printf(
+            "uplink: %zu frame(s) -> %s (%zu datagram(s), %zu acked, "
+            "%zu send(s), dest=%s%s, peer epoch %llu, gw id %u)\n",
+            uplinks.size(), uplink_dest.c_str(), rep.datagrams, rep.acked,
+            rep.sends, rep.final_dest == 0 ? "primary" : "secondary",
+            rep.switched ? ", failed over" : "",
+            static_cast<unsigned long long>(rep.peer_epoch), cfg.gateway_id);
+        if (rep.acked < rep.datagrams) {
+          std::fprintf(stderr,
+                       "uplink: %zu datagram(s) unacked after %d round(s)\n",
+                       rep.datagrams - rep.acked, fo.max_rounds);
+        }
+      } else {
+        net::UdpUplinkSender sender(uplink_ep.host, uplink_ep.port);
+        sender.send(uplinks);
+        std::printf(
+            "uplink: %zu frame(s) -> %s (%llu datagram(s), gw id %u)\n",
+            uplinks.size(), uplink_dest.c_str(),
+            static_cast<unsigned long long>(sender.datagrams_sent()),
+            cfg.gateway_id);
+      }
     } catch (const std::exception& e) {
       std::fprintf(stderr, "uplink: %s\n", e.what());
       return 2;

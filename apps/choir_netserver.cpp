@@ -10,13 +10,25 @@
 //
 // Pair with gateways:
 //   choir_gateway --synth --uplink-dest=127.0.0.1:9475 --gateway-id=1
+//
+// Hot standby (src/net/ha/): an active run with --ha takes an
+// epoch-numbered lease over --state-dir, acks every uplink datagram
+// (CHOA), and optionally streams its journal to a network standby
+// (--repl-dest). A --standby run follows the active — tailing its
+// --state-dir journals directly, or over CHOR via --repl-listen — and
+// promotes itself (lease expiry or --promote-after), attaching
+// persistence and opening ingest on --listen. A deposed active exits 3.
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <memory>
 #include <string>
 #include <thread>
+#include <unistd.h>
 
+#include "net/ha/lease.hpp"
+#include "net/ha/replication.hpp"
+#include "net/ha/standby.hpp"
 #include "net/server.hpp"
 #include "net/udp.hpp"
 #include "obs/obs.hpp"
@@ -25,148 +37,44 @@
 
 using namespace choir;
 
-int main(int argc, char** argv) {
-  Args args(argc, argv);
-  if (args.get_bool("help", false)) {
-    std::fprintf(
-        stderr,
-        "usage: choir_netserver [--listen=PORT]\n"
-        "  --listen=PORT       UDP uplink ingest port (0 picks a free one)\n"
-        "  --duration=SEC      serve this long, then summarize (5)\n"
-        "  --expect-frames=N   exit early once N frames were accepted\n"
-        "  --dedup-window=SEC  cross-gateway dedup window (0.5)\n"
-        "  --shards=BITS       log2 registry/dedup shards (4)\n"
-        "  --teams             rebuild and print the Choir team roster\n"
-        "  --print-frames      print every accepted frame\n"
-        "  --metrics           print the obs metrics table at the end\n"
-        "  --metrics-out=FILE  write the obs registry (JSON)\n"
-        "  --trace-out=FILE    write merged cross-tier traces at exit\n"
-        "                      (Chrome trace JSON, Perfetto-loadable)\n"
-        "  --telemetry-port=N  live HTTP /metrics /metrics.json\n"
-        "                      /traces/recent /timeseries.json /health\n"
-        "  --state-dir=DIR     durable registry snapshot + FCnt journal;\n"
-        "                      restores on start, checkpoints on exit\n"
-        "  --snapshot-every=S  checkpoint every S seconds (default 30)\n"
-        "  --journal-flush=N   journal records per write(2) (default 1 =\n"
-        "                      every accept durable before confirmation)\n");
-    return 2;
-  }
+namespace {
 
-  net::NetServerConfig cfg;
-  cfg.dedup.window_s = args.get_double("dedup-window", 0.5);
-  cfg.registry.shard_bits =
-      static_cast<std::size_t>(args.get_int("shards", 4));
-  cfg.dedup.shard_bits = cfg.registry.shard_bits;
-  cfg.persist.dir = args.get("state-dir", "");
-  cfg.persist.flush_every_records =
-      static_cast<std::size_t>(args.get_int("journal-flush", 1));
+constexpr int kExitFenced = 3;  ///< deposed by a higher lease epoch
 
-  std::unique_ptr<net::NetServer> server_ptr;
-  try {
-    server_ptr = std::make_unique<net::NetServer>(cfg);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "%s\n", e.what());
-    return 2;
+std::unique_ptr<obs::TelemetryServer> start_telemetry(Args& args) {
+  if (!args.has("telemetry-port")) return nullptr;
+  if (!obs::kEnabled) {
+    std::fprintf(stderr,
+                 "warning: --telemetry-port ignored "
+                 "(observability compiled out)\n");
+    return nullptr;
   }
-  net::NetServer& server = *server_ptr;
-  if (server.persistent()) {
-    const auto& rec = server.recovery();
-    if (rec.restored) {
-      std::printf(
-          "netserver: restored generation %llu from %s "
-          "(%llu session(s), %llu journal record(s) replayed, "
-          "%llu discarded, %llu damaged journal tail(s) sealed)\n",
-          static_cast<unsigned long long>(rec.generation),
-          cfg.persist.dir.c_str(),
-          static_cast<unsigned long long>(rec.snapshot_sessions),
-          static_cast<unsigned long long>(rec.replayed),
-          static_cast<unsigned long long>(rec.discarded),
-          static_cast<unsigned long long>(rec.damaged_journals));
-    } else {
-      std::printf("netserver: fresh state in %s\n", cfg.persist.dir.c_str());
-    }
-    std::fflush(stdout);
-  }
-  const bool print_frames = args.get_bool("print-frames", false);
-  if (print_frames) {
-    server.set_callback([](const net::UplinkFrame& f) {
-      std::printf("accepted gw%u ch%u sf%u dev=0x%08x fcnt=%u snr=%.1f dB\n",
-                  f.gateway_id, f.channel, f.sf, f.dev_addr, f.fcnt,
-                  static_cast<double>(f.snr_db));
-      std::fflush(stdout);
-    });
-  }
-
-  std::unique_ptr<net::UdpIngestServer> udp;
-  try {
-    udp = std::make_unique<net::UdpIngestServer>(
-        server, static_cast<std::uint16_t>(args.get_int("listen", 0)));
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "%s\n", e.what());
-    return 2;
-  }
-  std::printf("netserver: listening on udp 127.0.0.1:%u\n", udp->port());
+  auto telemetry = std::make_unique<obs::TelemetryServer>(
+      static_cast<std::uint16_t>(args.get_int("telemetry-port", 0)));
+  std::printf("telemetry: http://127.0.0.1:%u/metrics\n", telemetry->port());
   std::fflush(stdout);
+  return telemetry;
+}
 
-  std::unique_ptr<obs::TelemetryServer> telemetry;
-  if (args.has("telemetry-port")) {
-    if (obs::kEnabled) {
-      try {
-        telemetry = std::make_unique<obs::TelemetryServer>(
-            static_cast<std::uint16_t>(args.get_int("telemetry-port", 0)));
-      } catch (const std::exception& e) {
-        std::fprintf(stderr, "%s\n", e.what());
-        return 2;
-      }
-      std::printf("telemetry: http://127.0.0.1:%u/metrics\n",
-                  telemetry->port());
-      std::fflush(stdout);
-    } else {
-      std::fprintf(stderr,
-                   "warning: --telemetry-port ignored "
-                   "(observability compiled out)\n");
-    }
-  }
+void maybe_set_print_callback(Args& args, net::NetServer& server) {
+  if (!args.get_bool("print-frames", false)) return;
+  server.set_callback([](const net::UplinkFrame& f) {
+    std::printf("accepted gw%u ch%u sf%u dev=0x%08x fcnt=%u snr=%.1f dB\n",
+                f.gateway_id, f.channel, f.sf, f.dev_addr, f.fcnt,
+                static_cast<double>(f.snr_db));
+    std::fflush(stdout);
+  });
+}
 
-  // Periodic checkpoints rotate the persistence generation so the journal
-  // a restart must replay stays bounded.
-  std::atomic<bool> stop_checkpoints{false};
-  std::thread checkpoint_thread;
-  const double snapshot_every = args.get_double("snapshot-every", 30.0);
-  if (server.persistent() && snapshot_every > 0.0) {
-    checkpoint_thread = std::thread([&] {
-      auto next = std::chrono::steady_clock::now() +
-                  std::chrono::duration<double>(snapshot_every);
-      while (!stop_checkpoints.load(std::memory_order_relaxed)) {
-        std::this_thread::sleep_for(std::chrono::milliseconds(50));
-        if (std::chrono::steady_clock::now() < next) continue;
-        server.checkpoint();
-        next = std::chrono::steady_clock::now() +
-               std::chrono::duration<double>(snapshot_every);
-      }
-    });
-  }
-
-  const double duration = args.get_double("duration", 5.0);
-  const auto expect =
-      static_cast<std::uint64_t>(args.get_int("expect-frames", 0));
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::duration<double>(duration);
-  while (std::chrono::steady_clock::now() < deadline) {
-    if (expect > 0 && server.stats().accepted >= expect) break;
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
-  }
-  udp->stop();
-  if (checkpoint_thread.joinable()) {
-    stop_checkpoints.store(true, std::memory_order_relaxed);
-    checkpoint_thread.join();
-  }
-  if (server.persistent()) server.checkpoint();  // graceful-exit snapshot
-
+/// The shared tail of both modes: summary lines, roster/metrics/trace
+/// dumps, telemetry linger, and the success criterion.
+int report_and_exit(Args& args, net::NetServer& server,
+                    std::uint64_t datagrams,
+                    obs::TelemetryServer* telemetry) {
   const auto s = server.stats();
   std::printf("netserver: %llu datagram(s), %zu device(s), "
               "%zu dedup entry(ies) pending\n",
-              static_cast<unsigned long long>(udp->datagrams_received()),
+              static_cast<unsigned long long>(datagrams),
               server.registry().device_count(), server.dedup().pending());
   std::fputs(net::format_stats(s).c_str(), stdout);
 
@@ -205,7 +113,7 @@ int main(int argc, char** argv) {
   }
 
   const double linger = args.get_double("telemetry-linger", 0.0);
-  if (telemetry && linger > 0.0) {
+  if (telemetry != nullptr && linger > 0.0) {
     std::printf("telemetry: lingering %.1f s on port %u\n", linger,
                 telemetry->port());
     std::fflush(stdout);
@@ -214,4 +122,507 @@ int main(int argc, char** argv) {
   // Success = the server did real classification work: fresh accepts, or
   // (after a restore) replay rejections proving the recovered windows.
   return (s.accepted + s.replay_rejected) > 0 ? 0 : 1;
+}
+
+// ------------------------------------------------------------------ active
+
+int run_active(Args& args, net::NetServerConfig cfg) {
+  const bool ha = args.get_bool("ha", false);
+  const double lease_ttl = args.get_double("lease-ttl", 2.0);
+  std::unique_ptr<net::ha::Lease> lease;
+  std::atomic<bool> fenced{false};
+
+  if (ha) {
+    if (cfg.persist.dir.empty()) {
+      std::fprintf(stderr, "netserver: --ha requires --state-dir\n");
+      return 2;
+    }
+    lease = std::make_unique<net::ha::Lease>(
+        cfg.persist.dir, "netserver-" + std::to_string(::getpid()),
+        lease_ttl);
+    const double wait_s =
+        args.get_double("lease-wait", lease_ttl * 2.0 + 1.0);
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(wait_s);
+    while (!lease->try_acquire()) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        const net::ha::LeaseInfo li = net::ha::read_lease(cfg.persist.dir);
+        std::printf("netserver: fenced out (lease epoch %llu held by %s)\n",
+                    static_cast<unsigned long long>(li.epoch),
+                    li.owner.c_str());
+        return kExitFenced;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    cfg.persist.epoch = lease->epoch();
+    std::printf("netserver: holding lease epoch %llu over %s\n",
+                static_cast<unsigned long long>(lease->epoch()),
+                cfg.persist.dir.c_str());
+    std::fflush(stdout);
+  }
+
+  std::unique_ptr<net::NetServer> server_ptr;
+  try {
+    server_ptr = std::make_unique<net::NetServer>(cfg);
+  } catch (const net::persist::FencedError& e) {
+    std::printf("netserver: fenced out (%s)\n", e.what());
+    return kExitFenced;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  net::NetServer& server = *server_ptr;
+  if (server.persistent()) {
+    const auto& rec = server.recovery();
+    if (rec.restored) {
+      std::printf(
+          "netserver: restored generation %llu from %s "
+          "(%llu session(s), %llu journal record(s) replayed, "
+          "%llu discarded, %llu damaged journal tail(s) sealed)\n",
+          static_cast<unsigned long long>(rec.generation),
+          cfg.persist.dir.c_str(),
+          static_cast<unsigned long long>(rec.snapshot_sessions),
+          static_cast<unsigned long long>(rec.replayed),
+          static_cast<unsigned long long>(rec.discarded),
+          static_cast<unsigned long long>(rec.damaged_journals));
+    } else {
+      std::printf("netserver: fresh state in %s\n", cfg.persist.dir.c_str());
+    }
+    std::fflush(stdout);
+  }
+  maybe_set_print_callback(args, server);
+
+  // Journal replication to a network standby: every framed record the
+  // persistence layer writes is also streamed over CHOR.
+  std::unique_ptr<net::ha::ReplicationSender> sender;
+  const std::string repl_dest = args.get("repl-dest", "");
+  if (!repl_dest.empty()) {
+    if (!server.persistent()) {
+      std::fprintf(stderr, "netserver: --repl-dest requires --state-dir\n");
+      return 2;
+    }
+    net::Endpoint dest;
+    if (!net::parse_endpoint(repl_dest, dest)) {
+      std::fprintf(stderr, "netserver: bad --repl-dest %s\n",
+                   repl_dest.c_str());
+      return 2;
+    }
+    sender = std::make_unique<net::ha::ReplicationSender>(
+        dest, server.registry().n_shards());
+    sender->set_epoch(cfg.persist.epoch);
+    net::ha::ReplicationSender* snd = sender.get();
+    server.persistence()->set_record_sink(
+        [snd](std::size_t shard, const std::string& framed) {
+          snd->on_record(shard, framed);
+        });
+    sender->set_snapshot_source([&server, snd](
+                                    std::uint64_t& generation,
+                                    std::vector<std::uint64_t>& heads) {
+      std::string bytes;
+      server.with_ingest_quiesced([&] {
+        bytes = net::persist::encode_snapshot(server.snapshot_image());
+        heads = snd->heads();
+        generation = server.persistence()->generation();
+      });
+      return bytes;
+    });
+    std::printf("netserver: replicating journal to %s\n", repl_dest.c_str());
+    std::fflush(stdout);
+  }
+
+  net::UdpIngestOptions io;
+  io.rcvbuf_bytes = args.get_int("rcvbuf", io.rcvbuf_bytes);
+  const std::uint64_t our_epoch = cfg.persist.epoch;
+  if (ha) {
+    io.send_acks = true;
+    io.ack_role = [&fenced, our_epoch] {
+      return std::make_pair(
+          fenced.load(std::memory_order_relaxed) ? net::kAckNotActive
+                                                 : net::kAckActive,
+          our_epoch);
+    };
+  }
+  std::unique_ptr<net::UdpIngestServer> udp;
+  try {
+    udp = std::make_unique<net::UdpIngestServer>(
+        server, static_cast<std::uint16_t>(args.get_int("listen", 0)), io);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  std::printf("netserver: listening on udp 127.0.0.1:%u\n", udp->port());
+  std::fflush(stdout);
+
+  std::unique_ptr<obs::TelemetryServer> telemetry;
+  try {
+    telemetry = start_telemetry(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  if (ha) {
+    net::ha::ReplicationSender* snd = sender.get();
+    obs::set_health_fields([&fenced, our_epoch, snd] {
+      std::string f = "\"role\":\"";
+      f += fenced.load(std::memory_order_relaxed) ? "fenced" : "active";
+      f += "\",\"epoch\":" + std::to_string(our_epoch);
+      if (snd != nullptr) {
+        std::uint64_t lag = 0;
+        const auto heads = snd->heads();
+        for (std::size_t i = 0; i < heads.size(); ++i) {
+          const std::uint64_t a = snd->acked(i);
+          if (heads[i] > a) lag += heads[i] - a;
+        }
+        f += ",\"repl_lag_records\":" + std::to_string(lag);
+      }
+      return f;
+    });
+  }
+
+  // Lease heartbeat: renew at ~ttl/3; the instant a higher epoch appears
+  // we stop renewing, answer kAckNotActive, and shut down. The MANIFEST
+  // epoch fence backstops the case where we never even observe it.
+  std::atomic<bool> stop_renew{false};
+  std::thread renew_thread;
+  if (ha) {
+    renew_thread = std::thread([&] {
+      const auto period = std::chrono::duration<double>(lease_ttl / 3.0);
+      while (!stop_renew.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(
+            std::min(period, std::chrono::duration<double>(0.05)));
+        if (lease->fenced()) {
+          fenced.store(true, std::memory_order_relaxed);
+          return;
+        }
+        lease->renew();
+      }
+    });
+  }
+
+  // Periodic checkpoints rotate the persistence generation so the journal
+  // a restart must replay stays bounded.
+  std::atomic<bool> stop_checkpoints{false};
+  std::atomic<bool> checkpoint_fenced{false};
+  std::thread checkpoint_thread;
+  const double snapshot_every = args.get_double("snapshot-every", 30.0);
+  if (server.persistent() && snapshot_every > 0.0) {
+    checkpoint_thread = std::thread([&] {
+      auto next = std::chrono::steady_clock::now() +
+                  std::chrono::duration<double>(snapshot_every);
+      while (!stop_checkpoints.load(std::memory_order_relaxed)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        if (std::chrono::steady_clock::now() < next) continue;
+        try {
+          server.checkpoint();
+        } catch (const net::persist::FencedError&) {
+          checkpoint_fenced.store(true, std::memory_order_relaxed);
+          fenced.store(true, std::memory_order_relaxed);
+          return;
+        }
+        next = std::chrono::steady_clock::now() +
+               std::chrono::duration<double>(snapshot_every);
+      }
+    });
+  }
+
+  const double duration = args.get_double("duration", 5.0);
+  const auto expect =
+      static_cast<std::uint64_t>(args.get_int("expect-frames", 0));
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(duration);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (expect > 0 && server.stats().accepted >= expect) break;
+    if (fenced.load(std::memory_order_relaxed)) break;
+    if (sender) sender->flush();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  udp->stop();
+  stop_renew.store(true, std::memory_order_relaxed);
+  if (renew_thread.joinable()) renew_thread.join();
+  if (checkpoint_thread.joinable()) {
+    stop_checkpoints.store(true, std::memory_order_relaxed);
+    checkpoint_thread.join();
+  }
+  if (sender) {
+    sender->flush();
+    sender->stop();
+  }
+  obs::set_health_fields(nullptr);
+
+  if (fenced.load(std::memory_order_relaxed)) {
+    const net::ha::LeaseInfo li = net::ha::read_lease(cfg.persist.dir);
+    std::printf("netserver: fenced out (lease epoch %llu held by %s)\n",
+                static_cast<unsigned long long>(li.epoch), li.owner.c_str());
+    return kExitFenced;  // no final checkpoint: the directory is not ours
+  }
+  if (server.persistent()) {
+    try {
+      server.checkpoint();  // graceful-exit snapshot
+    } catch (const net::persist::FencedError& e) {
+      std::printf("netserver: fenced out (%s)\n", e.what());
+      return kExitFenced;
+    }
+  }
+  if (lease) lease->release();  // graceful handover
+
+  return report_and_exit(args, server, udp->datagrams_received(),
+                         telemetry.get());
+}
+
+// ----------------------------------------------------------------- standby
+
+int run_standby(Args& args, net::NetServerConfig cfg) {
+  const std::string state_dir = cfg.persist.dir;
+  const net::persist::PersistOptions promote_base = cfg.persist;
+  const double lease_ttl = args.get_double("lease-ttl", 2.0);
+  const bool network_mode = args.has("repl-listen");
+  if (!network_mode && state_dir.empty()) {
+    std::fprintf(stderr,
+                 "netserver: --standby needs --state-dir (local follow) "
+                 "or --repl-listen (network)\n");
+    return 2;
+  }
+
+  net::ha::StandbyOptions so;
+  so.server = cfg;
+  so.server.persist = {};  // persistence attaches at promotion
+  if (network_mode) {
+    so.repl_enabled = true;
+    so.repl_listen = static_cast<std::uint16_t>(args.get_int("repl-listen", 0));
+    so.repl_debug_drop_records = args.get_int("repl-drop-records", 0);
+  } else {
+    so.follow_dir = state_dir;
+  }
+  std::unique_ptr<net::ha::StandbyServer> standby;
+  try {
+    standby = std::make_unique<net::ha::StandbyServer>(std::move(so));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  if (network_mode) {
+    std::printf("netserver: standby, CHOR receiver on udp port %u\n",
+                standby->receiver()->port());
+  } else {
+    std::printf("netserver: standby following %s\n", state_dir.c_str());
+  }
+  std::fflush(stdout);
+
+  std::unique_ptr<obs::TelemetryServer> telemetry;
+  try {
+    telemetry = start_telemetry(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 2;
+  }
+  net::ha::StandbyServer* sb = standby.get();
+  obs::set_health_fields([sb] {
+    const net::ha::StandbyLag l = sb->lag();
+    std::string f = "\"role\":\"";
+    f += net::ha::ha_role_name(sb->role());
+    f += "\",\"epoch\":" + std::to_string(sb->followed_epoch());
+    f += ",\"bootstrapped\":";
+    f += sb->bootstrapped() ? "true" : "false";
+    f += ",\"repl_lag_bytes\":" + std::to_string(l.bytes);
+    f += ",\"repl_lag_records\":" + std::to_string(l.records);
+    f += ",\"applied_records\":" + std::to_string(l.applied);
+    return f;
+  });
+
+  const double promote_after = args.get_double("promote-after", 0.0);
+  const double duration = args.get_double("duration", 5.0);
+  const auto expect =
+      static_cast<std::uint64_t>(args.get_int("expect-frames", 0));
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto deadline = t0 + std::chrono::duration<double>(duration);
+
+  std::unique_ptr<net::ha::Lease> lease;
+  std::unique_ptr<net::UdpIngestServer> udp;
+  std::atomic<bool> stop_renew{false};
+  std::thread renew_thread;
+  bool promoted = false;
+  bool announced_bootstrap = false;
+  bool lease_seen = false;
+
+  while (std::chrono::steady_clock::now() < deadline) {
+    standby->poll();
+    if (!announced_bootstrap && standby->bootstrapped()) {
+      announced_bootstrap = true;
+      std::printf("netserver: standby bootstrapped generation %llu "
+                  "epoch %llu\n",
+                  static_cast<unsigned long long>(
+                      standby->followed_generation()),
+                  static_cast<unsigned long long>(standby->followed_epoch()));
+      std::fflush(stdout);
+    }
+
+    if (!promoted) {
+      const double elapsed =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      bool want = promote_after > 0.0 && elapsed >= promote_after;
+      if (!network_mode) {
+        const net::ha::LeaseInfo li = net::ha::read_lease(state_dir);
+        if (li.present) lease_seen = true;
+        // Take over when the active's lease lapsed (it died or released)
+        // — but only a lease we actually saw: a non-HA active never
+        // writes one, and we must not steal its directory.
+        if (lease_seen && standby->bootstrapped() &&
+            (!li.present || li.expired(net::ha::unix_now_us())))
+          want = true;
+      }
+      if (want) {
+        net::persist::PersistOptions opt = promote_base;
+        if (network_mode) {
+          if (opt.dir.empty()) {
+            std::fprintf(stderr,
+                         "netserver: promotion needs --state-dir to own\n");
+            return 2;
+          }
+          opt.epoch = standby->followed_epoch() + 1;
+        } else {
+          lease = std::make_unique<net::ha::Lease>(
+              state_dir, "netserver-" + std::to_string(::getpid()),
+              lease_ttl);
+          if (!lease->try_acquire()) {
+            // Lost the race (another standby, or the active came back):
+            // stay a follower.
+            lease.reset();
+            std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            continue;
+          }
+          opt.epoch = lease->epoch();
+        }
+        try {
+          standby->promote(opt);
+        } catch (const net::persist::FencedError& e) {
+          std::printf("netserver: fenced out (%s)\n", e.what());
+          return kExitFenced;
+        }
+        const net::ha::StandbyLag l = standby->lag();
+        std::printf("netserver: promoted to active (epoch %llu, "
+                    "generation %llu, %llu record(s) applied%s)\n",
+                    static_cast<unsigned long long>(opt.epoch),
+                    static_cast<unsigned long long>(
+                        standby->server().persistence()->generation()),
+                    static_cast<unsigned long long>(l.applied),
+                    standby->tail_damaged()
+                        ? ", torn tail sealed"
+                        : "");
+        std::fflush(stdout);
+        maybe_set_print_callback(args, standby->server());
+
+        net::UdpIngestOptions io;
+        io.rcvbuf_bytes = args.get_int("rcvbuf", io.rcvbuf_bytes);
+        io.send_acks = true;
+        const std::uint64_t epoch = opt.epoch;
+        io.ack_role = [epoch] {
+          return std::make_pair(net::kAckActive, epoch);
+        };
+        try {
+          udp = std::make_unique<net::UdpIngestServer>(
+              standby->server(),
+              static_cast<std::uint16_t>(args.get_int("listen", 0)), io);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "%s\n", e.what());
+          return 2;
+        }
+        std::printf("netserver: listening on udp 127.0.0.1:%u\n",
+                    udp->port());
+        std::fflush(stdout);
+
+        if (lease) {
+          renew_thread = std::thread([&] {
+            while (!stop_renew.load(std::memory_order_relaxed)) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(50));
+              if (!lease->fenced()) lease->renew();
+            }
+          });
+        }
+        promoted = true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+      continue;
+    }
+
+    if (expect > 0 && standby->server().stats().accepted >= expect) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+
+  if (udp) udp->stop();
+  stop_renew.store(true, std::memory_order_relaxed);
+  if (renew_thread.joinable()) renew_thread.join();
+  obs::set_health_fields(nullptr);
+
+  if (!promoted) {
+    const net::ha::StandbyLag l = standby->lag();
+    std::printf("netserver: standby exiting (bootstrapped=%d, "
+                "%llu record(s) applied, lag %llu byte(s))\n",
+                standby->bootstrapped() ? 1 : 0,
+                static_cast<unsigned long long>(l.applied),
+                static_cast<unsigned long long>(l.bytes));
+    return 0;
+  }
+  try {
+    standby->server().checkpoint();  // graceful-exit snapshot
+  } catch (const net::persist::FencedError& e) {
+    std::printf("netserver: fenced out (%s)\n", e.what());
+    return kExitFenced;
+  }
+  return report_and_exit(args, standby->server(),
+                         udp ? udp->datagrams_received() : 0,
+                         telemetry.get());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  if (args.get_bool("help", false)) {
+    std::fprintf(
+        stderr,
+        "usage: choir_netserver [--listen=PORT]\n"
+        "  --listen=PORT       UDP uplink ingest port (0 picks a free one)\n"
+        "  --duration=SEC      serve this long, then summarize (5)\n"
+        "  --expect-frames=N   exit early once N frames were accepted\n"
+        "  --dedup-window=SEC  cross-gateway dedup window (0.5)\n"
+        "  --shards=BITS       log2 registry/dedup shards (4)\n"
+        "  --teams             rebuild and print the Choir team roster\n"
+        "  --print-frames      print every accepted frame\n"
+        "  --metrics           print the obs metrics table at the end\n"
+        "  --metrics-out=FILE  write the obs registry (JSON)\n"
+        "  --trace-out=FILE    write merged cross-tier traces at exit\n"
+        "                      (Chrome trace JSON, Perfetto-loadable)\n"
+        "  --telemetry-port=N  live HTTP /metrics /metrics.json\n"
+        "                      /traces/recent /timeseries.json /health\n"
+        "  --state-dir=DIR     durable registry snapshot + FCnt journal;\n"
+        "                      restores on start, checkpoints on exit\n"
+        "  --snapshot-every=S  checkpoint every S seconds (default 30)\n"
+        "  --journal-flush=N   journal records per write(2) (default 1 =\n"
+        "                      every accept durable before confirmation)\n"
+        "  --rcvbuf=BYTES      ingest SO_RCVBUF request (default 4 MiB)\n"
+        "hot standby (docs/PERSISTENCE.md):\n"
+        "  --ha                active HA: lease over --state-dir, CHOA\n"
+        "                      acks on ingest; exits 3 when fenced out\n"
+        "  --lease-ttl=SEC     lease time-to-live (2.0)\n"
+        "  --lease-wait=SEC    acquire retry budget before exiting 3\n"
+        "  --repl-dest=H:P     stream the journal to a network standby\n"
+        "  --standby           follow an active; promote on its lease\n"
+        "                      expiry (local mode) or --promote-after\n"
+        "  --repl-listen=PORT  standby: CHOR receiver port (network mode)\n"
+        "  --promote-after=S   standby: promote unconditionally after S\n");
+    return 2;
+  }
+
+  net::NetServerConfig cfg;
+  cfg.dedup.window_s = args.get_double("dedup-window", 0.5);
+  cfg.registry.shard_bits =
+      static_cast<std::size_t>(args.get_int("shards", 4));
+  cfg.dedup.shard_bits = cfg.registry.shard_bits;
+  cfg.persist.dir = args.get("state-dir", "");
+  cfg.persist.flush_every_records =
+      static_cast<std::size_t>(args.get_int("journal-flush", 1));
+
+  if (args.get_bool("standby", false)) return run_standby(args, cfg);
+  return run_active(args, cfg);
 }

@@ -392,7 +392,11 @@ void CityEngine::kill_and_restore() {
   // end-of-run exact-accounting check proves it.
   server_->persistence()->simulate_kill();
   server_.reset();
-  server_ = std::make_unique<net::NetServer>(opt_.net);
+  if (opt_.promote_standby) {
+    server_ = opt_.promote_standby();
+  } else {
+    server_ = std::make_unique<net::NetServer>(opt_.net);
+  }
   restored_ = true;
   recovery_ = server_->recovery();
 }

@@ -38,6 +38,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -103,6 +104,13 @@ struct EngineOptions {
   /// frame is mid-flight and all of a frame's gateway copies have been
   /// ingested — so losing the (unpersisted) dedup window is harmless.
   std::uint32_t kill_restore_epoch = 0;
+  /// Hot-standby failover drill: when set together with
+  /// kill_restore_epoch, the engine does NOT rebuild the server from the
+  /// state directory after the kill — it calls this hook, which promotes
+  /// a standby that has been following net.persist.dir and hands over its
+  /// (already caught-up) server. The exact-accounting mirror then proves
+  /// the promoted replica is bit-equivalent to disk recovery.
+  std::function<std::unique_ptr<net::NetServer>()> promote_standby;
   /// Net-server tier configuration. keep_feed is forced off (the feed
   /// would grow with every accepted frame).
   net::NetServerConfig net{};

@@ -1,0 +1,140 @@
+#include "net/ha/failover.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "obs/obs.hpp"
+
+namespace choir::net::ha {
+
+namespace {
+
+int connect_udp(const Endpoint& ep) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  if (::inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1)
+    throw std::runtime_error("failover sender: bad IPv4 address " + ep.host);
+  const int fd = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd < 0) throw std::runtime_error("failover sender: socket() failed");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd);
+    throw std::runtime_error("failover sender: connect() failed");
+  }
+  return fd;
+}
+
+}  // namespace
+
+FailoverUplinkSender::FailoverUplinkSender(const Endpoint& primary,
+                                           const Endpoint& secondary,
+                                           FailoverOptions opts)
+    : opts_(opts) {
+  fds_[0] = connect_udp(primary);
+  fds_[1] = connect_udp(secondary);
+}
+
+FailoverUplinkSender::~FailoverUplinkSender() {
+  for (int fd : fds_)
+    if (fd >= 0) ::close(fd);
+}
+
+FailoverUplinkSender::Report FailoverUplinkSender::send_reliable(
+    const std::vector<UplinkFrame>& frames) {
+  Report rep;
+  rep.final_dest = current_;
+  if (frames.empty()) return rep;
+
+  std::unordered_map<std::uint64_t, std::vector<std::uint8_t>> unacked;
+  for (auto& dgram : encode_datagrams(frames)) {
+    const std::uint64_t h = fnv1a64(dgram.data(), dgram.size());
+    unacked.emplace(h, std::move(dgram));
+  }
+  rep.datagrams = unacked.size();
+
+  for (int round = 0; round < opts_.max_rounds && !unacked.empty(); ++round) {
+    // Transmit every outstanding datagram to the current destination —
+    // and mirror to the other one inside the dual-send window, when the
+    // promotion race makes "current" a guess. Dedup absorbs the copies.
+    for (const auto& [h, dgram] : unacked) {
+      (void)::send(fds_[current_], dgram.data(), dgram.size(), MSG_NOSIGNAL);
+      ++rep.sends;
+      if (dual_rounds_left_ > 0) {
+        (void)::send(fds_[1 - current_], dgram.data(), dgram.size(),
+                     MSG_NOSIGNAL);
+        ++rep.sends;
+      }
+    }
+    if (dual_rounds_left_ > 0) --dual_rounds_left_;
+
+    // Collect acks from both sockets until the round budget expires.
+    bool current_acked = false;
+    bool must_switch = false;
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(opts_.ack_timeout_s));
+    while (!unacked.empty()) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) break;
+      const int timeout_ms = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+              .count());
+      pollfd pfds[2] = {{fds_[0], POLLIN, 0}, {fds_[1], POLLIN, 0}};
+      const int pr = ::poll(pfds, 2, timeout_ms > 0 ? timeout_ms : 1);
+      if (pr <= 0) continue;
+      for (int i = 0; i < 2; ++i) {
+        if (!(pfds[i].revents & POLLIN)) continue;
+        std::uint8_t buf[64];
+        const ssize_t n = ::recv(fds_[i], buf, sizeof(buf), 0);
+        if (n <= 0) continue;
+        UplinkAck ack;
+        if (!decode_ack(buf, static_cast<std::size_t>(n), ack)) continue;
+        rep.peer_epoch = ack.epoch;
+        if (ack.status == kAckNotActive) {
+          // The destination answered "I am a standby": if that is our
+          // current choice, flip immediately rather than waiting out a
+          // timeout. Its ack confirms receipt of nothing — keep the
+          // datagram outstanding for the active.
+          if (i == current_) must_switch = true;
+          continue;
+        }
+        if (i == current_) current_acked = true;
+        const auto it = unacked.find(ack.datagram_hash);
+        if (it != unacked.end()) {
+          unacked.erase(it);
+          ++rep.acked;
+          // Late acks for dual-sent datagrams may arrive from the other
+          // destination; they count — the frame reached an active server.
+        }
+      }
+    }
+
+    if (!unacked.empty() && (must_switch || !current_acked)) {
+      // The current destination is dead or deposed: fail over, with a
+      // dual-send window so a half-promoted pair still hears us.
+      current_ = 1 - current_;
+      dual_rounds_left_ = opts_.dual_send_rounds;
+      rep.switched = true;
+      ++switches_;
+      CHOIR_OBS_COUNT("gateway.failover.switches", 1);
+    }
+  }
+
+  rep.final_dest = current_;
+  CHOIR_OBS_COUNT("gateway.failover.batches", 1);
+  if (rep.acked < rep.datagrams)
+    CHOIR_OBS_COUNT("gateway.failover.unacked_datagrams",
+                    rep.datagrams - rep.acked);
+  return rep;
+}
+
+}  // namespace choir::net::ha

@@ -1,0 +1,75 @@
+// Gateway-side uplink failover: primary/secondary destination, CHOA acks,
+// retransmit, and a dual-send window during switchover.
+//
+// The plain UdpUplinkSender is fire-and-forget — correct while the
+// netserver is up, silent loss while it is down. With HA the ingest
+// server acks every datagram (net/udp.hpp, CHOA), so the gateway can
+// run a lightweight reliability loop per batch:
+//
+//   round: send every unacked datagram to the current destination,
+//          collect acks until the round timeout;
+//   switch when a round yields zero acks from the current destination
+//          (it is dead/partitioned) or an ack says kAckNotActive (it is
+//          a standby) — and keep sending to BOTH destinations for a
+//          short dual-send window, because during promotion "who is
+//          active" is genuinely ambiguous. Duplicates are harmless by
+//          construction: the netserver's cross-gateway dedup and FCnt
+//          windows absorb them (that is the whole exactly-once design).
+//
+// Acks are matched to datagrams by the FNV-1a hash of the datagram
+// bytes, so the uplink wire format itself is untouched.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/udp.hpp"
+#include "net/uplink.hpp"
+
+namespace choir::net::ha {
+
+struct FailoverOptions {
+  double ack_timeout_s = 0.25;  ///< per-round ack collection window
+  int max_rounds = 20;          ///< give up (leave frames unacked) after this
+  int dual_send_rounds = 2;     ///< rounds to mirror to the old dest after a switch
+};
+
+class FailoverUplinkSender {
+ public:
+  struct Report {
+    std::size_t datagrams = 0;       ///< distinct datagrams in the batch
+    std::size_t acked = 0;           ///< datagrams confirmed by an ack
+    std::size_t sends = 0;           ///< total transmissions (incl. retries)
+    bool switched = false;           ///< failed over during this batch
+    int final_dest = 0;              ///< 0 = primary, 1 = secondary
+    std::uint64_t peer_epoch = 0;    ///< last acking server's HA epoch
+  };
+
+  /// Opens connected sockets to both destinations. Throws on bad
+  /// addresses. `secondary` may equal `primary` (no failover target).
+  FailoverUplinkSender(const Endpoint& primary, const Endpoint& secondary,
+                       FailoverOptions opts = {});
+  ~FailoverUplinkSender();
+
+  FailoverUplinkSender(const FailoverUplinkSender&) = delete;
+  FailoverUplinkSender& operator=(const FailoverUplinkSender&) = delete;
+
+  /// Sends `frames`, retransmitting until every datagram is acked, the
+  /// round budget runs out, or no server answers. Blocking; returns the
+  /// accounting either way (unacked > 0 means frames may be lost —
+  /// which is safe to retry wholesale later: dedup absorbs it).
+  Report send_reliable(const std::vector<UplinkFrame>& frames);
+
+  int current_dest() const { return current_; }
+  std::uint64_t switches() const { return switches_; }
+
+ private:
+  int fds_[2] = {-1, -1};
+  int current_ = 0;
+  int dual_rounds_left_ = 0;
+  std::uint64_t switches_ = 0;
+  FailoverOptions opts_;
+};
+
+}  // namespace choir::net::ha

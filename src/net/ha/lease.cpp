@@ -1,0 +1,131 @@
+#include "net/ha/lease.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/atomic_write.hpp"
+
+namespace fs = std::filesystem;
+
+namespace choir::net::ha {
+
+namespace {
+
+bool parse_lease_file(const std::string& path, LeaseInfo& out) {
+  std::ifstream f(path);
+  if (!f) return false;
+  std::string tag_epoch, tag_owner, tag_renewed, tag_ttl;
+  LeaseInfo li;
+  if (!(f >> tag_epoch >> li.epoch >> tag_owner >> li.owner >> tag_renewed >>
+        li.renewed_unix_us >> tag_ttl >> li.ttl_us))
+    return false;
+  if (tag_epoch != "epoch" || tag_owner != "owner" ||
+      tag_renewed != "renewed_unix_us" || tag_ttl != "ttl_us")
+    return false;
+  li.present = true;
+  out = li;
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t unix_now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+LeaseInfo read_lease(const std::string& dir) {
+  LeaseInfo best;
+  std::error_code ec;
+  for (const auto& ent : fs::directory_iterator(dir, ec)) {
+    const std::string name = ent.path().filename().string();
+    if (name.rfind("LEASE-", 0) != 0) continue;
+    const std::uint64_t epoch = std::strtoull(name.c_str() + 6, nullptr, 10);
+    if (epoch <= best.epoch) continue;
+    LeaseInfo li;
+    if (parse_lease_file(ent.path().string(), li) && li.epoch == epoch)
+      best = li;
+  }
+  return best;
+}
+
+Lease::Lease(std::string dir, std::string owner, double ttl_s)
+    : dir_(std::move(dir)),
+      owner_(std::move(owner)),
+      ttl_us_(static_cast<std::uint64_t>(ttl_s * 1e6)) {}
+
+std::string Lease::lease_path(std::uint64_t epoch) const {
+  return dir_ + "/LEASE-" + std::to_string(epoch);
+}
+
+std::string Lease::render(std::uint64_t renewed_us) const {
+  return "epoch " + std::to_string(epoch_) + " owner " + owner_ +
+         " renewed_unix_us " + std::to_string(renewed_us) + " ttl_us " +
+         std::to_string(ttl_us_) + "\n";
+}
+
+bool Lease::try_acquire() {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  const LeaseInfo cur = read_lease(dir_);
+  if (cur.present) {
+    if (cur.epoch == epoch_ && cur.owner == owner_) return true;  // ours
+    if (!cur.expired(unix_now_us())) return false;  // held and alive
+  }
+  const std::uint64_t next = cur.epoch + 1;
+  // O_EXCL: exactly one contender creates this epoch's file. A loser
+  // re-scans on its next attempt and sees the fresh winner.
+  const std::string path = lease_path(next);
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) return false;
+  epoch_ = next;
+  const std::string body = render(unix_now_us());
+  std::size_t off = 0;
+  while (off < body.size()) {
+    const ssize_t n = ::write(fd, body.data() + off, body.size() - off);
+    if (n <= 0) break;
+    off += static_cast<std::size_t>(n);
+  }
+  ::close(fd);
+  // GC superseded lease files (best-effort; their epochs are dead).
+  for (const auto& ent : fs::directory_iterator(dir_, ec)) {
+    const std::string name = ent.path().filename().string();
+    if (name.rfind("LEASE-", 0) != 0) continue;
+    const std::uint64_t e = std::strtoull(name.c_str() + 6, nullptr, 10);
+    if (e < next) {
+      std::error_code rm_ec;
+      fs::remove(ent.path(), rm_ec);
+    }
+  }
+  return true;
+}
+
+void Lease::renew() {
+  if (!held()) return;
+  // atomic_write is safe here: only the holder ever writes this epoch's
+  // name, so the rename can never clobber a contender's acquisition.
+  util::atomic_write(lease_path(epoch_), render(unix_now_us()));
+}
+
+bool Lease::fenced() const {
+  if (!held()) return true;
+  const LeaseInfo cur = read_lease(dir_);
+  return cur.present && cur.epoch > epoch_;
+}
+
+void Lease::release() {
+  if (!held()) return;
+  std::error_code ec;
+  fs::remove(lease_path(epoch_), ec);
+  epoch_ = 0;
+}
+
+}  // namespace choir::net::ha

@@ -1,0 +1,87 @@
+// Epoch-numbered lease over a persistence state directory: the mutual
+// exclusion primitive that makes hot-standby failover safe.
+//
+// At most one process may *write* a state directory at a time. The lease
+// is a file in that directory:
+//
+//   <dir>/LEASE-<epoch>   "epoch <e> owner <o> renewed_unix_us <t> ttl_us <t>\n"
+//
+// Acquisition creates LEASE-<e_max+1> with O_CREAT|O_EXCL — the one
+// filesystem operation that is atomic *and* fails when the name exists,
+// so two contenders racing for the same epoch cannot both win. (A plain
+// atomic rename is NOT a lock: rename happily overwrites.) Renewal
+// rewrites the holder's own file via util::atomic_write — no contention,
+// since no other process ever creates that epoch's name. A holder is
+// deposed the instant a higher-numbered lease file appears (fenced());
+// the epoch also flows into PersistOptions::epoch, so even a paused
+// holder that never observes its deposition is stopped by the MANIFEST
+// epoch fence at its next checkpoint.
+//
+// Expiry uses wall-clock time (renewed + ttl < now). That is the usual
+// lease caveat — clocks must agree to ~ttl — acceptable here because
+// both processes share a machine (local follower) or a deployment with
+// NTP. The fencing epoch, not the clock, is what protects the data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace choir::net::ha {
+
+/// Parsed view of the highest-numbered lease file in a directory.
+struct LeaseInfo {
+  bool present = false;
+  std::uint64_t epoch = 0;
+  std::string owner;
+  std::uint64_t renewed_unix_us = 0;
+  std::uint64_t ttl_us = 0;
+  bool expired(std::uint64_t now_unix_us) const {
+    return now_unix_us > renewed_unix_us + ttl_us;
+  }
+};
+
+/// Scans `dir` for LEASE-* files and parses the highest epoch. Never
+/// throws; absent/unparsable => present == false.
+LeaseInfo read_lease(const std::string& dir);
+
+/// Wall-clock microseconds since the unix epoch.
+std::uint64_t unix_now_us();
+
+class Lease {
+ public:
+  /// Does not touch the directory; call try_acquire() to contend.
+  Lease(std::string dir, std::string owner, double ttl_s);
+
+  /// Attempts to take the lease: succeeds when no lease exists, the
+  /// current one has expired, or we already hold the highest epoch.
+  /// Taking over an expired lease bumps the epoch (e_max + 1). Returns
+  /// false when an unexpired lease is held by someone else or we lost
+  /// the O_EXCL race; callers retry on their own schedule.
+  bool try_acquire();
+
+  /// Rewrites our lease file with a fresh renewed_unix_us. Call from a
+  /// heartbeat at ~ttl/3. No-op unless held.
+  void renew();
+
+  /// True when a lease file with a higher epoch than ours exists — we
+  /// have been deposed and must stop writing immediately.
+  bool fenced() const;
+
+  /// Deletes our lease file (graceful handover). No-op unless held.
+  void release();
+
+  bool held() const { return epoch_ != 0; }
+  std::uint64_t epoch() const { return epoch_; }
+  const std::string& owner() const { return owner_; }
+
+ private:
+  std::string lease_path(std::uint64_t epoch) const;
+  std::string render(std::uint64_t renewed_us) const;
+
+  std::string dir_;
+  std::string owner_;
+  std::uint64_t ttl_us_;
+  std::uint64_t epoch_ = 0;  ///< 0 = not held
+};
+
+}  // namespace choir::net::ha

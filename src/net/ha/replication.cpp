@@ -1,0 +1,587 @@
+#include "net/ha/replication.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "net/persist/format.hpp"
+#include "obs/obs.hpp"
+
+namespace choir::net::ha {
+
+using persist::Cursor;
+using persist::crc32;
+using persist::put_u16;
+using persist::put_u32;
+using persist::put_u64;
+using persist::put_u8;
+
+/// Snapshot chunk stride: every kSnapshotChunk's offset is a multiple of
+/// this (the last chunk is shorter), which lets the receiver dedup
+/// retransmitted chunks by offset / stride.
+inline constexpr std::size_t kReplSnapChunkBytes = 1024;
+
+namespace {
+
+std::string repl_header(ReplType type, std::uint64_t epoch) {
+  std::string out;
+  put_u32(out, kReplMagic);
+  put_u8(out, kReplVersion);
+  put_u8(out, static_cast<std::uint8_t>(type));
+  put_u16(out, 0);
+  put_u64(out, epoch);
+  return out;
+}
+
+void put_seq_list(std::string& out, const std::vector<std::uint64_t>& seqs) {
+  put_u16(out, static_cast<std::uint16_t>(seqs.size()));
+  for (std::uint64_t s : seqs) put_u64(out, s);
+}
+
+bool get_seq_list(Cursor& c, std::vector<std::uint64_t>& seqs) {
+  const std::uint16_t n = c.u16();
+  if (!c.ok || n > 4096) return false;
+  seqs.resize(n);
+  for (std::uint16_t i = 0; i < n; ++i) seqs[i] = c.u64();
+  return c.ok;
+}
+
+}  // namespace
+
+std::string encode_repl_records(std::uint64_t epoch, std::uint16_t shard,
+                                std::uint64_t first_seq, std::uint16_t count,
+                                const std::string& framed) {
+  std::string out = repl_header(ReplType::kRecords, epoch);
+  put_u16(out, shard);
+  put_u64(out, first_seq);
+  put_u16(out, count);
+  out += framed;
+  return out;
+}
+
+std::string encode_repl_ack(std::uint64_t epoch,
+                            const std::vector<std::uint64_t>& acked) {
+  std::string out = repl_header(ReplType::kAck, epoch);
+  put_seq_list(out, acked);
+  return out;
+}
+
+std::string encode_repl_nak(std::uint64_t epoch, std::uint16_t shard,
+                            std::uint64_t from_seq) {
+  std::string out = repl_header(ReplType::kNak, epoch);
+  put_u16(out, shard);
+  put_u64(out, from_seq);
+  return out;
+}
+
+std::string encode_repl_snapshot_req(std::uint64_t epoch) {
+  return repl_header(ReplType::kSnapshotReq, epoch);
+}
+
+std::string encode_repl_snapshot_meta(
+    std::uint64_t epoch, std::uint64_t generation, std::uint64_t total_bytes,
+    std::uint32_t crc, const std::vector<std::uint64_t>& heads) {
+  std::string out = repl_header(ReplType::kSnapshotMeta, epoch);
+  put_u64(out, generation);
+  put_u64(out, total_bytes);
+  put_u32(out, crc);
+  put_seq_list(out, heads);
+  return out;
+}
+
+std::string encode_repl_snapshot_chunk(std::uint64_t epoch,
+                                       std::uint64_t offset,
+                                       const std::uint8_t* data,
+                                       std::size_t len) {
+  std::string out = repl_header(ReplType::kSnapshotChunk, epoch);
+  put_u64(out, offset);
+  put_u16(out, static_cast<std::uint16_t>(len));
+  out.append(reinterpret_cast<const char*>(data), len);
+  return out;
+}
+
+std::string encode_repl_heartbeat(std::uint64_t epoch,
+                                  const std::vector<std::uint64_t>& heads) {
+  std::string out = repl_header(ReplType::kHeartbeat, epoch);
+  put_seq_list(out, heads);
+  return out;
+}
+
+bool decode_repl(const std::uint8_t* data, std::size_t len, ReplMessage& out) {
+  Cursor c{data, len, 0, true};
+  if (c.u32() != kReplMagic || c.u8() != kReplVersion) return false;
+  const std::uint8_t type = c.u8();
+  c.u16();  // reserved
+  out.epoch = c.u64();
+  if (!c.ok) return false;
+
+  switch (static_cast<ReplType>(type)) {
+    case ReplType::kRecords: {
+      out.type = ReplType::kRecords;
+      out.shard = c.u16();
+      out.first_seq = c.u64();
+      out.count = c.u16();
+      if (!c.ok) return false;
+      out.records.clear();
+      std::size_t pos = c.pos;
+      for (std::uint16_t i = 0; i < out.count; ++i) {
+        std::size_t framed = 0;
+        persist::JournalRecord r;
+        const auto st =
+            persist::parse_one_record(data + pos, len - pos, framed, r);
+        if (st != persist::RecordParse::kRecord) return false;
+        out.records.push_back(std::move(r));
+        pos += framed;
+      }
+      return pos == len;
+    }
+    case ReplType::kAck:
+      out.type = ReplType::kAck;
+      return get_seq_list(c, out.seqs);
+    case ReplType::kNak:
+      out.type = ReplType::kNak;
+      out.shard = c.u16();
+      out.nak_from = c.u64();
+      return c.ok;
+    case ReplType::kSnapshotReq:
+      out.type = ReplType::kSnapshotReq;
+      return true;
+    case ReplType::kSnapshotMeta:
+      out.type = ReplType::kSnapshotMeta;
+      out.generation = c.u64();
+      out.total_bytes = c.u64();
+      out.crc = c.u32();
+      return c.ok && get_seq_list(c, out.seqs);
+    case ReplType::kSnapshotChunk: {
+      out.type = ReplType::kSnapshotChunk;
+      out.offset = c.u64();
+      const std::uint16_t n = c.u16();
+      if (!c.ok || !c.need(n)) return false;
+      out.chunk.assign(reinterpret_cast<const char*>(data + c.pos), n);
+      return true;
+    }
+    case ReplType::kHeartbeat:
+      out.type = ReplType::kHeartbeat;
+      return get_seq_list(c, out.seqs);
+    default:
+      return false;
+  }
+}
+
+// --------------------------------------------------------------- sender
+
+ReplicationSender::ReplicationSender(const Endpoint& dest,
+                                     std::size_t n_shards,
+                                     ReplSenderOptions opts)
+    : opts_(opts) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(dest.port);
+  if (::inet_pton(AF_INET, dest.host.c_str(), &addr.sin_addr) != 1)
+    throw std::runtime_error("repl sender: bad IPv4 address " + dest.host);
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) throw std::runtime_error("repl sender: socket() failed");
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("repl sender: connect() failed");
+  }
+  shards_.reserve(n_shards);
+  for (std::size_t i = 0; i < n_shards; ++i)
+    shards_.push_back(std::make_unique<Shard>());
+  rx_thread_ = std::thread([this] { rx_loop(); });
+}
+
+ReplicationSender::~ReplicationSender() { stop(); }
+
+void ReplicationSender::stop() {
+  if (fd_ < 0) return;
+  stop_.store(true, std::memory_order_relaxed);
+  ::shutdown(fd_, SHUT_RDWR);
+  if (rx_thread_.joinable()) rx_thread_.join();
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void ReplicationSender::set_snapshot_source(SnapshotSource src) {
+  std::lock_guard<std::mutex> lk(snapshot_mu_);
+  snapshot_source_ = std::move(src);
+}
+
+void ReplicationSender::send_datagram(const std::string& bytes) {
+  (void)::send(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+  CHOIR_OBS_COUNT("ha.repl.sent_datagrams", 1);
+}
+
+void ReplicationSender::flush_shard_locked(std::size_t shard_idx, Shard& sh) {
+  if (sh.pending_count == 0) return;
+  send_datagram(encode_repl_records(
+      epoch_.load(std::memory_order_relaxed),
+      static_cast<std::uint16_t>(shard_idx), sh.pending_first,
+      sh.pending_count, sh.pending));
+  CHOIR_OBS_COUNT("ha.repl.sent_records", sh.pending_count);
+  sh.pending.clear();
+  sh.pending_first = 0;
+  sh.pending_count = 0;
+}
+
+void ReplicationSender::on_record(std::size_t shard, const std::string& framed) {
+  Shard& sh = *shards_[shard];
+  std::lock_guard<std::mutex> lk(sh.mu);
+  const std::uint64_t seq = ++sh.head;
+  sh.buffered.emplace_back(seq, framed);
+  while (sh.buffered.size() > opts_.max_buffered_per_shard)
+    sh.buffered.pop_front();  // receiver this far behind re-bootstraps
+  if (sh.pending_count == 0) sh.pending_first = seq;
+  sh.pending += framed;
+  ++sh.pending_count;
+  if (sh.pending.size() >= opts_.batch_bytes ||
+      sh.pending_count == std::numeric_limits<std::uint16_t>::max())
+    flush_shard_locked(shard, sh);
+}
+
+void ReplicationSender::flush() {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& sh = *shards_[i];
+    std::lock_guard<std::mutex> lk(sh.mu);
+    flush_shard_locked(i, sh);
+  }
+}
+
+std::vector<std::uint64_t> ReplicationSender::heads() const {
+  std::vector<std::uint64_t> h(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    std::lock_guard<std::mutex> lk(shards_[i]->mu);
+    h[i] = shards_[i]->head;
+  }
+  return h;
+}
+
+std::uint64_t ReplicationSender::acked(std::size_t shard) const {
+  std::lock_guard<std::mutex> lk(shards_[shard]->mu);
+  return shards_[shard]->acked;
+}
+
+void ReplicationSender::retransmit_from(std::size_t shard_idx,
+                                        std::uint64_t from_seq) {
+  Shard& sh = *shards_[shard_idx];
+  std::vector<std::pair<std::uint64_t, std::string>> to_send;
+  bool need_snapshot = false;
+  {
+    std::lock_guard<std::mutex> lk(sh.mu);
+    // Whatever is still pending must ship first so the buffer covers it.
+    flush_shard_locked(shard_idx, sh);
+    if (from_seq > sh.head) return;  // receiver is ahead?! nothing to do
+    if (sh.buffered.empty() || from_seq < sh.buffered.front().first) {
+      need_snapshot = true;  // asked below our retention: full bootstrap
+    } else {
+      for (const auto& [seq, bytes] : sh.buffered)
+        if (seq >= from_seq) to_send.emplace_back(seq, bytes);
+    }
+  }
+  if (need_snapshot) {
+    send_snapshot();
+    return;
+  }
+  // Re-batch outside the lock.
+  std::string framed;
+  std::uint64_t first = 0;
+  std::uint16_t count = 0;
+  const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  auto ship = [&] {
+    if (count == 0) return;
+    send_datagram(encode_repl_records(
+        epoch, static_cast<std::uint16_t>(shard_idx), first, count, framed));
+    retransmits_.fetch_add(count, std::memory_order_relaxed);
+    framed.clear();
+    count = 0;
+  };
+  for (const auto& [seq, bytes] : to_send) {
+    if (count == 0) first = seq;
+    framed += bytes;
+    ++count;
+    if (framed.size() >= opts_.batch_bytes) ship();
+  }
+  ship();
+}
+
+void ReplicationSender::send_snapshot() {
+  std::lock_guard<std::mutex> lk(snapshot_mu_);
+  if (!snapshot_source_) return;
+  std::uint64_t generation = 0;
+  std::vector<std::uint64_t> heads;
+  const std::string bytes = snapshot_source_(generation, heads);
+  if (bytes.empty()) return;
+  const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  send_datagram(encode_repl_snapshot_meta(
+      epoch, generation, bytes.size(),
+      crc32(reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size()),
+      heads));
+  for (std::size_t off = 0; off < bytes.size(); off += kReplSnapChunkBytes) {
+    const std::size_t n = std::min(kReplSnapChunkBytes, bytes.size() - off);
+    send_datagram(encode_repl_snapshot_chunk(
+        epoch, off, reinterpret_cast<const std::uint8_t*>(bytes.data()) + off,
+        n));
+    // Pace bursts so a loopback-sized rcvbuf survives a large registry;
+    // a lost chunk is re-requested by the receiver anyway.
+    if ((off / kReplSnapChunkBytes) % 64 == 63)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  snapshots_sent_.fetch_add(1, std::memory_order_relaxed);
+  CHOIR_OBS_COUNT("ha.repl.snapshots_sent", 1);
+}
+
+void ReplicationSender::rx_loop() {
+  std::vector<std::uint8_t> buf(64 * 1024);
+  auto last_hb = std::chrono::steady_clock::now();
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 50 /* ms */);
+    const auto now = std::chrono::steady_clock::now();
+    if (std::chrono::duration<double>(now - last_hb).count() >=
+        opts_.heartbeat_interval_s) {
+      last_hb = now;
+      flush();  // ship any straggling partial batches
+      send_datagram(encode_repl_heartbeat(
+          epoch_.load(std::memory_order_relaxed), heads()));
+    }
+    if (pr <= 0 || !(pfd.revents & POLLIN)) continue;
+    const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+    if (n <= 0) continue;
+    ReplMessage m;
+    if (!decode_repl(buf.data(), static_cast<std::size_t>(n), m)) continue;
+    switch (m.type) {
+      case ReplType::kAck: {
+        for (std::size_t i = 0; i < m.seqs.size() && i < shards_.size(); ++i) {
+          Shard& sh = *shards_[i];
+          std::lock_guard<std::mutex> lk(sh.mu);
+          if (m.seqs[i] > sh.acked) sh.acked = m.seqs[i];
+          while (!sh.buffered.empty() &&
+                 sh.buffered.front().first <= sh.acked)
+            sh.buffered.pop_front();
+        }
+        break;
+      }
+      case ReplType::kNak:
+        if (m.shard < shards_.size()) retransmit_from(m.shard, m.nak_from);
+        break;
+      case ReplType::kSnapshotReq:
+        send_snapshot();
+        break;
+      default:
+        break;  // sender ignores receiver-bound types
+    }
+  }
+}
+
+// ------------------------------------------------------------- receiver
+
+ReplicationReceiver::ReplicationReceiver(Callbacks cb, std::size_t n_shards,
+                                         ReplReceiverOptions opts)
+    : cb_(std::move(cb)), n_shards_(n_shards), opts_(opts) {
+  drop_budget_ = opts_.debug_drop_records;
+  next_seq_.assign(n_shards_, 1);
+  last_heads_.assign(n_shards_, 0);
+  fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
+  if (fd_ < 0) throw std::runtime_error("repl receiver: socket() failed");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(opts_.bind_any ? INADDR_ANY : INADDR_LOOPBACK);
+  addr.sin_port = htons(opts_.port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("repl receiver: cannot bind port " +
+                             std::to_string(opts_.port));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  rx_thread_ = std::thread([this] { rx_loop(); });
+}
+
+ReplicationReceiver::~ReplicationReceiver() { stop(); }
+
+void ReplicationReceiver::stop() {
+  if (fd_ < 0) return;
+  stop_.store(true, std::memory_order_relaxed);
+  ::shutdown(fd_, SHUT_RDWR);
+  if (rx_thread_.joinable()) rx_thread_.join();
+  ::close(fd_);
+  fd_ = -1;
+}
+
+std::vector<std::uint64_t> ReplicationReceiver::acked_locked() const {
+  std::vector<std::uint64_t> acked(n_shards_);
+  for (std::size_t i = 0; i < n_shards_; ++i) acked[i] = next_seq_[i] - 1;
+  return acked;
+}
+
+std::uint64_t ReplicationReceiver::lag_records() const {
+  std::lock_guard<std::mutex> lk(const_cast<std::mutex&>(mu_));
+  std::uint64_t lag = 0;
+  for (std::size_t i = 0; i < n_shards_; ++i) {
+    const std::uint64_t applied_through = next_seq_[i] - 1;
+    if (last_heads_[i] > applied_through)
+      lag += last_heads_[i] - applied_through;
+  }
+  return lag;
+}
+
+void ReplicationReceiver::reply(const std::string& bytes) {
+  // mu_ held by caller: peer_ is stable.
+  if (!have_peer_) return;
+  (void)::sendto(fd_, bytes.data(), bytes.size(), MSG_NOSIGNAL,
+                 reinterpret_cast<const sockaddr*>(&peer_), peer_len_);
+}
+
+void ReplicationReceiver::rx_loop() {
+  std::vector<std::uint8_t> buf(64 * 1024);
+  auto last_req = std::chrono::steady_clock::now() -
+                  std::chrono::hours(1);  // request immediately
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, 50 /* ms */);
+
+    if (!bootstrapped_.load(std::memory_order_relaxed)) {
+      const auto now = std::chrono::steady_clock::now();
+      if (std::chrono::duration<double>(now - last_req).count() >=
+          opts_.snapshot_req_interval_s) {
+        last_req = now;
+        std::lock_guard<std::mutex> lk(mu_);
+        reply(encode_repl_snapshot_req(min_epoch_.load()));
+      }
+    }
+
+    if (pr <= 0 || !(pfd.revents & POLLIN)) continue;
+    sockaddr_storage src{};
+    socklen_t src_len = sizeof(src);
+    const ssize_t n = ::recvfrom(fd_, buf.data(), buf.size(), 0,
+                                 reinterpret_cast<sockaddr*>(&src), &src_len);
+    if (n <= 0) continue;
+    ReplMessage m;
+    if (!decode_repl(buf.data(), static_cast<std::size_t>(n), m)) continue;
+    if (m.epoch < min_epoch_.load(std::memory_order_relaxed))
+      continue;  // deposed sender: fenced at the wire
+    sender_epoch_.store(m.epoch, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      std::memcpy(&peer_, &src, src_len);
+      peer_len_ = src_len;
+      have_peer_ = true;
+    }
+    handle(m);
+  }
+}
+
+void ReplicationReceiver::handle(const ReplMessage& m) {
+  std::unique_lock<std::mutex> lk(mu_);
+  switch (m.type) {
+    case ReplType::kRecords: {
+      if (!bootstrapped_.load(std::memory_order_relaxed)) break;
+      if (m.shard >= n_shards_ || m.records.size() != m.count) break;
+      if (drop_budget_ > 0) {
+        --drop_budget_;
+        break;
+      }
+      std::uint64_t& next = next_seq_[m.shard];
+      if (m.first_seq > next) {
+        ++naks_;
+        CHOIR_OBS_COUNT("ha.repl.naks", 1);
+        reply(encode_repl_nak(min_epoch_.load(), m.shard, next));
+        break;
+      }
+      if (m.first_seq + m.count <= next) {
+        reply(encode_repl_ack(min_epoch_.load(), acked_locked()));
+        break;  // stale duplicate (retransmit we already have)
+      }
+      const std::size_t skip = static_cast<std::size_t>(next - m.first_seq);
+      for (std::size_t i = skip; i < m.records.size(); ++i) {
+        cb_.on_record(m.records[i]);
+        applied_.fetch_add(1, std::memory_order_relaxed);
+      }
+      next = m.first_seq + m.count;
+      CHOIR_OBS_COUNT("ha.repl.applied_records", m.records.size() - skip);
+      reply(encode_repl_ack(min_epoch_.load(), acked_locked()));
+      break;
+    }
+    case ReplType::kHeartbeat: {
+      for (std::size_t i = 0; i < m.seqs.size() && i < n_shards_; ++i)
+        last_heads_[i] = m.seqs[i];
+      if (!bootstrapped_.load(std::memory_order_relaxed)) break;
+      // A heartbeat head beyond our applied point means datagrams were
+      // lost with nothing following to expose the gap — NAK to recover.
+      for (std::size_t i = 0; i < m.seqs.size() && i < n_shards_; ++i) {
+        if (m.seqs[i] >= next_seq_[i]) {
+          reply(encode_repl_nak(min_epoch_.load(),
+                                static_cast<std::uint16_t>(i), next_seq_[i]));
+        }
+      }
+      reply(encode_repl_ack(min_epoch_.load(), acked_locked()));
+      break;
+    }
+    case ReplType::kSnapshotMeta: {
+      if (bootstrapped_.load(std::memory_order_relaxed)) break;
+      if (m.seqs.size() != n_shards_ || m.total_bytes == 0 ||
+          m.total_bytes > (1ull << 32))
+        break;
+      // (Re)start reassembly unless this is the same snapshot continuing.
+      if (!snap_meta_ || snap_crc_ != m.crc ||
+          snap_buf_.size() != m.total_bytes) {
+        snap_meta_ = true;
+        snap_generation_ = m.generation;
+        snap_epoch_ = m.epoch;
+        snap_crc_ = m.crc;
+        snap_heads_ = m.seqs;
+        snap_buf_.assign(m.total_bytes, '\0');
+        snap_chunks_needed_ =
+            (m.total_bytes + kReplSnapChunkBytes - 1) / kReplSnapChunkBytes;
+        snap_chunk_got_.assign(snap_chunks_needed_, false);
+        snap_chunks_got_ = 0;
+      }
+      break;
+    }
+    case ReplType::kSnapshotChunk: {
+      if (bootstrapped_.load(std::memory_order_relaxed) || !snap_meta_) break;
+      if (m.offset % kReplSnapChunkBytes != 0) break;
+      const std::size_t idx = m.offset / kReplSnapChunkBytes;
+      if (idx >= snap_chunks_needed_ ||
+          m.offset + m.chunk.size() > snap_buf_.size())
+        break;
+      if (snap_chunk_got_[idx]) break;
+      std::memcpy(snap_buf_.data() + m.offset, m.chunk.data(),
+                  m.chunk.size());
+      snap_chunk_got_[idx] = true;
+      if (++snap_chunks_got_ < snap_chunks_needed_) break;
+      if (crc32(reinterpret_cast<const std::uint8_t*>(snap_buf_.data()),
+                snap_buf_.size()) != snap_crc_) {
+        snap_meta_ = false;  // damaged in flight: re-request from scratch
+        break;
+      }
+      for (std::size_t i = 0; i < n_shards_; ++i)
+        next_seq_[i] = snap_heads_[i] + 1;
+      const std::string bytes = std::move(snap_buf_);
+      const auto heads = snap_heads_;
+      const std::uint64_t gen = snap_generation_;
+      const std::uint64_t epoch = snap_epoch_;
+      bootstrapped_.store(true, std::memory_order_release);
+      reply(encode_repl_ack(min_epoch_.load(), acked_locked()));
+      lk.unlock();  // the bootstrap callback may be slow; free the state
+      if (cb_.on_snapshot) cb_.on_snapshot(bytes, heads, gen, epoch);
+      return;
+    }
+    default:
+      break;  // receiver ignores sender-bound types
+  }
+}
+
+}  // namespace choir::net::ha

@@ -1,0 +1,297 @@
+// Network replication of the write-ahead journal: the CHOR protocol.
+//
+// The active netserver streams every journal record, in per-shard order,
+// to a standby over the same UDP backhaul the gateways use. The unit of
+// replication is the journal's own framed record encoding (len | type |
+// body | crc32) — the bytes that hit the disk are the bytes that cross
+// the wire, so the standby replays exactly what recovery would.
+//
+// Datagram layout (all little-endian), 16-byte common header:
+//
+//   magic "CHOR" u32 | version u8 | type u8 | reserved u16 | epoch u64
+//
+// followed by a type-specific body:
+//
+//   kRecords      shard u16 | first_seq u64 | count u16 | framed records
+//   kAck          n_shards u16 | acked_seq u64 * n      (cumulative)
+//   kNak          shard u16 | need_from_seq u64
+//   kSnapshotReq  (empty)
+//   kSnapshotMeta generation u64 | total_bytes u64 | crc32 u32 |
+//                 n_shards u16 | head_seq u64 * n
+//   kSnapshotChunk offset u64 | len u16 | bytes
+//   kHeartbeat    n_shards u16 | head_seq u64 * n
+//
+// Sequencing is per shard and starts at 1; `head_seq` is the last
+// assigned sequence number. Acks are cumulative; a gap makes the
+// receiver NAK the first missing sequence and the sender retransmits
+// from its bounded in-memory buffer. A NAK below the buffer (receiver
+// too far behind) or an explicit kSnapshotReq triggers a full snapshot
+// transfer, after which records with seq > head apply on top — the
+// network twin of "decode snapshot-<g>, replay journal-<g>-*".
+//
+// Every message carries the sender's lease epoch. A receiver ignores
+// messages below its minimum epoch, so a deposed active's stragglers
+// cannot reach a promoted standby's registry.
+#pragma once
+
+#include <sys/socket.h>
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/persist/journal.hpp"
+#include "net/udp.hpp"
+
+namespace choir::net::ha {
+
+inline constexpr std::uint32_t kReplMagic = 0x524F4843;  // "CHOR" LE
+inline constexpr std::uint8_t kReplVersion = 1;
+inline constexpr std::size_t kReplHeaderBytes = 16;
+/// Payload budget per datagram, matching the uplink path's MTU stance.
+inline constexpr std::size_t kReplMaxDatagramBytes = 1400;
+
+enum class ReplType : std::uint8_t {
+  kRecords = 1,
+  kAck = 2,
+  kNak = 3,
+  kSnapshotReq = 4,
+  kSnapshotMeta = 5,
+  kSnapshotChunk = 6,
+  kHeartbeat = 7,
+};
+
+/// One decoded CHOR datagram (fields populated per `type`).
+struct ReplMessage {
+  ReplType type = ReplType::kHeartbeat;
+  std::uint64_t epoch = 0;
+  // kRecords / kNak
+  std::uint16_t shard = 0;
+  std::uint64_t first_seq = 0;   ///< kRecords
+  std::uint16_t count = 0;       ///< framed records in the datagram
+  std::vector<persist::JournalRecord> records;
+  std::uint64_t nak_from = 0;    ///< kNak
+  // kAck / kHeartbeat / kSnapshotMeta
+  std::vector<std::uint64_t> seqs;
+  // kSnapshotMeta / kSnapshotChunk
+  std::uint64_t generation = 0;
+  std::uint64_t total_bytes = 0;
+  std::uint32_t crc = 0;
+  std::uint64_t offset = 0;
+  std::string chunk;
+};
+
+std::string encode_repl_records(std::uint64_t epoch, std::uint16_t shard,
+                                std::uint64_t first_seq,
+                                std::uint16_t count,
+                                const std::string& framed);
+std::string encode_repl_ack(std::uint64_t epoch,
+                            const std::vector<std::uint64_t>& acked);
+std::string encode_repl_nak(std::uint64_t epoch, std::uint16_t shard,
+                            std::uint64_t from_seq);
+std::string encode_repl_snapshot_req(std::uint64_t epoch);
+std::string encode_repl_snapshot_meta(std::uint64_t epoch,
+                                      std::uint64_t generation,
+                                      std::uint64_t total_bytes,
+                                      std::uint32_t crc,
+                                      const std::vector<std::uint64_t>& heads);
+std::string encode_repl_snapshot_chunk(std::uint64_t epoch,
+                                       std::uint64_t offset,
+                                       const std::uint8_t* data,
+                                       std::size_t len);
+std::string encode_repl_heartbeat(std::uint64_t epoch,
+                                  const std::vector<std::uint64_t>& heads);
+
+/// Decodes any CHOR datagram. Returns false on bad magic/version or a
+/// malformed body (including a framed record that fails its CRC).
+bool decode_repl(const std::uint8_t* data, std::size_t len, ReplMessage& out);
+
+// --------------------------------------------------------------- sender
+
+struct ReplSenderOptions {
+  /// Records retained per shard for retransmission. A receiver that
+  /// falls further behind than this re-bootstraps from a snapshot.
+  std::size_t max_buffered_per_shard = 65536;
+  /// Batch flush threshold: records accumulate per shard until this
+  /// many payload bytes, then ship as one kRecords datagram. flush()
+  /// forces out partial batches (NetServer calls it per ingest).
+  std::size_t batch_bytes = 1100;
+  double heartbeat_interval_s = 0.2;
+};
+
+/// The active side. Plugs into Persistence::set_record_sink; owns a
+/// connected UDP socket to the standby plus the rx thread that services
+/// acks, naks and snapshot requests.
+class ReplicationSender {
+ public:
+  /// Returns encoded snapshot bytes; fills `generation` and the
+  /// per-shard `heads` captured at the same quiesced instant (NetServer
+  /// provides this via its checkpoint gate).
+  using SnapshotSource = std::function<std::string(
+      std::uint64_t& generation, std::vector<std::uint64_t>& heads)>;
+
+  ReplicationSender(const Endpoint& dest, std::size_t n_shards,
+                    ReplSenderOptions opts = {});
+  ~ReplicationSender();
+
+  ReplicationSender(const ReplicationSender&) = delete;
+  ReplicationSender& operator=(const ReplicationSender&) = delete;
+
+  void set_epoch(std::uint64_t e) {
+    epoch_.store(e, std::memory_order_relaxed);
+  }
+  void set_snapshot_source(SnapshotSource src);
+
+  /// Persistence record sink (called under the shard writer's lock).
+  void on_record(std::size_t shard, const std::string& framed);
+  /// Ships any partially filled batches.
+  void flush();
+
+  /// Per-shard head sequence numbers (last assigned).
+  std::vector<std::uint64_t> heads() const;
+  std::uint64_t acked(std::size_t shard) const;
+  std::uint64_t snapshots_sent() const {
+    return snapshots_sent_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t retransmits() const {
+    return retransmits_.load(std::memory_order_relaxed);
+  }
+
+  void stop();
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::uint64_t head = 0;
+    std::uint64_t acked = 0;
+    std::deque<std::pair<std::uint64_t, std::string>> buffered;
+    std::string pending;
+    std::uint64_t pending_first = 0;
+    std::uint16_t pending_count = 0;
+  };
+
+  void rx_loop();
+  void send_datagram(const std::string& bytes);
+  void flush_shard_locked(std::size_t shard_idx, Shard& sh);
+  void retransmit_from(std::size_t shard_idx, std::uint64_t from_seq);
+  void send_snapshot();
+
+  ReplSenderOptions opts_;
+  int fd_ = -1;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::vector<std::unique_ptr<Shard>> shards_;
+  SnapshotSource snapshot_source_;
+  std::mutex snapshot_mu_;  ///< serializes snapshot transfers + source swap
+  std::atomic<std::uint64_t> snapshots_sent_{0};
+  std::atomic<std::uint64_t> retransmits_{0};
+  std::atomic<bool> stop_{false};
+  std::thread rx_thread_;
+};
+
+// ------------------------------------------------------------- receiver
+
+struct ReplReceiverOptions {
+  std::uint16_t port = 0;  ///< 0 picks an ephemeral port
+  bool bind_any = false;
+  /// Bootstrap nag interval: how often to re-send kSnapshotReq until a
+  /// complete snapshot lands.
+  double snapshot_req_interval_s = 0.2;
+  /// Tests only: silently drop the first N kRecords datagrams to force
+  /// the NAK/retransmit path end-to-end.
+  int debug_drop_records = 0;
+};
+
+/// The standby side. Binds a UDP port, reassembles the snapshot, then
+/// applies records in per-shard sequence order via the callbacks (both
+/// invoked on the receive thread).
+class ReplicationReceiver {
+ public:
+  struct Callbacks {
+    /// Complete snapshot: encoded bytes + the per-shard heads it covers.
+    std::function<void(const std::string& snapshot_bytes,
+                       const std::vector<std::uint64_t>& heads,
+                       std::uint64_t generation, std::uint64_t epoch)>
+        on_snapshot;
+    /// One in-order journal record (only after on_snapshot).
+    std::function<void(const persist::JournalRecord&)> on_record;
+  };
+
+  ReplicationReceiver(Callbacks cb, std::size_t n_shards,
+                      ReplReceiverOptions opts = {});
+  ~ReplicationReceiver();
+
+  ReplicationReceiver(const ReplicationReceiver&) = delete;
+  ReplicationReceiver& operator=(const ReplicationReceiver&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  bool bootstrapped() const {
+    return bootstrapped_.load(std::memory_order_acquire);
+  }
+  std::uint64_t applied_records() const {
+    return applied_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t naks_sent() const {
+    return naks_.load(std::memory_order_relaxed);
+  }
+  /// Sender's epoch as last observed on the wire.
+  std::uint64_t sender_epoch() const {
+    return sender_epoch_.load(std::memory_order_relaxed);
+  }
+  /// Records the sender has assigned but we have not applied, from the
+  /// latest heartbeat — the replication lag.
+  std::uint64_t lag_records() const;
+  /// Promotion fence: datagrams with epoch < `e` are ignored from now
+  /// on, so a deposed active's stragglers cannot mutate our registry.
+  void set_min_epoch(std::uint64_t e) {
+    min_epoch_.store(e, std::memory_order_relaxed);
+  }
+
+  void stop();
+
+ private:
+  void rx_loop();
+  void handle(const ReplMessage& m);
+  void reply(const std::string& bytes);
+  /// Cumulative acked seq per shard (mu_ held).
+  std::vector<std::uint64_t> acked_locked() const;
+
+  Callbacks cb_;
+  std::size_t n_shards_;
+  ReplReceiverOptions opts_;
+  int fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> bootstrapped_{false};
+  std::atomic<std::uint64_t> applied_{0};
+  std::atomic<std::uint64_t> naks_{0};
+  std::atomic<std::uint64_t> sender_epoch_{0};
+  std::atomic<std::uint64_t> min_epoch_{0};
+
+  std::mutex mu_;  ///< guards the reply address + seq/snapshot state
+  bool have_peer_ = false;
+  sockaddr_storage peer_{};
+  std::uint32_t peer_len_ = 0;
+  std::vector<std::uint64_t> next_seq_;   ///< per shard, valid once bootstrapped
+  std::vector<std::uint64_t> last_heads_; ///< from heartbeats
+  // snapshot reassembly
+  bool snap_meta_ = false;
+  std::uint64_t snap_generation_ = 0;
+  std::uint64_t snap_epoch_ = 0;
+  std::uint32_t snap_crc_ = 0;
+  std::vector<std::uint64_t> snap_heads_;
+  std::string snap_buf_;
+  std::vector<bool> snap_chunk_got_;
+  std::size_t snap_chunks_needed_ = 0;
+  std::size_t snap_chunks_got_ = 0;
+  int drop_budget_ = 0;
+
+  std::thread rx_thread_;
+};
+
+}  // namespace choir::net::ha

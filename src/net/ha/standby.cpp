@@ -1,0 +1,248 @@
+#include "net/ha/standby.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/obs.hpp"
+
+namespace choir::net::ha {
+
+namespace {
+
+std::string slurp_file(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return {};
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+const char* ha_role_name(HaRole r) {
+  switch (r) {
+    case HaRole::kStandby:
+      return "standby";
+    case HaRole::kPromoting:
+      return "promoting";
+    case HaRole::kActive:
+      return "active";
+  }
+  return "?";
+}
+
+StandbyServer::StandbyServer(StandbyOptions opts) : opts_(std::move(opts)) {
+  if (!opts_.server.persist.dir.empty())
+    throw std::runtime_error(
+        "standby: server config must not carry a persist dir (persistence "
+        "attaches at promotion)");
+  server_ = std::make_unique<NetServer>(opts_.server);
+  if (opts_.follow_dir.empty() && opts_.repl_enabled) {
+    ReplReceiverOptions ro;
+    ro.port = opts_.repl_listen;
+    ro.bind_any = opts_.repl_bind_any;
+    ro.debug_drop_records = opts_.repl_debug_drop_records;
+    ReplicationReceiver::Callbacks cb;
+    cb.on_snapshot = [this](const std::string& bytes,
+                            const std::vector<std::uint64_t>& /*heads*/,
+                            std::uint64_t generation, std::uint64_t epoch) {
+      const persist::SnapshotImage image = persist::decode_snapshot(bytes);
+      server_->restore_snapshot(image);
+      generation_ = generation;
+      manifest_epoch_ = epoch;
+      bootstrapped_ = true;
+      CHOIR_OBS_COUNT("ha.standby.bootstraps", 1);
+    };
+    cb.on_record = [this](const persist::JournalRecord& r) {
+      server_->apply_replicated(r);
+      ++applied_;
+    };
+    receiver_ = std::make_unique<ReplicationReceiver>(std::move(cb),
+                                                      server_->registry()
+                                                          .n_shards(),
+                                                      ro);
+  }
+  CHOIR_OBS_GAUGE_SET("ha.role", 0);
+}
+
+StandbyServer::~StandbyServer() {
+  if (receiver_) receiver_->stop();
+}
+
+std::uint64_t StandbyServer::followed_epoch() const {
+  if (receiver_) {
+    const std::uint64_t e = receiver_->sender_epoch();
+    return e ? e : manifest_epoch_;
+  }
+  return manifest_epoch_;
+}
+
+void StandbyServer::open_tails(std::uint64_t gen) {
+  tails_.clear();
+  const std::size_t n = server_->registry().n_shards();
+  for (std::size_t sh = 0; sh < n; ++sh) {
+    tails_.push_back(std::make_unique<JournalTail>(
+        opts_.follow_dir + "/journal-" + std::to_string(gen) + "-" +
+            std::to_string(sh) + ".log",
+        static_cast<std::uint8_t>(sh)));
+  }
+}
+
+void StandbyServer::bootstrap_local() {
+  const persist::ManifestInfo m = persist::read_manifest(opts_.follow_dir);
+  if (!m.present) return;  // active has not committed yet: keep waiting
+  const std::string snap_bytes =
+      slurp_file(opts_.follow_dir + "/snapshot-" +
+                 std::to_string(m.generation) + ".bin");
+  if (snap_bytes.empty()) return;  // racing the checkpoint: retry
+  persist::SnapshotImage image;
+  try {
+    image = persist::decode_snapshot(snap_bytes);
+  } catch (const std::exception&) {
+    return;  // half-visible rotation artifact: retry next poll
+  }
+  server_->restore_snapshot(image);
+  generation_ = m.generation;
+  manifest_epoch_ = m.epoch;
+  open_tails(generation_);
+  bootstrapped_ = true;
+  CHOIR_OBS_COUNT("ha.standby.bootstraps", 1);
+}
+
+void StandbyServer::reset() {
+  tails_.clear();
+  bootstrapped_ = false;
+  generation_ = 0;
+  applied_ = 0;
+  server_ = std::make_unique<NetServer>(opts_.server);
+  ++rebootstraps_;
+  CHOIR_OBS_COUNT("ha.standby.rebootstraps", 1);
+}
+
+std::uint64_t StandbyServer::drain_tails() {
+  std::uint64_t applied = 0;
+  std::vector<persist::JournalRecord> records;
+  for (auto& tail : tails_) {
+    records.clear();
+    tail->poll(records);  // damage is inspected by the caller
+    for (const auto& r : records) {
+      server_->apply_replicated(r);
+      ++applied;
+    }
+  }
+  applied_ += applied;
+  if (applied) CHOIR_OBS_COUNT("ha.standby.applied_records", applied);
+  return applied;
+}
+
+bool StandbyServer::tail_damaged() const {
+  for (const auto& tail : tails_)
+    if (tail->damaged()) return true;
+  return false;
+}
+
+void StandbyServer::poll() {
+  if (opts_.follow_dir.empty()) {
+    export_gauges();  // network mode: the receiver thread does the work
+    return;
+  }
+  if (!bootstrapped_) {
+    bootstrap_local();
+    if (!bootstrapped_) return;
+  }
+  drain_tails();
+  const persist::ManifestInfo m = persist::read_manifest(opts_.follow_dir);
+  if (m.present && m.generation != generation_) {
+    if (m.generation == generation_ + 1 && !tail_damaged()) {
+      // Rotation: the active sealed these journals *before* committing
+      // the new generation, so one final drain through our held fds
+      // brings us to exactly the state the new snapshot encodes — no
+      // need to read it.
+      drain_tails();
+      if (tail_damaged()) {
+        reset();
+        return;
+      }
+      open_tails(m.generation);
+      generation_ = m.generation;
+      manifest_epoch_ = m.epoch;
+    } else {
+      // Missed one or more whole generations (or damage): the files we
+      // would need may already be GC'd — start over from the snapshot.
+      reset();
+      return;
+    }
+  }
+  export_gauges();
+}
+
+StandbyLag StandbyServer::lag() const {
+  StandbyLag l;
+  l.applied = applied_;
+  for (const auto& tail : tails_) l.bytes += tail->lag_bytes();
+  if (receiver_) l.records = receiver_->lag_records();
+  return l;
+}
+
+void StandbyServer::export_gauges() const {
+  const StandbyLag l = lag();
+  CHOIR_OBS_GAUGE_SET("ha.repl.lag_bytes", static_cast<std::int64_t>(l.bytes));
+  CHOIR_OBS_GAUGE_SET("ha.repl.lag_records",
+                      static_cast<std::int64_t>(l.records));
+  CHOIR_OBS_GAUGE_SET("ha.epoch",
+                      static_cast<std::int64_t>(followed_epoch()));
+  for (std::size_t i = 0; i < tails_.size(); ++i) {
+    CHOIR_OBS_GAUGE_SET(
+        obs::labeled("ha.repl.lag_bytes", {{"shard", std::to_string(i)}}),
+        static_cast<std::int64_t>(tails_[i]->lag_bytes()));
+  }
+}
+
+void StandbyServer::promote(const persist::PersistOptions& opt) {
+  role_.store(HaRole::kPromoting, std::memory_order_release);
+  CHOIR_OBS_GAUGE_SET("ha.role", 1);
+
+  if (!opts_.follow_dir.empty()) {
+    // Converge on the final on-disk state. The writer is dead (or
+    // deposed), but the follower may be mid-stream: behind by one
+    // rotation (poll follows it) or by several (poll resets, and we must
+    // re-bootstrap from the committed snapshot rather than promote an
+    // empty replica). Iterate until a poll leaves us bootstrapped at the
+    // committed generation, then read every tail to EOF. A torn record
+    // stops a shard's replay exactly where disk recovery would.
+    for (;;) {
+      if (!bootstrapped_) bootstrap_local();
+      if (!bootstrapped_) break;  // nothing committed on disk at all
+      poll();
+      if (bootstrapped_ &&
+          persist::read_manifest(opts_.follow_dir).generation ==
+              generation_) {
+        while (drain_tails() > 0) {
+        }
+        break;
+      }
+    }
+  } else if (receiver_) {
+    // Fence the stream at the new epoch (a deposed active's stragglers
+    // are dropped at the wire), then stop the apply thread for good.
+    receiver_->set_min_epoch(opt.epoch);
+    receiver_->stop();
+  }
+
+  server_->attach_persistence(opt, generation_);
+  tails_.clear();
+  manifest_epoch_ = opt.epoch;
+  role_.store(HaRole::kActive, std::memory_order_release);
+  CHOIR_OBS_GAUGE_SET("ha.role", 2);
+  CHOIR_OBS_GAUGE_SET("ha.epoch", static_cast<std::int64_t>(opt.epoch));
+  CHOIR_OBS_COUNT("ha.promotions", 1);
+}
+
+std::unique_ptr<NetServer> StandbyServer::take_server() {
+  if (role() != HaRole::kActive)
+    throw std::logic_error("standby: take_server() before promote()");
+  return std::move(server_);
+}
+
+}  // namespace choir::net::ha

@@ -1,0 +1,127 @@
+// Hot-standby netserver: follows the active's journal stream and holds a
+// live, bit-exact replica of its registry, ready to take over.
+//
+// Two follower modes share the replay machinery (everything funnels into
+// NetServer::apply_replicated, i.e. the *real* DeviceRegistry paths):
+//
+//  * Local filesystem (`follow_dir`): bootstrap from the committed
+//    snapshot generation in the active's --state-dir, then tail its
+//    journals with JournalTail. Single-machine HA with no network
+//    between the pair — the journal bytes on disk ARE the replication
+//    stream. Rotation is followed without re-reading the new snapshot:
+//    the active seals journals before committing, so draining the old
+//    generation's files to EOF leaves the standby holding exactly the
+//    state the new snapshot encodes.
+//
+//  * Network (`repl_listen`): bind a CHOR receiver, bootstrap from a
+//    streamed snapshot, apply records in per-shard sequence order.
+//
+// Promotion (either mode): final drain -> fence -> attach persistence
+// with the new lease epoch (sealing generation g+1 on top of the
+// followed state, no disk re-recovery) -> the caller starts ingest.
+// A torn record in a drained tail is the active's un-flushed death tail:
+// replay stops exactly there, the same place disk recovery would stop.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/ha/replication.hpp"
+#include "net/ha/tail.hpp"
+#include "net/server.hpp"
+
+namespace choir::net::ha {
+
+enum class HaRole : std::uint8_t { kStandby = 0, kPromoting = 1, kActive = 2 };
+const char* ha_role_name(HaRole r);
+
+struct StandbyOptions {
+  /// Configuration for the replica server. persist.dir must be empty —
+  /// the standby runs without persistence until promotion attaches it.
+  NetServerConfig server{};
+  /// Local mode: the active's --state-dir.
+  std::string follow_dir;
+  /// Network mode: bind a CHOR receiver (used when follow_dir is empty).
+  bool repl_enabled = false;
+  std::uint16_t repl_listen = 0;
+  bool repl_bind_any = false;
+  int repl_debug_drop_records = 0;  ///< tests: force the NAK path
+};
+
+struct StandbyLag {
+  std::uint64_t bytes = 0;    ///< local mode: journal bytes not yet applied
+  std::uint64_t records = 0;  ///< network mode: sender head - applied
+  std::uint64_t applied = 0;  ///< records applied since bootstrap
+};
+
+class StandbyServer {
+ public:
+  explicit StandbyServer(StandbyOptions opts);
+  ~StandbyServer();
+
+  StandbyServer(const StandbyServer&) = delete;
+  StandbyServer& operator=(const StandbyServer&) = delete;
+
+  /// The replica. Recreated on a re-bootstrap (rebootstraps() ticks), so
+  /// do not cache the reference across poll() calls.
+  NetServer& server() { return *server_; }
+  const NetServer& server() const { return *server_; }
+
+  HaRole role() const { return role_.load(std::memory_order_acquire); }
+  bool bootstrapped() const { return bootstrapped_; }
+  /// Generation being followed (local) or streamed from (network).
+  std::uint64_t followed_generation() const { return generation_; }
+  /// Active's epoch as seen in MANIFEST (local) / on the wire (network).
+  std::uint64_t followed_epoch() const;
+
+  /// Local mode: one follower step — bootstrap if needed, drain newly
+  /// appended records, follow a generation rotation, re-bootstrap when
+  /// too far behind. Call at the follower's poll cadence. Network mode:
+  /// refreshes lag gauges only (the receiver thread applies records).
+  void poll();
+
+  StandbyLag lag() const;
+  std::uint64_t rebootstraps() const { return rebootstraps_; }
+  /// True when a drained tail ended in a torn/damaged record — after a
+  /// kill this marks the active's lost un-flushed tail (expected); while
+  /// the active lives it forces a re-bootstrap at the next rotation.
+  bool tail_damaged() const;
+
+  /// Takes over: drains the final tail (local) or fences the receiver at
+  /// opt.epoch (network), attaches persistence (opt.epoch must hold the
+  /// new lease's epoch; opt.dir the state dir to own), seals the
+  /// takeover generation, flips role to kActive. The caller then starts
+  /// ingest. Throws persist::FencedError if an even newer epoch beat us.
+  void promote(const persist::PersistOptions& opt);
+
+  ReplicationReceiver* receiver() { return receiver_.get(); }
+
+  /// Releases the promoted server to the caller (e.g. the citysim
+  /// failover drill hands it to the engine). Valid only after promote();
+  /// the StandbyServer is spent afterwards.
+  std::unique_ptr<NetServer> take_server();
+
+ private:
+  void bootstrap_local();
+  void reset();
+  void open_tails(std::uint64_t gen);
+  /// Drains every tail once, applying records. Returns applied count.
+  std::uint64_t drain_tails();
+  void export_gauges() const;
+
+  StandbyOptions opts_;
+  std::unique_ptr<NetServer> server_;
+  std::unique_ptr<ReplicationReceiver> receiver_;
+  std::vector<std::unique_ptr<JournalTail>> tails_;
+  std::atomic<HaRole> role_{HaRole::kStandby};
+  bool bootstrapped_ = false;
+  std::uint64_t generation_ = 0;
+  std::uint64_t manifest_epoch_ = 0;
+  std::uint64_t applied_ = 0;
+  std::uint64_t rebootstraps_ = 0;
+};
+
+}  // namespace choir::net::ha

@@ -1,0 +1,92 @@
+#include "net/ha/tail.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+
+namespace choir::net::ha {
+
+using persist::JournalRecord;
+using persist::RecordParse;
+
+JournalTail::JournalTail(std::string path, std::uint8_t shard)
+    : path_(std::move(path)), shard_(shard) {}
+
+JournalTail::~JournalTail() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::uint64_t JournalTail::lag_bytes() const {
+  if (fd_ < 0) return 0;
+  struct stat st {};
+  if (::fstat(fd_, &st) != 0) return carry_.size();
+  const std::uint64_t size = static_cast<std::uint64_t>(st.st_size);
+  return size > consumed_ ? size - consumed_ : carry_.size();
+}
+
+bool JournalTail::poll(std::vector<JournalRecord>& out) {
+  if (damaged_) return false;
+  if (fd_ < 0) {
+    fd_ = ::open(path_.c_str(), O_RDONLY);
+    if (fd_ < 0) return true;  // not created yet: keep waiting
+  }
+
+  // Pull in everything appended since last time.
+  char buf[16 * 1024];
+  for (;;) {
+    const ssize_t n = ::pread(fd_, buf, sizeof(buf),
+                              static_cast<off_t>(read_offset_));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return true;  // transient read error: retry next poll
+    }
+    if (n == 0) break;
+    carry_.append(buf, static_cast<std::size_t>(n));
+    read_offset_ += static_cast<std::uint64_t>(n);
+    if (static_cast<std::size_t>(n) < sizeof(buf)) break;
+  }
+
+  const auto* data = reinterpret_cast<const std::uint8_t*>(carry_.data());
+  std::size_t pos = 0;
+
+  if (!header_ok_) {
+    if (carry_.size() < persist::kJournalHeaderBytes) return true;
+    const bool ok =
+        data[0] == 0x43 && data[1] == 0x48 && data[2] == 0x4F &&
+        data[3] == 0x4A && data[4] == persist::kJournalVersion &&
+        data[5] == shard_;
+    if (!ok) {
+      damaged_ = true;
+      return false;
+    }
+    header_ok_ = true;
+    pos = persist::kJournalHeaderBytes;
+    consumed_ += persist::kJournalHeaderBytes;
+  }
+
+  while (pos < carry_.size()) {
+    std::size_t framed = 0;
+    JournalRecord r;
+    const RecordParse st =
+        persist::parse_one_record(data + pos, carry_.size() - pos, framed, r);
+    if (st == RecordParse::kNeedMore) break;  // writer mid-append: wait
+    if (st == RecordParse::kDamaged) {
+      damaged_ = true;
+      break;
+    }
+    if (st == RecordParse::kRecord) {
+      out.push_back(std::move(r));
+      ++records_;
+    } else {
+      ++skipped_unknown_;
+    }
+    pos += framed;
+    consumed_ += framed;
+  }
+  carry_.erase(0, pos);
+  return !damaged_;
+}
+
+}  // namespace choir::net::ha

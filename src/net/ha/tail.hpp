@@ -1,0 +1,67 @@
+// Incremental reader for a CHOJ journal that another process is still
+// appending to — the local-filesystem replication path and the engine
+// behind `choir_statedump --follow`.
+//
+// The journal's framing is self-delimiting, and appends make bytes
+// appear strictly in order, so a tailer can distinguish "the writer has
+// not finished this record yet" (the buffer ends mid-frame: wait) from
+// "this record is torn" (a complete frame whose CRC fails: real damage).
+// parse_one_record() encodes exactly that distinction; this class adds
+// the file plumbing: open-when-created, pread from the last consumed
+// offset, a partial-frame carry buffer, and lag accounting.
+//
+// The fd is held open across rotation: the active seals (flushes +
+// closes) a generation's journals *before* committing the next one, so
+// once the follower observes the new MANIFEST it can drain the old
+// files to EOF through its fds even after they are unlinked.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/persist/journal.hpp"
+
+namespace choir::net::ha {
+
+class JournalTail {
+ public:
+  /// Does not open anything yet — the file may not exist until the
+  /// active commits the generation. poll() retries the open.
+  JournalTail(std::string path, std::uint8_t shard);
+  ~JournalTail();
+
+  JournalTail(const JournalTail&) = delete;
+  JournalTail& operator=(const JournalTail&) = delete;
+
+  /// Reads any newly appended bytes and appends every *complete* record
+  /// to `out`. Returns false once the tail is permanently damaged (CRC
+  /// mismatch / bad header) — a follower must re-bootstrap, never guess.
+  bool poll(std::vector<persist::JournalRecord>& out);
+
+  bool damaged() const { return damaged_; }
+  bool opened() const { return fd_ >= 0; }
+  /// Bytes fully consumed as intact records (header included).
+  std::uint64_t bytes_consumed() const { return consumed_; }
+  std::uint64_t records() const { return records_; }
+  std::uint64_t skipped_unknown() const { return skipped_unknown_; }
+  /// Bytes sitting in the file (or carry buffer) not yet surfaced as
+  /// records — the per-shard replication lag, in bytes.
+  std::uint64_t lag_bytes() const;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::uint8_t shard_;
+  int fd_ = -1;
+  bool header_ok_ = false;
+  bool damaged_ = false;
+  std::uint64_t read_offset_ = 0;  ///< next file offset to pread
+  std::uint64_t consumed_ = 0;
+  std::uint64_t records_ = 0;
+  std::uint64_t skipped_unknown_ = 0;
+  std::string carry_;  ///< bytes read but not yet parsed (partial frame)
+};
+
+}  // namespace choir::net::ha

@@ -63,6 +63,9 @@ void encode_record(const JournalRecord& r, std::string& out) {
     case RecordType::kRoster:
       put_u64(body, r.roster_version);
       break;
+    case RecordType::kEpoch:
+      put_u64(body, r.epoch);
+      break;
   }
   put_u16(out, static_cast<std::uint16_t>(body.size()));
   out += body;
@@ -78,6 +81,78 @@ std::string journal_header(std::uint8_t shard) {
   return h;
 }
 
+RecordParse parse_one_record(const std::uint8_t* data, std::size_t len,
+                             std::size_t& consumed, JournalRecord& out) {
+  consumed = 0;
+  if (len < 2) return RecordParse::kNeedMore;
+  const std::uint16_t rec_len =
+      static_cast<std::uint16_t>(data[0] | (data[1] << 8));
+  if (rec_len == 0 || rec_len > kMaxRecordBytes) return RecordParse::kDamaged;
+  const std::size_t framed = 2u + rec_len + 4u;
+  if (len < framed) return RecordParse::kNeedMore;
+  const std::uint8_t* body = data + 2;
+  const std::size_t crc_at = 2u + rec_len;
+  const std::uint32_t stored_crc =
+      static_cast<std::uint32_t>(data[crc_at]) |
+      (static_cast<std::uint32_t>(data[crc_at + 1]) << 8) |
+      (static_cast<std::uint32_t>(data[crc_at + 2]) << 16) |
+      (static_cast<std::uint32_t>(data[crc_at + 3]) << 24);
+  if (crc32(body, rec_len) != stored_crc) return RecordParse::kDamaged;
+
+  Cursor b{body, rec_len, 0, true};
+  JournalRecord r;
+  const std::uint8_t type = b.u8();
+  bool known = true;
+  switch (static_cast<RecordType>(type)) {
+    case RecordType::kProvision:
+      r.type = RecordType::kProvision;
+      r.dev_addr = b.u32();
+      r.x_m = b.f64();
+      r.y_m = b.f64();
+      break;
+    case RecordType::kAccept:
+      r.type = RecordType::kAccept;
+      r.frame = get_frame(b);
+      break;
+    case RecordType::kReject: {
+      r.type = RecordType::kReject;
+      const std::uint8_t kind = b.u8();
+      if (kind < 1 || kind > 4) {
+        known = false;
+        break;
+      }
+      r.reject_kind = static_cast<RejectKind>(kind);
+      r.upgraded = b.u8() != 0;
+      r.frame = get_frame(b);
+      break;
+    }
+    case RecordType::kAdrApplied:
+      r.type = RecordType::kAdrApplied;
+      r.dev_addr = b.u32();
+      break;
+    case RecordType::kRoster:
+      r.type = RecordType::kRoster;
+      r.roster_version = b.u64();
+      break;
+    case RecordType::kEpoch:
+      r.type = RecordType::kEpoch;
+      r.epoch = b.u64();
+      break;
+    default:
+      known = false;  // future record type: CRC says intact, skip it
+      break;
+  }
+  if (known && !b.ok) {
+    // CRC passed but the body is shorter than the type demands — a
+    // writer bug or a forged record; stop rather than apply garbage.
+    return RecordParse::kDamaged;
+  }
+  consumed = framed;
+  if (!known) return RecordParse::kUnknown;
+  out = std::move(r);
+  return RecordParse::kRecord;
+}
+
 JournalScan scan_journal(const std::uint8_t* data, std::size_t len,
                          std::uint8_t expect_shard) {
   JournalScan out;
@@ -89,74 +164,24 @@ JournalScan scan_journal(const std::uint8_t* data, std::size_t len,
   }
   out.bytes = kJournalHeaderBytes;
 
+  std::size_t pos = kJournalHeaderBytes;
   for (;;) {
-    const std::size_t record_start = c.pos;
-    if (c.pos == len) break;  // clean end
-    const std::uint16_t rec_len = c.u16();
-    if (!c.ok || rec_len == 0 || rec_len > kMaxRecordBytes ||
-        !c.need(rec_len + 4u)) {
-      out.damaged = true;
-      break;
-    }
-    const std::uint8_t* body = data + c.pos;
-    c.pos += rec_len;
-    const std::uint32_t stored_crc = c.u32();
-    if (crc32(body, rec_len) != stored_crc) {
-      out.damaged = true;
-      break;
-    }
-
-    Cursor b{body, rec_len, 0, true};
+    if (pos == len) break;  // clean end
+    std::size_t consumed = 0;
     JournalRecord r;
-    const std::uint8_t type = b.u8();
-    bool known = true;
-    switch (static_cast<RecordType>(type)) {
-      case RecordType::kProvision:
-        r.type = RecordType::kProvision;
-        r.dev_addr = b.u32();
-        r.x_m = b.f64();
-        r.y_m = b.f64();
-        break;
-      case RecordType::kAccept:
-        r.type = RecordType::kAccept;
-        r.frame = get_frame(b);
-        break;
-      case RecordType::kReject: {
-        r.type = RecordType::kReject;
-        const std::uint8_t kind = b.u8();
-        if (kind < 1 || kind > 4) {
-          known = false;
-          break;
-        }
-        r.reject_kind = static_cast<RejectKind>(kind);
-        r.upgraded = b.u8() != 0;
-        r.frame = get_frame(b);
-        break;
-      }
-      case RecordType::kAdrApplied:
-        r.type = RecordType::kAdrApplied;
-        r.dev_addr = b.u32();
-        break;
-      case RecordType::kRoster:
-        r.type = RecordType::kRoster;
-        r.roster_version = b.u64();
-        break;
-      default:
-        known = false;  // future record type: CRC says intact, skip it
-        break;
-    }
-    if (known && !b.ok) {
-      // CRC passed but the body is shorter than the type demands — a
-      // writer bug or a forged record; stop rather than apply garbage.
+    const RecordParse st = parse_one_record(data + pos, len - pos, consumed, r);
+    if (st == RecordParse::kRecord) {
+      out.records.push_back(std::move(r));
+    } else if (st == RecordParse::kUnknown) {
+      ++out.skipped_unknown;
+    } else {
+      // In a batch scan a mid-record end of buffer IS damage: nothing is
+      // still appending, so the tail is torn.
       out.damaged = true;
       break;
     }
-    if (known) {
-      out.records.push_back(std::move(r));
-    } else {
-      ++out.skipped_unknown;
-    }
-    out.bytes += c.pos - record_start;
+    pos += consumed;
+    out.bytes += consumed;
   }
   return out;
 }

@@ -25,6 +25,7 @@
 //               so best-SNR dedup upgrades replay too
 //   kAdrApplied ADR change commanded (SNR history cleared)
 //   kRoster     team roster rebuilt to a new version
+//   kEpoch      HA lease epoch that owned the generation when it opened
 #pragma once
 
 #include <cstdint>
@@ -47,6 +48,7 @@ enum class RecordType : std::uint8_t {
   kReject = 3,
   kAdrApplied = 4,
   kRoster = 5,
+  kEpoch = 6,
 };
 
 /// Why an uplink was rejected (kReject body).
@@ -71,6 +73,8 @@ struct JournalRecord {
   bool upgraded = false;  ///< dedup rejects that won on SNR
   // kRoster
   std::uint64_t roster_version = 0;
+  // kEpoch
+  std::uint64_t epoch = 0;
 };
 
 /// Appends the framed encoding of `r` (len|type|body|crc) to `out`.
@@ -78,6 +82,24 @@ void encode_record(const JournalRecord& r, std::string& out);
 
 /// File header for shard `shard`.
 std::string journal_header(std::uint8_t shard);
+
+/// Outcome of parsing one framed record from a byte range.
+enum class RecordParse : std::uint8_t {
+  kRecord,   ///< a known record was decoded into `out`
+  kUnknown,  ///< CRC-intact record of an unknown type: skip it
+  kNeedMore, ///< the buffer ends mid-record — not damage when tailing a
+             ///< file that is still being appended to
+  kDamaged,  ///< CRC mismatch, zero/oversized len, or short body
+};
+
+/// Parses the record framed at `data[0..len)`. On kRecord/kUnknown,
+/// `consumed` is the framed size (len field + body + crc); on kNeedMore
+/// or kDamaged it is 0. This is the single frame decoder shared by the
+/// batch scanner below and the hot-standby tail reader (src/net/ha/):
+/// the distinction between kNeedMore and kDamaged is what lets a tailer
+/// wait out a concurrent append instead of declaring the journal torn.
+RecordParse parse_one_record(const std::uint8_t* data, std::size_t len,
+                             std::size_t& consumed, JournalRecord& out);
 
 /// Outcome of scanning one journal file's bytes.
 struct JournalScan {

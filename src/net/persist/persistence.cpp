@@ -51,6 +51,21 @@ std::string read_small_file(const std::string& path) {
 
 }  // namespace
 
+ManifestInfo read_manifest(const std::string& dir) {
+  ManifestInfo m;
+  const std::string manifest = read_small_file(dir + "/MANIFEST");
+  std::istringstream ss(manifest);
+  std::string tag;
+  std::uint64_t gen = 0;
+  if (!(ss >> tag >> gen) || tag != "gen") return m;
+  m.present = true;
+  m.generation = gen;
+  std::string etag;
+  std::uint64_t epoch = 0;
+  if ((ss >> etag >> epoch) && etag == "epoch") m.epoch = epoch;
+  return m;
+}
+
 Persistence::Persistence(const PersistOptions& opt, std::size_t n_shards)
     : opt_(opt), n_shards_(n_shards) {
   if (opt_.dir.empty())
@@ -96,16 +111,14 @@ bool Persistence::recover(SnapshotImage& image,
   st = RecoveryStats{};
   shard_records.assign(n_shards_, {});
 
-  // MANIFEST is one line: "gen <g>\n". Absent or unparsable means no
+  // MANIFEST is one line: "gen <g>\n", or "gen <g> epoch <e>\n" once an
+  // HA lease holder has written it. Absent or unparsable means no
   // generation was ever committed — fresh start (atomic_write guarantees
   // it is never half-written).
-  const std::string manifest = read_small_file(manifest_path());
-  std::uint64_t gen = 0;
-  {
-    std::istringstream ss(manifest);
-    std::string tag;
-    if (!(ss >> tag >> gen) || tag != "gen") return false;
-  }
+  const ManifestInfo m = read_manifest(opt_.dir);
+  if (!m.present) return false;
+  const std::uint64_t gen = m.generation;
+  st.epoch = m.epoch;
 
   const std::string snap_bytes = read_small_file(snapshot_path(gen));
   if (snap_bytes.empty())
@@ -137,6 +150,19 @@ bool Persistence::recover(SnapshotImage& image,
 void Persistence::begin_generation(const SnapshotImage& image) {
   if (crashed_)
     throw std::runtime_error("persist: instance already crashed");
+
+  // Epoch fence: if the MANIFEST on disk carries a higher epoch than our
+  // lease, another instance was promoted while we were out to lunch. We
+  // must not commit a generation on top of its state — mark ourselves
+  // dead *before* throwing so no destructor/flush touches the disk.
+  {
+    const ManifestInfo m = read_manifest(opt_.dir);
+    if (m.present && m.epoch > opt_.epoch) {
+      crashed_ = true;
+      close_writers(/*flush=*/false);
+      throw FencedError(opt_.epoch, m.epoch);
+    }
+  }
 
   // 1. Seal the outgoing generation's journals: flush buffers and close,
   //    so the files we are about to supersede are as complete as they
@@ -178,10 +204,14 @@ void Persistence::begin_generation(const SnapshotImage& image) {
     open_generation_journals(next);
     CHOIR_CRASH_POINT("checkpoint.journal.after_open");
 
-    // 4. THE commit point: atomically repoint MANIFEST.
+    // 4. THE commit point: atomically repoint MANIFEST. The epoch suffix
+    //    only appears in HA mode so non-HA directories stay byte-for-byte
+    //    what PR 7 wrote.
     CHOIR_CRASH_POINT("checkpoint.manifest.before");
-    util::atomic_write(manifest_path(),
-                       "gen " + std::to_string(next) + "\n");
+    std::string manifest = "gen " + std::to_string(next);
+    if (opt_.epoch > 0) manifest += " epoch " + std::to_string(opt_.epoch);
+    manifest += "\n";
+    util::atomic_write(manifest_path(), manifest);
     CHOIR_CRASH_POINT("checkpoint.manifest.after");
 
     generation_ = next;
@@ -205,7 +235,16 @@ void Persistence::open_generation_journals(std::uint64_t gen) {
     const std::string path = journal_path(gen, sh);
     const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
     if (fd < 0) fail("open " + path);
-    const std::string header = journal_header(static_cast<std::uint8_t>(sh));
+    std::string header = journal_header(static_cast<std::uint8_t>(sh));
+    if (opt_.epoch > 0) {
+      // HA mode: brand the generation with its owning epoch as the first
+      // record. Old readers skip it (unknown type, valid CRC); the tail
+      // follower and statedump surface it.
+      JournalRecord er;
+      er.type = RecordType::kEpoch;
+      er.epoch = opt_.epoch;
+      encode_record(er, header);
+    }
     try {
       write_all(fd, header.data(), header.size(), path);
     } catch (...) {
@@ -223,8 +262,11 @@ void Persistence::append(std::size_t shard, const JournalRecord& r) {
   ShardWriter& w = *writers_[shard];
   std::lock_guard<std::mutex> lk(w.mu);
   if (w.fd < 0) return;  // no generation open yet (recovery in progress)
+  const std::size_t framed_at = w.buffer.size();
   encode_record(r, w.buffer);
   ++w.buffered_records;
+  if (record_sink_)
+    record_sink_(shard, w.buffer.substr(framed_at));
   // Unconfirmed tail: records buffered in user space that a kill right now
   // would lose (non-zero only under group commit, flush_every_records > 1).
   CHOIR_OBS_GAUGE_MAX("net.persist.unconfirmed_tail.high_water",

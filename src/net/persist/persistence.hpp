@@ -32,8 +32,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -49,7 +51,43 @@ struct PersistOptions {
   /// record durable before the ingest returns (strict exactly-once);
   /// larger values group-commit with a bounded tail-loss window.
   std::size_t flush_every_records = 1;
+  /// HA lease epoch this writer owns (0 = non-HA, single-writer mode).
+  /// Stamped into MANIFEST ("gen <g> epoch <e>") and, when non-zero, as
+  /// the first journal record of each generation. A checkpoint that finds
+  /// a *higher* epoch on disk throws FencedError instead of committing:
+  /// a deposed active that wakes up cannot overwrite the generation a
+  /// promoted standby now owns.
+  std::uint64_t epoch = 0;
 };
+
+/// Thrown by begin_generation when the on-disk MANIFEST carries a higher
+/// epoch than this writer's lease: another instance was promoted while
+/// we were paused/partitioned. The instance marks itself crashed first,
+/// so nothing touches the disk afterwards.
+class FencedError : public std::runtime_error {
+ public:
+  FencedError(std::uint64_t ours, std::uint64_t on_disk)
+      : std::runtime_error(
+            "persist: fenced out (our epoch " + std::to_string(ours) +
+            " < on-disk epoch " + std::to_string(on_disk) + ")"),
+        our_epoch(ours),
+        disk_epoch(on_disk) {}
+  std::uint64_t our_epoch;
+  std::uint64_t disk_epoch;
+};
+
+/// Parsed MANIFEST: "gen <g>\n" (pre-HA) or "gen <g> epoch <e>\n".
+/// The old reader (`ss >> tag >> gen`) still accepts the new form, and
+/// this parser treats a missing epoch as 0 — both directions compatible.
+struct ManifestInfo {
+  bool present = false;
+  std::uint64_t generation = 0;
+  std::uint64_t epoch = 0;
+};
+
+/// Reads and parses `<dir>/MANIFEST`. Never throws; an absent or
+/// unparsable file is `present == false`.
+ManifestInfo read_manifest(const std::string& dir);
 
 /// What recovery found on disk. Exposed by NetServer::recovery() and
 /// mirrored into net.persist.recovery.* counters.
@@ -63,6 +101,7 @@ struct RecoveryStats {
   std::uint64_t discarded = 0;     ///< stale/no-op records skipped on apply
   std::uint64_t skipped_unknown = 0;
   std::uint64_t damaged_journals = 0;  ///< journals cut short by damage
+  std::uint64_t epoch = 0;             ///< MANIFEST epoch (0 pre-HA)
 };
 
 class Persistence {
@@ -87,8 +126,26 @@ class Persistence {
   /// Starts generation current+1 from `image` (the checkpoint protocol
   /// above). Caller must be quiesced. Also the first call after
   /// construction/recovery: it seals any damaged journal tails into a
-  /// fresh, clean generation.
+  /// fresh, clean generation. Throws FencedError when the on-disk
+  /// MANIFEST carries a higher epoch than ours (see PersistOptions).
   void begin_generation(const SnapshotImage& image);
+
+  /// Adopts `gen` as the current generation *without* reading anything —
+  /// the hot-standby promotion path: the standby already holds the
+  /// generation's state in memory (it has been tailing the journals), so
+  /// the next begin_generation seals gen+1 on top of it instead of
+  /// paying a full disk recovery. Only valid before any append.
+  void adopt_generation(std::uint64_t gen) { generation_ = gen; }
+
+  /// Installs a hook invoked for every journal record append with the
+  /// exact framed bytes written to disk (called under the shard writer's
+  /// lock, before the flush decision). The HA replication sender uses it
+  /// to stream the journal to a network standby. Set before ingest
+  /// starts; pass nullptr to clear.
+  void set_record_sink(
+      std::function<void(std::size_t shard, const std::string& framed)> sink) {
+    record_sink_ = std::move(sink);
+  }
 
   // Journal appends (thread-safe; routed to `shard`'s writer, which for
   // device-keyed records must be the registry's shard index so per-device
@@ -108,6 +165,7 @@ class Persistence {
   bool crashed() const { return crashed_; }
 
   std::uint64_t generation() const { return generation_; }
+  std::uint64_t epoch() const { return opt_.epoch; }
   std::uint64_t journal_records_written() const;
   std::uint64_t journal_bytes_written() const;
 
@@ -138,6 +196,7 @@ class Persistence {
   std::uint64_t generation_ = 0;
   bool crashed_ = false;
   std::vector<std::unique_ptr<ShardWriter>> writers_;
+  std::function<void(std::size_t, const std::string&)> record_sink_;
 };
 
 }  // namespace choir::net::persist

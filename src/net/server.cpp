@@ -83,21 +83,21 @@ NetServer::NetServer(const NetServerConfig& cfg)
     CHOIR_OBS_COUNT("net.persist.snapshots", 1);
     CHOIR_OBS_GAUGE_SET("net.persist.generation",
                         static_cast<std::int64_t>(persist_->generation()));
-    teams_.set_rebuild_listener([this](std::uint64_t version) {
-      std::shared_lock<std::shared_mutex> gate(persist_gate_);
-      JournalRecord r;
-      r.type = RecordType::kRoster;
-      r.roster_version = version;
-      persist_->append(0, r);  // the roster is global; shard 0 by convention
-    });
+    install_roster_listener();
   }
 }
 
-void NetServer::restore_from_disk() {
-  persist::SnapshotImage image;
-  std::vector<std::vector<JournalRecord>> shard_records;
-  if (!persist_->recover(image, shard_records, recovery_)) return;
+void NetServer::install_roster_listener() {
+  teams_.set_rebuild_listener([this](std::uint64_t version) {
+    std::shared_lock<std::shared_mutex> gate(persist_gate_);
+    JournalRecord r;
+    r.type = RecordType::kRoster;
+    r.roster_version = version;
+    persist_->append(0, r);  // the roster is global; shard 0 by convention
+  });
+}
 
+void NetServer::restore_image(const persist::SnapshotImage& image) {
   if (image.shard_bits != cfg_.registry.shard_bits)
     throw std::runtime_error(
         "persist: snapshot was written with shard_bits=" +
@@ -119,6 +119,14 @@ void NetServer::restore_from_disk() {
   replay_rejected_.store(image.counters.replay_rejected, relaxed);
   unknown_device_.store(image.counters.unknown_device, relaxed);
   malformed_.store(image.counters.malformed, relaxed);
+}
+
+void NetServer::restore_from_disk() {
+  persist::SnapshotImage image;
+  std::vector<std::vector<JournalRecord>> shard_records;
+  if (!persist_->recover(image, shard_records, recovery_)) return;
+
+  restore_image(image);
 
   std::uint64_t roster_version = image.team_version;
 
@@ -139,6 +147,8 @@ void NetServer::restore_from_disk() {
 void NetServer::apply_record(const JournalRecord& r,
                              std::uint64_t& max_roster_version) {
   switch (r.type) {
+    case RecordType::kEpoch:
+      return;  // generation metadata, not state — nothing to replay
     case RecordType::kProvision:
       registry_.provision(r.dev_addr, r.x_m, r.y_m);
       ++recovery_.replayed;
@@ -213,6 +223,64 @@ persist::SnapshotImage NetServer::snapshot_image() const {
   for (std::size_t i = 0; i < registry_.n_shards(); ++i)
     img.shards[i] = registry_.dump_shard(i);
   return img;
+}
+
+void NetServer::restore_snapshot(const persist::SnapshotImage& image) {
+  restore_image(image);
+  teams_.restore_state(image.team_version, image.assignments);
+  replicated_roster_version_ = image.team_version;
+  recovery_.restored = true;
+  recovery_.snapshot_sessions = 0;
+  for (const auto& shard : image.shards)
+    recovery_.snapshot_sessions += shard.size();
+}
+
+void NetServer::apply_replicated(const persist::JournalRecord& r) {
+  std::uint64_t v = replicated_roster_version_;
+  apply_record(r, v);
+  if (v != replicated_roster_version_) {
+    // A kRoster record: bump the roster version. Assignments themselves
+    // travel in snapshots (kRoster only carries the version, exactly as
+    // in disk recovery).
+    auto [cur, assignments] = teams_.export_state();
+    (void)cur;
+    teams_.restore_state(v, assignments);
+    replicated_roster_version_ = v;
+  }
+}
+
+void NetServer::attach_persistence(const persist::PersistOptions& opt,
+                                   std::uint64_t on_disk_generation) {
+  if (persist_)
+    throw std::runtime_error("netserver: persistence already attached");
+  if (opt.dir.empty())
+    throw std::runtime_error("netserver: attach_persistence needs a dir");
+  cfg_.persist = opt;
+  persist_ =
+      std::make_unique<persist::Persistence>(opt, registry_.n_shards());
+  persist_->adopt_generation(on_disk_generation);
+  // Seal the takeover generation on top of the followed state. The epoch
+  // fence inside rejects us if an even newer epoch committed meanwhile.
+  persist_->begin_generation(snapshot_image());
+  // The replica's recovery stats already count its streamed replay
+  // (restore_snapshot / apply_replicated); stamp where it caught up to.
+  if (recovery_.restored) {
+    recovery_.generation = on_disk_generation;
+    recovery_.epoch = opt.epoch;
+  }
+  CHOIR_OBS_COUNT("net.persist.snapshots", 1);
+  CHOIR_OBS_GAUGE_SET("net.persist.generation",
+                      static_cast<std::int64_t>(persist_->generation()));
+  install_roster_listener();
+}
+
+void NetServer::with_ingest_quiesced(const std::function<void()>& fn) {
+  if (!persist_) {
+    fn();
+    return;
+  }
+  std::unique_lock<std::shared_mutex> gate(persist_gate_);
+  fn();
 }
 
 void NetServer::checkpoint() {

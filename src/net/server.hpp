@@ -185,6 +185,38 @@ class NetServer {
 
   const NetServerConfig& config() const { return cfg_; }
 
+  // ------------------------------------------------ hot standby (src/net/ha/)
+
+  /// Standby bootstrap: restores a snapshot image into this server —
+  /// construction-time recovery minus the journal replay, which arrives
+  /// afterwards via apply_replicated(). Only valid before any ingest.
+  /// Throws on a shard_bits mismatch.
+  void restore_snapshot(const persist::SnapshotImage& image);
+
+  /// Applies one replicated journal record through the real registry
+  /// code paths — the streaming twin of recovery, same bit-exactness
+  /// guarantee. Caller serializes (the follower's apply thread); must
+  /// not run concurrently with ingest.
+  void apply_replicated(const persist::JournalRecord& r);
+
+  /// Promotion: attaches persistence to a server constructed without it.
+  /// Adopts `on_disk_generation` (the generation whose journals the
+  /// standby finished draining) and seals generation+1, stamped with
+  /// opt.epoch, on top of the in-memory state — a hot takeover with no
+  /// disk re-recovery. Must be called before ingest starts; throws if
+  /// persistence is already attached or the epoch fence rejects us.
+  void attach_persistence(const persist::PersistOptions& opt,
+                          std::uint64_t on_disk_generation);
+
+  /// Runs `fn` with ingest quiesced (the checkpoint gate held unique).
+  /// The network replication sender uses this to capture the snapshot
+  /// bytes and its per-shard head sequence numbers at one instant.
+  void with_ingest_quiesced(const std::function<void()>& fn);
+
+  /// Current durable state. Caller must be quiesced (inside
+  /// with_ingest_quiesced, or single-threaded).
+  persist::SnapshotImage snapshot_image() const;
+
  private:
   double wall_now_s() const {
     return std::chrono::duration<double>(
@@ -201,12 +233,15 @@ class NetServer {
                     std::uint64_t dup_trace_id, double t_ingest0);
   /// Journal one classified ingest (caller holds the persist gate shared).
   void journal_ingest(const IngestResult& res, const UplinkFrame& frame);
-  /// Current durable state, for checkpoint(). Caller must be quiesced.
-  persist::SnapshotImage snapshot_image() const;
   /// Construction-time restore: apply snapshot + replay journals.
   void restore_from_disk();
+  /// Shared half of restore_from_disk / restore_snapshot: shard_bits
+  /// check, registry shards, eviction order, counters.
+  void restore_image(const persist::SnapshotImage& image);
   void apply_record(const persist::JournalRecord& r,
                     std::uint64_t& max_roster_version);
+  /// Installs the journaling roster-rebuild listener (ctor + promotion).
+  void install_roster_listener();
 
   NetServerConfig cfg_;
   DeviceRegistry registry_;
@@ -218,6 +253,8 @@ class NetServer {
 
   std::unique_ptr<persist::Persistence> persist_;
   persist::RecoveryStats recovery_{};
+  /// Roster version as applied by the replication stream (standby only).
+  std::uint64_t replicated_roster_version_ = 0;
   /// Checkpoint gate: journaling ops hold shared, checkpoint() unique.
   /// Only touched when persistence is on.
   mutable std::shared_mutex persist_gate_;

@@ -9,7 +9,52 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
+
 namespace choir::net {
+
+namespace {
+
+void put_le32(std::string& s, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) s.push_back(static_cast<char>(v >> (8 * i)));
+}
+void put_le64(std::string& s, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) s.push_back(static_cast<char>(v >> (8 * i)));
+}
+std::uint32_t get_le32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+std::uint64_t get_le64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::string encode_ack(const UplinkAck& a) {
+  std::string out;
+  out.reserve(kAckBytes);
+  put_le32(out, kAckMagic);
+  out.push_back(static_cast<char>(kAckVersion));
+  out.push_back(static_cast<char>(a.status));
+  out.push_back(0);  // reserved
+  out.push_back(0);
+  put_le64(out, a.epoch);
+  put_le64(out, a.datagram_hash);
+  return out;
+}
+
+bool decode_ack(const std::uint8_t* data, std::size_t len, UplinkAck& out) {
+  if (len != kAckBytes) return false;
+  if (get_le32(data) != kAckMagic || data[4] != kAckVersion) return false;
+  out.status = data[5];
+  out.epoch = get_le64(data + 8);
+  out.datagram_hash = get_le64(data + 16);
+  return true;
+}
 
 bool parse_endpoint(const std::string& s, Endpoint& out) {
   const std::size_t colon = s.rfind(':');
@@ -61,15 +106,28 @@ void UdpUplinkSender::send(const std::vector<UplinkFrame>& frames) {
 }
 
 UdpIngestServer::UdpIngestServer(NetServer& server, std::uint16_t port,
-                                 bool bind_any)
-    : server_(server) {
+                                 UdpIngestOptions opts)
+    : server_(server), opts_(std::move(opts)) {
   fd_ = ::socket(AF_INET, SOCK_DGRAM, 0);
   if (fd_ < 0) throw std::runtime_error("udp ingest: socket() failed");
   const int one = 1;
   ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (opts_.rcvbuf_bytes > 0) {
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &opts_.rcvbuf_bytes,
+                 sizeof(opts_.rcvbuf_bytes));
+  }
+  socklen_t optlen = sizeof(rcvbuf_actual_);
+  ::getsockopt(fd_, SOL_SOCKET, SO_RCVBUF, &rcvbuf_actual_, &optlen);
+  CHOIR_OBS_GAUGE_SET("net.udp.rcvbuf_bytes",
+                      static_cast<std::int64_t>(rcvbuf_actual_));
+#ifdef SO_RXQ_OVFL
+  // Ask the kernel to piggyback its cumulative socket-drop count on every
+  // received datagram; serve() turns it into the rcvbuf_dropped counter.
+  ::setsockopt(fd_, SOL_SOCKET, SO_RXQ_OVFL, &one, sizeof(one));
+#endif
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(bind_any ? INADDR_ANY : INADDR_LOOPBACK);
+  addr.sin_addr.s_addr = htonl(opts_.bind_any ? INADDR_ANY : INADDR_LOOPBACK);
   addr.sin_port = htons(port);
   if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     ::close(fd_);
@@ -97,12 +155,58 @@ void UdpIngestServer::stop() {
 void UdpIngestServer::serve() {
   std::vector<std::uint8_t> buf(64 * 1024);
   std::vector<UplinkFrame> frames;
+  std::uint64_t last_ovfl = 0;
+  bool ovfl_seen = false;
   while (!stop_.load(std::memory_order_relaxed)) {
     pollfd pfd{fd_, POLLIN, 0};
     const int pr = ::poll(&pfd, 1, 100 /* ms */);
     if (pr <= 0 || !(pfd.revents & POLLIN)) continue;
-    const ssize_t n = ::recv(fd_, buf.data(), buf.size(), 0);
+
+    sockaddr_in src{};
+    iovec iov{buf.data(), buf.size()};
+    alignas(cmsghdr) char cbuf[64];
+    msghdr msg{};
+    msg.msg_name = &src;
+    msg.msg_namelen = sizeof(src);
+    msg.msg_iov = &iov;
+    msg.msg_iovlen = 1;
+    msg.msg_control = cbuf;
+    msg.msg_controllen = sizeof(cbuf);
+    const ssize_t n = ::recvmsg(fd_, &msg, 0);
     if (n <= 0) continue;
+
+#ifdef SO_RXQ_OVFL
+    for (cmsghdr* c = CMSG_FIRSTHDR(&msg); c; c = CMSG_NXTHDR(&msg, c)) {
+      if (c->cmsg_level != SOL_SOCKET || c->cmsg_type != SO_RXQ_OVFL) continue;
+      std::uint32_t ovfl = 0;
+      std::memcpy(&ovfl, CMSG_DATA(c), sizeof(ovfl));
+      // The cmsg carries a cumulative per-socket drop count; export the
+      // delta. The first sample sets the baseline (drops before our
+      // first successful recv are unattributable anyway).
+      if (ovfl_seen && ovfl > last_ovfl) {
+        const std::uint64_t d = ovfl - last_ovfl;
+        rcvbuf_dropped_.fetch_add(d, std::memory_order_relaxed);
+        CHOIR_OBS_COUNT("net.udp.rcvbuf_dropped", d);
+      }
+      last_ovfl = ovfl;
+      ovfl_seen = true;
+    }
+#endif
+
+    if (opts_.send_acks) {
+      UplinkAck ack;
+      if (opts_.ack_role) {
+        const auto [status, epoch] = opts_.ack_role();
+        ack.status = status;
+        ack.epoch = epoch;
+      }
+      ack.datagram_hash = fnv1a64(buf.data(), static_cast<std::size_t>(n));
+      const std::string wire = encode_ack(ack);
+      (void)::sendto(fd_, wire.data(), wire.size(), MSG_NOSIGNAL,
+                     reinterpret_cast<sockaddr*>(&src), msg.msg_namelen);
+      if (ack.status != kAckActive) continue;  // not serving: ack only
+    }
+
     frames.clear();
     if (!decode_datagram(buf.data(), static_cast<std::size_t>(n), frames)) {
       errors_.fetch_add(1, std::memory_order_relaxed);

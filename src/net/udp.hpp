@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <thread>
 
@@ -26,6 +27,38 @@ struct Endpoint {
 
 /// Parses "host:port" (host an IPv4 literal). Returns false on bad input.
 bool parse_endpoint(const std::string& s, Endpoint& out);
+
+// ------------------------------------------------------------- uplink acks
+//
+// When enabled, the ingest server answers every uplink datagram with a
+// fixed-size CHOA ack echoing the datagram's FNV-1a hash. The gateway's
+// failover sender matches acks to outstanding datagrams by that hash —
+// no sequence numbers on the uplink path, so the fire-and-forget sender
+// stays wire-compatible. `status` doubles as the failover signal: a
+// standby that has not been promoted answers kAckNotActive, telling the
+// gateway to try the other destination without waiting for a timeout.
+
+inline constexpr std::uint32_t kAckMagic = 0x414F4843;  // "CHOA" LE
+inline constexpr std::uint8_t kAckVersion = 1;
+inline constexpr std::size_t kAckBytes = 24;
+inline constexpr std::uint8_t kAckActive = 1;
+inline constexpr std::uint8_t kAckNotActive = 2;
+
+struct UplinkAck {
+  std::uint8_t status = kAckActive;  ///< kAckActive / kAckNotActive
+  std::uint64_t epoch = 0;           ///< responder's HA epoch (0 = non-HA)
+  std::uint64_t datagram_hash = 0;   ///< fnv1a64 of the acked datagram
+};
+
+/// Encodes `a` into the fixed 24-byte wire form.
+std::string encode_ack(const UplinkAck& a);
+/// Decodes an ack datagram. Returns false on bad magic/version/size.
+bool decode_ack(const std::uint8_t* data, std::size_t len, UplinkAck& out);
+
+/// The responder side of the ack protocol: called per datagram to learn
+/// this server's current role. Returning {kAckNotActive, epoch} makes
+/// gateways fail over immediately.
+using AckRoleFn = std::function<std::pair<std::uint8_t, std::uint64_t>()>;
 
 /// Fire-and-forget uplink batch sender (the gateway side).
 class UdpUplinkSender {
@@ -50,6 +83,20 @@ class UdpUplinkSender {
   std::atomic<std::uint64_t> datagrams_{0};
 };
 
+struct UdpIngestOptions {
+  bool bind_any = false;
+  /// Requested SO_RCVBUF. Uplink bursts from many gateways land between
+  /// two scheduler quanta of the receive thread; an explicitly sized
+  /// buffer keeps the kernel from silently shrinking that headroom to
+  /// the distro default. The kernel may clamp to rmem_max; the actual
+  /// size is exported as the `net.udp.rcvbuf_bytes` gauge.
+  int rcvbuf_bytes = 4 * 1024 * 1024;
+  /// Answer every datagram with a CHOA ack (see above).
+  bool send_acks = false;
+  /// Role source for acks; default answers {kAckActive, 0}.
+  AckRoleFn ack_role;
+};
+
 /// Receive loop feeding a NetServer (the network-server side).
 class UdpIngestServer {
  public:
@@ -57,7 +104,10 @@ class UdpIngestServer {
   /// thread; every decoded frame goes to server.ingest(). Throws
   /// std::runtime_error if the bind fails.
   UdpIngestServer(NetServer& server, std::uint16_t port,
-                  bool bind_any = false);
+                  UdpIngestOptions opts);
+  UdpIngestServer(NetServer& server, std::uint16_t port,
+                  bool bind_any = false)
+      : UdpIngestServer(server, port, UdpIngestOptions{bind_any}) {}
   ~UdpIngestServer();
 
   UdpIngestServer(const UdpIngestServer&) = delete;
@@ -70,6 +120,15 @@ class UdpIngestServer {
   std::uint64_t decode_errors() const {
     return errors_.load(std::memory_order_relaxed);
   }
+  /// Datagrams the kernel dropped because the socket buffer was full
+  /// (SO_RXQ_OVFL; stays 0 where the platform lacks it). Also exported
+  /// as the `net.udp.rcvbuf_dropped` counter so silent UDP loss cannot
+  /// masquerade as gateway loss in replication-lag readings.
+  std::uint64_t rcvbuf_dropped() const {
+    return rcvbuf_dropped_.load(std::memory_order_relaxed);
+  }
+  /// Actual SO_RCVBUF the kernel granted (after clamping/doubling).
+  int rcvbuf_bytes() const { return rcvbuf_actual_; }
 
   /// Stops the receive thread and closes the socket. Idempotent.
   void stop();
@@ -78,11 +137,14 @@ class UdpIngestServer {
   void serve();
 
   NetServer& server_;
+  UdpIngestOptions opts_;
   int fd_ = -1;
   std::uint16_t port_ = 0;
+  int rcvbuf_actual_ = 0;
   std::atomic<bool> stop_{false};
   std::atomic<std::uint64_t> datagrams_{0};
   std::atomic<std::uint64_t> errors_{0};
+  std::atomic<std::uint64_t> rcvbuf_dropped_{0};
   std::thread thread_;
 };
 

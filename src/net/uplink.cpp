@@ -70,13 +70,17 @@ struct Cursor {
 
 }  // namespace
 
-std::uint64_t payload_hash(const std::vector<std::uint8_t>& payload) {
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t len) {
   std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
-  for (std::uint8_t b : payload) {
-    h ^= b;
+  for (std::size_t i = 0; i < len; ++i) {
+    h ^= data[i];
     h *= 0x100000001b3ULL;
   }
   return h;
+}
+
+std::uint64_t payload_hash(const std::vector<std::uint8_t>& payload) {
+  return fnv1a64(payload.data(), payload.size());
 }
 
 DeviceHeader parse_device_header(const std::vector<std::uint8_t>& payload) {

@@ -46,6 +46,11 @@ struct UplinkFrame {
   std::vector<std::uint8_t> payload;
 };
 
+/// FNV-1a 64-bit over an arbitrary byte range. Shared by the dedup key
+/// and the backhaul ack protocol (acks echo the datagram's hash so the
+/// gateway can match them without sequence numbers).
+std::uint64_t fnv1a64(const std::uint8_t* data, std::size_t len);
+
 /// FNV-1a 64-bit hash of the payload bytes — the content component of the
 /// cross-gateway dedup key.
 std::uint64_t payload_hash(const std::vector<std::uint8_t>& payload);

@@ -7,6 +7,7 @@
 #include <unistd.h>
 
 #include <cstring>
+#include <mutex>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
@@ -14,6 +15,23 @@
 #include "obs/trace.hpp"
 
 namespace choir::obs {
+
+namespace {
+
+std::mutex g_health_mu;
+std::function<std::string()> g_health_fields;
+
+std::string health_fields() {
+  std::lock_guard<std::mutex> lk(g_health_mu);
+  return g_health_fields ? g_health_fields() : std::string();
+}
+
+}  // namespace
+
+void set_health_fields(std::function<std::string()> provider) {
+  std::lock_guard<std::mutex> lk(g_health_mu);
+  g_health_fields = std::move(provider);
+}
 
 namespace {
 
@@ -130,6 +148,8 @@ void TelemetryServer::respond(int fd, const std::string& path) {
   } else if (path == "/health") {
     std::string body = "{\"status\":\"ok\",\"obs_enabled\":";
     body += kEnabled ? "true" : "false";
+    const std::string extra = health_fields();
+    if (!extra.empty()) body += "," + extra;
     body += ",\"uptime_us\":" + std::to_string(trace_now_us());
     body += ",\"traces_begun\":" +
             std::to_string(trace_log().total_begun()) + "}\n";

@@ -27,10 +27,19 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <thread>
 
 namespace choir::obs {
+
+/// Installs a provider whose returned fields are spliced into the
+/// /health JSON object, e.g. `"role":"active","epoch":3,"repl_lag":0`
+/// (no surrounding braces, no leading comma). The HA role loop uses this
+/// so operators and the CI failover drill can poll readiness without
+/// scraping metrics. Called per request from the acceptor thread; pass
+/// nullptr to clear. Process-global, like the registry.
+void set_health_fields(std::function<std::string()> provider);
 
 class TelemetryServer {
  public:

@@ -3,19 +3,30 @@
 //
 //   choir_statedump /var/lib/choir/netserver
 //   choir_statedump --journals --sessions=8 state/
+//   choir_statedump --follow --follow-for=10 state/
 //
 // Prints the committed generation, snapshot totals, and per-shard journal
 // health (intact records, damaged tails). Read-only: safe to run against
 // a live server's directory (you may see a mid-checkpoint mixture; the
 // MANIFEST read is atomic, the rest is advisory).
+//
+// --follow tails the live generation's journals with the same incremental
+// reader the hot standby uses (net/ha/tail.hpp): records print as the
+// server appends them, generation rotations are followed, and a torn
+// record is reported rather than mis-parsed — a journal `tail -f`.
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "net/ha/tail.hpp"
 #include "net/persist/journal.hpp"
+#include "net/persist/persistence.hpp"
 #include "net/persist/snapshot.hpp"
 #include "util/args.hpp"
 
@@ -44,8 +55,74 @@ const char* record_type_name(persist::RecordType t) {
       return "adr";
     case persist::RecordType::kRoster:
       return "roster";
+    case persist::RecordType::kEpoch:
+      return "epoch";
   }
   return "?";
+}
+
+void print_record(std::size_t shard, const persist::JournalRecord& r) {
+  if (r.type == persist::RecordType::kEpoch) {
+    std::printf("shard %-2zu %-9s epoch=%llu\n", shard, "epoch",
+                static_cast<unsigned long long>(r.epoch));
+    return;
+  }
+  std::printf("shard %-2zu %-9s dev=0x%08x fcnt=%u\n", shard,
+              record_type_name(r.type),
+              r.dev_addr ? r.dev_addr : r.frame.dev_addr, r.frame.fcnt);
+}
+
+/// `tail -f` over the live generation's journals. Returns 0, or 1 when a
+/// tail went damaged (torn record: the writer died mid-append).
+int follow(const std::string& dir, std::uint64_t gen, std::size_t n_shards,
+           double follow_for_s) {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration<double>(follow_for_s > 0.0 ? follow_for_s : 1e18);
+  bool any_damaged = false;
+  std::vector<persist::JournalRecord> records;
+  while (std::chrono::steady_clock::now() < deadline) {
+    std::vector<std::unique_ptr<net::ha::JournalTail>> tails;
+    for (std::size_t sh = 0; sh < n_shards; ++sh) {
+      tails.push_back(std::make_unique<net::ha::JournalTail>(
+          dir + "/journal-" + std::to_string(gen) + "-" + std::to_string(sh) +
+              ".log",
+          static_cast<std::uint8_t>(sh)));
+    }
+    std::printf("following generation %llu (%zu shard(s))\n",
+                static_cast<unsigned long long>(gen), n_shards);
+    std::fflush(stdout);
+    while (std::chrono::steady_clock::now() < deadline) {
+      for (std::size_t sh = 0; sh < n_shards; ++sh) {
+        records.clear();
+        tails[sh]->poll(records);
+        for (const auto& r : records) print_record(sh, r);
+        if (tails[sh]->damaged() && !any_damaged) {
+          any_damaged = true;
+          std::printf("shard %-2zu DAMAGED tail (torn record)\n", sh);
+        }
+      }
+      std::fflush(stdout);
+      // Rotation: drain the sealed journals through the held fds, then
+      // reopen at the committed generation.
+      const persist::ManifestInfo m = persist::read_manifest(dir);
+      if (m.present && m.generation != gen) {
+        for (std::size_t sh = 0; sh < n_shards; ++sh) {
+          records.clear();
+          tails[sh]->poll(records);
+          for (const auto& r : records) print_record(sh, r);
+        }
+        gen = m.generation;
+        std::printf("rotated to generation %llu (epoch %llu)\n",
+                    static_cast<unsigned long long>(gen),
+                    static_cast<unsigned long long>(m.epoch));
+        std::fflush(stdout);
+        break;  // reopen tails at the new generation
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  return any_damaged ? 1 : 0;
 }
 
 }  // namespace
@@ -57,24 +134,27 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: choir_statedump [options] STATE_DIR\n"
                  "  --journals      per-record journal listing\n"
-                 "  --sessions=N    print the first N snapshot sessions (0)\n");
+                 "  --sessions=N    print the first N snapshot sessions (0)\n"
+                 "  --follow        tail the live journals (like tail -f),\n"
+                 "                  following generation rotations\n"
+                 "  --follow-for=S  stop following after S seconds (0 = "
+                 "forever)\n");
     return 2;
   }
   const std::string dir = pos.front();
 
-  const std::string manifest = slurp(dir + "/MANIFEST");
-  std::uint64_t gen = 0;
-  {
-    std::istringstream ss(manifest);
-    std::string tag;
-    if (!(ss >> tag >> gen) || tag != "gen") {
-      std::fprintf(stderr, "%s: no committed generation (missing/invalid "
-                           "MANIFEST)\n", dir.c_str());
-      return 1;
-    }
+  const persist::ManifestInfo mi = persist::read_manifest(dir);
+  if (!mi.present) {
+    std::fprintf(stderr, "%s: no committed generation (missing/invalid "
+                         "MANIFEST)\n", dir.c_str());
+    return 1;
   }
+  const std::uint64_t gen = mi.generation;
   std::printf("generation          : %llu\n",
               static_cast<unsigned long long>(gen));
+  std::printf("epoch               : %llu%s\n",
+              static_cast<unsigned long long>(mi.epoch),
+              mi.epoch == 0 ? " (non-HA)" : "");
 
   const std::string snap_path =
       dir + "/snapshot-" + std::to_string(gen) + ".bin";
@@ -104,6 +184,11 @@ int main(int argc, char** argv) {
   std::printf("  teams             : v%llu, %zu stable assignment(s)\n",
               static_cast<unsigned long long>(img.team_version),
               img.assignments.size());
+
+  if (args.get_bool("follow", false)) {
+    return follow(dir, gen, img.shards.size(),
+                  args.get_double("follow-for", 0.0));
+  }
 
   const int show = static_cast<int>(args.get_int("sessions", 0));
   int shown = 0;
